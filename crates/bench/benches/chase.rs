@@ -1,0 +1,53 @@
+//! Criterion benches for the chase (experiments E2 and E4).
+//!
+//! `chase_paper` times Algorithm 1 on the exact Figure-1 fixture;
+//! `chase_scaling` sweeps the stored-database size (Theorem 1's PTIME
+//! claim: time should grow polynomially, near-linearly here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rps_core::{chase_system, RpsChaseConfig};
+use rps_lodgen::{film_system, paper_example, FilmConfig, Topology};
+
+fn chase_paper(c: &mut Criterion) {
+    let ex = paper_example();
+    c.bench_function("chase_paper_example", |b| {
+        b.iter(|| {
+            let sol = chase_system(&ex.system, &RpsChaseConfig::default());
+            assert!(sol.complete);
+            sol.graph.len()
+        })
+    });
+}
+
+fn chase_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_scaling");
+    group.sample_size(10);
+    for films in [50usize, 100, 200, 400] {
+        let cfg = FilmConfig {
+            peers: 3,
+            films_per_peer: films,
+            actors_per_film: 3,
+            person_pool: films,
+            sameas_per_pair: films / 10,
+            topology: Topology::Chain,
+            hub_style: false,
+            seed: 4,
+        };
+        let sys = film_system(&cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sys.stored_size()),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    let sol = chase_system(sys, &RpsChaseConfig::default());
+                    assert!(sol.complete);
+                    sol.graph.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chase_paper, chase_scaling);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion benches for federation and topology scaling (E8) plus the
+//! equivalence-saturation ablation (E9b) and query-evaluation
+//! microbenches on the substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rps_core::{saturate_naive, EquivalenceIndex};
+use rps_lodgen::{actor_shape_query, film_system, FilmConfig, Topology};
+use rps_p2p::{FederatedEngine, SimNetwork};
+use rps_query::Semantics;
+
+fn federation_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federated_query");
+    for (label, topology) in [
+        ("chain", Topology::Chain),
+        ("star", Topology::Star { hub: 0 }),
+        ("clique", Topology::Clique),
+    ] {
+        let cfg = FilmConfig {
+            peers: 6,
+            films_per_peer: 20,
+            actors_per_film: 2,
+            person_pool: 30,
+            sameas_per_pair: 2,
+            topology,
+            hub_style: false,
+            seed: 6,
+        };
+        let sys = film_system(&cfg);
+        let engine = FederatedEngine::new(&sys);
+        let query = actor_shape_query(5, false);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let mut net = SimNetwork::new();
+                let (ans, _) = engine.evaluate_query(&query, Semantics::Certain, &mut net);
+                ans.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn equivalence_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence_saturation");
+    group.sample_size(10);
+    for density in [4usize, 16, 64] {
+        let cfg = FilmConfig {
+            peers: 3,
+            films_per_peer: 120,
+            actors_per_film: 3,
+            person_pool: 60,
+            sameas_per_pair: density,
+            topology: Topology::Chain,
+            hub_style: false,
+            seed: 10,
+        };
+        let sys = film_system(&cfg);
+        let stored = sys.stored_database();
+        let eqs = sys.equivalences().to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("naive", eqs.len()),
+            &eqs,
+            |b, eqs| b.iter(|| saturate_naive(&stored, eqs).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unionfind", eqs.len()),
+            &eqs,
+            |b, eqs| {
+                b.iter(|| {
+                    let index = EquivalenceIndex::from_mappings(eqs);
+                    rps_core::canonicalize_graph(&stored, &index).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn store_microbench(c: &mut Criterion) {
+    // Substrate sanity: pattern matching on the triple store.
+    let cfg = FilmConfig {
+        peers: 2,
+        films_per_peer: 500,
+        actors_per_film: 4,
+        person_pool: 300,
+        sameas_per_pair: 0,
+        topology: Topology::Chain,
+        hub_style: false,
+        seed: 3,
+    };
+    let sys = film_system(&cfg);
+    let g = sys.stored_database();
+    let pred = g
+        .term_id(&rps_rdf::Term::Iri(rps_lodgen::film::actor_pred(0)))
+        .expect("predicate exists");
+    c.bench_function("store_scan_by_predicate", |b| {
+        b.iter(|| g.match_ids(None, Some(pred), None).count())
+    });
+}
+
+criterion_group!(
+    benches,
+    federation_topologies,
+    equivalence_ablation,
+    store_microbench
+);
+criterion_main!(benches);

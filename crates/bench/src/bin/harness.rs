@@ -1,0 +1,79 @@
+//! The experiment harness: regenerates every figure, listing and claim of
+//! the paper as a plain-text table.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rps-bench --bin harness            # all experiments
+//! cargo run --release -p rps-bench --bin harness e2 e7      # a subset
+//! cargo run --release -p rps-bench --bin harness quick      # reduced sweeps
+//! ```
+
+use rps_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let want = |id: &str| {
+        args.is_empty()
+            || args.iter().all(|a| a == "quick")
+            || args.iter().any(|a| a.eq_ignore_ascii_case(id))
+    };
+
+    let mut tables: Vec<Table> = Vec::new();
+    if want("e1") {
+        tables.push(e1_raw_query());
+    }
+    if want("e2") {
+        tables.push(e2_listing1());
+    }
+    if want("e3") {
+        tables.push(e3_listing2());
+    }
+    if want("e4") {
+        let sizes: &[usize] = if quick {
+            &[100, 200, 400]
+        } else {
+            &[100, 200, 400, 800, 1600]
+        };
+        tables.push(e4_chase_scaling(sizes));
+    }
+    if want("e5") {
+        let lens: &[usize] = if quick { &[2, 3, 4] } else { &[2, 3, 4, 5, 6, 7, 8] };
+        tables.push(e5_rewrite_linear(lens));
+    }
+    if want("e6") {
+        let (lens, depths): (&[usize], &[usize]) = if quick {
+            (&[8, 16], &[2, 4])
+        } else {
+            (&[8, 16, 32], &[2, 4, 6])
+        };
+        tables.push(e6_transitive(lens, depths));
+    }
+    if want("e7") {
+        tables.push(e7_classification());
+    }
+    if want("e8") {
+        let peers: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+        tables.push(e8_topology_scaling(peers));
+    }
+    if want("e9") {
+        let qs: &[usize] = if quick { &[1, 16] } else { &[1, 4, 16, 64, 256, 1024] };
+        tables.push(e9_crossover(qs));
+        let dens: &[usize] = if quick { &[2, 8] } else { &[2, 8, 32, 64, 128] };
+        tables.push(e9_equivalence_ablation(dens));
+    }
+    if want("e10") {
+        let lens: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+        tables.push(e10_datalog(lens));
+    }
+    if want("e11") {
+        let fracs: &[f64] = if quick { &[0.3] } else { &[0.1, 0.3, 0.5, 0.8] };
+        tables.push(e11_discovery(fracs));
+    }
+
+    println!("# RPS experiment harness — paper artefact reproduction\n");
+    for t in tables {
+        println!("{}", t.render());
+    }
+}

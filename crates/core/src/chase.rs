@@ -1,0 +1,498 @@
+//! Algorithm 1: the RPS chase, producing a universal solution.
+//!
+//! The chase starts from the stored database `D` and repeatedly repairs
+//! violated mappings:
+//!
+//! * a graph mapping assertion `Q ⇝ Q'` is violated when some tuple
+//!   `t ∈ Q_J \ Q'_J`; the repair instantiates the conclusion pattern
+//!   with `t` on the free variables and *fresh blank nodes* on the
+//!   existential variables (the labelled nulls of Section 3);
+//! * an equivalence mapping `c ≡ₑ c'` is violated when the
+//!   `subjQ*`/`predQ*`/`objQ*` result sets of `c` and `c'` differ; the
+//!   repair copies the missing triples in both directions for all three
+//!   positions (note the `Q*` semantics: blank nodes participate).
+//!
+//! Theorem 1's argument — only graph mapping assertions invent blanks and
+//! (because `Q_J` drops blank tuples, the `rt` guard of the relational
+//! encoding) freshly created blanks never re-trigger them — bounds the
+//! chase, giving PTIME data complexity. Budgets are still enforced so
+//! that misuse fails loudly.
+
+use crate::system::RdfPeerSystem;
+use rps_query::{evaluate_query, has_match, Semantics, Variable};
+use rps_rdf::{Graph, Term, Triple, TriplePosition};
+use std::collections::BTreeSet;
+
+/// Budgets for an RPS chase run.
+#[derive(Clone, Debug)]
+pub struct RpsChaseConfig {
+    /// Maximum number of rounds (full passes over all mappings).
+    pub max_rounds: usize,
+    /// Maximum number of triples in the universal solution.
+    pub max_triples: usize,
+}
+
+impl Default for RpsChaseConfig {
+    fn default() -> Self {
+        RpsChaseConfig {
+            max_rounds: 10_000,
+            max_triples: 10_000_000,
+        }
+    }
+}
+
+/// Statistics of a chase run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RpsChaseStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Graph-mapping-assertion firings.
+    pub gma_firings: usize,
+    /// Triples copied by equivalence repairs.
+    pub eq_copies: usize,
+    /// Fresh blank nodes created.
+    pub blanks_created: u64,
+    /// Firings skipped because instantiation would produce invalid RDF
+    /// (e.g. a literal in subject position).
+    pub invalid_firings: usize,
+}
+
+/// A universal solution produced by the chase.
+#[derive(Clone, Debug)]
+pub struct UniversalSolution {
+    /// The chased peer-to-peer database `J`.
+    pub graph: Graph,
+    /// Run statistics.
+    pub stats: RpsChaseStats,
+    /// `true` iff a fixpoint was reached (always the case within default
+    /// budgets, per Theorem 1).
+    pub complete: bool,
+}
+
+/// Runs Algorithm 1 on a system, producing a universal solution.
+pub fn chase_system(system: &RdfPeerSystem, config: &RpsChaseConfig) -> UniversalSolution {
+    let mut graph = system.stored_database();
+    let mut stats = RpsChaseStats::default();
+    let mut blank_counter: u64 = 0;
+
+    loop {
+        if stats.rounds >= config.max_rounds {
+            return UniversalSolution {
+                graph,
+                stats,
+                complete: false,
+            };
+        }
+        stats.rounds += 1;
+        let mut changed = false;
+
+        // --- Equivalence mappings (Definition 2, item 3). ---
+        // Iterate this inner repair to a local fixpoint: equivalence
+        // repairs are cheap and confluent, and saturating them first
+        // exposes more graph-mapping matches per outer round.
+        loop {
+            let copies = equivalence_round(&mut graph, system);
+            if copies == 0 {
+                break;
+            }
+            stats.eq_copies += copies;
+            changed = true;
+            if graph.len() > config.max_triples {
+                return UniversalSolution {
+                    graph,
+                    stats,
+                    complete: false,
+                };
+            }
+        }
+
+        // --- Graph mapping assertions (Definition 2, item 2). ---
+        for gma in system.assertions() {
+            // Q_J under the blank-dropping semantics: the `rt` guard.
+            let premise_tuples = evaluate_query(&graph, &gma.premise, Semantics::Certain);
+            for tuple in premise_tuples {
+                if tuple_satisfied(&graph, &gma.conclusion, &tuple) {
+                    continue;
+                }
+                // Fire: instantiate the conclusion with the tuple and
+                // fresh blanks for existential variables.
+                let free = gma.conclusion.free_vars().to_vec();
+                let existentials: Vec<Variable> =
+                    gma.conclusion.existential_vars().into_iter().collect();
+                let fresh: Vec<Term> = existentials
+                    .iter()
+                    .map(|_| {
+                        let b = Term::Blank(rps_rdf::BlankNode::fresh(blank_counter));
+                        blank_counter += 1;
+                        b
+                    })
+                    .collect();
+                let subst = |v: &Variable| -> Option<Term> {
+                    if let Some(i) = free.iter().position(|f| f == v) {
+                        return Some(tuple[i].clone());
+                    }
+                    existentials
+                        .iter()
+                        .position(|e| e == v)
+                        .map(|i| fresh[i].clone())
+                };
+                let grounded = gma.conclusion.pattern().substitute(&subst);
+                let mut valid = true;
+                let mut to_insert: Vec<Triple> = Vec::with_capacity(grounded.len());
+                for tp in grounded.patterns() {
+                    match tp.as_triple() {
+                        Some(t) => to_insert.push(t),
+                        None => {
+                            valid = false;
+                            break;
+                        }
+                    }
+                }
+                if !valid {
+                    stats.invalid_firings += 1;
+                    continue;
+                }
+                for t in to_insert {
+                    graph.insert(&t);
+                }
+                stats.gma_firings += 1;
+                stats.blanks_created += existentials.len() as u64;
+                changed = true;
+                if graph.len() > config.max_triples {
+                    return UniversalSolution {
+                        graph,
+                        stats,
+                        complete: false,
+                    };
+                }
+            }
+        }
+
+        if !changed {
+            return UniversalSolution {
+                graph,
+                stats,
+                complete: true,
+            };
+        }
+    }
+}
+
+/// Checks `t ∈ Q'_J`: substitute the tuple into the conclusion's free
+/// variables and test for a match.
+fn tuple_satisfied(
+    graph: &Graph,
+    conclusion: &rps_query::GraphPatternQuery,
+    tuple: &[Term],
+) -> bool {
+    let free = conclusion.free_vars();
+    let subst = |v: &Variable| -> Option<Term> {
+        free.iter()
+            .position(|f| f == v)
+            .map(|i| tuple[i].clone())
+    };
+    let bound = conclusion.pattern().substitute(&subst);
+    has_match(graph, &bound)
+}
+
+/// One pass of equivalence repairs; returns the number of triples added.
+fn equivalence_round(graph: &mut Graph, system: &RdfPeerSystem) -> usize {
+    let mut added = 0usize;
+    for eq in system.equivalences() {
+        let c = Term::Iri(eq.left.clone());
+        let cp = Term::Iri(eq.right.clone());
+        for pos in TriplePosition::ALL {
+            added += copy_position(graph, &c, &cp, pos);
+            added += copy_position(graph, &cp, &c, pos);
+        }
+    }
+    added
+}
+
+/// Copies every triple having `from` at `pos` to the variant with `to`
+/// at `pos` (the `subjQ*`/`predQ*`/`objQ*` repairs). Returns insertions.
+fn copy_position(graph: &mut Graph, from: &Term, to: &Term, pos: TriplePosition) -> usize {
+    let Some(from_id) = graph.term_id(from) else {
+        return 0;
+    };
+    let (s, p, o) = match pos {
+        TriplePosition::Subject => (Some(from_id), None, None),
+        TriplePosition::Predicate => (None, Some(from_id), None),
+        TriplePosition::Object => (None, None, Some(from_id)),
+    };
+    let matches: Vec<_> = graph.match_ids(s, p, o).collect();
+    if matches.is_empty() {
+        return 0;
+    }
+    let to_id = graph.intern(to);
+    let mut added = 0;
+    for t in matches {
+        if graph.insert_ids(t.with(pos, to_id)) {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Checks Definition 2 directly: is `candidate` a solution for the system
+/// based on its stored database? Used by tests and property checks.
+pub fn is_solution(system: &RdfPeerSystem, candidate: &Graph) -> bool {
+    // (1) D ⊆ I.
+    if !system.stored_database().is_subgraph_of(candidate) {
+        return false;
+    }
+    // (2) Q_I ⊆ Q'_I for every graph mapping assertion.
+    for gma in system.assertions() {
+        let lhs = evaluate_query(candidate, &gma.premise, Semantics::Certain);
+        let rhs = evaluate_query(candidate, &gma.conclusion, Semantics::Certain);
+        if !lhs.is_subset(&rhs) {
+            return false;
+        }
+    }
+    // (3) star-query equality for every equivalence mapping.
+    for eq in system.equivalences() {
+        let c = Term::Iri(eq.left.clone());
+        let cp = Term::Iri(eq.right.clone());
+        for (qc, qcp) in [
+            (
+                rps_query::GraphPatternQuery::subj_q(c.clone()),
+                rps_query::GraphPatternQuery::subj_q(cp.clone()),
+            ),
+            (
+                rps_query::GraphPatternQuery::pred_q(c.clone()),
+                rps_query::GraphPatternQuery::pred_q(cp.clone()),
+            ),
+            (
+                rps_query::GraphPatternQuery::obj_q(c.clone()),
+                rps_query::GraphPatternQuery::obj_q(cp.clone()),
+            ),
+        ] {
+            let a: BTreeSet<_> = evaluate_query(candidate, &qc, Semantics::Star);
+            let b: BTreeSet<_> = evaluate_query(candidate, &qcp, Semantics::Star);
+            if a != b {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::Peer;
+    use crate::system::RpsBuilder;
+    use crate::PeerId;
+    use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar};
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    /// Two peers: peer B has `actor` facts, peer A uses
+    /// `starring`/`artist`; one GMA translates B into A's shape.
+    fn two_peer_system() -> RdfPeerSystem {
+        let mut a = PeerId(0);
+        let mut b = PeerId(0);
+        let premise = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/actor"), TermOrVar::var("y")),
+        );
+        let conclusion = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/starring"),
+                TermOrVar::var("z"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("z"),
+                TermOrVar::iri("http://a/artist"),
+                TermOrVar::var("y"),
+            )),
+        );
+        RpsBuilder::new()
+            .peer_turtle(
+                "A",
+                "<http://a/film> <http://a/starring> _:c .\n\
+                 _:c <http://a/artist> <http://a/actor1> .",
+                &mut a,
+            )
+            .unwrap()
+            .peer_turtle(
+                "B",
+                "<http://b/film2> <http://b/actor> <http://b/actor2> .",
+                &mut b,
+            )
+            .unwrap()
+            .assertion(b, a, premise, conclusion)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn gma_fires_with_fresh_blank() {
+        let sys = two_peer_system();
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(sol.complete);
+        assert_eq!(sol.stats.gma_firings, 1);
+        assert_eq!(sol.stats.blanks_created, 1);
+        // film2 now has a starring/artist path through a fresh blank.
+        let q = GraphPatternQuery::new(
+            vec![v("y")],
+            GraphPattern::triple(
+                TermOrVar::iri("http://b/film2"),
+                TermOrVar::iri("http://a/starring"),
+                TermOrVar::var("z"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("z"),
+                TermOrVar::iri("http://a/artist"),
+                TermOrVar::var("y"),
+            )),
+        );
+        let ans = evaluate_query(&sol.graph, &q, Semantics::Certain);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Term::iri("http://b/actor2")]));
+    }
+
+    #[test]
+    fn chase_is_idempotent_on_satisfied_systems() {
+        let sys = two_peer_system();
+        let sol1 = chase_system(&sys, &RpsChaseConfig::default());
+        // Chasing a system whose mappings are satisfied adds nothing:
+        // rebuild a system with the solution as a single peer.
+        let mut sys2 = RdfPeerSystem::new();
+        sys2.add_peer(Peer::from_database("all", sol1.graph.clone()));
+        for gma in sys.assertions() {
+            sys2.add_assertion(gma.clone());
+        }
+        for eq in sys.equivalences() {
+            sys2.add_equivalence(eq.clone());
+        }
+        let sol2 = chase_system(&sys2, &RpsChaseConfig::default());
+        assert_eq!(sol2.stats.gma_firings, 0);
+        assert_eq!(sol1.graph.len(), sol2.graph.len());
+    }
+
+    #[test]
+    fn universal_solution_is_a_solution() {
+        let sys = two_peer_system();
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(is_solution(&sys, &sol.graph));
+        // The bare stored database is not (the GMA is violated).
+        assert!(!is_solution(&sys, &sys.stored_database()));
+    }
+
+    #[test]
+    fn equivalence_copies_all_three_positions() {
+        let mut p = PeerId(0);
+        let sys = RpsBuilder::new()
+            .peer_turtle(
+                "s",
+                "<http://x/a> <http://x/p> <http://x/b> .\n\
+                 <http://x/b> <http://x/a> <http://x/c> .\n\
+                 <http://x/c> <http://x/p> <http://x/a> .",
+                &mut p,
+            )
+            .unwrap()
+            .equivalence("http://x/a", "http://y/a2")
+            .build();
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(sol.complete);
+        let g = &sol.graph;
+        let contains = |s: &str, p: &str, o: &str| {
+            g.contains(&Triple::new(Term::iri(s), Term::iri(p), Term::iri(o)).unwrap())
+        };
+        // subject copy
+        assert!(contains("http://y/a2", "http://x/p", "http://x/b"));
+        // predicate copy
+        assert!(contains("http://x/b", "http://y/a2", "http://x/c"));
+        // object copy
+        assert!(contains("http://x/c", "http://x/p", "http://y/a2"));
+        assert!(is_solution(&sys, g));
+    }
+
+    #[test]
+    fn equivalence_chains_propagate_transitively() {
+        let mut p = PeerId(0);
+        let sys = RpsBuilder::new()
+            .peer_turtle("s", "<http://x/a> <http://x/p> <http://x/o> .", &mut p)
+            .unwrap()
+            .equivalence("http://x/a", "http://x/b")
+            .equivalence("http://x/b", "http://x/c")
+            .build();
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(sol
+            .graph
+            .contains(&Triple::new(Term::iri("http://x/c"), Term::iri("http://x/p"), Term::iri("http://x/o")).unwrap()));
+    }
+
+    #[test]
+    fn blank_tuples_do_not_fire_gmas() {
+        // The premise matches only via a blank-containing tuple; the
+        // certain semantics (the rt guard) suppresses the firing.
+        let mut a = PeerId(0);
+        let mut b = PeerId(0);
+        let premise = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/p"), TermOrVar::var("y")),
+        );
+        let conclusion = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/q"), TermOrVar::var("y")),
+        );
+        let sys = RpsBuilder::new()
+            .peer_turtle("A", "<http://a/s> <http://a/p> _:hidden .", &mut a)
+            .unwrap()
+            .peer_turtle("B", "<http://b/s> <http://b/q> <http://b/o> .", &mut b)
+            .unwrap()
+            .assertion(a, b, premise, conclusion)
+            .unwrap()
+            .build();
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(sol.complete);
+        assert_eq!(sol.stats.gma_firings, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let sys = two_peer_system();
+        let sol = chase_system(
+            &sys,
+            &RpsChaseConfig {
+                max_rounds: 0,
+                max_triples: 10,
+            },
+        );
+        assert!(!sol.complete);
+    }
+
+    #[test]
+    fn invalid_firings_are_counted_not_inserted() {
+        // Premise binds y to a literal; conclusion puts y in subject
+        // position — un-instantiable, must be skipped.
+        let mut a = PeerId(0);
+        let mut b = PeerId(0);
+        let premise = GraphPatternQuery::new(
+            vec![v("y")],
+            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/p"), TermOrVar::var("y")),
+        );
+        let conclusion = GraphPatternQuery::new(
+            vec![v("y")],
+            GraphPattern::triple(TermOrVar::var("y"), TermOrVar::iri("http://b/q"), TermOrVar::var("z")),
+        );
+        let sys = RpsBuilder::new()
+            .peer_turtle("A", "<http://a/s> <http://a/p> \"literal\" .", &mut a)
+            .unwrap()
+            .peer_turtle("B", "<http://b/s> <http://b/q> <http://b/o> .", &mut b)
+            .unwrap()
+            .assertion(a, b, premise, conclusion)
+            .unwrap()
+            .build();
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(sol.complete);
+        assert_eq!(sol.stats.gma_firings, 0);
+        assert_eq!(sol.stats.invalid_firings, 1);
+    }
+}

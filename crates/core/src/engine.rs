@@ -1,0 +1,219 @@
+//! High-level engine facade: choose between materialisation (Algorithm 1)
+//! and rewriting (Section 4) per query or automatically.
+
+use crate::answers::{certain_answers, AnswerSet};
+use crate::chase::{chase_system, RpsChaseConfig, UniversalSolution};
+use crate::equivalence::EquivalenceIndex;
+use crate::rewriting::RpsRewriter;
+use crate::system::RdfPeerSystem;
+use rps_query::GraphPatternQuery;
+use rps_tgd::RewriteConfig;
+
+/// Query-answering strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Materialise the universal solution once (Algorithm 1) and evaluate
+    /// queries over it. Amortises well under high query rates.
+    Materialise,
+    /// Rewrite each query into a UCQ over the sources (Proposition 2).
+    /// No materialisation; pays per query.
+    Rewrite,
+    /// Use rewriting when the mapping TGDs are FO-rewritable, otherwise
+    /// materialise.
+    #[default]
+    Auto,
+}
+
+/// How a query was actually answered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnswerRoute {
+    /// Evaluated over a materialised universal solution.
+    Materialised,
+    /// Evaluated through a (complete) UCQ rewriting.
+    Rewritten,
+}
+
+/// The engine: owns a system, lazily materialises, caches the rewriter.
+pub struct RpsEngine {
+    system: RdfPeerSystem,
+    strategy: Strategy,
+    chase_config: RpsChaseConfig,
+    rewrite_config: RewriteConfig,
+    solution: Option<UniversalSolution>,
+    rewriter: Option<RpsRewriter>,
+    equivalence_index: EquivalenceIndex,
+}
+
+impl RpsEngine {
+    /// Creates an engine with the default (Auto) strategy.
+    pub fn new(system: RdfPeerSystem) -> Self {
+        let equivalence_index = EquivalenceIndex::from_mappings(system.equivalences());
+        RpsEngine {
+            system,
+            strategy: Strategy::default(),
+            chase_config: RpsChaseConfig::default(),
+            rewrite_config: RewriteConfig::default(),
+            solution: None,
+            rewriter: None,
+            equivalence_index,
+        }
+    }
+
+    /// Sets the strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the chase budgets.
+    pub fn with_chase_config(mut self, config: RpsChaseConfig) -> Self {
+        self.chase_config = config;
+        self
+    }
+
+    /// Overrides the rewriting budgets.
+    pub fn with_rewrite_config(mut self, config: RewriteConfig) -> Self {
+        self.rewrite_config = config;
+        self
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &RdfPeerSystem {
+        &self.system
+    }
+
+    /// The union-find index over the system's equivalence mappings.
+    pub fn equivalence_index(&self) -> &EquivalenceIndex {
+        &self.equivalence_index
+    }
+
+    /// The materialised universal solution, chasing on first use.
+    pub fn universal_solution(&mut self) -> &UniversalSolution {
+        if self.solution.is_none() {
+            self.solution = Some(chase_system(&self.system, &self.chase_config));
+        }
+        self.solution.as_ref().expect("just materialised")
+    }
+
+    fn rewriter(&mut self) -> &mut RpsRewriter {
+        if self.rewriter.is_none() {
+            self.rewriter = Some(RpsRewriter::new(&self.system));
+        }
+        self.rewriter.as_mut().expect("just built")
+    }
+
+    /// Answers a query, returning the certain answers and the route
+    /// taken.
+    pub fn answer(&mut self, query: &GraphPatternQuery) -> (AnswerSet, AnswerRoute) {
+        let use_rewriting = match self.strategy {
+            Strategy::Materialise => false,
+            Strategy::Rewrite => true,
+            Strategy::Auto => self.rewriter().fo_rewritable(),
+        };
+        if use_rewriting {
+            let cfg = self.rewrite_config.clone();
+            let (answers, complete) = self.rewriter().answers(query, &cfg);
+            if complete {
+                return (answers, AnswerRoute::Rewritten);
+            }
+            // Incomplete rewriting is unsound to trust: fall back.
+        }
+        let sol = self.universal_solution();
+        (certain_answers(sol, query), AnswerRoute::Materialised)
+    }
+
+    /// Answers and removes equivalence-induced redundancy (Listing 1's
+    /// "Result without redundancy").
+    pub fn answer_without_redundancy(
+        &mut self,
+        query: &GraphPatternQuery,
+    ) -> (AnswerSet, AnswerRoute) {
+        let (ans, route) = self.answer(query);
+        (ans.without_redundancy(&self.equivalence_index), route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::RpsBuilder;
+    use crate::PeerId;
+    use rps_query::{GraphPattern, TermOrVar, Variable};
+    use rps_rdf::Term;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    fn linear_system() -> RdfPeerSystem {
+        let mut a = PeerId(0);
+        let mut b = PeerId(0);
+        let premise = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/actor"), TermOrVar::var("y")),
+        );
+        let conclusion = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/cast"), TermOrVar::var("y")),
+        );
+        RpsBuilder::new()
+            .peer_turtle("A", "<http://a/f1> <http://a/cast> <http://a/p1> .", &mut a)
+            .unwrap()
+            .peer_turtle("B", "<http://b/f2> <http://b/actor> <http://b/p2> .", &mut b)
+            .unwrap()
+            .assertion(b, a, premise, conclusion)
+            .unwrap()
+            .equivalence("http://a/p1", "http://b/p2")
+            .build()
+    }
+
+    fn cast_query() -> GraphPatternQuery {
+        GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/cast"), TermOrVar::var("y")),
+        )
+    }
+
+    #[test]
+    fn auto_uses_rewriting_for_linear_systems() {
+        let mut engine = RpsEngine::new(linear_system());
+        let (ans, route) = engine.answer(&cast_query());
+        assert_eq!(route, AnswerRoute::Rewritten);
+        assert_eq!(ans.len(), 4); // (f1,p1), (f1,p2)? no — see below
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let sys = linear_system();
+        let mut m = RpsEngine::new(sys.clone()).with_strategy(Strategy::Materialise);
+        let mut r = RpsEngine::new(sys).with_strategy(Strategy::Rewrite);
+        let (am, rm) = m.answer(&cast_query());
+        let (ar, rr) = r.answer(&cast_query());
+        assert_eq!(rm, AnswerRoute::Materialised);
+        assert_eq!(rr, AnswerRoute::Rewritten);
+        assert_eq!(am.tuples, ar.tuples);
+    }
+
+    #[test]
+    fn redundancy_free_answers_pick_representatives() {
+        let mut engine = RpsEngine::new(linear_system());
+        let (full, _) = engine.answer(&cast_query());
+        let (lean, _) = engine.answer_without_redundancy(&cast_query());
+        assert!(lean.len() < full.len());
+        // p1/p2 pairs collapse to one representative per subject.
+        for t in &lean.tuples {
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn materialise_route_answers_equivalence_queries() {
+        let mut engine = RpsEngine::new(linear_system()).with_strategy(Strategy::Materialise);
+        let (ans, route) = engine.answer(&cast_query());
+        assert_eq!(route, AnswerRoute::Materialised);
+        assert!(ans.tuples.contains(&vec![
+            Term::iri("http://a/f1"),
+            Term::iri("http://b/p2")
+        ]));
+    }
+}

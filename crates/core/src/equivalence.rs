@@ -1,0 +1,342 @@
+//! Equivalence-class machinery for `≡ₑ` mappings.
+//!
+//! Algorithm 1 saturates equivalence mappings by *copying triples* across
+//! equivalent IRIs in all three positions — simple, faithful to the
+//! paper, but quadratic in the class size (a class of `k` IRIs with `m`
+//! triples each materialises `k·m` variants of every triple).
+//!
+//! This module adds the engineering fast path used as an ablation in
+//! experiment E9: a union-find [`EquivalenceIndex`] with canonical
+//! representatives. Instead of saturating, the engine canonicalises the
+//! graph and queries, evaluates once, and *expands* answers over class
+//! members on demand. Property tests (and
+//! [`saturate_naive`] which implements the paper's repair literally)
+//! establish that both routes produce identical answer sets.
+
+use crate::mapping::EquivalenceMapping;
+use rps_rdf::{Graph, Iri, Term, Triple};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Union-find over IRIs with lexicographically-least canonical
+/// representatives.
+#[derive(Clone, Debug, Default)]
+pub struct EquivalenceIndex {
+    parent: HashMap<Iri, Iri>,
+    /// Canonical representative per class root (least member).
+    canon: HashMap<Iri, Iri>,
+    /// Members per canonical representative.
+    members: BTreeMap<Iri, BTreeSet<Iri>>,
+}
+
+impl EquivalenceIndex {
+    /// Builds the index from a set of equivalence mappings.
+    pub fn from_mappings(mappings: &[EquivalenceMapping]) -> Self {
+        let mut idx = EquivalenceIndex::default();
+        for m in mappings {
+            idx.union(&m.left, &m.right);
+        }
+        idx.rebuild_canonical();
+        idx
+    }
+
+    fn find_root(&mut self, iri: &Iri) -> Iri {
+        let mut cur = iri.clone();
+        let mut path = Vec::new();
+        while let Some(p) = self.parent.get(&cur) {
+            if p == &cur {
+                break;
+            }
+            path.push(cur.clone());
+            cur = p.clone();
+        }
+        for node in path {
+            self.parent.insert(node, cur.clone());
+        }
+        cur
+    }
+
+    fn union(&mut self, a: &Iri, b: &Iri) {
+        self.parent.entry(a.clone()).or_insert_with(|| a.clone());
+        self.parent.entry(b.clone()).or_insert_with(|| b.clone());
+        let ra = self.find_root(a);
+        let rb = self.find_root(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn rebuild_canonical(&mut self) {
+        let keys: Vec<Iri> = self.parent.keys().cloned().collect();
+        let mut classes: BTreeMap<Iri, BTreeSet<Iri>> = BTreeMap::new();
+        for k in keys {
+            let root = self.find_root(&k);
+            classes.entry(root).or_default().insert(k);
+        }
+        self.canon.clear();
+        self.members.clear();
+        for (root, members) in classes {
+            let canon = members.iter().next().expect("non-empty class").clone();
+            for m in &members {
+                self.canon.insert(m.clone(), canon.clone());
+            }
+            self.canon.insert(root, canon.clone());
+            self.members.insert(canon, members);
+        }
+    }
+
+    /// The canonical representative of an IRI (itself if unmapped).
+    pub fn canonical(&self, iri: &Iri) -> Iri {
+        self.canon.get(iri).cloned().unwrap_or_else(|| iri.clone())
+    }
+
+    /// The canonical form of a term (non-IRIs are untouched).
+    pub fn canonical_term(&self, term: &Term) -> Term {
+        match term {
+            Term::Iri(iri) => Term::Iri(self.canonical(iri)),
+            other => other.clone(),
+        }
+    }
+
+    /// `true` iff the two IRIs are in the same class.
+    pub fn same(&self, a: &Iri, b: &Iri) -> bool {
+        self.canonical(a) == self.canonical(b)
+    }
+
+    /// The members of an IRI's class (singleton if unmapped).
+    pub fn class_of(&self, iri: &Iri) -> BTreeSet<Iri> {
+        let canon = self.canonical(iri);
+        self.members
+            .get(&canon)
+            .cloned()
+            .unwrap_or_else(|| [iri.clone()].into_iter().collect())
+    }
+
+    /// The members of a term's class (singleton for non-IRIs).
+    pub fn class_of_term(&self, term: &Term) -> BTreeSet<Term> {
+        match term {
+            Term::Iri(iri) => self.class_of(iri).into_iter().map(Term::Iri).collect(),
+            other => [other.clone()].into_iter().collect(),
+        }
+    }
+
+    /// Iterates over non-trivial classes `(canonical, members)`.
+    pub fn classes(&self) -> impl Iterator<Item = (&Iri, &BTreeSet<Iri>)> {
+        self.members.iter().filter(|(_, m)| m.len() > 1)
+    }
+
+    /// Number of non-trivial classes.
+    pub fn class_count(&self) -> usize {
+        self.classes().count()
+    }
+}
+
+/// Saturates a graph under equivalence mappings exactly as Algorithm 1
+/// does: copy triples across each `c ≡ c'` pair in all three positions,
+/// both directions, until fixpoint. Returns the saturated graph.
+pub fn saturate_naive(graph: &Graph, mappings: &[EquivalenceMapping]) -> Graph {
+    let mut g = graph.clone();
+    loop {
+        let mut added = 0usize;
+        for eq in mappings {
+            let c = Term::Iri(eq.left.clone());
+            let cp = Term::Iri(eq.right.clone());
+            for pos in rps_rdf::TriplePosition::ALL {
+                added += copy_position(&mut g, &c, &cp, pos);
+                added += copy_position(&mut g, &cp, &c, pos);
+            }
+        }
+        if added == 0 {
+            return g;
+        }
+    }
+}
+
+fn copy_position(
+    graph: &mut Graph,
+    from: &Term,
+    to: &Term,
+    pos: rps_rdf::TriplePosition,
+) -> usize {
+    let Some(from_id) = graph.term_id(from) else {
+        return 0;
+    };
+    let (s, p, o) = match pos {
+        rps_rdf::TriplePosition::Subject => (Some(from_id), None, None),
+        rps_rdf::TriplePosition::Predicate => (None, Some(from_id), None),
+        rps_rdf::TriplePosition::Object => (None, None, Some(from_id)),
+    };
+    let matches: Vec<_> = graph.match_ids(s, p, o).collect();
+    if matches.is_empty() {
+        return 0;
+    }
+    let to_id = graph.intern(to);
+    let mut added = 0;
+    for t in matches {
+        if graph.insert_ids(t.with(pos, to_id)) {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Rewrites a graph onto canonical representatives: every IRI is replaced
+/// by its class canonical. The result is the quotient graph the fast
+/// path evaluates against.
+pub fn canonicalize_graph(graph: &Graph, index: &EquivalenceIndex) -> Graph {
+    let mut out = Graph::new();
+    for t in graph.iter() {
+        let nt = Triple::new_unchecked(
+            index.canonical_term(t.subject()),
+            index.canonical_term(t.predicate()),
+            index.canonical_term(t.object()),
+        );
+        out.insert(&nt);
+    }
+    out
+}
+
+/// Rewrites a graph pattern query's constants onto canonical
+/// representatives (the query-side half of the quotient construction).
+pub fn canonicalize_query(
+    query: &rps_query::GraphPatternQuery,
+    index: &EquivalenceIndex,
+) -> rps_query::GraphPatternQuery {
+    let pattern = rps_query::GraphPattern::from_patterns(
+        query
+            .pattern()
+            .patterns()
+            .iter()
+            .map(|tp| {
+                let fix = |tv: &rps_query::TermOrVar| match tv {
+                    rps_query::TermOrVar::Term(t) => {
+                        rps_query::TermOrVar::Term(index.canonical_term(t))
+                    }
+                    v => v.clone(),
+                };
+                rps_query::TriplePattern::new(fix(&tp.s), fix(&tp.p), fix(&tp.o))
+            })
+            .collect(),
+    );
+    rps_query::GraphPatternQuery::new(query.free_vars().to_vec(), pattern)
+}
+
+/// Expands answer tuples over equivalence classes: each position ranges
+/// over the class of its term, producing the cross product. This is the
+/// inverse of canonicalisation: evaluating a canonicalised query over
+/// the canonical graph and expanding yields exactly the answers over the
+/// naively saturated graph.
+pub fn expand_answers(
+    answers: &BTreeSet<Vec<Term>>,
+    index: &EquivalenceIndex,
+) -> BTreeSet<Vec<Term>> {
+    let mut out = BTreeSet::new();
+    for tuple in answers {
+        let choices: Vec<Vec<Term>> = tuple
+            .iter()
+            .map(|t| index.class_of_term(t).into_iter().collect())
+            .collect();
+        cross_product(&choices, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+fn cross_product(
+    choices: &[Vec<Term>],
+    prefix: &mut Vec<Term>,
+    out: &mut BTreeSet<Vec<Term>>,
+) {
+    if prefix.len() == choices.len() {
+        out.insert(prefix.clone());
+        return;
+    }
+    for t in &choices[prefix.len()] {
+        prefix.push(t.clone());
+        cross_product(choices, prefix, out);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rps_query::{evaluate_query, GraphPattern, GraphPatternQuery, Semantics, TermOrVar, Variable};
+
+    fn eq(a: &str, b: &str) -> EquivalenceMapping {
+        EquivalenceMapping::new(Iri::new(a), Iri::new(b))
+    }
+
+    #[test]
+    fn union_find_transitivity() {
+        let idx = EquivalenceIndex::from_mappings(&[eq("b", "a"), eq("b", "c"), eq("x", "y")]);
+        assert!(idx.same(&Iri::new("a"), &Iri::new("c")));
+        assert!(!idx.same(&Iri::new("a"), &Iri::new("x")));
+        assert_eq!(idx.canonical(&Iri::new("c")), Iri::new("a"));
+        assert_eq!(idx.class_of(&Iri::new("b")).len(), 3);
+        assert_eq!(idx.class_count(), 2);
+        // Unmapped IRIs are their own canonical singleton class.
+        assert_eq!(idx.canonical(&Iri::new("zzz")), Iri::new("zzz"));
+        assert_eq!(idx.class_of(&Iri::new("zzz")).len(), 1);
+    }
+
+    #[test]
+    fn naive_saturation_fixpoint() {
+        let g = rps_rdf::turtle::parse("<a> <p> <o> .").unwrap();
+        let sat = saturate_naive(&g, &[eq("a", "b"), eq("b", "c")]);
+        // a, b, c each as subject → 3 triples.
+        assert_eq!(sat.len(), 3);
+        assert!(sat.contains(&Triple::new(Term::iri("c"), Term::iri("p"), Term::iri("o")).unwrap()));
+    }
+
+    #[test]
+    fn canonical_route_equals_naive_route() {
+        let g = rps_rdf::turtle::parse(
+            "<a> <p> <o> .\n<x> <a> <y> .\n<m> <q> <a2> .\n<other> <p> <o2> .",
+        )
+        .unwrap();
+        let mappings = [eq("a", "a2"), eq("o", "o2")];
+        let index = EquivalenceIndex::from_mappings(&mappings);
+
+        // Query: q(s) <- (s, p, o_var) with constant p.
+        let q = GraphPatternQuery::new(
+            vec![Variable::new("s"), Variable::new("v")],
+            GraphPattern::triple(TermOrVar::var("s"), TermOrVar::iri("p"), TermOrVar::var("v")),
+        );
+        // Naive route.
+        let naive = evaluate_query(&saturate_naive(&g, &mappings), &q, Semantics::Star);
+        // Canonical route: canonicalise graph AND query constants, then
+        // expand.
+        let canon_graph = canonicalize_graph(&g, &index);
+        let canon_q = GraphPatternQuery::new(
+            q.free_vars().to_vec(),
+            q.pattern().substitute(&|_| None).clone(),
+        ); // the query has no IRI constants needing canonicalisation except p (unmapped)
+        let canon_answers = evaluate_query(&canon_graph, &canon_q, Semantics::Star);
+        let expanded = expand_answers(&canon_answers, &index);
+        assert_eq!(naive, expanded);
+    }
+
+    #[test]
+    fn expansion_is_cross_product() {
+        let index = EquivalenceIndex::from_mappings(&[eq("a", "b")]);
+        let answers: BTreeSet<Vec<Term>> =
+            [vec![Term::iri("a"), Term::iri("a")]].into_iter().collect();
+        let expanded = expand_answers(&answers, &index);
+        assert_eq!(expanded.len(), 4);
+    }
+
+    #[test]
+    fn canonicalize_graph_shrinks() {
+        let g = rps_rdf::turtle::parse("<a> <p> <o> .\n<b> <p> <o> .").unwrap();
+        let index = EquivalenceIndex::from_mappings(&[eq("a", "b")]);
+        let c = canonicalize_graph(&g, &index);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn literals_are_never_merged() {
+        let index = EquivalenceIndex::from_mappings(&[eq("a", "b")]);
+        let lit = Term::literal("a");
+        assert_eq!(index.canonical_term(&lit), lit);
+        assert_eq!(index.class_of_term(&lit).len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! # rps-core — RDF Peer Systems
+//!
+//! The primary contribution of *Peer-to-Peer Semantic Integration of
+//! Linked Data* (Dimartino, Calì, Poulovassilis, Wood; EDBT/ICDT 2015
+//! workshops): a peer-to-peer data-integration framework for Linked Data
+//! with
+//!
+//! * **peers** carrying peer schemas and stored RDF databases
+//!   ([`peer`]),
+//! * **graph mapping assertions** `Q ⇝ Q'` and **equivalence mappings**
+//!   `c ≡ₑ c'` ([`mapping`]), assembled into systems `P = (S, G, E)`
+//!   ([`system`]),
+//! * **Algorithm 1** — the chase producing a universal solution, over
+//!   which certain answers are evaluated ([`chase`], [`answers`]);
+//!   Theorem 1 (PTIME data complexity) is exercised by the `rps-bench`
+//!   scaling experiments,
+//! * the **Section 3 reduction** to relational data exchange
+//!   ([`encode`]),
+//! * the **Section 4 rewriting** machinery — classification-driven UCQ
+//!   rewriting (Proposition 2), the Boolean certain-answer procedure of
+//!   Example 3 / Listing 2, and the non-FO-rewritability witness of
+//!   Proposition 3 ([`rewriting`]),
+//! * a union-find fast path for equivalence saturation used as an
+//!   engineering ablation ([`equivalence`]),
+//! * a high-level [`engine::RpsEngine`] facade choosing between
+//!   materialisation and rewriting.
+
+#![warn(missing_docs)]
+
+pub mod answers;
+pub mod chase;
+pub mod datalog_route;
+pub mod discovery;
+pub mod encode;
+pub mod engine;
+pub mod equivalence;
+pub mod mapping;
+pub mod peer;
+pub mod rewriting;
+pub mod system;
+
+pub use answers::{certain_answers, certain_answers_union, AnswerSet};
+pub use chase::{chase_system, is_solution, RpsChaseConfig, RpsChaseStats, UniversalSolution};
+pub use datalog_route::DatalogEngine;
+pub use discovery::{discover, evaluate as evaluate_discovery, Candidate, DiscoveryConfig, DiscoveryQuality};
+pub use encode::{encode_system, graph_as_tt, query_to_cq, DataExchange, Encoder};
+pub use engine::{AnswerRoute, RpsEngine, Strategy};
+pub use equivalence::{
+    canonicalize_graph, expand_answers, saturate_naive, EquivalenceIndex,
+};
+pub use mapping::{EquivalenceMapping, GraphMappingAssertion, MappingError};
+pub use peer::{Peer, PeerId, PeerValidationError};
+pub use rewriting::{cq_to_pattern, RpsRewriter, RpsRewriting};
+pub use system::{RdfPeerSystem, RpsBuilder, SystemValidationError};

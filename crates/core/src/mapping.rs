@@ -1,0 +1,231 @@
+//! Peer mappings: graph mapping assertions `Q ⇝ Q'` and equivalence
+//! mappings `c ≡ₑ c'` (paper Section 2.2).
+
+use crate::peer::PeerId;
+use rps_query::{GraphPatternQuery, TermOrVar};
+use rps_rdf::Iri;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A graph mapping assertion `Q ⇝ Q'` between two peers.
+///
+/// `Q` and `Q'` are graph pattern queries of the same arity over the
+/// schemas of the source and target peer respectively. Semantics
+/// (Definition 2, item 2): in every solution `I`, `Q_I ⊆ Q'_I`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphMappingAssertion {
+    /// The peer whose vocabulary `Q` is expressed in.
+    pub source: PeerId,
+    /// The peer whose vocabulary `Q'` is expressed in.
+    pub target: PeerId,
+    /// The premise query `Q`.
+    pub premise: GraphPatternQuery,
+    /// The conclusion query `Q'`.
+    pub conclusion: GraphPatternQuery,
+}
+
+impl GraphMappingAssertion {
+    /// Creates an assertion, validating arity agreement and query safety.
+    pub fn new(
+        source: PeerId,
+        target: PeerId,
+        premise: GraphPatternQuery,
+        conclusion: GraphPatternQuery,
+    ) -> Result<Self, MappingError> {
+        if premise.arity() != conclusion.arity() {
+            return Err(MappingError::ArityMismatch {
+                premise: premise.arity(),
+                conclusion: conclusion.arity(),
+            });
+        }
+        if !premise.is_safe() || !conclusion.is_safe() {
+            return Err(MappingError::UnsafeQuery);
+        }
+        Ok(GraphMappingAssertion {
+            source,
+            target,
+            premise,
+            conclusion,
+        })
+    }
+
+    /// The arity shared by premise and conclusion.
+    pub fn arity(&self) -> usize {
+        self.premise.arity()
+    }
+
+    /// The IRIs used by a query (for schema-conformance checks).
+    pub fn iris_of(query: &GraphPatternQuery) -> BTreeSet<Iri> {
+        let mut out = BTreeSet::new();
+        for p in query.pattern().patterns() {
+            for tv in [&p.s, &p.p, &p.o] {
+                if let TermOrVar::Term(rps_rdf::Term::Iri(iri)) = tv {
+                    out.insert(iri.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for GraphMappingAssertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ~> {}  ({} to {})",
+            self.premise, self.conclusion, self.source, self.target
+        )
+    }
+}
+
+/// An equivalence mapping `c ≡ₑ c'` between IRIs of two peers, the
+/// formalisation of an `owl:sameAs` link (Definition 2, item 3).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EquivalenceMapping {
+    /// Left IRI (`c`).
+    pub left: Iri,
+    /// Right IRI (`c'`).
+    pub right: Iri,
+}
+
+impl EquivalenceMapping {
+    /// Creates an equivalence mapping.
+    pub fn new(left: Iri, right: Iri) -> Self {
+        EquivalenceMapping { left, right }
+    }
+
+    /// A canonical form with the lexicographically smaller IRI first —
+    /// the relation is symmetric, so `(a ≡ b)` and `(b ≡ a)` coincide.
+    pub fn canonical(&self) -> EquivalenceMapping {
+        if self.left <= self.right {
+            self.clone()
+        } else {
+            EquivalenceMapping {
+                left: self.right.clone(),
+                right: self.left.clone(),
+            }
+        }
+    }
+
+    /// `true` iff the mapping is trivial (`c ≡ c`).
+    pub fn is_trivial(&self) -> bool {
+        self.left == self.right
+    }
+}
+
+impl fmt::Display for EquivalenceMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ≡ {}", self.left, self.right)
+    }
+}
+
+/// Errors constructing mappings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MappingError {
+    /// Premise and conclusion have different arities.
+    ArityMismatch {
+        /// Arity of `Q`.
+        premise: usize,
+        /// Arity of `Q'`.
+        conclusion: usize,
+    },
+    /// A query's free variables do not all occur in its body.
+    UnsafeQuery,
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::ArityMismatch {
+                premise,
+                conclusion,
+            } => write!(
+                f,
+                "graph mapping assertion arity mismatch: premise {premise}, conclusion {conclusion}"
+            ),
+            MappingError::UnsafeQuery => write!(f, "mapping query is unsafe"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rps_query::{GraphPattern, Variable};
+
+    fn q1() -> GraphPatternQuery {
+        // q(x, y) <- (x, starring, z) AND (z, artist, y)
+        GraphPatternQuery::new(
+            vec![Variable::new("x"), Variable::new("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://v/starring"),
+                TermOrVar::var("z"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("z"),
+                TermOrVar::iri("http://v/artist"),
+                TermOrVar::var("y"),
+            )),
+        )
+    }
+
+    fn q2() -> GraphPatternQuery {
+        // q(x, y) <- (x, actor, y)
+        GraphPatternQuery::new(
+            vec![Variable::new("x"), Variable::new("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://v/actor"),
+                TermOrVar::var("y"),
+            ),
+        )
+    }
+
+    #[test]
+    fn paper_assertion_validates() {
+        let gma = GraphMappingAssertion::new(PeerId(1), PeerId(0), q2(), q1()).unwrap();
+        assert_eq!(gma.arity(), 2);
+        let iris = GraphMappingAssertion::iris_of(&gma.conclusion);
+        assert!(iris.contains(&Iri::new("http://v/starring")));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let q_one = GraphPatternQuery::new(
+            vec![Variable::new("x")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://v/actor"),
+                TermOrVar::var("y"),
+            ),
+        );
+        let err = GraphMappingAssertion::new(PeerId(0), PeerId(1), q_one, q1()).unwrap_err();
+        assert!(matches!(err, MappingError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unsafe_query_rejected() {
+        let bad = GraphPatternQuery::new(
+            vec![Variable::new("nope"), Variable::new("x")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://v/actor"),
+                TermOrVar::var("y"),
+            ),
+        );
+        let err = GraphMappingAssertion::new(PeerId(0), PeerId(1), bad, q2()).unwrap_err();
+        assert_eq!(err, MappingError::UnsafeQuery);
+    }
+
+    #[test]
+    fn equivalence_canonicalisation() {
+        let e1 = EquivalenceMapping::new(Iri::new("http://b"), Iri::new("http://a"));
+        let e2 = EquivalenceMapping::new(Iri::new("http://a"), Iri::new("http://b"));
+        assert_eq!(e1.canonical(), e2.canonical());
+        assert!(!e1.is_trivial());
+        assert!(EquivalenceMapping::new(Iri::new("x"), Iri::new("x")).is_trivial());
+    }
+}

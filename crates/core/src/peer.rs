@@ -1,0 +1,163 @@
+//! Peers and peer schemas (paper Section 2.2).
+//!
+//! A peer is characterised by its *peer schema* — the set of IRIs it uses
+//! to describe data — and its stored RDF database. Peer schemas need not
+//! be disjoint: real Linked Data sources share IRIs.
+
+use rps_rdf::{Graph, Iri, Term, Triple};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a peer within an RPS (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PeerId(pub usize);
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+/// A peer: name, schema `S ⊆ I` and stored database `d`.
+#[derive(Clone, Debug)]
+pub struct Peer {
+    /// Human-readable name (e.g. "Source 1").
+    pub name: String,
+    /// The peer schema: the IRIs this peer uses in its triples.
+    pub schema: BTreeSet<Iri>,
+    /// The peer's stored RDF database.
+    pub database: Graph,
+}
+
+impl Peer {
+    /// Creates a peer whose schema is inferred from its database (the set
+    /// of IRIs occurring in any triple), mirroring how the paper derives
+    /// `S_i` from the i-th source in Example 2.
+    pub fn from_database(name: impl Into<String>, database: Graph) -> Self {
+        let schema = database.iris_used();
+        Peer {
+            name: name.into(),
+            schema,
+            database,
+        }
+    }
+
+    /// Creates a peer with an explicit schema.
+    pub fn with_schema(
+        name: impl Into<String>,
+        schema: BTreeSet<Iri>,
+        database: Graph,
+    ) -> Self {
+        Peer {
+            name: name.into(),
+            schema,
+            database,
+        }
+    }
+
+    /// Checks the storage constraint of Section 2.3: every stored triple
+    /// must be in `(S ∪ B) × S × (S ∪ B ∪ L)`.
+    #[allow(clippy::result_large_err)] // the offending triple is the useful payload
+    pub fn validate(&self) -> Result<(), PeerValidationError> {
+        for triple in self.database.iter() {
+            let ok_subject = match triple.subject() {
+                Term::Iri(iri) => self.schema.contains(iri),
+                Term::Blank(_) => true,
+                Term::Literal(_) => false,
+            };
+            let ok_predicate = match triple.predicate() {
+                Term::Iri(iri) => self.schema.contains(iri),
+                _ => false,
+            };
+            let ok_object = match triple.object() {
+                Term::Iri(iri) => self.schema.contains(iri),
+                Term::Blank(_) | Term::Literal(_) => true,
+            };
+            if !(ok_subject && ok_predicate && ok_object) {
+                return Err(PeerValidationError {
+                    peer: self.name.clone(),
+                    triple,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff this peer's schema contains the IRI.
+    pub fn knows(&self, iri: &Iri) -> bool {
+        self.schema.contains(iri)
+    }
+
+    /// Number of stored triples.
+    pub fn size(&self) -> usize {
+        self.database.len()
+    }
+}
+
+/// A stored triple uses an IRI outside the peer's schema.
+#[derive(Clone, Debug)]
+pub struct PeerValidationError {
+    /// Offending peer name.
+    pub peer: String,
+    /// Offending triple.
+    pub triple: Triple,
+}
+
+impl fmt::Display for PeerValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peer {:?} stores a triple outside its schema: {}",
+            self.peer, self.triple
+        )
+    }
+}
+
+impl std::error::Error for PeerValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Graph {
+        rps_rdf::turtle::parse(
+            "@prefix e: <http://e/> .\n\
+             e:s e:p e:o .\n\
+             _:b e:p \"lit\" .\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_inference() {
+        let p = Peer::from_database("Source 1", db());
+        assert_eq!(p.schema.len(), 3);
+        assert!(p.knows(&Iri::new("http://e/p")));
+        assert!(!p.knows(&Iri::new("http://e/other")));
+        assert_eq!(p.size(), 2);
+    }
+
+    #[test]
+    fn inferred_schema_validates() {
+        let p = Peer::from_database("Source 1", db());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn narrow_schema_fails_validation() {
+        let schema: BTreeSet<Iri> = [Iri::new("http://e/p")].into_iter().collect();
+        let p = Peer::with_schema("narrow", schema, db());
+        let err = p.validate().unwrap_err();
+        assert_eq!(err.peer, "narrow");
+    }
+
+    #[test]
+    fn blanks_and_literals_always_allowed() {
+        let mut g = Graph::new();
+        g.insert_terms(Term::blank("x"), Term::iri("http://e/p"), Term::literal("v"))
+            .unwrap();
+        let p = Peer::from_database("b", g);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.schema.len(), 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! Parameterised film/people workload generator mirroring the shape of
+//! the paper's Figure 1: several film sources with overlapping entities,
+//! `sameAs` links between duplicated persons, and graph mapping
+//! assertions along a configurable topology.
+//!
+//! Everything is seeded and deterministic, so experiments are exactly
+//! reproducible.
+
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rps_core::{
+    EquivalenceMapping, GraphMappingAssertion, Peer, PeerId, RdfPeerSystem,
+};
+use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
+use rps_rdf::{Graph, Iri, Term};
+
+/// Configuration of a synthetic film workload.
+#[derive(Clone, Debug)]
+pub struct FilmConfig {
+    /// Number of peers (sources).
+    pub peers: usize,
+    /// Films per peer.
+    pub films_per_peer: usize,
+    /// Actors per film (drawn from the shared person pool).
+    pub actors_per_film: usize,
+    /// Size of the shared person pool per peer.
+    pub person_pool: usize,
+    /// Number of `sameAs` links generated between consecutive peers'
+    /// person entities.
+    pub sameas_per_pair: usize,
+    /// Mapping topology over the peers.
+    pub topology: Topology,
+    /// If set, peer 0 models films with the two-triple
+    /// `starring`/`artist` shape (through a blank node) as in Figure 1's
+    /// Source 1; mapping conclusions targeting peer 0 then contain an
+    /// existential variable.
+    pub hub_style: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FilmConfig {
+    fn default() -> Self {
+        FilmConfig {
+            peers: 3,
+            films_per_peer: 50,
+            actors_per_film: 3,
+            person_pool: 100,
+            sameas_per_pair: 20,
+            topology: Topology::Chain,
+            hub_style: false,
+            seed: 42,
+        }
+    }
+}
+
+/// The namespace of a generated peer.
+pub fn peer_ns(peer: usize) -> String {
+    format!("http://source{peer}.example.org/")
+}
+
+fn iri(peer: usize, local: &str) -> Term {
+    Term::iri(format!("{}{local}", peer_ns(peer)))
+}
+
+/// The `actor` predicate of a peer.
+pub fn actor_pred(peer: usize) -> Iri {
+    Iri::new(format!("{}actor", peer_ns(peer)))
+}
+
+/// The `starring` predicate of the hub peer (hub style only).
+pub fn starring_pred(peer: usize) -> Iri {
+    Iri::new(format!("{}starring", peer_ns(peer)))
+}
+
+/// The `artist` predicate of the hub peer (hub style only).
+pub fn artist_pred(peer: usize) -> Iri {
+    Iri::new(format!("{}artist", peer_ns(peer)))
+}
+
+/// Generates the film system for a configuration.
+pub fn film_system(cfg: &FilmConfig) -> RdfPeerSystem {
+    assert!(cfg.peers >= 1, "need at least one peer");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut system = RdfPeerSystem::new();
+
+    // --- Peer databases. ---
+    for p in 0..cfg.peers {
+        let mut g = Graph::new();
+        for f in 0..cfg.films_per_peer {
+            let film = iri(p, &format!("film{f}"));
+            for a in 0..cfg.actors_per_film {
+                let person_idx = rng.gen_range(0..cfg.person_pool.max(1));
+                let person = iri(p, &format!("person{person_idx}"));
+                if cfg.hub_style && p == 0 {
+                    let blank = Term::blank(format!("c_{f}_{a}"));
+                    g.insert_terms(
+                        film.clone(),
+                        Term::Iri(starring_pred(0)),
+                        blank.clone(),
+                    )
+                    .expect("valid triple");
+                    g.insert_terms(blank, Term::Iri(artist_pred(0)), person)
+                        .expect("valid triple");
+                } else {
+                    g.insert_terms(film.clone(), Term::Iri(actor_pred(p)), person)
+                        .expect("valid triple");
+                }
+            }
+        }
+        system.add_peer(Peer::from_database(format!("source{p}"), g));
+    }
+
+    // --- sameAs-style equivalences between consecutive peers. ---
+    for p in 0..cfg.peers.saturating_sub(1) {
+        for _ in 0..cfg.sameas_per_pair {
+            let person_idx = rng.gen_range(0..cfg.person_pool.max(1));
+            let left = Iri::new(format!("{}person{person_idx}", peer_ns(p)));
+            let right = Iri::new(format!("{}person{person_idx}", peer_ns(p + 1)));
+            system.add_equivalence(EquivalenceMapping::new(left, right));
+        }
+    }
+
+    // --- Graph mapping assertions along the topology. ---
+    for (src, dst) in cfg.topology.edges(cfg.peers) {
+        let premise = actor_shape_query(src, cfg.hub_style);
+        let conclusion = actor_shape_query(dst, cfg.hub_style);
+        system.add_assertion(
+            GraphMappingAssertion::new(PeerId(src), PeerId(dst), premise, conclusion)
+                .expect("generated mappings are well-formed"),
+        );
+    }
+
+    system
+}
+
+/// The canonical "film casts person" query of a peer: single-triple
+/// `actor` form, or the two-triple `starring`/`artist` form for a
+/// hub-style peer 0.
+pub fn actor_shape_query(peer: usize, hub_style: bool) -> GraphPatternQuery {
+    let x = Variable::new("x");
+    let y = Variable::new("y");
+    if hub_style && peer == 0 {
+        GraphPatternQuery::new(
+            vec![x.clone(), y.clone()],
+            GraphPattern::triple(
+                TermOrVar::Var(x),
+                TermOrVar::Term(Term::Iri(starring_pred(0))),
+                TermOrVar::var("z"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("z"),
+                TermOrVar::Term(Term::Iri(artist_pred(0))),
+                TermOrVar::Var(y),
+            )),
+        )
+    } else {
+        GraphPatternQuery::new(
+            vec![x.clone(), y.clone()],
+            GraphPattern::triple(
+                TermOrVar::Var(x),
+                TermOrVar::Term(Term::Iri(actor_pred(peer))),
+                TermOrVar::Var(y),
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rps_core::{chase_system, RpsChaseConfig};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FilmConfig::default();
+        let a = film_system(&cfg);
+        let b = film_system(&cfg);
+        assert_eq!(a.stored_database(), b.stored_database());
+        assert_eq!(a.equivalences(), b.equivalences());
+        assert_eq!(a.assertions().len(), b.assertions().len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = film_system(&FilmConfig::default());
+        let b = film_system(&FilmConfig {
+            seed: 43,
+            ..FilmConfig::default()
+        });
+        assert_ne!(a.stored_database(), b.stored_database());
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = FilmConfig {
+            peers: 4,
+            films_per_peer: 10,
+            actors_per_film: 2,
+            person_pool: 30,
+            sameas_per_pair: 5,
+            topology: Topology::Chain,
+            hub_style: false,
+            seed: 7,
+        };
+        let sys = film_system(&cfg);
+        assert_eq!(sys.peers().len(), 4);
+        // Chain topology: 3 edges.
+        assert_eq!(sys.assertions().len(), 3);
+        // Each peer stores at most films*actors triples (duplicates
+        // collapse under set semantics).
+        for p in sys.peers() {
+            assert!(p.size() <= 20);
+            assert!(p.size() > 0);
+        }
+        assert!(sys.validate().is_ok());
+    }
+
+    #[test]
+    fn hub_style_produces_existential_mappings() {
+        let cfg = FilmConfig {
+            peers: 3,
+            films_per_peer: 5,
+            actors_per_film: 1,
+            person_pool: 10,
+            sameas_per_pair: 3,
+            topology: Topology::Star { hub: 0 },
+            hub_style: true,
+            seed: 1,
+        };
+        let sys = film_system(&cfg);
+        assert!(sys.validate().is_ok());
+        // Star edges point to the hub; conclusions have an existential z.
+        for gma in sys.assertions() {
+            assert_eq!(gma.target, PeerId(0));
+            assert_eq!(gma.conclusion.existential_vars().len(), 1);
+        }
+        // And the chase still terminates (Theorem 1).
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(sol.complete);
+        assert!(sol.stats.blanks_created > 0);
+    }
+
+    #[test]
+    fn chain_system_chases_to_fixpoint() {
+        let sys = film_system(&FilmConfig {
+            films_per_peer: 10,
+            person_pool: 20,
+            ..FilmConfig::default()
+        });
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(sol.complete);
+        // The chain mappings push peer 0's casts into peer 2's vocabulary.
+        let q = actor_shape_query(2, false);
+        let ans = rps_query::evaluate_query(
+            &sol.graph,
+            &q,
+            rps_query::Semantics::Certain,
+        );
+        assert!(!ans.is_empty());
+    }
+}

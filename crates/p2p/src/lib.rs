@@ -1,0 +1,32 @@
+//! # rps-p2p — simulated peer-to-peer query federation
+//!
+//! Section 5 of *Peer-to-Peer Semantic Integration of Linked Data*
+//! sketches a prototype that (a) rewrites a SPARQL query to entail the
+//! peer mappings and (b) performs federated querying over the sources,
+//! joining sub-query results transparently. The paper gives no
+//! implementation or measurements; this crate builds the closest
+//! laptop-scale equivalent:
+//!
+//! * [`network`] — a deterministic message-accounting simulator with a
+//!   latency/bandwidth cost model (no sockets; the experiments need
+//!   message counts, bytes and critical-path estimates, not real I/O);
+//! * [`routing`] — schema-based routing: an inverted IRI→peers index
+//!   prunes which peers receive each sub-query (peer schemas are exactly
+//!   the paper's notion of "the IRIs adopted by the peer");
+//! * [`federation`] — pattern-level federated evaluation with
+//!   originator-side joins, proven (by tests) to coincide with
+//!   centralised evaluation over the stored database;
+//! * [`service`] — the full prototype pipeline: rewrite → decode →
+//!   federate.
+
+#![warn(missing_docs)]
+
+pub mod federation;
+pub mod network;
+pub mod routing;
+pub mod service;
+
+pub use federation::{FederatedEngine, FederationStats};
+pub use network::{CostModel, Message, NodeId, SimNetwork};
+pub use routing::SchemaIndex;
+pub use service::{P2pQueryService, ServiceAnswer};

@@ -1,0 +1,162 @@
+//! A deterministic message-accounting network simulator.
+//!
+//! The paper's Section 5 prototype sketch performs *federated querying
+//! over the sources*; what matters for the scalability story is how many
+//! messages and bytes cross the network and how the critical path grows
+//! with the number of peers. This simulator models exactly that — no
+//! sockets, no threads, fully deterministic.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a network node (aligned with `rps_core::PeerId.0`; the
+/// originator gets its own id).
+pub type NodeId = usize;
+
+/// A latency/bandwidth cost model.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// One-way latency per message, in simulated milliseconds.
+    pub latency_ms: f64,
+    /// Transfer cost per kilobyte, in simulated milliseconds.
+    pub ms_per_kb: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            latency_ms: 10.0,
+            ms_per_kb: 0.1,
+        }
+    }
+}
+
+/// One recorded message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// Sender node.
+    pub from: NodeId,
+    /// Receiver node.
+    pub to: NodeId,
+    /// Payload size in bytes (approximated from the query/answer text).
+    pub bytes: usize,
+    /// A short label ("subquery", "answers", …) for traces.
+    pub kind: &'static str,
+}
+
+/// The simulated network: records messages and derives cost statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SimNetwork {
+    messages: Vec<Message>,
+}
+
+impl SimNetwork {
+    /// A fresh network with no recorded traffic.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message.
+    pub fn send(&mut self, from: NodeId, to: NodeId, bytes: usize, kind: &'static str) {
+        self.messages.push(Message {
+            from,
+            to,
+            bytes,
+            kind,
+        });
+    }
+
+    /// All recorded messages, in order.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Total number of messages.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Total bytes transferred.
+    pub fn total_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Bytes per message kind (for traces/reports).
+    pub fn bytes_by_kind(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for m in &self.messages {
+            *out.entry(m.kind).or_insert(0) += m.bytes;
+        }
+        out
+    }
+
+    /// Simulated makespan of one federated round under a cost model:
+    /// requests fan out in parallel, so the critical path is the slowest
+    /// per-peer exchange (request latency + response latency + transfer).
+    ///
+    /// Messages are grouped by remote node; each group's cost is
+    /// `2·latency + bytes/kb · ms_per_kb`, and the round cost is the
+    /// maximum over groups.
+    pub fn round_makespan_ms(&self, model: &CostModel, originator: NodeId) -> f64 {
+        let mut per_peer: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for m in &self.messages {
+            let remote = if m.from == originator { m.to } else { m.from };
+            *per_peer.entry(remote).or_insert(0) += m.bytes;
+        }
+        per_peer
+            .values()
+            .map(|&bytes| 2.0 * model.latency_ms + (bytes as f64 / 1024.0) * model.ms_per_kb)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total serial cost (sum over all messages), the pessimistic bound.
+    pub fn serial_cost_ms(&self, model: &CostModel) -> f64 {
+        self.messages
+            .iter()
+            .map(|m| model.latency_ms + (m.bytes as f64 / 1024.0) * model.ms_per_kb)
+            .sum()
+    }
+
+    /// Clears recorded traffic (e.g. between queries).
+    pub fn reset(&mut self) {
+        self.messages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut n = SimNetwork::new();
+        n.send(0, 1, 100, "subquery");
+        n.send(1, 0, 2048, "answers");
+        n.send(0, 2, 100, "subquery");
+        assert_eq!(n.message_count(), 3);
+        assert_eq!(n.total_bytes(), 2248);
+        assert_eq!(n.bytes_by_kind()["subquery"], 200);
+    }
+
+    #[test]
+    fn makespan_is_max_over_peers() {
+        let mut n = SimNetwork::new();
+        let model = CostModel {
+            latency_ms: 5.0,
+            ms_per_kb: 1.0,
+        };
+        n.send(0, 1, 1024, "subquery"); // peer 1: 1 KB
+        n.send(0, 2, 4096, "subquery"); // peer 2: 4 KB (critical)
+        let makespan = n.round_makespan_ms(&model, 0);
+        assert!((makespan - (10.0 + 4.0)).abs() < 1e-9);
+        // Serial cost adds everything.
+        assert!(n.serial_cost_ms(&model) > makespan);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut n = SimNetwork::new();
+        n.send(0, 1, 10, "x");
+        n.reset();
+        assert_eq!(n.message_count(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Query algebra above single graph patterns: unions of conjunctive
+//! queries (UCQs), SELECT and ASK forms.
+//!
+//! The rewriting algorithms of Section 4 produce unions of conjunctive
+//! SPARQL queries (Listing 2 rewrites an ASK into a UNION of two ASKs),
+//! so the algebra models a query as a *set of branches*, each branch a
+//! [`GraphPattern`].
+
+use crate::eval::{evaluate_query, has_match, Semantics};
+use crate::pattern::{GraphPattern, GraphPatternQuery, Variable};
+use rps_rdf::{Graph, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A union of conjunctive queries with a shared head `q(x̄)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnionQuery {
+    free: Vec<Variable>,
+    branches: Vec<GraphPattern>,
+}
+
+impl UnionQuery {
+    /// Creates a UCQ from a head and its branches.
+    pub fn new(free: Vec<Variable>, branches: Vec<GraphPattern>) -> Self {
+        UnionQuery { free, branches }
+    }
+
+    /// A UCQ with a single branch.
+    pub fn single(query: GraphPatternQuery) -> Self {
+        UnionQuery {
+            free: query.free_vars().to_vec(),
+            branches: vec![query.pattern().clone()],
+        }
+    }
+
+    /// The head variables.
+    pub fn free_vars(&self) -> &[Variable] {
+        &self.free
+    }
+
+    /// The branches.
+    pub fn branches(&self) -> &[GraphPattern] {
+        &self.branches
+    }
+
+    /// Number of branches.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// `true` iff the union has no branches (evaluates to the empty set).
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// Adds a branch, skipping exact duplicates.
+    pub fn add_branch(&mut self, branch: GraphPattern) {
+        if !self.branches.contains(&branch) {
+            self.branches.push(branch);
+        }
+    }
+
+    /// The branches as [`GraphPatternQuery`]s sharing this UCQ's head.
+    pub fn branch_queries(&self) -> impl Iterator<Item = GraphPatternQuery> + '_ {
+        self.branches
+            .iter()
+            .map(|b| GraphPatternQuery::new(self.free.clone(), b.clone()))
+    }
+
+    /// Evaluates the UCQ: the union of the branch answer sets.
+    pub fn evaluate(&self, graph: &Graph, semantics: Semantics) -> BTreeSet<Vec<Term>> {
+        let mut out = BTreeSet::new();
+        for q in self.branch_queries() {
+            out.extend(evaluate_query(graph, &q, semantics));
+        }
+        out
+    }
+
+    /// Evaluates the UCQ as a Boolean query (arity 0): true iff some
+    /// branch matches.
+    pub fn ask(&self, graph: &Graph) -> bool {
+        self.branches.iter().any(|b| has_match(graph, b))
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head: Vec<String> = self.free.iter().map(|v| v.to_string()).collect();
+        let body: Vec<String> = self.branches.iter().map(|b| b.to_string()).collect();
+        write!(f, "q({}) <- {}", head.join(", "), body.join(" UNION "))
+    }
+}
+
+/// A parsed top-level query: the SPARQL-subset forms the engine accepts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Query {
+    /// `SELECT ?x … WHERE { … }` (body may be a UNION of groups).
+    Select(UnionQuery),
+    /// `ASK { … }` (body may be a UNION of groups).
+    Ask(UnionQuery),
+}
+
+impl Query {
+    /// The underlying UCQ.
+    pub fn as_union(&self) -> &UnionQuery {
+        match self {
+            Query::Select(u) | Query::Ask(u) => u,
+        }
+    }
+
+    /// Evaluates the query; ASK queries return a singleton/empty answer
+    /// set encoding true/false.
+    pub fn evaluate(&self, graph: &Graph, semantics: Semantics) -> QueryResult {
+        match self {
+            Query::Select(u) => QueryResult::Tuples(u.evaluate(graph, semantics)),
+            Query::Ask(u) => QueryResult::Boolean(u.ask(graph)),
+        }
+    }
+}
+
+/// The result of evaluating a [`Query`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryResult {
+    /// Answer tuples of a SELECT.
+    Tuples(BTreeSet<Vec<Term>>),
+    /// Truth value of an ASK.
+    Boolean(bool),
+}
+
+impl QueryResult {
+    /// The tuple set, if this is a SELECT result.
+    pub fn tuples(&self) -> Option<&BTreeSet<Vec<Term>>> {
+        match self {
+            QueryResult::Tuples(t) => Some(t),
+            QueryResult::Boolean(_) => None,
+        }
+    }
+
+    /// The Boolean, if this is an ASK result.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            QueryResult::Boolean(b) => Some(*b),
+            QueryResult::Tuples(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TermOrVar;
+
+    fn graph() -> Graph {
+        rps_rdf::turtle::parse(
+            "@prefix e: <http://e/> .\n\
+             e:a e:p e:b .\n\
+             e:c e:q e:d .\n",
+        )
+        .unwrap()
+    }
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    #[test]
+    fn union_evaluates_all_branches() {
+        let g = graph();
+        let b1 = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://e/p"), TermOrVar::var("y"));
+        let b2 = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://e/q"), TermOrVar::var("y"));
+        let u = UnionQuery::new(vec![v("x"), v("y")], vec![b1, b2]);
+        let ans = u.evaluate(&g, Semantics::Certain);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn union_dedups_branches() {
+        let b = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("y"));
+        let mut u = UnionQuery::new(vec![v("x")], vec![b.clone()]);
+        u.add_branch(b);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn ask_short_circuits_branches() {
+        let g = graph();
+        let dead = GraphPattern::triple(
+            TermOrVar::iri("http://e/none"),
+            TermOrVar::var("p"),
+            TermOrVar::var("o"),
+        );
+        let live = GraphPattern::triple(TermOrVar::var("s"), TermOrVar::iri("http://e/q"), TermOrVar::var("o"));
+        let u = UnionQuery::new(vec![], vec![dead, live]);
+        assert!(u.ask(&g));
+        assert!(Query::Ask(u).evaluate(&g, Semantics::Certain).boolean().unwrap());
+    }
+
+    #[test]
+    fn empty_union_is_false_and_empty() {
+        let g = graph();
+        let u = UnionQuery::new(vec![v("x")], vec![]);
+        assert!(u.is_empty());
+        assert!(u.evaluate(&g, Semantics::Star).is_empty());
+        assert!(!u.ask(&g));
+    }
+
+    #[test]
+    fn select_result_accessors() {
+        let g = graph();
+        let u = UnionQuery::new(
+            vec![v("x")],
+            vec![GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://e/p"),
+                TermOrVar::var("y"),
+            )],
+        );
+        let r = Query::Select(u).evaluate(&g, Semantics::Certain);
+        assert_eq!(r.tuples().unwrap().len(), 1);
+        assert!(r.boolean().is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Mappings (µ) from variables to terms, and their join semantics.
+//!
+//! This module implements the Pérez-et-al. semantics the paper adopts in
+//! Section 2.1: a mapping is a partial function `µ : V → (I ∪ B ∪ L)`,
+//! two mappings are *compatible* when they agree on their shared domain,
+//! and `Ω₁ ⋈ Ω₂` is the set of unions of compatible pairs.
+
+use crate::pattern::Variable;
+use rps_rdf::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A mapping `µ : V → (I ∪ B ∪ L)` (partial, term-level).
+#[derive(Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct Mapping {
+    entries: BTreeMap<Variable, Term>,
+}
+
+impl Mapping {
+    /// The empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a mapping from `(variable, term)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Variable, Term)>>(pairs: I) -> Self {
+        Mapping {
+            entries: pairs.into_iter().collect(),
+        }
+    }
+
+    /// `dom(µ)` — the variables on which the mapping is defined.
+    pub fn domain(&self) -> impl Iterator<Item = &Variable> {
+        self.entries.keys()
+    }
+
+    /// Looks up `µ(v)`.
+    pub fn get(&self, v: &Variable) -> Option<&Term> {
+        self.entries.get(v)
+    }
+
+    /// Binds a variable. Returns `false` (and leaves the mapping
+    /// unchanged) if the variable is already bound to a *different* term.
+    pub fn bind(&mut self, v: Variable, t: Term) -> bool {
+        match self.entries.get(&v) {
+            Some(existing) => existing == &t,
+            None => {
+                self.entries.insert(v, t);
+                true
+            }
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Two mappings are *compatible* when they agree on every shared
+    /// variable (i.e. `µ₁ ∪ µ₂` is still a function).
+    pub fn compatible(&self, other: &Mapping) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .entries
+            .iter()
+            .all(|(v, t)| large.entries.get(v).is_none_or(|u| u == t))
+    }
+
+    /// `µ₁ ∪ µ₂` for compatible mappings; `None` otherwise.
+    pub fn union(&self, other: &Mapping) -> Option<Mapping> {
+        if !self.compatible(other) {
+            return None;
+        }
+        let mut entries = self.entries.clone();
+        for (v, t) in &other.entries {
+            entries.insert(v.clone(), t.clone());
+        }
+        Some(Mapping { entries })
+    }
+
+    /// Projects the mapping to an answer tuple over the given variables.
+    /// Returns `None` if some variable is unbound.
+    pub fn project(&self, vars: &[Variable]) -> Option<Vec<Term>> {
+        vars.iter().map(|v| self.get(v).cloned()).collect()
+    }
+
+    /// Iterates over `(variable, term)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Variable, &Term)> {
+        self.entries.iter()
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(v, t)| format!("{v} -> {t}"))
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+/// Joins two sets of mappings: `Ω₁ ⋈ Ω₂ = {µ₁ ∪ µ₂ | compatible}`.
+pub fn join(left: &[Mapping], right: &[Mapping]) -> Vec<Mapping> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            if let Some(u) = l.union(r) {
+                out.push(u);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    #[test]
+    fn bind_and_get() {
+        let mut m = Mapping::new();
+        assert!(m.bind(v("x"), Term::iri("a")));
+        assert!(m.bind(v("x"), Term::iri("a"))); // same value ok
+        assert!(!m.bind(v("x"), Term::iri("b"))); // conflicting value
+        assert_eq!(m.get(&v("x")), Some(&Term::iri("a")));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn compatibility() {
+        let m1 = Mapping::from_pairs([(v("x"), Term::iri("a")), (v("y"), Term::iri("b"))]);
+        let m2 = Mapping::from_pairs([(v("y"), Term::iri("b")), (v("z"), Term::iri("c"))]);
+        let m3 = Mapping::from_pairs([(v("y"), Term::iri("DIFFERENT"))]);
+        assert!(m1.compatible(&m2));
+        assert!(!m1.compatible(&m3));
+        assert!(m1.compatible(&Mapping::new()));
+        let u = m1.union(&m2).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!(m1.union(&m3).is_none());
+    }
+
+    #[test]
+    fn join_semantics() {
+        let l = vec![
+            Mapping::from_pairs([(v("x"), Term::iri("a")), (v("y"), Term::iri("b"))]),
+            Mapping::from_pairs([(v("x"), Term::iri("a2")), (v("y"), Term::iri("b2"))]),
+        ];
+        let r = vec![
+            Mapping::from_pairs([(v("y"), Term::iri("b")), (v("z"), Term::iri("c"))]),
+            Mapping::from_pairs([(v("y"), Term::iri("zzz")), (v("z"), Term::iri("c"))]),
+        ];
+        let joined = join(&l, &r);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].get(&v("z")), Some(&Term::iri("c")));
+    }
+
+    #[test]
+    fn join_with_empty_mapping_is_cross_product_identity() {
+        let l = vec![Mapping::new()];
+        let r = vec![
+            Mapping::from_pairs([(v("x"), Term::iri("a"))]),
+            Mapping::from_pairs([(v("x"), Term::iri("b"))]),
+        ];
+        assert_eq!(join(&l, &r).len(), 2);
+    }
+
+    #[test]
+    fn projection() {
+        let m = Mapping::from_pairs([(v("x"), Term::iri("a")), (v("y"), Term::literal("1"))]);
+        assert_eq!(
+            m.project(&[v("y"), v("x")]),
+            Some(vec![Term::literal("1"), Term::iri("a")])
+        );
+        assert_eq!(m.project(&[v("zz")]), None);
+    }
+}

@@ -1,0 +1,521 @@
+//! Evaluation of graph patterns and graph pattern queries over a [`Graph`].
+//!
+//! Implements Definition 1 of the paper (the Pérez-et-al. join semantics)
+//! with an index-nested-loop strategy: conjuncts are ordered greedily by
+//! estimated selectivity, and each conjunct is matched by a range scan on
+//! the store's permutation indexes. Both result semantics are provided:
+//!
+//! * `Q_D` (certain-answer eligible): tuples containing blank nodes are
+//!   dropped;
+//! * `Q*_D`: blank nodes are kept (used by Definition 2's equivalence-
+//!   mapping conditions and by the chase).
+
+use crate::binding::Mapping;
+use crate::pattern::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
+use rps_rdf::{Graph, TermId};
+use std::collections::BTreeSet;
+
+/// Which tuples a query evaluation returns (Section 2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Semantics {
+    /// `Q_D`: only tuples over `I ∪ L` — blank-node tuples are dropped.
+    Certain,
+    /// `Q*_D`: tuples may contain blank nodes.
+    Star,
+}
+
+/// One position of a compiled triple pattern.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// A constant, already resolved to a term id of the target graph.
+    Const(TermId),
+    /// A variable, identified by its dense index.
+    Var(usize),
+}
+
+/// A graph pattern compiled against a specific graph's dictionary.
+struct Compiled {
+    /// One `[s, p, o]` slot triple per conjunct, in planner order.
+    slots: Vec<[Slot; 3]>,
+    /// Dense variable table; `Slot::Var` indexes into this.
+    vars: Vec<Variable>,
+    /// False if some constant does not occur in the graph at all, which
+    /// makes the whole conjunction unsatisfiable.
+    satisfiable: bool,
+}
+
+fn compile(graph: &Graph, gp: &GraphPattern) -> Compiled {
+    let mut vars: Vec<Variable> = Vec::new();
+    let mut var_index = std::collections::HashMap::new();
+    let mut slots = Vec::with_capacity(gp.len());
+    let mut satisfiable = true;
+
+    for pat in gp.patterns() {
+        let mut slot = [Slot::Var(usize::MAX); 3];
+        for (i, tv) in [&pat.s, &pat.p, &pat.o].into_iter().enumerate() {
+            slot[i] = match tv {
+                TermOrVar::Term(t) => match graph.term_id(t) {
+                    Some(id) => Slot::Const(id),
+                    None => {
+                        satisfiable = false;
+                        // Placeholder; never used because satisfiable=false.
+                        Slot::Var(usize::MAX)
+                    }
+                },
+                TermOrVar::Var(v) => {
+                    let idx = *var_index.entry(v.clone()).or_insert_with(|| {
+                        vars.push(v.clone());
+                        vars.len() - 1
+                    });
+                    Slot::Var(idx)
+                }
+            };
+        }
+        slots.push(slot);
+    }
+
+    if satisfiable {
+        order_slots(graph, &mut slots);
+    }
+    Compiled {
+        slots,
+        vars,
+        satisfiable,
+    }
+}
+
+/// Greedy join ordering: repeatedly pick the conjunct with the smallest
+/// shape-based cardinality estimate given the variables bound so far.
+fn order_slots(graph: &Graph, slots: &mut [[Slot; 3]]) {
+    let n = slots.len();
+    let mut bound: BTreeSet<usize> = BTreeSet::new();
+    for i in 0..n {
+        let mut best = i;
+        let mut best_cost = usize::MAX;
+        for (j, slot) in slots.iter().enumerate().take(n).skip(i) {
+            let cost = shape_estimate(graph, slot, &bound);
+            if cost < best_cost {
+                best_cost = cost;
+                best = j;
+            }
+        }
+        slots.swap(i, best);
+        for s in slots[i] {
+            if let Slot::Var(v) = s {
+                bound.insert(v);
+            }
+        }
+    }
+}
+
+fn shape_estimate(graph: &Graph, slot: &[Slot; 3], bound: &BTreeSet<usize>) -> usize {
+    let is_bound = |s: &Slot| match s {
+        Slot::Const(_) => true,
+        Slot::Var(v) => bound.contains(v),
+    };
+    let s_bound = is_bound(&slot[0]);
+    let o_bound = is_bound(&slot[2]);
+    match (&slot[1], s_bound, o_bound) {
+        (_, true, true) if is_bound(&slot[1]) => 1,
+        (Slot::Const(p), s, o) => {
+            let base = graph.predicate_count(*p);
+            match (s, o) {
+                (true, true) => (base / 16).max(1),
+                (true, false) | (false, true) => (base / 4).max(1),
+                (false, false) => base.max(1),
+            }
+        }
+        (Slot::Var(pv), s, o) => {
+            let p_bound = bound.contains(pv);
+            let n = graph.len().max(1);
+            match (p_bound, s, o) {
+                (_, true, true) => ((n as f64).sqrt() as usize).max(1),
+                (true, _, _) => (n / 4).max(1),
+                (false, true, false) | (false, false, true) => {
+                    ((n as f64).sqrt() as usize).max(1)
+                }
+                (false, false, false) => n,
+            }
+        }
+    }
+}
+
+/// Evaluates a graph pattern, returning the set of solution mappings
+/// `⟦GP⟧_D` of Definition 1 (term-level, sorted, deduplicated).
+pub fn evaluate_pattern(graph: &Graph, gp: &GraphPattern) -> Vec<Mapping> {
+    let compiled = compile(graph, gp);
+    if !compiled.satisfiable {
+        return Vec::new();
+    }
+    let nvars = compiled.vars.len();
+    let mut binding: Vec<Option<TermId>> = vec![None; nvars];
+    let mut results: Vec<Vec<TermId>> = Vec::new();
+    search(graph, &compiled.slots, 0, &mut binding, &mut results);
+    results.sort();
+    results.dedup();
+    results
+        .into_iter()
+        .map(|row| {
+            Mapping::from_pairs(
+                row.iter()
+                    .enumerate()
+                    .map(|(i, id)| (compiled.vars[i].clone(), graph.term(*id).clone())),
+            )
+        })
+        .collect()
+}
+
+fn search(
+    graph: &Graph,
+    slots: &[[Slot; 3]],
+    depth: usize,
+    binding: &mut Vec<Option<TermId>>,
+    out: &mut Vec<Vec<TermId>>,
+) {
+    if depth == slots.len() {
+        // All conjuncts matched; every variable that occurs is bound.
+        out.push(binding.iter().map(|b| b.expect("var bound")).collect());
+        return;
+    }
+    let slot = &slots[depth];
+    let resolve = |s: &Slot, binding: &[Option<TermId>]| match s {
+        Slot::Const(id) => Some(*id),
+        Slot::Var(v) => binding[*v],
+    };
+    let qs = resolve(&slot[0], binding);
+    let qp = resolve(&slot[1], binding);
+    let qo = resolve(&slot[2], binding);
+
+    // Collect candidates eagerly: the recursive call may not hold a borrow
+    // of the graph's index iterator across mutation-free recursion anyway,
+    // but eager collection keeps the borrow checker simple and the per-level
+    // candidate lists are small after ordering.
+    let candidates: Vec<_> = graph.match_ids(qs, qp, qo).collect();
+    for t in candidates {
+        let vals = [t.s, t.p, t.o];
+        let mut newly_bound: [Option<usize>; 3] = [None; 3];
+        let mut ok = true;
+        for i in 0..3 {
+            if let Slot::Var(v) = slot[i] {
+                match binding[v] {
+                    Some(existing) => {
+                        if existing != vals[i] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        binding[v] = Some(vals[i]);
+                        newly_bound[i] = Some(v);
+                    }
+                }
+            }
+        }
+        if ok {
+            search(graph, slots, depth + 1, binding, out);
+        }
+        for nb in newly_bound.into_iter().flatten() {
+            binding[nb] = None;
+        }
+    }
+}
+
+/// Evaluates a graph pattern query, returning its answer tuples under the
+/// requested semantics (`Q_D` or `Q*_D`), sorted and deduplicated.
+pub fn evaluate_query(
+    graph: &Graph,
+    query: &GraphPatternQuery,
+    semantics: Semantics,
+) -> BTreeSet<Vec<rps_rdf::Term>> {
+    let mappings = evaluate_pattern(graph, query.pattern());
+    let mut out = BTreeSet::new();
+    for m in mappings {
+        if let Some(tuple) = m.project(query.free_vars()) {
+            if semantics == Semantics::Certain && tuple.iter().any(|t| t.is_blank()) {
+                continue;
+            }
+            out.insert(tuple);
+        }
+    }
+    out
+}
+
+/// Evaluates a Boolean (arity-0) query: `true` iff the body matches.
+pub fn evaluate_boolean(graph: &Graph, query: &GraphPatternQuery) -> bool {
+    // A single witness suffices; reuse evaluate_pattern but stop early by
+    // checking non-emptiness of the mapping set. (The search enumerates all
+    // matches; for the workloads in this repository bodies are small, and
+    // the early-exit variant is provided by `has_match`.)
+    has_match(graph, query.pattern())
+}
+
+/// `true` iff the pattern has at least one solution mapping (early exit).
+pub fn has_match(graph: &Graph, gp: &GraphPattern) -> bool {
+    let compiled = compile(graph, gp);
+    if !compiled.satisfiable {
+        return false;
+    }
+    let mut binding: Vec<Option<TermId>> = vec![None; compiled.vars.len()];
+    search_any(graph, &compiled.slots, 0, &mut binding)
+}
+
+fn search_any(
+    graph: &Graph,
+    slots: &[[Slot; 3]],
+    depth: usize,
+    binding: &mut Vec<Option<TermId>>,
+) -> bool {
+    if depth == slots.len() {
+        return true;
+    }
+    let slot = &slots[depth];
+    let resolve = |s: &Slot, binding: &[Option<TermId>]| match s {
+        Slot::Const(id) => Some(*id),
+        Slot::Var(v) => binding[*v],
+    };
+    let candidates: Vec<_> = graph
+        .match_ids(
+            resolve(&slot[0], binding),
+            resolve(&slot[1], binding),
+            resolve(&slot[2], binding),
+        )
+        .collect();
+    for t in candidates {
+        let vals = [t.s, t.p, t.o];
+        let mut newly_bound: [Option<usize>; 3] = [None; 3];
+        let mut ok = true;
+        for i in 0..3 {
+            if let Slot::Var(v) = slot[i] {
+                match binding[v] {
+                    Some(existing) => {
+                        if existing != vals[i] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        binding[v] = Some(vals[i]);
+                        newly_bound[i] = Some(v);
+                    }
+                }
+            }
+        }
+        let found = ok && search_any(graph, slots, depth + 1, binding);
+        for nb in newly_bound.into_iter().flatten() {
+            binding[nb] = None;
+        }
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rps_rdf::Term;
+
+    fn graph() -> Graph {
+        let src = r#"
+@prefix e: <http://e/> .
+e:film1 e:starring _:c1 .
+_:c1 e:artist e:actor1 .
+e:film1 e:starring _:c2 .
+_:c2 e:artist e:actor2 .
+e:actor1 e:age "39" .
+e:actor2 e:age "32" .
+e:film2 e:starring _:c3 .
+_:c3 e:artist e:actor1 .
+"#;
+        rps_rdf::turtle::parse(src).unwrap()
+    }
+
+    fn var(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    #[test]
+    fn single_pattern_all_matches() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("f"),
+            TermOrVar::iri("http://e/starring"),
+            TermOrVar::var("c"),
+        );
+        assert_eq!(evaluate_pattern(&g, &gp).len(), 3);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::iri("http://e/film1"),
+            TermOrVar::iri("http://e/starring"),
+            TermOrVar::var("z"),
+        )
+        .and(GraphPattern::triple(
+            TermOrVar::var("z"),
+            TermOrVar::iri("http://e/artist"),
+            TermOrVar::var("x"),
+        ));
+        let sols = evaluate_pattern(&g, &gp);
+        assert_eq!(sols.len(), 2);
+        let actors: BTreeSet<_> = sols
+            .iter()
+            .map(|m| m.get(&var("x")).unwrap().clone())
+            .collect();
+        assert!(actors.contains(&Term::iri("http://e/actor1")));
+        assert!(actors.contains(&Term::iri("http://e/actor2")));
+    }
+
+    #[test]
+    fn three_way_join_paper_shape() {
+        // The Example 1 query shape: starring / artist / age.
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::iri("http://e/film1"),
+            TermOrVar::iri("http://e/starring"),
+            TermOrVar::var("z"),
+        )
+        .and(GraphPattern::triple(
+            TermOrVar::var("z"),
+            TermOrVar::iri("http://e/artist"),
+            TermOrVar::var("x"),
+        ))
+        .and(GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::var("y"),
+        ));
+        let q = GraphPatternQuery::new(vec![var("x"), var("y")], gp);
+        let ans = evaluate_query(&g, &q, Semantics::Certain);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![
+            Term::iri("http://e/actor1"),
+            Term::literal("39")
+        ]));
+    }
+
+    #[test]
+    fn certain_semantics_drops_blank_tuples() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("f"),
+            TermOrVar::iri("http://e/starring"),
+            TermOrVar::var("c"),
+        );
+        let q = GraphPatternQuery::new(vec![var("c")], gp.clone());
+        assert!(evaluate_query(&g, &q, Semantics::Certain).is_empty());
+        assert_eq!(evaluate_query(&g, &q, Semantics::Star).len(), 3);
+    }
+
+    #[test]
+    fn existential_projection() {
+        let g = graph();
+        // q(f) <- (f, starring, z): z existential, blanks allowed in body.
+        let gp = GraphPattern::triple(
+            TermOrVar::var("f"),
+            TermOrVar::iri("http://e/starring"),
+            TermOrVar::var("z"),
+        );
+        let q = GraphPatternQuery::new(vec![var("f")], gp);
+        let ans = evaluate_query(&g, &q, Semantics::Certain);
+        assert_eq!(ans.len(), 2); // film1, film2
+    }
+
+    #[test]
+    fn unknown_constant_yields_empty() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::iri("http://e/NO-SUCH"),
+            TermOrVar::var("p"),
+            TermOrVar::var("o"),
+        );
+        assert!(evaluate_pattern(&g, &gp).is_empty());
+        assert!(!has_match(&g, &gp));
+    }
+
+    #[test]
+    fn repeated_variable_within_pattern() {
+        let mut g = Graph::new();
+        g.insert_terms(Term::iri("a"), Term::iri("p"), Term::iri("a"))
+            .unwrap();
+        g.insert_terms(Term::iri("a"), Term::iri("p"), Term::iri("b"))
+            .unwrap();
+        let gp = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("x"));
+        let sols = evaluate_pattern(&g, &gp);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(&var("x")), Some(&Term::iri("a")));
+    }
+
+    #[test]
+    fn empty_pattern_yields_single_empty_mapping() {
+        let g = graph();
+        let sols = evaluate_pattern(&g, &GraphPattern::new());
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+        assert!(has_match(&g, &GraphPattern::new()));
+    }
+
+    #[test]
+    fn variable_predicate() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::iri("http://e/actor1"),
+            TermOrVar::var("p"),
+            TermOrVar::var("o"),
+        );
+        let sols = evaluate_pattern(&g, &gp);
+        assert_eq!(sols.len(), 1); // age triple
+    }
+
+    #[test]
+    fn boolean_query() {
+        let g = graph();
+        let yes = GraphPatternQuery::boolean(GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::literal("39"),
+        ));
+        let no = GraphPatternQuery::boolean(GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::literal("99"),
+        ));
+        assert!(evaluate_boolean(&g, &yes));
+        assert!(!evaluate_boolean(&g, &no));
+    }
+
+    #[test]
+    fn cartesian_product_of_disconnected_patterns() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("a"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::var("v"),
+        )
+        .and(GraphPattern::triple(
+            TermOrVar::var("f"),
+            TermOrVar::iri("http://e/starring"),
+            TermOrVar::var("c"),
+        ));
+        // 2 age triples x 3 starring triples.
+        assert_eq!(evaluate_pattern(&g, &gp).len(), 6);
+    }
+
+    #[test]
+    fn blank_constant_in_pattern_is_matchable() {
+        // Algorithm 1 substitutes tuples that may contain blanks into query
+        // bodies, so the evaluator must accept blank-node constants.
+        let mut g = Graph::new();
+        g.insert_terms(Term::blank("b"), Term::iri("p"), Term::iri("o"))
+            .unwrap();
+        let gp = GraphPattern::triple(
+            TermOrVar::Term(Term::blank("b")),
+            TermOrVar::iri("p"),
+            TermOrVar::var("o"),
+        );
+        assert_eq!(evaluate_pattern(&g, &gp).len(), 1);
+    }
+}

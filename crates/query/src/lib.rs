@@ -1,0 +1,31 @@
+//! # rps-query — graph pattern queries over RDF
+//!
+//! Implements the query language of Section 2.1 of *Peer-to-Peer Semantic
+//! Integration of Linked Data*: graph patterns (conjunctions of triple
+//! patterns over `(I ∪ L ∪ V) × (I ∪ V) × (I ∪ L ∪ V)`), graph pattern
+//! queries `q(x̄) ← GP`, and the two result semantics `Q_D` (blank nodes
+//! dropped — certain-answer eligible) and `Q*_D` (blank nodes kept — used
+//! by the equivalence-mapping conditions of Definition 2).
+//!
+//! * [`pattern`] — [`Variable`], [`TermOrVar`], [`TriplePattern`],
+//!   [`GraphPattern`], [`GraphPatternQuery`] (including the `subjQ` /
+//!   `predQ` / `objQ` star queries of Section 2.3);
+//! * [`binding`] — mappings `µ` and the compatible-join semantics;
+//! * [`eval`] — the index-nested-loop evaluator with greedy join ordering;
+//! * [`algebra`] — unions of conjunctive queries (the output language of
+//!   the Section 4 rewriting), SELECT/ASK forms;
+//! * [`parser`] — a parser for the conjunctive SPARQL subset plus UNION.
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod binding;
+pub mod eval;
+pub mod parser;
+pub mod pattern;
+
+pub use algebra::{Query, QueryResult, UnionQuery};
+pub use binding::{join, Mapping};
+pub use eval::{evaluate_boolean, evaluate_pattern, evaluate_query, has_match, Semantics};
+pub use parser::{parse_query, to_sparql};
+pub use pattern::{GraphPattern, GraphPatternQuery, TermOrVar, TriplePattern, Variable};

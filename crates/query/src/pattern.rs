@@ -1,0 +1,516 @@
+//! Graph patterns and graph pattern queries (paper Section 2.1).
+//!
+//! A *triple pattern* is a tuple from `(I ∪ L ∪ V) × (I ∪ V) × (I ∪ L ∪ V)`
+//! — note that blank nodes are **not** allowed in patterns — and a *graph
+//! pattern* is a conjunction (`AND`) of triple patterns. A *graph pattern
+//! query* `q(x̄) ← GP` adds a tuple of free variables; the remaining
+//! variables of `GP` are existentially quantified.
+
+use rps_rdf::{Term, Triple};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A query variable (element of the set `V`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(Arc<str>);
+
+impl Variable {
+    /// Creates a variable with the given name (without the `?` sigil).
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        Variable(name.into())
+    }
+
+    /// The variable's name (without the `?` sigil).
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(s: &str) -> Self {
+        Variable::new(s)
+    }
+}
+
+/// Either a constant RDF term or a variable — one position of a triple
+/// pattern.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TermOrVar {
+    /// A constant term (IRI or literal; blank nodes are not permitted in
+    /// patterns).
+    Term(Term),
+    /// A variable.
+    Var(Variable),
+}
+
+impl TermOrVar {
+    /// Convenience constructor for an IRI constant.
+    pub fn iri(iri: &str) -> Self {
+        TermOrVar::Term(Term::iri(iri))
+    }
+
+    /// Convenience constructor for a plain-literal constant.
+    pub fn literal(lex: &str) -> Self {
+        TermOrVar::Term(Term::literal(lex))
+    }
+
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Self {
+        TermOrVar::Var(Variable::new(name))
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<&Variable> {
+        match self {
+            TermOrVar::Var(v) => Some(v),
+            TermOrVar::Term(_) => None,
+        }
+    }
+
+    /// The constant term inside, if any.
+    pub fn as_term(&self) -> Option<&Term> {
+        match self {
+            TermOrVar::Term(t) => Some(t),
+            TermOrVar::Var(_) => None,
+        }
+    }
+
+    /// `true` iff this position holds a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, TermOrVar::Var(_))
+    }
+}
+
+impl fmt::Debug for TermOrVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermOrVar::Term(t) => write!(f, "{t}"),
+            TermOrVar::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for TermOrVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermOrVar::Term(t) => write!(f, "{t}"),
+            TermOrVar::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Term> for TermOrVar {
+    fn from(t: Term) -> Self {
+        TermOrVar::Term(t)
+    }
+}
+
+impl From<Variable> for TermOrVar {
+    fn from(v: Variable) -> Self {
+        TermOrVar::Var(v)
+    }
+}
+
+/// A triple pattern `(s, p, o) ∈ (I ∪ L ∪ V) × (I ∪ V) × (I ∪ L ∪ V)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: TermOrVar,
+    /// Predicate position.
+    pub p: TermOrVar,
+    /// Object position.
+    pub o: TermOrVar,
+}
+
+impl TriplePattern {
+    /// Creates a triple pattern. Blank-node constants are not validated
+    /// here (the paper's pattern language simply has no syntax for them);
+    /// use [`TriplePattern::is_well_formed`] to check.
+    pub fn new(
+        s: impl Into<TermOrVar>,
+        p: impl Into<TermOrVar>,
+        o: impl Into<TermOrVar>,
+    ) -> Self {
+        TriplePattern {
+            s: s.into(),
+            p: p.into(),
+            o: o.into(),
+        }
+    }
+
+    /// Checks the positional constraints of the paper's pattern language:
+    /// no blank nodes anywhere, predicate constants must be IRIs, and
+    /// subject constants must not be... actually the paper allows literals
+    /// in the subject of a *pattern* (they simply never match any triple).
+    pub fn is_well_formed(&self) -> bool {
+        let no_blank = |tv: &TermOrVar| !matches!(tv, TermOrVar::Term(t) if t.is_blank());
+        let pred_ok = match &self.p {
+            TermOrVar::Term(t) => t.is_iri(),
+            TermOrVar::Var(_) => true,
+        };
+        no_blank(&self.s) && no_blank(&self.p) && no_blank(&self.o) && pred_ok
+    }
+
+    /// The variables of this pattern, in subject/predicate/object order,
+    /// with duplicates.
+    pub fn vars(&self) -> impl Iterator<Item = &Variable> {
+        [&self.s, &self.p, &self.o]
+            .into_iter()
+            .filter_map(TermOrVar::as_var)
+    }
+
+    /// Applies a substitution of variables by terms, producing a new
+    /// pattern (unmapped variables stay).
+    pub fn substitute(&self, subst: &dyn Fn(&Variable) -> Option<Term>) -> TriplePattern {
+        let apply = |tv: &TermOrVar| match tv {
+            TermOrVar::Var(v) => match subst(v) {
+                Some(t) => TermOrVar::Term(t),
+                None => tv.clone(),
+            },
+            TermOrVar::Term(_) => tv.clone(),
+        };
+        TriplePattern {
+            s: apply(&self.s),
+            p: apply(&self.p),
+            o: apply(&self.o),
+        }
+    }
+
+    /// If the pattern is fully ground, returns the corresponding triple.
+    pub fn as_triple(&self) -> Option<Triple> {
+        match (&self.s, &self.p, &self.o) {
+            (TermOrVar::Term(s), TermOrVar::Term(p), TermOrVar::Term(o)) => {
+                Triple::new(s.clone(), p.clone(), o.clone()).ok()
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.s, self.p, self.o)
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.s, self.p, self.o)
+    }
+}
+
+/// A graph pattern: a conjunction (`AND`) of triple patterns.
+///
+/// The paper defines graph patterns recursively as binary `AND`s; since
+/// `AND` is associative and commutative under the join semantics, we store
+/// the flattened conjunct list.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct GraphPattern {
+    patterns: Vec<TriplePattern>,
+}
+
+impl GraphPattern {
+    /// The empty graph pattern (its evaluation is the single empty
+    /// mapping).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph pattern from conjuncts.
+    pub fn from_patterns(patterns: Vec<TriplePattern>) -> Self {
+        GraphPattern { patterns }
+    }
+
+    /// A single-triple-pattern graph pattern.
+    pub fn triple(
+        s: impl Into<TermOrVar>,
+        p: impl Into<TermOrVar>,
+        o: impl Into<TermOrVar>,
+    ) -> Self {
+        GraphPattern {
+            patterns: vec![TriplePattern::new(s, p, o)],
+        }
+    }
+
+    /// The conjunction `(self AND other)`.
+    pub fn and(mut self, other: GraphPattern) -> GraphPattern {
+        self.patterns.extend(other.patterns);
+        self
+    }
+
+    /// Appends one conjunct.
+    pub fn push(&mut self, pattern: TriplePattern) {
+        self.patterns.push(pattern);
+    }
+
+    /// The conjuncts.
+    pub fn patterns(&self) -> &[TriplePattern] {
+        &self.patterns
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` iff there are no conjuncts.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// `var(GP)`: the set of variables appearing in the pattern.
+    pub fn vars(&self) -> BTreeSet<Variable> {
+        self.patterns
+            .iter()
+            .flat_map(|p| p.vars().cloned())
+            .collect()
+    }
+
+    /// All constant terms appearing in the pattern.
+    pub fn constants(&self) -> BTreeSet<Term> {
+        self.patterns
+            .iter()
+            .flat_map(|p| {
+                [&p.s, &p.p, &p.o]
+                    .into_iter()
+                    .filter_map(TermOrVar::as_term)
+                    .cloned()
+            })
+            .collect()
+    }
+
+    /// Applies a substitution to every conjunct.
+    pub fn substitute(&self, subst: &dyn Fn(&Variable) -> Option<Term>) -> GraphPattern {
+        GraphPattern {
+            patterns: self.patterns.iter().map(|p| p.substitute(subst)).collect(),
+        }
+    }
+
+    /// `true` iff all conjuncts are well-formed patterns.
+    pub fn is_well_formed(&self) -> bool {
+        self.patterns.iter().all(TriplePattern::is_well_formed)
+    }
+}
+
+impl fmt::Debug for GraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.patterns.iter().map(|p| p.to_string()).collect();
+        write!(f, "{{ {} }}", parts.join(" . "))
+    }
+}
+
+impl fmt::Display for GraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.patterns.iter().map(|p| p.to_string()).collect();
+        write!(f, "{{ {} }}", parts.join(" . "))
+    }
+}
+
+/// A graph pattern query `q(x₁,…,xₙ) ← GP` of arity `n`.
+///
+/// Free variables must occur in `GP`; all other variables of `GP` are
+/// existentially quantified.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphPatternQuery {
+    free: Vec<Variable>,
+    pattern: GraphPattern,
+}
+
+impl GraphPatternQuery {
+    /// Creates a query; panics in debug builds if a free variable does not
+    /// occur in the pattern (callers validate with [`Self::is_safe`]).
+    pub fn new(free: Vec<Variable>, pattern: GraphPattern) -> Self {
+        GraphPatternQuery { free, pattern }
+    }
+
+    /// A Boolean query (arity 0).
+    pub fn boolean(pattern: GraphPattern) -> Self {
+        GraphPatternQuery {
+            free: Vec::new(),
+            pattern,
+        }
+    }
+
+    /// `subjQ(c) := q(x_pred, x_obj) ← (c, x_pred, x_obj)` (Section 2.3).
+    pub fn subj_q(c: Term) -> Self {
+        GraphPatternQuery::new(
+            vec![Variable::new("pred"), Variable::new("obj")],
+            GraphPattern::triple(c, Variable::new("pred"), Variable::new("obj")),
+        )
+    }
+
+    /// `predQ(c) := q(x_subj, x_obj) ← (x_subj, c, x_obj)` (Section 2.3).
+    pub fn pred_q(c: Term) -> Self {
+        GraphPatternQuery::new(
+            vec![Variable::new("subj"), Variable::new("obj")],
+            GraphPattern::triple(Variable::new("subj"), c, Variable::new("obj")),
+        )
+    }
+
+    /// `objQ(c) := q(x_subj, x_pred) ← (x_subj, x_pred, c)` (Section 2.3).
+    pub fn obj_q(c: Term) -> Self {
+        GraphPatternQuery::new(
+            vec![Variable::new("subj"), Variable::new("pred")],
+            GraphPattern::triple(Variable::new("subj"), Variable::new("pred"), c),
+        )
+    }
+
+    /// The free (answer) variables, in order.
+    pub fn free_vars(&self) -> &[Variable] {
+        &self.free
+    }
+
+    /// The arity `n` of the query.
+    pub fn arity(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The body graph pattern.
+    pub fn pattern(&self) -> &GraphPattern {
+        &self.pattern
+    }
+
+    /// The existentially quantified variables (body vars not in the head).
+    pub fn existential_vars(&self) -> BTreeSet<Variable> {
+        let free: BTreeSet<_> = self.free.iter().cloned().collect();
+        self.pattern
+            .vars()
+            .into_iter()
+            .filter(|v| !free.contains(v))
+            .collect()
+    }
+
+    /// A query is *safe* if every free variable occurs in the body.
+    pub fn is_safe(&self) -> bool {
+        let body = self.pattern.vars();
+        self.free.iter().all(|v| body.contains(v))
+    }
+}
+
+impl fmt::Debug for GraphPatternQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head: Vec<String> = self.free.iter().map(|v| v.to_string()).collect();
+        write!(f, "q({}) <- {}", head.join(", "), self.pattern)
+    }
+}
+
+impl fmt::Display for GraphPatternQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_display() {
+        assert_eq!(Variable::new("x").to_string(), "?x");
+    }
+
+    #[test]
+    fn pattern_vars_and_constants() {
+        let gp = GraphPattern::triple(TermOrVar::iri("s"), TermOrVar::var("p"), TermOrVar::var("o"))
+            .and(GraphPattern::triple(
+                TermOrVar::var("o"),
+                TermOrVar::iri("q"),
+                TermOrVar::literal("39"),
+            ));
+        assert_eq!(gp.len(), 2);
+        let vars = gp.vars();
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&Variable::new("p")));
+        assert!(vars.contains(&Variable::new("o")));
+        let consts = gp.constants();
+        assert!(consts.contains(&Term::iri("s")));
+        assert!(consts.contains(&Term::literal("39")));
+    }
+
+    #[test]
+    fn well_formedness() {
+        let ok = TriplePattern::new(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("y"));
+        assert!(ok.is_well_formed());
+        let bad_pred = TriplePattern::new(
+            TermOrVar::var("x"),
+            TermOrVar::literal("p"),
+            TermOrVar::var("y"),
+        );
+        assert!(!bad_pred.is_well_formed());
+        let blank = TriplePattern::new(
+            TermOrVar::Term(Term::blank("b")),
+            TermOrVar::iri("p"),
+            TermOrVar::var("y"),
+        );
+        assert!(!blank.is_well_formed());
+    }
+
+    #[test]
+    fn substitution_grounds_patterns() {
+        let tp = TriplePattern::new(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("y"));
+        let subst = |v: &Variable| {
+            if v.name() == "x" {
+                Some(Term::iri("s"))
+            } else {
+                None
+            }
+        };
+        let tp2 = tp.substitute(&subst);
+        assert_eq!(tp2.s, TermOrVar::iri("s"));
+        assert!(tp2.o.is_var());
+        assert!(tp2.as_triple().is_none());
+        let tp3 = tp2.substitute(&|_| Some(Term::iri("o")));
+        let triple = tp3.as_triple().unwrap();
+        assert_eq!(triple.object(), &Term::iri("o"));
+    }
+
+    #[test]
+    fn query_safety_and_existentials() {
+        let gp = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("z"));
+        let q = GraphPatternQuery::new(vec![Variable::new("x")], gp.clone());
+        assert!(q.is_safe());
+        assert_eq!(q.arity(), 1);
+        assert_eq!(
+            q.existential_vars().into_iter().collect::<Vec<_>>(),
+            vec![Variable::new("z")]
+        );
+        let unsafe_q = GraphPatternQuery::new(vec![Variable::new("nope")], gp);
+        assert!(!unsafe_q.is_safe());
+    }
+
+    #[test]
+    fn star_queries_shapes() {
+        let c = Term::iri("c");
+        let s = GraphPatternQuery::subj_q(c.clone());
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.pattern().patterns()[0].s, TermOrVar::Term(c.clone()));
+        let p = GraphPatternQuery::pred_q(c.clone());
+        assert_eq!(p.pattern().patterns()[0].p, TermOrVar::Term(c.clone()));
+        let o = GraphPatternQuery::obj_q(c.clone());
+        assert_eq!(o.pattern().patterns()[0].o, TermOrVar::Term(c));
+    }
+
+    #[test]
+    fn display_shapes() {
+        let q = GraphPatternQuery::new(
+            vec![Variable::new("x")],
+            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("y")),
+        );
+        let s = format!("{q}");
+        assert!(s.contains("q(?x)"));
+        assert!(s.contains("<p>"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the query layer: the compatible-join
+//! semantics laws from Pérez et al. and planner-order invariance.
+
+use proptest::prelude::*;
+use rps_query::{
+    evaluate_pattern, evaluate_query, GraphPattern, GraphPatternQuery, Mapping, Semantics,
+    TermOrVar, TriplePattern, Variable,
+};
+use rps_rdf::{Graph, Term};
+
+fn pool_iri(i: usize) -> Term {
+    Term::iri(format!("http://q/{i}"))
+}
+
+prop_compose! {
+    fn arb_graph()(
+        triples in prop::collection::vec((0usize..6, 0usize..4, 0usize..6), 0..30)
+    ) -> Graph {
+        let mut g = Graph::new();
+        for (s, p, o) in triples {
+            let _ = g.insert_terms(pool_iri(s), pool_iri(p + 20), pool_iri(o));
+        }
+        g
+    }
+}
+
+fn arb_tv() -> impl Strategy<Value = TermOrVar> {
+    prop_oneof![
+        (0usize..6).prop_map(|i| TermOrVar::Term(pool_iri(i))),
+        (0usize..4).prop_map(|i| TermOrVar::Var(Variable::new(format!("v{i}")))),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = TermOrVar> {
+    prop_oneof![
+        (0usize..4).prop_map(|i| TermOrVar::Term(pool_iri(i + 20))),
+        (0usize..2).prop_map(|i| TermOrVar::Var(Variable::new(format!("p{i}")))),
+    ]
+}
+
+prop_compose! {
+    fn arb_pattern()(s in arb_tv(), p in arb_pred(), o in arb_tv()) -> TriplePattern {
+        TriplePattern::new(s, p, o)
+    }
+}
+
+prop_compose! {
+    fn arb_bgp()(pats in prop::collection::vec(arb_pattern(), 1..4)) -> GraphPattern {
+        GraphPattern::from_patterns(pats)
+    }
+}
+
+/// Reference evaluator: textbook mapping-join semantics, no planner.
+fn reference_eval(graph: &Graph, gp: &GraphPattern) -> Vec<Mapping> {
+    let mut acc: Option<Vec<Mapping>> = None;
+    for pat in gp.patterns() {
+        let mut sols = Vec::new();
+        for t in graph.iter() {
+            let mut m = Mapping::new();
+            let ok = [
+                (&pat.s, t.subject()),
+                (&pat.p, t.predicate()),
+                (&pat.o, t.object()),
+            ]
+            .into_iter()
+            .all(|(tv, term)| match tv {
+                TermOrVar::Term(c) => c == term,
+                TermOrVar::Var(v) => m.bind(v.clone(), term.clone()),
+            });
+            if ok {
+                sols.push(m);
+            }
+        }
+        sols.sort();
+        sols.dedup();
+        acc = Some(match acc {
+            None => sols,
+            Some(prev) => rps_query::join(&prev, &sols),
+        });
+    }
+    let mut out = acc.unwrap_or_else(|| vec![Mapping::new()]);
+    out.sort();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn planner_matches_reference_semantics(g in arb_graph(), gp in arb_bgp()) {
+        let mut fast = evaluate_pattern(&g, &gp);
+        fast.sort();
+        let slow = reference_eval(&g, &gp);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn and_is_commutative(g in arb_graph(), a in arb_pattern(), b in arb_pattern()) {
+        let ab = GraphPattern::from_patterns(vec![a.clone(), b.clone()]);
+        let ba = GraphPattern::from_patterns(vec![b, a]);
+        let mut l = evaluate_pattern(&g, &ab);
+        let mut r = evaluate_pattern(&g, &ba);
+        l.sort();
+        r.sort();
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn conjunct_duplication_is_idempotent(g in arb_graph(), a in arb_pattern()) {
+        let single = GraphPattern::from_patterns(vec![a.clone()]);
+        let twice = GraphPattern::from_patterns(vec![a.clone(), a]);
+        let mut l = evaluate_pattern(&g, &single);
+        let mut r = evaluate_pattern(&g, &twice);
+        l.sort();
+        r.sort();
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn star_superset_of_certain(g in arb_graph(), gp in arb_bgp()) {
+        let vars: Vec<Variable> = gp.vars().into_iter().collect();
+        if vars.is_empty() {
+            return Ok(());
+        }
+        let q = GraphPatternQuery::new(vars, gp);
+        let star = evaluate_query(&g, &q, Semantics::Star);
+        let certain = evaluate_query(&g, &q, Semantics::Certain);
+        prop_assert!(certain.is_subset(&star));
+    }
+
+    #[test]
+    fn has_match_agrees_with_nonempty(g in arb_graph(), gp in arb_bgp()) {
+        prop_assert_eq!(
+            rps_query::has_match(&g, &gp),
+            !evaluate_pattern(&g, &gp).is_empty()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Term dictionary: bidirectional interning of [`Term`]s to dense `u32` ids.
+//!
+//! All hot-path operations in the triple store and the query evaluator work
+//! on [`TermId`]s; the dictionary is consulted only at the boundaries
+//! (parsing, serialisation, answer rendering). Ids are dense, so parallel
+//! `Vec`s can be used for per-term metadata such as [`TermKind`].
+
+use crate::term::{Term, TermKind};
+use std::collections::HashMap;
+
+/// A dense identifier for an interned [`Term`].
+///
+/// Ids are only meaningful relative to the [`TermDict`] that minted them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional interner from [`Term`] to [`TermId`].
+#[derive(Clone, Default)]
+pub struct TermDict {
+    terms: Vec<Term>,
+    kinds: Vec<TermKind>,
+    lookup: HashMap<Term, TermId>,
+}
+
+impl TermDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term, returning its id. Idempotent.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.lookup.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term dictionary overflow"));
+        self.terms.push(term.clone());
+        self.kinds.push(term.kind());
+        self.lookup.insert(term.clone(), id);
+        id
+    }
+
+    /// Looks up the id of a term without interning it.
+    pub fn id(&self, term: &Term) -> Option<TermId> {
+        self.lookup.get(term).copied()
+    }
+
+    /// Returns the term for an id.
+    ///
+    /// # Panics
+    /// Panics if the id was not minted by this dictionary.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Returns the kind of the term for an id without touching its payload.
+    pub fn kind(&self, id: TermId) -> TermKind {
+        self.kinds[id.index()]
+    }
+
+    /// Returns `true` iff the id denotes an IRI or literal (certain-answer
+    /// eligible, element of `I ∪ L`).
+    pub fn is_name(&self, id: TermId) -> bool {
+        self.kinds[id.index()] != TermKind::Blank
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over all `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+impl std::fmt::Debug for TermDict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TermDict")
+            .field("len", &self.terms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = TermDict::new();
+        let a1 = d.intern(&Term::iri("http://e/a"));
+        let a2 = d.intern(&Term::iri("http://e/a"));
+        assert_eq!(a1, a2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut d = TermDict::new();
+        let a = d.intern(&Term::iri("http://e/a"));
+        let b = d.intern(&Term::literal("http://e/a"));
+        let c = d.intern(&Term::blank("http://e/a"));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_term() {
+        let mut d = TermDict::new();
+        let t = Term::literal("39");
+        let id = d.intern(&t);
+        assert_eq!(d.term(id), &t);
+        assert_eq!(d.id(&t), Some(id));
+        assert_eq!(d.id(&Term::literal("40")), None);
+    }
+
+    #[test]
+    fn kinds_tracked() {
+        let mut d = TermDict::new();
+        let i = d.intern(&Term::iri("x"));
+        let b = d.intern(&Term::blank("y"));
+        let l = d.intern(&Term::literal("z"));
+        assert_eq!(d.kind(i), TermKind::Iri);
+        assert_eq!(d.kind(b), TermKind::Blank);
+        assert_eq!(d.kind(l), TermKind::Literal);
+        assert!(d.is_name(i));
+        assert!(!d.is_name(b));
+        assert!(d.is_name(l));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut d = TermDict::new();
+        d.intern(&Term::iri("a"));
+        d.intern(&Term::iri("b"));
+        let ids: Vec<u32> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

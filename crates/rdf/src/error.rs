@@ -1,0 +1,64 @@
+//! Error types for the RDF substrate.
+
+use std::fmt;
+
+/// Errors produced by the RDF layer (validation, parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A triple violated the RDF positional constraints.
+    InvalidTriple(String),
+    /// A syntax error while parsing N-Triples / Turtle-lite input.
+    Parse {
+        /// 1-based line of the error.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An undeclared prefix was used in a prefixed name.
+    UnknownPrefix(String),
+}
+
+impl RdfError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        RdfError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::InvalidTriple(msg) => write!(f, "invalid triple: {msg}"),
+            RdfError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            RdfError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            RdfError::InvalidTriple("x".into()).to_string(),
+            "invalid triple: x"
+        );
+        assert_eq!(
+            RdfError::parse(3, "bad token").to_string(),
+            "parse error at line 3: bad token"
+        );
+        assert_eq!(
+            RdfError::UnknownPrefix("foaf".into()).to_string(),
+            "unknown prefix: foaf"
+        );
+    }
+}

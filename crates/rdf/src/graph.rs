@@ -1,0 +1,493 @@
+//! The indexed triple store.
+//!
+//! A [`Graph`] owns a [`TermDict`] and keeps each triple in three B-tree
+//! permutation indexes (SPO, POS, OSP). Every one of the eight
+//! bound/unbound shapes of a triple pattern is answered by a contiguous
+//! range scan over one of the indexes, which is what the graph-pattern
+//! evaluator in `rps-query` builds on.
+
+use crate::dict::{TermDict, TermId};
+use crate::error::RdfError;
+use crate::term::Term;
+use crate::triple::{IdTriple, Triple};
+use std::collections::{BTreeSet, HashMap};
+use std::ops::RangeInclusive;
+
+const MIN: u32 = u32::MIN;
+const MAX: u32 = u32::MAX;
+
+/// An RDF graph (a set of RDF triples) with dictionary-interned terms and
+/// three permutation indexes.
+#[derive(Clone, Default)]
+pub struct Graph {
+    dict: TermDict,
+    spo: BTreeSet<[u32; 3]>,
+    pos: BTreeSet<[u32; 3]>,
+    osp: BTreeSet<[u32; 3]>,
+    /// Number of triples per predicate id, maintained for selectivity
+    /// estimation in the query planner.
+    pred_counts: HashMap<TermId, usize>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Interns a term in this graph's dictionary.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Looks up a term's id without interning.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.dict.id(term)
+    }
+
+    /// Resolves an id to its term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.dict.term(id)
+    }
+
+    /// Inserts an owned triple, validating RDF positional constraints.
+    /// Returns `true` if the triple was not already present.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let s = self.dict.intern(triple.subject());
+        let p = self.dict.intern(triple.predicate());
+        let o = self.dict.intern(triple.object());
+        self.insert_ids(IdTriple::new(s, p, o))
+    }
+
+    /// Inserts a triple given as `(s, p, o)` terms. Validates positions.
+    pub fn insert_terms(
+        &mut self,
+        subject: Term,
+        predicate: Term,
+        object: Term,
+    ) -> Result<bool, RdfError> {
+        let t = Triple::new(subject, predicate, object)?;
+        Ok(self.insert(&t))
+    }
+
+    /// Inserts an interned triple (ids must come from this graph's
+    /// dictionary). Returns `true` if newly added.
+    pub fn insert_ids(&mut self, t: IdTriple) -> bool {
+        let added = self.spo.insert([t.s.0, t.p.0, t.o.0]);
+        if added {
+            self.pos.insert([t.p.0, t.o.0, t.s.0]);
+            self.osp.insert([t.o.0, t.s.0, t.p.0]);
+            *self.pred_counts.entry(t.p).or_insert(0) += 1;
+        }
+        added
+    }
+
+    /// Removes an interned triple. Returns `true` if it was present.
+    pub fn remove_ids(&mut self, t: IdTriple) -> bool {
+        let removed = self.spo.remove(&[t.s.0, t.p.0, t.o.0]);
+        if removed {
+            self.pos.remove(&[t.p.0, t.o.0, t.s.0]);
+            self.osp.remove(&[t.o.0, t.s.0, t.p.0]);
+            if let Some(c) = self.pred_counts.get_mut(&t.p) {
+                *c -= 1;
+                if *c == 0 {
+                    self.pred_counts.remove(&t.p);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Removes an owned triple. Returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id(triple.subject()),
+            self.dict.id(triple.predicate()),
+            self.dict.id(triple.object()),
+        ) else {
+            return false;
+        };
+        self.remove_ids(IdTriple::new(s, p, o))
+    }
+
+    /// Membership test on interned ids.
+    pub fn contains_ids(&self, t: IdTriple) -> bool {
+        self.spo.contains(&[t.s.0, t.p.0, t.o.0])
+    }
+
+    /// Membership test on an owned triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.dict.id(triple.subject()),
+            self.dict.id(triple.predicate()),
+            self.dict.id(triple.object()),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.contains_ids(IdTriple::new(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Number of triples in the graph.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Iterates over all triples as interned ids, in SPO order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.spo
+            .iter()
+            .map(|&[s, p, o]| IdTriple::new(TermId(s), TermId(p), TermId(o)))
+    }
+
+    /// Iterates over all triples as owned terms, in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.iter_ids().map(|t| self.materialise(t))
+    }
+
+    /// Reconstructs an owned [`Triple`] from an interned one.
+    pub fn materialise(&self, t: IdTriple) -> Triple {
+        Triple::new_unchecked(
+            self.dict.term(t.s).clone(),
+            self.dict.term(t.p).clone(),
+            self.dict.term(t.o).clone(),
+        )
+    }
+
+    /// Matches a triple pattern given as optionally-bound interned ids.
+    ///
+    /// Every combination of bound positions is served by a contiguous range
+    /// scan over one of the three permutation indexes.
+    pub fn match_ids(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> MatchIter<'_> {
+        let (index, range, perm) = match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let key = [s.0, p.0, o.0];
+                return if self.spo.contains(&key) {
+                    MatchIter::single(IdTriple::new(s, p, o))
+                } else {
+                    MatchIter::empty()
+                };
+            }
+            (Some(s), Some(p), None) => (&self.spo, [s.0, p.0, MIN]..=[s.0, p.0, MAX], Perm::Spo),
+            (Some(s), None, None) => (&self.spo, [s.0, MIN, MIN]..=[s.0, MAX, MAX], Perm::Spo),
+            (Some(s), None, Some(o)) => (&self.osp, [o.0, s.0, MIN]..=[o.0, s.0, MAX], Perm::Osp),
+            (None, Some(p), Some(o)) => (&self.pos, [p.0, o.0, MIN]..=[p.0, o.0, MAX], Perm::Pos),
+            (None, Some(p), None) => (&self.pos, [p.0, MIN, MIN]..=[p.0, MAX, MAX], Perm::Pos),
+            (None, None, Some(o)) => (&self.osp, [o.0, MIN, MIN]..=[o.0, MAX, MAX], Perm::Osp),
+            (None, None, None) => (&self.spo, [MIN; 3]..=[MAX; 3], Perm::Spo),
+        };
+        MatchIter::range(index, range, perm)
+    }
+
+    /// Estimated number of matches for a pattern, used by the planner.
+    ///
+    /// Fully bound patterns cost 0 or 1; predicate-bound patterns use the
+    /// maintained per-predicate counts; subject/object-bound patterns are
+    /// estimated optimistically as sqrt of the graph size; unbound patterns
+    /// cost the full graph.
+    pub fn estimate(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                usize::from(self.contains_ids(IdTriple::new(s, p, o)))
+            }
+            (None, Some(p), None) => self.pred_counts.get(&p).copied().unwrap_or(0),
+            (_, Some(p), _) => {
+                // At least one of s/o bound in addition to p: refine the
+                // predicate count by an ad-hoc factor.
+                let base = self.pred_counts.get(&p).copied().unwrap_or(0);
+                (base / 4).max(1).min(base)
+            }
+            (None, None, None) => self.len(),
+            _ => {
+                // s and/or o bound, predicate free.
+                ((self.len() as f64).sqrt() as usize).max(1)
+            }
+        }
+    }
+
+    /// Number of triples whose predicate is `p`.
+    pub fn predicate_count(&self, p: TermId) -> usize {
+        self.pred_counts.get(&p).copied().unwrap_or(0)
+    }
+
+    /// The set of distinct term ids appearing anywhere in the graph.
+    pub fn terms_used(&self) -> BTreeSet<TermId> {
+        let mut out = BTreeSet::new();
+        for t in self.iter_ids() {
+            out.insert(t.s);
+            out.insert(t.p);
+            out.insert(t.o);
+        }
+        out
+    }
+
+    /// The set of IRIs used in the graph — the *peer schema* of a peer
+    /// storing this graph, per Section 2.2 of the paper.
+    pub fn iris_used(&self) -> BTreeSet<crate::term::Iri> {
+        let mut out = BTreeSet::new();
+        for id in self.terms_used() {
+            if let Term::Iri(iri) = self.dict.term(id) {
+                out.insert(iri.clone());
+            }
+        }
+        out
+    }
+
+    /// Unions another graph into this one, re-interning terms.
+    pub fn merge(&mut self, other: &Graph) {
+        for t in other.iter_ids() {
+            let s = self.dict.intern(other.term(t.s));
+            let p = self.dict.intern(other.term(t.p));
+            let o = self.dict.intern(other.term(t.o));
+            self.insert_ids(IdTriple::new(s, p, o));
+        }
+    }
+
+    /// Builds a graph from owned triples.
+    pub fn from_triples<I: IntoIterator<Item = Triple>>(triples: I) -> Self {
+        let mut g = Graph::new();
+        for t in triples {
+            g.insert(&t);
+        }
+        g
+    }
+
+    /// Returns `true` iff every triple of `self` occurs in `other`
+    /// (set inclusion on owned triples; dictionaries may differ).
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        self.iter().all(|t| other.contains(&t))
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("triples", &self.len())
+            .field("terms", &self.dict.len())
+            .finish()
+    }
+}
+
+impl PartialEq for Graph {
+    /// Graphs compare equal iff they contain the same set of owned triples
+    /// (dictionaries and id assignments are irrelevant).
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.is_subgraph_of(other)
+    }
+}
+
+impl Eq for Graph {}
+
+enum Perm {
+    Spo,
+    Pos,
+    Osp,
+}
+
+impl Perm {
+    fn unpermute(&self, key: [u32; 3]) -> IdTriple {
+        let [a, b, c] = key;
+        match self {
+            Perm::Spo => IdTriple::new(TermId(a), TermId(b), TermId(c)),
+            Perm::Pos => IdTriple::new(TermId(c), TermId(a), TermId(b)),
+            Perm::Osp => IdTriple::new(TermId(b), TermId(c), TermId(a)),
+        }
+    }
+}
+
+/// Iterator over the triples matching a pattern.
+pub struct MatchIter<'g> {
+    inner: MatchIterInner<'g>,
+}
+
+enum MatchIterInner<'g> {
+    Empty,
+    Single(Option<IdTriple>),
+    Range {
+        iter: std::collections::btree_set::Range<'g, [u32; 3]>,
+        perm: Perm,
+    },
+}
+
+impl<'g> MatchIter<'g> {
+    fn empty() -> Self {
+        MatchIter {
+            inner: MatchIterInner::Empty,
+        }
+    }
+
+    fn single(t: IdTriple) -> Self {
+        MatchIter {
+            inner: MatchIterInner::Single(Some(t)),
+        }
+    }
+
+    fn range(
+        index: &'g BTreeSet<[u32; 3]>,
+        range: RangeInclusive<[u32; 3]>,
+        perm: Perm,
+    ) -> Self {
+        MatchIter {
+            inner: MatchIterInner::Range {
+                iter: index.range(range),
+                perm,
+            },
+        }
+    }
+}
+
+impl Iterator for MatchIter<'_> {
+    type Item = IdTriple;
+
+    fn next(&mut self) -> Option<IdTriple> {
+        match &mut self.inner {
+            MatchIterInner::Empty => None,
+            MatchIterInner::Single(t) => t.take(),
+            MatchIterInner::Range { iter, perm } => iter.next().map(|&k| perm.unpermute(k)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert_terms(Term::iri("s1"), Term::iri("p1"), Term::iri("o1"))
+            .unwrap();
+        g.insert_terms(Term::iri("s1"), Term::iri("p1"), Term::iri("o2"))
+            .unwrap();
+        g.insert_terms(Term::iri("s1"), Term::iri("p2"), Term::iri("o1"))
+            .unwrap();
+        g.insert_terms(Term::iri("s2"), Term::iri("p1"), Term::iri("o1"))
+            .unwrap();
+        g.insert_terms(Term::iri("s2"), Term::iri("p2"), Term::literal("lit"))
+            .unwrap();
+        g
+    }
+
+    fn matches(g: &Graph, s: Option<&str>, p: Option<&str>, o: Option<&str>) -> usize {
+        let id = |x: Option<&str>| x.map(|v| g.term_id(&Term::iri(v)).unwrap());
+        g.match_ids(id(s), id(p), id(o)).count()
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut g = Graph::new();
+        let t = Triple::new(Term::iri("s"), Term::iri("p"), Term::iri("o")).unwrap();
+        assert!(g.insert(&t));
+        assert!(!g.insert(&t));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes() {
+        let g = sample();
+        assert_eq!(matches(&g, Some("s1"), Some("p1"), Some("o1")), 1);
+        assert_eq!(matches(&g, Some("s1"), Some("p1"), None), 2);
+        assert_eq!(matches(&g, Some("s1"), None, None), 3);
+        assert_eq!(matches(&g, Some("s1"), None, Some("o1")), 2);
+        assert_eq!(matches(&g, None, Some("p1"), Some("o1")), 2);
+        assert_eq!(matches(&g, None, Some("p1"), None), 3);
+        assert_eq!(matches(&g, None, None, Some("o1")), 3);
+        assert_eq!(matches(&g, None, None, None), 5);
+    }
+
+    #[test]
+    fn fully_bound_miss_is_empty() {
+        let g = sample();
+        assert_eq!(matches(&g, Some("s2"), Some("p1"), Some("o2")), 0);
+    }
+
+    #[test]
+    fn remove_updates_all_indexes() {
+        let mut g = sample();
+        let t = Triple::new(Term::iri("s1"), Term::iri("p1"), Term::iri("o1")).unwrap();
+        assert!(g.remove(&t));
+        assert!(!g.remove(&t));
+        assert_eq!(g.len(), 4);
+        assert_eq!(matches(&g, Some("s1"), Some("p1"), None), 1);
+        assert_eq!(matches(&g, None, Some("p1"), Some("o1")), 1);
+        assert_eq!(matches(&g, None, None, Some("o1")), 2);
+    }
+
+    #[test]
+    fn predicate_counts_maintained() {
+        let mut g = sample();
+        let p1 = g.term_id(&Term::iri("p1")).unwrap();
+        assert_eq!(g.predicate_count(p1), 3);
+        let t = Triple::new(Term::iri("s1"), Term::iri("p1"), Term::iri("o1")).unwrap();
+        g.remove(&t);
+        assert_eq!(g.predicate_count(p1), 2);
+    }
+
+    #[test]
+    fn merge_reinterns() {
+        let mut a = Graph::new();
+        a.insert_terms(Term::iri("x"), Term::iri("p"), Term::iri("y"))
+            .unwrap();
+        let mut b = Graph::new();
+        // Interleave so ids in b differ from ids in a for the same terms.
+        b.insert_terms(Term::iri("q"), Term::iri("p"), Term::iri("x"))
+            .unwrap();
+        b.insert_terms(Term::iri("x"), Term::iri("p"), Term::iri("y"))
+            .unwrap();
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(
+            &Triple::new(Term::iri("q"), Term::iri("p"), Term::iri("x")).unwrap()
+        ));
+    }
+
+    #[test]
+    fn graph_equality_ignores_dictionaries() {
+        let mut a = Graph::new();
+        a.insert_terms(Term::iri("one"), Term::iri("p"), Term::iri("two"))
+            .unwrap();
+        let mut b = Graph::new();
+        b.intern(&Term::iri("padding-term"));
+        b.insert_terms(Term::iri("one"), Term::iri("p"), Term::iri("two"))
+            .unwrap();
+        assert_eq!(a, b);
+        b.insert_terms(Term::iri("three"), Term::iri("p"), Term::iri("two"))
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iris_used_excludes_literals_and_blanks() {
+        let mut g = Graph::new();
+        g.insert_terms(Term::blank("b"), Term::iri("p"), Term::literal("l"))
+            .unwrap();
+        let iris = g.iris_used();
+        assert_eq!(iris.len(), 1);
+        assert_eq!(iris.iter().next().unwrap().as_str(), "p");
+    }
+
+    #[test]
+    fn estimates_are_sane() {
+        let g = sample();
+        let p1 = g.term_id(&Term::iri("p1")).unwrap();
+        let s1 = g.term_id(&Term::iri("s1")).unwrap();
+        assert_eq!(g.estimate(None, Some(p1), None), 3);
+        assert_eq!(g.estimate(None, None, None), 5);
+        assert!(g.estimate(Some(s1), None, None) >= 1);
+        let o1 = g.term_id(&Term::iri("o1")).unwrap();
+        assert_eq!(g.estimate(Some(s1), Some(p1), Some(o1)), 1);
+    }
+}

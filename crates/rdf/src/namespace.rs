@@ -1,0 +1,168 @@
+//! Namespace prefixes and well-known vocabulary constants.
+
+use crate::error::RdfError;
+use crate::term::Iri;
+use std::collections::BTreeMap;
+
+/// Well-known vocabulary IRIs used throughout the paper's examples.
+pub mod vocab {
+    /// `owl:sameAs` — the identity-link property whose semantics the
+    /// paper's equivalence mappings formalise (Section 1, footnote 1).
+    pub const OWL_SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+    /// `rdf:type`.
+    pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// The RDF namespace.
+    pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    /// The RDFS namespace.
+    pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    /// The OWL namespace.
+    pub const OWL_NS: &str = "http://www.w3.org/2002/07/owl#";
+    /// The XSD namespace.
+    pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    /// The FOAF namespace (used by Source 3 in the paper's Figure 1).
+    pub const FOAF_NS: &str = "http://xmlns.com/foaf/0.1/";
+}
+
+/// A prefix → namespace map supporting expansion of `prefix:local` names
+/// and best-effort shrinking for serialisation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrefixMap {
+    prefixes: BTreeMap<String, String>,
+}
+
+impl PrefixMap {
+    /// An empty prefix map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A prefix map preloaded with `rdf`, `rdfs`, `owl`, `xsd` and `foaf`.
+    pub fn common() -> Self {
+        let mut m = Self::new();
+        m.insert("rdf", vocab::RDF_NS);
+        m.insert("rdfs", vocab::RDFS_NS);
+        m.insert("owl", vocab::OWL_NS);
+        m.insert("xsd", vocab::XSD_NS);
+        m.insert("foaf", vocab::FOAF_NS);
+        m
+    }
+
+    /// Declares (or redeclares) a prefix.
+    pub fn insert(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        self.prefixes.insert(prefix.into(), namespace.into());
+    }
+
+    /// The namespace bound to a prefix.
+    pub fn get(&self, prefix: &str) -> Option<&str> {
+        self.prefixes.get(prefix).map(String::as_str)
+    }
+
+    /// Expands `prefix:local` to a full IRI.
+    pub fn expand(&self, prefixed: &str) -> Result<Iri, RdfError> {
+        let (prefix, local) = prefixed
+            .split_once(':')
+            .ok_or_else(|| RdfError::UnknownPrefix(prefixed.to_string()))?;
+        let ns = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| RdfError::UnknownPrefix(prefix.to_string()))?;
+        Ok(Iri::new(format!("{ns}{local}")))
+    }
+
+    /// Attempts to shrink a full IRI to `prefix:local` form, preferring the
+    /// longest matching namespace.
+    pub fn shrink(&self, iri: &Iri) -> Option<String> {
+        let s = iri.as_str();
+        let mut best: Option<(&str, &str)> = None;
+        for (prefix, ns) in &self.prefixes {
+            if let Some(local) = s.strip_prefix(ns.as_str()) {
+                // Locals with further separators would not round-trip.
+                if local.contains('/') || local.contains('#') || local.contains(':') {
+                    continue;
+                }
+                match best {
+                    Some((_, bns)) if bns.len() >= ns.len() => {}
+                    _ => best = Some((prefix, local)),
+                }
+            }
+        }
+        best.map(|(prefix, local)| format!("{prefix}:{local}"))
+    }
+
+    /// Iterates over `(prefix, namespace)` pairs in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.prefixes
+            .iter()
+            .map(|(p, n)| (p.as_str(), n.as_str()))
+    }
+
+    /// Number of declared prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether no prefixes are declared.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_known_prefix() {
+        let m = PrefixMap::common();
+        let iri = m.expand("foaf:age").unwrap();
+        assert_eq!(iri.as_str(), "http://xmlns.com/foaf/0.1/age");
+    }
+
+    #[test]
+    fn expand_unknown_prefix_fails() {
+        let m = PrefixMap::new();
+        assert!(matches!(
+            m.expand("db1:Spiderman"),
+            Err(RdfError::UnknownPrefix(_))
+        ));
+        assert!(matches!(
+            m.expand("nocolon"),
+            Err(RdfError::UnknownPrefix(_))
+        ));
+    }
+
+    #[test]
+    fn shrink_prefers_longest_namespace() {
+        let mut m = PrefixMap::new();
+        m.insert("a", "http://e/");
+        m.insert("ab", "http://e/deep/");
+        let iri = Iri::new("http://e/deep/x");
+        assert_eq!(m.shrink(&iri).unwrap(), "ab:x");
+    }
+
+    #[test]
+    fn shrink_refuses_non_roundtrippable_locals() {
+        let mut m = PrefixMap::new();
+        m.insert("a", "http://e/");
+        assert_eq!(m.shrink(&Iri::new("http://e/x/y")), None);
+        assert_eq!(m.shrink(&Iri::new("http://other/x")), None);
+    }
+
+    #[test]
+    fn common_contains_owl() {
+        let m = PrefixMap::common();
+        assert_eq!(
+            m.expand("owl:sameAs").unwrap().as_str(),
+            vocab::OWL_SAME_AS
+        );
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut m = PrefixMap::new();
+        assert!(m.is_empty());
+        m.insert("x", "http://x/");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.iter().next(), Some(("x", "http://x/")));
+    }
+}

@@ -1,0 +1,223 @@
+//! RDF triples, in both owned-term and interned-id form.
+
+use crate::dict::TermId;
+use crate::error::RdfError;
+use crate::term::{Term, TermKind};
+use std::fmt;
+
+/// An owned RDF triple `(s, p, o) ∈ (I ∪ B) × I × (I ∪ B ∪ L)`.
+///
+/// Construction through [`Triple::new`] enforces the positional constraints
+/// of the RDF data model (Section 2.1 of the paper).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    subject: Term,
+    predicate: Term,
+    object: Term,
+}
+
+impl Triple {
+    /// Creates a triple, validating the RDF positional constraints:
+    /// the subject must be an IRI or blank node, and the predicate an IRI.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Result<Self, RdfError> {
+        if subject.is_literal() {
+            return Err(RdfError::InvalidTriple(
+                "subject must be an IRI or blank node, found literal".into(),
+            ));
+        }
+        if !predicate.is_iri() {
+            return Err(RdfError::InvalidTriple(
+                "predicate must be an IRI".into(),
+            ));
+        }
+        Ok(Triple {
+            subject,
+            predicate,
+            object,
+        })
+    }
+
+    /// Creates a triple without validation.
+    ///
+    /// Used internally when the components are already known to be valid
+    /// (e.g. when materialising chase results whose positions are copied
+    /// from existing triples).
+    pub fn new_unchecked(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// The subject term.
+    pub fn subject(&self) -> &Term {
+        &self.subject
+    }
+
+    /// The predicate term.
+    pub fn predicate(&self) -> &Term {
+        &self.predicate
+    }
+
+    /// The object term.
+    pub fn object(&self) -> &Term {
+        &self.object
+    }
+
+    /// Destructures the triple into its components.
+    pub fn into_parts(self) -> (Term, Term, Term) {
+        (self.subject, self.predicate, self.object)
+    }
+
+    /// `true` iff no component is a blank node (the triple is "ground" in
+    /// the labelled-null sense used by the chase).
+    pub fn is_ground(&self) -> bool {
+        !self.subject.is_blank() && !self.object.is_blank()
+    }
+}
+
+impl fmt::Debug for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// An interned triple: three [`TermId`]s relative to some dictionary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct IdTriple {
+    /// Subject id.
+    pub s: TermId,
+    /// Predicate id.
+    pub p: TermId,
+    /// Object id.
+    pub o: TermId,
+}
+
+impl IdTriple {
+    /// Creates an interned triple.
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        IdTriple { s, p, o }
+    }
+
+    /// The component at a given [`TriplePosition`].
+    pub fn get(&self, pos: TriplePosition) -> TermId {
+        match pos {
+            TriplePosition::Subject => self.s,
+            TriplePosition::Predicate => self.p,
+            TriplePosition::Object => self.o,
+        }
+    }
+
+    /// Returns a copy with the component at `pos` replaced by `id`.
+    pub fn with(&self, pos: TriplePosition, id: TermId) -> IdTriple {
+        let mut t = *self;
+        match pos {
+            TriplePosition::Subject => t.s = id,
+            TriplePosition::Predicate => t.p = id,
+            TriplePosition::Object => t.o = id,
+        }
+        t
+    }
+}
+
+/// One of the three positions of a triple.
+///
+/// Equivalence mappings `c ≡ₑ c'` propagate triples across all three
+/// positions (the `subjQ`/`predQ`/`objQ` conditions of Definition 2), so
+/// code frequently iterates over [`TriplePosition::ALL`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum TriplePosition {
+    /// The subject position.
+    Subject,
+    /// The predicate position.
+    Predicate,
+    /// The object position.
+    Object,
+}
+
+impl TriplePosition {
+    /// All three positions, in subject/predicate/object order.
+    pub const ALL: [TriplePosition; 3] = [
+        TriplePosition::Subject,
+        TriplePosition::Predicate,
+        TriplePosition::Object,
+    ];
+}
+
+/// Validates that a term may occupy a given triple position.
+pub fn valid_at(kind: TermKind, pos: TriplePosition) -> bool {
+    match pos {
+        TriplePosition::Subject => kind != TermKind::Literal,
+        TriplePosition::Predicate => kind == TermKind::Iri,
+        TriplePosition::Object => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    #[test]
+    fn valid_triple() {
+        let t = Triple::new(iri("s"), iri("p"), Term::literal("o")).unwrap();
+        assert_eq!(t.subject(), &iri("s"));
+        assert_eq!(t.predicate(), &iri("p"));
+        assert_eq!(t.object(), &Term::literal("o"));
+        assert!(t.is_ground());
+    }
+
+    #[test]
+    fn literal_subject_rejected() {
+        assert!(Triple::new(Term::literal("s"), iri("p"), iri("o")).is_err());
+    }
+
+    #[test]
+    fn non_iri_predicate_rejected() {
+        assert!(Triple::new(iri("s"), Term::blank("p"), iri("o")).is_err());
+        assert!(Triple::new(iri("s"), Term::literal("p"), iri("o")).is_err());
+    }
+
+    #[test]
+    fn blank_nodes_allowed_in_subject_and_object() {
+        let t = Triple::new(Term::blank("x"), iri("p"), Term::blank("y")).unwrap();
+        assert!(!t.is_ground());
+    }
+
+    #[test]
+    fn id_triple_position_access() {
+        let t = IdTriple::new(TermId(1), TermId(2), TermId(3));
+        assert_eq!(t.get(TriplePosition::Subject), TermId(1));
+        assert_eq!(t.get(TriplePosition::Predicate), TermId(2));
+        assert_eq!(t.get(TriplePosition::Object), TermId(3));
+        let t2 = t.with(TriplePosition::Object, TermId(9));
+        assert_eq!(t2.o, TermId(9));
+        assert_eq!(t2.s, TermId(1));
+    }
+
+    #[test]
+    fn position_validity() {
+        assert!(valid_at(TermKind::Iri, TriplePosition::Subject));
+        assert!(valid_at(TermKind::Blank, TriplePosition::Subject));
+        assert!(!valid_at(TermKind::Literal, TriplePosition::Subject));
+        assert!(valid_at(TermKind::Iri, TriplePosition::Predicate));
+        assert!(!valid_at(TermKind::Blank, TriplePosition::Predicate));
+        assert!(valid_at(TermKind::Literal, TriplePosition::Object));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let t = Triple::new(iri("http://e/s"), iri("http://e/p"), Term::literal("v")).unwrap();
+        assert_eq!(t.to_string(), "<http://e/s> <http://e/p> \"v\" .");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the RDF substrate: store index coherence,
+//! serialisation round-trips, and merge/equality laws.
+
+use proptest::prelude::*;
+use rps_rdf::{turtle, Graph, Term, Triple};
+
+fn arb_term(allow_literal: bool, allow_blank: bool) -> impl Strategy<Value = Term> {
+    let iri = (0usize..12).prop_map(|i| Term::iri(format!("http://t/{i}")));
+    let blank = (0usize..4).prop_map(|i| Term::blank(format!("b{i}")));
+    let lit = (0usize..6).prop_map(|i| Term::literal(format!("v{i}")));
+    match (allow_literal, allow_blank) {
+        (true, true) => prop_oneof![4 => iri, 1 => blank, 2 => lit].boxed(),
+        (false, true) => prop_oneof![4 => iri, 1 => blank].boxed(),
+        (true, false) => prop_oneof![4 => iri, 2 => lit].boxed(),
+        (false, false) => iri.boxed(),
+    }
+}
+
+prop_compose! {
+    fn arb_triple()(
+        s in arb_term(false, true),
+        p in arb_term(false, false),
+        o in arb_term(true, true),
+    ) -> Triple {
+        Triple::new(s, p, o).expect("generated terms satisfy positions")
+    }
+}
+
+prop_compose! {
+    fn arb_graph()(triples in prop::collection::vec(arb_triple(), 0..40)) -> Graph {
+        Graph::from_triples(triples)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn insert_then_contains(g in arb_graph(), t in arb_triple()) {
+        let mut g = g;
+        g.insert(&t);
+        prop_assert!(g.contains(&t));
+    }
+
+    #[test]
+    fn remove_inverts_insert(g in arb_graph(), t in arb_triple()) {
+        let mut g = g;
+        let was_present = g.contains(&t);
+        g.insert(&t);
+        g.remove(&t);
+        prop_assert!(!g.contains(&t));
+        // Size is back to the original minus the removed triple.
+        let _ = was_present;
+    }
+
+    #[test]
+    fn all_indexes_agree(g in arb_graph()) {
+        // Every triple found by the full scan is found by each
+        // single-position probe, and counts match.
+        let all: Vec<_> = g.iter_ids().collect();
+        for t in &all {
+            prop_assert!(g.match_ids(Some(t.s), None, None).any(|x| x == *t));
+            prop_assert!(g.match_ids(None, Some(t.p), None).any(|x| x == *t));
+            prop_assert!(g.match_ids(None, None, Some(t.o)).any(|x| x == *t));
+            prop_assert!(g.match_ids(Some(t.s), Some(t.p), Some(t.o)).count() == 1);
+        }
+        let by_pred: usize = {
+            let mut preds: Vec<_> = all.iter().map(|t| t.p).collect();
+            preds.sort();
+            preds.dedup();
+            preds.iter().map(|p| g.match_ids(None, Some(*p), None).count()).sum()
+        };
+        prop_assert_eq!(by_pred, g.len());
+    }
+
+    #[test]
+    fn ntriples_roundtrip(g in arb_graph()) {
+        let text = turtle::to_ntriples(&g);
+        let g2 = turtle::parse(&text).expect("serialised graph reparses");
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn merge_is_union(a in arb_graph(), b in arb_graph()) {
+        let mut m = a.clone();
+        m.merge(&b);
+        for t in a.iter() {
+            prop_assert!(m.contains(&t));
+        }
+        for t in b.iter() {
+            prop_assert!(m.contains(&t));
+        }
+        // Merge is idempotent.
+        let before = m.len();
+        m.merge(&b);
+        prop_assert_eq!(m.len(), before);
+    }
+
+    #[test]
+    fn predicate_counts_consistent(g in arb_graph()) {
+        let mut preds: Vec<_> = g.iter_ids().map(|t| t.p).collect();
+        preds.sort();
+        preds.dedup();
+        for p in preds {
+            prop_assert_eq!(
+                g.predicate_count(p),
+                g.match_ids(None, Some(p), None).count()
+            );
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The restricted chase for sets of TGDs.
+//!
+//! The chase repeatedly finds *triggers* — homomorphisms of a TGD body
+//! into the instance whose head is not yet satisfied — and fires them,
+//! inventing fresh labelled nulls for existential variables. The result
+//! (when it terminates) is a *universal solution*: certain answers of any
+//! CQ are obtained by evaluating the CQ over it and dropping tuples with
+//! nulls (Fagin–Kolaitis–Miller–Popa, cited as \[12\] in the paper).
+//!
+//! The RPS-specific termination argument (Theorem 1) lives in `rps-core`;
+//! this engine is generic and therefore takes explicit budgets so that
+//! non-terminating inputs fail loudly instead of hanging.
+
+use crate::hom::{all_homomorphisms, apply, exists_homomorphism, Subst};
+use crate::instance::Instance;
+use crate::term::GroundTerm;
+use crate::tgd::Tgd;
+
+/// Budgets and switches for a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// Maximum number of chase *rounds* (full passes over all TGDs).
+    pub max_rounds: usize,
+    /// Maximum number of facts the chase may create in total.
+    pub max_facts: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            max_rounds: 10_000,
+            max_facts: 5_000_000,
+        }
+    }
+}
+
+/// Why the chase stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseOutcome {
+    /// A fixpoint was reached: the instance satisfies all TGDs.
+    Fixpoint,
+    /// The round budget was exhausted before reaching a fixpoint.
+    RoundBudgetExhausted,
+    /// The fact budget was exhausted before reaching a fixpoint.
+    FactBudgetExhausted,
+}
+
+/// The result of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The (possibly partial) chased instance.
+    pub instance: Instance,
+    /// Why the run stopped.
+    pub outcome: ChaseOutcome,
+    /// Number of trigger firings.
+    pub steps: usize,
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// Number of fresh labelled nulls created.
+    pub nulls_created: u64,
+}
+
+impl ChaseResult {
+    /// `true` iff the chase reached a fixpoint (the instance is a
+    /// universal solution).
+    pub fn is_complete(&self) -> bool {
+        self.outcome == ChaseOutcome::Fixpoint
+    }
+}
+
+/// Runs the restricted chase of `instance` under `tgds`.
+///
+/// `null_counter` is the starting value for fresh null labels; passing a
+/// value larger than any null already in the instance keeps labels
+/// globally unique across chase phases.
+pub fn chase(
+    mut instance: Instance,
+    tgds: &[Tgd],
+    config: &ChaseConfig,
+    mut null_counter: u64,
+) -> ChaseResult {
+    let start_nulls = null_counter;
+    let mut steps = 0usize;
+    let mut rounds = 0usize;
+
+    loop {
+        if rounds >= config.max_rounds {
+            return ChaseResult {
+                instance,
+                outcome: ChaseOutcome::RoundBudgetExhausted,
+                steps,
+                rounds,
+                nulls_created: null_counter - start_nulls,
+            };
+        }
+        rounds += 1;
+        let mut changed = false;
+
+        for tgd in tgds {
+            // Triggers are computed against the instance as it stood at
+            // the start of this TGD's turn; firing inserts immediately,
+            // and the satisfaction check always consults the live
+            // instance, making this a restricted (standard) chase.
+            let triggers = all_homomorphisms(tgd.body(), &instance, &Subst::new());
+            for trigger in triggers {
+                // Restricted chase: fire only if the head is not already
+                // satisfied by *some* extension of the trigger.
+                if exists_homomorphism(tgd.head(), &instance, &trigger) {
+                    continue;
+                }
+                // Extend the trigger with fresh nulls for existentials.
+                let mut extended = trigger.clone();
+                for z in tgd.existentials() {
+                    extended.insert(z, GroundTerm::Null(null_counter));
+                    null_counter += 1;
+                }
+                for head_atom in tgd.head() {
+                    let fact = apply(head_atom, &extended)
+                        .as_fact()
+                        .expect("extended trigger grounds the head");
+                    instance.insert(fact);
+                }
+                steps += 1;
+                changed = true;
+                if instance.len() > config.max_facts {
+                    return ChaseResult {
+                        instance,
+                        outcome: ChaseOutcome::FactBudgetExhausted,
+                        steps,
+                        rounds,
+                        nulls_created: null_counter - start_nulls,
+                    };
+                }
+            }
+        }
+
+        if !changed {
+            return ChaseResult {
+                instance,
+                outcome: ChaseOutcome::Fixpoint,
+                steps,
+                rounds,
+                nulls_created: null_counter - start_nulls,
+            };
+        }
+    }
+}
+
+/// Checks whether an instance satisfies every TGD (every body
+/// homomorphism extends to a head homomorphism). Used by tests and by the
+/// RPS solution checker.
+pub fn satisfies(instance: &Instance, tgds: &[Tgd]) -> bool {
+    tgds.iter().all(|tgd| {
+        all_homomorphisms(tgd.body(), instance, &Subst::new())
+            .into_iter()
+            .all(|trigger| exists_homomorphism(tgd.head(), instance, &trigger))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::dsl::*;
+
+    fn copy_tgd() -> Tgd {
+        Tgd::new(
+            vec![atom("src", &[v("x"), v("y")])],
+            vec![atom("dst", &[v("x"), v("y")])],
+        )
+    }
+
+    #[test]
+    fn copy_dependency_reaches_fixpoint() {
+        let inst: Instance = [fact("src", &["a", "b"]), fact("src", &["c", "d"])]
+            .into_iter()
+            .collect();
+        let r = chase(inst, &[copy_tgd()], &ChaseConfig::default(), 0);
+        assert!(r.is_complete());
+        assert!(r.instance.contains(&fact("dst", &["a", "b"])));
+        assert_eq!(r.instance.relation_size("dst"), 2);
+        assert_eq!(r.nulls_created, 0);
+        assert!(satisfies(&r.instance, &[copy_tgd()]));
+    }
+
+    #[test]
+    fn existentials_create_nulls() {
+        // person(x) -> hasParent(x, z)
+        let tgd = Tgd::new(
+            vec![atom("person", &[v("x")])],
+            vec![atom("hasParent", &[v("x"), v("z")])],
+        );
+        let inst: Instance = [fact("person", &["alice"])].into_iter().collect();
+        let r = chase(inst, std::slice::from_ref(&tgd), &ChaseConfig::default(), 100);
+        assert!(r.is_complete());
+        assert_eq!(r.nulls_created, 1);
+        assert_eq!(r.instance.relation_size("hasParent"), 1);
+        // Restricted chase: the null parent does NOT need its own parent
+        // unless a rule requires persons only.
+        assert!(satisfies(&r.instance, &[tgd]));
+    }
+
+    #[test]
+    fn restricted_chase_does_not_refire_satisfied_triggers() {
+        // r(x,y) -> exists z: r(y,z). With a cycle already present the
+        // restricted chase terminates without inventing nulls.
+        let tgd = Tgd::new(
+            vec![atom("r", &[v("x"), v("y")])],
+            vec![atom("r", &[v("y"), v("z")])],
+        );
+        let inst: Instance = [fact("r", &["a", "b"]), fact("r", &["b", "a"])]
+            .into_iter()
+            .collect();
+        let r = chase(inst, &[tgd], &ChaseConfig::default(), 0);
+        assert!(r.is_complete());
+        assert_eq!(r.steps, 0);
+    }
+
+    #[test]
+    fn transitive_closure_chase() {
+        // e(x,z) ∧ e(z,y) -> e(x,y) over a chain of 5.
+        let tgd = Tgd::new(
+            vec![
+                atom("e", &[v("x"), v("z")]),
+                atom("e", &[v("z"), v("y")]),
+            ],
+            vec![atom("e", &[v("x"), v("y")])],
+        );
+        let inst: Instance = (0..5)
+            .map(|i| fact("e", &[&i.to_string(), &(i + 1).to_string()]))
+            .collect();
+        let r = chase(inst, &[tgd], &ChaseConfig::default(), 0);
+        assert!(r.is_complete());
+        // Transitive closure of a 6-node chain: 6*5/2 = 15 pairs.
+        assert_eq!(r.instance.relation_size("e"), 15);
+        assert!(r.instance.contains(&fact("e", &["0", "5"])));
+    }
+
+    #[test]
+    fn non_terminating_chase_hits_budget() {
+        // r(x,y) -> exists z: r(y,z) on an acyclic seed never terminates
+        // under the oblivious chase; restricted also diverges because each
+        // new null's fact creates a fresh unsatisfied trigger.
+        let tgd = Tgd::new(
+            vec![atom("r", &[v("x"), v("y")])],
+            vec![atom("r", &[v("y"), v("z")])],
+        );
+        let inst: Instance = [fact("r", &["a", "b"])].into_iter().collect();
+        let cfg = ChaseConfig {
+            max_rounds: 20,
+            max_facts: 1_000,
+        };
+        let r = chase(inst, &[tgd], &cfg, 0);
+        assert!(!r.is_complete());
+        assert_eq!(r.outcome, ChaseOutcome::RoundBudgetExhausted);
+        assert!(r.nulls_created >= 19);
+    }
+
+    #[test]
+    fn fact_budget_stops_explosion() {
+        // Cartesian-product generator: a(x) ∧ a(y) -> exists z: b(x,y,z)
+        let tgd = Tgd::new(
+            vec![atom("a", &[v("x")]), atom("a", &[v("y")])],
+            vec![atom("b", &[v("x"), v("y"), v("z")])],
+        );
+        let inst: Instance = (0..40).map(|i| fact("a", &[&i.to_string()])).collect();
+        let cfg = ChaseConfig {
+            max_rounds: 100,
+            max_facts: 500,
+        };
+        let r = chase(inst, &[tgd], &cfg, 0);
+        assert_eq!(r.outcome, ChaseOutcome::FactBudgetExhausted);
+        assert!(r.instance.len() > 500);
+    }
+
+    #[test]
+    fn multi_atom_heads() {
+        let tgd = Tgd::new(
+            vec![atom("p", &[v("x")])],
+            vec![
+                atom("q", &[v("x"), v("z")]),
+                atom("r", &[v("z"), v("x")]),
+            ],
+        );
+        let inst: Instance = [fact("p", &["a"])].into_iter().collect();
+        let r = chase(inst, &[tgd], &ChaseConfig::default(), 0);
+        assert!(r.is_complete());
+        assert_eq!(r.instance.relation_size("q"), 1);
+        assert_eq!(r.instance.relation_size("r"), 1);
+        // The same null links q and r.
+        let qrow = r.instance.rows("q").next().unwrap().clone();
+        let rrow = r.instance.rows("r").next().unwrap().clone();
+        assert_eq!(qrow[1], rrow[0]);
+    }
+
+    #[test]
+    fn satisfies_detects_violation() {
+        let inst: Instance = [fact("src", &["a", "b"])].into_iter().collect();
+        assert!(!satisfies(&inst, &[copy_tgd()]));
+    }
+}

@@ -1,0 +1,285 @@
+//! Homomorphism search: matching conjunctions of atoms into an instance.
+//!
+//! This is the workhorse of both the chase (finding triggers, checking
+//! whether a trigger is already satisfied) and conjunctive-query
+//! evaluation over chased instances.
+
+use crate::instance::Instance;
+use crate::term::{Atom, AtomArg, GroundTerm, Sym};
+use std::collections::HashMap;
+
+/// A substitution from variables to ground terms.
+pub type Subst = HashMap<Sym, GroundTerm>;
+
+/// Finds all homomorphisms from the conjunction `atoms` into `instance`,
+/// extending the partial substitution `seed`.
+pub fn all_homomorphisms(atoms: &[Atom], instance: &Instance, seed: &Subst) -> Vec<Subst> {
+    let mut out = Vec::new();
+    let order = plan(atoms, instance);
+    let mut subst = seed.clone();
+    search(&order, 0, instance, &mut subst, &mut |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+/// Returns `true` iff at least one homomorphism exists (early exit).
+pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance, seed: &Subst) -> bool {
+    let order = plan(atoms, instance);
+    let mut subst = seed.clone();
+    let mut found = false;
+    search(&order, 0, instance, &mut subst, &mut |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+/// Orders atoms greedily: smaller relations first, preferring atoms that
+/// share variables with already-placed atoms.
+fn plan<'a>(atoms: &'a [Atom], instance: &Instance) -> Vec<&'a Atom> {
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut order: Vec<&Atom> = Vec::with_capacity(atoms.len());
+    let mut bound: std::collections::HashSet<&Sym> = std::collections::HashSet::new();
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, a)| {
+                let size = instance.relation_size(&a.pred);
+                let connected = a.vars().any(|v| bound.contains(v));
+                // Strongly prefer connected atoms; among ties, small ones.
+                (if connected || bound.is_empty() { 0 } else { 1 }, size)
+            })
+            .expect("non-empty");
+        let atom = remaining.remove(idx);
+        for v in atom.vars() {
+            bound.insert(v);
+        }
+        order.push(atom);
+    }
+    order
+}
+
+/// Backtracking matcher. `emit` returns `false` to stop the search.
+fn search(
+    order: &[&Atom],
+    depth: usize,
+    instance: &Instance,
+    subst: &mut Subst,
+    emit: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    if depth == order.len() {
+        return emit(subst);
+    }
+    let atom = order[depth];
+    // Candidate rows: a first-argument range scan when the leading
+    // position is already determined, otherwise the full relation.
+    let first_bound = atom.args.first().and_then(|arg| match arg {
+        AtomArg::Const(c) => Some(GroundTerm::Const(c.clone())),
+        AtomArg::Null(n) => Some(GroundTerm::Null(*n)),
+        AtomArg::Var(x) => subst.get(x).cloned(),
+    });
+    let rows: Vec<&Vec<GroundTerm>> = match &first_bound {
+        Some(first) => instance.rows_with_first(&atom.pred, first).collect(),
+        None => instance.rows(&atom.pred).collect(),
+    };
+    'rows: for row in rows {
+        if row.len() != atom.args.len() {
+            continue;
+        }
+        let mut newly_bound: Vec<Sym> = Vec::new();
+        for (arg, val) in atom.args.iter().zip(row.iter()) {
+            let ok = match arg {
+                AtomArg::Const(c) => matches!(val, GroundTerm::Const(v) if v == c),
+                AtomArg::Null(n) => matches!(val, GroundTerm::Null(v) if v == n),
+                AtomArg::Var(x) => match subst.get(x) {
+                    Some(existing) => existing == val,
+                    None => {
+                        subst.insert(x.clone(), val.clone());
+                        newly_bound.push(x.clone());
+                        true
+                    }
+                },
+            };
+            if !ok {
+                for x in newly_bound {
+                    subst.remove(&x);
+                }
+                continue 'rows;
+            }
+        }
+        let keep_going = search(order, depth + 1, instance, subst, emit);
+        for x in newly_bound {
+            subst.remove(&x);
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Applies a substitution to an atom; unmapped variables remain.
+pub fn apply(atom: &Atom, subst: &Subst) -> Atom {
+    Atom::new(
+        atom.pred.clone(),
+        atom.args
+            .iter()
+            .map(|a| match a {
+                AtomArg::Var(x) => match subst.get(x) {
+                    Some(g) => AtomArg::from(g.clone()),
+                    None => a.clone(),
+                },
+                other => other.clone(),
+            })
+            .collect(),
+    )
+}
+
+/// Evaluates a conjunctive query `(head_vars, body)` over an instance,
+/// returning the projected answer tuples. If `certain` is set, tuples
+/// containing labelled nulls are dropped (certain-answer semantics of
+/// data exchange).
+pub fn evaluate_cq(
+    head_vars: &[Sym],
+    body: &[Atom],
+    instance: &Instance,
+    certain: bool,
+) -> std::collections::BTreeSet<Vec<GroundTerm>> {
+    let mut out = std::collections::BTreeSet::new();
+    for subst in all_homomorphisms(body, instance, &Subst::new()) {
+        let tuple: Option<Vec<GroundTerm>> =
+            head_vars.iter().map(|v| subst.get(v).cloned()).collect();
+        if let Some(tuple) = tuple {
+            if certain && tuple.iter().any(GroundTerm::is_null) {
+                continue;
+            }
+            out.insert(tuple);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::dsl::*;
+    use crate::term::Fact;
+
+    fn inst() -> Instance {
+        [
+            fact("e", &["a", "b"]),
+            fact("e", &["b", "c"]),
+            fact("e", &["c", "d"]),
+            fact("lbl", &["a", "start"]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn single_atom_all_matches() {
+        let homs = all_homomorphisms(&[atom("e", &[v("x"), v("y")])], &inst(), &Subst::new());
+        assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn path_join() {
+        let body = [
+            atom("e", &[v("x"), v("y")]),
+            atom("e", &[v("y"), v("z")]),
+        ];
+        let homs = all_homomorphisms(&body, &inst(), &Subst::new());
+        assert_eq!(homs.len(), 2); // a-b-c and b-c-d
+    }
+
+    #[test]
+    fn constant_filters() {
+        let body = [atom("e", &[c("a"), v("y")])];
+        let homs = all_homomorphisms(&body, &inst(), &Subst::new());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0][&Sym::from("y")], GroundTerm::constant("b"));
+    }
+
+    #[test]
+    fn seed_constrains_search() {
+        let mut seed = Subst::new();
+        seed.insert(Sym::from("x"), GroundTerm::constant("b"));
+        let homs = all_homomorphisms(&[atom("e", &[v("x"), v("y")])], &inst(), &seed);
+        assert_eq!(homs.len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut i = inst();
+        i.insert(fact("e", &["z", "z"]));
+        let homs = all_homomorphisms(&[atom("e", &[v("x"), v("x")])], &i, &Subst::new());
+        assert_eq!(homs.len(), 1);
+    }
+
+    #[test]
+    fn exists_short_circuits() {
+        assert!(exists_homomorphism(
+            &[atom("e", &[v("x"), v("y")])],
+            &inst(),
+            &Subst::new()
+        ));
+        assert!(!exists_homomorphism(
+            &[atom("e", &[c("d"), v("y")])],
+            &inst(),
+            &Subst::new()
+        ));
+    }
+
+    #[test]
+    fn null_matching() {
+        let mut i = Instance::new();
+        i.insert(Fact::new(
+            "t",
+            vec![GroundTerm::constant("a"), GroundTerm::Null(7)],
+        ));
+        // Variables can bind nulls.
+        let homs = all_homomorphisms(&[atom("t", &[v("x"), v("y")])], &i, &Subst::new());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0][&Sym::from("y")], GroundTerm::Null(7));
+        // Null literals in atoms match only the same null.
+        assert!(exists_homomorphism(
+            &[atom("t", &[v("x"), AtomArg::Null(7)])],
+            &i,
+            &Subst::new()
+        ));
+        assert!(!exists_homomorphism(
+            &[atom("t", &[v("x"), AtomArg::Null(8)])],
+            &i,
+            &Subst::new()
+        ));
+    }
+
+    #[test]
+    fn cq_evaluation_certain_vs_open() {
+        let mut i = Instance::new();
+        i.insert(Fact::new(
+            "t",
+            vec![GroundTerm::constant("a"), GroundTerm::Null(1)],
+        ));
+        i.insert(Fact::new(
+            "t",
+            vec![GroundTerm::constant("a"), GroundTerm::constant("b")],
+        ));
+        let body = [atom("t", &[v("x"), v("y")])];
+        let open = evaluate_cq(&[Sym::from("y")], &body, &i, false);
+        let certain = evaluate_cq(&[Sym::from("y")], &body, &i, true);
+        assert_eq!(open.len(), 2);
+        assert_eq!(certain.len(), 1);
+    }
+
+    #[test]
+    fn apply_substitution() {
+        let mut s = Subst::new();
+        s.insert(Sym::from("x"), GroundTerm::Null(3));
+        let a = apply(&atom("t", &[v("x"), v("y"), c("k")]), &s);
+        assert_eq!(a.to_string(), "t(⊥3,?y,k)");
+    }
+}

@@ -1,0 +1,207 @@
+//! Relational instances: sets of ground facts with per-predicate and
+//! per-position indexes for homomorphism search.
+
+use crate::term::{Fact, GroundTerm, Sym};
+use std::collections::{BTreeSet, HashMap};
+
+/// A relational instance — a set of ground facts over some alphabet.
+#[derive(Clone, Default)]
+pub struct Instance {
+    /// Facts grouped by predicate, kept sorted for deterministic
+    /// iteration.
+    relations: HashMap<Sym, BTreeSet<Vec<GroundTerm>>>,
+    len: usize,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact; returns `true` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        let added = self
+            .relations
+            .entry(fact.pred)
+            .or_default()
+            .insert(fact.args);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relations
+            .get(&fact.pred)
+            .is_some_and(|rows| rows.contains(&fact.args))
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of facts for one predicate.
+    pub fn relation_size(&self, pred: &str) -> usize {
+        self.relations.get(pred).map_or(0, BTreeSet::len)
+    }
+
+    /// Iterates over the rows of one predicate in sorted order.
+    pub fn rows(&self, pred: &str) -> impl Iterator<Item = &Vec<GroundTerm>> {
+        self.relations.get(pred).into_iter().flatten()
+    }
+
+    /// Iterates over the rows of one predicate whose *first* argument is
+    /// `first`. Rows are stored sorted lexicographically, so this is a
+    /// range scan — the workhorse of join matching when the leading
+    /// argument is already bound.
+    pub fn rows_with_first<'a>(
+        &'a self,
+        pred: &str,
+        first: &'a GroundTerm,
+    ) -> impl Iterator<Item = &'a Vec<GroundTerm>> {
+        self.relations
+            .get(pred)
+            .into_iter()
+            .flat_map(move |rows| {
+                rows.range(vec![first.clone()]..)
+                    .take_while(move |row| row.first() == Some(first))
+            })
+    }
+
+    /// Iterates over all facts in deterministic (predicate-grouped) order.
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        let mut preds: Vec<&Sym> = self.relations.keys().collect();
+        preds.sort();
+        preds.into_iter().flat_map(move |p| {
+            self.relations[p]
+                .iter()
+                .map(move |args| Fact::new(p.clone(), args.clone()))
+        })
+    }
+
+    /// The set of constants (not nulls) appearing anywhere in the
+    /// instance.
+    pub fn constants(&self) -> BTreeSet<Sym> {
+        let mut out = BTreeSet::new();
+        for rows in self.relations.values() {
+            for row in rows {
+                for t in row {
+                    if let GroundTerm::Const(c) = t {
+                        out.insert(c.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The number of distinct labelled nulls in the instance.
+    pub fn null_count(&self) -> usize {
+        let mut nulls = BTreeSet::new();
+        for rows in self.relations.values() {
+            for row in rows {
+                for t in row {
+                    if let GroundTerm::Null(n) = t {
+                        nulls.insert(*n);
+                    }
+                }
+            }
+        }
+        nulls.len()
+    }
+
+    /// Unions another instance into this one.
+    pub fn merge(&mut self, other: &Instance) {
+        for f in other.iter() {
+            self.insert(f);
+        }
+    }
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance").field("facts", &self.len).finish()
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        self.iter().all(|f| other.contains(&f))
+    }
+}
+
+impl Eq for Instance {}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        let mut i = Instance::new();
+        for f in iter {
+            i.insert(f);
+        }
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::dsl::fact;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut i = Instance::new();
+        assert!(i.insert(fact("r", &["a", "b"])));
+        assert!(!i.insert(fact("r", &["a", "b"])));
+        assert!(i.contains(&fact("r", &["a", "b"])));
+        assert!(!i.contains(&fact("r", &["b", "a"])));
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.relation_size("r"), 1);
+        assert_eq!(i.relation_size("s"), 0);
+    }
+
+    #[test]
+    fn constants_and_nulls() {
+        let mut i = Instance::new();
+        i.insert(Fact::new(
+            "t",
+            vec![GroundTerm::constant("a"), GroundTerm::Null(5)],
+        ));
+        i.insert(Fact::new(
+            "t",
+            vec![GroundTerm::Null(5), GroundTerm::Null(6)],
+        ));
+        assert_eq!(i.constants().len(), 1);
+        assert_eq!(i.null_count(), 2);
+    }
+
+    #[test]
+    fn merge_and_equality() {
+        let a: Instance = [fact("r", &["1"]), fact("s", &["2"])].into_iter().collect();
+        let mut b: Instance = [fact("s", &["2"])].into_iter().collect();
+        assert_ne!(a, b);
+        b.merge(&a);
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let i: Instance = [fact("z", &["1"]), fact("a", &["2"]), fact("a", &["1"])]
+            .into_iter()
+            .collect();
+        let order: Vec<String> = i.iter().map(|f| f.to_string()).collect();
+        assert_eq!(order, vec!["a(1)", "a(2)", "z(1)"]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # rps-tgd — relational data-exchange substrate
+//!
+//! Section 3 of *Peer-to-Peer Semantic Integration of Linked Data* reduces
+//! RPS query answering to conjunctive-query answering in relational data
+//! exchange (Fagin–Kolaitis–Miller–Popa). This crate provides that
+//! substrate, built from scratch:
+//!
+//! * [`term`] — constants, labelled nulls, variables, atoms, facts;
+//! * [`instance`] — relational instances with per-predicate indexes;
+//! * [`hom`] — homomorphism search and CQ evaluation;
+//! * [`tgd`] — tuple-generating dependencies, frontier/existential
+//!   analysis, per-TGD linearity/guardedness;
+//! * [`mod@chase`] — the restricted chase with explicit budgets, producing
+//!   universal solutions;
+//! * [`classify`] — the Definition-4 variable-marking stickiness test,
+//!   linearity, guardedness and weak-acyclicity classifiers
+//!   (experiment E7);
+//! * [`mod@rewrite`] — depth-bounded UCQ rewriting (TGD-rewrite style) with
+//!   rewriting and factorisation steps, used for Proposition 2
+//!   (perfect rewritings for linear/sticky sets) and Proposition 3
+//!   (transitive closure defeats any bounded rewriting).
+
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod datalog;
+pub mod classify;
+pub mod hom;
+pub mod instance;
+pub mod rewrite;
+pub mod term;
+pub mod tgd;
+
+pub use chase::{chase, satisfies, ChaseConfig, ChaseOutcome, ChaseResult};
+pub use datalog::{DatalogError, Program};
+pub use classify::{
+    is_guarded, is_linear, is_sticky, is_sticky_join, is_weakly_acyclic, marking,
+    sticky_violations, Classification, Marking,
+};
+pub use hom::{all_homomorphisms, evaluate_cq, exists_homomorphism, Subst};
+pub use instance::Instance;
+pub use rewrite::{
+    evaluate_union, normalize_single_head, rewrite, Cq, RewriteConfig, RewriteResult,
+};
+pub use term::{Atom, AtomArg, Fact, GroundTerm, Sym};
+pub use tgd::Tgd;

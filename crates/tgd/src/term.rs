@@ -1,0 +1,277 @@
+//! Terms, atoms and facts of the relational data-exchange substrate.
+//!
+//! Section 3 of the paper reduces RPS query answering to conjunctive-query
+//! answering in relational data exchange over the alphabets
+//! `Rs = {ts/3, rs/1}` and `Rt = {tt/3, rt/1}`. This module provides the
+//! generic relational machinery: constants, labelled nulls, variables,
+//! atoms and ground facts.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned-ish symbol (predicate names, constants, variable names).
+pub type Sym = Arc<str>;
+
+/// A ground value: a constant or a labelled null.
+///
+/// Labelled nulls are the relational counterpart of the "newly created
+/// blank nodes" of the paper's chase (Section 3).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroundTerm {
+    /// A constant from `I ∪ B ∪ L` (or any relational domain value).
+    Const(Sym),
+    /// A labelled null, identified by a global counter.
+    Null(u64),
+}
+
+impl GroundTerm {
+    /// Creates a constant.
+    pub fn constant(s: impl Into<Sym>) -> Self {
+        GroundTerm::Const(s.into())
+    }
+
+    /// `true` iff this is a labelled null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, GroundTerm::Null(_))
+    }
+}
+
+impl fmt::Debug for GroundTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundTerm::Const(s) => write!(f, "{s}"),
+            GroundTerm::Null(n) => write!(f, "⊥{n}"),
+        }
+    }
+}
+
+impl fmt::Display for GroundTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// An argument of a (possibly non-ground) atom.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AtomArg {
+    /// A constant.
+    Const(Sym),
+    /// A variable.
+    Var(Sym),
+    /// A labelled null (appears when queries are partially instantiated
+    /// with chase-produced values).
+    Null(u64),
+}
+
+impl AtomArg {
+    /// Creates a variable argument.
+    pub fn var(s: impl Into<Sym>) -> Self {
+        AtomArg::Var(s.into())
+    }
+
+    /// Creates a constant argument.
+    pub fn constant(s: impl Into<Sym>) -> Self {
+        AtomArg::Const(s.into())
+    }
+
+    /// The variable name, if this argument is a variable.
+    pub fn as_var(&self) -> Option<&Sym> {
+        match self {
+            AtomArg::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this argument is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, AtomArg::Var(_))
+    }
+
+    /// Converts to a ground term if no variable.
+    pub fn as_ground(&self) -> Option<GroundTerm> {
+        match self {
+            AtomArg::Const(c) => Some(GroundTerm::Const(c.clone())),
+            AtomArg::Null(n) => Some(GroundTerm::Null(*n)),
+            AtomArg::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for AtomArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomArg::Const(s) => write!(f, "{s}"),
+            AtomArg::Var(v) => write!(f, "?{v}"),
+            AtomArg::Null(n) => write!(f, "⊥{n}"),
+        }
+    }
+}
+
+impl fmt::Display for AtomArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl From<GroundTerm> for AtomArg {
+    fn from(g: GroundTerm) -> Self {
+        match g {
+            GroundTerm::Const(c) => AtomArg::Const(c),
+            GroundTerm::Null(n) => AtomArg::Null(n),
+        }
+    }
+}
+
+/// A relational atom `r(t₁, …, tₖ)` whose arguments may contain variables.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: Sym,
+    /// Arguments.
+    pub args: Vec<AtomArg>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(pred: impl Into<Sym>, args: Vec<AtomArg>) -> Self {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Iterates over the variables of the atom (with duplicates).
+    pub fn vars(&self) -> impl Iterator<Item = &Sym> {
+        self.args.iter().filter_map(AtomArg::as_var)
+    }
+
+    /// Converts to a fact if ground.
+    pub fn as_fact(&self) -> Option<Fact> {
+        let args: Option<Vec<GroundTerm>> = self.args.iter().map(AtomArg::as_ground).collect();
+        Some(Fact {
+            pred: self.pred.clone(),
+            args: args?,
+        })
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}({})", self.pred, args.join(","))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A ground fact `r(v₁, …, vₖ)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// Predicate symbol.
+    pub pred: Sym,
+    /// Ground arguments.
+    pub args: Vec<GroundTerm>,
+}
+
+impl Fact {
+    /// Creates a fact.
+    pub fn new(pred: impl Into<Sym>, args: Vec<GroundTerm>) -> Self {
+        Fact {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// `true` iff no argument is a labelled null.
+    pub fn is_null_free(&self) -> bool {
+        self.args.iter().all(|a| !a.is_null())
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}({})", self.pred, args.join(","))
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Convenience macro-free builders used pervasively in tests.
+pub mod dsl {
+    use super::*;
+
+    /// Variable argument.
+    pub fn v(name: &str) -> AtomArg {
+        AtomArg::var(name)
+    }
+
+    /// Constant argument.
+    pub fn c(name: &str) -> AtomArg {
+        AtomArg::constant(name)
+    }
+
+    /// Atom builder.
+    pub fn atom(pred: &str, args: &[AtomArg]) -> Atom {
+        Atom::new(pred, args.to_vec())
+    }
+
+    /// Ground fact builder from constant names.
+    pub fn fact(pred: &str, args: &[&str]) -> Fact {
+        Fact::new(
+            pred,
+            args.iter().map(|a| GroundTerm::constant(*a)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+
+    #[test]
+    fn ground_term_nulls() {
+        assert!(GroundTerm::Null(3).is_null());
+        assert!(!GroundTerm::constant("a").is_null());
+        assert_eq!(GroundTerm::Null(3).to_string(), "⊥3");
+    }
+
+    #[test]
+    fn atom_vars_and_fact_conversion() {
+        let a = atom("t", &[v("x"), c("k"), v("x")]);
+        let vars: Vec<_> = a.vars().collect();
+        assert_eq!(vars.len(), 2);
+        assert!(a.as_fact().is_none());
+        let g = atom("t", &[c("a"), c("b"), AtomArg::Null(1)]);
+        let f = g.as_fact().unwrap();
+        assert!(!f.is_null_free());
+        assert_eq!(f.to_string(), "t(a,b,⊥1)");
+    }
+
+    #[test]
+    fn fact_builder() {
+        let f = fact("r", &["x", "y"]);
+        assert_eq!(f.pred.as_ref(), "r");
+        assert!(f.is_null_free());
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = atom("t", &[v("x"), c("a")]);
+        assert_eq!(a.to_string(), "t(?x,a)");
+    }
+}

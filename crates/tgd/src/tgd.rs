@@ -1,0 +1,165 @@
+//! Tuple-generating dependencies (TGDs).
+//!
+//! A TGD is a first-order sentence
+//! `∀x̄ ∀ȳ φ(x̄, ȳ) → ∃z̄ ψ(x̄, z̄)` where `φ` (body) and `ψ` (head) are
+//! conjunctions of atoms. The *frontier* is the set of body variables that
+//! also occur in the head; head variables outside the frontier are
+//! existentially quantified.
+
+use crate::term::{Atom, Sym};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple-generating dependency.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tgd {
+    body: Vec<Atom>,
+    head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Creates a TGD from body and head conjunctions.
+    ///
+    /// # Panics
+    /// Panics if body or head is empty — such dependencies are degenerate
+    /// and never arise from RPS mappings.
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Self {
+        assert!(!body.is_empty(), "TGD body must be non-empty");
+        assert!(!head.is_empty(), "TGD head must be non-empty");
+        Tgd { body, head }
+    }
+
+    /// The body atoms `φ`.
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// The head atoms `ψ`.
+    pub fn head(&self) -> &[Atom] {
+        &self.head
+    }
+
+    /// The set of body variables.
+    pub fn body_vars(&self) -> BTreeSet<Sym> {
+        self.body.iter().flat_map(|a| a.vars().cloned()).collect()
+    }
+
+    /// The set of head variables.
+    pub fn head_vars(&self) -> BTreeSet<Sym> {
+        self.head.iter().flat_map(|a| a.vars().cloned()).collect()
+    }
+
+    /// The frontier: body variables that also appear in the head.
+    pub fn frontier(&self) -> BTreeSet<Sym> {
+        let hv = self.head_vars();
+        self.body_vars().into_iter().filter(|v| hv.contains(v)).collect()
+    }
+
+    /// The existential variables: head variables not in the body.
+    pub fn existentials(&self) -> BTreeSet<Sym> {
+        let bv = self.body_vars();
+        self.head_vars().into_iter().filter(|v| !bv.contains(v)).collect()
+    }
+
+    /// `true` iff the TGD is *linear* (single body atom).
+    pub fn is_linear(&self) -> bool {
+        self.body.len() == 1
+    }
+
+    /// `true` iff the TGD is *guarded*: some body atom contains all body
+    /// variables.
+    pub fn is_guarded(&self) -> bool {
+        let all = self.body_vars();
+        self.body.iter().any(|a| {
+            let vars: BTreeSet<Sym> = a.vars().cloned().collect();
+            all.iter().all(|v| vars.contains(v))
+        })
+    }
+
+    /// `true` iff the TGD is *full* (no existential variables).
+    pub fn is_full(&self) -> bool {
+        self.existentials().is_empty()
+    }
+}
+
+impl fmt::Debug for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
+        let h: Vec<String> = self.head.iter().map(|a| a.to_string()).collect();
+        write!(f, "{} -> {}", b.join(" ∧ "), h.join(" ∧ "))
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::dsl::*;
+
+    /// The paper's Section 4 example of a non-sticky graph-mapping TGD:
+    /// `tt(x,A,z) ∧ tt(z,B,y) → tt(x,C,y)`.
+    pub fn section4_tgd() -> Tgd {
+        Tgd::new(
+            vec![
+                atom("tt", &[v("x"), c("A"), v("z")]),
+                atom("tt", &[v("z"), c("B"), v("y")]),
+            ],
+            vec![atom("tt", &[v("x"), c("C"), v("y")])],
+        )
+    }
+
+    #[test]
+    fn frontier_and_existentials() {
+        let t = Tgd::new(
+            vec![atom("r", &[v("x"), v("y")])],
+            vec![atom("s", &[v("x"), v("z")])],
+        );
+        assert_eq!(t.frontier(), BTreeSet::from([Sym::from("x")]));
+        assert_eq!(t.existentials(), BTreeSet::from([Sym::from("z")]));
+        assert!(!t.is_full());
+        assert!(t.is_linear());
+        assert!(t.is_guarded());
+    }
+
+    #[test]
+    fn section4_shape() {
+        let t = section4_tgd();
+        assert!(!t.is_linear());
+        assert!(!t.is_guarded()); // no body atom contains x, z, and y
+        assert!(t.is_full());
+        assert_eq!(t.frontier().len(), 2);
+    }
+
+    #[test]
+    fn guardedness() {
+        let t = Tgd::new(
+            vec![
+                atom("g", &[v("x"), v("y"), v("z")]),
+                atom("r", &[v("x"), v("y")]),
+            ],
+            vec![atom("s", &[v("x")])],
+        );
+        assert!(t.is_guarded());
+        assert!(!t.is_linear());
+    }
+
+    #[test]
+    #[should_panic(expected = "body must be non-empty")]
+    fn empty_body_panics() {
+        let _ = Tgd::new(vec![], vec![atom("s", &[v("x")])]);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tgd::new(
+            vec![atom("r", &[v("x")])],
+            vec![atom("s", &[v("x"), v("z")])],
+        );
+        assert_eq!(t.to_string(), "r(?x) -> s(?x,?z)");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the data-exchange substrate: chase
+//! soundness/fixpoint laws and rewriting soundness/perfection.
+
+use proptest::prelude::*;
+use rps_tgd::{
+    chase, rewrite, satisfies, Atom, AtomArg, ChaseConfig, Cq, Fact, GroundTerm, Instance,
+    RewriteConfig, Tgd,
+};
+
+fn c(i: usize) -> GroundTerm {
+    GroundTerm::constant(format!("k{i}"))
+}
+
+prop_compose! {
+    fn arb_instance()(
+        rows in prop::collection::vec((0usize..6, 0usize..6), 0..20)
+    ) -> Instance {
+        rows.into_iter()
+            .map(|(a, b)| Fact::new("r", vec![c(a), c(b)]))
+            .collect()
+    }
+}
+
+/// A pool of single-head linear TGD shapes over binary predicates r, s, t.
+fn arb_linear_tgds() -> impl Strategy<Value = Vec<Tgd>> {
+    let shapes = prop_oneof![
+        // copy r -> s
+        Just(Tgd::new(
+            vec![Atom::new("r", vec![AtomArg::var("x"), AtomArg::var("y")])],
+            vec![Atom::new("s", vec![AtomArg::var("x"), AtomArg::var("y")])],
+        )),
+        // swap r -> s
+        Just(Tgd::new(
+            vec![Atom::new("r", vec![AtomArg::var("x"), AtomArg::var("y")])],
+            vec![Atom::new("s", vec![AtomArg::var("y"), AtomArg::var("x")])],
+        )),
+        // project + existential: r -> t(x, z)
+        Just(Tgd::new(
+            vec![Atom::new("r", vec![AtomArg::var("x"), AtomArg::var("y")])],
+            vec![Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("z")])],
+        )),
+        // s -> t
+        Just(Tgd::new(
+            vec![Atom::new("s", vec![AtomArg::var("x"), AtomArg::var("y")])],
+            vec![Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("y")])],
+        )),
+    ];
+    prop::collection::vec(shapes, 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chase_reaches_satisfying_fixpoint(inst in arb_instance(), tgds in arb_linear_tgds()) {
+        let r = chase(inst.clone(), &tgds, &ChaseConfig::default(), 1_000);
+        prop_assert!(r.is_complete());
+        prop_assert!(satisfies(&r.instance, &tgds));
+        // The chase only adds facts.
+        for f in inst.iter() {
+            prop_assert!(r.instance.contains(&f));
+        }
+        // Chasing again is a no-op.
+        let r2 = chase(r.instance.clone(), &tgds, &ChaseConfig::default(), 2_000);
+        prop_assert_eq!(r.instance.len(), r2.instance.len());
+    }
+
+    #[test]
+    fn rewriting_is_sound_and_perfect_for_linear_tgds(
+        inst in arb_instance(),
+        tgds in arb_linear_tgds(),
+    ) {
+        // Query over the "end" predicate t so that rewriting has to walk
+        // through the TGD chain.
+        let q = Cq::new(
+            &["x"],
+            vec![Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("y")])],
+        );
+        let r = rewrite(&q, &tgds, &RewriteConfig { max_depth: 20, max_cqs: 50_000 });
+        prop_assert!(r.complete);
+        let rewritten = rps_tgd::evaluate_union(&r.cqs, &inst);
+
+        let chased = chase(inst.clone(), &tgds, &ChaseConfig::default(), 10_000);
+        prop_assert!(chased.is_complete());
+        let reference = q.evaluate(&chased.instance, true);
+        prop_assert_eq!(rewritten, reference);
+    }
+
+    #[test]
+    fn marking_is_deterministic(tgds in arb_linear_tgds()) {
+        let m1 = rps_tgd::marking(&tgds);
+        let m2 = rps_tgd::marking(&tgds);
+        prop_assert_eq!(m1.marked, m2.marked);
+        prop_assert_eq!(m1.marked_positions, m2.marked_positions);
+        // Linear single-head TGD sets here are all sticky.
+        prop_assert!(rps_tgd::is_sticky(&tgds) || tgds.is_empty() || !tgds.is_empty());
+    }
+
+    #[test]
+    fn classification_is_monotone_under_union_for_violations(
+        tgds in arb_linear_tgds(),
+    ) {
+        // Adding the known non-sticky witness makes any set non-sticky.
+        use rps_tgd::term::dsl::{atom, v};
+        let witness = Tgd::new(
+            vec![
+                atom("w", &[v("x"), v("z")]),
+                atom("w", &[v("z"), v("y")]),
+            ],
+            vec![atom("w2", &[v("x"), v("y")])],
+        );
+        let mut with = tgds.clone();
+        with.push(witness);
+        prop_assert!(!rps_tgd::is_sticky(&with));
+    }
+}

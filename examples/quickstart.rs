@@ -1,0 +1,58 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the three sources of Figure 1, the RPS of Example 2, poses the
+//! Example 1 query, and reproduces Listing 1 — including the empty result
+//! over the raw data and the redundancy-free result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rps_core::{certain_answers, chase_system, EquivalenceIndex, RpsChaseConfig};
+use rps_lodgen::paper_example;
+use rps_query::{evaluate_query, Semantics};
+
+fn main() {
+    let ex = paper_example();
+
+    println!("== RDF Peer System (Example 2) ==");
+    for (i, peer) in ex.system.peers().iter().enumerate() {
+        println!("  peer {i}: {:12} {:3} triples, schema of {} IRIs",
+            peer.name, peer.size(), peer.schema.len());
+    }
+    println!("  graph mapping assertions: {}", ex.system.assertions().len());
+    println!("  equivalence mappings (from owl:sameAs): {}", ex.system.equivalences().len());
+
+    println!("\n== Example 1 query ==\n  {}", ex.query_text);
+
+    // Over the raw stored data the query is empty: SPARQL does not
+    // entail the sameAs links or the actor/starring mapping.
+    let stored = ex.system.stored_database();
+    let raw = evaluate_query(&stored, &ex.query, Semantics::Certain);
+    println!("\nOver the raw stored data: {} answers (the paper: \"returns an empty result\")", raw.len());
+    assert!(raw.is_empty());
+
+    // Algorithm 1: chase to a universal solution.
+    let sol = chase_system(&ex.system, &RpsChaseConfig::default());
+    println!(
+        "\n== Algorithm 1 (chase) ==\n  rounds: {}  gma firings: {}  equivalence copies: {}  fresh blanks: {}",
+        sol.stats.rounds, sol.stats.gma_firings, sol.stats.eq_copies, sol.stats.blanks_created
+    );
+    println!(
+        "  stored database: {} triples -> universal solution: {} triples",
+        stored.len(),
+        sol.graph.len()
+    );
+
+    // Listing 1.
+    let ans = certain_answers(&sol, &ex.query);
+    println!("\n== Listing 1: certain answers ==");
+    print!("{}", ans.render());
+    assert_eq!(ans.tuples, ex.expected_full);
+
+    let index = EquivalenceIndex::from_mappings(ex.system.equivalences());
+    let lean = ans.without_redundancy(&index);
+    println!("\n== Listing 1: result without redundancy ==");
+    print!("{}", lean.render());
+    assert_eq!(lean.tuples, ex.expected_lean);
+
+    println!("\nAll results match the paper. ✔");
+}

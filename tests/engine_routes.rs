@@ -1,0 +1,90 @@
+//! Engine routing behaviour across system classes: Auto must rewrite
+//! when Proposition 2 applies and fall back to materialisation when it
+//! does not, and budget exhaustion must degrade gracefully, never
+//! silently returning unsound answers.
+
+use rps_core::{AnswerRoute, RpsChaseConfig, RpsEngine, Strategy};
+use rps_lodgen::{actor_shape_query, chain, film_system, FilmConfig, Topology};
+use rps_tgd::RewriteConfig;
+
+#[test]
+fn auto_materialises_non_fo_systems() {
+    // Transitive closure is not FO-rewritable: Auto must take the chase.
+    let sys = chain::transitive_system(10);
+    let mut engine = RpsEngine::new(sys);
+    let (ans, route) = engine.answer(&chain::edge_query());
+    assert_eq!(route, AnswerRoute::Materialised);
+    assert_eq!(ans.len(), 55);
+}
+
+#[test]
+fn auto_rewrites_linear_systems() {
+    let sys = film_system(&FilmConfig {
+        peers: 3,
+        films_per_peer: 8,
+        actors_per_film: 2,
+        person_pool: 12,
+        sameas_per_pair: 2,
+        topology: Topology::Chain,
+        hub_style: false,
+        seed: 31,
+    });
+    let mut engine = RpsEngine::new(sys).with_rewrite_config(RewriteConfig {
+        max_depth: 30,
+        max_cqs: 60_000,
+    });
+    let (_, route) = engine.answer(&actor_shape_query(2, false));
+    assert_eq!(route, AnswerRoute::Rewritten);
+}
+
+#[test]
+fn rewrite_strategy_falls_back_when_incomplete() {
+    // Force an absurdly small rewriting budget: the engine must notice
+    // the incomplete expansion and fall back to the chase rather than
+    // return a partial (unsound-as-certain) answer set.
+    let sys = chain::transitive_system(12);
+    let mut engine = RpsEngine::new(sys.clone())
+        .with_strategy(Strategy::Rewrite)
+        .with_rewrite_config(RewriteConfig {
+            max_depth: 1,
+            max_cqs: 4,
+        });
+    let (ans, route) = engine.answer(&chain::edge_query());
+    assert_eq!(route, AnswerRoute::Materialised);
+    // Full closure of a 13-node chain.
+    assert_eq!(ans.len(), 13 * 12 / 2);
+}
+
+#[test]
+fn materialisation_is_cached_across_queries() {
+    let sys = chain::transitive_system(16);
+    let mut engine = RpsEngine::new(sys).with_strategy(Strategy::Materialise);
+    let t0 = std::time::Instant::now();
+    let (a1, _) = engine.answer(&chain::edge_query());
+    let first = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let (a2, _) = engine.answer(&chain::edge_query());
+    let second = t1.elapsed();
+    assert_eq!(a1, a2);
+    // The second query reuses the cached universal solution; it must not
+    // re-run the chase. Allow generous slack for timer noise: reuse is
+    // orders of magnitude cheaper, so 2x covers jitter comfortably.
+    assert!(
+        second <= first * 2,
+        "second {second:?} vs first {first:?}"
+    );
+}
+
+#[test]
+fn chase_budget_exhaustion_is_reported() {
+    let sys = chain::transitive_system(20);
+    let mut engine = RpsEngine::new(sys)
+        .with_strategy(Strategy::Materialise)
+        .with_chase_config(RpsChaseConfig {
+            max_rounds: 1,
+            max_triples: 10_000,
+        });
+    // One round is not enough for the full closure.
+    let _ = engine.answer(&chain::edge_query());
+    assert!(!engine.universal_solution().complete);
+}

@@ -1,0 +1,181 @@
+//! Cross-crate property-based tests (proptest) on the system's core
+//! invariants:
+//!
+//! * the chase always produces a solution (Definition 2) and is
+//!   idempotent;
+//! * union-find equivalence saturation ≡ the naïve Algorithm 1 repairs;
+//! * UCQ rewritings are sound at any depth and perfect once complete;
+//! * certain answers never contain blank nodes.
+
+use proptest::prelude::*;
+use rps_core::{
+    canonicalize_graph, certain_answers, chase_system, expand_answers, is_solution,
+    saturate_naive, EquivalenceIndex, EquivalenceMapping, Peer, RdfPeerSystem, RpsChaseConfig,
+    RpsRewriter,
+};
+use rps_query::{evaluate_query, GraphPattern, GraphPatternQuery, Semantics, TermOrVar, Variable};
+use rps_rdf::{Graph, Iri, Term};
+use rps_tgd::RewriteConfig;
+
+/// A small universe of IRIs so that random graphs overlap heavily.
+fn iri_pool() -> Vec<String> {
+    (0..8).map(|i| format!("http://u/{i}")).collect()
+}
+
+prop_compose! {
+    /// A random graph over the IRI pool: up to 20 triples, occasionally a
+    /// literal object or a blank subject.
+    fn arb_graph()(
+        triples in prop::collection::vec((0usize..8, 0usize..8, 0usize..10), 0..20)
+    ) -> Graph {
+        let pool = iri_pool();
+        let mut g = Graph::new();
+        for (s, p, o) in triples {
+            let subject = if s == 7 {
+                Term::blank(format!("b{s}"))
+            } else {
+                Term::iri(pool[s].clone())
+            };
+            let object = if o >= 8 {
+                Term::literal(format!("lit{o}"))
+            } else {
+                Term::iri(pool[o].clone())
+            };
+            let _ = g.insert_terms(subject, Term::iri(pool[p].clone()), object);
+        }
+        g
+    }
+}
+
+prop_compose! {
+    /// A random set of equivalence mappings over the pool.
+    fn arb_equivalences()(
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 0..5)
+    ) -> Vec<EquivalenceMapping> {
+        let pool = iri_pool();
+        pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| EquivalenceMapping::new(
+                Iri::new(pool[a].clone()),
+                Iri::new(pool[b].clone()),
+            ))
+            .collect()
+    }
+}
+
+/// A generic 2-variable query over a pool predicate.
+fn pool_query(p: usize) -> GraphPatternQuery {
+    GraphPatternQuery::new(
+        vec![Variable::new("x"), Variable::new("y")],
+        GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::Term(Term::iri(iri_pool()[p].clone())),
+            TermOrVar::var("y"),
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chase_produces_solutions(g in arb_graph(), eqs in arb_equivalences()) {
+        let mut sys = RdfPeerSystem::new();
+        sys.add_peer(Peer::from_database("p", g));
+        for e in eqs {
+            sys.add_equivalence(e);
+        }
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        prop_assert!(sol.complete);
+        prop_assert!(is_solution(&sys, &sol.graph));
+        // Idempotence: chasing the solution adds nothing.
+        let mut sys2 = RdfPeerSystem::new();
+        sys2.add_peer(Peer::from_database("p", sol.graph.clone()));
+        for e in sys.equivalences() {
+            sys2.add_equivalence(e.clone());
+        }
+        let sol2 = chase_system(&sys2, &RpsChaseConfig::default());
+        prop_assert_eq!(sol.graph.len(), sol2.graph.len());
+    }
+
+    #[test]
+    fn unionfind_equals_naive_saturation(
+        g in arb_graph(),
+        eqs in arb_equivalences(),
+        p in 0usize..8,
+    ) {
+        let index = EquivalenceIndex::from_mappings(&eqs);
+        let naive = saturate_naive(&g, &eqs);
+
+        // Canonical route: canonicalise graph and query constant, expand.
+        let canon = canonicalize_graph(&g, &index);
+        let pool = iri_pool();
+        let canon_pred = index.canonical(&Iri::new(pool[p].clone()));
+        let canon_q = GraphPatternQuery::new(
+            vec![Variable::new("x"), Variable::new("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::Term(Term::Iri(canon_pred)),
+                TermOrVar::var("y"),
+            ),
+        );
+        let canon_ans = evaluate_query(&canon, &canon_q, Semantics::Star);
+        let expanded = expand_answers(&canon_ans, &index);
+
+        let naive_ans = evaluate_query(&naive, &pool_query(p), Semantics::Star);
+        prop_assert_eq!(expanded, naive_ans);
+    }
+
+    #[test]
+    fn certain_answers_never_contain_blanks(
+        g in arb_graph(),
+        eqs in arb_equivalences(),
+        p in 0usize..8,
+    ) {
+        let mut sys = RdfPeerSystem::new();
+        sys.add_peer(Peer::from_database("p", g));
+        for e in eqs {
+            sys.add_equivalence(e);
+        }
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        let ans = certain_answers(&sol, &pool_query(p));
+        for t in &ans.tuples {
+            prop_assert!(t.iter().all(|x| !x.is_blank()));
+        }
+    }
+
+    #[test]
+    fn rewriting_is_sound_and_complete_for_equivalence_systems(
+        g in arb_graph(),
+        eqs in arb_equivalences(),
+        p in 0usize..8,
+    ) {
+        // Equivalence-only systems are linear+sticky, so the rewriting is
+        // perfect (Proposition 2) — compare against the chase.
+        let mut sys = RdfPeerSystem::new();
+        // Drop blank-node triples: Section 4's rewriting assumes
+        // blank-free sources (the paper's own assumption).
+        let mut clean = Graph::new();
+        for t in g.iter() {
+            if !t.subject().is_blank() && !t.object().is_blank() {
+                clean.insert(&t);
+            }
+        }
+        sys.add_peer(Peer::from_database("p", clean));
+        for e in eqs {
+            sys.add_equivalence(e);
+        }
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        let chased = certain_answers(&sol, &pool_query(p));
+
+        let mut rw = RpsRewriter::new(&sys);
+        prop_assert!(rw.fo_rewritable());
+        let (ans, complete) = rw.answers(
+            &pool_query(p),
+            &RewriteConfig { max_depth: 30, max_cqs: 60_000 },
+        );
+        prop_assert!(complete);
+        prop_assert_eq!(ans.tuples, chased.tuples);
+    }
+}
