@@ -1,27 +1,36 @@
-//! Criterion benches for the chase (experiments E2 and E4).
+//! Benches for the chase (experiments E2 and E4), `harness = false`.
 //!
-//! `chase_paper` times Algorithm 1 on the exact Figure-1 fixture;
-//! `chase_scaling` sweeps the stored-database size (Theorem 1's PTIME
-//! claim: time should grow polynomially, near-linearly here).
+//! Criterion is unavailable offline, so these are plain timed loops:
+//! each bench runs a warm-up pass, then reports min/mean over a fixed
+//! number of iterations.
+//!
+//! Run with `cargo bench -p rps-bench --bench chase`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rps_core::{chase_system, RpsChaseConfig};
 use rps_lodgen::{film_system, paper_example, FilmConfig, Topology};
 
-fn chase_paper(c: &mut Criterion) {
-    let ex = paper_example();
-    c.bench_function("chase_paper_example", |b| {
-        b.iter(|| {
-            let sol = chase_system(&ex.system, &RpsChaseConfig::default());
-            assert!(sol.complete);
-            sol.graph.len()
-        })
-    });
+fn bench(name: &str, iters: usize, mut f: impl FnMut() -> usize) {
+    let _ = f(); // warm-up
+    let mut times = Vec::with_capacity(iters);
+    let mut last = 0;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        last = f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{name:<40} min {min:9.3} ms   mean {mean:9.3} ms   (result {last})");
 }
 
-fn chase_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chase_scaling");
-    group.sample_size(10);
+fn main() {
+    let ex = paper_example();
+    bench("chase_paper_example", 20, || {
+        let sol = chase_system(&ex.system, &RpsChaseConfig::default());
+        assert!(sol.complete);
+        sol.graph.len()
+    });
+
     for films in [50usize, 100, 200, 400] {
         let cfg = FilmConfig {
             peers: 3,
@@ -34,20 +43,10 @@ fn chase_scaling(c: &mut Criterion) {
             seed: 4,
         };
         let sys = film_system(&cfg);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(sys.stored_size()),
-            &sys,
-            |b, sys| {
-                b.iter(|| {
-                    let sol = chase_system(sys, &RpsChaseConfig::default());
-                    assert!(sol.complete);
-                    sol.graph.len()
-                })
-            },
-        );
+        bench(&format!("chase_scaling/{}", sys.stored_size()), 5, || {
+            let sol = chase_system(&sys, &RpsChaseConfig::default());
+            assert!(sol.complete);
+            sol.graph.len()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, chase_paper, chase_scaling);
-criterion_main!(benches);

@@ -1,15 +1,30 @@
-//! Criterion benches for federation and topology scaling (E8) plus the
+//! Benches for federation and topology scaling (E8) plus the
 //! equivalence-saturation ablation (E9b) and query-evaluation
-//! microbenches on the substrate.
+//! microbenches on the substrate. `harness = false` plain timed loops
+//! (criterion is unavailable offline).
+//!
+//! Run with `cargo bench -p rps-bench --bench federation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rps_core::{saturate_naive, EquivalenceIndex};
 use rps_lodgen::{actor_shape_query, film_system, FilmConfig, Topology};
 use rps_p2p::{FederatedEngine, SimNetwork};
 use rps_query::Semantics;
 
-fn federation_topologies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("federated_query");
+fn bench(name: &str, iters: usize, mut f: impl FnMut() -> usize) {
+    let _ = f();
+    let mut times = Vec::with_capacity(iters);
+    let mut last = 0;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        last = f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{name:<40} min {min:9.3} ms   mean {mean:9.3} ms   (result {last})");
+}
+
+fn main() {
     for (label, topology) in [
         ("chain", Topology::Chain),
         ("star", Topology::Star { hub: 0 }),
@@ -28,20 +43,13 @@ fn federation_topologies(c: &mut Criterion) {
         let sys = film_system(&cfg);
         let engine = FederatedEngine::new(&sys);
         let query = actor_shape_query(5, false);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
-            b.iter(|| {
-                let mut net = SimNetwork::new();
-                let (ans, _) = engine.evaluate_query(&query, Semantics::Certain, &mut net);
-                ans.len()
-            })
+        bench(&format!("federated_query/{label}"), 10, || {
+            let mut net = SimNetwork::new();
+            let (ans, _) = engine.evaluate_query(&query, Semantics::Certain, &mut net);
+            ans.len()
         });
     }
-    group.finish();
-}
 
-fn equivalence_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("equivalence_saturation");
-    group.sample_size(10);
     for density in [4usize, 16, 64] {
         let cfg = FilmConfig {
             peers: 3,
@@ -56,26 +64,21 @@ fn equivalence_ablation(c: &mut Criterion) {
         let sys = film_system(&cfg);
         let stored = sys.stored_database();
         let eqs = sys.equivalences().to_vec();
-        group.bench_with_input(
-            BenchmarkId::new("naive", eqs.len()),
-            &eqs,
-            |b, eqs| b.iter(|| saturate_naive(&stored, eqs).len()),
+        bench(
+            &format!("equivalence_saturation/naive/{}", eqs.len()),
+            5,
+            || saturate_naive(&stored, &eqs).len(),
         );
-        group.bench_with_input(
-            BenchmarkId::new("unionfind", eqs.len()),
-            &eqs,
-            |b, eqs| {
-                b.iter(|| {
-                    let index = EquivalenceIndex::from_mappings(eqs);
-                    rps_core::canonicalize_graph(&stored, &index).len()
-                })
+        bench(
+            &format!("equivalence_saturation/unionfind/{}", eqs.len()),
+            5,
+            || {
+                let index = EquivalenceIndex::from_mappings(&eqs);
+                rps_core::canonicalize_graph(&stored, &index).len()
             },
         );
     }
-    group.finish();
-}
 
-fn store_microbench(c: &mut Criterion) {
     // Substrate sanity: pattern matching on the triple store.
     let cfg = FilmConfig {
         peers: 2,
@@ -92,15 +95,7 @@ fn store_microbench(c: &mut Criterion) {
     let pred = g
         .term_id(&rps_rdf::Term::Iri(rps_lodgen::film::actor_pred(0)))
         .expect("predicate exists");
-    c.bench_function("store_scan_by_predicate", |b| {
-        b.iter(|| g.match_ids(None, Some(pred), None).count())
+    bench("store_scan_by_predicate", 50, || {
+        g.match_ids(None, Some(pred), None).count()
     });
 }
-
-criterion_group!(
-    benches,
-    federation_topologies,
-    equivalence_ablation,
-    store_microbench
-);
-criterion_main!(benches);

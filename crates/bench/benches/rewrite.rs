@@ -1,4 +1,6 @@
-//! Criterion benches for the rewriting engine (experiments E3, E5, E6).
+//! Benches for the rewriting engine (experiments E3, E5, E6),
+//! `harness = false` plain timed loops (criterion is unavailable
+//! offline).
 //!
 //! * `rewrite_listing2` — the Boolean certain-answer decision of
 //!   Listing 2 on the paper fixture;
@@ -6,26 +8,36 @@
 //!   growing length (Proposition 2);
 //! * `transitive_chase` — the chase computing transitive closure, the
 //!   workload no FO rewriting covers (Proposition 3).
+//!
+//! Run with `cargo bench -p rps-bench --bench rewrite`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rps_core::{chase_system, RpsChaseConfig, RpsRewriter};
 use rps_lodgen::{actor_shape_query, chain, film_system, paper_example, FilmConfig, Topology};
 use rps_tgd::RewriteConfig;
 
-fn rewrite_listing2(c: &mut Criterion) {
+fn bench(name: &str, iters: usize, mut f: impl FnMut() -> usize) {
+    let _ = f();
+    let mut times = Vec::with_capacity(iters);
+    let mut last = 0;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        last = f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{name:<40} min {min:9.3} ms   mean {mean:9.3} ms   (result {last})");
+}
+
+fn main() {
     let ex = paper_example();
     let toby = rps_rdf::Term::iri(format!("{}Toby_Maguire", rps_lodgen::paper::DB1));
     let tuple = [toby, rps_rdf::Term::literal("39")];
-    c.bench_function("rewrite_listing2_decide", |b| {
-        let mut rw = RpsRewriter::new(&ex.system);
-        b.iter(|| {
-            assert!(rw.is_certain_answer(&ex.query, &tuple, &RewriteConfig::default()));
-        })
+    let mut rw = RpsRewriter::new(&ex.system);
+    bench("rewrite_listing2_decide", 20, || {
+        usize::from(rw.is_certain_answer(&ex.query, &tuple, &RewriteConfig::default()))
     });
-}
 
-fn rewrite_linear(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rewrite_linear_chain");
     for peers in [2usize, 4, 6, 8] {
         let cfg = FilmConfig {
             peers,
@@ -39,37 +51,24 @@ fn rewrite_linear(c: &mut Criterion) {
         };
         let sys = film_system(&cfg);
         let query = actor_shape_query(peers - 1, false);
-        group.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, _| {
-            let mut rw = RpsRewriter::new(&sys);
-            let rcfg = RewriteConfig {
-                max_depth: 40,
-                max_cqs: 100_000,
-            };
-            b.iter(|| {
-                let (ans, complete) = rw.answers(&query, &rcfg);
-                assert!(complete);
-                ans.len()
-            })
+        let mut rw = RpsRewriter::new(&sys);
+        let rcfg = RewriteConfig {
+            max_depth: 40,
+            max_cqs: 100_000,
+        };
+        bench(&format!("rewrite_linear_chain/{peers}"), 5, || {
+            let (ans, complete) = rw.answers(&query, &rcfg);
+            assert!(complete);
+            ans.len()
         });
     }
-    group.finish();
-}
 
-fn transitive_chase(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transitive_chase");
-    group.sample_size(10);
     for len in [8usize, 16, 32] {
         let sys = chain::transitive_system(len);
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
-            b.iter(|| {
-                let sol = chase_system(&sys, &RpsChaseConfig::default());
-                assert!(sol.complete);
-                sol.graph.len()
-            })
+        bench(&format!("transitive_chase/{len}"), 5, || {
+            let sol = chase_system(&sys, &RpsChaseConfig::default());
+            assert!(sol.complete);
+            sol.graph.len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, rewrite_listing2, rewrite_linear, transitive_chase);
-criterion_main!(benches);

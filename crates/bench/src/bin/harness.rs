@@ -1,5 +1,7 @@
 //! The experiment harness: regenerates every figure, listing and claim of
-//! the paper as a plain-text table.
+//! the paper as a plain-text table, and records a machine-readable
+//! `BENCH_tgd.json` (per-experiment wall-clock plus the table cells as
+//! counters) so successive PRs can track the performance trajectory.
 //!
 //! Usage:
 //!
@@ -8,8 +10,65 @@
 //! cargo run --release -p rps-bench --bin harness e2 e7      # a subset
 //! cargo run --release -p rps-bench --bin harness quick      # reduced sweeps
 //! ```
+//!
+//! `BENCH_tgd.json` is written to the current directory on every run;
+//! set `BENCH_JSON=/path/to/file.json` to redirect it or `BENCH_JSON=`
+//! (empty) to suppress it.
 
 use rps_bench::*;
+use std::time::Instant;
+
+/// One timed experiment for the JSON report.
+struct Timed {
+    id: &'static str,
+    wall_ms: f64,
+    table: Table,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(cells: &[String]) -> String {
+    let quoted: Vec<String> = cells
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Hand-rolled JSON (serde is unavailable offline). The shape is:
+/// `{schema, mode, experiments: [{id, wall_ms, title, headers, rows}]}`.
+fn render_json(mode: &str, timed: &[Timed]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode)));
+    out.push_str("  \"experiments\": [\n");
+    for (i, t) in timed.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"id\": \"{}\", ", t.id));
+        out.push_str(&format!("\"wall_ms\": {:.3}, ", t.wall_ms));
+        out.push_str(&format!("\"title\": \"{}\", ", json_escape(&t.table.title)));
+        out.push_str(&format!(
+            "\"headers\": {}, ",
+            json_string_array(&t.table.headers)
+        ));
+        let rows: Vec<String> = t.table.rows.iter().map(|r| json_string_array(r)).collect();
+        out.push_str(&format!("\"rows\": [{}]", rows.join(",")));
+        out.push_str(if i + 1 == timed.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,27 +79,41 @@ fn main() {
             || args.iter().any(|a| a.eq_ignore_ascii_case(id))
     };
 
-    let mut tables: Vec<Table> = Vec::new();
+    let mut timed: Vec<Timed> = Vec::new();
+    let mut run = |id: &'static str, f: &mut dyn FnMut() -> Table| {
+        let t0 = Instant::now();
+        let table = f();
+        timed.push(Timed {
+            id,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            table,
+        });
+    };
+
     if want("e1") {
-        tables.push(e1_raw_query());
+        run("e1", &mut e1_raw_query);
     }
     if want("e2") {
-        tables.push(e2_listing1());
+        run("e2", &mut e2_listing1);
     }
     if want("e3") {
-        tables.push(e3_listing2());
+        run("e3", &mut e3_listing2);
     }
     if want("e4") {
         let sizes: &[usize] = if quick {
-            &[100, 200, 400]
+            &[100, 200, 400, 800]
         } else {
             &[100, 200, 400, 800, 1600]
         };
-        tables.push(e4_chase_scaling(sizes));
+        run("e4", &mut || e4_chase_scaling(sizes));
     }
     if want("e5") {
-        let lens: &[usize] = if quick { &[2, 3, 4] } else { &[2, 3, 4, 5, 6, 7, 8] };
-        tables.push(e5_rewrite_linear(lens));
+        let lens: &[usize] = if quick {
+            &[2, 4, 6, 8]
+        } else {
+            &[2, 3, 4, 5, 6, 7, 8]
+        };
+        run("e5", &mut || e5_rewrite_linear(lens));
     }
     if want("e6") {
         let (lens, depths): (&[usize], &[usize]) = if quick {
@@ -48,32 +121,51 @@ fn main() {
         } else {
             (&[8, 16, 32], &[2, 4, 6])
         };
-        tables.push(e6_transitive(lens, depths));
+        run("e6", &mut || e6_transitive(lens, depths));
     }
     if want("e7") {
-        tables.push(e7_classification());
+        run("e7", &mut e7_classification);
     }
     if want("e8") {
-        let peers: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
-        tables.push(e8_topology_scaling(peers));
+        let peers: &[usize] = &[2, 4, 8];
+        run("e8", &mut || e8_topology_scaling(peers));
     }
     if want("e9") {
-        let qs: &[usize] = if quick { &[1, 16] } else { &[1, 4, 16, 64, 256, 1024] };
-        tables.push(e9_crossover(qs));
+        let qs: &[usize] = if quick {
+            &[1, 16]
+        } else {
+            &[1, 4, 16, 64, 256, 1024]
+        };
+        run("e9a", &mut || e9_crossover(qs));
         let dens: &[usize] = if quick { &[2, 8] } else { &[2, 8, 32, 64, 128] };
-        tables.push(e9_equivalence_ablation(dens));
+        run("e9b", &mut || e9_equivalence_ablation(dens));
     }
     if want("e10") {
-        let lens: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
-        tables.push(e10_datalog(lens));
+        let lens: &[usize] = if quick {
+            &[8, 16, 32]
+        } else {
+            &[8, 16, 32, 64]
+        };
+        run("e10", &mut || e10_datalog(lens));
     }
     if want("e11") {
         let fracs: &[f64] = if quick { &[0.3] } else { &[0.1, 0.3, 0.5, 0.8] };
-        tables.push(e11_discovery(fracs));
+        run("e11", &mut || e11_discovery(fracs));
     }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
-    for t in tables {
-        println!("{}", t.render());
+    for t in &timed {
+        println!("{}", t.table.render());
+        println!("(wall clock: {:.1} ms)\n", t.wall_ms);
+    }
+
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_tgd.json".into());
+    if !path.is_empty() {
+        let mode = if quick { "quick" } else { "full" };
+        let json = render_json(mode, &timed);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 }

@@ -20,8 +20,7 @@
 #![warn(missing_docs)]
 
 use rps_core::{
-    certain_answers, chase_system, saturate_naive, EquivalenceIndex, RpsChaseConfig,
-    RpsRewriter,
+    certain_answers, chase_system, saturate_naive, EquivalenceIndex, RpsChaseConfig, RpsRewriter,
 };
 use rps_lodgen::{
     actor_shape_query, chain, film_system, paper_example, queries, FilmConfig, Topology,
@@ -83,7 +82,11 @@ pub fn e1_raw_query() -> Table {
     Table {
         title: "E1 — Example 1: query over raw Figure-1 data (paper: empty result)".into(),
         headers: vec!["stored triples".into(), "answers".into(), "paper".into()],
-        rows: vec![vec![stored.len().to_string(), ans.len().to_string(), "0".into()]],
+        rows: vec![vec![
+            stored.len().to_string(),
+            ans.len().to_string(),
+            "0".into(),
+        ]],
     }
 }
 
@@ -138,9 +141,10 @@ pub fn e3_listing2() -> Table {
     let tuple = [toby, rps_rdf::Term::literal("39")];
 
     let free = ex.query.free_vars().to_vec();
-    let bound = ex.query.pattern().substitute(&|v| {
-        free.iter().position(|f| f == v).map(|i| tuple[i].clone())
-    });
+    let bound = ex
+        .query
+        .pattern()
+        .substitute(&|v| free.iter().position(|f| f == v).map(|i| tuple[i].clone()));
     let before = rps_query::has_match(&ex.system.stored_database(), &bound);
     let t0 = Instant::now();
     let after = rw.is_certain_answer(&ex.query, &tuple, &RewriteConfig::default());
@@ -188,9 +192,7 @@ pub fn e4_chase_scaling(sizes: &[usize]) -> Table {
         let secs = t0.elapsed().as_secs_f64();
         assert!(sol.complete);
         let slope = prev
-            .map(|(ps, pt)| {
-                ((secs / pt).ln() / (stored as f64 / ps as f64).ln()).max(0.0)
-            })
+            .map(|(ps, pt)| ((secs / pt).ln() / (stored as f64 / ps as f64).ln()).max(0.0))
             .map(|s| format!("{s:.2}"))
             .unwrap_or_else(|| "-".into());
         prev = Some((stored, secs));
@@ -203,8 +205,7 @@ pub fn e4_chase_scaling(sizes: &[usize]) -> Table {
         ]);
     }
     Table {
-        title: "E4 — Theorem 1: chase scaling (PTIME; log-log slope ~ polynomial degree)"
-            .into(),
+        title: "E4 — Theorem 1: chase scaling (PTIME; log-log slope ~ polynomial degree)".into(),
         headers: vec![
             "stored triples".into(),
             "solution triples".into(),
@@ -217,8 +218,12 @@ pub fn e4_chase_scaling(sizes: &[usize]) -> Table {
 }
 
 /// E5 — Proposition 2: perfect rewriting for linear chains; UCQ size and
-/// agreement with the chase as the mapping chain grows.
+/// agreement with the chase as the mapping chain grows. The optimised
+/// (id-canonical) and retained naive rewriting engines are both timed
+/// (average of several runs — single shots are below timer resolution)
+/// and their UCQ sets compared.
 pub fn e5_rewrite_linear(chain_lengths: &[usize]) -> Table {
+    const REPS: u32 = 5;
     let mut rows = Vec::new();
     for &peers in chain_lengths {
         let cfg = FilmConfig {
@@ -239,8 +244,26 @@ pub fn e5_rewrite_linear(chain_lengths: &[usize]) -> Table {
             max_cqs: 100_000,
         };
         let t0 = Instant::now();
-        let rewriting = rw.rewrite_canonical(&query, &rcfg);
-        let rewrite_time = t0.elapsed();
+        let mut rewriting = rw.rewrite_canonical(&query, &rcfg);
+        for _ in 1..REPS {
+            rewriting = rw.rewrite_canonical(&query, &rcfg);
+        }
+        let rewrite_time = t0.elapsed() / REPS;
+        let t1 = Instant::now();
+        let mut naive = rw.rewrite_canonical_naive(&query, &rcfg);
+        for _ in 1..REPS {
+            naive = rw.rewrite_canonical_naive(&query, &rcfg);
+        }
+        let naive_time = t1.elapsed() / REPS;
+        // Compare modulo canonical renaming: each engine stores its own
+        // canonical forms, which may label variables differently.
+        let engines_agree = {
+            let a: std::collections::BTreeSet<_> =
+                rewriting.cqs.iter().map(rps_tgd::Cq::canonical).collect();
+            let b: std::collections::BTreeSet<_> =
+                naive.cqs.iter().map(rps_tgd::Cq::canonical).collect();
+            a == b
+        };
         let (ans, complete) = rw.answers(&query, &rcfg);
         let sol = chase_system(&sys, &RpsChaseConfig::default());
         let chased = certain_answers(&sol, &query);
@@ -248,17 +271,22 @@ pub fn e5_rewrite_linear(chain_lengths: &[usize]) -> Table {
             peers.to_string(),
             rewriting.cqs.len().to_string(),
             ms(rewrite_time),
+            ms(naive_time),
+            engines_agree.to_string(),
             complete.to_string(),
             (ans.tuples == chased.tuples).to_string(),
             ans.len().to_string(),
         ]);
     }
     Table {
-        title: "E5 — Proposition 2: UCQ rewriting on linear chains (perfect = agrees with chase)".into(),
+        title: "E5 — Proposition 2: UCQ rewriting on linear chains (perfect = agrees with chase)"
+            .into(),
         headers: vec![
             "peers".into(),
             "UCQ branches".into(),
             "rewrite ms".into(),
+            "naive rewrite ms".into(),
+            "engines agree".into(),
             "complete".into(),
             "equals chase".into(),
             "answers".into(),
@@ -395,12 +423,11 @@ pub fn e8_topology_scaling(peer_counts: &[usize]) -> Table {
             let sol = chase_system(&sys, &RpsChaseConfig::default());
             let chase_ms = t0.elapsed();
             let query = actor_shape_query(peers - 1, false);
-            let mut service = rps_p2p::P2pQueryService::new(&sys).with_rewrite_config(
-                RewriteConfig {
+            let mut service =
+                rps_p2p::P2pQueryService::new(&sys).with_rewrite_config(RewriteConfig {
                     max_depth: 60,
                     max_cqs: 200_000,
-                },
-            );
+                });
             let result = service.answer(&query);
             rows.push(vec![
                 peers.to_string(),
@@ -415,8 +442,7 @@ pub fn e8_topology_scaling(peer_counts: &[usize]) -> Table {
         }
     }
     Table {
-        title: "E8 — scalability: peers × topology (chase size/time, federation traffic)"
-            .into(),
+        title: "E8 — scalability: peers × topology (chase size/time, federation traffic)".into(),
         headers: vec![
             "peers".into(),
             "topology".into(),
@@ -490,7 +516,8 @@ pub fn e9_crossover(query_counts: &[usize]) -> Table {
         ]);
     }
     Table {
-        title: "E9a — crossover: total cost for q queries (materialise-once vs rewrite-per-query)".into(),
+        title: "E9a — crossover: total cost for q queries (materialise-once vs rewrite-per-query)"
+            .into(),
         headers: vec![
             "queries".into(),
             "materialise ms".into(),
@@ -570,8 +597,7 @@ pub fn e10_datalog(chain_lengths: &[usize]) -> Table {
         let chase_ans = certain_answers(&sol, &chain::edge_query());
 
         let t1 = Instant::now();
-        let mut engine =
-            rps_core::DatalogEngine::new(&sys).expect("TC mappings are full TGDs");
+        let mut engine = rps_core::DatalogEngine::new(&sys).expect("TC mappings are full TGDs");
         let datalog_ans = engine.answers(&chain::edge_query());
         let datalog_time = t1.elapsed();
 
@@ -689,8 +715,9 @@ mod tests {
     fn e5_perfect_on_small_chain() {
         let t = e5_rewrite_linear(&[2, 3]);
         for row in &t.rows {
-            assert_eq!(row[3], "true", "complete");
-            assert_eq!(row[4], "true", "equals chase");
+            assert_eq!(row[4], "true", "engines agree");
+            assert_eq!(row[5], "true", "complete");
+            assert_eq!(row[6], "true", "equals chase");
         }
     }
 

@@ -52,7 +52,14 @@ impl AnswerSet {
     /// the benchmark harness).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.vars.iter().map(|v| format!("?{v}")).collect::<Vec<_>>().join("\t"));
+        out.push_str(
+            &self
+                .vars
+                .iter()
+                .map(|v| format!("?{v}"))
+                .collect::<Vec<_>>()
+                .join("\t"),
+        );
         out.push('\n');
         for tuple in &self.tuples {
             let row: Vec<String> = tuple.iter().map(|t| t.to_string()).collect();

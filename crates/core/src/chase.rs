@@ -17,11 +17,29 @@
 //! encoding) freshly created blanks never re-trigger them — bounds the
 //! chase, giving PTIME data complexity. Budgets are still enforced so
 //! that misuse fails loudly.
+//!
+//! **Delta-driven execution.** The chase is monotone, so the engine is
+//! semi-naive throughout:
+//!
+//! * equivalence repairs drain the graph's insertion log
+//!   ([`Graph::log_since`]) — each inserted triple is examined once per
+//!   equivalence neighbour of its terms, instead of rescanning every
+//!   equivalence constant every round;
+//! * each graph mapping assertion evaluates its premise only over the
+//!   delta window since its previous evaluation
+//!   ([`rps_query::evaluate_query_ids_delta`]), and a per-assertion memo
+//!   of already-processed premise tuples (fired or found satisfied — both
+//!   states are permanent) skips the per-tuple satisfaction subquery for
+//!   everything seen before;
+//! * all per-round work runs on interned [`TermId`]s; terms are only
+//!   materialised when a firing instantiates its conclusion.
 
 use crate::system::RdfPeerSystem;
-use rps_query::{evaluate_query, has_match, Semantics, Variable};
-use rps_rdf::{Graph, Term, Triple, TriplePosition};
-use std::collections::BTreeSet;
+use rps_query::{
+    evaluate_query, evaluate_query_ids, evaluate_query_ids_delta, Semantics, Variable,
+};
+use rps_rdf::{Graph, Term, TermId, TriplePosition};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Budgets for an RPS chase run.
 #[derive(Clone, Debug)]
@@ -75,6 +93,39 @@ pub fn chase_system(system: &RdfPeerSystem, config: &RpsChaseConfig) -> Universa
     let mut stats = RpsChaseStats::default();
     let mut blank_counter: u64 = 0;
 
+    // Term-level equivalence adjacency (both directions); id-level
+    // neighbour lists are resolved lazily and cached — the dictionary is
+    // append-only, so cached ids stay valid.
+    let mut eq_adj: HashMap<Term, Vec<Term>> = HashMap::new();
+    for eq in system.equivalences() {
+        let c = Term::Iri(eq.left.clone());
+        let cp = Term::Iri(eq.right.clone());
+        eq_adj.entry(c.clone()).or_default().push(cp.clone());
+        eq_adj.entry(cp).or_default().push(c);
+    }
+    let mut eq_cache: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    // Log index up to which equivalence repairs have been applied.
+    let mut eq_mark = 0usize;
+
+    let gmas = system.assertions();
+    // Per assertion: the log index of its previous premise evaluation,
+    // and the premise tuples already processed (fired or satisfied).
+    let mut gma_marks: Vec<usize> = vec![0; gmas.len()];
+    let mut processed: Vec<HashSet<Vec<TermId>>> = vec![HashSet::new(); gmas.len()];
+    // Conclusions compiled to id slots, so firing assembles `IdTriple`s
+    // directly instead of substituting, validating and re-interning
+    // term-level patterns on every trigger.
+    let plans: Vec<ConclusionPlan> = gmas
+        .iter()
+        .map(|gma| ConclusionPlan::new(&gma.conclusion, &mut graph))
+        .collect();
+    // Conclusion patterns compiled once for the per-tuple satisfaction
+    // checks (`t ∈ Q'_J`).
+    let prepared: Vec<rps_query::PreparedPattern> = gmas
+        .iter()
+        .map(|gma| rps_query::PreparedPattern::new(&mut graph, gma.conclusion.pattern()))
+        .collect();
+
     loop {
         if stats.rounds >= config.max_rounds {
             return UniversalSolution {
@@ -87,77 +138,77 @@ pub fn chase_system(system: &RdfPeerSystem, config: &RpsChaseConfig) -> Universa
         let mut changed = false;
 
         // --- Equivalence mappings (Definition 2, item 3). ---
-        // Iterate this inner repair to a local fixpoint: equivalence
-        // repairs are cheap and confluent, and saturating them first
-        // exposes more graph-mapping matches per outer round.
-        loop {
-            let copies = equivalence_round(&mut graph, system);
-            if copies == 0 {
-                break;
-            }
-            stats.eq_copies += copies;
-            changed = true;
-            if graph.len() > config.max_triples {
-                return UniversalSolution {
-                    graph,
-                    stats,
-                    complete: false,
-                };
+        // Drain the insertion log to a local fixpoint: every logged
+        // triple (including the copies this loop itself inserts) is
+        // examined once per equivalence neighbour of its terms. This is
+        // the delta form of the `subjQ*`/`predQ*`/`objQ*` repairs.
+        if !eq_adj.is_empty() {
+            while eq_mark < graph.log_len() {
+                let t = graph.log_since(eq_mark)[0];
+                eq_mark += 1;
+                for pos in TriplePosition::ALL {
+                    let from_id = t.get(pos);
+                    if let std::collections::hash_map::Entry::Vacant(e) = eq_cache.entry(from_id) {
+                        let neighbours: Vec<TermId> = match eq_adj.get(graph.term(from_id)) {
+                            Some(terms) => {
+                                let terms = terms.clone();
+                                terms.iter().map(|n| graph.intern(n)).collect()
+                            }
+                            None => Vec::new(),
+                        };
+                        e.insert(neighbours);
+                    }
+                    for &to_id in &eq_cache[&from_id] {
+                        if graph.insert_ids(t.with(pos, to_id)) {
+                            stats.eq_copies += 1;
+                            changed = true;
+                        }
+                    }
+                }
+                if graph.len() > config.max_triples {
+                    return UniversalSolution {
+                        graph,
+                        stats,
+                        complete: false,
+                    };
+                }
             }
         }
 
         // --- Graph mapping assertions (Definition 2, item 2). ---
-        for gma in system.assertions() {
+        for (gi, gma) in gmas.iter().enumerate() {
             // Q_J under the blank-dropping semantics: the `rt` guard.
-            let premise_tuples = evaluate_query(&graph, &gma.premise, Semantics::Certain);
+            // After the first full evaluation, only the delta window
+            // since this assertion's previous evaluation is joined: any
+            // tuple whose derivations all predate the window was already
+            // enumerated (and memoised) back then.
+            let from = gma_marks[gi];
+            gma_marks[gi] = graph.log_len();
+            let premise_tuples = if from == 0 {
+                evaluate_query_ids(&graph, &gma.premise, Semantics::Certain)
+            } else {
+                evaluate_query_ids_delta(&graph, &gma.premise, Semantics::Certain, from)
+            };
             for tuple in premise_tuples {
-                if tuple_satisfied(&graph, &gma.conclusion, &tuple) {
+                if !processed[gi].insert(tuple.clone()) {
                     continue;
                 }
-                // Fire: instantiate the conclusion with the tuple and
-                // fresh blanks for existential variables.
-                let free = gma.conclusion.free_vars().to_vec();
-                let existentials: Vec<Variable> =
-                    gma.conclusion.existential_vars().into_iter().collect();
-                let fresh: Vec<Term> = existentials
-                    .iter()
-                    .map(|_| {
-                        let b = Term::Blank(rps_rdf::BlankNode::fresh(blank_counter));
-                        blank_counter += 1;
-                        b
-                    })
-                    .collect();
-                let subst = |v: &Variable| -> Option<Term> {
-                    if let Some(i) = free.iter().position(|f| f == v) {
-                        return Some(tuple[i].clone());
-                    }
-                    existentials
-                        .iter()
-                        .position(|e| e == v)
-                        .map(|i| fresh[i].clone())
-                };
-                let grounded = gma.conclusion.pattern().substitute(&subst);
-                let mut valid = true;
-                let mut to_insert: Vec<Triple> = Vec::with_capacity(grounded.len());
-                for tp in grounded.patterns() {
-                    match tp.as_triple() {
-                        Some(t) => to_insert.push(t),
-                        None => {
-                            valid = false;
-                            break;
-                        }
-                    }
-                }
-                if !valid {
-                    stats.invalid_firings += 1;
+                if tuple_satisfied(&graph, &prepared[gi], &gma.conclusion, &tuple) {
                     continue;
                 }
-                for t in to_insert {
-                    graph.insert(&t);
+                // Fire: instantiate the compiled conclusion with the
+                // tuple's ids and fresh blanks for existentials.
+                match plans[gi].fire(&mut graph, &tuple, &mut blank_counter) {
+                    Some(blanks) => {
+                        stats.gma_firings += 1;
+                        stats.blanks_created += blanks;
+                        changed = true;
+                    }
+                    None => {
+                        stats.invalid_firings += 1;
+                        continue;
+                    }
                 }
-                stats.gma_firings += 1;
-                stats.blanks_created += existentials.len() as u64;
-                changed = true;
                 if graph.len() > config.max_triples {
                     return UniversalSolution {
                         graph,
@@ -178,60 +229,108 @@ pub fn chase_system(system: &RdfPeerSystem, config: &RpsChaseConfig) -> Universa
     }
 }
 
-/// Checks `t ∈ Q'_J`: substitute the tuple into the conclusion's free
-/// variables and test for a match.
+/// One position of a compiled conclusion pattern.
+#[derive(Clone, Copy)]
+enum ConcSlot {
+    /// A constant, interned up front.
+    Const(TermId),
+    /// The i-th free (answer) variable — instantiated from the tuple.
+    Free(usize),
+    /// The j-th existential variable — instantiated with a fresh blank.
+    Exist(usize),
+}
+
+/// A conclusion pattern compiled against the chase graph's dictionary:
+/// firing assembles [`rps_rdf::IdTriple`]s from the premise tuple's ids
+/// without pattern substitution or term re-interning (fresh blanks are
+/// the only per-firing dictionary traffic).
+struct ConclusionPlan {
+    slots: Vec<[ConcSlot; 3]>,
+    n_existentials: usize,
+}
+
+impl ConclusionPlan {
+    fn new(conclusion: &rps_query::GraphPatternQuery, graph: &mut Graph) -> Self {
+        let free = conclusion.free_vars().to_vec();
+        let existentials: Vec<Variable> = conclusion.existential_vars().into_iter().collect();
+        let compile_tv = |tv: &rps_query::TermOrVar, graph: &mut Graph| match tv {
+            rps_query::TermOrVar::Term(t) => ConcSlot::Const(graph.intern(t)),
+            rps_query::TermOrVar::Var(v) => match free.iter().position(|f| f == v) {
+                Some(i) => ConcSlot::Free(i),
+                None => ConcSlot::Exist(
+                    existentials
+                        .iter()
+                        .position(|e| e == v)
+                        .expect("non-free conclusion variable is existential"),
+                ),
+            },
+        };
+        let slots = conclusion
+            .pattern()
+            .patterns()
+            .iter()
+            .map(|tp| {
+                [
+                    compile_tv(&tp.s, graph),
+                    compile_tv(&tp.p, graph),
+                    compile_tv(&tp.o, graph),
+                ]
+            })
+            .collect();
+        ConclusionPlan {
+            slots,
+            n_existentials: existentials.len(),
+        }
+    }
+
+    /// Instantiates and inserts the conclusion for one premise tuple.
+    /// Returns the number of fresh blanks on success, or `None` when the
+    /// instantiation violates RDF positional constraints (a literal in
+    /// subject position, a non-IRI predicate) — nothing is inserted then.
+    fn fire(&self, graph: &mut Graph, tuple: &[TermId], blank_counter: &mut u64) -> Option<u64> {
+        let fresh: Vec<TermId> = (0..self.n_existentials)
+            .map(|_| {
+                let b = Term::Blank(rps_rdf::BlankNode::fresh(*blank_counter));
+                *blank_counter += 1;
+                graph.intern(&b)
+            })
+            .collect();
+        let resolve = |s: &ConcSlot| match s {
+            ConcSlot::Const(id) => *id,
+            ConcSlot::Free(i) => tuple[*i],
+            ConcSlot::Exist(j) => fresh[*j],
+        };
+        let mut to_insert = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let t = rps_rdf::IdTriple::new(resolve(&slot[0]), resolve(&slot[1]), resolve(&slot[2]));
+            let dict = graph.dict();
+            if dict.kind(t.s) == rps_rdf::TermKind::Literal
+                || dict.kind(t.p) != rps_rdf::TermKind::Iri
+            {
+                return None;
+            }
+            to_insert.push(t);
+        }
+        for t in to_insert {
+            graph.insert_ids(t);
+        }
+        Some(self.n_existentials as u64)
+    }
+}
+
+/// Checks `t ∈ Q'_J`: bind the conclusion's free variables to the tuple's
+/// term ids and test for a match against the pre-compiled pattern — no
+/// pattern copy, no per-check compilation, no re-interning.
 fn tuple_satisfied(
     graph: &Graph,
+    prepared: &rps_query::PreparedPattern,
     conclusion: &rps_query::GraphPatternQuery,
-    tuple: &[Term],
+    tuple: &[TermId],
 ) -> bool {
     let free = conclusion.free_vars();
-    let subst = |v: &Variable| -> Option<Term> {
-        free.iter()
-            .position(|f| f == v)
-            .map(|i| tuple[i].clone())
-    };
-    let bound = conclusion.pattern().substitute(&subst);
-    has_match(graph, &bound)
-}
-
-/// One pass of equivalence repairs; returns the number of triples added.
-fn equivalence_round(graph: &mut Graph, system: &RdfPeerSystem) -> usize {
-    let mut added = 0usize;
-    for eq in system.equivalences() {
-        let c = Term::Iri(eq.left.clone());
-        let cp = Term::Iri(eq.right.clone());
-        for pos in TriplePosition::ALL {
-            added += copy_position(graph, &c, &cp, pos);
-            added += copy_position(graph, &cp, &c, pos);
-        }
-    }
-    added
-}
-
-/// Copies every triple having `from` at `pos` to the variant with `to`
-/// at `pos` (the `subjQ*`/`predQ*`/`objQ*` repairs). Returns insertions.
-fn copy_position(graph: &mut Graph, from: &Term, to: &Term, pos: TriplePosition) -> usize {
-    let Some(from_id) = graph.term_id(from) else {
-        return 0;
-    };
-    let (s, p, o) = match pos {
-        TriplePosition::Subject => (Some(from_id), None, None),
-        TriplePosition::Predicate => (None, Some(from_id), None),
-        TriplePosition::Object => (None, None, Some(from_id)),
-    };
-    let matches: Vec<_> = graph.match_ids(s, p, o).collect();
-    if matches.is_empty() {
-        return 0;
-    }
-    let to_id = graph.intern(to);
-    let mut added = 0;
-    for t in matches {
-        if graph.insert_ids(t.with(pos, to_id)) {
-            added += 1;
-        }
-    }
-    added
+    prepared.has_match_with(graph, &|v: &Variable| {
+        free.iter().position(|f| f == v).map(|i| tuple[i])
+    })
 }
 
 /// Checks Definition 2 directly: is `candidate` a solution for the system
@@ -284,6 +383,7 @@ mod tests {
     use crate::system::RpsBuilder;
     use crate::PeerId;
     use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar};
+    use rps_rdf::Triple;
 
     fn v(n: &str) -> Variable {
         Variable::new(n)
@@ -296,7 +396,11 @@ mod tests {
         let mut b = PeerId(0);
         let premise = GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/actor"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
         );
         let conclusion = GraphPatternQuery::new(
             vec![v("x"), v("y")],
@@ -423,9 +527,14 @@ mod tests {
             .equivalence("http://x/b", "http://x/c")
             .build();
         let sol = chase_system(&sys, &RpsChaseConfig::default());
-        assert!(sol
-            .graph
-            .contains(&Triple::new(Term::iri("http://x/c"), Term::iri("http://x/p"), Term::iri("http://x/o")).unwrap()));
+        assert!(sol.graph.contains(
+            &Triple::new(
+                Term::iri("http://x/c"),
+                Term::iri("http://x/p"),
+                Term::iri("http://x/o")
+            )
+            .unwrap()
+        ));
     }
 
     #[test]
@@ -436,11 +545,19 @@ mod tests {
         let mut b = PeerId(0);
         let premise = GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/p"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/p"),
+                TermOrVar::var("y"),
+            ),
         );
         let conclusion = GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/q"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/q"),
+                TermOrVar::var("y"),
+            ),
         );
         let sys = RpsBuilder::new()
             .peer_turtle("A", "<http://a/s> <http://a/p> _:hidden .", &mut a)
@@ -476,11 +593,19 @@ mod tests {
         let mut b = PeerId(0);
         let premise = GraphPatternQuery::new(
             vec![v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/p"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/p"),
+                TermOrVar::var("y"),
+            ),
         );
         let conclusion = GraphPatternQuery::new(
             vec![v("y")],
-            GraphPattern::triple(TermOrVar::var("y"), TermOrVar::iri("http://b/q"), TermOrVar::var("z")),
+            GraphPattern::triple(
+                TermOrVar::var("y"),
+                TermOrVar::iri("http://b/q"),
+                TermOrVar::var("z"),
+            ),
         );
         let sys = RpsBuilder::new()
             .peer_turtle("A", "<http://a/s> <http://a/p> \"literal\" .", &mut a)

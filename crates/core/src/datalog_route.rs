@@ -8,7 +8,9 @@
 
 use crate::answers::AnswerSet;
 use crate::encode::{gma_tgd_unguarded, graph_as_tt, query_to_cq, Encoder};
-use crate::equivalence::{canonicalize_graph, canonicalize_query, expand_answers, EquivalenceIndex};
+use crate::equivalence::{
+    canonicalize_graph, canonicalize_query, expand_answers, EquivalenceIndex,
+};
 use crate::system::RdfPeerSystem;
 use rps_query::GraphPatternQuery;
 use rps_rdf::Term;
@@ -133,7 +135,11 @@ mod tests {
         );
         let conclusion = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::Term(pred), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::Term(pred),
+                TermOrVar::var("y"),
+            ),
         );
         sys.add_assertion(
             crate::mapping::GraphMappingAssertion::new(p, p, premise, conclusion).unwrap(),
@@ -171,16 +177,24 @@ mod tests {
         // Add a hub-style assertion with an existential conclusion var.
         let premise = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://c/A"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://c/A"),
+                TermOrVar::var("y"),
+            ),
         );
         let conclusion = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://c/B"), TermOrVar::var("z"))
-                .and(GraphPattern::triple(
-                    TermOrVar::var("z"),
-                    TermOrVar::iri("http://c/C"),
-                    TermOrVar::var("y"),
-                )),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://c/B"),
+                TermOrVar::var("z"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("z"),
+                TermOrVar::iri("http://c/C"),
+                TermOrVar::var("y"),
+            )),
         );
         sys.add_assertion(
             crate::mapping::GraphMappingAssertion::new(PeerId(0), PeerId(0), premise, conclusion)
@@ -202,9 +216,8 @@ mod tests {
         let mut engine = DatalogEngine::new(&sys).unwrap();
         let ans = engine.answers(&edge_query());
         // alias inherits all of n0's closure edges.
-        assert!(ans.tuples.contains(&vec![
-            Term::iri("http://c/alias"),
-            Term::iri("http://c/n4")
-        ]));
+        assert!(ans
+            .tuples
+            .contains(&vec![Term::iri("http://c/alias"), Term::iri("http://c/n4")]));
     }
 }

@@ -56,10 +56,7 @@ pub struct Candidate {
 /// `(predicate-local-name, literal)` pairs. Predicate *local names* are
 /// used (the part after the last `/` or `#`) so that vocabularies that
 /// differ only by namespace still align — the common LOD situation.
-fn fingerprints(
-    system: &RdfPeerSystem,
-    peer: usize,
-) -> BTreeMap<Iri, BTreeSet<(String, String)>> {
+fn fingerprints(system: &RdfPeerSystem, peer: usize) -> BTreeMap<Iri, BTreeSet<(String, String)>> {
     let mut out: BTreeMap<Iri, BTreeSet<(String, String)>> = BTreeMap::new();
     let g = &system.peers()[peer].database;
     for t in g.iter() {
@@ -170,10 +167,7 @@ pub struct DiscoveryQuality {
 }
 
 /// Scores candidates against ground truth (both canonicalised).
-pub fn evaluate(
-    candidates: &[Candidate],
-    truth: &[EquivalenceMapping],
-) -> DiscoveryQuality {
+pub fn evaluate(candidates: &[Candidate], truth: &[EquivalenceMapping]) -> DiscoveryQuality {
     let truth_set: BTreeSet<EquivalenceMapping> =
         truth.iter().map(EquivalenceMapping::canonical).collect();
     let proposed: BTreeSet<EquivalenceMapping> =

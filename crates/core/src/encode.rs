@@ -10,7 +10,7 @@
 use crate::system::RdfPeerSystem;
 use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar};
 use rps_rdf::{Graph, Term};
-use rps_tgd::{Atom, AtomArg, Fact, GroundTerm, Instance, Sym, Tgd};
+use rps_tgd::{Atom, AtomArg, GroundTerm, Instance, Sym, Tgd};
 use std::collections::HashMap;
 
 /// Bidirectional mapping between RDF terms and relational symbols.
@@ -207,19 +207,32 @@ pub fn encode_system(system: &RdfPeerSystem) -> DataExchange {
     let mut enc = Encoder::new();
 
     // Source instance: ts-facts for stored triples, rs-facts for names.
+    // Each distinct RDF term is encoded and interned once.
     let stored = system.stored_database();
     let mut source = Instance::new();
-    for t in stored.iter() {
-        let s = enc.encode(t.subject());
-        let p = enc.encode(t.predicate());
-        let o = enc.encode(t.object());
-        for g in [&s, &o] {
-            if !g.is_null() {
-                source.insert(Fact::new("rs", vec![g.clone()]));
+    let rs = source.intern_pred(&Sym::from("rs"));
+    let ts = source.intern_pred(&Sym::from("ts"));
+    let mut memo: Vec<Option<rps_tgd::ValId>> = vec![None; stored.dict().len()];
+    let mut map =
+        |id: rps_rdf::TermId, source: &mut Instance, enc: &mut Encoder| match memo[id.index()] {
+            Some(v) => v,
+            None => {
+                let v = source.intern_value(&enc.encode(stored.term(id)));
+                memo[id.index()] = Some(v);
+                v
+            }
+        };
+    for t in stored.iter_ids() {
+        let s = map(t.s, &mut source, &mut enc);
+        let p = map(t.p, &mut source, &mut enc);
+        let o = map(t.o, &mut source, &mut enc);
+        for v in [s, o] {
+            if !source.values().is_null(v) {
+                source.insert_row(rs, Box::new([v]));
             }
         }
-        source.insert(Fact::new("rs", vec![p.clone()]));
-        source.insert(Fact::new("ts", vec![s, p, o]));
+        source.insert_row(rs, Box::new([p]));
+        source.insert_row(ts, Box::new([s, p, o]));
     }
 
     let source_to_target = vec![
@@ -303,9 +316,7 @@ pub fn gma_tgd_unguarded(
                     .iter()
                     .map(|arg| match arg {
                         AtomArg::Var(v)
-                            if premise_existentials
-                                .iter()
-                                .any(|e| e.name() == v.as_ref()) =>
+                            if premise_existentials.iter().any(|e| e.name() == v.as_ref()) =>
                         {
                             AtomArg::var(format!("_b_{v}"))
                         }
@@ -323,11 +334,25 @@ pub fn gma_tgd_unguarded(
 /// identity, so sources can be loaded as `tt`).
 pub fn graph_as_tt(graph: &Graph, enc: &mut Encoder) -> Instance {
     let mut inst = Instance::new();
-    for t in graph.iter() {
-        let s = enc.encode(t.subject());
-        let p = enc.encode(t.predicate());
-        let o = enc.encode(t.object());
-        inst.insert(Fact::new("tt", vec![s, p, o]));
+    let tt = inst.intern_pred(&Sym::from("tt"));
+    // Encode and intern each distinct RDF term once; rows are assembled
+    // from interned value ids.
+    let mut memo: Vec<Option<rps_tgd::ValId>> = vec![None; graph.dict().len()];
+    let mut map = |id: rps_rdf::TermId, inst: &mut Instance| match memo[id.index()] {
+        Some(v) => v,
+        None => {
+            let v = inst.intern_value(&enc.encode(graph.term(id)));
+            memo[id.index()] = Some(v);
+            v
+        }
+    };
+    for t in graph.iter_ids() {
+        let row = [
+            map(t.s, &mut inst),
+            map(t.p, &mut inst),
+            map(t.o, &mut inst),
+        ];
+        inst.insert_row(tt, Box::new(row));
     }
     inst
 }
@@ -382,7 +407,11 @@ mod tests {
         let mut b = PeerId(0);
         let premise = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/actor"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
         );
         let conclusion = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
@@ -398,7 +427,11 @@ mod tests {
             )),
         );
         RpsBuilder::new()
-            .peer_turtle("A", "<http://a/f> <http://a/starring> _:c .\n_:c <http://a/artist> <http://a/p1> .", &mut a)
+            .peer_turtle(
+                "A",
+                "<http://a/f> <http://a/starring> _:c .\n_:c <http://a/artist> <http://a/p1> .",
+                &mut a,
+            )
             .unwrap()
             .peer_turtle("B", "<http://b/g> <http://b/actor> <http://b/p2> .", &mut b)
             .unwrap()

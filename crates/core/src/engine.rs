@@ -150,16 +150,28 @@ mod tests {
         let mut b = PeerId(0);
         let premise = GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/actor"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
         );
         let conclusion = GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/cast"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("y"),
+            ),
         );
         RpsBuilder::new()
             .peer_turtle("A", "<http://a/f1> <http://a/cast> <http://a/p1> .", &mut a)
             .unwrap()
-            .peer_turtle("B", "<http://b/f2> <http://b/actor> <http://b/p2> .", &mut b)
+            .peer_turtle(
+                "B",
+                "<http://b/f2> <http://b/actor> <http://b/p2> .",
+                &mut b,
+            )
             .unwrap()
             .assertion(b, a, premise, conclusion)
             .unwrap()
@@ -170,7 +182,11 @@ mod tests {
     fn cast_query() -> GraphPatternQuery {
         GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/cast"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("y"),
+            ),
         )
     }
 
@@ -211,9 +227,8 @@ mod tests {
         let mut engine = RpsEngine::new(linear_system()).with_strategy(Strategy::Materialise);
         let (ans, route) = engine.answer(&cast_query());
         assert_eq!(route, AnswerRoute::Materialised);
-        assert!(ans.tuples.contains(&vec![
-            Term::iri("http://a/f1"),
-            Term::iri("http://b/p2")
-        ]));
+        assert!(ans
+            .tuples
+            .contains(&vec![Term::iri("http://a/f1"), Term::iri("http://b/p2")]));
     }
 }

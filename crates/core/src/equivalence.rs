@@ -14,7 +14,7 @@
 //! establish that both routes produce identical answer sets.
 
 use crate::mapping::EquivalenceMapping;
-use rps_rdf::{Graph, Iri, Term, Triple};
+use rps_rdf::{Graph, Iri, Term};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Union-find over IRIs with lexicographically-least canonical
@@ -151,12 +151,7 @@ pub fn saturate_naive(graph: &Graph, mappings: &[EquivalenceMapping]) -> Graph {
     }
 }
 
-fn copy_position(
-    graph: &mut Graph,
-    from: &Term,
-    to: &Term,
-    pos: rps_rdf::TriplePosition,
-) -> usize {
+fn copy_position(graph: &mut Graph, from: &Term, to: &Term, pos: rps_rdf::TriplePosition) -> usize {
     let Some(from_id) = graph.term_id(from) else {
         return 0;
     };
@@ -184,13 +179,22 @@ fn copy_position(
 /// path evaluates against.
 pub fn canonicalize_graph(graph: &Graph, index: &EquivalenceIndex) -> Graph {
     let mut out = Graph::new();
-    for t in graph.iter() {
-        let nt = Triple::new_unchecked(
-            index.canonical_term(t.subject()),
-            index.canonical_term(t.predicate()),
-            index.canonical_term(t.object()),
-        );
-        out.insert(&nt);
+    // Memoise per distinct source term id: each term is canonicalised and
+    // re-interned once, not once per occurrence.
+    let mut memo: Vec<Option<rps_rdf::TermId>> = vec![None; graph.dict().len()];
+    let mut map = |id: rps_rdf::TermId, out: &mut Graph| match memo[id.index()] {
+        Some(mapped) => mapped,
+        None => {
+            let mapped = out.intern(&index.canonical_term(graph.term(id)));
+            memo[id.index()] = Some(mapped);
+            mapped
+        }
+    };
+    for t in graph.iter_ids() {
+        let s = map(t.s, &mut out);
+        let p = map(t.p, &mut out);
+        let o = map(t.o, &mut out);
+        out.insert_ids(rps_rdf::IdTriple::new(s, p, o));
     }
     out
 }
@@ -240,11 +244,7 @@ pub fn expand_answers(
     out
 }
 
-fn cross_product(
-    choices: &[Vec<Term>],
-    prefix: &mut Vec<Term>,
-    out: &mut BTreeSet<Vec<Term>>,
-) {
+fn cross_product(choices: &[Vec<Term>], prefix: &mut Vec<Term>, out: &mut BTreeSet<Vec<Term>>) {
     if prefix.len() == choices.len() {
         out.insert(prefix.clone());
         return;
@@ -259,7 +259,10 @@ fn cross_product(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rps_query::{evaluate_query, GraphPattern, GraphPatternQuery, Semantics, TermOrVar, Variable};
+    use rps_query::{
+        evaluate_query, GraphPattern, GraphPatternQuery, Semantics, TermOrVar, Variable,
+    };
+    use rps_rdf::Triple;
 
     fn eq(a: &str, b: &str) -> EquivalenceMapping {
         EquivalenceMapping::new(Iri::new(a), Iri::new(b))
@@ -299,7 +302,11 @@ mod tests {
         // Query: q(s) <- (s, p, o_var) with constant p.
         let q = GraphPatternQuery::new(
             vec![Variable::new("s"), Variable::new("v")],
-            GraphPattern::triple(TermOrVar::var("s"), TermOrVar::iri("p"), TermOrVar::var("v")),
+            GraphPattern::triple(
+                TermOrVar::var("s"),
+                TermOrVar::iri("p"),
+                TermOrVar::var("v"),
+            ),
         );
         // Naive route.
         let naive = evaluate_query(&saturate_naive(&g, &mappings), &q, Semantics::Star);

@@ -42,12 +42,12 @@ pub mod system;
 pub use answers::{certain_answers, certain_answers_union, AnswerSet};
 pub use chase::{chase_system, is_solution, RpsChaseConfig, RpsChaseStats, UniversalSolution};
 pub use datalog_route::DatalogEngine;
-pub use discovery::{discover, evaluate as evaluate_discovery, Candidate, DiscoveryConfig, DiscoveryQuality};
+pub use discovery::{
+    discover, evaluate as evaluate_discovery, Candidate, DiscoveryConfig, DiscoveryQuality,
+};
 pub use encode::{encode_system, graph_as_tt, query_to_cq, DataExchange, Encoder};
 pub use engine::{AnswerRoute, RpsEngine, Strategy};
-pub use equivalence::{
-    canonicalize_graph, expand_answers, saturate_naive, EquivalenceIndex,
-};
+pub use equivalence::{canonicalize_graph, expand_answers, saturate_naive, EquivalenceIndex};
 pub use mapping::{EquivalenceMapping, GraphMappingAssertion, MappingError};
 pub use peer::{Peer, PeerId, PeerValidationError};
 pub use rewriting::{cq_to_pattern, RpsRewriter, RpsRewriting};

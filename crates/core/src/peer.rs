@@ -43,11 +43,7 @@ impl Peer {
     }
 
     /// Creates a peer with an explicit schema.
-    pub fn with_schema(
-        name: impl Into<String>,
-        schema: BTreeSet<Iri>,
-        database: Graph,
-    ) -> Self {
+    pub fn with_schema(name: impl Into<String>, schema: BTreeSet<Iri>, database: Graph) -> Self {
         Peer {
             name: name.into(),
             schema,
@@ -154,8 +150,12 @@ mod tests {
     #[test]
     fn blanks_and_literals_always_allowed() {
         let mut g = Graph::new();
-        g.insert_terms(Term::blank("x"), Term::iri("http://e/p"), Term::literal("v"))
-            .unwrap();
+        g.insert_terms(
+            Term::blank("x"),
+            Term::iri("http://e/p"),
+            Term::literal("v"),
+        )
+        .unwrap();
         let p = Peer::from_database("b", g);
         assert!(p.validate().is_ok());
         assert_eq!(p.schema.len(), 1);

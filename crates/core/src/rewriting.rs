@@ -119,9 +119,7 @@ pub fn cq_to_pattern(cq: &Cq, encoder: &Encoder) -> Option<GraphPattern> {
                 AtomArg::Const(c) => {
                     TermOrVar::Term(encoder.decode(&rps_tgd::GroundTerm::Const(c.clone())))
                 }
-                AtomArg::Null(n) => {
-                    TermOrVar::Term(encoder.decode(&rps_tgd::GroundTerm::Null(*n)))
-                }
+                AtomArg::Null(n) => TermOrVar::Term(encoder.decode(&rps_tgd::GroundTerm::Null(*n))),
             }
         };
         gp.push(rps_query::TriplePattern::new(
@@ -174,15 +172,13 @@ impl RpsRewriter {
         let stored = system.stored_database();
         let stored_tt = graph_as_tt(&stored, &mut exchange.encoder);
 
-        let index =
-            crate::equivalence::EquivalenceIndex::from_mappings(system.equivalences());
+        let index = crate::equivalence::EquivalenceIndex::from_mappings(system.equivalences());
         let canon_gma_tgds: Vec<Tgd> = system
             .assertions()
             .iter()
             .map(|gma| {
                 let premise = crate::equivalence::canonicalize_query(&gma.premise, &index);
-                let conclusion =
-                    crate::equivalence::canonicalize_query(&gma.conclusion, &index);
+                let conclusion = crate::equivalence::canonicalize_query(&gma.conclusion, &index);
                 crate::encode::gma_tgd_unguarded(&premise, &conclusion, &mut exchange.encoder)
             })
             .collect();
@@ -216,6 +212,25 @@ impl RpsRewriter {
         let canon_query = crate::equivalence::canonicalize_query(query, &self.index);
         let cq = query_to_cq(&canon_query, &mut self.exchange.encoder, false);
         let r = rps_tgd::rewrite(&cq, &self.canon_gma_tgds, cfg);
+        RpsRewriting {
+            cqs: r.cqs,
+            complete: r.complete,
+            explored: r.explored,
+        }
+    }
+
+    /// [`Self::rewrite_canonical`] through the retained naive rewriting
+    /// engine (`rps_tgd::naive`) — string-keyed canonicalisation, CQ-set
+    /// duplicate detection. Used by benchmarks and property tests to
+    /// compare engines; produces the same UCQ set.
+    pub fn rewrite_canonical_naive(
+        &mut self,
+        query: &GraphPatternQuery,
+        cfg: &RewriteConfig,
+    ) -> RpsRewriting {
+        let canon_query = crate::equivalence::canonicalize_query(query, &self.index);
+        let cq = query_to_cq(&canon_query, &mut self.exchange.encoder, false);
+        let r = rps_tgd::naive::rewrite(&cq, &self.canon_gma_tgds, cfg);
         RpsRewriting {
             cqs: r.cqs,
             complete: r.complete,
@@ -410,16 +425,28 @@ mod tests {
         let mut b = PeerId(0);
         let premise = GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/actor"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
         );
         let conclusion = GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/cast"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("y"),
+            ),
         );
         RpsBuilder::new()
             .peer_turtle("A", "<http://a/f1> <http://a/cast> <http://a/p1> .", &mut a)
             .unwrap()
-            .peer_turtle("B", "<http://b/f2> <http://b/actor> <http://b/p2> .", &mut b)
+            .peer_turtle(
+                "B",
+                "<http://b/f2> <http://b/actor> <http://b/p2> .",
+                &mut b,
+            )
             .unwrap()
             .assertion(b, a, premise, conclusion)
             .unwrap()
@@ -430,7 +457,11 @@ mod tests {
     fn cast_query() -> GraphPatternQuery {
         GraphPatternQuery::new(
             vec![v("x"), v("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/cast"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("y"),
+            ),
         )
     }
 
@@ -454,14 +485,12 @@ mod tests {
         let chased = crate::answers::certain_answers(&sol, &cast_query());
         assert_eq!(ans.tuples, chased.tuples);
         // Both vocabularies' actors appear thanks to the equivalence.
-        assert!(ans.tuples.contains(&vec![
-            Term::iri("http://b/f2"),
-            Term::iri("http://b/p2")
-        ]));
-        assert!(ans.tuples.contains(&vec![
-            Term::iri("http://b/f2"),
-            Term::iri("http://a/p1")
-        ]));
+        assert!(ans
+            .tuples
+            .contains(&vec![Term::iri("http://b/f2"), Term::iri("http://b/p2")]));
+        assert!(ans
+            .tuples
+            .contains(&vec![Term::iri("http://b/f2"), Term::iri("http://a/p1")]));
     }
 
     #[test]

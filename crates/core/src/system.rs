@@ -72,8 +72,30 @@ impl RdfPeerSystem {
     /// blank nodes as scoped placeholders.
     pub fn stored_database(&self) -> Graph {
         let mut out = Graph::new();
+        // Relabel each peer's blanks and intern directly into the union —
+        // one interning pass per distinct term, no intermediate graphs.
         for idx in 0..self.peers.len() {
-            out.merge(&self.scoped_database(PeerId(idx)));
+            let db = &self.peers[idx].database;
+            let mut memo: Vec<Option<rps_rdf::TermId>> = vec![None; db.dict().len()];
+            let mut map = |tid: rps_rdf::TermId, out: &mut Graph| match memo[tid.index()] {
+                Some(mapped) => mapped,
+                None => {
+                    let term = db.term(tid);
+                    let scoped = match term {
+                        Term::Blank(b) => Term::blank(format!("p{idx}_{}", b.label())),
+                        other => other.clone(),
+                    };
+                    let mapped = out.intern(&scoped);
+                    memo[tid.index()] = Some(mapped);
+                    mapped
+                }
+            };
+            for t in db.iter_ids() {
+                let s = map(t.s, &mut out);
+                let p = map(t.p, &mut out);
+                let o = map(t.o, &mut out);
+                out.insert_ids(rps_rdf::IdTriple::new(s, p, o));
+            }
         }
         out
     }
@@ -85,20 +107,29 @@ impl RdfPeerSystem {
     pub fn scoped_database(&self, id: PeerId) -> Graph {
         let peer = &self.peers[id.0];
         let idx = id.0;
+        let db = &peer.database;
         let mut out = Graph::new();
-        for t in peer.database.iter() {
-            let relabel = |term: &Term| -> Term {
-                match term {
+        // Relabel and re-intern each distinct term once, not once per
+        // occurrence.
+        let mut memo: Vec<Option<rps_rdf::TermId>> = vec![None; db.dict().len()];
+        let mut map = |tid: rps_rdf::TermId, out: &mut Graph| match memo[tid.index()] {
+            Some(mapped) => mapped,
+            None => {
+                let term = db.term(tid);
+                let scoped = match term {
                     Term::Blank(b) => Term::blank(format!("p{idx}_{}", b.label())),
                     other => other.clone(),
-                }
-            };
-            let nt = rps_rdf::Triple::new_unchecked(
-                relabel(t.subject()),
-                relabel(t.predicate()),
-                relabel(t.object()),
-            );
-            out.insert(&nt);
+                };
+                let mapped = out.intern(&scoped);
+                memo[tid.index()] = Some(mapped);
+                mapped
+            }
+        };
+        for t in db.iter_ids() {
+            let s = map(t.s, &mut out);
+            let p = map(t.p, &mut out);
+            let o = map(t.o, &mut out);
+            out.insert_ids(rps_rdf::IdTriple::new(s, p, o));
         }
         out
     }
@@ -286,10 +317,7 @@ mod tests {
         let d = sys.stored_database();
         assert_eq!(d.len(), 2);
         // The two _:b blanks stay distinct.
-        let subjects: BTreeSet<String> = d
-            .iter()
-            .map(|t| t.subject().to_string())
-            .collect();
+        let subjects: BTreeSet<String> = d.iter().map(|t| t.subject().to_string()).collect();
         assert_eq!(subjects.len(), 2);
     }
 
@@ -319,11 +347,19 @@ mod tests {
         let p2 = sys.add_peer(Peer::from_database("b", g2));
         let q_src = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/p"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/p"),
+                TermOrVar::var("y"),
+            ),
         );
         let q_dst = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/p"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/p"),
+                TermOrVar::var("y"),
+            ),
         );
         sys.add_assertion(
             GraphMappingAssertion::new(p1, p2, q_src.clone(), q_dst.clone()).unwrap(),

@@ -99,9 +99,7 @@ mod tests {
         // 7 nodes: 7*6/2 = 21 ordered reachable pairs.
         let ans = certain_answers(&sol, &edge_query());
         assert_eq!(ans.len(), 21);
-        assert!(ans
-            .tuples
-            .contains(&vec![node(0), node(6)]));
+        assert!(ans.tuples.contains(&vec![node(0), node(6)]));
     }
 
     #[test]
@@ -129,17 +127,9 @@ mod tests {
             max_cqs: 2_000,
         };
         // Short endpoints reachable within the depth bound are found...
-        assert!(rw.is_certain_answer(
-            &edge_query(),
-            &[node(0), node(2)],
-            &cfg
-        ));
+        assert!(rw.is_certain_answer(&edge_query(), &[node(0), node(2)], &cfg));
         // ...but the far endpoint is not, although the chase proves it.
-        assert!(!rw.is_certain_answer(
-            &edge_query(),
-            &[node(0), node(len)],
-            &cfg
-        ));
+        assert!(!rw.is_certain_answer(&edge_query(), &[node(0), node(len)], &cfg));
         let sol = chase_system(&sys, &RpsChaseConfig::default());
         let ans = certain_answers(&sol, &edge_query());
         assert!(ans.tuples.contains(&vec![node(0), node(len)]));

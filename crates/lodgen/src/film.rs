@@ -6,12 +6,9 @@
 //! Everything is seeded and deterministic, so experiments are exactly
 //! reproducible.
 
+use crate::rng::SeededRng;
 use crate::topology::Topology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rps_core::{
-    EquivalenceMapping, GraphMappingAssertion, Peer, PeerId, RdfPeerSystem,
-};
+use rps_core::{EquivalenceMapping, GraphMappingAssertion, Peer, PeerId, RdfPeerSystem};
 use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
 use rps_rdf::{Graph, Iri, Term};
 
@@ -82,30 +79,32 @@ pub fn artist_pred(peer: usize) -> Iri {
 /// Generates the film system for a configuration.
 pub fn film_system(cfg: &FilmConfig) -> RdfPeerSystem {
     assert!(cfg.peers >= 1, "need at least one peer");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SeededRng::seed_from_u64(cfg.seed);
     let mut system = RdfPeerSystem::new();
 
     // --- Peer databases. ---
     for p in 0..cfg.peers {
         let mut g = Graph::new();
+        // Intern the terms that repeat across triples (predicates, the
+        // person pool) once up front, then assemble triples from ids —
+        // the inner loop does no string formatting or re-hashing.
+        let actor = g.intern(&Term::Iri(actor_pred(p)));
+        let starring = g.intern(&Term::Iri(starring_pred(0)));
+        let artist = g.intern(&Term::Iri(artist_pred(0)));
+        let persons: Vec<rps_rdf::TermId> = (0..cfg.person_pool.max(1))
+            .map(|i| g.intern(&iri(p, &format!("person{i}"))))
+            .collect();
         for f in 0..cfg.films_per_peer {
-            let film = iri(p, &format!("film{f}"));
+            let film = g.intern(&iri(p, &format!("film{f}")));
             for a in 0..cfg.actors_per_film {
                 let person_idx = rng.gen_range(0..cfg.person_pool.max(1));
-                let person = iri(p, &format!("person{person_idx}"));
+                let person = persons[person_idx];
                 if cfg.hub_style && p == 0 {
-                    let blank = Term::blank(format!("c_{f}_{a}"));
-                    g.insert_terms(
-                        film.clone(),
-                        Term::Iri(starring_pred(0)),
-                        blank.clone(),
-                    )
-                    .expect("valid triple");
-                    g.insert_terms(blank, Term::Iri(artist_pred(0)), person)
-                        .expect("valid triple");
+                    let blank = g.intern(&Term::blank(format!("c_{f}_{a}")));
+                    g.insert_ids(rps_rdf::IdTriple::new(film, starring, blank));
+                    g.insert_ids(rps_rdf::IdTriple::new(blank, artist, person));
                 } else {
-                    g.insert_terms(film.clone(), Term::Iri(actor_pred(p)), person)
-                        .expect("valid triple");
+                    g.insert_ids(rps_rdf::IdTriple::new(film, actor, person));
                 }
             }
         }
@@ -253,11 +252,7 @@ mod tests {
         assert!(sol.complete);
         // The chain mappings push peer 0's casts into peer 2's vocabulary.
         let q = actor_shape_query(2, false);
-        let ans = rps_query::evaluate_query(
-            &sol.graph,
-            &q,
-            rps_query::Semantics::Certain,
-        );
+        let ans = rps_query::evaluate_query(&sol.graph, &q, rps_query::Semantics::Certain);
         assert!(!ans.is_empty());
     }
 }

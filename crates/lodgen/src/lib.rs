@@ -22,6 +22,7 @@ pub mod film;
 pub mod paper;
 pub mod people;
 pub mod queries;
+pub mod rng;
 pub mod topology;
 
 pub use chain::{edge_query, endpoint_query, transitive_system};

@@ -85,10 +85,7 @@ pub fn paper_example() -> PaperExample {
     // --- Example 2's single graph mapping assertion: Q2 ⇝ Q1. ---
     // Q2 := q(x, y) ← (x, actor, y)        (over Source 2)
     // Q1 := q(x, y) ← (x, starring, z) AND (z, artist, y)  (over Source 1)
-    let q2 = query_from(
-        &prefixes,
-        "SELECT ?x ?y WHERE { ?x v:actor ?y }",
-    );
+    let q2 = query_from(&prefixes, "SELECT ?x ?y WHERE { ?x v:actor ?y }");
     let q1 = query_from(
         &prefixes,
         "SELECT ?x ?y WHERE { ?x v:starring ?z . ?z v:artist ?y }",
@@ -110,7 +107,8 @@ pub fn paper_example() -> PaperExample {
         .build();
 
     // --- Example 1's query. ---
-    let query_text = "SELECT ?x ?y WHERE { db1:Spiderman v:starring ?z . ?z v:artist ?x . ?x v:age ?y }";
+    let query_text =
+        "SELECT ?x ?y WHERE { db1:Spiderman v:starring ?z . ?z v:artist ?x . ?x v:age ?y }";
     let query = query_from(&prefixes, query_text);
 
     let iri = |ns: &str, local: &str| Term::iri(format!("{ns}{local}"));

@@ -8,8 +8,7 @@
 //! persons share a city (a popular, non-distinctive value) but have
 //! unique names and birth dates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 use rps_core::{EquivalenceMapping, Peer, RdfPeerSystem};
 use rps_rdf::{Graph, Iri, Term};
 
@@ -55,7 +54,7 @@ fn ns(peer: usize) -> String {
 
 /// Generates the workload.
 pub fn people_workload(cfg: &PeopleConfig) -> PeopleWorkload {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SeededRng::seed_from_u64(cfg.seed);
     let mut system = RdfPeerSystem::new();
 
     // Global person identities: each has a unique (name, born) pair.
@@ -73,14 +72,13 @@ pub fn people_workload(cfg: &PeopleConfig) -> PeopleWorkload {
         for local in 0..cfg.persons_per_peer {
             // Duplicate a person from the previous peer with the given
             // probability (as long as any are left to copy).
-            let identity = if !previous.is_empty()
-                && rng.gen_bool(cfg.duplicate_fraction.clamp(0.0, 1.0))
-            {
-                previous[rng.gen_range(0..previous.len())].0
-            } else {
-                next_identity += 1;
-                next_identity - 1
-            };
+            let identity =
+                if !previous.is_empty() && rng.gen_bool(cfg.duplicate_fraction.clamp(0.0, 1.0)) {
+                    previous[rng.gen_range(0..previous.len())].0
+                } else {
+                    next_identity += 1;
+                    next_identity - 1
+                };
             if occurrences.len() <= identity {
                 occurrences.resize(identity + 1, Vec::new());
             }
@@ -98,7 +96,12 @@ pub fn people_workload(cfg: &PeopleConfig) -> PeopleWorkload {
             g.insert_terms(
                 subject.clone(),
                 pred("born"),
-                Term::literal(format!("19{:02}-0{}-1{}", identity % 90, identity % 9 + 1, identity % 8)),
+                Term::literal(format!(
+                    "19{:02}-0{}-1{}",
+                    identity % 90,
+                    identity % 9 + 1,
+                    identity % 8
+                )),
             )
             .expect("valid");
             g.insert_terms(

@@ -1,8 +1,7 @@
 //! Query generators for the synthetic workloads.
 
 use crate::film::{actor_pred, artist_pred, peer_ns, starring_pred};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
 use rps_rdf::Term;
 
@@ -65,7 +64,7 @@ pub fn random_cast_queries(
     count: usize,
     seed: u64,
 ) -> Vec<GraphPatternQuery> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     (0..count)
         .map(|_| film_cast_query(peer, rng.gen_range(0..films.max(1))))
         .collect()

@@ -1,0 +1,89 @@
+//! A tiny deterministic PRNG (SplitMix64) used by the workload
+//! generators.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the generators cannot depend on the `rand` crate. SplitMix64 is more
+//! than adequate here: workloads only need seeded, reproducible,
+//! well-spread draws, not cryptographic quality. The API mirrors the
+//! subset of `rand` the generators use (`seed_from_u64`, `gen_range`,
+//! `gen_bool`), so swapping `rand` back in later is a one-line change.
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SeededRng { state: seed }
+    }
+
+    /// The next raw 64-bit draw (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `range` (half-open). Empty ranges yield the
+    /// start bound, matching the generators' `0..n.max(1)` call sites.
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        let span = range.end.saturating_sub(range.start);
+        if span == 0 {
+            return range.start;
+        }
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the small spans used by the generators.
+        range.start + (self.next_u64() % span as u64) as usize
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SeededRng::seed_from_u64(42);
+        let mut b = SeededRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SeededRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+        }
+        assert_eq!(r.gen_range(5..5), 5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SeededRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = SeededRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+}

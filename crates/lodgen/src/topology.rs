@@ -5,8 +5,7 @@
 //! systems. The generators here produce the standard shapes used by the
 //! scalability experiments (E8).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 
 /// A mapping topology over `n` peers, yielding directed edges
 /// `(source, target)`.
@@ -61,7 +60,7 @@ impl Topology {
                 out
             }
             Topology::Random { edge_prob, seed } => {
-                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut rng = SeededRng::seed_from_u64(*seed);
                 let mut out = Vec::new();
                 for i in 0..n {
                     for j in 0..n {

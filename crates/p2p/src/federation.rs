@@ -64,14 +64,9 @@ impl FederatedEngine {
     /// rewrite-then-federate pipeline: queries rewritten against the
     /// quotient system are evaluated against quotient peer stores, and
     /// the originator expands answers back over the classes.
-    pub fn new_canonical(
-        system: &RdfPeerSystem,
-        eq_index: &rps_core::EquivalenceIndex,
-    ) -> Self {
+    pub fn new_canonical(system: &RdfPeerSystem, eq_index: &rps_core::EquivalenceIndex) -> Self {
         let locals: Vec<Graph> = (0..system.peers().len())
-            .map(|i| {
-                rps_core::canonicalize_graph(&system.scoped_database(PeerId(i)), eq_index)
-            })
+            .map(|i| rps_core::canonicalize_graph(&system.scoped_database(PeerId(i)), eq_index))
             .collect();
         // The schema index must reflect canonical IRIs too: rebuild from
         // the canonicalised stores.
@@ -198,10 +193,7 @@ impl FederatedEngine {
         semantics: Semantics,
         net: &mut SimNetwork,
     ) -> (BTreeSet<Vec<Term>>, FederationStats) {
-        let union = UnionQuery::new(
-            query.free_vars().to_vec(),
-            vec![query.pattern().clone()],
-        );
+        let union = UnionQuery::new(query.free_vars().to_vec(), vec![query.pattern().clone()]);
         self.evaluate_union(&union, semantics, net)
     }
 
@@ -229,11 +221,7 @@ mod tests {
                 &mut a,
             )
             .unwrap()
-            .peer_turtle(
-                "B",
-                "<http://e/m1> <http://e/q> <http://e/o1> .",
-                &mut b,
-            )
+            .peer_turtle("B", "<http://e/m1> <http://e/q> <http://e/o1> .", &mut b)
             .unwrap()
             .peer_turtle(
                 "C",
@@ -248,12 +236,16 @@ mod tests {
     fn path_query() -> GraphPatternQuery {
         GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://e/p"), TermOrVar::var("m"))
-                .and(GraphPattern::triple(
-                    TermOrVar::var("m"),
-                    TermOrVar::iri("http://e/q"),
-                    TermOrVar::var("y"),
-                )),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://e/p"),
+                TermOrVar::var("m"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("m"),
+                TermOrVar::iri("http://e/q"),
+                TermOrVar::var("y"),
+            )),
         )
     }
 
@@ -276,10 +268,7 @@ mod tests {
         let engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let (fed, _) = engine.evaluate_query(&path_query(), Semantics::Certain, &mut net);
-        assert!(fed.contains(&vec![
-            Term::iri("http://e/s1"),
-            Term::iri("http://e/o1")
-        ]));
+        assert!(fed.contains(&vec![Term::iri("http://e/s1"), Term::iri("http://e/o1")]));
     }
 
     #[test]
@@ -310,8 +299,16 @@ mod tests {
         let u = UnionQuery::new(
             vec![Variable::new("x")],
             vec![
-                GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://e/p"), TermOrVar::var("y")),
-                GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://e/q"), TermOrVar::var("y")),
+                GraphPattern::triple(
+                    TermOrVar::var("x"),
+                    TermOrVar::iri("http://e/p"),
+                    TermOrVar::var("y"),
+                ),
+                GraphPattern::triple(
+                    TermOrVar::var("x"),
+                    TermOrVar::iri("http://e/q"),
+                    TermOrVar::var("y"),
+                ),
             ],
         );
         let (ans, _) = engine.evaluate_union(&u, Semantics::Certain, &mut net);

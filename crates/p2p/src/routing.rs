@@ -74,17 +74,9 @@ mod tests {
         let mut a = PeerId(0);
         let mut b = PeerId(0);
         RpsBuilder::new()
-            .peer_turtle(
-                "A",
-                "<http://a/s> <http://shared/p> <http://a/o> .",
-                &mut a,
-            )
+            .peer_turtle("A", "<http://a/s> <http://shared/p> <http://a/o> .", &mut a)
             .unwrap()
-            .peer_turtle(
-                "B",
-                "<http://b/s> <http://shared/p> <http://b/o> .",
-                &mut b,
-            )
+            .peer_turtle("B", "<http://b/s> <http://shared/p> <http://b/o> .", &mut b)
             .unwrap()
             .build()
     }

@@ -116,16 +116,28 @@ mod tests {
         let mut b = PeerId(0);
         let premise = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://b/actor"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
         );
         let conclusion = GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/cast"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("y"),
+            ),
         );
         RpsBuilder::new()
             .peer_turtle("A", "<http://a/f1> <http://a/cast> <http://a/p1> .", &mut a)
             .unwrap()
-            .peer_turtle("B", "<http://b/f2> <http://b/actor> <http://b/p2> .", &mut b)
+            .peer_turtle(
+                "B",
+                "<http://b/f2> <http://b/actor> <http://b/p2> .",
+                &mut b,
+            )
             .unwrap()
             .assertion(b, a, premise, conclusion)
             .unwrap()
@@ -136,7 +148,11 @@ mod tests {
     fn cast_query() -> GraphPatternQuery {
         GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://a/cast"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("y"),
+            ),
         )
     }
 

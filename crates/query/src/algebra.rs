@@ -166,8 +166,16 @@ mod tests {
     #[test]
     fn union_evaluates_all_branches() {
         let g = graph();
-        let b1 = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://e/p"), TermOrVar::var("y"));
-        let b2 = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("http://e/q"), TermOrVar::var("y"));
+        let b1 = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/p"),
+            TermOrVar::var("y"),
+        );
+        let b2 = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/q"),
+            TermOrVar::var("y"),
+        );
         let u = UnionQuery::new(vec![v("x"), v("y")], vec![b1, b2]);
         let ans = u.evaluate(&g, Semantics::Certain);
         assert_eq!(ans.len(), 2);
@@ -175,7 +183,11 @@ mod tests {
 
     #[test]
     fn union_dedups_branches() {
-        let b = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("y"));
+        let b = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("p"),
+            TermOrVar::var("y"),
+        );
         let mut u = UnionQuery::new(vec![v("x")], vec![b.clone()]);
         u.add_branch(b);
         assert_eq!(u.len(), 1);
@@ -189,10 +201,17 @@ mod tests {
             TermOrVar::var("p"),
             TermOrVar::var("o"),
         );
-        let live = GraphPattern::triple(TermOrVar::var("s"), TermOrVar::iri("http://e/q"), TermOrVar::var("o"));
+        let live = GraphPattern::triple(
+            TermOrVar::var("s"),
+            TermOrVar::iri("http://e/q"),
+            TermOrVar::var("o"),
+        );
         let u = UnionQuery::new(vec![], vec![dead, live]);
         assert!(u.ask(&g));
-        assert!(Query::Ask(u).evaluate(&g, Semantics::Certain).boolean().unwrap());
+        assert!(Query::Ask(u)
+            .evaluate(&g, Semantics::Certain)
+            .boolean()
+            .unwrap());
     }
 
     #[test]

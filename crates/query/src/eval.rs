@@ -75,7 +75,7 @@ fn compile(graph: &Graph, gp: &GraphPattern) -> Compiled {
     }
 
     if satisfiable {
-        order_slots(graph, &mut slots);
+        order_slots(graph, &mut slots, BTreeSet::new());
     }
     Compiled {
         slots,
@@ -85,10 +85,12 @@ fn compile(graph: &Graph, gp: &GraphPattern) -> Compiled {
 }
 
 /// Greedy join ordering: repeatedly pick the conjunct with the smallest
-/// shape-based cardinality estimate given the variables bound so far.
-fn order_slots(graph: &Graph, slots: &mut [[Slot; 3]]) {
+/// shape-based cardinality estimate given the variables bound so far
+/// (seeded with `bound` — non-empty when ordering the non-pivot conjuncts
+/// of a delta evaluation).
+fn order_slots(graph: &Graph, slots: &mut [[Slot; 3]], bound: BTreeSet<usize>) {
     let n = slots.len();
-    let mut bound: BTreeSet<usize> = BTreeSet::new();
+    let mut bound = bound;
     for i in 0..n {
         let mut best = i;
         let mut best_cost = usize::MAX;
@@ -131,9 +133,7 @@ fn shape_estimate(graph: &Graph, slot: &[Slot; 3], bound: &BTreeSet<usize>) -> u
             match (p_bound, s, o) {
                 (_, true, true) => ((n as f64).sqrt() as usize).max(1),
                 (true, _, _) => (n / 4).max(1),
-                (false, true, false) | (false, false, true) => {
-                    ((n as f64).sqrt() as usize).max(1)
-                }
+                (false, true, false) | (false, false, true) => ((n as f64).sqrt() as usize).max(1),
                 (false, false, false) => n,
             }
         }
@@ -150,7 +150,10 @@ pub fn evaluate_pattern(graph: &Graph, gp: &GraphPattern) -> Vec<Mapping> {
     let nvars = compiled.vars.len();
     let mut binding: Vec<Option<TermId>> = vec![None; nvars];
     let mut results: Vec<Vec<TermId>> = Vec::new();
-    search(graph, &compiled.slots, 0, &mut binding, &mut results);
+    search(graph, &compiled.slots, 0, &mut binding, &mut |binding| {
+        results.push(binding.iter().map(|b| b.expect("var bound")).collect());
+        true
+    });
     results.sort();
     results.dedup();
     results
@@ -165,17 +168,21 @@ pub fn evaluate_pattern(graph: &Graph, gp: &GraphPattern) -> Vec<Mapping> {
         .collect()
 }
 
+/// Backtracking matcher over compiled conjuncts. The `emit` callback
+/// receives the full binding at each solution and returns `false` to stop
+/// the search; the overall return is `false` iff the search was stopped.
+/// Candidates stream directly off the permutation-index range scans — no
+/// per-level candidate materialisation.
 fn search(
     graph: &Graph,
     slots: &[[Slot; 3]],
     depth: usize,
     binding: &mut Vec<Option<TermId>>,
-    out: &mut Vec<Vec<TermId>>,
-) {
+    emit: &mut dyn FnMut(&[Option<TermId>]) -> bool,
+) -> bool {
     if depth == slots.len() {
         // All conjuncts matched; every variable that occurs is bound.
-        out.push(binding.iter().map(|b| b.expect("var bound")).collect());
-        return;
+        return emit(binding);
     }
     let slot = &slots[depth];
     let resolve = |s: &Slot, binding: &[Option<TermId>]| match s {
@@ -186,38 +193,61 @@ fn search(
     let qp = resolve(&slot[1], binding);
     let qo = resolve(&slot[2], binding);
 
-    // Collect candidates eagerly: the recursive call may not hold a borrow
-    // of the graph's index iterator across mutation-free recursion anyway,
-    // but eager collection keeps the borrow checker simple and the per-level
-    // candidate lists are small after ordering.
-    let candidates: Vec<_> = graph.match_ids(qs, qp, qo).collect();
-    for t in candidates {
-        let vals = [t.s, t.p, t.o];
-        let mut newly_bound: [Option<usize>; 3] = [None; 3];
-        let mut ok = true;
-        for i in 0..3 {
-            if let Slot::Var(v) = slot[i] {
-                match binding[v] {
-                    Some(existing) => {
-                        if existing != vals[i] {
-                            ok = false;
-                            break;
-                        }
+    for t in graph.match_ids(qs, qp, qo) {
+        let keep_going = match_one(graph, slots, depth + 1, slot, t, binding, emit);
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Binds one candidate triple against `slot`, recurses into
+/// `slots[next_depth..]` on success, and undoes the bindings. Returns
+/// `false` iff the search was stopped.
+fn match_one(
+    graph: &Graph,
+    slots: &[[Slot; 3]],
+    next_depth: usize,
+    slot: &[Slot; 3],
+    t: rps_rdf::IdTriple,
+    binding: &mut Vec<Option<TermId>>,
+    emit: &mut dyn FnMut(&[Option<TermId>]) -> bool,
+) -> bool {
+    let vals = [t.s, t.p, t.o];
+    let mut newly_bound: [Option<usize>; 3] = [None; 3];
+    let mut ok = true;
+    for i in 0..3 {
+        match slot[i] {
+            Slot::Var(v) => match binding[v] {
+                Some(existing) => {
+                    if existing != vals[i] {
+                        ok = false;
+                        break;
                     }
-                    None => {
-                        binding[v] = Some(vals[i]);
-                        newly_bound[i] = Some(v);
-                    }
+                }
+                None => {
+                    binding[v] = Some(vals[i]);
+                    newly_bound[i] = Some(v);
+                }
+            },
+            Slot::Const(c) => {
+                if c != vals[i] {
+                    ok = false;
+                    break;
                 }
             }
         }
-        if ok {
-            search(graph, slots, depth + 1, binding, out);
-        }
-        for nb in newly_bound.into_iter().flatten() {
-            binding[nb] = None;
-        }
     }
+    let keep_going = if ok {
+        search(graph, slots, next_depth, binding, emit)
+    } else {
+        true
+    };
+    for nb in newly_bound.into_iter().flatten() {
+        binding[nb] = None;
+    }
+    keep_going
 }
 
 /// Evaluates a graph pattern query, returning its answer tuples under the
@@ -251,64 +281,194 @@ pub fn evaluate_boolean(graph: &Graph, query: &GraphPatternQuery) -> bool {
 
 /// `true` iff the pattern has at least one solution mapping (early exit).
 pub fn has_match(graph: &Graph, gp: &GraphPattern) -> bool {
+    has_match_with(graph, gp, &|_| None)
+}
+
+/// A graph pattern compiled once against a graph's dictionary for
+/// repeated matching (e.g. the per-trigger satisfaction checks of the
+/// chase). Construction interns the pattern's constants, so the plan
+/// stays valid as the graph grows — a constant with no triples simply
+/// matches nothing until triples arrive.
+pub struct PreparedPattern {
+    compiled: Compiled,
+}
+
+impl PreparedPattern {
+    /// Compiles `gp` against `graph`, interning its constants.
+    pub fn new(graph: &mut Graph, gp: &GraphPattern) -> Self {
+        for pat in gp.patterns() {
+            for tv in [&pat.s, &pat.p, &pat.o] {
+                if let TermOrVar::Term(t) = tv {
+                    graph.intern(t);
+                }
+            }
+        }
+        PreparedPattern {
+            compiled: compile(graph, gp),
+        }
+    }
+
+    /// `true` iff the pattern has a solution extending the id-level
+    /// binding `bind` (early exit). `graph` must be the graph (or a
+    /// descendant sharing its dictionary ids) the pattern was prepared
+    /// against.
+    pub fn has_match_with(
+        &self,
+        graph: &Graph,
+        bind: &dyn Fn(&Variable) -> Option<TermId>,
+    ) -> bool {
+        debug_assert!(self.compiled.satisfiable, "constants were interned");
+        let mut binding: Vec<Option<TermId>> = vec![None; self.compiled.vars.len()];
+        for (i, v) in self.compiled.vars.iter().enumerate() {
+            if let Some(id) = bind(v) {
+                binding[i] = Some(id);
+            }
+        }
+        let mut found = false;
+        search(graph, &self.compiled.slots, 0, &mut binding, &mut |_| {
+            found = true;
+            false
+        });
+        found
+    }
+}
+
+/// `true` iff the pattern has a solution mapping extending the partial
+/// id-level binding `bind` (early exit). This is the hot-path form of
+/// "substitute the tuple into the pattern, then test for a match": no
+/// pattern copy and no term re-interning — variables are pre-bound to
+/// term ids of this graph's dictionary.
+pub fn has_match_with(
+    graph: &Graph,
+    gp: &GraphPattern,
+    bind: &dyn Fn(&Variable) -> Option<TermId>,
+) -> bool {
     let compiled = compile(graph, gp);
     if !compiled.satisfiable {
         return false;
     }
     let mut binding: Vec<Option<TermId>> = vec![None; compiled.vars.len()];
-    search_any(graph, &compiled.slots, 0, &mut binding)
+    for (i, v) in compiled.vars.iter().enumerate() {
+        if let Some(id) = bind(v) {
+            binding[i] = Some(id);
+        }
+    }
+    let mut found = false;
+    search(graph, &compiled.slots, 0, &mut binding, &mut |_| {
+        found = true;
+        false
+    });
+    found
 }
 
-fn search_any(
+/// Evaluates a graph pattern query at the id level: answer tuples are
+/// [`TermId`]s of this graph's dictionary (dense, copy-free). Under
+/// [`Semantics::Certain`], tuples containing blank nodes are dropped.
+pub fn evaluate_query_ids(
     graph: &Graph,
-    slots: &[[Slot; 3]],
-    depth: usize,
-    binding: &mut Vec<Option<TermId>>,
-) -> bool {
-    if depth == slots.len() {
-        return true;
+    query: &GraphPatternQuery,
+    semantics: Semantics,
+) -> BTreeSet<Vec<TermId>> {
+    let compiled = compile(graph, query.pattern());
+    if !compiled.satisfiable {
+        return BTreeSet::new();
     }
-    let slot = &slots[depth];
-    let resolve = |s: &Slot, binding: &[Option<TermId>]| match s {
-        Slot::Const(id) => Some(*id),
-        Slot::Var(v) => binding[*v],
+    let Some(proj) = projection(&compiled, query) else {
+        return BTreeSet::new();
     };
-    let candidates: Vec<_> = graph
-        .match_ids(
-            resolve(&slot[0], binding),
-            resolve(&slot[1], binding),
-            resolve(&slot[2], binding),
-        )
-        .collect();
-    for t in candidates {
-        let vals = [t.s, t.p, t.o];
-        let mut newly_bound: [Option<usize>; 3] = [None; 3];
-        let mut ok = true;
-        for i in 0..3 {
-            if let Slot::Var(v) = slot[i] {
-                match binding[v] {
-                    Some(existing) => {
-                        if existing != vals[i] {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        binding[v] = Some(vals[i]);
-                        newly_bound[i] = Some(v);
-                    }
-                }
-            }
-        }
-        let found = ok && search_any(graph, slots, depth + 1, binding);
-        for nb in newly_bound.into_iter().flatten() {
-            binding[nb] = None;
-        }
-        if found {
-            return true;
+    let mut out = BTreeSet::new();
+    let mut binding: Vec<Option<TermId>> = vec![None; compiled.vars.len()];
+    search(graph, &compiled.slots, 0, &mut binding, &mut |binding| {
+        project_into(graph, &proj, binding, semantics, &mut out);
+        true
+    });
+    out
+}
+
+/// Delta evaluation: the answer tuples of `query` that have at least one
+/// witness using a triple inserted at log index `log_from` or later
+/// (see [`Graph::log_since`]). Together with the monotonicity of
+/// conjunctive queries this is the semi-naive decomposition: evaluating
+/// from `log_from = 0` equals [`evaluate_query_ids`], and a consumer that
+/// saw all tuples before `log_from` misses nothing by evaluating only the
+/// delta. An empty pattern has no delta (its sole empty witness uses no
+/// triples).
+pub fn evaluate_query_ids_delta(
+    graph: &Graph,
+    query: &GraphPatternQuery,
+    semantics: Semantics,
+    log_from: usize,
+) -> BTreeSet<Vec<TermId>> {
+    let delta = graph.log_since(log_from);
+    let mut out = BTreeSet::new();
+    if delta.is_empty() {
+        return out;
+    }
+    let compiled = compile(graph, query.pattern());
+    if !compiled.satisfiable {
+        return out;
+    }
+    let Some(proj) = projection(&compiled, query) else {
+        return out;
+    };
+    // One pass per pivot conjunct: the pivot ranges over the delta
+    // triples, the remaining conjuncts over the whole graph (ordered with
+    // the pivot's variables pre-bound). Tuples found via several pivots
+    // collapse in the output set.
+    for pivot in 0..compiled.slots.len() {
+        let slot = compiled.slots[pivot];
+        let mut rest: Vec<[Slot; 3]> = compiled
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pivot)
+            .map(|(_, s)| *s)
+            .collect();
+        let pivot_vars: BTreeSet<usize> = slot
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Var(v) => Some(*v),
+                Slot::Const(_) => None,
+            })
+            .collect();
+        order_slots(graph, &mut rest, pivot_vars);
+        let mut binding: Vec<Option<TermId>> = vec![None; compiled.vars.len()];
+        for &t in delta {
+            match_one(graph, &rest, 0, &slot, t, &mut binding, &mut |binding| {
+                project_into(graph, &proj, binding, semantics, &mut out);
+                true
+            });
         }
     }
-    false
+    out
+}
+
+/// Maps the query's free variables to compiled variable indexes; `None`
+/// if some free variable does not occur in the pattern (no tuple can bind
+/// it, so the answer set is empty).
+fn projection(compiled: &Compiled, query: &GraphPatternQuery) -> Option<Vec<usize>> {
+    query
+        .free_vars()
+        .iter()
+        .map(|v| compiled.vars.iter().position(|x| x == v))
+        .collect()
+}
+
+fn project_into(
+    graph: &Graph,
+    proj: &[usize],
+    binding: &[Option<TermId>],
+    semantics: Semantics,
+    out: &mut BTreeSet<Vec<TermId>>,
+) {
+    let tuple: Vec<TermId> = proj
+        .iter()
+        .map(|&i| binding[i].expect("solution binds all pattern vars"))
+        .collect();
+    if semantics == Semantics::Certain && tuple.iter().any(|&id| !graph.dict().is_name(id)) {
+        return;
+    }
+    out.insert(tuple);
 }
 
 #[cfg(test)]
@@ -391,10 +551,7 @@ _:c3 e:artist e:actor1 .
         let q = GraphPatternQuery::new(vec![var("x"), var("y")], gp);
         let ans = evaluate_query(&g, &q, Semantics::Certain);
         assert_eq!(ans.len(), 2);
-        assert!(ans.contains(&vec![
-            Term::iri("http://e/actor1"),
-            Term::literal("39")
-        ]));
+        assert!(ans.contains(&vec![Term::iri("http://e/actor1"), Term::literal("39")]));
     }
 
     #[test]
@@ -443,7 +600,11 @@ _:c3 e:artist e:actor1 .
             .unwrap();
         g.insert_terms(Term::iri("a"), Term::iri("p"), Term::iri("b"))
             .unwrap();
-        let gp = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("x"));
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("p"),
+            TermOrVar::var("x"),
+        );
         let sols = evaluate_pattern(&g, &gp);
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0].get(&var("x")), Some(&Term::iri("a")));
@@ -485,6 +646,96 @@ _:c3 e:artist e:actor1 .
         ));
         assert!(evaluate_boolean(&g, &yes));
         assert!(!evaluate_boolean(&g, &no));
+    }
+
+    #[test]
+    fn id_level_evaluation_matches_term_level() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::var("y"),
+        );
+        let q = GraphPatternQuery::new(vec![var("x"), var("y")], gp);
+        let terms = evaluate_query(&g, &q, Semantics::Certain);
+        let ids = evaluate_query_ids(&g, &q, Semantics::Certain);
+        let decoded: BTreeSet<Vec<Term>> = ids
+            .iter()
+            .map(|t| t.iter().map(|&id| g.term(id).clone()).collect())
+            .collect();
+        assert_eq!(terms, decoded);
+    }
+
+    #[test]
+    fn delta_evaluation_finds_exactly_new_tuples() {
+        let mut g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::var("y"),
+        );
+        let q = GraphPatternQuery::new(vec![var("x"), var("y")], gp);
+        let before = evaluate_query_ids(&g, &q, Semantics::Certain);
+        assert_eq!(before.len(), 2);
+        let mark = g.log_len();
+        // No new triples: empty delta.
+        assert!(evaluate_query_ids_delta(&g, &q, Semantics::Certain, mark).is_empty());
+        g.insert_terms(
+            Term::iri("http://e/actor3"),
+            Term::iri("http://e/age"),
+            Term::literal("55"),
+        )
+        .unwrap();
+        let delta = evaluate_query_ids_delta(&g, &q, Semantics::Certain, mark);
+        assert_eq!(delta.len(), 1);
+        // Delta-from-zero equals the full evaluation.
+        assert_eq!(
+            evaluate_query_ids_delta(&g, &q, Semantics::Certain, 0),
+            evaluate_query_ids(&g, &q, Semantics::Certain)
+        );
+    }
+
+    #[test]
+    fn delta_evaluation_requires_one_new_conjunct_witness() {
+        // A two-conjunct join where the new triple completes an old one.
+        let mut g = Graph::new();
+        g.insert_terms(Term::iri("f"), Term::iri("starring"), Term::iri("c"))
+            .unwrap();
+        let mark = g.log_len();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("f"),
+            TermOrVar::iri("starring"),
+            TermOrVar::var("z"),
+        )
+        .and(GraphPattern::triple(
+            TermOrVar::var("z"),
+            TermOrVar::iri("artist"),
+            TermOrVar::var("x"),
+        ));
+        let q = GraphPatternQuery::new(vec![var("f"), var("x")], gp);
+        assert!(evaluate_query_ids_delta(&g, &q, Semantics::Certain, mark).is_empty());
+        g.insert_terms(Term::iri("c"), Term::iri("artist"), Term::iri("a"))
+            .unwrap();
+        let delta = evaluate_query_ids_delta(&g, &q, Semantics::Certain, mark);
+        assert_eq!(delta.len(), 1);
+    }
+
+    #[test]
+    fn has_match_with_pre_bound_ids() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::var("y"),
+        );
+        let actor1 = g.term_id(&Term::iri("http://e/actor1")).unwrap();
+        let film1 = g.term_id(&Term::iri("http://e/film1")).unwrap();
+        assert!(has_match_with(&g, &gp, &|v| {
+            (v.name() == "x").then_some(actor1)
+        }));
+        assert!(!has_match_with(&g, &gp, &|v| {
+            (v.name() == "x").then_some(film1)
+        }));
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub mod pattern;
 
 pub use algebra::{Query, QueryResult, UnionQuery};
 pub use binding::{join, Mapping};
-pub use eval::{evaluate_boolean, evaluate_pattern, evaluate_query, has_match, Semantics};
+pub use eval::{
+    evaluate_boolean, evaluate_pattern, evaluate_query, evaluate_query_ids,
+    evaluate_query_ids_delta, has_match, has_match_with, PreparedPattern, Semantics,
+};
 pub use parser::{parse_query, to_sparql};
 pub use pattern::{GraphPattern, GraphPatternQuery, TermOrVar, TriplePattern, Variable};

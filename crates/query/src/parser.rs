@@ -182,9 +182,7 @@ fn tokenize(input: &str) -> Result<Vec<Sp>, RdfError> {
                 loop {
                     match chars.next() {
                         Some('>') => break,
-                        Some('\n') | None => {
-                            return Err(RdfError::parse(line, "unterminated IRI"))
-                        }
+                        Some('\n') | None => return Err(RdfError::parse(line, "unterminated IRI")),
                         Some(ch) => iri.push(ch),
                     }
                 }
@@ -555,11 +553,7 @@ mod tests {
 
     #[test]
     fn parse_select() {
-        let q = parse_query(
-            "SELECT ?x ?y WHERE { ?x e:p ?z . ?z e:q ?y }",
-            &base(),
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?x ?y WHERE { ?x e:p ?z . ?z e:q ?y }", &base()).unwrap();
         let Query::Select(u) = &q else {
             panic!("expected select")
         };
@@ -593,7 +587,9 @@ mod tests {
             &base(),
         )
         .unwrap();
-        let Query::Ask(u) = &q else { panic!("expected ask") };
+        let Query::Ask(u) = &q else {
+            panic!("expected ask")
+        };
         assert_eq!(u.branches().len(), 3);
     }
 
@@ -649,10 +645,8 @@ mod tests {
 
     #[test]
     fn end_to_end_evaluation() {
-        let g = rps_rdf::turtle::parse(
-            "@prefix e: <http://e/> .\ne:s e:p e:m .\ne:m e:q e:o .\n",
-        )
-        .unwrap();
+        let g = rps_rdf::turtle::parse("@prefix e: <http://e/> .\ne:s e:p e:m .\ne:m e:q e:o .\n")
+            .unwrap();
         let q = parse_query("SELECT ?x WHERE { e:s e:p ?m . ?m e:q ?x }", &base()).unwrap();
         let r = q.evaluate(&g, Semantics::Certain);
         let tuples = r.tuples().unwrap();

@@ -139,11 +139,7 @@ impl TriplePattern {
     /// Creates a triple pattern. Blank-node constants are not validated
     /// here (the paper's pattern language simply has no syntax for them);
     /// use [`TriplePattern::is_well_formed`] to check.
-    pub fn new(
-        s: impl Into<TermOrVar>,
-        p: impl Into<TermOrVar>,
-        o: impl Into<TermOrVar>,
-    ) -> Self {
+    pub fn new(s: impl Into<TermOrVar>, p: impl Into<TermOrVar>, o: impl Into<TermOrVar>) -> Self {
         TriplePattern {
             s: s.into(),
             p: p.into(),
@@ -424,12 +420,16 @@ mod tests {
 
     #[test]
     fn pattern_vars_and_constants() {
-        let gp = GraphPattern::triple(TermOrVar::iri("s"), TermOrVar::var("p"), TermOrVar::var("o"))
-            .and(GraphPattern::triple(
-                TermOrVar::var("o"),
-                TermOrVar::iri("q"),
-                TermOrVar::literal("39"),
-            ));
+        let gp = GraphPattern::triple(
+            TermOrVar::iri("s"),
+            TermOrVar::var("p"),
+            TermOrVar::var("o"),
+        )
+        .and(GraphPattern::triple(
+            TermOrVar::var("o"),
+            TermOrVar::iri("q"),
+            TermOrVar::literal("39"),
+        ));
         assert_eq!(gp.len(), 2);
         let vars = gp.vars();
         assert_eq!(vars.len(), 2);
@@ -442,7 +442,11 @@ mod tests {
 
     #[test]
     fn well_formedness() {
-        let ok = TriplePattern::new(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("y"));
+        let ok = TriplePattern::new(
+            TermOrVar::var("x"),
+            TermOrVar::iri("p"),
+            TermOrVar::var("y"),
+        );
         assert!(ok.is_well_formed());
         let bad_pred = TriplePattern::new(
             TermOrVar::var("x"),
@@ -460,7 +464,11 @@ mod tests {
 
     #[test]
     fn substitution_grounds_patterns() {
-        let tp = TriplePattern::new(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("y"));
+        let tp = TriplePattern::new(
+            TermOrVar::var("x"),
+            TermOrVar::iri("p"),
+            TermOrVar::var("y"),
+        );
         let subst = |v: &Variable| {
             if v.name() == "x" {
                 Some(Term::iri("s"))
@@ -479,7 +487,11 @@ mod tests {
 
     #[test]
     fn query_safety_and_existentials() {
-        let gp = GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("z"));
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("p"),
+            TermOrVar::var("z"),
+        );
         let q = GraphPatternQuery::new(vec![Variable::new("x")], gp.clone());
         assert!(q.is_safe());
         assert_eq!(q.arity(), 1);
@@ -507,7 +519,11 @@ mod tests {
     fn display_shapes() {
         let q = GraphPatternQuery::new(
             vec![Variable::new("x")],
-            GraphPattern::triple(TermOrVar::var("x"), TermOrVar::iri("p"), TermOrVar::var("y")),
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("p"),
+                TermOrVar::var("y"),
+            ),
         );
         let s = format!("{q}");
         assert!(s.contains("q(?x)"));

@@ -1,53 +1,67 @@
-//! Property-based tests for the query layer: the compatible-join
+//! Randomised property tests for the query layer: the compatible-join
 //! semantics laws from Pérez et al. and planner-order invariance.
+//!
+//! Seeded SplitMix64 case generation stands in for `proptest` (no
+//! crates.io access in the build container); the invariants are the same.
 
-use proptest::prelude::*;
 use rps_query::{
     evaluate_pattern, evaluate_query, GraphPattern, GraphPatternQuery, Mapping, Semantics,
     TermOrVar, TriplePattern, Variable,
 };
 use rps_rdf::{Graph, Term};
 
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
 fn pool_iri(i: usize) -> Term {
     Term::iri(format!("http://q/{i}"))
 }
 
-prop_compose! {
-    fn arb_graph()(
-        triples in prop::collection::vec((0usize..6, 0usize..4, 0usize..6), 0..30)
-    ) -> Graph {
-        let mut g = Graph::new();
-        for (s, p, o) in triples {
-            let _ = g.insert_terms(pool_iri(s), pool_iri(p + 20), pool_iri(o));
-        }
-        g
+fn arb_graph(rng: &mut Rng) -> Graph {
+    let mut g = Graph::new();
+    for _ in 0..rng.below(30) {
+        let (s, p, o) = (rng.below(6), rng.below(4), rng.below(6));
+        let _ = g.insert_terms(pool_iri(s), pool_iri(p + 20), pool_iri(o));
+    }
+    g
+}
+
+fn arb_tv(rng: &mut Rng) -> TermOrVar {
+    if rng.below(2) == 0 {
+        TermOrVar::Term(pool_iri(rng.below(6)))
+    } else {
+        TermOrVar::Var(Variable::new(format!("v{}", rng.below(4))))
     }
 }
 
-fn arb_tv() -> impl Strategy<Value = TermOrVar> {
-    prop_oneof![
-        (0usize..6).prop_map(|i| TermOrVar::Term(pool_iri(i))),
-        (0usize..4).prop_map(|i| TermOrVar::Var(Variable::new(format!("v{i}")))),
-    ]
-}
-
-fn arb_pred() -> impl Strategy<Value = TermOrVar> {
-    prop_oneof![
-        (0usize..4).prop_map(|i| TermOrVar::Term(pool_iri(i + 20))),
-        (0usize..2).prop_map(|i| TermOrVar::Var(Variable::new(format!("p{i}")))),
-    ]
-}
-
-prop_compose! {
-    fn arb_pattern()(s in arb_tv(), p in arb_pred(), o in arb_tv()) -> TriplePattern {
-        TriplePattern::new(s, p, o)
+fn arb_pred(rng: &mut Rng) -> TermOrVar {
+    if rng.below(2) == 0 {
+        TermOrVar::Term(pool_iri(rng.below(4) + 20))
+    } else {
+        TermOrVar::Var(Variable::new(format!("p{}", rng.below(2))))
     }
 }
 
-prop_compose! {
-    fn arb_bgp()(pats in prop::collection::vec(arb_pattern(), 1..4)) -> GraphPattern {
-        GraphPattern::from_patterns(pats)
-    }
+fn arb_pattern(rng: &mut Rng) -> TriplePattern {
+    TriplePattern::new(arb_tv(rng), arb_pred(rng), arb_tv(rng))
+}
+
+fn arb_bgp(rng: &mut Rng) -> GraphPattern {
+    let n = 1 + rng.below(3);
+    GraphPattern::from_patterns((0..n).map(|_| arb_pattern(rng)).collect())
 }
 
 /// Reference evaluator: textbook mapping-join semantics, no planner.
@@ -84,56 +98,81 @@ fn reference_eval(graph: &Graph, gp: &GraphPattern) -> Vec<Mapping> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    #[test]
-    fn planner_matches_reference_semantics(g in arb_graph(), gp in arb_bgp()) {
+#[test]
+fn planner_matches_reference_semantics() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let g = arb_graph(rng);
+        let gp = arb_bgp(rng);
         let mut fast = evaluate_pattern(&g, &gp);
         fast.sort();
         let slow = reference_eval(&g, &gp);
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "seed {seed}");
     }
+}
 
-    #[test]
-    fn and_is_commutative(g in arb_graph(), a in arb_pattern(), b in arb_pattern()) {
+#[test]
+fn and_is_commutative() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let g = arb_graph(rng);
+        let a = arb_pattern(rng);
+        let b = arb_pattern(rng);
         let ab = GraphPattern::from_patterns(vec![a.clone(), b.clone()]);
         let ba = GraphPattern::from_patterns(vec![b, a]);
         let mut l = evaluate_pattern(&g, &ab);
         let mut r = evaluate_pattern(&g, &ba);
         l.sort();
         r.sort();
-        prop_assert_eq!(l, r);
+        assert_eq!(l, r, "seed {seed}");
     }
+}
 
-    #[test]
-    fn conjunct_duplication_is_idempotent(g in arb_graph(), a in arb_pattern()) {
+#[test]
+fn conjunct_duplication_is_idempotent() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let g = arb_graph(rng);
+        let a = arb_pattern(rng);
         let single = GraphPattern::from_patterns(vec![a.clone()]);
         let twice = GraphPattern::from_patterns(vec![a.clone(), a]);
         let mut l = evaluate_pattern(&g, &single);
         let mut r = evaluate_pattern(&g, &twice);
         l.sort();
         r.sort();
-        prop_assert_eq!(l, r);
+        assert_eq!(l, r, "seed {seed}");
     }
+}
 
-    #[test]
-    fn star_superset_of_certain(g in arb_graph(), gp in arb_bgp()) {
+#[test]
+fn star_superset_of_certain() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let g = arb_graph(rng);
+        let gp = arb_bgp(rng);
         let vars: Vec<Variable> = gp.vars().into_iter().collect();
         if vars.is_empty() {
-            return Ok(());
+            continue;
         }
         let q = GraphPatternQuery::new(vars, gp);
         let star = evaluate_query(&g, &q, Semantics::Star);
         let certain = evaluate_query(&g, &q, Semantics::Certain);
-        prop_assert!(certain.is_subset(&star));
+        assert!(certain.is_subset(&star), "seed {seed}");
     }
+}
 
-    #[test]
-    fn has_match_agrees_with_nonempty(g in arb_graph(), gp in arb_bgp()) {
-        prop_assert_eq!(
+#[test]
+fn has_match_agrees_with_nonempty() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let g = arb_graph(rng);
+        let gp = arb_bgp(rng);
+        assert_eq!(
             rps_query::has_match(&g, &gp),
-            !evaluate_pattern(&g, &gp).is_empty()
+            !evaluate_pattern(&g, &gp).is_empty(),
+            "seed {seed}"
         );
     }
 }

@@ -27,6 +27,11 @@ pub struct Graph {
     /// Number of triples per predicate id, maintained for selectivity
     /// estimation in the query planner.
     pred_counts: HashMap<TermId, usize>,
+    /// Insertion-ordered log of the triples added to this graph, powering
+    /// delta-driven (semi-naive) consumers: "the triples added since log
+    /// index `n`" is the contiguous slice `log_since(n)`. Removing a
+    /// triple erases its log entry.
+    log: Vec<IdTriple>,
 }
 
 impl Graph {
@@ -83,8 +88,31 @@ impl Graph {
             self.pos.insert([t.p.0, t.o.0, t.s.0]);
             self.osp.insert([t.o.0, t.s.0, t.p.0]);
             *self.pred_counts.entry(t.p).or_insert(0) += 1;
+            self.log.push(t);
         }
         added
+    }
+
+    /// The number of insertions logged so far (equals [`Graph::len`],
+    /// since removals also erase their log entry). A snapshot of this
+    /// value marks a delta window for [`Graph::log_since`].
+    ///
+    /// **Removal invalidates outstanding marks:** [`Graph::remove`]
+    /// erases the triple's log entry, shifting the indexes of every
+    /// later entry down by one, so a mark taken before a removal no
+    /// longer bounds the same window. Delta-driven consumers (the chase,
+    /// [`rps_query::evaluate_query_ids_delta`]-style evaluation) operate
+    /// on monotonically-growing graphs and must not hold marks across
+    /// removals.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The triples inserted since log index `from`, in insertion order.
+    /// See [`Graph::log_len`] for the mark-invalidation contract around
+    /// removals.
+    pub fn log_since(&self, from: usize) -> &[IdTriple] {
+        &self.log[from.min(self.log.len())..]
     }
 
     /// Removes an interned triple. Returns `true` if it was present.
@@ -98,6 +126,9 @@ impl Graph {
                 if *c == 0 {
                     self.pred_counts.remove(&t.p);
                 }
+            }
+            if let Some(i) = self.log.iter().rposition(|&x| x == t) {
+                self.log.remove(i);
             }
         }
         removed
@@ -201,9 +232,7 @@ impl Graph {
     /// cost the full graph.
     pub fn estimate(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
         match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                usize::from(self.contains_ids(IdTriple::new(s, p, o)))
-            }
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains_ids(IdTriple::new(s, p, o))),
             (None, Some(p), None) => self.pred_counts.get(&p).copied().unwrap_or(0),
             (_, Some(p), _) => {
                 // At least one of s/o bound in addition to p: refine the
@@ -247,12 +276,23 @@ impl Graph {
         out
     }
 
-    /// Unions another graph into this one, re-interning terms.
+    /// Unions another graph into this one, re-interning terms. Each
+    /// distinct term of `other` is interned once (memoised by its id),
+    /// not once per occurrence.
     pub fn merge(&mut self, other: &Graph) {
+        let mut memo: Vec<Option<TermId>> = vec![None; other.dict.len()];
+        let mut map = |dict: &mut TermDict, id: TermId| match memo[id.index()] {
+            Some(mapped) => mapped,
+            None => {
+                let mapped = dict.intern(other.term(id));
+                memo[id.index()] = Some(mapped);
+                mapped
+            }
+        };
         for t in other.iter_ids() {
-            let s = self.dict.intern(other.term(t.s));
-            let p = self.dict.intern(other.term(t.p));
-            let o = self.dict.intern(other.term(t.o));
+            let s = map(&mut self.dict, t.s);
+            let p = map(&mut self.dict, t.p);
+            let o = map(&mut self.dict, t.o);
             self.insert_ids(IdTriple::new(s, p, o));
         }
     }
@@ -336,11 +376,7 @@ impl<'g> MatchIter<'g> {
         }
     }
 
-    fn range(
-        index: &'g BTreeSet<[u32; 3]>,
-        range: RangeInclusive<[u32; 3]>,
-        perm: Perm,
-    ) -> Self {
+    fn range(index: &'g BTreeSet<[u32; 3]>, range: RangeInclusive<[u32; 3]>, perm: Perm) -> Self {
         MatchIter {
             inner: MatchIterInner::Range {
                 iter: index.range(range),
@@ -449,9 +485,7 @@ mod tests {
             .unwrap();
         a.merge(&b);
         assert_eq!(a.len(), 2);
-        assert!(a.contains(
-            &Triple::new(Term::iri("q"), Term::iri("p"), Term::iri("x")).unwrap()
-        ));
+        assert!(a.contains(&Triple::new(Term::iri("q"), Term::iri("p"), Term::iri("x")).unwrap()));
     }
 
     #[test]
@@ -477,6 +511,28 @@ mod tests {
         let iris = g.iris_used();
         assert_eq!(iris.len(), 1);
         assert_eq!(iris.iter().next().unwrap().as_str(), "p");
+    }
+
+    #[test]
+    fn insertion_log_windows() {
+        let mut g = Graph::new();
+        g.insert_terms(Term::iri("a"), Term::iri("p"), Term::iri("b"))
+            .unwrap();
+        let mark = g.log_len();
+        assert_eq!(mark, 1);
+        g.insert_terms(Term::iri("c"), Term::iri("p"), Term::iri("d"))
+            .unwrap();
+        // Duplicate insertion does not log.
+        g.insert_terms(Term::iri("a"), Term::iri("p"), Term::iri("b"))
+            .unwrap();
+        assert_eq!(g.log_len(), 2);
+        assert_eq!(g.log_since(mark).len(), 1);
+        // Removal erases the log entry.
+        let t = Triple::new(Term::iri("c"), Term::iri("p"), Term::iri("d")).unwrap();
+        g.remove(&t);
+        assert_eq!(g.log_len(), 1);
+        assert!(g.log_since(mark).is_empty());
+        assert!(g.log_since(999).is_empty());
     }
 
     #[test]

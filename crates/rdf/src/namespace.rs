@@ -91,9 +91,7 @@ impl PrefixMap {
 
     /// Iterates over `(prefix, namespace)` pairs in prefix order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.prefixes
-            .iter()
-            .map(|(p, n)| (p.as_str(), n.as_str()))
+        self.prefixes.iter().map(|(p, n)| (p.as_str(), n.as_str()))
     }
 
     /// Number of declared prefixes.
@@ -151,10 +149,7 @@ mod tests {
     #[test]
     fn common_contains_owl() {
         let m = PrefixMap::common();
-        assert_eq!(
-            m.expand("owl:sameAs").unwrap().as_str(),
-            vocab::OWL_SAME_AS
-        );
+        assert_eq!(m.expand("owl:sameAs").unwrap().as_str(), vocab::OWL_SAME_AS);
     }
 
     #[test]

@@ -26,9 +26,7 @@ impl Triple {
             ));
         }
         if !predicate.is_iri() {
-            return Err(RdfError::InvalidTriple(
-                "predicate must be an IRI".into(),
-            ));
+            return Err(RdfError::InvalidTriple("predicate must be an IRI".into()));
         }
         Ok(Triple {
             subject,

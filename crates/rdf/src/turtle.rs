@@ -361,9 +361,9 @@ impl Parser {
         else {
             return Err(RdfError::parse(line, "expected prefix name after @prefix"));
         };
-        let prefix = pname.strip_suffix(':').ok_or_else(|| {
-            RdfError::parse(line, "prefix declaration must end with ':'")
-        })?;
+        let prefix = pname
+            .strip_suffix(':')
+            .ok_or_else(|| RdfError::parse(line, "prefix declaration must end with ':'"))?;
         let Some(Spanned {
             token: Token::Iri(ns),
             ..

@@ -1,108 +1,144 @@
-//! Property-based tests for the RDF substrate: store index coherence,
-//! serialisation round-trips, and merge/equality laws.
+//! Randomised property tests for the RDF substrate: store index
+//! coherence, serialisation round-trips, and merge/equality laws.
+//!
+//! The container has no crates.io access, so instead of `proptest` these
+//! run a fixed number of cases over a seeded SplitMix64 generator — same
+//! invariants, deterministic inputs.
 
-use proptest::prelude::*;
 use rps_rdf::{turtle, Graph, Term, Triple};
 
-fn arb_term(allow_literal: bool, allow_blank: bool) -> impl Strategy<Value = Term> {
-    let iri = (0usize..12).prop_map(|i| Term::iri(format!("http://t/{i}")));
-    let blank = (0usize..4).prop_map(|i| Term::blank(format!("b{i}")));
-    let lit = (0usize..6).prop_map(|i| Term::literal(format!("v{i}")));
-    match (allow_literal, allow_blank) {
-        (true, true) => prop_oneof![4 => iri, 1 => blank, 2 => lit].boxed(),
-        (false, true) => prop_oneof![4 => iri, 1 => blank].boxed(),
-        (true, false) => prop_oneof![4 => iri, 2 => lit].boxed(),
-        (false, false) => iri.boxed(),
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
     }
 }
 
-prop_compose! {
-    fn arb_triple()(
-        s in arb_term(false, true),
-        p in arb_term(false, false),
-        o in arb_term(true, true),
-    ) -> Triple {
-        Triple::new(s, p, o).expect("generated terms satisfy positions")
+fn arb_term(rng: &mut Rng, allow_literal: bool, allow_blank: bool) -> Term {
+    match rng.below(7) {
+        0 if allow_blank => Term::blank(format!("b{}", rng.below(4))),
+        1 | 2 if allow_literal => Term::literal(format!("v{}", rng.below(6))),
+        _ => Term::iri(format!("http://t/{}", rng.below(12))),
     }
 }
 
-prop_compose! {
-    fn arb_graph()(triples in prop::collection::vec(arb_triple(), 0..40)) -> Graph {
-        Graph::from_triples(triples)
-    }
+fn arb_triple(rng: &mut Rng) -> Triple {
+    Triple::new(
+        arb_term(rng, false, true),
+        arb_term(rng, false, false),
+        arb_term(rng, true, true),
+    )
+    .expect("generated terms satisfy positions")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_graph(rng: &mut Rng) -> Graph {
+    let n = rng.below(40);
+    Graph::from_triples((0..n).map(|_| arb_triple(rng)))
+}
 
-    #[test]
-    fn insert_then_contains(g in arb_graph(), t in arb_triple()) {
-        let mut g = g;
+const CASES: u64 = 128;
+
+#[test]
+fn insert_then_contains() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let mut g = arb_graph(rng);
+        let t = arb_triple(rng);
         g.insert(&t);
-        prop_assert!(g.contains(&t));
+        assert!(g.contains(&t));
     }
+}
 
-    #[test]
-    fn remove_inverts_insert(g in arb_graph(), t in arb_triple()) {
-        let mut g = g;
-        let was_present = g.contains(&t);
+#[test]
+fn remove_inverts_insert() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let mut g = arb_graph(rng);
+        let t = arb_triple(rng);
         g.insert(&t);
         g.remove(&t);
-        prop_assert!(!g.contains(&t));
-        // Size is back to the original minus the removed triple.
-        let _ = was_present;
+        assert!(!g.contains(&t));
     }
+}
 
-    #[test]
-    fn all_indexes_agree(g in arb_graph()) {
+#[test]
+fn all_indexes_agree() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let g = arb_graph(rng);
         // Every triple found by the full scan is found by each
         // single-position probe, and counts match.
         let all: Vec<_> = g.iter_ids().collect();
         for t in &all {
-            prop_assert!(g.match_ids(Some(t.s), None, None).any(|x| x == *t));
-            prop_assert!(g.match_ids(None, Some(t.p), None).any(|x| x == *t));
-            prop_assert!(g.match_ids(None, None, Some(t.o)).any(|x| x == *t));
-            prop_assert!(g.match_ids(Some(t.s), Some(t.p), Some(t.o)).count() == 1);
+            assert!(g.match_ids(Some(t.s), None, None).any(|x| x == *t));
+            assert!(g.match_ids(None, Some(t.p), None).any(|x| x == *t));
+            assert!(g.match_ids(None, None, Some(t.o)).any(|x| x == *t));
+            assert_eq!(g.match_ids(Some(t.s), Some(t.p), Some(t.o)).count(), 1);
         }
         let by_pred: usize = {
             let mut preds: Vec<_> = all.iter().map(|t| t.p).collect();
             preds.sort();
             preds.dedup();
-            preds.iter().map(|p| g.match_ids(None, Some(*p), None).count()).sum()
+            preds
+                .iter()
+                .map(|p| g.match_ids(None, Some(*p), None).count())
+                .sum()
         };
-        prop_assert_eq!(by_pred, g.len());
+        assert_eq!(by_pred, g.len());
     }
+}
 
-    #[test]
-    fn ntriples_roundtrip(g in arb_graph()) {
+#[test]
+fn ntriples_roundtrip() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let g = arb_graph(rng);
         let text = turtle::to_ntriples(&g);
         let g2 = turtle::parse(&text).expect("serialised graph reparses");
-        prop_assert_eq!(g, g2);
+        assert_eq!(g, g2);
     }
+}
 
-    #[test]
-    fn merge_is_union(a in arb_graph(), b in arb_graph()) {
+#[test]
+fn merge_is_union() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let a = arb_graph(rng);
+        let b = arb_graph(rng);
         let mut m = a.clone();
         m.merge(&b);
         for t in a.iter() {
-            prop_assert!(m.contains(&t));
+            assert!(m.contains(&t));
         }
         for t in b.iter() {
-            prop_assert!(m.contains(&t));
+            assert!(m.contains(&t));
         }
         // Merge is idempotent.
         let before = m.len();
         m.merge(&b);
-        prop_assert_eq!(m.len(), before);
+        assert_eq!(m.len(), before);
     }
+}
 
-    #[test]
-    fn predicate_counts_consistent(g in arb_graph()) {
+#[test]
+fn predicate_counts_consistent() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let g = arb_graph(rng);
         let mut preds: Vec<_> = g.iter_ids().map(|t| t.p).collect();
         preds.sort();
         preds.dedup();
         for p in preds {
-            prop_assert_eq!(
+            assert_eq!(
                 g.predicate_count(p),
                 g.match_ids(None, Some(p), None).count()
             );

@@ -1,4 +1,4 @@
-//! The restricted chase for sets of TGDs.
+//! The restricted chase for sets of TGDs — semi-naive (delta-driven).
 //!
 //! The chase repeatedly finds *triggers* — homomorphisms of a TGD body
 //! into the instance whose head is not yet satisfied — and fires them,
@@ -7,14 +7,31 @@
 //! CQ are obtained by evaluating the CQ over it and dropping tuples with
 //! nulls (Fagin–Kolaitis–Miller–Popa, cited as \[12\] in the paper).
 //!
+//! **Semi-naive invariant.** Instances grow monotonically and a trigger,
+//! once satisfied, stays satisfied. So a round only needs to consider
+//! triggers whose body match uses at least one fact added since the
+//! previous round began: every older trigger was already examined (and
+//! either fired or found satisfied) in an earlier round. Each TGD body is
+//! therefore matched once per *pivot* atom, with the pivot restricted to
+//! the delta window of an [`InstanceMark`] and the remaining atoms free —
+//! the classic semi-naive join decomposition. Round 1 starts from an
+//! empty mark, so its "delta" is the whole instance. Trigger environments
+//! are deduplicated across pivots before the (restricted-chase)
+//! satisfaction check runs.
+//!
+//! TGDs are compiled once up front against the instance's dictionaries
+//! (interning their constants and predicates), so all per-round work —
+//! matching, satisfaction checks, firing — happens on dense `u32` ids.
+//!
 //! The RPS-specific termination argument (Theorem 1) lives in `rps-core`;
 //! this engine is generic and therefore takes explicit budgets so that
 //! non-terminating inputs fail loudly instead of hanging.
 
-use crate::hom::{all_homomorphisms, apply, exists_homomorphism, Subst};
-use crate::instance::Instance;
+use crate::hom::{self, Compiled, CompiledAtom, Slot, Subst};
+use crate::instance::{Instance, InstanceMark, ValId};
 use crate::term::GroundTerm;
 use crate::tgd::Tgd;
+use std::collections::HashSet;
 
 /// Budgets and switches for a chase run.
 #[derive(Clone, Debug)]
@@ -68,6 +85,86 @@ impl ChaseResult {
     }
 }
 
+/// A TGD compiled against the chase instance: body and head share one
+/// variable numbering, so a body match environment extends directly to
+/// the head.
+pub(crate) struct CompiledTgd {
+    compiled: Compiled,
+    nbody: usize,
+    /// Slots of existential variables (head variables absent from the
+    /// body), in ascending order.
+    existentials: Vec<u32>,
+}
+
+impl CompiledTgd {
+    pub(crate) fn new(tgd: &Tgd, instance: &mut Instance) -> Self {
+        let mut compiled = hom::compile_interning(tgd.body(), instance);
+        let nbody = compiled.atoms.len();
+        hom::compile_more(&mut compiled, tgd.head(), instance);
+        let mut body_vars = vec![false; compiled.nvars()];
+        for atom in &compiled.atoms[..nbody] {
+            for s in atom.slots.iter() {
+                if let Slot::Var(x) = s {
+                    body_vars[*x as usize] = true;
+                }
+            }
+        }
+        let existentials = (0..compiled.nvars() as u32)
+            .filter(|&x| !body_vars[x as usize])
+            .collect();
+        CompiledTgd {
+            compiled,
+            nbody,
+            existentials,
+        }
+    }
+
+    pub(crate) fn body(&self) -> &[CompiledAtom] {
+        &self.compiled.atoms[..self.nbody]
+    }
+
+    pub(crate) fn head(&self) -> &[CompiledAtom] {
+        &self.compiled.atoms[self.nbody..]
+    }
+
+    pub(crate) fn nvars(&self) -> usize {
+        self.compiled.nvars()
+    }
+}
+
+/// Collects this round's candidate triggers for one TGD: body matches
+/// that use at least one fact from the delta window, deduplicated across
+/// pivots.
+fn collect_triggers(
+    ct: &CompiledTgd,
+    instance: &Instance,
+    marks: &InstanceMark,
+) -> Vec<Vec<Option<ValId>>> {
+    let mut seen: HashSet<Box<[Option<ValId>]>> = HashSet::new();
+    let mut triggers = Vec::new();
+    for pivot in 0..ct.nbody {
+        let order = hom::plan(ct.body(), instance, Some(pivot));
+        let mut env = vec![None; ct.nvars()];
+        hom::search(
+            instance,
+            &order,
+            0,
+            Some((pivot, marks)),
+            &mut env,
+            &mut |env| {
+                // Lookup by slice first: duplicate triggers (found via
+                // several pivots) cost no allocation.
+                if !seen.contains(&env[..]) {
+                    seen.insert(env.to_vec().into_boxed_slice());
+                    triggers.push(env.to_vec());
+                }
+                true
+            },
+        );
+    }
+    triggers
+}
+
 /// Runs the restricted chase of `instance` under `tgds`.
 ///
 /// `null_counter` is the starting value for fresh null labels; passing a
@@ -83,6 +180,13 @@ pub fn chase(
     let mut steps = 0usize;
     let mut rounds = 0usize;
 
+    let compiled: Vec<CompiledTgd> = tgds
+        .iter()
+        .map(|t| CompiledTgd::new(t, &mut instance))
+        .collect();
+    // Round 1's delta window is everything.
+    let mut marks = InstanceMark::default();
+
     loop {
         if rounds >= config.max_rounds {
             return ChaseResult {
@@ -94,31 +198,49 @@ pub fn chase(
             };
         }
         rounds += 1;
+        let round_start = instance.mark();
         let mut changed = false;
 
-        for tgd in tgds {
+        for ct in &compiled {
             // Triggers are computed against the instance as it stood at
             // the start of this TGD's turn; firing inserts immediately,
             // and the satisfaction check always consults the live
             // instance, making this a restricted (standard) chase.
-            let triggers = all_homomorphisms(tgd.body(), &instance, &Subst::new());
-            for trigger in triggers {
+            let triggers = collect_triggers(ct, &instance, &marks);
+            // The head plan depends only on relation sizes — one greedy
+            // ordering per TGD per round, not per trigger.
+            let head_order = hom::plan(ct.head(), &instance, None);
+            for mut env in triggers {
                 // Restricted chase: fire only if the head is not already
-                // satisfied by *some* extension of the trigger.
-                if exists_homomorphism(tgd.head(), &instance, &trigger) {
+                // satisfied by *some* extension of the trigger. The head
+                // shares the body's slot numbering, so the environment is
+                // the seed; existential slots are free to bind.
+                let mut satisfied = false;
+                hom::search(&instance, &head_order, 0, None, &mut env, &mut |_| {
+                    satisfied = true;
+                    false
+                });
+                if satisfied {
                     continue;
                 }
                 // Extend the trigger with fresh nulls for existentials.
-                let mut extended = trigger.clone();
-                for z in tgd.existentials() {
-                    extended.insert(z, GroundTerm::Null(null_counter));
+                for &z in &ct.existentials {
+                    let id = instance.intern_value(&GroundTerm::Null(null_counter));
                     null_counter += 1;
+                    env[z as usize] = Some(id);
                 }
-                for head_atom in tgd.head() {
-                    let fact = apply(head_atom, &extended)
-                        .as_fact()
-                        .expect("extended trigger grounds the head");
-                    instance.insert(fact);
+                for head_atom in ct.head() {
+                    let row: Box<[ValId]> = head_atom
+                        .slots
+                        .iter()
+                        .map(|s| match s {
+                            Slot::Const(c) => *c,
+                            Slot::Var(x) => {
+                                env[*x as usize].expect("extended trigger grounds the head")
+                            }
+                        })
+                        .collect();
+                    instance.insert_row(head_atom.pred, row);
                 }
                 steps += 1;
                 changed = true;
@@ -134,6 +256,7 @@ pub fn chase(
             }
         }
 
+        marks = round_start;
         if !changed {
             return ChaseResult {
                 instance,
@@ -151,9 +274,9 @@ pub fn chase(
 /// RPS solution checker.
 pub fn satisfies(instance: &Instance, tgds: &[Tgd]) -> bool {
     tgds.iter().all(|tgd| {
-        all_homomorphisms(tgd.body(), instance, &Subst::new())
+        hom::all_homomorphisms(tgd.body(), instance, &Subst::new())
             .into_iter()
-            .all(|trigger| exists_homomorphism(tgd.head(), instance, &trigger))
+            .all(|trigger| hom::exists_homomorphism(tgd.head(), instance, &trigger))
     })
 }
 
@@ -190,7 +313,12 @@ mod tests {
             vec![atom("hasParent", &[v("x"), v("z")])],
         );
         let inst: Instance = [fact("person", &["alice"])].into_iter().collect();
-        let r = chase(inst, std::slice::from_ref(&tgd), &ChaseConfig::default(), 100);
+        let r = chase(
+            inst,
+            std::slice::from_ref(&tgd),
+            &ChaseConfig::default(),
+            100,
+        );
         assert!(r.is_complete());
         assert_eq!(r.nulls_created, 1);
         assert_eq!(r.instance.relation_size("hasParent"), 1);
@@ -219,10 +347,7 @@ mod tests {
     fn transitive_closure_chase() {
         // e(x,z) ∧ e(z,y) -> e(x,y) over a chain of 5.
         let tgd = Tgd::new(
-            vec![
-                atom("e", &[v("x"), v("z")]),
-                atom("e", &[v("z"), v("y")]),
-            ],
+            vec![atom("e", &[v("x"), v("z")]), atom("e", &[v("z"), v("y")])],
             vec![atom("e", &[v("x"), v("y")])],
         );
         let inst: Instance = (0..5)
@@ -276,10 +401,7 @@ mod tests {
     fn multi_atom_heads() {
         let tgd = Tgd::new(
             vec![atom("p", &[v("x")])],
-            vec![
-                atom("q", &[v("x"), v("z")]),
-                atom("r", &[v("z"), v("x")]),
-            ],
+            vec![atom("q", &[v("x"), v("z")]), atom("r", &[v("z"), v("x")])],
         );
         let inst: Instance = [fact("p", &["a"])].into_iter().collect();
         let r = chase(inst, &[tgd], &ChaseConfig::default(), 0);
@@ -296,5 +418,20 @@ mod tests {
     fn satisfies_detects_violation() {
         let inst: Instance = [fact("src", &["a", "b"])].into_iter().collect();
         assert!(!satisfies(&inst, &[copy_tgd()]));
+    }
+
+    #[test]
+    fn head_constants_unknown_to_instance_are_interned() {
+        // The head writes a constant that occurs nowhere in the source:
+        // compile-time interning must make it insertable and matchable.
+        let tgd = Tgd::new(
+            vec![atom("p", &[v("x")])],
+            vec![atom("tagged", &[v("x"), c("LABEL")])],
+        );
+        let inst: Instance = [fact("p", &["a"])].into_iter().collect();
+        let r = chase(inst, std::slice::from_ref(&tgd), &ChaseConfig::default(), 0);
+        assert!(r.is_complete());
+        assert!(r.instance.contains(&fact("tagged", &["a", "LABEL"])));
+        assert!(satisfies(&r.instance, &[tgd]));
     }
 }

@@ -34,10 +34,7 @@ pub fn marking(tgds: &[Tgd]) -> Marking {
     // atom does not contain V, mark V in σ.
     for (i, tgd) in tgds.iter().enumerate() {
         for var in tgd.body_vars() {
-            let in_every_head_atom = tgd
-                .head()
-                .iter()
-                .all(|a| a.vars().any(|v| v == &var));
+            let in_every_head_atom = tgd.head().iter().all(|a| a.vars().any(|v| v == &var));
             if !in_every_head_atom {
                 marked.insert((i, var));
             }
@@ -284,10 +281,7 @@ mod tests {
             let mut head_args = vec![v("a"), v("b"), v("g")];
             body_args[pos] = c(from);
             head_args[pos] = c(to);
-            Tgd::new(
-                vec![atom("tt", &body_args)],
-                vec![atom("tt", &head_args)],
-            )
+            Tgd::new(vec![atom("tt", &body_args)], vec![atom("tt", &head_args)])
         };
         let mut out = Vec::new();
         for pos in 0..3 {
@@ -328,10 +322,7 @@ mod tests {
         // A(x,z) ∧ A(z,y) → A(x,y): z marked (absent from head), occurs
         // twice. Full TGDs (no existentials) are always weakly acyclic.
         let tc = Tgd::new(
-            vec![
-                atom("A", &[v("x"), v("z")]),
-                atom("A", &[v("z"), v("y")]),
-            ],
+            vec![atom("A", &[v("x"), v("z")]), atom("A", &[v("z"), v("y")])],
             vec![atom("A", &[v("x"), v("y")])],
         );
         let tgds = vec![tc];
@@ -351,7 +342,10 @@ mod tests {
             vec![atom("r", &[v("x"), v("y")])],
             vec![atom("s", &[v("x")])],
         );
-        let s3 = Tgd::new(vec![atom("p", &[v("u")])], vec![atom("r", &[v("u"), v("u")])]);
+        let s3 = Tgd::new(
+            vec![atom("p", &[v("u")])],
+            vec![atom("r", &[v("u"), v("u")])],
+        );
         let tgds = vec![s1, s3];
         let m = marking(&tgds);
         assert!(m.marked.contains(&(0, Sym::from("y"))));

@@ -10,10 +10,15 @@
 //! trigger-and-check chase. The result is identical (both compute the
 //! least model); the fixpoint is much faster because it never re-derives
 //! from old facts and never runs per-trigger satisfaction checks.
+//!
+//! Rules are compiled once to the same id-level representation the chase
+//! uses ([`crate::chase`]); the per-round delta is an [`InstanceMark`]
+//! window over the instance's insertion-ordered rows, so no separate
+//! delta instance is materialised.
 
-use crate::hom::{apply, Subst};
-use crate::instance::Instance;
-use crate::term::{Atom, AtomArg, GroundTerm};
+use crate::chase::CompiledTgd;
+use crate::hom::{self, Slot};
+use crate::instance::{Instance, InstanceMark, PredId, ValId};
 use crate::tgd::Tgd;
 
 /// A Datalog program: full single-head rules.
@@ -68,104 +73,61 @@ impl Program {
     /// Computes the least fixpoint of `instance` under the program using
     /// semi-naive (delta-driven) evaluation. Returns the saturated
     /// instance and the number of derivation rounds.
-    pub fn fixpoint(&self, instance: Instance) -> (Instance, usize) {
-        let mut full = instance.clone();
-        let mut delta = instance;
+    pub fn fixpoint(&self, mut instance: Instance) -> (Instance, usize) {
+        let compiled: Vec<CompiledTgd> = self
+            .rules
+            .iter()
+            .map(|r| CompiledTgd::new(r, &mut instance))
+            .collect();
+        let mut marks = InstanceMark::default();
         let mut rounds = 0usize;
-        while !delta.is_empty() {
+        loop {
+            if !instance.grew_since(&marks) {
+                break;
+            }
             rounds += 1;
-            let mut next_delta = Instance::new();
-            for rule in &self.rules {
-                let head = &rule.head()[0];
-                // For each body position, match that atom against the
-                // delta and the remaining atoms against the full
-                // instance. This enumerates exactly the derivations that
-                // use at least one new fact (up to duplicates, removed by
-                // set semantics).
-                for pivot in 0..rule.body().len() {
-                    let mut subst = Subst::new();
-                    semi_naive_search(
-                        rule.body(),
-                        pivot,
+            let round_start = instance.mark();
+            let mut derived: Vec<(PredId, Box<[ValId]>)> = Vec::new();
+            for ct in &compiled {
+                let head = &ct.head()[0];
+                // Each pivot position matches the delta window while the
+                // remaining atoms match the full instance: exactly the
+                // derivations that use at least one new fact (duplicates
+                // are removed by set semantics on insert).
+                for pivot in 0..ct.body().len() {
+                    let order = hom::plan(ct.body(), &instance, Some(pivot));
+                    let mut env = vec![None; ct.nvars()];
+                    hom::search(
+                        &instance,
+                        &order,
                         0,
-                        &full,
-                        &delta,
-                        &mut subst,
-                        &mut |s| {
-                            let fact = apply(head, s)
-                                .as_fact()
-                                .expect("full rule heads ground under body match");
-                            if !full.contains(&fact) {
-                                next_delta.insert(fact);
+                        Some((pivot, &marks)),
+                        &mut env,
+                        &mut |env| {
+                            let row: Box<[ValId]> = head
+                                .slots
+                                .iter()
+                                .map(|s| match s {
+                                    Slot::Const(c) => *c,
+                                    Slot::Var(x) => {
+                                        env[*x as usize].expect("full rule heads ground")
+                                    }
+                                })
+                                .collect();
+                            if !instance.contains_row(head.pred, &row) {
+                                derived.push((head.pred, row));
                             }
+                            true
                         },
                     );
                 }
             }
-            for f in next_delta.iter() {
-                full.insert(f);
-            }
-            delta = next_delta;
-        }
-        (full, rounds)
-    }
-}
-
-/// Backtracking matcher where atom `pivot` scans `delta` and all other
-/// atoms scan `full`.
-fn semi_naive_search(
-    body: &[Atom],
-    pivot: usize,
-    depth: usize,
-    full: &Instance,
-    delta: &Instance,
-    subst: &mut Subst,
-    emit: &mut dyn FnMut(&Subst),
-) {
-    if depth == body.len() {
-        emit(subst);
-        return;
-    }
-    let atom = &body[depth];
-    let source = if depth == pivot { delta } else { full };
-    let first_bound = atom.args.first().and_then(|arg| match arg {
-        AtomArg::Const(c) => Some(GroundTerm::Const(c.clone())),
-        AtomArg::Null(n) => Some(GroundTerm::Null(*n)),
-        AtomArg::Var(x) => subst.get(x).cloned(),
-    });
-    let rows: Vec<&Vec<GroundTerm>> = match &first_bound {
-        Some(first) => source.rows_with_first(&atom.pred, first).collect(),
-        None => source.rows(&atom.pred).collect(),
-    };
-    'rows: for row in rows {
-        if row.len() != atom.args.len() {
-            continue;
-        }
-        let mut newly_bound: Vec<crate::term::Sym> = Vec::new();
-        for (arg, val) in atom.args.iter().zip(row.iter()) {
-            let ok = match arg {
-                AtomArg::Const(c) => matches!(val, GroundTerm::Const(v) if v == c),
-                AtomArg::Null(n) => matches!(val, GroundTerm::Null(v) if v == n),
-                AtomArg::Var(x) => match subst.get(x) {
-                    Some(existing) => existing == val,
-                    None => {
-                        subst.insert(x.clone(), val.clone());
-                        newly_bound.push(x.clone());
-                        true
-                    }
-                },
-            };
-            if !ok {
-                for x in newly_bound {
-                    subst.remove(&x);
-                }
-                continue 'rows;
+            marks = round_start;
+            for (pred, row) in derived {
+                instance.insert_row(pred, row);
             }
         }
-        semi_naive_search(body, pivot, depth + 1, full, delta, subst, emit);
-        for x in newly_bound {
-            subst.remove(&x);
-        }
+        (instance, rounds)
     }
 }
 
@@ -177,10 +139,7 @@ mod tests {
 
     fn tc_rule() -> Tgd {
         Tgd::new(
-            vec![
-                atom("e", &[v("x"), v("z")]),
-                atom("e", &[v("z"), v("y")]),
-            ],
+            vec![atom("e", &[v("x"), v("z")]), atom("e", &[v("z"), v("y")])],
             vec![atom("e", &[v("x"), v("y")])],
         )
     }
@@ -255,5 +214,15 @@ mod tests {
         let (out, _) = p.fixpoint(chain(5));
         assert_eq!(out.relation_size("mark"), 1);
         assert!(out.contains(&fact("mark", &["2"])));
+    }
+
+    #[test]
+    fn agrees_with_naive_chase_on_larger_closure() {
+        let tgds = vec![tc_rule()];
+        let p = Program::compile(&tgds).unwrap();
+        let (datalog, _) = p.fixpoint(chain(12));
+        let naive = crate::naive::chase(chain(12), &tgds, &ChaseConfig::default(), 0);
+        assert!(naive.is_complete());
+        assert_eq!(datalog, naive.instance);
     }
 }

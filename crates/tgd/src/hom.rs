@@ -3,22 +3,372 @@
 //! This is the workhorse of both the chase (finding triggers, checking
 //! whether a trigger is already satisfied) and conjunctive-query
 //! evaluation over chased instances.
+//!
+//! Conjunctions are **compiled once** against the target instance's
+//! dictionaries: constants become [`ValId`]s, variables become dense slot
+//! numbers, and the backtracking matcher runs entirely on `u32` ids with
+//! a `Vec<Option<ValId>>` environment — no string hashing, no value
+//! cloning. Candidate rows come from the per-position hash indexes of
+//! [`Instance`], probing the position with the smallest posting list
+//! among the already-bound positions of each atom.
 
-use crate::instance::Instance;
+use crate::instance::{Instance, InstanceMark, PredId, ValId};
 use crate::term::{Atom, AtomArg, GroundTerm, Sym};
 use std::collections::HashMap;
 
-/// A substitution from variables to ground terms.
+/// A substitution from variables to ground terms (the string-level
+/// boundary representation; the search itself uses dense slot arrays).
 pub type Subst = HashMap<Sym, GroundTerm>;
+
+/// One compiled argument position.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Slot {
+    /// A constant (or null literal), resolved against the instance.
+    Const(ValId),
+    /// A variable, identified by its dense slot number.
+    Var(u32),
+}
+
+/// An atom compiled against one instance's dictionaries.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledAtom {
+    pub pred: PredId,
+    pub slots: Box<[Slot]>,
+    /// Index of this atom in the source conjunction (delta pivots are
+    /// named by source position).
+    pub orig: usize,
+}
+
+/// A conjunction compiled against one instance.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Compiled {
+    pub atoms: Vec<CompiledAtom>,
+    /// Dense slot number → variable name.
+    pub var_names: Vec<Sym>,
+    pub var_index: HashMap<Sym, u32>,
+    /// `false` iff some constant or predicate does not occur in the
+    /// instance at all, making the conjunction unsatisfiable.
+    pub satisfiable: bool,
+}
+
+impl Compiled {
+    /// The number of variable slots.
+    pub fn nvars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The slot of a variable, if it occurs.
+    pub fn var_slot(&self, v: &str) -> Option<u32> {
+        self.var_index.get(v).copied()
+    }
+}
+
+/// Compiles `atoms` against `instance` without mutating it: unknown
+/// constants or predicates mark the conjunction unsatisfiable.
+pub(crate) fn compile(atoms: &[Atom], instance: &Instance) -> Compiled {
+    compile_inner(atoms, &mut CompileCx::Frozen(instance))
+}
+
+/// Compiles `atoms` against `instance`, interning any missing predicates
+/// and constants first (used by the chase, which compiles dependencies
+/// once up front and needs their symbols resolvable for later rounds).
+pub(crate) fn compile_interning(atoms: &[Atom], instance: &mut Instance) -> Compiled {
+    compile_inner(atoms, &mut CompileCx::Interning(instance))
+}
+
+/// Continues a compilation with a shared variable numbering (used to
+/// compile a TGD's head against the numbering of its body).
+pub(crate) fn compile_more(pre: &mut Compiled, atoms: &[Atom], instance: &mut Instance) {
+    let mut cx = CompileCx::Interning(instance);
+    let start = pre.atoms.len();
+    compile_atoms(atoms, start, pre, &mut cx);
+}
+
+enum CompileCx<'a> {
+    Frozen(&'a Instance),
+    Interning(&'a mut Instance),
+}
+
+impl CompileCx<'_> {
+    fn pred(&mut self, p: &Sym) -> Option<PredId> {
+        match self {
+            CompileCx::Frozen(i) => i.pred_id(p),
+            CompileCx::Interning(i) => Some(i.intern_pred(p)),
+        }
+    }
+
+    fn val(&mut self, v: &GroundTerm) -> Option<ValId> {
+        match self {
+            CompileCx::Frozen(i) => i.values().id(v),
+            CompileCx::Interning(i) => Some(i.intern_value(v)),
+        }
+    }
+}
+
+fn compile_inner(atoms: &[Atom], cx: &mut CompileCx<'_>) -> Compiled {
+    let mut out = Compiled {
+        satisfiable: true,
+        ..Compiled::default()
+    };
+    compile_atoms(atoms, 0, &mut out, cx);
+    out
+}
+
+fn compile_atoms(atoms: &[Atom], orig_base: usize, out: &mut Compiled, cx: &mut CompileCx<'_>) {
+    for (i, atom) in atoms.iter().enumerate() {
+        let Some(pred) = cx.pred(&atom.pred) else {
+            out.satisfiable = false;
+            continue;
+        };
+        let mut slots = Vec::with_capacity(atom.args.len());
+        for arg in &atom.args {
+            let slot = match arg {
+                AtomArg::Var(v) => {
+                    let next = out.var_names.len() as u32;
+                    let idx = *out.var_index.entry(v.clone()).or_insert(next);
+                    if idx == next {
+                        out.var_names.push(v.clone());
+                    }
+                    Slot::Var(idx)
+                }
+                AtomArg::Const(c) => match cx.val(&GroundTerm::Const(c.clone())) {
+                    Some(id) => Slot::Const(id),
+                    None => {
+                        out.satisfiable = false;
+                        Slot::Var(u32::MAX)
+                    }
+                },
+                AtomArg::Null(n) => match cx.val(&GroundTerm::Null(*n)) {
+                    Some(id) => Slot::Const(id),
+                    None => {
+                        out.satisfiable = false;
+                        Slot::Var(u32::MAX)
+                    }
+                },
+            };
+            slots.push(slot);
+        }
+        out.atoms.push(CompiledAtom {
+            pred,
+            slots: slots.into_boxed_slice(),
+            orig: orig_base + i,
+        });
+    }
+}
+
+/// Orders atoms greedily for backtracking: the delta pivot (if any)
+/// first, then atoms sharing variables with already-placed ones,
+/// preferring small relations.
+pub(crate) fn plan<'a>(
+    atoms: &'a [CompiledAtom],
+    instance: &Instance,
+    pivot: Option<usize>,
+) -> Vec<&'a CompiledAtom> {
+    let mut remaining: Vec<&CompiledAtom> = atoms.iter().collect();
+    let mut order: Vec<&CompiledAtom> = Vec::with_capacity(atoms.len());
+    // `bound` is indexed by slot number; size it to the max slot + 1.
+    let nslots = atoms
+        .iter()
+        .flat_map(|a| a.slots.iter())
+        .filter_map(|s| match s {
+            Slot::Var(v) if *v != u32::MAX => Some(*v as usize + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut bound = vec![false; nslots];
+
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, a)| {
+                if pivot == Some(a.orig) && order.is_empty() {
+                    return (0, 0, 0usize);
+                }
+                let size = instance.relation_len(a.pred);
+                let connected = a.slots.iter().any(|s| match s {
+                    Slot::Var(v) => bound.get(*v as usize).copied().unwrap_or(false),
+                    Slot::Const(_) => false,
+                });
+                (1, if connected || order.is_empty() { 0 } else { 1 }, size)
+            })
+            .expect("non-empty");
+        let atom = remaining.remove(idx);
+        for s in atom.slots.iter() {
+            if let Slot::Var(v) = s {
+                if (*v as usize) < bound.len() {
+                    bound[*v as usize] = true;
+                }
+            }
+        }
+        order.push(atom);
+    }
+    order
+}
+
+/// Backtracking matcher over compiled atoms. `emit` returns `false` to
+/// stop the search; the overall return is `false` iff the search was
+/// stopped. When `delta = Some((orig, mark))`, the atom whose source
+/// index is `orig` only matches rows inserted after `mark`.
+pub(crate) fn search(
+    instance: &Instance,
+    order: &[&CompiledAtom],
+    depth: usize,
+    delta: Option<(usize, &InstanceMark)>,
+    env: &mut [Option<ValId>],
+    emit: &mut dyn FnMut(&mut [Option<ValId>]) -> bool,
+) -> bool {
+    if depth == order.len() {
+        return emit(env);
+    }
+    let atom = order[depth];
+    let rows = instance.rows_ids(atom.pred);
+    let delta_start = match delta {
+        Some((orig, mark)) if orig == atom.orig => mark.rows_before(atom.pred),
+        _ => 0,
+    };
+
+    // Probe the most selective per-position index among the positions
+    // whose value is already determined.
+    let mut best: Option<&[u32]> = None;
+    for (pos, slot) in atom.slots.iter().enumerate() {
+        let v = match slot {
+            Slot::Const(c) => Some(*c),
+            Slot::Var(x) => env[*x as usize],
+        };
+        if let Some(v) = v {
+            let postings = instance.postings(atom.pred, pos, v);
+            if best.is_none_or(|b| postings.len() < b.len()) {
+                best = Some(postings);
+            }
+        }
+    }
+
+    let try_row = |row_idx: u32,
+                   env: &mut [Option<ValId>],
+                   emit: &mut dyn FnMut(&mut [Option<ValId>]) -> bool|
+     -> bool {
+        let row = &rows[row_idx as usize];
+        if row.len() != atom.slots.len() {
+            return true;
+        }
+        let mut undo: [u32; 8] = [u32::MAX; 8];
+        let mut undo_len = 0usize;
+        let mut undo_spill: Vec<u32> = Vec::new();
+        let mut ok = true;
+        for (slot, &val) in atom.slots.iter().zip(row.iter()) {
+            match slot {
+                Slot::Const(c) => {
+                    if *c != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                Slot::Var(x) => match env[*x as usize] {
+                    Some(existing) => {
+                        if existing != val {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        env[*x as usize] = Some(val);
+                        if undo_len < undo.len() {
+                            undo[undo_len] = *x;
+                        } else {
+                            undo_spill.push(*x);
+                        }
+                        undo_len += 1;
+                    }
+                },
+            }
+        }
+        let keep_going = if ok {
+            search(instance, order, depth + 1, delta, env, emit)
+        } else {
+            true
+        };
+        for &x in undo.iter().take(undo_len.min(undo.len())) {
+            env[x as usize] = None;
+        }
+        for &x in &undo_spill {
+            env[x as usize] = None;
+        }
+        keep_going
+    };
+
+    match best {
+        Some(postings) => {
+            let from = postings.partition_point(|&i| i < delta_start);
+            for &row_idx in &postings[from..] {
+                if !try_row(row_idx, env, emit) {
+                    return false;
+                }
+            }
+        }
+        None => {
+            for row_idx in delta_start..rows.len() as u32 {
+                if !try_row(row_idx, env, emit) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Resolves a seed substitution into a compiled environment. Returns
+/// `None` if a seed binding is incompatible with the instance (its value
+/// does not occur), which means no homomorphism can exist *if* the
+/// variable occurs in the conjunction.
+fn seed_env(compiled: &Compiled, instance: &Instance, seed: &Subst) -> Option<Vec<Option<ValId>>> {
+    let mut env = vec![None; compiled.nvars()];
+    for (var, val) in seed {
+        if let Some(slot) = compiled.var_slot(var) {
+            match instance.values().id(val) {
+                Some(id) => env[slot as usize] = Some(id),
+                None => return None,
+            }
+        }
+    }
+    Some(env)
+}
+
+/// Converts a solved environment back to a string-level substitution,
+/// carrying over seed bindings for variables outside the conjunction.
+fn env_to_subst(
+    compiled: &Compiled,
+    instance: &Instance,
+    env: &[Option<ValId>],
+    seed: &Subst,
+) -> Subst {
+    let mut out = seed.clone();
+    for (i, v) in env.iter().enumerate() {
+        if let Some(v) = v {
+            out.insert(
+                compiled.var_names[i].clone(),
+                instance.values().value(*v).clone(),
+            );
+        }
+    }
+    out
+}
 
 /// Finds all homomorphisms from the conjunction `atoms` into `instance`,
 /// extending the partial substitution `seed`.
 pub fn all_homomorphisms(atoms: &[Atom], instance: &Instance, seed: &Subst) -> Vec<Subst> {
+    let compiled = compile(atoms, instance);
+    if !compiled.satisfiable {
+        return Vec::new();
+    }
+    let Some(mut env) = seed_env(&compiled, instance, seed) else {
+        return Vec::new();
+    };
+    let order = plan(&compiled.atoms, instance, None);
     let mut out = Vec::new();
-    let order = plan(atoms, instance);
-    let mut subst = seed.clone();
-    search(&order, 0, instance, &mut subst, &mut |s| {
-        out.push(s.clone());
+    search(instance, &order, 0, None, &mut env, &mut |env| {
+        out.push(env_to_subst(&compiled, instance, env, seed));
         true
     });
     out
@@ -26,99 +376,20 @@ pub fn all_homomorphisms(atoms: &[Atom], instance: &Instance, seed: &Subst) -> V
 
 /// Returns `true` iff at least one homomorphism exists (early exit).
 pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance, seed: &Subst) -> bool {
-    let order = plan(atoms, instance);
-    let mut subst = seed.clone();
+    let compiled = compile(atoms, instance);
+    if !compiled.satisfiable {
+        return false;
+    }
+    let Some(mut env) = seed_env(&compiled, instance, seed) else {
+        return false;
+    };
+    let order = plan(&compiled.atoms, instance, None);
     let mut found = false;
-    search(&order, 0, instance, &mut subst, &mut |_| {
+    search(instance, &order, 0, None, &mut env, &mut |_| {
         found = true;
         false
     });
     found
-}
-
-/// Orders atoms greedily: smaller relations first, preferring atoms that
-/// share variables with already-placed atoms.
-fn plan<'a>(atoms: &'a [Atom], instance: &Instance) -> Vec<&'a Atom> {
-    let mut remaining: Vec<&Atom> = atoms.iter().collect();
-    let mut order: Vec<&Atom> = Vec::with_capacity(atoms.len());
-    let mut bound: std::collections::HashSet<&Sym> = std::collections::HashSet::new();
-    while !remaining.is_empty() {
-        let (idx, _) = remaining
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, a)| {
-                let size = instance.relation_size(&a.pred);
-                let connected = a.vars().any(|v| bound.contains(v));
-                // Strongly prefer connected atoms; among ties, small ones.
-                (if connected || bound.is_empty() { 0 } else { 1 }, size)
-            })
-            .expect("non-empty");
-        let atom = remaining.remove(idx);
-        for v in atom.vars() {
-            bound.insert(v);
-        }
-        order.push(atom);
-    }
-    order
-}
-
-/// Backtracking matcher. `emit` returns `false` to stop the search.
-fn search(
-    order: &[&Atom],
-    depth: usize,
-    instance: &Instance,
-    subst: &mut Subst,
-    emit: &mut dyn FnMut(&Subst) -> bool,
-) -> bool {
-    if depth == order.len() {
-        return emit(subst);
-    }
-    let atom = order[depth];
-    // Candidate rows: a first-argument range scan when the leading
-    // position is already determined, otherwise the full relation.
-    let first_bound = atom.args.first().and_then(|arg| match arg {
-        AtomArg::Const(c) => Some(GroundTerm::Const(c.clone())),
-        AtomArg::Null(n) => Some(GroundTerm::Null(*n)),
-        AtomArg::Var(x) => subst.get(x).cloned(),
-    });
-    let rows: Vec<&Vec<GroundTerm>> = match &first_bound {
-        Some(first) => instance.rows_with_first(&atom.pred, first).collect(),
-        None => instance.rows(&atom.pred).collect(),
-    };
-    'rows: for row in rows {
-        if row.len() != atom.args.len() {
-            continue;
-        }
-        let mut newly_bound: Vec<Sym> = Vec::new();
-        for (arg, val) in atom.args.iter().zip(row.iter()) {
-            let ok = match arg {
-                AtomArg::Const(c) => matches!(val, GroundTerm::Const(v) if v == c),
-                AtomArg::Null(n) => matches!(val, GroundTerm::Null(v) if v == n),
-                AtomArg::Var(x) => match subst.get(x) {
-                    Some(existing) => existing == val,
-                    None => {
-                        subst.insert(x.clone(), val.clone());
-                        newly_bound.push(x.clone());
-                        true
-                    }
-                },
-            };
-            if !ok {
-                for x in newly_bound {
-                    subst.remove(&x);
-                }
-                continue 'rows;
-            }
-        }
-        let keep_going = search(order, depth + 1, instance, subst, emit);
-        for x in newly_bound {
-            subst.remove(&x);
-        }
-        if !keep_going {
-            return false;
-        }
-    }
-    true
 }
 
 /// Applies a substitution to an atom; unmapped variables remain.
@@ -141,25 +412,42 @@ pub fn apply(atom: &Atom, subst: &Subst) -> Atom {
 /// Evaluates a conjunctive query `(head_vars, body)` over an instance,
 /// returning the projected answer tuples. If `certain` is set, tuples
 /// containing labelled nulls are dropped (certain-answer semantics of
-/// data exchange).
+/// data exchange). Projection and deduplication run at the id level;
+/// tuples are decoded once at the end.
 pub fn evaluate_cq(
     head_vars: &[Sym],
     body: &[Atom],
     instance: &Instance,
     certain: bool,
 ) -> std::collections::BTreeSet<Vec<GroundTerm>> {
-    let mut out = std::collections::BTreeSet::new();
-    for subst in all_homomorphisms(body, instance, &Subst::new()) {
-        let tuple: Option<Vec<GroundTerm>> =
-            head_vars.iter().map(|v| subst.get(v).cloned()).collect();
-        if let Some(tuple) = tuple {
-            if certain && tuple.iter().any(GroundTerm::is_null) {
-                continue;
-            }
-            out.insert(tuple);
-        }
+    let compiled = compile(body, instance);
+    if !compiled.satisfiable {
+        return std::collections::BTreeSet::new();
     }
-    out
+    let slots: Vec<Option<u32>> = head_vars.iter().map(|v| compiled.var_slot(v)).collect();
+    let mut env = vec![None; compiled.nvars()];
+    let order = plan(&compiled.atoms, instance, None);
+    let mut ids: std::collections::HashSet<Vec<ValId>> = std::collections::HashSet::new();
+    search(instance, &order, 0, None, &mut env, &mut |env| {
+        let tuple: Option<Vec<ValId>> = slots
+            .iter()
+            .map(|s| s.and_then(|i| env[i as usize]))
+            .collect();
+        if let Some(tuple) = tuple {
+            if !(certain && tuple.iter().any(|&v| instance.values().is_null(v))) {
+                ids.insert(tuple);
+            }
+        }
+        true
+    });
+    ids.into_iter()
+        .map(|tuple| {
+            tuple
+                .into_iter()
+                .map(|v| instance.values().value(v).clone())
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -187,10 +475,7 @@ mod tests {
 
     #[test]
     fn path_join() {
-        let body = [
-            atom("e", &[v("x"), v("y")]),
-            atom("e", &[v("y"), v("z")]),
-        ];
+        let body = [atom("e", &[v("x"), v("y")]), atom("e", &[v("y"), v("z")])];
         let homs = all_homomorphisms(&body, &inst(), &Subst::new());
         assert_eq!(homs.len(), 2); // a-b-c and b-c-d
     }
@@ -209,6 +494,30 @@ mod tests {
         seed.insert(Sym::from("x"), GroundTerm::constant("b"));
         let homs = all_homomorphisms(&[atom("e", &[v("x"), v("y")])], &inst(), &seed);
         assert_eq!(homs.len(), 1);
+    }
+
+    #[test]
+    fn seed_value_missing_from_instance_yields_nothing() {
+        let mut seed = Subst::new();
+        seed.insert(Sym::from("x"), GroundTerm::constant("no-such"));
+        assert!(all_homomorphisms(&[atom("e", &[v("x"), v("y")])], &inst(), &seed).is_empty());
+        assert!(!exists_homomorphism(
+            &[atom("e", &[v("x"), v("y")])],
+            &inst(),
+            &seed
+        ));
+    }
+
+    #[test]
+    fn seed_vars_outside_conjunction_are_carried() {
+        let mut seed = Subst::new();
+        seed.insert(Sym::from("unused"), GroundTerm::constant("no-such"));
+        let homs = all_homomorphisms(&[atom("e", &[v("x"), v("y")])], &inst(), &seed);
+        assert_eq!(homs.len(), 3);
+        assert_eq!(
+            homs[0][&Sym::from("unused")],
+            GroundTerm::constant("no-such")
+        );
     }
 
     #[test]
@@ -231,6 +540,16 @@ mod tests {
             &inst(),
             &Subst::new()
         ));
+    }
+
+    #[test]
+    fn unknown_constant_or_predicate_is_unsatisfiable() {
+        assert!(!exists_homomorphism(
+            &[atom("e", &[c("nope"), v("y")])],
+            &inst(),
+            &Subst::new()
+        ));
+        assert!(all_homomorphisms(&[atom("nopred", &[v("x")])], &inst(), &Subst::new()).is_empty());
     }
 
     #[test]
@@ -281,5 +600,21 @@ mod tests {
         s.insert(Sym::from("x"), GroundTerm::Null(3));
         let a = apply(&atom("t", &[v("x"), v("y"), c("k")]), &s);
         assert_eq!(a.to_string(), "t(⊥3,?y,k)");
+    }
+
+    #[test]
+    fn delta_search_sees_only_new_rows() {
+        let mut i = inst();
+        let mark = i.mark();
+        i.insert(fact("e", &["d", "e"]));
+        let compiled = compile(&[atom("e", &[v("x"), v("y")])], &i);
+        let order = plan(&compiled.atoms, &i, Some(0));
+        let mut env = vec![None; compiled.nvars()];
+        let mut found = 0;
+        search(&i, &order, 0, Some((0, &mark)), &mut env, &mut |_| {
+            found += 1;
+            true
+        });
+        assert_eq!(found, 1);
     }
 }

@@ -1,15 +1,150 @@
-//! Relational instances: sets of ground facts with per-predicate and
-//! per-position indexes for homomorphism search.
+//! Relational instances: sets of ground facts with dictionary-interned
+//! values and per-position hash indexes for homomorphism search.
+//!
+//! Values ([`GroundTerm`]) and predicate symbols are interned to dense
+//! `u32` ids ([`ValId`], [`PredId`]) on first contact — the same idiom as
+//! `rps_rdf::TermDict` — and every hot-path operation (row storage,
+//! index probes, join matching in [`crate::hom`], the semi-naive chase in
+//! [`crate::chase`]) works purely on ids. The string-level [`Fact`] API
+//! is the boundary: `insert`/`contains`/`iter` translate through the
+//! dictionaries.
+//!
+//! Rows are stored in **insertion order** and never removed, so a
+//! [`InstanceMark`] (per-relation row counts) identifies "facts added
+//! since" windows for delta-driven evaluation.
 
 use crate::term::{Fact, GroundTerm, Sym};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
-/// A relational instance — a set of ground facts over some alphabet.
+/// A dense identifier for an interned [`GroundTerm`].
+///
+/// Ids are only meaningful relative to the [`Instance`] that minted them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ValId(pub u32);
+
+impl ValId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense identifier for an interned predicate symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional interner from [`GroundTerm`] to [`ValId`].
+#[derive(Clone, Default, Debug)]
+pub struct ValueDict {
+    vals: Vec<GroundTerm>,
+    nulls: Vec<bool>,
+    lookup: HashMap<GroundTerm, ValId>,
+}
+
+impl ValueDict {
+    /// Interns a value, returning its id. Idempotent.
+    pub fn intern(&mut self, v: &GroundTerm) -> ValId {
+        if let Some(&id) = self.lookup.get(v) {
+            return id;
+        }
+        let id = ValId(u32::try_from(self.vals.len()).expect("value dictionary overflow"));
+        self.vals.push(v.clone());
+        self.nulls.push(v.is_null());
+        self.lookup.insert(v.clone(), id);
+        id
+    }
+
+    /// Looks up the id of a value without interning it.
+    pub fn id(&self, v: &GroundTerm) -> Option<ValId> {
+        self.lookup.get(v).copied()
+    }
+
+    /// Returns the value for an id minted by this dictionary.
+    pub fn value(&self, id: ValId) -> &GroundTerm {
+        &self.vals[id.index()]
+    }
+
+    /// `true` iff the id denotes a labelled null (checked without
+    /// touching the value payload).
+    pub fn is_null(&self, id: ValId) -> bool {
+        self.nulls[id.index()]
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+/// One predicate's rows: insertion-ordered storage, a membership set and
+/// per-position hash indexes mapping a value id to the (ascending) row
+/// indices where it occurs.
+#[derive(Clone, Default, Debug)]
+struct Relation {
+    rows: Vec<Box<[ValId]>>,
+    seen: HashSet<Box<[ValId]>>,
+    index: Vec<HashMap<ValId, Vec<u32>>>,
+}
+
+impl Relation {
+    fn insert(&mut self, row: Box<[ValId]>) -> bool {
+        if self.seen.contains(&row) {
+            return false;
+        }
+        let row_idx = u32::try_from(self.rows.len()).expect("relation overflow");
+        if self.index.len() < row.len() {
+            self.index.resize_with(row.len(), HashMap::new);
+        }
+        for (pos, &v) in row.iter().enumerate() {
+            self.index[pos].entry(v).or_default().push(row_idx);
+        }
+        self.seen.insert(row.clone());
+        self.rows.push(row);
+        true
+    }
+
+    /// The positions of rows whose position `pos` holds `v`, ascending.
+    fn postings(&self, pos: usize, v: ValId) -> &[u32] {
+        self.index
+            .get(pos)
+            .and_then(|m| m.get(&v))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+/// A snapshot of per-relation row counts, identifying the facts added
+/// after it was taken (the "delta" of semi-naive evaluation).
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct InstanceMark(Vec<u32>);
+
+impl InstanceMark {
+    /// The number of rows relation `pred` had when the mark was taken.
+    pub fn rows_before(&self, pred: PredId) -> u32 {
+        self.0.get(pred.index()).copied().unwrap_or(0)
+    }
+}
+
+/// A relational instance — a set of ground facts over some alphabet,
+/// interned and indexed.
 #[derive(Clone, Default)]
 pub struct Instance {
-    /// Facts grouped by predicate, kept sorted for deterministic
-    /// iteration.
-    relations: HashMap<Sym, BTreeSet<Vec<GroundTerm>>>,
+    vals: ValueDict,
+    pred_names: Vec<Sym>,
+    pred_lookup: HashMap<Sym, PredId>,
+    relations: Vec<Relation>,
     len: usize,
 }
 
@@ -19,13 +154,58 @@ impl Instance {
         Self::default()
     }
 
+    /// Read access to the value dictionary.
+    pub fn values(&self) -> &ValueDict {
+        &self.vals
+    }
+
+    /// Interns a ground value (without asserting any fact).
+    pub fn intern_value(&mut self, v: &GroundTerm) -> ValId {
+        self.vals.intern(v)
+    }
+
+    /// Interns a predicate symbol (without asserting any fact).
+    pub fn intern_pred(&mut self, pred: &Sym) -> PredId {
+        match self.pred_lookup.entry(pred.clone()) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = PredId(
+                    u32::try_from(self.pred_names.len()).expect("predicate dictionary overflow"),
+                );
+                self.pred_names.push(pred.clone());
+                self.relations.push(Relation::default());
+                e.insert(id);
+                id
+            }
+        }
+    }
+
+    /// Looks up a predicate id without interning.
+    pub fn pred_id(&self, pred: &str) -> Option<PredId> {
+        self.pred_lookup.get(pred).copied()
+    }
+
+    /// The symbol of an interned predicate.
+    pub fn pred_name(&self, pred: PredId) -> &Sym {
+        &self.pred_names[pred.index()]
+    }
+
+    /// Number of distinct predicates seen so far.
+    pub fn pred_count(&self) -> usize {
+        self.pred_names.len()
+    }
+
     /// Inserts a fact; returns `true` if it was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        let added = self
-            .relations
-            .entry(fact.pred)
-            .or_default()
-            .insert(fact.args);
+        let pred = self.intern_pred(&fact.pred);
+        let row: Box<[ValId]> = fact.args.iter().map(|v| self.vals.intern(v)).collect();
+        self.insert_row(pred, row)
+    }
+
+    /// Inserts an id-level row (ids must come from this instance's
+    /// dictionaries); returns `true` if it was new.
+    pub fn insert_row(&mut self, pred: PredId, row: Box<[ValId]>) -> bool {
+        let added = self.relations[pred.index()].insert(row);
         if added {
             self.len += 1;
         }
@@ -34,9 +214,19 @@ impl Instance {
 
     /// Membership test.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.relations
-            .get(&fact.pred)
-            .is_some_and(|rows| rows.contains(&fact.args))
+        let Some(pred) = self.pred_id(&fact.pred) else {
+            return false;
+        };
+        let row: Option<Box<[ValId]>> = fact.args.iter().map(|v| self.vals.id(v)).collect();
+        match row {
+            Some(row) => self.relations[pred.index()].seen.contains(&row),
+            None => false,
+        }
+    }
+
+    /// Id-level membership test.
+    pub fn contains_row(&self, pred: PredId, row: &[ValId]) -> bool {
+        self.relations[pred.index()].seen.contains(row)
     }
 
     /// Total number of facts.
@@ -51,75 +241,115 @@ impl Instance {
 
     /// Number of facts for one predicate.
     pub fn relation_size(&self, pred: &str) -> usize {
-        self.relations.get(pred).map_or(0, BTreeSet::len)
+        self.pred_id(pred)
+            .map_or(0, |p| self.relations[p.index()].rows.len())
     }
 
-    /// Iterates over the rows of one predicate in sorted order.
-    pub fn rows(&self, pred: &str) -> impl Iterator<Item = &Vec<GroundTerm>> {
-        self.relations.get(pred).into_iter().flatten()
+    /// Id-level relation size.
+    pub fn relation_len(&self, pred: PredId) -> usize {
+        self.relations[pred.index()].rows.len()
+    }
+
+    /// The id-level rows of one predicate, in insertion order.
+    pub fn rows_ids(&self, pred: PredId) -> &[Box<[ValId]>] {
+        &self.relations[pred.index()].rows
+    }
+
+    /// The ascending row positions of `pred` whose argument `pos` is `v`
+    /// (per-position hash-index probe).
+    pub fn postings(&self, pred: PredId, pos: usize, v: ValId) -> &[u32] {
+        self.relations[pred.index()].postings(pos, v)
+    }
+
+    /// Takes a snapshot of the current per-relation row counts.
+    pub fn mark(&self) -> InstanceMark {
+        InstanceMark(self.relations.iter().map(|r| r.rows.len() as u32).collect())
+    }
+
+    /// `true` iff any fact was added after `mark` was taken.
+    pub fn grew_since(&self, mark: &InstanceMark) -> bool {
+        self.relations
+            .iter()
+            .enumerate()
+            .any(|(i, r)| r.rows.len() as u32 > mark.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Iterates over the (decoded) rows of one predicate in insertion
+    /// order.
+    pub fn rows(&self, pred: &str) -> impl Iterator<Item = Vec<GroundTerm>> + '_ {
+        self.pred_id(pred)
+            .into_iter()
+            .flat_map(move |p| self.rows_ids(p).iter().map(|row| self.decode_row(row)))
     }
 
     /// Iterates over the rows of one predicate whose *first* argument is
-    /// `first`. Rows are stored sorted lexicographically, so this is a
-    /// range scan — the workhorse of join matching when the leading
-    /// argument is already bound.
+    /// `first` — an index probe on position 0, no per-probe allocation.
     pub fn rows_with_first<'a>(
         &'a self,
         pred: &str,
-        first: &'a GroundTerm,
-    ) -> impl Iterator<Item = &'a Vec<GroundTerm>> {
-        self.relations
-            .get(pred)
-            .into_iter()
-            .flat_map(move |rows| {
-                rows.range(vec![first.clone()]..)
-                    .take_while(move |row| row.first() == Some(first))
-            })
+        first: &GroundTerm,
+    ) -> impl Iterator<Item = Vec<GroundTerm>> + 'a {
+        let probe = self
+            .pred_id(pred)
+            .zip(self.vals.id(first))
+            .map(|(p, v)| (p, self.postings(p, 0, v)));
+        probe.into_iter().flat_map(move |(p, rows)| {
+            rows.iter()
+                .map(move |&i| self.decode_row(&self.rows_ids(p)[i as usize]))
+        })
     }
 
-    /// Iterates over all facts in deterministic (predicate-grouped) order.
+    fn decode_row(&self, row: &[ValId]) -> Vec<GroundTerm> {
+        row.iter().map(|&v| self.vals.value(v).clone()).collect()
+    }
+
+    /// Iterates over all facts in deterministic (sorted) order.
     pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
-        let mut preds: Vec<&Sym> = self.relations.keys().collect();
-        preds.sort();
-        preds.into_iter().flat_map(move |p| {
-            self.relations[p]
-                .iter()
-                .map(move |args| Fact::new(p.clone(), args.clone()))
-        })
+        let mut facts: Vec<Fact> = self
+            .relations
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, rel)| {
+                let pred = &self.pred_names[pi];
+                rel.rows
+                    .iter()
+                    .map(move |row| Fact::new(pred.clone(), self.decode_row(row)))
+            })
+            .collect();
+        facts.sort();
+        facts.into_iter()
     }
 
     /// The set of constants (not nulls) appearing anywhere in the
     /// instance.
     pub fn constants(&self) -> BTreeSet<Sym> {
-        let mut out = BTreeSet::new();
-        for rows in self.relations.values() {
-            for row in rows {
-                for t in row {
-                    if let GroundTerm::Const(c) = t {
-                        out.insert(c.clone());
-                    }
-                }
+        let mut used: HashSet<ValId> = HashSet::new();
+        for rel in &self.relations {
+            for row in &rel.rows {
+                used.extend(row.iter().copied());
             }
         }
-        out
+        used.into_iter()
+            .filter_map(|v| match self.vals.value(v) {
+                GroundTerm::Const(c) => Some(c.clone()),
+                GroundTerm::Null(_) => None,
+            })
+            .collect()
     }
 
     /// The number of distinct labelled nulls in the instance.
     pub fn null_count(&self) -> usize {
-        let mut nulls = BTreeSet::new();
-        for rows in self.relations.values() {
-            for row in rows {
-                for t in row {
-                    if let GroundTerm::Null(n) = t {
-                        nulls.insert(*n);
-                    }
-                }
+        let mut nulls: HashSet<ValId> = HashSet::new();
+        for rel in &self.relations {
+            for row in &rel.rows {
+                nulls.extend(row.iter().copied().filter(|&v| self.vals.is_null(v)));
             }
         }
         nulls.len()
     }
 
-    /// Unions another instance into this one.
+    /// Unions another instance into this one (re-interning through the
+    /// fact boundary; the dictionaries may differ).
     pub fn merge(&mut self, other: &Instance) {
         for f in other.iter() {
             self.insert(f);
@@ -129,7 +359,9 @@ impl Instance {
 
 impl std::fmt::Debug for Instance {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Instance").field("facts", &self.len).finish()
+        f.debug_struct("Instance")
+            .field("facts", &self.len)
+            .finish()
     }
 }
 
@@ -203,5 +435,55 @@ mod tests {
             .collect();
         let order: Vec<String> = i.iter().map(|f| f.to_string()).collect();
         assert_eq!(order, vec!["a(1)", "a(2)", "z(1)"]);
+    }
+
+    #[test]
+    fn first_argument_probe() {
+        let i: Instance = [
+            fact("e", &["a", "b"]),
+            fact("e", &["a", "c"]),
+            fact("e", &["b", "c"]),
+        ]
+        .into_iter()
+        .collect();
+        let hits: Vec<_> = i.rows_with_first("e", &GroundTerm::constant("a")).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(i
+            .rows_with_first("e", &GroundTerm::constant("zz"))
+            .next()
+            .is_none());
+        assert!(i
+            .rows_with_first("nope", &GroundTerm::constant("a"))
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn postings_are_per_position() {
+        let mut i = Instance::new();
+        i.insert(fact("e", &["a", "b"]));
+        i.insert(fact("e", &["b", "a"]));
+        i.insert(fact("e", &["a", "a"]));
+        let p = i.pred_id("e").unwrap();
+        let a = i.values().id(&GroundTerm::constant("a")).unwrap();
+        assert_eq!(i.postings(p, 0, a), &[0, 2]);
+        assert_eq!(i.postings(p, 1, a), &[1, 2]);
+        assert_eq!(i.postings(p, 2, a), &[] as &[u32]);
+    }
+
+    #[test]
+    fn marks_window_new_rows() {
+        let mut i = Instance::new();
+        i.insert(fact("r", &["1"]));
+        let m = i.mark();
+        assert!(!i.grew_since(&m));
+        i.insert(fact("r", &["2"]));
+        i.insert(fact("s", &["3"]));
+        assert!(i.grew_since(&m));
+        let r = i.pred_id("r").unwrap();
+        assert_eq!(m.rows_before(r), 1);
+        let s = i.pred_id("s").unwrap();
+        // `s` did not exist when the mark was taken.
+        assert_eq!(m.rows_before(s), 0);
     }
 }

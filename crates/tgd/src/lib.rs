@@ -6,39 +6,52 @@
 //! substrate, built from scratch:
 //!
 //! * [`term`] — constants, labelled nulls, variables, atoms, facts;
-//! * [`instance`] — relational instances with per-predicate indexes;
-//! * [`hom`] — homomorphism search and CQ evaluation;
+//! * [`instance`] — relational instances with dictionary-interned values
+//!   ([`ValId`]/[`PredId`] dense `u32` ids), per-position hash indexes,
+//!   and insertion-ordered rows whose [`InstanceMark`] snapshots define
+//!   the delta windows of semi-naive evaluation;
+//! * [`hom`] — homomorphism search and CQ evaluation: conjunctions are
+//!   compiled once to id slots and matched with a dense
+//!   `Vec<Option<ValId>>` environment over index probes;
 //! * [`tgd`] — tuple-generating dependencies, frontier/existential
 //!   analysis, per-TGD linearity/guardedness;
-//! * [`mod@chase`] — the restricted chase with explicit budgets, producing
-//!   universal solutions;
+//! * [`mod@chase`] — the restricted chase, **semi-naive**: each round only
+//!   considers triggers touching facts added since the previous round
+//!   (see the module docs for the invariant), with explicit budgets,
+//!   producing universal solutions;
+//! * [`datalog`] — the delta-driven least-model fixpoint for full TGD
+//!   sets, sharing the chase's compiled representation;
 //! * [`classify`] — the Definition-4 variable-marking stickiness test,
 //!   linearity, guardedness and weak-acyclicity classifiers
 //!   (experiment E7);
 //! * [`mod@rewrite`] — depth-bounded UCQ rewriting (TGD-rewrite style) with
-//!   rewriting and factorisation steps, used for Proposition 2
-//!   (perfect rewritings for linear/sticky sets) and Proposition 3
-//!   (transitive closure defeats any bounded rewriting).
+//!   rewriting and factorisation steps; canonicalisation and duplicate
+//!   detection run on interned integer keys;
+//! * [`naive`] — the original string-level engine (unindexed search,
+//!   re-scanning chase, string-canonical rewriting), retained as the
+//!   correctness oracle: `tests/proptests.rs` asserts both engines agree
+//!   on random TGD sets and instances.
 
 #![warn(missing_docs)]
 
 pub mod chase;
-pub mod datalog;
 pub mod classify;
+pub mod datalog;
 pub mod hom;
 pub mod instance;
+pub mod naive;
 pub mod rewrite;
 pub mod term;
 pub mod tgd;
 
 pub use chase::{chase, satisfies, ChaseConfig, ChaseOutcome, ChaseResult};
-pub use datalog::{DatalogError, Program};
 pub use classify::{
     is_guarded, is_linear, is_sticky, is_sticky_join, is_weakly_acyclic, marking,
     sticky_violations, Classification, Marking,
 };
+pub use datalog::{DatalogError, Program};
 pub use hom::{all_homomorphisms, evaluate_cq, exists_homomorphism, Subst};
-pub use instance::Instance;
+pub use instance::{Instance, InstanceMark, PredId, ValId, ValueDict};
 pub use rewrite::{
     evaluate_union, normalize_single_head, rewrite, Cq, RewriteConfig, RewriteResult,
 };

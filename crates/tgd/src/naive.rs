@@ -1,0 +1,378 @@
+//! The naive reference engine: string-level homomorphism search and the
+//! round-based restricted chase exactly as first implemented, kept as a
+//! correctness oracle for the interned, delta-driven engine in
+//! [`crate::hom`] and [`crate::chase`].
+//!
+//! Property tests (`tests/proptests.rs`) and benchmarks compare the two:
+//! homomorphism sets must be equal, chase results must be universal
+//! solutions of the same problem (homomorphically equivalent, with equal
+//! certain answers), and for full TGD sets the saturated instances must
+//! be identical. Nothing in the production path calls into this module.
+
+use crate::chase::{ChaseConfig, ChaseOutcome, ChaseResult};
+use crate::hom::Subst;
+use crate::instance::Instance;
+use crate::term::{Atom, AtomArg, GroundTerm, Sym};
+use crate::tgd::Tgd;
+
+/// Finds all homomorphisms from `atoms` into `instance` extending
+/// `seed`, by unindexed backtracking over decoded rows.
+pub fn all_homomorphisms(atoms: &[Atom], instance: &Instance, seed: &Subst) -> Vec<Subst> {
+    let mut out = Vec::new();
+    let order = plan(atoms, instance);
+    let mut subst = seed.clone();
+    search(&order, 0, instance, &mut subst, &mut |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+/// Returns `true` iff at least one homomorphism exists (early exit).
+pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance, seed: &Subst) -> bool {
+    let order = plan(atoms, instance);
+    let mut subst = seed.clone();
+    let mut found = false;
+    search(&order, 0, instance, &mut subst, &mut |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+/// Orders atoms greedily: smaller relations first, preferring atoms that
+/// share variables with already-placed atoms.
+fn plan<'a>(atoms: &'a [Atom], instance: &Instance) -> Vec<&'a Atom> {
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut order: Vec<&Atom> = Vec::with_capacity(atoms.len());
+    let mut bound: std::collections::HashSet<&Sym> = std::collections::HashSet::new();
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, a)| {
+                let size = instance.relation_size(&a.pred);
+                let connected = a.vars().any(|v| bound.contains(v));
+                // Strongly prefer connected atoms; among ties, small ones.
+                (if connected || bound.is_empty() { 0 } else { 1 }, size)
+            })
+            .expect("non-empty");
+        let atom = remaining.remove(idx);
+        for v in atom.vars() {
+            bound.insert(v);
+        }
+        order.push(atom);
+    }
+    order
+}
+
+/// Backtracking matcher. `emit` returns `false` to stop the search.
+fn search(
+    order: &[&Atom],
+    depth: usize,
+    instance: &Instance,
+    subst: &mut Subst,
+    emit: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    if depth == order.len() {
+        return emit(subst);
+    }
+    let atom = order[depth];
+    // Candidate rows: a first-argument probe when the leading position is
+    // already determined, otherwise the full relation.
+    let first_bound = atom.args.first().and_then(|arg| match arg {
+        AtomArg::Const(c) => Some(GroundTerm::Const(c.clone())),
+        AtomArg::Null(n) => Some(GroundTerm::Null(*n)),
+        AtomArg::Var(x) => subst.get(x).cloned(),
+    });
+    let rows: Vec<Vec<GroundTerm>> = match &first_bound {
+        Some(first) => instance.rows_with_first(&atom.pred, first).collect(),
+        None => instance.rows(&atom.pred).collect(),
+    };
+    'rows: for row in rows {
+        if row.len() != atom.args.len() {
+            continue;
+        }
+        let mut newly_bound: Vec<Sym> = Vec::new();
+        for (arg, val) in atom.args.iter().zip(row.iter()) {
+            let ok = match arg {
+                AtomArg::Const(c) => matches!(val, GroundTerm::Const(v) if v == c),
+                AtomArg::Null(n) => matches!(val, GroundTerm::Null(v) if v == n),
+                AtomArg::Var(x) => match subst.get(x) {
+                    Some(existing) => existing == val,
+                    None => {
+                        subst.insert(x.clone(), val.clone());
+                        newly_bound.push(x.clone());
+                        true
+                    }
+                },
+            };
+            if !ok {
+                for x in newly_bound {
+                    subst.remove(&x);
+                }
+                continue 'rows;
+            }
+        }
+        let keep_going = search(order, depth + 1, instance, subst, emit);
+        for x in newly_bound {
+            subst.remove(&x);
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs the restricted chase with full per-round re-scans (the original,
+/// pre-semi-naive strategy). Semantics match [`crate::chase::chase`]; the
+/// produced universal solutions may differ in null labels and in
+/// satisfied-trigger timing, but are homomorphically equivalent.
+pub fn chase(
+    mut instance: Instance,
+    tgds: &[Tgd],
+    config: &ChaseConfig,
+    mut null_counter: u64,
+) -> ChaseResult {
+    let start_nulls = null_counter;
+    let mut steps = 0usize;
+    let mut rounds = 0usize;
+
+    loop {
+        if rounds >= config.max_rounds {
+            return ChaseResult {
+                instance,
+                outcome: ChaseOutcome::RoundBudgetExhausted,
+                steps,
+                rounds,
+                nulls_created: null_counter - start_nulls,
+            };
+        }
+        rounds += 1;
+        let mut changed = false;
+
+        for tgd in tgds {
+            // Triggers are computed against the instance as it stood at
+            // the start of this TGD's turn; firing inserts immediately,
+            // and the satisfaction check always consults the live
+            // instance, making this a restricted (standard) chase.
+            let triggers = all_homomorphisms(tgd.body(), &instance, &Subst::new());
+            for trigger in triggers {
+                // Restricted chase: fire only if the head is not already
+                // satisfied by *some* extension of the trigger.
+                if exists_homomorphism(tgd.head(), &instance, &trigger) {
+                    continue;
+                }
+                // Extend the trigger with fresh nulls for existentials.
+                let mut extended = trigger.clone();
+                for z in tgd.existentials() {
+                    extended.insert(z, GroundTerm::Null(null_counter));
+                    null_counter += 1;
+                }
+                for head_atom in tgd.head() {
+                    let fact = crate::hom::apply(head_atom, &extended)
+                        .as_fact()
+                        .expect("extended trigger grounds the head");
+                    instance.insert(fact);
+                }
+                steps += 1;
+                changed = true;
+                if instance.len() > config.max_facts {
+                    return ChaseResult {
+                        instance,
+                        outcome: ChaseOutcome::FactBudgetExhausted,
+                        steps,
+                        rounds,
+                        nulls_created: null_counter - start_nulls,
+                    };
+                }
+            }
+        }
+
+        if !changed {
+            return ChaseResult {
+                instance,
+                outcome: ChaseOutcome::Fixpoint,
+                steps,
+                rounds,
+                nulls_created: null_counter - start_nulls,
+            };
+        }
+    }
+}
+
+/// The original string-keyed UCQ rewriting: canonicalisation sorts atoms
+/// by formatted string keys and the seen-set stores whole CQs in a
+/// `BTreeSet`. Same rewriting/factorisation steps as
+/// [`crate::rewrite::rewrite`]; property tests assert the produced UCQ
+/// sets are equal.
+pub fn rewrite(
+    query: &crate::rewrite::Cq,
+    tgds: &[Tgd],
+    config: &crate::rewrite::RewriteConfig,
+) -> crate::rewrite::RewriteResult {
+    use crate::rewrite::{normalize_single_head, Cq, RewriteResult};
+    use crate::term::AtomArg;
+    use std::collections::{BTreeSet, HashMap, VecDeque};
+
+    /// String-keyed canonicalisation (the original implementation).
+    fn canonical(cq: &Cq) -> Cq {
+        let mut cq = cq.clone();
+        for _ in 0..3 {
+            let key = |a: &Atom| {
+                let args: Vec<String> = a
+                    .args
+                    .iter()
+                    .map(|x| match x {
+                        AtomArg::Var(_) => "?".to_string(),
+                        AtomArg::Const(c) => format!("c:{c}"),
+                        AtomArg::Null(n) => format!("n:{n}"),
+                    })
+                    .collect();
+                (a.pred.clone(), args.join(","))
+            };
+            cq.body.sort_by_key(key);
+            let mut renaming: HashMap<Sym, Sym> = HashMap::new();
+            let mut fresh = 0usize;
+            let mut rename = |v: &Sym, renaming: &mut HashMap<Sym, Sym>| -> Sym {
+                renaming
+                    .entry(v.clone())
+                    .or_insert_with(|| {
+                        let name: Sym = format!("V{fresh}").into();
+                        fresh += 1;
+                        name
+                    })
+                    .clone()
+            };
+            let head: Vec<AtomArg> = cq
+                .head
+                .iter()
+                .map(|arg| match arg {
+                    AtomArg::Var(v) => AtomArg::Var(rename(v, &mut renaming)),
+                    other => other.clone(),
+                })
+                .collect();
+            let body: Vec<Atom> = cq
+                .body
+                .iter()
+                .map(|a| {
+                    Atom::new(
+                        a.pred.clone(),
+                        a.args
+                            .iter()
+                            .map(|arg| match arg {
+                                AtomArg::Var(v) => AtomArg::Var(rename(v, &mut renaming)),
+                                other => other.clone(),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let next = Cq { head, body };
+            if next == cq {
+                break;
+            }
+            cq = next;
+        }
+        cq.body.sort();
+        cq.body.dedup();
+        cq
+    }
+
+    let tgds = normalize_single_head(tgds);
+    let mut seen: BTreeSet<Cq> = BTreeSet::new();
+    let mut queue: VecDeque<(Cq, usize)> = VecDeque::new();
+    let start = canonical(query);
+    seen.insert(start.clone());
+    queue.push_back((start, 0));
+    let mut complete = true;
+    let mut fresh_rename = 0usize;
+
+    while let Some((cq, depth)) = queue.pop_front() {
+        if depth >= config.max_depth {
+            complete = false;
+            continue;
+        }
+        let mut successors: Vec<Cq> = Vec::new();
+        for tgd in &tgds {
+            let head_atom = &tgd.head()[0];
+            for (ai, atom) in cq.body.iter().enumerate() {
+                if atom.pred != head_atom.pred {
+                    continue;
+                }
+                fresh_rename += 1;
+                if let Some(succ) =
+                    crate::rewrite::resolve_step(&cq, tgd, head_atom, ai, fresh_rename)
+                {
+                    successors.push(succ);
+                }
+            }
+        }
+        successors.extend(crate::rewrite::factorisation_steps(&cq));
+
+        for succ in successors {
+            let canon = canonical(&succ);
+            if seen.contains(&canon) {
+                continue;
+            }
+            if seen.len() >= config.max_cqs {
+                complete = false;
+                break;
+            }
+            seen.insert(canon.clone());
+            queue.push_back((canon, depth + 1));
+        }
+    }
+
+    let explored = seen.len();
+    let cqs: Vec<Cq> = seen
+        .into_iter()
+        .filter(|cq| !cq.body.iter().any(|a| a.pred.starts_with("_aux")))
+        .collect();
+    RewriteResult {
+        cqs,
+        complete,
+        explored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::dsl::*;
+
+    #[test]
+    fn naive_hom_agrees_with_indexed() {
+        let inst: Instance = [
+            fact("e", &["a", "b"]),
+            fact("e", &["b", "c"]),
+            fact("e", &["c", "d"]),
+        ]
+        .into_iter()
+        .collect();
+        let body = [atom("e", &[v("x"), v("y")]), atom("e", &[v("y"), v("z")])];
+        let mut naive = all_homomorphisms(&body, &inst, &Subst::new());
+        let mut fast = crate::hom::all_homomorphisms(&body, &inst, &Subst::new());
+        let key = |s: &Subst| {
+            let mut pairs: Vec<_> = s.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            pairs.sort();
+            pairs
+        };
+        naive.sort_by_key(key);
+        fast.sort_by_key(key);
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn naive_chase_reaches_fixpoint() {
+        let tgd = Tgd::new(
+            vec![atom("src", &[v("x"), v("y")])],
+            vec![atom("dst", &[v("x"), v("y")])],
+        );
+        let inst: Instance = [fact("src", &["a", "b"])].into_iter().collect();
+        let r = chase(inst, &[tgd], &ChaseConfig::default(), 0);
+        assert!(r.is_complete());
+        assert!(r.instance.contains(&fact("dst", &["a", "b"])));
+    }
+}

@@ -68,103 +68,229 @@ impl Cq {
     }
 
     /// Evaluates this CQ over an instance (certain semantics = drop
-    /// null-containing tuples).
+    /// null-containing tuples). Matching, projection and deduplication
+    /// run at the id level; only the distinct tuples are decoded.
     pub fn evaluate(
         &self,
         instance: &crate::instance::Instance,
         certain: bool,
     ) -> BTreeSet<Vec<crate::term::GroundTerm>> {
-        use crate::hom::{all_homomorphisms, Subst};
         use crate::term::GroundTerm;
-        let mut out = BTreeSet::new();
-        for subst in all_homomorphisms(&self.body, instance, &Subst::new()) {
-            let tuple: Option<Vec<GroundTerm>> = self
-                .head
-                .iter()
-                .map(|arg| match arg {
-                    AtomArg::Var(v) => subst.get(v).cloned(),
-                    AtomArg::Const(c) => Some(GroundTerm::Const(c.clone())),
-                    AtomArg::Null(n) => Some(GroundTerm::Null(*n)),
-                })
-                .collect();
-            if let Some(tuple) = tuple {
-                if certain && tuple.iter().any(GroundTerm::is_null) {
-                    continue;
-                }
-                out.insert(tuple);
-            }
+        // Head literals are fixed across all result tuples: a labelled
+        // null in the head makes every tuple non-certain.
+        if certain && self.head.iter().any(|a| matches!(a, AtomArg::Null(_))) {
+            return BTreeSet::new();
         }
-        out
+        let compiled = crate::hom::compile(&self.body, instance);
+        if !compiled.satisfiable {
+            return BTreeSet::new();
+        }
+        // Variable head positions project from the environment; constant
+        // positions need no per-tuple work (and no dedup discrimination).
+        let var_slots: Vec<Option<u32>> = self
+            .head
+            .iter()
+            .map(|arg| match arg {
+                AtomArg::Var(v) => compiled.var_slot(v),
+                _ => None,
+            })
+            .collect();
+        // A head variable that does not occur in the body can never be
+        // bound: no tuple qualifies (matches the substitution semantics).
+        if self
+            .head
+            .iter()
+            .zip(&var_slots)
+            .any(|(arg, slot)| arg.is_var() && slot.is_none())
+        {
+            return BTreeSet::new();
+        }
+        let order = crate::hom::plan(&compiled.atoms, instance, None);
+        let mut env = vec![None; compiled.nvars()];
+        let mut keys: std::collections::HashSet<Vec<crate::instance::ValId>> =
+            std::collections::HashSet::new();
+        crate::hom::search(instance, &order, 0, None, &mut env, &mut |env| {
+            let tuple: Vec<crate::instance::ValId> = var_slots
+                .iter()
+                .flatten()
+                .map(|&s| env[s as usize].expect("body match binds all body vars"))
+                .collect();
+            if !(certain && tuple.iter().any(|&v| instance.values().is_null(v))) {
+                keys.insert(tuple);
+            }
+            true
+        });
+        keys.into_iter()
+            .map(|key| {
+                let mut vars = key.iter();
+                self.head
+                    .iter()
+                    .map(|arg| match arg {
+                        AtomArg::Var(_) => instance
+                            .values()
+                            .value(*vars.next().expect("one id per var position"))
+                            .clone(),
+                        AtomArg::Const(c) => GroundTerm::Const(c.clone()),
+                        AtomArg::Null(n) => GroundTerm::Null(*n),
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Canonicalises variable names for duplicate detection: sorts atoms
     /// by a name-insensitive key, then renames variables in order of first
-    /// appearance, iterating to a (cheap) fixpoint.
-    fn canonical(&self) -> Cq {
-        let mut cq = self.clone();
-        for _ in 0..3 {
-            // Sort atoms by shape (variables erased).
-            let key = |a: &Atom| {
-                let args: Vec<String> = a
-                    .args
-                    .iter()
-                    .map(|x| match x {
-                        AtomArg::Var(_) => "?".to_string(),
-                        AtomArg::Const(c) => format!("c:{c}"),
-                        AtomArg::Null(n) => format!("n:{n}"),
-                    })
-                    .collect();
-                (a.pred.clone(), args.join(","))
-            };
-            cq.body.sort_by_key(key);
-            // Rename in order of first appearance (head first, for
-            // stability of distinguished positions).
-            let mut renaming: HashMap<Sym, Sym> = HashMap::new();
-            let mut fresh = 0usize;
-            let mut rename = |v: &Sym, renaming: &mut HashMap<Sym, Sym>| -> Sym {
-                renaming
-                    .entry(v.clone())
-                    .or_insert_with(|| {
-                        let name: Sym = format!("V{fresh}").into();
-                        fresh += 1;
-                        name
-                    })
-                    .clone()
-            };
-            let head: Vec<AtomArg> = cq
-                .head
-                .iter()
-                .map(|arg| match arg {
-                    AtomArg::Var(v) => AtomArg::Var(rename(v, &mut renaming)),
-                    other => other.clone(),
-                })
-                .collect();
-            let body: Vec<Atom> = cq
-                .body
-                .iter()
-                .map(|a| {
-                    Atom::new(
-                        a.pred.clone(),
-                        a.args
-                            .iter()
-                            .map(|arg| match arg {
-                                AtomArg::Var(v) => AtomArg::Var(rename(v, &mut renaming)),
-                                other => other.clone(),
-                            })
-                            .collect(),
-                    )
-                })
-                .collect();
-            let next = Cq { head, body };
-            if next == cq {
-                break;
-            }
-            cq = next;
-        }
-        cq.body.sort();
-        cq.body.dedup();
-        cq
+    /// appearance, iterating to a (cheap) fixpoint. Deterministic in the
+    /// logical structure (variable names do not matter; the order of
+    /// shape-identical atoms does), so it can compare CQs across engines.
+    ///
+    /// The rewriting engine itself uses [`canonicalize`] with a shared
+    /// [`CanonCtx`] so that sort keys are interned ids, not freshly
+    /// formatted strings.
+    pub fn canonical(&self) -> Cq {
+        canonicalize(self, &mut CanonCtx::default()).0
     }
+}
+
+/// A run-level interner mapping predicate and constant symbols to dense
+/// ids, so canonical sort keys and seen-set keys are integer vectors
+/// instead of formatted strings.
+#[derive(Default)]
+struct CanonCtx {
+    syms: HashMap<Sym, u32>,
+    /// Cache of canonical variable names `V0`, `V1`, … — renaming clones
+    /// an `Arc` instead of formatting a fresh string per occurrence.
+    vnames: Vec<Sym>,
+}
+
+impl CanonCtx {
+    fn sym(&mut self, s: &Sym) -> u32 {
+        let next = self.syms.len() as u32;
+        *self.syms.entry(s.clone()).or_insert(next)
+    }
+
+    fn vname(&mut self, i: usize) -> Sym {
+        while self.vnames.len() <= i {
+            self.vnames.push(format!("V{}", self.vnames.len()).into());
+        }
+        self.vnames[i].clone()
+    }
+}
+
+/// Argument token for canonical keys: a `(tag, value)` pair. Variables
+/// are erased in *shape* keys (used for sorting) and numbered by first
+/// appearance in *identity* keys (used for the seen-set).
+const TAG_VAR: u64 = 0;
+const TAG_CONST: u64 = 1;
+const TAG_NULL: u64 = 2;
+
+/// Compares two atoms by *shape* — predicate and argument tokens with
+/// variables erased. Depends only on symbol content (never on interning
+/// or input order), so canonical forms are stable across calls and
+/// engines; no strings are formatted.
+fn shape_cmp(a: &Atom, b: &Atom) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let ord = a
+        .pred
+        .cmp(&b.pred)
+        .then_with(|| a.args.len().cmp(&b.args.len()));
+    if ord != Ordering::Equal {
+        return ord;
+    }
+    for (x, y) in a.args.iter().zip(b.args.iter()) {
+        let rank = |arg: &AtomArg| match arg {
+            AtomArg::Var(_) => 0u8,
+            AtomArg::Const(_) => 1,
+            AtomArg::Null(_) => 2,
+        };
+        let ord = rank(x).cmp(&rank(y)).then_with(|| match (x, y) {
+            (AtomArg::Const(c), AtomArg::Const(d)) => c.cmp(d),
+            (AtomArg::Null(n), AtomArg::Null(m)) => n.cmp(m),
+            _ => Ordering::Equal, // variables erased
+        });
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Canonicalises a CQ and computes its exact integer identity key.
+fn canonicalize(cq: &Cq, cx: &mut CanonCtx) -> (Cq, Vec<u64>) {
+    let mut cq = cq.clone();
+    for _ in 0..3 {
+        // Sort atoms by shape (variables erased).
+        cq.body.sort_by(shape_cmp);
+        // Rename in order of first appearance (head first, for
+        // stability of distinguished positions).
+        let mut renaming: HashMap<Sym, Sym> = HashMap::new();
+        let rename = |v: &Sym, renaming: &mut HashMap<Sym, Sym>, cx: &mut CanonCtx| -> Sym {
+            if let Some(n) = renaming.get(v) {
+                return n.clone();
+            }
+            let name = cx.vname(renaming.len());
+            renaming.insert(v.clone(), name.clone());
+            name
+        };
+        let head: Vec<AtomArg> = cq
+            .head
+            .iter()
+            .map(|arg| match arg {
+                AtomArg::Var(v) => AtomArg::Var(rename(v, &mut renaming, cx)),
+                other => other.clone(),
+            })
+            .collect();
+        let body: Vec<Atom> = cq
+            .body
+            .iter()
+            .map(|a| {
+                Atom::new(
+                    a.pred.clone(),
+                    a.args
+                        .iter()
+                        .map(|arg| match arg {
+                            AtomArg::Var(v) => AtomArg::Var(rename(v, &mut renaming, cx)),
+                            other => other.clone(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let next = Cq { head, body };
+        if next == cq {
+            break;
+        }
+        cq = next;
+    }
+    cq.body.sort();
+    cq.body.dedup();
+
+    // Exact identity key over the canonical form: head tokens, then per
+    // atom its predicate id and argument tokens, with canonical variables
+    // numbered by first appearance.
+    let mut var_nums: HashMap<Sym, u64> = HashMap::new();
+    let mut key: Vec<u64> = Vec::with_capacity(2 + 2 * cq.head.len() + 4 * cq.body.len());
+    let mut push_arg = |arg: &AtomArg, cx: &mut CanonCtx, key: &mut Vec<u64>| match arg {
+        AtomArg::Var(v) => {
+            let next = var_nums.len() as u64;
+            let n = *var_nums.entry(v.clone()).or_insert(next);
+            key.extend([TAG_VAR, n]);
+        }
+        AtomArg::Const(c) => key.extend([TAG_CONST, cx.sym(c) as u64]),
+        AtomArg::Null(n) => key.extend([TAG_NULL, *n]),
+    };
+    key.push(cq.head.len() as u64);
+    for arg in &cq.head {
+        push_arg(arg, cx, &mut key);
+    }
+    for atom in &cq.body {
+        key.push(u64::MAX); // atom separator (arity framing)
+        key.push(cx.sym(&atom.pred) as u64);
+        for arg in &atom.args {
+            push_arg(arg, cx, &mut key);
+        }
+    }
+    (cq, key)
 }
 
 impl fmt::Debug for Cq {
@@ -245,7 +371,24 @@ fn is_aux(atom: &Atom) -> bool {
 }
 
 /// A substitution produced by unification: variables map to arguments.
-type Unifier = HashMap<Sym, AtomArg>;
+/// Unifiers are tiny (one entry per unified position), so a linear-probe
+/// vector beats a hash map.
+#[derive(Default)]
+struct Unifier(Vec<(Sym, AtomArg)>);
+
+impl Unifier {
+    fn get(&self, v: &Sym) -> Option<&AtomArg> {
+        self.0.iter().find(|(k, _)| k == v).map(|(_, a)| a)
+    }
+
+    fn insert(&mut self, v: Sym, a: AtomArg) {
+        self.0.push((v, a));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
 
 fn resolve(arg: &AtomArg, u: &Unifier) -> AtomArg {
     let mut cur = arg.clone();
@@ -270,7 +413,7 @@ fn unify(a: &Atom, b: &Atom) -> Option<Unifier> {
     if a.pred != b.pred || a.args.len() != b.args.len() {
         return None;
     }
-    let mut u = Unifier::new();
+    let mut u = Unifier::default();
     for (x, y) in a.args.iter().zip(b.args.iter()) {
         let rx = resolve(x, &u);
         let ry = resolve(y, &u);
@@ -294,6 +437,125 @@ fn apply_unifier(atom: &Atom, u: &Unifier) -> Atom {
     )
 }
 
+/// One *rewriting step*: resolve body atom `ai` of `cq` against the head
+/// of `tgd` (renamed apart with suffix `fresh_rename`), subject to the
+/// applicability condition on existential variables. Shared by the
+/// optimised engine and the retained naive reference
+/// ([`crate::naive::rewrite`]) so the two differ only in
+/// canonicalisation and duplicate detection.
+pub(crate) fn resolve_step(
+    cq: &Cq,
+    tgd: &Tgd,
+    head_atom: &Atom,
+    ai: usize,
+    fresh_rename: usize,
+) -> Option<Cq> {
+    // Rename TGD variables apart. The head is renamed first and unified;
+    // the body and existentials are only materialised when unification
+    // succeeds (most attempts fail).
+    let rename = |a: &Atom| {
+        Atom::new(
+            a.pred.clone(),
+            a.args
+                .iter()
+                .map(|arg| match arg {
+                    AtomArg::Var(v) => AtomArg::var(format!("R{fresh_rename}_{v}")),
+                    other => other.clone(),
+                })
+                .collect(),
+        )
+    };
+    let head_r = rename(head_atom);
+    let atom = &cq.body[ai];
+    let u = unify(atom, &head_r)?;
+    let body_r: Vec<Atom> = tgd.body().iter().map(rename).collect();
+    let existentials_r: BTreeSet<Sym> = tgd
+        .existentials()
+        .iter()
+        .map(|z| Sym::from(format!("R{fresh_rename}_{z}")))
+        .collect();
+    // Applicability: each existential's unification class must contain no
+    // constant, no distinguished variable, and no query variable shared
+    // with the rest of the query — and distinct existentials must not be
+    // merged.
+    let head_vars = cq.head_vars();
+    let query_vars: BTreeSet<Sym> = cq
+        .body
+        .iter()
+        .flat_map(|a| a.vars().cloned())
+        .chain(head_vars.iter().cloned())
+        .collect();
+    let mut reps: Vec<AtomArg> = Vec::new();
+    let applicable = existentials_r.iter().all(|z| {
+        let rep = resolve(&AtomArg::Var(z.clone()), &u);
+        if !rep.is_var() {
+            return false; // unified with a constant/null
+        }
+        if reps.contains(&rep) {
+            return false; // two existentials merged
+        }
+        reps.push(rep.clone());
+        // Every query variable in the same class must be
+        // non-distinguished and local to the resolved atom.
+        query_vars.iter().all(|qv| {
+            if resolve(&AtomArg::Var(qv.clone()), &u) != rep {
+                return true;
+            }
+            if head_vars.contains(qv) {
+                return false;
+            }
+            let occ_elsewhere = cq
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(bi, _)| *bi != ai)
+                .flat_map(|(_, a)| a.args.iter())
+                .filter(|arg| arg.as_var() == Some(qv))
+                .count();
+            occ_elsewhere == 0
+        })
+    });
+    if !applicable {
+        return None;
+    }
+    let mut new_body: Vec<Atom> = cq
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(bi, _)| *bi != ai)
+        .map(|(_, a)| apply_unifier(a, &u))
+        .collect();
+    new_body.extend(body_r.iter().map(|a| apply_unifier(a, &u)));
+    let new_head: Vec<AtomArg> = cq.head.iter().map(|arg| resolve(arg, &u)).collect();
+    Some(Cq {
+        head: new_head,
+        body: new_body,
+    })
+}
+
+/// All *factorisation steps* of a CQ: unify pairs of same-predicate
+/// atoms. Always sound; needed for completeness when one chase-invented
+/// atom must cover several query atoms. Shared with the naive reference.
+pub(crate) fn factorisation_steps(cq: &Cq) -> Vec<Cq> {
+    let mut out = Vec::new();
+    for i in 0..cq.body.len() {
+        for j in (i + 1)..cq.body.len() {
+            if cq.body[i].pred != cq.body[j].pred {
+                continue;
+            }
+            if let Some(u) = unify(&cq.body[i], &cq.body[j]) {
+                if u.is_empty() {
+                    continue; // identical atoms; dedup handles it
+                }
+                let body: Vec<Atom> = cq.body.iter().map(|a| apply_unifier(a, &u)).collect();
+                let head: Vec<AtomArg> = cq.head.iter().map(|arg| resolve(arg, &u)).collect();
+                out.push(Cq { head, body });
+            }
+        }
+    }
+    out
+}
+
 /// Rewrites a CQ under a TGD set into a union of CQs.
 ///
 /// The input TGDs may have multi-atom heads (they are normalised
@@ -302,10 +564,17 @@ fn apply_unifier(atom: &Atom, u: &Unifier) -> Atom {
 /// expansion terminated (`complete == true`).
 pub fn rewrite(query: &Cq, tgds: &[Tgd], config: &RewriteConfig) -> RewriteResult {
     let tgds = normalize_single_head(tgds);
-    let mut seen: BTreeSet<Cq> = BTreeSet::new();
+    // The seen-set holds hashed canonical integer keys (variables
+    // numbered by appearance, symbols interned in `cx`), not CQ values:
+    // duplicate detection costs one Vec<u64> hash instead of a deep
+    // structural comparison against a tree of stored queries.
+    let mut cx = CanonCtx::default();
+    let mut seen: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+    let mut kept: Vec<Cq> = Vec::new();
     let mut queue: VecDeque<(Cq, usize)> = VecDeque::new();
-    let start = query.canonical();
-    seen.insert(start.clone());
+    let (start, start_key) = canonicalize(query, &mut cx);
+    seen.insert(start_key);
+    kept.push(start.clone());
     queue.push_back((start, 0));
     let mut complete = true;
     let mut fresh_rename = 0usize;
@@ -324,129 +593,33 @@ pub fn rewrite(query: &Cq, tgds: &[Tgd], config: &RewriteConfig) -> RewriteResul
                 if atom.pred != head_atom.pred {
                     continue;
                 }
-                // Rename TGD variables apart.
                 fresh_rename += 1;
-                let rename = |a: &Atom| {
-                    Atom::new(
-                        a.pred.clone(),
-                        a.args
-                            .iter()
-                            .map(|arg| match arg {
-                                AtomArg::Var(v) => {
-                                    AtomArg::var(format!("R{fresh_rename}_{v}"))
-                                }
-                                other => other.clone(),
-                            })
-                            .collect(),
-                    )
-                };
-                let head_r = rename(head_atom);
-                let body_r: Vec<Atom> = tgd.body().iter().map(rename).collect();
-                let existentials_r: BTreeSet<Sym> = tgd
-                    .existentials()
-                    .iter()
-                    .map(|z| Sym::from(format!("R{fresh_rename}_{z}")))
-                    .collect();
-
-                let Some(u) = unify(atom, &head_r) else {
-                    continue;
-                };
-                // Applicability: each existential's unification class must
-                // contain no constant, no distinguished variable, and no
-                // query variable shared with the rest of the query — and
-                // distinct existentials must not be merged.
-                let head_vars = cq.head_vars();
-                let query_vars: BTreeSet<Sym> = cq
-                    .body
-                    .iter()
-                    .flat_map(|a| a.vars().cloned())
-                    .chain(head_vars.iter().cloned())
-                    .collect();
-                let mut reps: Vec<AtomArg> = Vec::new();
-                let applicable = existentials_r.iter().all(|z| {
-                    let rep = resolve(&AtomArg::Var(z.clone()), &u);
-                    if !rep.is_var() {
-                        return false; // unified with a constant/null
-                    }
-                    if reps.contains(&rep) {
-                        return false; // two existentials merged
-                    }
-                    reps.push(rep.clone());
-                    // Every query variable in the same class must be
-                    // non-distinguished and local to the resolved atom.
-                    query_vars.iter().all(|qv| {
-                        if resolve(&AtomArg::Var(qv.clone()), &u) != rep {
-                            return true;
-                        }
-                        if head_vars.contains(qv) {
-                            return false;
-                        }
-                        let occ_elsewhere = cq
-                            .body
-                            .iter()
-                            .enumerate()
-                            .filter(|(bi, _)| *bi != ai)
-                            .flat_map(|(_, a)| a.args.iter())
-                            .filter(|arg| arg.as_var() == Some(qv))
-                            .count();
-                        occ_elsewhere == 0
-                    })
-                });
-                if !applicable {
-                    continue;
-                }
-                let mut new_body: Vec<Atom> = cq
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter(|(bi, _)| *bi != ai)
-                    .map(|(_, a)| apply_unifier(a, &u))
-                    .collect();
-                new_body.extend(body_r.iter().map(|a| apply_unifier(a, &u)));
-                let new_head: Vec<AtomArg> =
-                    cq.head.iter().map(|arg| resolve(arg, &u)).collect();
-                successors.push(Cq {
-                    head: new_head,
-                    body: new_body,
-                });
-            }
-        }
-
-        // Factorisation steps: unify pairs of same-predicate atoms.
-        for i in 0..cq.body.len() {
-            for j in (i + 1)..cq.body.len() {
-                if cq.body[i].pred != cq.body[j].pred {
-                    continue;
-                }
-                if let Some(u) = unify(&cq.body[i], &cq.body[j]) {
-                    if u.is_empty() {
-                        continue; // identical atoms; dedup handles it
-                    }
-                    let body: Vec<Atom> =
-                        cq.body.iter().map(|a| apply_unifier(a, &u)).collect();
-                    let head: Vec<AtomArg> =
-                        cq.head.iter().map(|arg| resolve(arg, &u)).collect();
-                    successors.push(Cq { head, body });
+                if let Some(succ) = resolve_step(&cq, tgd, head_atom, ai, fresh_rename) {
+                    successors.push(succ);
                 }
             }
         }
+
+        successors.extend(factorisation_steps(&cq));
 
         for succ in successors {
-            let canon = succ.canonical();
-            if seen.contains(&canon) {
+            let (canon, key) = canonicalize(&succ, &mut cx);
+            if seen.contains(&key) {
                 continue;
             }
             if seen.len() >= config.max_cqs {
                 complete = false;
                 break;
             }
-            seen.insert(canon.clone());
+            seen.insert(key);
+            kept.push(canon.clone());
             queue.push_back((canon, depth + 1));
         }
     }
 
     let explored = seen.len();
-    let cqs: Vec<Cq> = seen
+    kept.sort();
+    let cqs: Vec<Cq> = kept
         .into_iter()
         .filter(|cq| !cq.body.iter().any(is_aux))
         .collect();
@@ -598,10 +771,7 @@ mod tests {
         )];
         let q = Cq::new(
             &["x"],
-            vec![
-                atom("r", &[v("x"), v("y1")]),
-                atom("r", &[v("x"), v("y2")]),
-            ],
+            vec![atom("r", &[v("x"), v("y1")]), atom("r", &[v("x"), v("y2")])],
         );
         let data: Instance = [fact("p", &["a"])].into_iter().collect();
         let r = rewrite(&q, &tgds, &RewriteConfig::default());
@@ -616,10 +786,7 @@ mod tests {
         // p(x) → q(x,z) ∧ r(z, x): multi-atom head.
         let tgds = vec![Tgd::new(
             vec![atom("p", &[v("x")])],
-            vec![
-                atom("q", &[v("x"), v("z")]),
-                atom("r", &[v("z"), v("x")]),
-            ],
+            vec![atom("q", &[v("x"), v("z")]), atom("r", &[v("z"), v("x")])],
         )];
         let norm = normalize_single_head(&tgds);
         assert_eq!(norm.len(), 3);
@@ -643,10 +810,7 @@ mod tests {
         // Proposition 3's witness: A(x,z) ∧ A(z,y) → A(x,y) is not
         // FO-rewritable; the expansion keeps producing longer chains.
         let tgds = vec![Tgd::new(
-            vec![
-                atom("A", &[v("x"), v("z")]),
-                atom("A", &[v("z"), v("y")]),
-            ],
+            vec![atom("A", &[v("x"), v("z")]), atom("A", &[v("z"), v("y")])],
             vec![atom("A", &[v("x"), v("y")])],
         )];
         let q = Cq::new(&["x", "y"], vec![atom("A", &[v("x"), v("y")])]);
@@ -717,5 +881,31 @@ mod tests {
         let a = Cq::new(&["x"], vec![atom("r", &[v("x"), v("y")])]);
         let b = Cq::new(&["u"], vec![atom("r", &[v("u"), v("w")])]);
         assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn canonicalisation_is_input_order_independent() {
+        // Same logical CQ presented with different atom orders and
+        // variable names must canonicalise identically — the shape sort
+        // depends on symbol content, not first-appearance interning.
+        let a = Cq::boolean(vec![
+            atom("q", &[v("y"), v("z")]),
+            atom("p", &[v("z"), v("y")]),
+        ]);
+        let b = Cq::boolean(vec![
+            atom("p", &[v("b"), v("a")]),
+            atom("q", &[v("a"), v("b")]),
+        ]);
+        assert_eq!(a.canonical(), b.canonical());
+        // And constants order by content, not by interning order.
+        let q1 = Cq::boolean(vec![
+            atom("r", &[c("zz"), v("x")]),
+            atom("r", &[c("aa"), v("x")]),
+        ]);
+        let q2 = Cq::boolean(vec![
+            atom("r", &[c("aa"), v("u")]),
+            atom("r", &[c("zz"), v("u")]),
+        ]);
+        assert_eq!(q1.canonical(), q2.canonical());
     }
 }

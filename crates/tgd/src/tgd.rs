@@ -52,13 +52,19 @@ impl Tgd {
     /// The frontier: body variables that also appear in the head.
     pub fn frontier(&self) -> BTreeSet<Sym> {
         let hv = self.head_vars();
-        self.body_vars().into_iter().filter(|v| hv.contains(v)).collect()
+        self.body_vars()
+            .into_iter()
+            .filter(|v| hv.contains(v))
+            .collect()
     }
 
     /// The existential variables: head variables not in the body.
     pub fn existentials(&self) -> BTreeSet<Sym> {
         let bv = self.body_vars();
-        self.head_vars().into_iter().filter(|v| !bv.contains(v)).collect()
+        self.head_vars()
+            .into_iter()
+            .filter(|v| !bv.contains(v))
+            .collect()
     }
 
     /// `true` iff the TGD is *linear* (single body atom).

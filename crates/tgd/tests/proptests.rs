@@ -1,116 +1,391 @@
-//! Property-based tests for the data-exchange substrate: chase
-//! soundness/fixpoint laws and rewriting soundness/perfection.
+//! Randomised property tests for the data-exchange substrate.
+//!
+//! Two families:
+//!
+//! * **laws** — chase soundness/fixpoint and rewriting
+//!   soundness/perfection (as in the original suite);
+//! * **engine agreement** — the interned, delta-driven engine
+//!   (`rps_tgd::hom`, `rps_tgd::chase`, `rps_tgd::rewrite`) against the
+//!   retained naive reference (`rps_tgd::naive`) on random TGD sets and
+//!   instances: homomorphism sets equal; chase results homomorphically
+//!   equivalent universal solutions with equal certain answers (and equal
+//!   instances for full TGD sets); rewriting UCQ sets equal up to
+//!   canonical renaming and extensionally equivalent.
+//!
+//! Seeded SplitMix64 case generation stands in for `proptest` (no
+//! crates.io access in the build container).
 
-use proptest::prelude::*;
 use rps_tgd::{
-    chase, rewrite, satisfies, Atom, AtomArg, ChaseConfig, Cq, Fact, GroundTerm, Instance,
-    RewriteConfig, Tgd,
+    chase, naive, rewrite, satisfies, Atom, AtomArg, ChaseConfig, Cq, Fact, GroundTerm, Instance,
+    RewriteConfig, Subst, Tgd,
 };
+use std::collections::BTreeSet;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
 
 fn c(i: usize) -> GroundTerm {
     GroundTerm::constant(format!("k{i}"))
 }
 
-prop_compose! {
-    fn arb_instance()(
-        rows in prop::collection::vec((0usize..6, 0usize..6), 0..20)
-    ) -> Instance {
-        rows.into_iter()
-            .map(|(a, b)| Fact::new("r", vec![c(a), c(b)]))
-            .collect()
+fn arb_instance(rng: &mut Rng, max_rows: usize) -> Instance {
+    let mut inst = Instance::new();
+    for _ in 0..rng.below(max_rows) {
+        inst.insert(Fact::new("r", vec![c(rng.below(6)), c(rng.below(6))]));
     }
+    // A sprinkle of unary facts and pre-existing nulls exercises
+    // mixed-arity relations and null handling.
+    for _ in 0..rng.below(4) {
+        inst.insert(Fact::new("p", vec![c(rng.below(6))]));
+    }
+    if rng.below(3) == 0 {
+        inst.insert(Fact::new(
+            "r",
+            vec![c(rng.below(6)), GroundTerm::Null(900 + rng.below(3) as u64)],
+        ));
+    }
+    inst
 }
 
-/// A pool of single-head linear TGD shapes over binary predicates r, s, t.
-fn arb_linear_tgds() -> impl Strategy<Value = Vec<Tgd>> {
-    let shapes = prop_oneof![
+/// A pool of terminating TGD shapes over r/2, s/2, t/2, p/1: linear
+/// copies and swaps, an existential projection, a transitive-closure
+/// rule, and a multi-atom-head existential.
+fn tgd_pool() -> Vec<Tgd> {
+    use rps_tgd::term::dsl::{atom, v};
+    vec![
         // copy r -> s
-        Just(Tgd::new(
-            vec![Atom::new("r", vec![AtomArg::var("x"), AtomArg::var("y")])],
-            vec![Atom::new("s", vec![AtomArg::var("x"), AtomArg::var("y")])],
-        )),
+        Tgd::new(
+            vec![atom("r", &[v("x"), v("y")])],
+            vec![atom("s", &[v("x"), v("y")])],
+        ),
         // swap r -> s
-        Just(Tgd::new(
-            vec![Atom::new("r", vec![AtomArg::var("x"), AtomArg::var("y")])],
-            vec![Atom::new("s", vec![AtomArg::var("y"), AtomArg::var("x")])],
-        )),
+        Tgd::new(
+            vec![atom("r", &[v("x"), v("y")])],
+            vec![atom("s", &[v("y"), v("x")])],
+        ),
         // project + existential: r -> t(x, z)
-        Just(Tgd::new(
-            vec![Atom::new("r", vec![AtomArg::var("x"), AtomArg::var("y")])],
-            vec![Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("z")])],
-        )),
+        Tgd::new(
+            vec![atom("r", &[v("x"), v("y")])],
+            vec![atom("t", &[v("x"), v("z")])],
+        ),
         // s -> t
-        Just(Tgd::new(
-            vec![Atom::new("s", vec![AtomArg::var("x"), AtomArg::var("y")])],
-            vec![Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("y")])],
-        )),
-    ];
-    prop::collection::vec(shapes, 0..4)
+        Tgd::new(
+            vec![atom("s", &[v("x"), v("y")])],
+            vec![atom("t", &[v("x"), v("y")])],
+        ),
+        // transitive closure of r (full, multi-atom body)
+        Tgd::new(
+            vec![atom("r", &[v("x"), v("z")]), atom("r", &[v("z"), v("y")])],
+            vec![atom("r", &[v("x"), v("y")])],
+        ),
+        // multi-atom head with a shared existential
+        Tgd::new(
+            vec![atom("p", &[v("x")])],
+            vec![atom("q", &[v("x"), v("z")]), atom("t", &[v("z"), v("x")])],
+        ),
+    ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_tgds(rng: &mut Rng) -> Vec<Tgd> {
+    let pool = tgd_pool();
+    (0..rng.below(5))
+        .map(|_| pool[rng.below(pool.len())].clone())
+        .collect()
+}
 
-    #[test]
-    fn chase_reaches_satisfying_fixpoint(inst in arb_instance(), tgds in arb_linear_tgds()) {
+/// Only the single-head linear shapes — the family for which the
+/// rewriting is guaranteed perfect (Proposition 2).
+fn arb_linear_tgds(rng: &mut Rng) -> Vec<Tgd> {
+    let pool = tgd_pool();
+    (0..rng.below(4))
+        .map(|_| pool[rng.below(4)].clone())
+        .collect()
+}
+
+fn subst_key(s: &Subst) -> Vec<(String, String)> {
+    let mut pairs: Vec<(String, String)> = s
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    pairs.sort();
+    pairs
+}
+
+/// All predicates appearing in an instance or TGD set.
+fn predicates(inst: &Instance, tgds: &[Tgd]) -> BTreeSet<(String, usize)> {
+    let mut out: BTreeSet<(String, usize)> = inst
+        .iter()
+        .map(|f| (f.pred.to_string(), f.args.len()))
+        .collect();
+    for tgd in tgds {
+        for a in tgd.body().iter().chain(tgd.head()) {
+            out.insert((a.pred.to_string(), a.arity()));
+        }
+    }
+    out
+}
+
+/// Certain answers of the identity CQ over every predicate.
+fn certain_by_pred(
+    inst: &Instance,
+    preds: &BTreeSet<(String, usize)>,
+) -> Vec<BTreeSet<Vec<GroundTerm>>> {
+    preds
+        .iter()
+        .map(|(p, arity)| {
+            let vars: Vec<String> = (0..*arity).map(|i| format!("v{i}")).collect();
+            let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+            let body = vec![Atom::new(
+                p.as_str(),
+                vars.iter().map(|v| AtomArg::var(v.as_str())).collect(),
+            )];
+            Cq::new(&var_refs, body).evaluate(inst, true)
+        })
+        .collect()
+}
+
+/// The whole instance as one conjunction, nulls turned into variables —
+/// `A` maps homomorphically into `B` iff this conjunction matches `B`.
+fn as_atoms(inst: &Instance) -> Vec<Atom> {
+    inst.iter()
+        .map(|f| {
+            Atom::new(
+                f.pred.clone(),
+                f.args
+                    .iter()
+                    .map(|g| match g {
+                        GroundTerm::Const(c) => AtomArg::Const(c.clone()),
+                        GroundTerm::Null(n) => AtomArg::var(format!("n{n}")),
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn hom_equivalent(a: &Instance, b: &Instance) -> bool {
+    rps_tgd::exists_homomorphism(&as_atoms(a), b, &Subst::new())
+        && rps_tgd::exists_homomorphism(&as_atoms(b), a, &Subst::new())
+}
+
+const CASES: u64 = 64;
+
+// ---------------------------------------------------------------- laws
+
+#[test]
+fn chase_reaches_satisfying_fixpoint() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let inst = arb_instance(rng, 20);
+        let tgds = arb_tgds(rng);
         let r = chase(inst.clone(), &tgds, &ChaseConfig::default(), 1_000);
-        prop_assert!(r.is_complete());
-        prop_assert!(satisfies(&r.instance, &tgds));
+        assert!(r.is_complete(), "seed {seed}");
+        assert!(satisfies(&r.instance, &tgds), "seed {seed}");
         // The chase only adds facts.
         for f in inst.iter() {
-            prop_assert!(r.instance.contains(&f));
+            assert!(r.instance.contains(&f), "seed {seed}");
         }
         // Chasing again is a no-op.
         let r2 = chase(r.instance.clone(), &tgds, &ChaseConfig::default(), 2_000);
-        prop_assert_eq!(r.instance.len(), r2.instance.len());
+        assert_eq!(r.instance.len(), r2.instance.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn rewriting_is_sound_and_perfect_for_linear_tgds(
-        inst in arb_instance(),
-        tgds in arb_linear_tgds(),
-    ) {
+#[test]
+fn rewriting_is_sound_and_perfect_for_linear_tgds() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let inst = arb_instance(rng, 20);
+        let tgds = arb_linear_tgds(rng);
         // Query over the "end" predicate t so that rewriting has to walk
         // through the TGD chain.
         let q = Cq::new(
             &["x"],
             vec![Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("y")])],
         );
-        let r = rewrite(&q, &tgds, &RewriteConfig { max_depth: 20, max_cqs: 50_000 });
-        prop_assert!(r.complete);
+        let r = rewrite(
+            &q,
+            &tgds,
+            &RewriteConfig {
+                max_depth: 20,
+                max_cqs: 50_000,
+            },
+        );
+        assert!(r.complete, "seed {seed}");
         let rewritten = rps_tgd::evaluate_union(&r.cqs, &inst);
 
         let chased = chase(inst.clone(), &tgds, &ChaseConfig::default(), 10_000);
-        prop_assert!(chased.is_complete());
+        assert!(chased.is_complete(), "seed {seed}");
         let reference = q.evaluate(&chased.instance, true);
-        prop_assert_eq!(rewritten, reference);
+        assert_eq!(rewritten, reference, "seed {seed}");
     }
+}
 
-    #[test]
-    fn marking_is_deterministic(tgds in arb_linear_tgds()) {
+#[test]
+fn marking_is_deterministic() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let tgds = arb_tgds(rng);
         let m1 = rps_tgd::marking(&tgds);
         let m2 = rps_tgd::marking(&tgds);
-        prop_assert_eq!(m1.marked, m2.marked);
-        prop_assert_eq!(m1.marked_positions, m2.marked_positions);
-        // Linear single-head TGD sets here are all sticky.
-        prop_assert!(rps_tgd::is_sticky(&tgds) || tgds.is_empty() || !tgds.is_empty());
+        assert_eq!(m1.marked, m2.marked);
+        assert_eq!(m1.marked_positions, m2.marked_positions);
     }
+}
 
-    #[test]
-    fn classification_is_monotone_under_union_for_violations(
-        tgds in arb_linear_tgds(),
-    ) {
+#[test]
+fn classification_is_monotone_under_union_for_violations() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let tgds = arb_linear_tgds(rng);
         // Adding the known non-sticky witness makes any set non-sticky.
         use rps_tgd::term::dsl::{atom, v};
         let witness = Tgd::new(
-            vec![
-                atom("w", &[v("x"), v("z")]),
-                atom("w", &[v("z"), v("y")]),
-            ],
+            vec![atom("w", &[v("x"), v("z")]), atom("w", &[v("z"), v("y")])],
             vec![atom("w2", &[v("x"), v("y")])],
         );
         let mut with = tgds.clone();
         with.push(witness);
-        prop_assert!(!rps_tgd::is_sticky(&with));
+        assert!(!rps_tgd::is_sticky(&with), "seed {seed}");
+    }
+}
+
+// ---------------------------------------- naive vs optimised agreement
+
+#[test]
+fn hom_search_agrees_with_naive() {
+    use rps_tgd::term::dsl::{atom, v};
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let inst = arb_instance(rng, 20);
+        let bodies: Vec<Vec<Atom>> = vec![
+            vec![atom("r", &[v("x"), v("y")])],
+            vec![atom("r", &[v("x"), v("y")]), atom("r", &[v("y"), v("z")])],
+            vec![atom("r", &[v("x"), v("x")])],
+            vec![atom("r", &[v("x"), v("y")]), atom("p", &[v("x")])],
+            vec![
+                atom("r", &[v("x"), v("y")]),
+                atom("r", &[v("y"), v("z")]),
+                atom("r", &[v("z"), v("x")]),
+            ],
+            vec![atom(
+                "r",
+                &[AtomArg::constant(format!("k{}", rng.below(6))), v("y")],
+            )],
+        ];
+        for body in &bodies {
+            let mut fast: Vec<_> = rps_tgd::all_homomorphisms(body, &inst, &Subst::new())
+                .iter()
+                .map(subst_key)
+                .collect();
+            let mut slow: Vec<_> = naive::all_homomorphisms(body, &inst, &Subst::new())
+                .iter()
+                .map(subst_key)
+                .collect();
+            fast.sort();
+            slow.sort();
+            assert_eq!(fast, slow, "seed {seed}, body {body:?}");
+            assert_eq!(
+                rps_tgd::exists_homomorphism(body, &inst, &Subst::new()),
+                naive::exists_homomorphism(body, &inst, &Subst::new()),
+                "seed {seed}, body {body:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chase_agrees_with_naive() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let inst = arb_instance(rng, 12);
+        let tgds = arb_tgds(rng);
+        let fast = chase(inst.clone(), &tgds, &ChaseConfig::default(), 1_000);
+        let slow = naive::chase(inst.clone(), &tgds, &ChaseConfig::default(), 1_000);
+        assert!(fast.is_complete(), "seed {seed}");
+        assert!(slow.is_complete(), "seed {seed}");
+        assert!(satisfies(&fast.instance, &tgds), "seed {seed}");
+        assert!(satisfies(&slow.instance, &tgds), "seed {seed}");
+
+        // Universal solutions of the same problem: homomorphically
+        // equivalent (restricted-chase firing order may differ, so exact
+        // isomorphism is not guaranteed in the presence of existentials).
+        assert!(
+            hom_equivalent(&fast.instance, &slow.instance),
+            "seed {seed}: chase results not homomorphically equivalent"
+        );
+
+        // Equal certain answers for every predicate's identity CQ.
+        let preds = predicates(&inst, &tgds);
+        assert_eq!(
+            certain_by_pred(&fast.instance, &preds),
+            certain_by_pred(&slow.instance, &preds),
+            "seed {seed}: certain answers differ"
+        );
+
+        // For full TGD sets the least model is unique: exact equality.
+        if tgds.iter().all(Tgd::is_full) {
+            assert_eq!(fast.instance, slow.instance, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn rewriting_agrees_with_naive() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let inst = arb_instance(rng, 20);
+        let tgds = arb_linear_tgds(rng);
+        let q = Cq::new(
+            &["x"],
+            vec![Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("y")])],
+        );
+        let cfg = RewriteConfig {
+            max_depth: 20,
+            max_cqs: 50_000,
+        };
+        let fast = rewrite(&q, &tgds, &cfg);
+        let slow = naive::rewrite(&q, &tgds, &cfg);
+        assert_eq!(fast.complete, slow.complete, "seed {seed}");
+        // Equal UCQ sets up to canonical renaming.
+        let fa: BTreeSet<Cq> = fast.cqs.iter().map(Cq::canonical).collect();
+        let sa: BTreeSet<Cq> = slow.cqs.iter().map(Cq::canonical).collect();
+        assert_eq!(fa, sa, "seed {seed}: UCQ sets differ");
+        // And extensionally equivalent on the random instance.
+        assert_eq!(
+            rps_tgd::evaluate_union(&fast.cqs, &inst),
+            rps_tgd::evaluate_union(&slow.cqs, &inst),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn datalog_fixpoint_agrees_with_naive_chase_on_full_sets() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let inst = arb_instance(rng, 12);
+        let tgds: Vec<Tgd> = arb_tgds(rng).into_iter().filter(Tgd::is_full).collect();
+        if tgds.is_empty() {
+            continue;
+        }
+        let program = rps_tgd::Program::compile(&tgds).expect("full TGDs");
+        let (model, _) = program.fixpoint(inst.clone());
+        let slow = naive::chase(inst, &tgds, &ChaseConfig::default(), 1_000);
+        assert!(slow.is_complete(), "seed {seed}");
+        assert_eq!(model, slow.instance, "seed {seed}");
     }
 }

@@ -24,13 +24,17 @@ fn main() {
         Term::iri(format!("{}Toby_Maguire", rps_lodgen::paper::DB1)),
         Term::literal("39"),
     ];
-    println!("#Boolean query: ask if the tuple ({}, {}) is in the result.", tuple[0], tuple[1]);
+    println!(
+        "#Boolean query: ask if the tuple ({}, {}) is in the result.",
+        tuple[0], tuple[1]
+    );
 
     // Substitute the tuple into the free variables -> Boolean query.
     let free = ex.query.free_vars().to_vec();
-    let bound = ex.query.pattern().substitute(&|v: &Variable| {
-        free.iter().position(|f| f == v).map(|i| tuple[i].clone())
-    });
+    let bound = ex
+        .query
+        .pattern()
+        .substitute(&|v: &Variable| free.iter().position(|f| f == v).map(|i| tuple[i].clone()));
     let ask = Query::Ask(UnionQuery::new(vec![], vec![bound.clone()]));
     println!("\n{}", to_sparql(&ask, &ex.prefixes));
 

@@ -14,7 +14,10 @@ fn report(name: &str, tgds: &[Tgd]) {
         c.linear, c.sticky, c.sticky_join, c.guarded, c.weakly_acyclic, c.fo_rewritable()
     );
     for (i, var) in sticky_violations(tgds) {
-        println!("{:34}violation: TGD #{i}, marked variable ?{var} occurs twice in the body", "");
+        println!(
+            "{:34}violation: TGD #{i}, marked variable ?{var} occurs twice in the body",
+            ""
+        );
     }
 }
 
@@ -50,7 +53,10 @@ fn main() {
     println!();
     let tc = transitive_system(4);
     let tc_de = encode_system(&tc);
-    report("transitive closure (Prop. 3)", &tc_de.mapping_tgds_unguarded);
+    report(
+        "transitive closure (Prop. 3)",
+        &tc_de.mapping_tgds_unguarded,
+    );
 
     // Generated film workloads: chain mappings are linear; hub-style
     // star mappings have existential conclusions but stay FO-rewritable.

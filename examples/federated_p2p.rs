@@ -49,10 +49,16 @@ fn main() {
     println!("\n== federated execution ==");
     println!("  UNION branches evaluated : {}", result.branches);
     println!("  sub-queries dispatched   : {}", result.stats.subqueries);
-    println!("  peers contacted (max)    : {}", result.stats.peers_contacted);
+    println!(
+        "  peers contacted (max)    : {}",
+        result.stats.peers_contacted
+    );
     println!("  messages exchanged       : {}", result.stats.messages);
     println!("  bytes moved              : {}", result.stats.bytes);
-    println!("  binding tuples received  : {}", result.stats.tuples_received);
+    println!(
+        "  binding tuples received  : {}",
+        result.stats.tuples_received
+    );
     println!("  simulated makespan       : {:.1} ms", result.makespan_ms);
     println!("  answers                  : {}", result.answers.len());
     assert!(result.complete, "chain mappings rewrite exhaustively");

@@ -61,7 +61,10 @@ fn main() {
     let t1 = Instant::now();
     let (ans_rw, route) = rw.answer(&query);
     let rw_time = t1.elapsed();
-    println!("\nrewrite: route {route:?}, {} answers in {rw_time:?}", ans_rw.len());
+    println!(
+        "\nrewrite: route {route:?}, {} answers in {rw_time:?}",
+        ans_rw.len()
+    );
 
     assert_eq!(
         ans_mat.tuples, ans_rw.tuples,

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example mapping_discovery`
 
 use rps_core::{
-    certain_answers, chase_system, discover, evaluate_discovery, DatalogEngine,
-    DiscoveryConfig, RpsChaseConfig,
+    certain_answers, chase_system, discover, evaluate_discovery, DatalogEngine, DiscoveryConfig,
+    RpsChaseConfig,
 };
 use rps_lodgen::{chain, people_workload, PeopleConfig};
 
@@ -34,7 +34,10 @@ fn main() {
         quality.proposed, quality.precision, quality.recall
     );
     for c in candidates.iter().take(3) {
-        println!("  e.g. {}  (score {:.2}, {} shared literals)", c.mapping, c.score, c.shared);
+        println!(
+            "  e.g. {}  (score {:.2}, {} shared literals)",
+            c.mapping, c.score, c.shared
+        );
     }
 
     // Install the discovered mappings and integrate.

@@ -15,11 +15,21 @@ fn main() {
 
     println!("== RDF Peer System (Example 2) ==");
     for (i, peer) in ex.system.peers().iter().enumerate() {
-        println!("  peer {i}: {:12} {:3} triples, schema of {} IRIs",
-            peer.name, peer.size(), peer.schema.len());
+        println!(
+            "  peer {i}: {:12} {:3} triples, schema of {} IRIs",
+            peer.name,
+            peer.size(),
+            peer.schema.len()
+        );
     }
-    println!("  graph mapping assertions: {}", ex.system.assertions().len());
-    println!("  equivalence mappings (from owl:sameAs): {}", ex.system.equivalences().len());
+    println!(
+        "  graph mapping assertions: {}",
+        ex.system.assertions().len()
+    );
+    println!(
+        "  equivalence mappings (from owl:sameAs): {}",
+        ex.system.equivalences().len()
+    );
 
     println!("\n== Example 1 query ==\n  {}", ex.query_text);
 
@@ -27,7 +37,10 @@ fn main() {
     // entail the sameAs links or the actor/starring mapping.
     let stored = ex.system.stored_database();
     let raw = evaluate_query(&stored, &ex.query, Semantics::Certain);
-    println!("\nOver the raw stored data: {} answers (the paper: \"returns an empty result\")", raw.len());
+    println!(
+        "\nOver the raw stored data: {} answers (the paper: \"returns an empty result\")",
+        raw.len()
+    );
     assert!(raw.is_empty());
 
     // Algorithm 1: chase to a universal solution.

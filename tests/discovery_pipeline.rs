@@ -4,8 +4,8 @@
 //! on a mixed system.
 
 use rps_core::{
-    certain_answers, chase_system, discover, evaluate_discovery, DatalogEngine,
-    DiscoveryConfig, RpsChaseConfig,
+    certain_answers, chase_system, discover, evaluate_discovery, DatalogEngine, DiscoveryConfig,
+    RpsChaseConfig,
 };
 use rps_lodgen::{chain, people_workload, PeopleConfig};
 use rps_query::{GraphPattern, GraphPatternQuery, Semantics, TermOrVar, Variable};
@@ -128,7 +128,11 @@ fn pattern_queries_after_integration_respect_blank_semantics() {
     let sol = chase_system(&sys, &RpsChaseConfig::default());
     let q = GraphPatternQuery::new(
         vec![Variable::new("s")],
-        GraphPattern::triple(TermOrVar::var("s"), TermOrVar::var("p"), TermOrVar::var("o")),
+        GraphPattern::triple(
+            TermOrVar::var("s"),
+            TermOrVar::var("p"),
+            TermOrVar::var("o"),
+        ),
     );
     for t in rps_query::evaluate_query(&sol.graph, &q, Semantics::Certain) {
         assert!(t.iter().all(|x| !x.is_blank()));

@@ -69,10 +69,7 @@ fn materialisation_is_cached_across_queries() {
     // The second query reuses the cached universal solution; it must not
     // re-run the chase. Allow generous slack for timer noise: reuse is
     // orders of magnitude cheaper, so 2x covers jitter comfortably.
-    assert!(
-        second <= first * 2,
-        "second {second:?} vs first {first:?}"
-    );
+    assert!(second <= first * 2, "second {second:?} vs first {first:?}");
 }
 
 #[test]

@@ -45,8 +45,7 @@ fn plain_federation_equals_centralised_pattern_eval() {
     let query = actor_shape_query(2, false);
     let mut net = SimNetwork::new();
     let (fed, stats) = engine.evaluate_query(&query, Semantics::Certain, &mut net);
-    let central =
-        rps_query::evaluate_query(&sys.stored_database(), &query, Semantics::Certain);
+    let central = rps_query::evaluate_query(&sys.stored_database(), &query, Semantics::Certain);
     assert_eq!(fed, central);
     // The actor predicate of peer 2 is peer-2-local: routing contacts
     // exactly one peer.

@@ -49,9 +49,10 @@ fn e3_listing2_boolean_rewriting() {
 
     // Before rewriting: the ASK over the stored data is false.
     let free = ex.query.free_vars().to_vec();
-    let bound = ex.query.pattern().substitute(&|v| {
-        free.iter().position(|f| f == v).map(|i| tuple[i].clone())
-    });
+    let bound = ex
+        .query
+        .pattern()
+        .substitute(&|v| free.iter().position(|f| f == v).map(|i| tuple[i].clone()));
     assert!(!rps_query::has_match(&ex.system.stored_database(), &bound));
 
     // After rewriting: true.

@@ -1,4 +1,4 @@
-//! Cross-crate property-based tests (proptest) on the system's core
+//! Cross-crate randomised property tests on the system's core
 //! invariants:
 //!
 //! * the chase always produces a solution (Definition 2) and is
@@ -6,13 +6,15 @@
 //! * union-find equivalence saturation ≡ the naïve Algorithm 1 repairs;
 //! * UCQ rewritings are sound at any depth and perfect once complete;
 //! * certain answers never contain blank nodes.
+//!
+//! Cases are generated from a seeded SplitMix64 stream (`rps_lodgen::rng`)
+//! rather than `proptest`, which is unavailable offline.
 
-use proptest::prelude::*;
 use rps_core::{
-    canonicalize_graph, certain_answers, chase_system, expand_answers, is_solution,
-    saturate_naive, EquivalenceIndex, EquivalenceMapping, Peer, RdfPeerSystem, RpsChaseConfig,
-    RpsRewriter,
+    canonicalize_graph, certain_answers, chase_system, expand_answers, is_solution, saturate_naive,
+    EquivalenceIndex, EquivalenceMapping, Peer, RdfPeerSystem, RpsChaseConfig, RpsRewriter,
 };
+use rps_lodgen::rng::SeededRng;
 use rps_query::{evaluate_query, GraphPattern, GraphPatternQuery, Semantics, TermOrVar, Variable};
 use rps_rdf::{Graph, Iri, Term};
 use rps_tgd::RewriteConfig;
@@ -22,46 +24,43 @@ fn iri_pool() -> Vec<String> {
     (0..8).map(|i| format!("http://u/{i}")).collect()
 }
 
-prop_compose! {
-    /// A random graph over the IRI pool: up to 20 triples, occasionally a
-    /// literal object or a blank subject.
-    fn arb_graph()(
-        triples in prop::collection::vec((0usize..8, 0usize..8, 0usize..10), 0..20)
-    ) -> Graph {
-        let pool = iri_pool();
-        let mut g = Graph::new();
-        for (s, p, o) in triples {
-            let subject = if s == 7 {
-                Term::blank(format!("b{s}"))
-            } else {
-                Term::iri(pool[s].clone())
-            };
-            let object = if o >= 8 {
-                Term::literal(format!("lit{o}"))
-            } else {
-                Term::iri(pool[o].clone())
-            };
-            let _ = g.insert_terms(subject, Term::iri(pool[p].clone()), object);
-        }
-        g
+/// A random graph over the IRI pool: up to 20 triples, occasionally a
+/// literal object or a blank subject.
+fn arb_graph(rng: &mut SeededRng) -> Graph {
+    let pool = iri_pool();
+    let mut g = Graph::new();
+    for _ in 0..rng.gen_range(0..20) {
+        let (s, p, o) = (
+            rng.gen_range(0..8),
+            rng.gen_range(0..8),
+            rng.gen_range(0..10),
+        );
+        let subject = if s == 7 {
+            Term::blank(format!("b{s}"))
+        } else {
+            Term::iri(pool[s].clone())
+        };
+        let object = if o >= 8 {
+            Term::literal(format!("lit{o}"))
+        } else {
+            Term::iri(pool[o].clone())
+        };
+        let _ = g.insert_terms(subject, Term::iri(pool[p].clone()), object);
     }
+    g
 }
 
-prop_compose! {
-    /// A random set of equivalence mappings over the pool.
-    fn arb_equivalences()(
-        pairs in prop::collection::vec((0usize..8, 0usize..8), 0..5)
-    ) -> Vec<EquivalenceMapping> {
-        let pool = iri_pool();
-        pairs
-            .into_iter()
-            .filter(|(a, b)| a != b)
-            .map(|(a, b)| EquivalenceMapping::new(
-                Iri::new(pool[a].clone()),
-                Iri::new(pool[b].clone()),
-            ))
-            .collect()
-    }
+/// A random set of equivalence mappings over the pool.
+fn arb_equivalences(rng: &mut SeededRng) -> Vec<EquivalenceMapping> {
+    let pool = iri_pool();
+    (0..rng.gen_range(0..5))
+        .filter_map(|_| {
+            let (a, b) = (rng.gen_range(0..8), rng.gen_range(0..8));
+            (a != b).then(|| {
+                EquivalenceMapping::new(Iri::new(pool[a].clone()), Iri::new(pool[b].clone()))
+            })
+        })
+        .collect()
 }
 
 /// A generic 2-variable query over a pool predicate.
@@ -76,19 +75,22 @@ fn pool_query(p: usize) -> GraphPatternQuery {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn chase_produces_solutions(g in arb_graph(), eqs in arb_equivalences()) {
+#[test]
+fn chase_produces_solutions() {
+    for seed in 0..CASES {
+        let rng = &mut SeededRng::seed_from_u64(seed);
+        let g = arb_graph(rng);
+        let eqs = arb_equivalences(rng);
         let mut sys = RdfPeerSystem::new();
         sys.add_peer(Peer::from_database("p", g));
         for e in eqs {
             sys.add_equivalence(e);
         }
         let sol = chase_system(&sys, &RpsChaseConfig::default());
-        prop_assert!(sol.complete);
-        prop_assert!(is_solution(&sys, &sol.graph));
+        assert!(sol.complete, "seed {seed}");
+        assert!(is_solution(&sys, &sol.graph), "seed {seed}");
         // Idempotence: chasing the solution adds nothing.
         let mut sys2 = RdfPeerSystem::new();
         sys2.add_peer(Peer::from_database("p", sol.graph.clone()));
@@ -96,15 +98,17 @@ proptest! {
             sys2.add_equivalence(e.clone());
         }
         let sol2 = chase_system(&sys2, &RpsChaseConfig::default());
-        prop_assert_eq!(sol.graph.len(), sol2.graph.len());
+        assert_eq!(sol.graph.len(), sol2.graph.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn unionfind_equals_naive_saturation(
-        g in arb_graph(),
-        eqs in arb_equivalences(),
-        p in 0usize..8,
-    ) {
+#[test]
+fn unionfind_equals_naive_saturation() {
+    for seed in 0..CASES {
+        let rng = &mut SeededRng::seed_from_u64(seed);
+        let g = arb_graph(rng);
+        let eqs = arb_equivalences(rng);
+        let p = rng.gen_range(0..8);
         let index = EquivalenceIndex::from_mappings(&eqs);
         let naive = saturate_naive(&g, &eqs);
 
@@ -124,15 +128,17 @@ proptest! {
         let expanded = expand_answers(&canon_ans, &index);
 
         let naive_ans = evaluate_query(&naive, &pool_query(p), Semantics::Star);
-        prop_assert_eq!(expanded, naive_ans);
+        assert_eq!(expanded, naive_ans, "seed {seed}");
     }
+}
 
-    #[test]
-    fn certain_answers_never_contain_blanks(
-        g in arb_graph(),
-        eqs in arb_equivalences(),
-        p in 0usize..8,
-    ) {
+#[test]
+fn certain_answers_never_contain_blanks() {
+    for seed in 0..CASES {
+        let rng = &mut SeededRng::seed_from_u64(seed);
+        let g = arb_graph(rng);
+        let eqs = arb_equivalences(rng);
+        let p = rng.gen_range(0..8);
         let mut sys = RdfPeerSystem::new();
         sys.add_peer(Peer::from_database("p", g));
         for e in eqs {
@@ -141,16 +147,18 @@ proptest! {
         let sol = chase_system(&sys, &RpsChaseConfig::default());
         let ans = certain_answers(&sol, &pool_query(p));
         for t in &ans.tuples {
-            prop_assert!(t.iter().all(|x| !x.is_blank()));
+            assert!(t.iter().all(|x| !x.is_blank()), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn rewriting_is_sound_and_complete_for_equivalence_systems(
-        g in arb_graph(),
-        eqs in arb_equivalences(),
-        p in 0usize..8,
-    ) {
+#[test]
+fn rewriting_is_sound_and_complete_for_equivalence_systems() {
+    for seed in 0..CASES {
+        let rng = &mut SeededRng::seed_from_u64(seed);
+        let g = arb_graph(rng);
+        let eqs = arb_equivalences(rng);
+        let p = rng.gen_range(0..8);
         // Equivalence-only systems are linear+sticky, so the rewriting is
         // perfect (Proposition 2) — compare against the chase.
         let mut sys = RdfPeerSystem::new();
@@ -170,12 +178,15 @@ proptest! {
         let chased = certain_answers(&sol, &pool_query(p));
 
         let mut rw = RpsRewriter::new(&sys);
-        prop_assert!(rw.fo_rewritable());
+        assert!(rw.fo_rewritable(), "seed {seed}");
         let (ans, complete) = rw.answers(
             &pool_query(p),
-            &RewriteConfig { max_depth: 30, max_cqs: 60_000 },
+            &RewriteConfig {
+                max_depth: 30,
+                max_cqs: 60_000,
+            },
         );
-        prop_assert!(complete);
-        prop_assert_eq!(ans.tuples, chased.tuples);
+        assert!(complete, "seed {seed}");
+        assert_eq!(ans.tuples, chased.tuples, "seed {seed}");
     }
 }

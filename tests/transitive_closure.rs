@@ -41,11 +41,7 @@ fn depth_k_rewriting_covers_exactly_bounded_chains() {
     // Each rewriting step unfolds one 2-hop TGD application, extending
     // the coverable chain length by exactly one edge: depth k covers
     // chains of length ≤ k + 1.
-    for (depth, reachable, unreachable) in [
-        (1usize, 2usize, 3usize),
-        (2, 3, 4),
-        (3, 4, 5),
-    ] {
+    for (depth, reachable, unreachable) in [(1usize, 2usize, 3usize), (2, 3, 4), (3, 4, 5)] {
         let cfg = RewriteConfig {
             max_depth: depth,
             max_cqs: 50_000,
