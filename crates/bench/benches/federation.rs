@@ -41,11 +41,17 @@ fn main() {
             seed: 6,
         };
         let sys = film_system(&cfg);
-        let engine = FederatedEngine::new(&sys);
+        let mut engine = FederatedEngine::new(&sys);
         let query = actor_shape_query(5, false);
-        bench(&format!("federated_query/{label}"), 10, || {
+        let prepared = engine.prepare_query(&query);
+        bench(&format!("federated_query/id/{label}"), 10, || {
             let mut net = SimNetwork::new();
-            let (ans, _) = engine.evaluate_query(&query, Semantics::Certain, &mut net);
+            let (ans, _) = engine.execute(&prepared, Semantics::Certain, &mut net);
+            ans.len()
+        });
+        bench(&format!("federated_query/term/{label}"), 10, || {
+            let mut net = SimNetwork::new();
+            let (ans, _) = engine.evaluate_query_term_level(&query, Semantics::Certain, &mut net);
             ans.len()
         });
     }

@@ -152,6 +152,10 @@ fn main() {
         let fracs: &[f64] = if quick { &[0.3] } else { &[0.1, 0.3, 0.5, 0.8] };
         run("e11", &mut || e11_discovery(fracs));
     }
+    if want("e12") {
+        let peers: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16] };
+        run("e12", &mut || e12_federation(peers));
+    }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
     for t in &timed {

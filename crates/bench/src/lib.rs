@@ -629,6 +629,85 @@ pub fn e10_datalog(chain_lengths: &[usize]) -> Table {
     }
 }
 
+/// E12 — the federation redesign: id-level *prepared* federated
+/// execution (answer dictionary + per-peer id translation + hash joins
+/// on dense ids) vs the retained term-level baseline (per-peer pattern
+/// re-compilation, owned-term bindings, nested-loop mapping joins), per
+/// peer count. The prepared plan is compiled once and executed
+/// repeatedly, so the id column is the steady-state per-query cost.
+pub fn e12_federation(peer_counts: &[usize]) -> Table {
+    use rps_p2p::{FederatedEngine, SimNetwork};
+    use rps_query::Semantics;
+    const REPS: u32 = 7;
+    let mut rows = Vec::new();
+    for &peers in peer_counts {
+        let cfg = FilmConfig {
+            peers,
+            films_per_peer: 60,
+            actors_per_film: 3,
+            person_pool: 80,
+            sameas_per_pair: 2,
+            topology: Topology::Chain,
+            hub_style: false,
+            seed: 12,
+        };
+        let sys = film_system(&cfg);
+        let query = actor_shape_query(peers - 1, false);
+        let mut engine = FederatedEngine::new(&sys);
+
+        let t0 = Instant::now();
+        let prepared = engine.prepare_query(&query);
+        let prepare_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut id_answers = std::collections::BTreeSet::new();
+        for _ in 0..REPS {
+            let mut net = SimNetwork::new();
+            let (ids, _) = engine.execute(&prepared, Semantics::Certain, &mut net);
+            id_answers = ids;
+        }
+        let id_time = t1.elapsed() / REPS;
+        let id_decoded = engine.decode(&id_answers);
+
+        let t2 = Instant::now();
+        let mut term_answers = std::collections::BTreeSet::new();
+        for _ in 0..REPS {
+            let mut net = SimNetwork::new();
+            let (terms, _) = engine.evaluate_query_term_level(&query, Semantics::Certain, &mut net);
+            term_answers = terms;
+        }
+        let term_time = t2.elapsed() / REPS;
+
+        rows.push(vec![
+            peers.to_string(),
+            sys.stored_size().to_string(),
+            id_decoded.len().to_string(),
+            (id_decoded == term_answers).to_string(),
+            ms(prepare_time),
+            ms(id_time),
+            ms(term_time),
+            format!(
+                "{:.1}x",
+                term_time.as_secs_f64() / id_time.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    Table {
+        title: "E12 — federation: id-level prepared execution vs term-level baseline".into(),
+        headers: vec![
+            "peers".into(),
+            "stored".into(),
+            "answers".into(),
+            "paths agree".into(),
+            "prepare ms".into(),
+            "id exec ms".into(),
+            "term exec ms".into(),
+            "speedup".into(),
+        ],
+        rows,
+    }
+}
+
 /// E11 — future-work item 3: automatic mapping discovery quality on the
 /// people-deduplication workload, sweeping the duplicate fraction.
 pub fn e11_discovery(duplicate_fractions: &[f64]) -> Table {
@@ -690,6 +769,14 @@ mod tests {
         let recall: f64 = t.rows[0][4].parse().unwrap();
         assert!(precision >= 0.9);
         assert!(recall >= 0.9);
+    }
+
+    #[test]
+    fn e12_paths_agree() {
+        let t = e12_federation(&[2, 4]);
+        for row in &t.rows {
+            assert_eq!(row[3], "true", "id and term federation paths agree");
+        }
     }
 
     #[test]

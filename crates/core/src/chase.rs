@@ -42,7 +42,7 @@ use rps_rdf::{Graph, Term, TermId, TriplePosition};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Budgets for an RPS chase run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RpsChaseConfig {
     /// Maximum number of rounds (full passes over all mappings).
     pub max_rounds: usize,
@@ -144,7 +144,12 @@ pub fn chase_system(system: &RdfPeerSystem, config: &RpsChaseConfig) -> Universa
         // the delta form of the `subjQ*`/`predQ*`/`objQ*` repairs.
         if !eq_adj.is_empty() {
             while eq_mark < graph.log_len() {
-                let t = graph.log_since(eq_mark)[0];
+                let Some(t) = graph.log_entry(eq_mark) else {
+                    // Tombstoned by a removal; chase graphs only grow, but
+                    // the log contract allows skipping dead entries.
+                    eq_mark += 1;
+                    continue;
+                };
                 eq_mark += 1;
                 for pos in TriplePosition::ALL {
                     let from_id = t.get(pos);

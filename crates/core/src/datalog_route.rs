@@ -101,17 +101,17 @@ impl DatalogEngine {
     }
 }
 
+/// Crate-internal test fixtures: the transitive-closure chain system
+/// (the Proposition 3 workload) reimplemented locally to avoid a
+/// dev-dependency cycle with `rps-lodgen`. Shared by this module's tests
+/// and the [`crate::session`] tests.
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
-    use crate::chase::{chase_system, RpsChaseConfig};
     use crate::peer::Peer;
-    use crate::PeerId;
+    use rps_query::{GraphPattern, TermOrVar, Variable};
 
-    fn tc_system(len: usize) -> RdfPeerSystem {
-        // Reimplement the chain fixture locally to avoid a dev-dependency
-        // cycle with rps-lodgen.
-        use rps_query::{GraphPattern, TermOrVar, Variable};
+    pub(crate) fn transitive_system(len: usize) -> RdfPeerSystem {
         let pred = Term::iri("http://c/A");
         let node = |i: usize| Term::iri(format!("http://c/n{i}"));
         let mut g = rps_rdf::Graph::new();
@@ -147,8 +147,7 @@ mod tests {
         sys
     }
 
-    fn edge_query() -> GraphPatternQuery {
-        use rps_query::{GraphPattern, TermOrVar, Variable};
+    pub(crate) fn edge_query() -> GraphPatternQuery {
         GraphPatternQuery::new(
             vec![Variable::new("x"), Variable::new("y")],
             GraphPattern::triple(
@@ -158,6 +157,14 @@ mod tests {
             ),
         )
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::{edge_query, transitive_system as tc_system};
+    use super::*;
+    use crate::chase::{chase_system, RpsChaseConfig};
+    use crate::PeerId;
 
     #[test]
     fn datalog_equals_chase_on_transitive_closure() {

@@ -1,28 +1,22 @@
-//! High-level engine facade: choose between materialisation (Algorithm 1)
-//! and rewriting (Section 4) per query or automatically.
+//! The legacy engine facade, kept as a thin shim over [`Session`].
+//!
+//! **Deprecated in favour of [`crate::Session`]**: the `Session` /
+//! [`crate::PreparedQuery`] / [`crate::AnswerStream`] API unifies the
+//! configuration plumbing, prepares queries once for repeated execution,
+//! streams answers, and reports failures as typed [`crate::RpsError`]s.
+//! `RpsEngine` remains for callers that depend on its historical
+//! behaviour (in particular: answering over an *incomplete* universal
+//! solution when the chase budget runs out, rather than erroring).
+
+pub use crate::session::Strategy;
 
 use crate::answers::{certain_answers, AnswerSet};
-use crate::chase::{chase_system, RpsChaseConfig, UniversalSolution};
+use crate::chase::{RpsChaseConfig, UniversalSolution};
 use crate::equivalence::EquivalenceIndex;
-use crate::rewriting::RpsRewriter;
+use crate::session::{EngineConfig, Session};
 use crate::system::RdfPeerSystem;
 use rps_query::GraphPatternQuery;
 use rps_tgd::RewriteConfig;
-
-/// Query-answering strategy.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum Strategy {
-    /// Materialise the universal solution once (Algorithm 1) and evaluate
-    /// queries over it. Amortises well under high query rates.
-    Materialise,
-    /// Rewrite each query into a UCQ over the sources (Proposition 2).
-    /// No materialisation; pays per query.
-    Rewrite,
-    /// Use rewriting when the mapping TGDs are FO-rewritable, otherwise
-    /// materialise.
-    #[default]
-    Auto,
-}
 
 /// How a query was actually answered.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,95 +25,91 @@ pub enum AnswerRoute {
     Materialised,
     /// Evaluated through a (complete) UCQ rewriting.
     Rewritten,
+    /// Evaluated over a semi-naive Datalog least model.
+    Datalog,
 }
 
-/// The engine: owns a system, lazily materialises, caches the rewriter.
+/// The legacy engine: owns a [`Session`] and reproduces the historical
+/// `answer` contract. Prefer [`Session`] in new code.
 pub struct RpsEngine {
-    system: RdfPeerSystem,
-    strategy: Strategy,
-    chase_config: RpsChaseConfig,
-    rewrite_config: RewriteConfig,
-    solution: Option<UniversalSolution>,
-    rewriter: Option<RpsRewriter>,
-    equivalence_index: EquivalenceIndex,
+    session: Session,
 }
 
 impl RpsEngine {
     /// Creates an engine with the default (Auto) strategy.
     pub fn new(system: RdfPeerSystem) -> Self {
-        let equivalence_index = EquivalenceIndex::from_mappings(system.equivalences());
         RpsEngine {
-            system,
-            strategy: Strategy::default(),
-            chase_config: RpsChaseConfig::default(),
-            rewrite_config: RewriteConfig::default(),
-            solution: None,
-            rewriter: None,
-            equivalence_index,
+            session: Session::new(system, EngineConfig::default()),
         }
     }
 
     /// Sets the strategy.
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
+        self.session.config_mut().strategy = strategy;
         self
     }
 
     /// Overrides the chase budgets.
     pub fn with_chase_config(mut self, config: RpsChaseConfig) -> Self {
-        self.chase_config = config;
+        self.session.config_mut().chase = config;
         self
     }
 
     /// Overrides the rewriting budgets.
     pub fn with_rewrite_config(mut self, config: RewriteConfig) -> Self {
-        self.rewrite_config = config;
+        self.session.config_mut().rewrite = config;
         self
     }
 
     /// The underlying system.
     pub fn system(&self) -> &RdfPeerSystem {
-        &self.system
+        self.session.system()
     }
 
     /// The union-find index over the system's equivalence mappings.
     pub fn equivalence_index(&self) -> &EquivalenceIndex {
-        &self.equivalence_index
+        self.session.equivalence_index()
     }
 
-    /// The materialised universal solution, chasing on first use.
+    /// The materialised universal solution, chasing on first use. Unlike
+    /// [`Session::universal_solution`], an incomplete solution is
+    /// returned as-is (check its `complete` flag).
     pub fn universal_solution(&mut self) -> &UniversalSolution {
-        if self.solution.is_none() {
-            self.solution = Some(chase_system(&self.system, &self.chase_config));
-        }
-        self.solution.as_ref().expect("just materialised")
-    }
-
-    fn rewriter(&mut self) -> &mut RpsRewriter {
-        if self.rewriter.is_none() {
-            self.rewriter = Some(RpsRewriter::new(&self.system));
-        }
-        self.rewriter.as_mut().expect("just built")
+        self.session.universal_solution_lenient();
+        // Re-borrow through the cache to return a plain reference.
+        self.session.cached_solution().expect("just materialised")
     }
 
     /// Answers a query, returning the certain answers and the route
-    /// taken.
+    /// taken. Historical contract: an incomplete rewriting falls back to
+    /// materialisation, and an over-budget chase still yields (possibly
+    /// partial) answers instead of an error.
     pub fn answer(&mut self, query: &GraphPatternQuery) -> (AnswerSet, AnswerRoute) {
-        let use_rewriting = match self.strategy {
-            Strategy::Materialise => false,
+        if self.session.config().strategy == Strategy::Datalog {
+            // Honour the Datalog route when the system supports it (full
+            // graph mapping assertions); otherwise stay lenient and fall
+            // through to materialisation.
+            if let Ok(prepared) = self.session.prepare(query) {
+                if let Ok(stream) = self.session.execute(&prepared) {
+                    return (stream.into_set(), AnswerRoute::Datalog);
+                }
+            }
+        }
+        let use_rewriting = match self.session.config().strategy {
+            Strategy::Materialise | Strategy::Datalog => false,
             Strategy::Rewrite => true,
-            Strategy::Auto => self.rewriter().fo_rewritable(),
+            Strategy::Auto => self.session.rewriter_mut().fo_rewritable(),
         };
         if use_rewriting {
-            let cfg = self.rewrite_config.clone();
-            let (answers, complete) = self.rewriter().answers(query, &cfg);
+            let cfg = self.session.config().rewrite.clone();
+            let (answers, complete) = self.session.rewriter_mut().answers(query, &cfg);
             if complete {
                 return (answers, AnswerRoute::Rewritten);
             }
             // Incomplete rewriting is unsound to trust: fall back.
         }
-        let sol = self.universal_solution();
-        (certain_answers(sol, query), AnswerRoute::Materialised)
+        let sol = self.session.universal_solution_lenient();
+        (certain_answers(&sol, query), AnswerRoute::Materialised)
     }
 
     /// Answers and removes equivalence-induced redundancy (Listing 1's
@@ -129,7 +119,10 @@ impl RpsEngine {
         query: &GraphPatternQuery,
     ) -> (AnswerSet, AnswerRoute) {
         let (ans, route) = self.answer(query);
-        (ans.without_redundancy(&self.equivalence_index), route)
+        (
+            ans.without_redundancy(self.session.equivalence_index()),
+            route,
+        )
     }
 }
 
@@ -195,7 +188,7 @@ mod tests {
         let mut engine = RpsEngine::new(linear_system());
         let (ans, route) = engine.answer(&cast_query());
         assert_eq!(route, AnswerRoute::Rewritten);
-        assert_eq!(ans.len(), 4); // (f1,p1), (f1,p2)? no — see below
+        assert_eq!(ans.len(), 4);
     }
 
     #[test]
@@ -220,6 +213,69 @@ mod tests {
         for t in &lean.tuples {
             assert!(!t.is_empty());
         }
+    }
+
+    #[test]
+    fn datalog_strategy_takes_datalog_route_when_full() {
+        let sys = crate::datalog_route::tests_support::transitive_system(10);
+        let mut engine = RpsEngine::new(sys).with_strategy(Strategy::Datalog);
+        let (ans, route) = engine.answer(&crate::datalog_route::tests_support::edge_query());
+        assert_eq!(route, AnswerRoute::Datalog);
+        assert_eq!(ans.len(), 55);
+        // A system with existential conclusions cannot take the Datalog
+        // route; the shim stays lenient and materialises instead.
+        let mut a = PeerId(0);
+        let mut b = PeerId(0);
+        let premise = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
+        );
+        let conclusion = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/starring"),
+                TermOrVar::var("z"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("z"),
+                TermOrVar::iri("http://a/artist"),
+                TermOrVar::var("y"),
+            )),
+        );
+        let sys = RpsBuilder::new()
+            .peer_turtle(
+                "A",
+                "<http://a/f> <http://a/starring> <http://a/c> .\n\
+                 <http://a/c> <http://a/artist> <http://a/p> .",
+                &mut a,
+            )
+            .unwrap()
+            .peer_turtle(
+                "B",
+                "<http://b/f2> <http://b/actor> <http://b/p2> .",
+                &mut b,
+            )
+            .unwrap()
+            .assertion(b, a, premise, conclusion)
+            .unwrap()
+            .build();
+        let mut lenient = RpsEngine::new(sys).with_strategy(Strategy::Datalog);
+        let starring = GraphPatternQuery::new(
+            vec![v("x")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/starring"),
+                TermOrVar::var("z"),
+            ),
+        );
+        let (ans, route) = lenient.answer(&starring);
+        assert_eq!(route, AnswerRoute::Materialised);
+        assert_eq!(ans.len(), 2); // a/f plus the fired b/f2
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The unified error type of the answering API.
+//!
+//! Earlier revisions of this crate signalled failure in four different
+//! ways: panics (arity mismatches), `Option`s (budget overflows),
+//! bespoke error enums per layer (validation, mappings, Datalog
+//! compilation) and silent flags (`complete: false` on otherwise normal
+//! results). [`RpsError`] is the single surface the [`crate::Session`]
+//! façade reports all of them through.
+
+use crate::mapping::MappingError;
+use crate::system::SystemValidationError;
+use rps_rdf::RdfError;
+use rps_tgd::DatalogError;
+use std::fmt;
+
+/// Everything that can go wrong while building a [`crate::Session`] or
+/// answering a query through it.
+#[derive(Debug)]
+pub enum RpsError {
+    /// The peer system failed validation (storage constraints, mapping
+    /// schemas, unknown peers).
+    Validation(SystemValidationError),
+    /// A mapping assertion was malformed.
+    Mapping(MappingError),
+    /// An RDF-level failure (Turtle parsing, invalid triple positions).
+    Rdf(RdfError),
+    /// The chase exhausted its budget before reaching a fixpoint, so no
+    /// sound universal solution exists to answer over. Raise the budgets
+    /// in [`crate::EngineConfig::chase`].
+    ChaseBudget {
+        /// Rounds executed before giving up.
+        rounds: usize,
+        /// Triples materialised before giving up.
+        triples: usize,
+    },
+    /// Datalog routing was requested for a system whose graph mapping
+    /// assertions are not full (existential conclusions need the chase).
+    NotDatalog(DatalogError),
+    /// The `Q*` (blank-keeping) semantics is only available through the
+    /// materialised route; rewriting and Datalog routing compute certain
+    /// answers.
+    StarNeedsMaterialisation,
+    /// A prepared query was executed on a session other than the one
+    /// that prepared it. Compiled plans reference their session's caches
+    /// and dictionaries, so they are not transferable.
+    SessionMismatch,
+    /// A candidate tuple's arity does not match the query's.
+    Arity {
+        /// The query arity.
+        expected: usize,
+        /// The tuple arity supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpsError::Validation(e) => write!(f, "system validation failed: {e}"),
+            RpsError::Mapping(e) => write!(f, "malformed mapping: {e}"),
+            RpsError::Rdf(e) => write!(f, "RDF error: {e}"),
+            RpsError::ChaseBudget { rounds, triples } => write!(
+                f,
+                "chase budget exhausted after {rounds} rounds / {triples} triples \
+                 without reaching a fixpoint"
+            ),
+            RpsError::NotDatalog(e) => {
+                write!(f, "system is not expressible as a Datalog program: {e}")
+            }
+            RpsError::StarNeedsMaterialisation => write!(
+                f,
+                "Q* (blank-keeping) semantics requires the materialised route"
+            ),
+            RpsError::SessionMismatch => write!(
+                f,
+                "prepared query was compiled by a different session; re-prepare it here"
+            ),
+            RpsError::Arity { expected, got } => {
+                write!(
+                    f,
+                    "arity mismatch: query has {expected} free variables, tuple has {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpsError {}
+
+impl From<SystemValidationError> for RpsError {
+    fn from(e: SystemValidationError) -> Self {
+        RpsError::Validation(e)
+    }
+}
+
+impl From<MappingError> for RpsError {
+    fn from(e: MappingError) -> Self {
+        RpsError::Mapping(e)
+    }
+}
+
+impl From<RdfError> for RpsError {
+    fn from(e: RdfError) -> Self {
+        RpsError::Rdf(e)
+    }
+}
+
+impl From<DatalogError> for RpsError {
+    fn from(e: DatalogError) -> Self {
+        RpsError::NotDatalog(e)
+    }
+}

@@ -22,8 +22,10 @@
 //!   Proposition 3 ([`rewriting`]),
 //! * a union-find fast path for equivalence saturation used as an
 //!   engineering ablation ([`equivalence`]),
-//! * a high-level [`engine::RpsEngine`] facade choosing between
-//!   materialisation and rewriting.
+//! * the unified answering façade — [`session::Session`],
+//!   [`session::PreparedQuery`], streaming [`session::AnswerStream`]
+//!   results and the typed [`error::RpsError`] — plus the legacy
+//!   [`engine::RpsEngine`] shim kept for its historical contract.
 
 #![warn(missing_docs)]
 
@@ -34,9 +36,11 @@ pub mod discovery;
 pub mod encode;
 pub mod engine;
 pub mod equivalence;
+pub mod error;
 pub mod mapping;
 pub mod peer;
 pub mod rewriting;
+pub mod session;
 pub mod system;
 
 pub use answers::{certain_answers, certain_answers_union, AnswerSet};
@@ -46,9 +50,11 @@ pub use discovery::{
     discover, evaluate as evaluate_discovery, Candidate, DiscoveryConfig, DiscoveryQuality,
 };
 pub use encode::{encode_system, graph_as_tt, query_to_cq, DataExchange, Encoder};
-pub use engine::{AnswerRoute, RpsEngine, Strategy};
+pub use engine::{AnswerRoute, RpsEngine};
 pub use equivalence::{canonicalize_graph, expand_answers, saturate_naive, EquivalenceIndex};
+pub use error::RpsError;
 pub use mapping::{EquivalenceMapping, GraphMappingAssertion, MappingError};
 pub use peer::{Peer, PeerId, PeerValidationError};
 pub use rewriting::{cq_to_pattern, RpsRewriter, RpsRewriting};
+pub use session::{AnswerStream, EngineConfig, ExecRoute, PreparedQuery, Session, Strategy};
 pub use system::{RdfPeerSystem, RpsBuilder, SystemValidationError};

@@ -265,19 +265,26 @@ impl RpsRewriter {
         }
     }
 
-    /// Rewrites and evaluates a query over the stored database via the
-    /// *combined* route (quotient for equivalences, UCQ rewriting for
-    /// graph mappings). Returns the answers and whether the rewriting
-    /// was exhaustive.
-    pub fn answers(&mut self, query: &GraphPatternQuery, cfg: &RewriteConfig) -> (AnswerSet, bool) {
-        let rewriting = self.rewrite_canonical(query, cfg);
+    /// Evaluates a previously-computed *canonical* rewriting (see
+    /// [`Self::rewrite_canonical`]) over the canonical stored database,
+    /// decoding the relational tuples and expanding them back over the
+    /// equivalence classes. Rewrite once, evaluate repeatedly.
+    pub fn evaluate_canonical(&self, rewriting: &RpsRewriting) -> BTreeSet<Vec<Term>> {
         let tuples = rps_tgd::evaluate_union(&rewriting.cqs, &self.canon_stored_tt);
         let enc = &self.exchange.encoder;
         let decoded: BTreeSet<Vec<Term>> = tuples
             .iter()
             .map(|row| row.iter().map(|g| enc.decode(g)).collect())
             .collect();
-        let expanded = crate::equivalence::expand_answers(&decoded, &self.index);
+        crate::equivalence::expand_answers(&decoded, &self.index)
+    }
+
+    /// Rewrites and evaluates a query over the stored database via the
+    /// *combined* route (quotient for equivalences, UCQ rewriting for
+    /// graph mappings). Returns the answers and whether the rewriting
+    /// was exhaustive.
+    pub fn answers(&mut self, query: &GraphPatternQuery, cfg: &RewriteConfig) -> (AnswerSet, bool) {
+        let rewriting = self.rewrite_canonical(query, cfg);
         (
             AnswerSet {
                 vars: query
@@ -285,7 +292,7 @@ impl RpsRewriter {
                     .iter()
                     .map(|v| v.name().to_string())
                     .collect(),
-                tuples: expanded,
+                tuples: self.evaluate_canonical(&rewriting),
             },
             rewriting.complete,
         )

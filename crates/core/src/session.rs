@@ -1,0 +1,801 @@
+//! The unified answering API: [`Session`], [`PreparedQuery`] and
+//! [`AnswerStream`].
+//!
+//! The RPS model has one conceptual operation — answer a conjunctive
+//! query over a peer system under a chosen strategy and semantics — and
+//! this module is its single façade. A [`Session`] owns a validated
+//! [`RdfPeerSystem`] plus an [`EngineConfig`] and caches every heavy
+//! artefact (universal solution, rewriter, Datalog program) across
+//! queries. [`Session::prepare`] compiles a query **once** — route
+//! resolution, canonical UCQ rewriting, id-level plan compilation — into
+//! a [`PreparedQuery`] that [`Session::execute`] can run repeatedly.
+//! Results come back as a streaming [`AnswerStream`] that decodes
+//! id-level tuples lazily instead of materialising term vectors up
+//! front, and every failure is a typed [`RpsError`].
+//!
+//! The federated counterpart with the same vocabulary lives in
+//! `rps-p2p` (`FederatedSession`), which reuses this module's
+//! [`AnswerStream`], [`EngineConfig`], [`ExecRoute`] and [`RpsError`].
+//!
+//! ```
+//! use rps_core::{EngineConfig, ExecRoute, PeerId, RpsBuilder, Session};
+//! use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
+//!
+//! // Two peers; peer B's `actor` facts imply peer A's `cast` facts.
+//! let (mut a, mut b) = (PeerId(0), PeerId(0));
+//! let premise = GraphPatternQuery::new(
+//!     vec![Variable::new("x"), Variable::new("y")],
+//!     GraphPattern::triple(
+//!         TermOrVar::var("x"),
+//!         TermOrVar::iri("http://b/actor"),
+//!         TermOrVar::var("y"),
+//!     ),
+//! );
+//! let conclusion = GraphPatternQuery::new(
+//!     vec![Variable::new("x"), Variable::new("y")],
+//!     GraphPattern::triple(
+//!         TermOrVar::var("x"),
+//!         TermOrVar::iri("http://a/cast"),
+//!         TermOrVar::var("y"),
+//!     ),
+//! );
+//! let system = RpsBuilder::new()
+//!     .peer_turtle("A", "<http://a/f1> <http://a/cast> <http://a/p1> .", &mut a)
+//!     .unwrap()
+//!     .peer_turtle("B", "<http://b/f2> <http://b/actor> <http://b/p2> .", &mut b)
+//!     .unwrap()
+//!     .assertion(b, a, premise, conclusion)
+//!     .unwrap()
+//!     .build();
+//!
+//! let mut session = Session::open(system, EngineConfig::default()).unwrap();
+//! let query = GraphPatternQuery::new(
+//!     vec![Variable::new("x"), Variable::new("y")],
+//!     GraphPattern::triple(
+//!         TermOrVar::var("x"),
+//!         TermOrVar::iri("http://a/cast"),
+//!         TermOrVar::var("y"),
+//!     ),
+//! );
+//! // Prepare once, execute as often as needed.
+//! let prepared = session.prepare(&query).unwrap();
+//! let stream = session.execute(&prepared).unwrap();
+//! assert_eq!(stream.route(), ExecRoute::Rewritten); // linear ⇒ Proposition 2
+//! let answers: Vec<_> = stream.collect();
+//! assert_eq!(answers.len(), 2);
+//! ```
+
+use crate::answers::AnswerSet;
+use crate::chase::{chase_system, RpsChaseConfig, UniversalSolution};
+use crate::datalog_route::DatalogEngine;
+use crate::equivalence::EquivalenceIndex;
+use crate::error::RpsError;
+use crate::rewriting::{RpsRewriter, RpsRewriting};
+use crate::system::RdfPeerSystem;
+use rps_query::{GraphPatternQuery, PreparedQueryIds, Semantics};
+use rps_rdf::{Term, TermId};
+use rps_tgd::RewriteConfig;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Query-answering strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Materialise the universal solution once (Algorithm 1) and evaluate
+    /// queries over it. Amortises well under high query rates.
+    Materialise,
+    /// Rewrite each query into a UCQ over the sources (Proposition 2).
+    /// No materialisation; pays per query.
+    Rewrite,
+    /// Saturate the sources with a semi-naive Datalog fixpoint (future
+    /// work item 1). Requires full graph mapping assertions; covers the
+    /// systems Proposition 3 puts beyond FO rewriting.
+    Datalog,
+    /// Use rewriting when the mapping TGDs are FO-rewritable, otherwise
+    /// materialise.
+    #[default]
+    Auto,
+}
+
+/// How a prepared query actually executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecRoute {
+    /// Evaluated over a materialised universal solution.
+    Materialised,
+    /// Evaluated through a (complete) UCQ rewriting.
+    Rewritten,
+    /// Evaluated over a semi-naive Datalog least model.
+    Datalog,
+    /// Evaluated federatedly over the peers (see `rps-p2p`).
+    Federated,
+}
+
+/// The one configuration object of the answering stack: strategy,
+/// result semantics, and the chase/rewriting budgets that used to be
+/// plumbed separately through every entry point.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Route selection policy.
+    pub strategy: Strategy,
+    /// Result semantics (`Q_D` drops blank-node tuples, `Q*_D` keeps
+    /// them). `Q*` is only available through the materialised route.
+    pub semantics: Semantics,
+    /// Chase budgets for the materialised route.
+    pub chase: RpsChaseConfig,
+    /// Rewriting budgets for the rewritten route.
+    pub rewrite: RewriteConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            strategy: Strategy::default(),
+            semantics: Semantics::Certain,
+            chase: RpsChaseConfig::default(),
+            rewrite: RewriteConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the result semantics.
+    pub fn with_semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Overrides the chase budgets.
+    pub fn with_chase(mut self, chase: RpsChaseConfig) -> Self {
+        self.chase = chase;
+        self
+    }
+
+    /// Overrides the rewriting budgets.
+    pub fn with_rewrite(mut self, rewrite: RewriteConfig) -> Self {
+        self.rewrite = rewrite;
+        self
+    }
+}
+
+/// The compiled execution plan of a [`PreparedQuery`].
+enum Plan {
+    /// Id-level plan against a (frozen) universal solution. Holding the
+    /// solution here makes repeated execution and lazy answer decoding
+    /// independent of the session's own cache.
+    Materialised {
+        solution: Arc<UniversalSolution>,
+        plan: PreparedQueryIds,
+    },
+    /// A complete canonical UCQ rewriting, computed once.
+    Rewritten { rewriting: RpsRewriting },
+    /// Evaluated through the session's cached Datalog engine.
+    Datalog,
+}
+
+/// A query compiled once against a [`Session`] — route resolved,
+/// result semantics captured, rewriting expanded, id-level pattern plan
+/// built — and executable any number of times with [`Session::execute`]
+/// *on the session that prepared it* (compiled plans reference that
+/// session's caches; execution elsewhere returns
+/// [`RpsError::SessionMismatch`]).
+pub struct PreparedQuery {
+    session_id: u64,
+    query: GraphPatternQuery,
+    route: ExecRoute,
+    semantics: Semantics,
+    plan: Plan,
+}
+
+impl PreparedQuery {
+    /// The route this query will execute through.
+    pub fn route(&self) -> ExecRoute {
+        self.route
+    }
+
+    /// The result semantics this query was compiled under. Captured at
+    /// prepare time: later [`Session::config_mut`] changes affect only
+    /// queries prepared afterwards.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// The source query.
+    pub fn query(&self) -> &GraphPatternQuery {
+        &self.query
+    }
+
+    /// Number of UCQ branches when the route is [`ExecRoute::Rewritten`].
+    pub fn branch_count(&self) -> Option<usize> {
+        match &self.plan {
+            Plan::Rewritten { rewriting } => Some(rewriting.cqs.len()),
+            _ => None,
+        }
+    }
+}
+
+/// A streaming iterator over answer tuples.
+///
+/// Id-level results (the materialised route) are decoded to [`Term`]s
+/// lazily, one tuple per `next()` call, instead of materialising the
+/// whole answer vector up front; already-decoded results pass through.
+/// The stream reports the [`ExecRoute`] taken and the projection
+/// variables, and can be collected into an [`AnswerSet`] with
+/// [`AnswerStream::into_set`].
+pub struct AnswerStream {
+    vars: Vec<String>,
+    route: ExecRoute,
+    inner: StreamInner,
+}
+
+enum StreamInner {
+    Ids {
+        solution: Arc<UniversalSolution>,
+        iter: std::collections::btree_set::IntoIter<Vec<TermId>>,
+    },
+    Terms(std::collections::btree_set::IntoIter<Vec<Term>>),
+}
+
+impl AnswerStream {
+    /// A stream over id-level tuples, decoded lazily against the
+    /// solution's dictionary.
+    fn from_ids(
+        vars: Vec<String>,
+        route: ExecRoute,
+        solution: Arc<UniversalSolution>,
+        tuples: BTreeSet<Vec<TermId>>,
+    ) -> Self {
+        AnswerStream {
+            vars,
+            route,
+            inner: StreamInner::Ids {
+                solution,
+                iter: tuples.into_iter(),
+            },
+        }
+    }
+
+    /// A stream over already-decoded tuples. Building block for
+    /// alternative executors (the federated engine in `rps-p2p`).
+    pub fn from_terms(vars: Vec<String>, route: ExecRoute, tuples: BTreeSet<Vec<Term>>) -> Self {
+        AnswerStream {
+            vars,
+            route,
+            inner: StreamInner::Terms(tuples.into_iter()),
+        }
+    }
+
+    /// The projection variable names, in tuple order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The route the execution took.
+    pub fn route(&self) -> ExecRoute {
+        self.route
+    }
+
+    /// Drains the stream into an [`AnswerSet`].
+    pub fn into_set(self) -> AnswerSet {
+        let vars = self.vars.clone();
+        AnswerSet {
+            vars,
+            tuples: self.collect(),
+        }
+    }
+}
+
+impl Iterator for AnswerStream {
+    type Item = Vec<Term>;
+
+    fn next(&mut self) -> Option<Vec<Term>> {
+        match &mut self.inner {
+            StreamInner::Ids { solution, iter } => iter.next().map(|ids| {
+                ids.iter()
+                    .map(|&id| solution.graph.term(id).clone())
+                    .collect()
+            }),
+            StreamInner::Terms(iter) => iter.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            StreamInner::Ids { iter, .. } => iter.size_hint(),
+            StreamInner::Terms(iter) => iter.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for AnswerStream {}
+
+/// A process-unique token identifying the session a prepared query was
+/// compiled against. Compiled plans are only meaningful relative to
+/// their session's caches and dictionaries, so execution on a different
+/// session is rejected with [`RpsError::SessionMismatch`].
+pub(crate) fn next_session_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The unified answering façade: one system, one configuration, cached
+/// heavy state, typed errors. See the [module docs](self) for an
+/// end-to-end example.
+pub struct Session {
+    id: u64,
+    system: RdfPeerSystem,
+    config: EngineConfig,
+    eq_index: EquivalenceIndex,
+    solution: Option<Arc<UniversalSolution>>,
+    /// The chase budgets the cached (possibly incomplete) solution was
+    /// computed under; a later budget change invalidates an incomplete
+    /// cache without re-chasing on every call under unchanged budgets.
+    solution_budgets: Option<RpsChaseConfig>,
+    rewriter: Option<RpsRewriter>,
+    datalog: Option<DatalogEngine>,
+}
+
+impl Session {
+    /// Builds a session after validating the system. This is the
+    /// preferred entry point: schema violations surface here as
+    /// [`RpsError::Validation`] instead of as wrong answers later.
+    pub fn open(system: RdfPeerSystem, config: EngineConfig) -> Result<Self, RpsError> {
+        system.validate()?;
+        Ok(Self::new(system, config))
+    }
+
+    /// Builds a session without validating the system (for callers that
+    /// constructed the system programmatically and validated it already).
+    pub fn new(system: RdfPeerSystem, config: EngineConfig) -> Self {
+        let eq_index = EquivalenceIndex::from_mappings(system.equivalences());
+        Session {
+            id: next_session_id(),
+            system,
+            config,
+            eq_index,
+            solution: None,
+            solution_budgets: None,
+            rewriter: None,
+            datalog: None,
+        }
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &RdfPeerSystem {
+        &self.system
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration. Route-affecting changes apply
+    /// to queries prepared afterwards; already-prepared queries keep
+    /// their compiled route.
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    /// The union-find index over the system's equivalence mappings.
+    pub fn equivalence_index(&self) -> &EquivalenceIndex {
+        &self.eq_index
+    }
+
+    /// The materialised universal solution, chasing on first use.
+    /// Returns [`RpsError::ChaseBudget`] if the chase could not reach a
+    /// fixpoint within the configured budgets — an incomplete solution is
+    /// unsound to answer over. An incomplete cached solution is not
+    /// sticky: after raising [`EngineConfig::chase`] the next call
+    /// re-runs the chase under the new budgets (retries under unchanged
+    /// budgets reuse the cached outcome instead of re-chasing).
+    pub fn universal_solution(&mut self) -> Result<Arc<UniversalSolution>, RpsError> {
+        if self.solution.as_ref().is_some_and(|s| !s.complete)
+            && self.solution_budgets.as_ref() != Some(&self.config.chase)
+        {
+            self.solution = None;
+        }
+        let sol = self.universal_solution_lenient();
+        if !sol.complete {
+            return Err(RpsError::ChaseBudget {
+                rounds: sol.stats.rounds,
+                triples: sol.graph.len(),
+            });
+        }
+        Ok(sol)
+    }
+
+    /// The universal solution without the completeness check — the
+    /// compatibility path for the deprecated [`crate::RpsEngine`] shim,
+    /// which historically returned answers over incomplete solutions.
+    pub(crate) fn universal_solution_lenient(&mut self) -> Arc<UniversalSolution> {
+        if self.solution.is_none() {
+            self.solution = Some(Arc::new(chase_system(&self.system, &self.config.chase)));
+            self.solution_budgets = Some(self.config.chase.clone());
+        }
+        self.solution.as_ref().expect("just materialised").clone()
+    }
+
+    /// The already-materialised solution, if any (shim support).
+    pub(crate) fn cached_solution(&self) -> Option<&UniversalSolution> {
+        self.solution.as_deref()
+    }
+
+    /// The cached rewriter, built on first use.
+    pub(crate) fn rewriter_mut(&mut self) -> &mut RpsRewriter {
+        if self.rewriter.is_none() {
+            self.rewriter = Some(RpsRewriter::new(&self.system));
+        }
+        self.rewriter.as_mut().expect("just built")
+    }
+
+    /// Resolves the route a fresh preparation of a query would take.
+    fn resolve_route(&mut self) -> Result<ExecRoute, RpsError> {
+        let star = self.config.semantics == Semantics::Star;
+        match self.config.strategy {
+            Strategy::Materialise => Ok(ExecRoute::Materialised),
+            Strategy::Rewrite if star => Err(RpsError::StarNeedsMaterialisation),
+            Strategy::Datalog if star => Err(RpsError::StarNeedsMaterialisation),
+            Strategy::Rewrite => Ok(ExecRoute::Rewritten),
+            Strategy::Datalog => Ok(ExecRoute::Datalog),
+            Strategy::Auto => {
+                if !star && self.rewriter_mut().fo_rewritable() {
+                    Ok(ExecRoute::Rewritten)
+                } else {
+                    Ok(ExecRoute::Materialised)
+                }
+            }
+        }
+    }
+
+    fn prepare_materialised(&mut self, query: &GraphPatternQuery) -> Result<Plan, RpsError> {
+        let solution = self.universal_solution()?;
+        // The solution is frozen, so the plan compiles against it without
+        // interning (unknown constants are simply unsatisfiable).
+        let plan = PreparedQueryIds::compile_only(&solution.graph, query);
+        Ok(Plan::Materialised { solution, plan })
+    }
+
+    /// Compiles a query once — route resolution, canonical UCQ rewriting
+    /// or id-level plan compilation — into a [`PreparedQuery`] for
+    /// repeated execution.
+    ///
+    /// An incomplete rewriting (budget exhaustion, non-FO-rewritable
+    /// mappings) is unsound to trust, so preparation falls back to the
+    /// materialised route in that case; the returned
+    /// [`PreparedQuery::route`] reports what was actually compiled.
+    pub fn prepare(&mut self, query: &GraphPatternQuery) -> Result<PreparedQuery, RpsError> {
+        let route = self.resolve_route()?;
+        let (route, plan) = match route {
+            ExecRoute::Materialised | ExecRoute::Federated => {
+                (ExecRoute::Materialised, self.prepare_materialised(query)?)
+            }
+            ExecRoute::Rewritten => {
+                let cfg = self.config.rewrite.clone();
+                let rewriting = self.rewriter_mut().rewrite_canonical(query, &cfg);
+                if rewriting.complete {
+                    (ExecRoute::Rewritten, Plan::Rewritten { rewriting })
+                } else {
+                    (ExecRoute::Materialised, self.prepare_materialised(query)?)
+                }
+            }
+            ExecRoute::Datalog => {
+                if self.datalog.is_none() {
+                    self.datalog = Some(DatalogEngine::new(&self.system)?);
+                }
+                (ExecRoute::Datalog, Plan::Datalog)
+            }
+        };
+        Ok(PreparedQuery {
+            session_id: self.id,
+            query: query.clone(),
+            route,
+            semantics: self.config.semantics,
+            plan,
+        })
+    }
+
+    /// Executes a prepared query, returning a streaming answer iterator.
+    /// The query must have been prepared by *this* session
+    /// ([`RpsError::SessionMismatch`] otherwise).
+    pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<AnswerStream, RpsError> {
+        if prepared.session_id != self.id {
+            return Err(RpsError::SessionMismatch);
+        }
+        let vars: Vec<String> = prepared
+            .query
+            .free_vars()
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect();
+        match &prepared.plan {
+            Plan::Materialised { solution, plan } => {
+                let ids = plan.evaluate(&solution.graph, prepared.semantics);
+                Ok(AnswerStream::from_ids(
+                    vars,
+                    ExecRoute::Materialised,
+                    solution.clone(),
+                    ids,
+                ))
+            }
+            Plan::Rewritten { rewriting } => {
+                // The rewriter exists: prepare() built it to rewrite.
+                let rewriter = self.rewriter.as_ref().expect("rewriter built at prepare");
+                let tuples = rewriter.evaluate_canonical(rewriting);
+                Ok(AnswerStream::from_terms(vars, ExecRoute::Rewritten, tuples))
+            }
+            Plan::Datalog => {
+                let engine = self.datalog.as_mut().expect("datalog built at prepare");
+                let ans = engine.answers(&prepared.query);
+                Ok(AnswerStream::from_terms(
+                    vars,
+                    ExecRoute::Datalog,
+                    ans.tuples,
+                ))
+            }
+        }
+    }
+
+    /// Prepares and executes in one call. Prefer [`Session::prepare`] +
+    /// [`Session::execute`] when the same query runs repeatedly.
+    pub fn answer(&mut self, query: &GraphPatternQuery) -> Result<AnswerStream, RpsError> {
+        let prepared = self.prepare(query)?;
+        self.execute(&prepared)
+    }
+
+    /// Like [`Session::answer`], but drains the stream into an
+    /// [`AnswerSet`] and removes equivalence-induced redundancy
+    /// (Listing 1's "Result without redundancy").
+    pub fn answer_without_redundancy(
+        &mut self,
+        query: &GraphPatternQuery,
+    ) -> Result<AnswerSet, RpsError> {
+        let set = self.answer(query)?.into_set();
+        Ok(set.without_redundancy(&self.eq_index))
+    }
+
+    /// The Example 3 decision procedure through the façade: is `tuple` a
+    /// certain answer of `query`? Returns [`RpsError::Arity`] instead of
+    /// panicking on a malformed tuple.
+    pub fn is_certain_answer(
+        &mut self,
+        query: &GraphPatternQuery,
+        tuple: &[Term],
+    ) -> Result<bool, RpsError> {
+        if tuple.len() != query.arity() {
+            return Err(RpsError::Arity {
+                expected: query.arity(),
+                got: tuple.len(),
+            });
+        }
+        let cfg = self.config.rewrite.clone();
+        Ok(self.rewriter_mut().is_certain_answer(query, tuple, &cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::RpsBuilder;
+    use crate::PeerId;
+    use rps_query::{GraphPattern, TermOrVar, Variable};
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    fn linear_system() -> RdfPeerSystem {
+        let mut a = PeerId(0);
+        let mut b = PeerId(0);
+        let premise = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
+        );
+        let conclusion = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("y"),
+            ),
+        );
+        RpsBuilder::new()
+            .peer_turtle("A", "<http://a/f1> <http://a/cast> <http://a/p1> .", &mut a)
+            .unwrap()
+            .peer_turtle(
+                "B",
+                "<http://b/f2> <http://b/actor> <http://b/p2> .",
+                &mut b,
+            )
+            .unwrap()
+            .assertion(b, a, premise, conclusion)
+            .unwrap()
+            .equivalence("http://a/p1", "http://b/p2")
+            .build()
+    }
+
+    fn cast_query() -> GraphPatternQuery {
+        GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("y"),
+            ),
+        )
+    }
+
+    #[test]
+    fn routes_agree_on_linear_system() {
+        let sys = linear_system();
+        let mut mat = Session::open(
+            sys.clone(),
+            EngineConfig::default().with_strategy(Strategy::Materialise),
+        )
+        .unwrap();
+        let mut rew = Session::open(
+            sys,
+            EngineConfig::default().with_strategy(Strategy::Rewrite),
+        )
+        .unwrap();
+        let m = mat.answer(&cast_query()).unwrap();
+        assert_eq!(m.route(), ExecRoute::Materialised);
+        let r = rew.answer(&cast_query()).unwrap();
+        assert_eq!(r.route(), ExecRoute::Rewritten);
+        assert_eq!(m.into_set().tuples, r.into_set().tuples);
+    }
+
+    #[test]
+    fn prepared_queries_execute_repeatedly() {
+        let mut s = Session::open(linear_system(), EngineConfig::default()).unwrap();
+        let prepared = s.prepare(&cast_query()).unwrap();
+        assert_eq!(prepared.route(), ExecRoute::Rewritten);
+        assert!(prepared.branch_count().unwrap() >= 2);
+        let first = s.execute(&prepared).unwrap().into_set();
+        let second = s.execute(&prepared).unwrap().into_set();
+        assert_eq!(first.tuples, second.tuples);
+        assert_eq!(first.len(), 4);
+    }
+
+    #[test]
+    fn stream_is_lazy_and_exact_sized() {
+        let mut s = Session::open(
+            linear_system(),
+            EngineConfig::default().with_strategy(Strategy::Materialise),
+        )
+        .unwrap();
+        let mut stream = s.answer(&cast_query()).unwrap();
+        let n = stream.len();
+        assert_eq!(n, 4);
+        assert!(stream.next().is_some());
+        assert_eq!(stream.len(), n - 1);
+        assert_eq!(stream.vars(), &["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn chase_budget_is_a_typed_error() {
+        let sys = crate::datalog_route::tests_support::transitive_system(12);
+        let mut s = Session::new(
+            sys,
+            EngineConfig::default()
+                .with_strategy(Strategy::Materialise)
+                .with_chase(RpsChaseConfig {
+                    max_rounds: 1,
+                    max_triples: 10_000,
+                }),
+        );
+        let err = s.answer(&crate::datalog_route::tests_support::edge_query());
+        assert!(matches!(err, Err(RpsError::ChaseBudget { .. })));
+        // The incomplete solution is not sticky: raising the budget and
+        // retrying re-chases and succeeds, as the error message advises.
+        s.config_mut().chase = RpsChaseConfig::default();
+        let stream = s
+            .answer(&crate::datalog_route::tests_support::edge_query())
+            .unwrap();
+        assert_eq!(stream.len(), 13 * 12 / 2);
+    }
+
+    #[test]
+    fn foreign_prepared_queries_are_rejected() {
+        let sys = linear_system();
+        let mut a = Session::open(sys.clone(), EngineConfig::default()).unwrap();
+        let mut b = Session::open(sys, EngineConfig::default()).unwrap();
+        let prepared = a.prepare(&cast_query()).unwrap();
+        assert!(matches!(
+            b.execute(&prepared),
+            Err(RpsError::SessionMismatch)
+        ));
+        // The owning session still executes it fine.
+        assert_eq!(a.execute(&prepared).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn semantics_is_captured_at_prepare_time() {
+        let mut s = Session::open(
+            linear_system(),
+            EngineConfig::default()
+                .with_strategy(Strategy::Materialise)
+                .with_semantics(Semantics::Star),
+        )
+        .unwrap();
+        let prepared = s.prepare(&cast_query()).unwrap();
+        assert_eq!(prepared.semantics(), Semantics::Star);
+        let star = s.execute(&prepared).unwrap().into_set();
+        // A post-prepare config change must not alter the prepared
+        // query's meaning.
+        s.config_mut().semantics = Semantics::Certain;
+        let again = s.execute(&prepared).unwrap().into_set();
+        assert_eq!(star.tuples, again.tuples);
+        // A fresh preparation picks up the new semantics.
+        let certain = s.answer(&cast_query()).unwrap().into_set();
+        assert!(certain.tuples.is_subset(&star.tuples));
+    }
+
+    #[test]
+    fn datalog_route_handles_non_fo_systems() {
+        let sys = crate::datalog_route::tests_support::transitive_system(10);
+        let mut s = Session::new(
+            sys.clone(),
+            EngineConfig::default().with_strategy(Strategy::Datalog),
+        );
+        let stream = s
+            .answer(&crate::datalog_route::tests_support::edge_query())
+            .unwrap();
+        assert_eq!(stream.route(), ExecRoute::Datalog);
+        let datalog = stream.into_set();
+        let mut mat = Session::new(
+            sys,
+            EngineConfig::default().with_strategy(Strategy::Materialise),
+        );
+        let chased = mat
+            .answer(&crate::datalog_route::tests_support::edge_query())
+            .unwrap()
+            .into_set();
+        assert_eq!(datalog.tuples, chased.tuples);
+        assert_eq!(datalog.len(), 55);
+    }
+
+    #[test]
+    fn star_semantics_requires_materialisation() {
+        let cfg = EngineConfig::default()
+            .with_strategy(Strategy::Rewrite)
+            .with_semantics(Semantics::Star);
+        let mut s = Session::open(linear_system(), cfg).unwrap();
+        assert!(matches!(
+            s.prepare(&cast_query()),
+            Err(RpsError::StarNeedsMaterialisation)
+        ));
+        // Auto silently picks the materialised route instead.
+        s.config_mut().strategy = Strategy::Auto;
+        let prepared = s.prepare(&cast_query()).unwrap();
+        assert_eq!(prepared.route(), ExecRoute::Materialised);
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_typed_error() {
+        let mut s = Session::open(linear_system(), EngineConfig::default()).unwrap();
+        assert!(matches!(
+            s.is_certain_answer(&cast_query(), &[Term::iri("http://a/f1")]),
+            Err(RpsError::Arity {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(s
+            .is_certain_answer(
+                &cast_query(),
+                &[Term::iri("http://b/f2"), Term::iri("http://a/p1")]
+            )
+            .unwrap());
+    }
+}

@@ -10,15 +10,32 @@
 //! Pattern matching distributes over the union of the peer databases, so
 //! federated evaluation returns exactly the centralised answers — a
 //! property the tests assert.
+//!
+//! **Id-level prepared execution.** The engine maintains an *answer
+//! dictionary* at the originator (the union of the peer dictionaries,
+//! built once with [`rps_rdf::TermDict::absorb`]) plus a per-peer
+//! translation table from peer-local term ids to originator ids.
+//! [`FederatedEngine::prepare_branches`] compiles a UCQ once — routing
+//! each pattern, resolving its constants against every routed peer's
+//! dictionary, and interning head-template constants — into a
+//! [`PreparedFederation`] that [`FederatedEngine::execute`] can run any
+//! number of times. The hot loop is then pure id arithmetic: peer-side
+//! range scans, array-lookup id translation, and hash joins on dense
+//! `u32` tuples at the originator. No term is parsed, cloned, re-interned
+//! or compared per peer per round — the failure mode of the previous
+//! term-level path, which is retained as
+//! [`FederatedEngine::evaluate_union_term_level`] for the benchmark
+//! baseline and agreement tests.
 
 use crate::network::{NodeId, SimNetwork};
 use crate::routing::SchemaIndex;
 use rps_core::{PeerId, RdfPeerSystem};
 use rps_query::{
-    evaluate_pattern, join, GraphPattern, GraphPatternQuery, Mapping, Semantics, UnionQuery,
+    evaluate_pattern, join, GraphPattern, GraphPatternQuery, Mapping, Semantics, TermOrVar,
+    UnionQuery, Variable,
 };
-use rps_rdf::{Graph, Term};
-use std::collections::BTreeSet;
+use rps_rdf::{Graph, Term, TermDict, TermId};
+use std::collections::{BTreeSet, HashMap};
 
 /// Statistics of one federated query execution.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -35,6 +52,55 @@ pub struct FederationStats {
     pub tuples_received: usize,
 }
 
+/// A head-template position of a prepared branch.
+enum TemplateSlot {
+    /// Branch-local variable index.
+    Var(usize),
+    /// A constant, interned in the originator's answer dictionary.
+    Const(TermId),
+}
+
+/// One triple pattern of a branch, compiled for repeated federated
+/// execution: routing decided, constants resolved per routed peer,
+/// request payload sized — all once, at prepare time.
+struct PatternPlan {
+    /// For each position: the slot in `pvars` its variable projects to
+    /// (`None` for constant positions). Repeated variables share a slot.
+    pos_slot: [Option<usize>; 3],
+    /// The pattern's distinct branch-local variable indexes, in first
+    /// occurrence order; binding rows are aligned with this.
+    pvars: Vec<usize>,
+    /// Σ of the variable name lengths (response byte accounting).
+    var_name_bytes: usize,
+    /// Routed peers with the pattern's constants resolved to their
+    /// dictionaries; `None` when a constant is unknown at that peer (the
+    /// sub-query is still sent, mirroring the wire protocol, but matches
+    /// nothing).
+    probes: Vec<(PeerId, Option<[Option<TermId>; 3]>)>,
+    /// Serialised request size.
+    request_bytes: usize,
+}
+
+/// One conjunctive branch of a prepared UCQ.
+struct BranchPlan {
+    patterns: Vec<PatternPlan>,
+    /// Head template; `None` marks a dead branch (a head variable that
+    /// never occurs in the body can never bind).
+    template: Option<Vec<TemplateSlot>>,
+}
+
+/// A UCQ compiled against a [`FederatedEngine`] for repeated execution.
+pub struct PreparedFederation {
+    branches: Vec<BranchPlan>,
+}
+
+impl PreparedFederation {
+    /// Number of branches (including pruned dead ones).
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+}
+
 /// The federated query processor.
 pub struct FederatedEngine {
     /// Peer-local stores (blank nodes scoped exactly as in the
@@ -43,20 +109,41 @@ pub struct FederatedEngine {
     index: SchemaIndex,
     /// The originator's node id (one past the last peer).
     originator: NodeId,
+    /// The originator's answer dictionary: the union of the peer
+    /// dictionaries, so any peer's binding decodes without re-interning.
+    dict: TermDict,
+    /// Per peer: local term id → answer-dictionary id (dense table).
+    to_global: Vec<Vec<TermId>>,
+    /// Rendered byte length per answer-dictionary term (response
+    /// costing), aligned with the ids minted by `absorb`.
+    term_bytes: Vec<u32>,
 }
 
 impl FederatedEngine {
+    fn build(locals: Vec<Graph>, index: SchemaIndex) -> Self {
+        let mut dict = TermDict::new();
+        let to_global: Vec<Vec<TermId>> = locals.iter().map(|g| dict.absorb(g.dict())).collect();
+        let term_bytes = dict
+            .iter()
+            .map(|(_, t)| t.to_string().len() as u32)
+            .collect();
+        FederatedEngine {
+            originator: locals.len(),
+            locals,
+            index,
+            dict,
+            to_global,
+            term_bytes,
+        }
+    }
+
     /// Builds the engine from a system.
     pub fn new(system: &RdfPeerSystem) -> Self {
         let locals: Vec<Graph> = (0..system.peers().len())
             .map(|i| system.scoped_database(PeerId(i)))
             .collect();
         let index = SchemaIndex::build(system);
-        FederatedEngine {
-            originator: locals.len(),
-            locals,
-            index,
-        }
+        Self::build(locals, index)
     }
 
     /// Builds the engine with each peer's store canonicalised onto
@@ -78,16 +165,336 @@ impl FederatedEngine {
             ));
         }
         let index = SchemaIndex::build(&canon_system);
-        FederatedEngine {
-            originator: locals.len(),
-            locals,
-            index,
+        Self::build(locals, index)
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// The originator's answer dictionary (decode id-level answers
+    /// against this).
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Decodes id-level answer tuples to owned terms.
+    pub fn decode(&self, tuples: &BTreeSet<Vec<TermId>>) -> BTreeSet<Vec<Term>> {
+        tuples
+            .iter()
+            .map(|row| row.iter().map(|&id| self.dict.term(id).clone()).collect())
+            .collect()
+    }
+
+    fn term_cost(&self, id: TermId) -> usize {
+        self.term_bytes.get(id.index()).copied().unwrap_or(0) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Prepared, id-level path
+    // ------------------------------------------------------------------
+
+    /// Compiles a UCQ — given as `(body pattern, head template)` branches,
+    /// the shape [`rps_core::RpsRewriting::branches`] produces — for
+    /// repeated federated execution. Routing, per-peer constant
+    /// resolution and template interning happen here, once.
+    pub fn prepare_branches(
+        &mut self,
+        branches: &[(GraphPattern, Vec<TermOrVar>)],
+    ) -> PreparedFederation {
+        let mut plans = Vec::with_capacity(branches.len());
+        for (gp, template) in branches {
+            let mut var_ix: HashMap<Variable, usize> = HashMap::new();
+            let mut patterns = Vec::with_capacity(gp.len());
+            for tp in gp.patterns() {
+                let mut pos_slot = [None; 3];
+                let mut pvars: Vec<usize> = Vec::new();
+                let mut var_name_bytes = 0usize;
+                let mut consts: [Option<&Term>; 3] = [None; 3];
+                for (k, tv) in [&tp.s, &tp.p, &tp.o].into_iter().enumerate() {
+                    match tv {
+                        TermOrVar::Var(v) => {
+                            let next = var_ix.len();
+                            let vix = *var_ix.entry(v.clone()).or_insert(next);
+                            let slot = match pvars.iter().position(|&x| x == vix) {
+                                Some(s) => s,
+                                None => {
+                                    pvars.push(vix);
+                                    var_name_bytes += v.name().len();
+                                    pvars.len() - 1
+                                }
+                            };
+                            pos_slot[k] = Some(slot);
+                        }
+                        TermOrVar::Term(t) => consts[k] = Some(t),
+                    }
+                }
+                let probes = self
+                    .index
+                    .route(tp)
+                    .into_iter()
+                    .map(|peer| {
+                        let g = &self.locals[peer.0];
+                        let mut probe = [None; 3];
+                        let mut known = true;
+                        for (k, c) in consts.iter().enumerate() {
+                            if let Some(t) = c {
+                                match g.term_id(t) {
+                                    Some(id) => probe[k] = Some(id),
+                                    None => known = false,
+                                }
+                            }
+                        }
+                        (peer, known.then_some(probe))
+                    })
+                    .collect();
+                patterns.push(PatternPlan {
+                    pos_slot,
+                    pvars,
+                    var_name_bytes,
+                    probes,
+                    request_bytes: tp.to_string().len(),
+                });
+            }
+            let template = template
+                .iter()
+                .map(|entry| match entry {
+                    TermOrVar::Var(v) => var_ix.get(v).copied().map(TemplateSlot::Var),
+                    TermOrVar::Term(t) => Some(TemplateSlot::Const(self.dict.intern(t))),
+                })
+                .collect::<Option<Vec<TemplateSlot>>>();
+            plans.push(BranchPlan { patterns, template });
+        }
+        // Template constants may have grown the dictionary; keep the
+        // response-cost table aligned (constants never travel in peer
+        // responses, but the invariant is cheap to maintain).
+        for i in self.term_bytes.len()..self.dict.len() {
+            let t = self.dict.term(TermId(i as u32));
+            self.term_bytes.push(t.to_string().len() as u32);
+        }
+        PreparedFederation { branches: plans }
+    }
+
+    /// Compiles a single graph pattern query (head = its free variables).
+    pub fn prepare_query(&mut self, query: &GraphPatternQuery) -> PreparedFederation {
+        let template: Vec<TermOrVar> = query
+            .free_vars()
+            .iter()
+            .map(|v| TermOrVar::Var(v.clone()))
+            .collect();
+        self.prepare_branches(&[(query.pattern().clone(), template)])
+    }
+
+    /// Compiles a UCQ whose every branch projects the union's free
+    /// variables.
+    pub fn prepare_union(&mut self, union: &UnionQuery) -> PreparedFederation {
+        let template: Vec<TermOrVar> = union
+            .free_vars()
+            .iter()
+            .map(|v| TermOrVar::Var(v.clone()))
+            .collect();
+        let branches: Vec<(GraphPattern, Vec<TermOrVar>)> = union
+            .branches()
+            .iter()
+            .map(|b| (b.clone(), template.clone()))
+            .collect();
+        self.prepare_branches(&branches)
+    }
+
+    /// Executes a prepared federation, recording traffic into `net` and
+    /// returning answer tuples over the originator's answer dictionary.
+    ///
+    /// Per branch: every pattern's sub-queries fan out to its routed
+    /// peers (peer-side index range scans, ids translated to the answer
+    /// dictionary by table lookup), the per-pattern binding sets are
+    /// hash-joined smallest-first at the originator, and the head
+    /// template projects the result. Under [`Semantics::Certain`], tuples
+    /// containing blank nodes are dropped.
+    pub fn execute(
+        &self,
+        prepared: &PreparedFederation,
+        semantics: Semantics,
+        net: &mut SimNetwork,
+    ) -> (BTreeSet<Vec<TermId>>, FederationStats) {
+        let mut stats = FederationStats::default();
+        let mut out = BTreeSet::new();
+        for branch in &prepared.branches {
+            let Some(template) = &branch.template else {
+                continue; // dead branch: its head can never bind
+            };
+            self.execute_branch(branch, template, semantics, net, &mut stats, &mut out);
+        }
+        stats.messages = net.message_count();
+        stats.bytes = net.total_bytes();
+        (out, stats)
+    }
+
+    fn execute_branch(
+        &self,
+        branch: &BranchPlan,
+        template: &[TemplateSlot],
+        semantics: Semantics,
+        net: &mut SimNetwork,
+        stats: &mut FederationStats,
+        out: &mut BTreeSet<Vec<TermId>>,
+    ) {
+        // Fetch every pattern's binding set from its routed peers.
+        let mut fetched: Vec<(usize, Vec<Vec<TermId>>)> = Vec::with_capacity(branch.patterns.len());
+        for (pi, pat) in branch.patterns.iter().enumerate() {
+            let mut rows: Vec<Vec<TermId>> = Vec::new();
+            for (peer, probe) in &pat.probes {
+                net.send(
+                    self.originator,
+                    peer.0,
+                    pat.request_bytes.max(1),
+                    "subquery",
+                );
+                stats.subqueries += 1;
+                let mut response_bytes = 0usize;
+                let mut received = 0usize;
+                if let Some(probe) = probe {
+                    let g = &self.locals[peer.0];
+                    let table = &self.to_global[peer.0];
+                    'triples: for t in g.match_ids(probe[0], probe[1], probe[2]) {
+                        let vals = [t.s, t.p, t.o];
+                        let mut row: [Option<TermId>; 3] = [None; 3];
+                        for k in 0..3 {
+                            if let Some(slot) = pat.pos_slot[k] {
+                                let gid = table[vals[k].index()];
+                                match row[slot] {
+                                    None => row[slot] = Some(gid),
+                                    Some(prev) if prev != gid => continue 'triples,
+                                    _ => {}
+                                }
+                            }
+                        }
+                        let row: Vec<TermId> = row[..pat.pvars.len()]
+                            .iter()
+                            .map(|o| o.expect("every pattern slot binds"))
+                            .collect();
+                        response_bytes += pat.var_name_bytes
+                            + row.iter().map(|&id| self.term_cost(id)).sum::<usize>();
+                        received += 1;
+                        rows.push(row);
+                    }
+                }
+                stats.tuples_received += received;
+                net.send(peer.0, self.originator, response_bytes.max(1), "answers");
+            }
+            stats.peers_contacted = stats.peers_contacted.max(pat.probes.len());
+            // Union of per-peer bindings may contain duplicates.
+            rows.sort_unstable();
+            rows.dedup();
+            fetched.push((pi, rows));
+        }
+
+        // Join at the originator, smallest binding set first.
+        fetched.sort_by_key(|(_, rows)| rows.len());
+        let mut acc_vars: Vec<usize> = Vec::new();
+        let mut acc: Vec<Vec<TermId>> = vec![Vec::new()];
+        for (pi, rows) in &fetched {
+            let pat = &branch.patterns[*pi];
+            // (acc position, row position) pairs for the shared variables
+            // and (row position, var) for the newly introduced ones.
+            let mut shared: Vec<(usize, usize)> = Vec::new();
+            let mut fresh: Vec<(usize, usize)> = Vec::new();
+            for (rp, &v) in pat.pvars.iter().enumerate() {
+                match acc_vars.iter().position(|&av| av == v) {
+                    Some(ap) => shared.push((ap, rp)),
+                    None => fresh.push((rp, v)),
+                }
+            }
+            let mut table: HashMap<Vec<TermId>, Vec<u32>> = HashMap::new();
+            for (ri, row) in rows.iter().enumerate() {
+                let key: Vec<TermId> = shared.iter().map(|&(_, rp)| row[rp]).collect();
+                table.entry(key).or_default().push(ri as u32);
+            }
+            let mut next: Vec<Vec<TermId>> = Vec::new();
+            let mut key = Vec::with_capacity(shared.len());
+            for arow in &acc {
+                key.clear();
+                key.extend(shared.iter().map(|&(ap, _)| arow[ap]));
+                if let Some(matches) = table.get(&key) {
+                    for &ri in matches {
+                        let row = &rows[ri as usize];
+                        let mut merged = arow.clone();
+                        merged.extend(fresh.iter().map(|&(rp, _)| row[rp]));
+                        next.push(merged);
+                    }
+                }
+            }
+            acc_vars.extend(fresh.iter().map(|&(_, v)| v));
+            acc = next;
+            if acc.is_empty() {
+                return;
+            }
+        }
+
+        // Project through the head template.
+        let slots: Vec<Result<usize, TermId>> = template
+            .iter()
+            .map(|slot| match slot {
+                TemplateSlot::Var(v) => Ok(acc_vars
+                    .iter()
+                    .position(|av| av == v)
+                    .expect("live branch binds every head variable")),
+                TemplateSlot::Const(id) => Err(*id),
+            })
+            .collect();
+        'rows: for arow in &acc {
+            let mut tuple = Vec::with_capacity(slots.len());
+            for slot in &slots {
+                let id = match slot {
+                    Ok(pos) => arow[*pos],
+                    Err(id) => *id,
+                };
+                if semantics == Semantics::Certain && !self.dict.is_name(id) {
+                    continue 'rows;
+                }
+                tuple.push(id);
+            }
+            out.insert(tuple);
         }
     }
 
-    /// Evaluates a single conjunctive branch federatedly, returning the
-    /// solution mappings.
-    fn evaluate_branch(
+    /// Prepares and executes a single graph pattern query, decoding the
+    /// answers. Prefer [`FederatedEngine::prepare_query`] +
+    /// [`FederatedEngine::execute`] when the query runs repeatedly.
+    pub fn evaluate_query(
+        &mut self,
+        query: &GraphPatternQuery,
+        semantics: Semantics,
+        net: &mut SimNetwork,
+    ) -> (BTreeSet<Vec<Term>>, FederationStats) {
+        let prepared = self.prepare_query(query);
+        let (ids, stats) = self.execute(&prepared, semantics, net);
+        (self.decode(&ids), stats)
+    }
+
+    /// Prepares and executes a UCQ, decoding the answers.
+    pub fn evaluate_union(
+        &mut self,
+        query: &UnionQuery,
+        semantics: Semantics,
+        net: &mut SimNetwork,
+    ) -> (BTreeSet<Vec<Term>>, FederationStats) {
+        let prepared = self.prepare_union(query);
+        let (ids, stats) = self.execute(&prepared, semantics, net);
+        (self.decode(&ids), stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Term-level baseline (the pre-redesign path), kept for the e12
+    // benchmark ablation and the agreement tests.
+    // ------------------------------------------------------------------
+
+    /// Evaluates a single conjunctive branch federatedly at the term
+    /// level, returning the solution mappings. Every pattern is
+    /// re-compiled at every peer and every binding materialises owned
+    /// terms — this is the baseline the id-level path is measured
+    /// against.
+    fn evaluate_branch_term_level(
         &self,
         branch: &GraphPattern,
         net: &mut SimNetwork,
@@ -118,7 +525,6 @@ impl FederatedEngine {
                 pattern_bindings.extend(bindings);
             }
             stats.peers_contacted = stats.peers_contacted.max(contacted.len());
-            // Union of per-peer bindings may contain duplicates.
             pattern_bindings.sort();
             pattern_bindings.dedup();
             acc = Some(match acc {
@@ -129,28 +535,28 @@ impl FederatedEngine {
         acc.unwrap_or_else(|| vec![Mapping::new()])
     }
 
-    /// Evaluates one conjunctive branch with an explicit head *template*
-    /// (variables or constants — rewriting may specialise an answer
-    /// position to a constant), accumulating into `out` and `stats`.
-    pub fn evaluate_templated(
+    /// Term-level evaluation of one branch with an explicit head
+    /// template, accumulating into `out` and `stats` (baseline
+    /// counterpart of the prepared path's templated projection).
+    pub fn evaluate_templated_term_level(
         &self,
         branch: &GraphPattern,
-        head: &[rps_query::TermOrVar],
+        head: &[TermOrVar],
         semantics: Semantics,
         net: &mut SimNetwork,
         stats: &mut FederationStats,
         out: &mut BTreeSet<Vec<Term>>,
     ) {
-        let mappings = self.evaluate_branch(branch, net, stats);
+        let mappings = self.evaluate_branch_term_level(branch, net, stats);
         'mappings: for m in mappings {
             let mut tuple = Vec::with_capacity(head.len());
             for entry in head {
                 match entry {
-                    rps_query::TermOrVar::Var(v) => match m.get(v) {
+                    TermOrVar::Var(v) => match m.get(v) {
                         Some(t) => tuple.push(t.clone()),
                         None => continue 'mappings,
                     },
-                    rps_query::TermOrVar::Term(t) => tuple.push(t.clone()),
+                    TermOrVar::Term(t) => tuple.push(t.clone()),
                 }
             }
             if semantics == Semantics::Certain && tuple.iter().any(Term::is_blank) {
@@ -160,9 +566,8 @@ impl FederatedEngine {
         }
     }
 
-    /// Evaluates a UCQ federatedly under the given semantics, recording
-    /// traffic into `net`.
-    pub fn evaluate_union(
+    /// Term-level evaluation of a UCQ (the pre-redesign path).
+    pub fn evaluate_union_term_level(
         &self,
         query: &UnionQuery,
         semantics: Semantics,
@@ -171,7 +576,7 @@ impl FederatedEngine {
         let mut stats = FederationStats::default();
         let mut out = BTreeSet::new();
         for branch in query.branches() {
-            let mappings = self.evaluate_branch(branch, net, &mut stats);
+            let mappings = self.evaluate_branch_term_level(branch, net, &mut stats);
             for m in mappings {
                 if let Some(tuple) = m.project(query.free_vars()) {
                     if semantics == Semantics::Certain && tuple.iter().any(Term::is_blank) {
@@ -186,20 +591,15 @@ impl FederatedEngine {
         (out, stats)
     }
 
-    /// Evaluates a single graph pattern query federatedly.
-    pub fn evaluate_query(
+    /// Term-level evaluation of a single graph pattern query.
+    pub fn evaluate_query_term_level(
         &self,
         query: &GraphPatternQuery,
         semantics: Semantics,
         net: &mut SimNetwork,
     ) -> (BTreeSet<Vec<Term>>, FederationStats) {
         let union = UnionQuery::new(query.free_vars().to_vec(), vec![query.pattern().clone()]);
-        self.evaluate_union(&union, semantics, net)
-    }
-
-    /// Number of peers.
-    pub fn peer_count(&self) -> usize {
-        self.locals.len()
+        self.evaluate_union_term_level(&union, semantics, net)
     }
 }
 
@@ -252,7 +652,7 @@ mod tests {
     #[test]
     fn federated_equals_centralised() {
         let sys = system();
-        let engine = FederatedEngine::new(&sys);
+        let mut engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let (fed, stats) = engine.evaluate_query(&path_query(), Semantics::Certain, &mut net);
         let central = central_eval(&sys.stored_database(), &path_query(), Semantics::Certain);
@@ -263,9 +663,37 @@ mod tests {
     }
 
     #[test]
+    fn id_level_agrees_with_term_level() {
+        let sys = system();
+        let mut engine = FederatedEngine::new(&sys);
+        for semantics in [Semantics::Certain, Semantics::Star] {
+            let mut net = SimNetwork::new();
+            let (fed, _) = engine.evaluate_query(&path_query(), semantics, &mut net);
+            let mut net2 = SimNetwork::new();
+            let (term, _) = engine.evaluate_query_term_level(&path_query(), semantics, &mut net2);
+            assert_eq!(fed, term);
+        }
+    }
+
+    #[test]
+    fn prepared_execution_is_repeatable() {
+        let sys = system();
+        let mut engine = FederatedEngine::new(&sys);
+        let prepared = engine.prepare_query(&path_query());
+        assert_eq!(prepared.branch_count(), 1);
+        let mut net = SimNetwork::new();
+        let (first, s1) = engine.execute(&prepared, Semantics::Certain, &mut net);
+        let mut net = SimNetwork::new();
+        let (second, s2) = engine.execute(&prepared, Semantics::Certain, &mut net);
+        assert_eq!(first, second);
+        assert_eq!(s1, s2);
+        assert_eq!(engine.decode(&first).len(), 2);
+    }
+
+    #[test]
     fn cross_peer_join_works() {
         let sys = system();
-        let engine = FederatedEngine::new(&sys);
+        let mut engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let (fed, _) = engine.evaluate_query(&path_query(), Semantics::Certain, &mut net);
         assert!(fed.contains(&vec![Term::iri("http://e/s1"), Term::iri("http://e/o1")]));
@@ -274,7 +702,7 @@ mod tests {
     #[test]
     fn routing_prunes_subqueries() {
         let sys = system();
-        let engine = FederatedEngine::new(&sys);
+        let mut engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         // A pattern anchored in C-only vocabulary contacts one peer.
         let q = GraphPatternQuery::new(
@@ -294,7 +722,7 @@ mod tests {
     #[test]
     fn union_queries_accumulate() {
         let sys = system();
-        let engine = FederatedEngine::new(&sys);
+        let mut engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let u = UnionQuery::new(
             vec![Variable::new("x")],
@@ -313,6 +741,75 @@ mod tests {
         );
         let (ans, _) = engine.evaluate_union(&u, Semantics::Certain, &mut net);
         assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn repeated_variable_within_pattern() {
+        // (x, p, x) must only match reflexive triples, at the id level.
+        let mut p = PeerId(0);
+        let sys = RpsBuilder::new()
+            .peer_turtle(
+                "A",
+                "<http://e/a> <http://e/p> <http://e/a> .\n\
+                 <http://e/a> <http://e/p> <http://e/b> .",
+                &mut p,
+            )
+            .unwrap()
+            .build();
+        let mut engine = FederatedEngine::new(&sys);
+        let q = GraphPatternQuery::new(
+            vec![Variable::new("x")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://e/p"),
+                TermOrVar::var("x"),
+            ),
+        );
+        let mut net = SimNetwork::new();
+        let (ans, _) = engine.evaluate_query(&q, Semantics::Certain, &mut net);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Term::iri("http://e/a")]));
+    }
+
+    #[test]
+    fn constant_head_templates_project() {
+        // A rewriting may specialise an answer position to a constant.
+        let sys = system();
+        let mut engine = FederatedEngine::new(&sys);
+        let branch = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/p"),
+            TermOrVar::var("y"),
+        );
+        let head = vec![
+            TermOrVar::var("x"),
+            TermOrVar::Term(Term::iri("http://answer/const")),
+        ];
+        let prepared = engine.prepare_branches(&[(branch, head)]);
+        let mut net = SimNetwork::new();
+        let (ids, _) = engine.execute(&prepared, Semantics::Certain, &mut net);
+        let ans = engine.decode(&ids);
+        assert_eq!(ans.len(), 2);
+        for tuple in &ans {
+            assert_eq!(tuple[1], Term::iri("http://answer/const"));
+        }
+    }
+
+    #[test]
+    fn dead_branches_are_pruned() {
+        let sys = system();
+        let mut engine = FederatedEngine::new(&sys);
+        let branch = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/p"),
+            TermOrVar::var("y"),
+        );
+        // Head variable `z` never occurs in the body: no tuple can bind.
+        let prepared = engine.prepare_branches(&[(branch, vec![TermOrVar::var("z")])]);
+        let mut net = SimNetwork::new();
+        let (ids, stats) = engine.execute(&prepared, Semantics::Certain, &mut net);
+        assert!(ids.is_empty());
+        assert_eq!(stats.subqueries, 0);
     }
 
     #[test]
@@ -342,7 +839,7 @@ mod tests {
                 TermOrVar::var("y"),
             )),
         );
-        let engine = FederatedEngine::new(&sys);
+        let mut engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let (fed, _) = engine.evaluate_query(&q, Semantics::Certain, &mut net);
         let central = central_eval(&sys.stored_database(), &q, Semantics::Certain);

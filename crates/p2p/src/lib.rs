@@ -15,9 +15,15 @@
 //!   the paper's notion of "the IRIs adopted by the peer");
 //! * [`federation`] — pattern-level federated evaluation with
 //!   originator-side joins, proven (by tests) to coincide with
-//!   centralised evaluation over the stored database;
-//! * [`service`] — the full prototype pipeline: rewrite → decode →
-//!   federate.
+//!   centralised evaluation over the stored database. Queries are
+//!   *prepared once* (routing, per-peer constant resolution, head
+//!   templates) and executed at the id level against an originator-side
+//!   answer dictionary — the term-level path survives as a benchmark
+//!   baseline;
+//! * [`service`] — the full prototype pipeline behind the
+//!   [`service::FederatedSession`] façade (rewrite once → prepare once →
+//!   federate repeatedly), sharing `rps_core`'s `Session` vocabulary
+//!   (`EngineConfig`, `AnswerStream`, `ExecRoute`, `RpsError`).
 
 #![warn(missing_docs)]
 
@@ -26,7 +32,9 @@ pub mod network;
 pub mod routing;
 pub mod service;
 
-pub use federation::{FederatedEngine, FederationStats};
+pub use federation::{FederatedEngine, FederationStats, PreparedFederation};
 pub use network::{CostModel, Message, NodeId, SimNetwork};
 pub use routing::SchemaIndex;
-pub use service::{P2pQueryService, ServiceAnswer};
+pub use service::{
+    FederatedAnswer, FederatedSession, P2pQueryService, PreparedFederatedQuery, ServiceAnswer,
+};

@@ -1,14 +1,205 @@
 //! The Section 5 prototype, end to end: a SPARQL query service that
 //! (a) rewrites the query to entail the peer mappings and (b) evaluates
 //! the rewriting federatedly over the sources.
+//!
+//! [`FederatedSession`] is the federated counterpart of
+//! [`rps_core::Session`], sharing its vocabulary: it is built from an
+//! [`RdfPeerSystem`] plus an [`EngineConfig`], compiles a query **once**
+//! with [`FederatedSession::prepare`] (canonical UCQ rewriting + id-level
+//! federation plan) into a [`PreparedFederatedQuery`], executes it any
+//! number of times, streams answers through
+//! [`rps_core::AnswerStream`], and reports failures as
+//! [`rps_core::RpsError`]. The old [`P2pQueryService`] remains as a thin
+//! shim.
 
-use crate::federation::{FederatedEngine, FederationStats};
+use crate::federation::{FederatedEngine, FederationStats, PreparedFederation};
 use crate::network::{CostModel, SimNetwork};
-use rps_core::{AnswerSet, RdfPeerSystem, RpsRewriter};
+use rps_core::{
+    AnswerSet, AnswerStream, EngineConfig, ExecRoute, RdfPeerSystem, RpsError, RpsRewriter,
+};
 use rps_query::{GraphPatternQuery, Semantics};
 use rps_tgd::RewriteConfig;
 
-/// Result of a federated, rewriting-backed query execution.
+/// A query compiled once against a [`FederatedSession`]: the canonical
+/// UCQ rewriting is expanded and every branch is routed, constant-
+/// resolved and id-compiled for repeated federated execution — on the
+/// session that prepared it (the compiled plan's term ids belong to that
+/// session's answer dictionary; execution elsewhere returns
+/// [`RpsError::SessionMismatch`]).
+pub struct PreparedFederatedQuery {
+    session_id: u64,
+    query: GraphPatternQuery,
+    prepared: PreparedFederation,
+    complete: bool,
+    branches: usize,
+}
+
+impl PreparedFederatedQuery {
+    /// `true` iff the rewriting was exhaustive (perfect under
+    /// Proposition 2's conditions).
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of UNION branches compiled.
+    pub fn branch_count(&self) -> usize {
+        self.branches
+    }
+
+    /// The source query.
+    pub fn query(&self) -> &GraphPatternQuery {
+        &self.query
+    }
+}
+
+/// Result of one federated execution: a streaming answer iterator plus
+/// the run's completeness flag and traffic statistics.
+pub struct FederatedAnswer {
+    /// The answers (route is [`ExecRoute::Federated`]).
+    pub stream: AnswerStream,
+    /// `true` iff the underlying rewriting was exhaustive.
+    pub complete: bool,
+    /// Number of UNION branches evaluated.
+    pub branches: usize,
+    /// Federation traffic statistics.
+    pub stats: FederationStats,
+    /// Simulated wall-clock of the federated round.
+    pub makespan_ms: f64,
+}
+
+/// The federated answering façade: rewrite against the quotient system
+/// once, federate the id-compiled branches over the canonical peer
+/// stores, expand the answers back over the equivalence classes.
+pub struct FederatedSession {
+    id: u64,
+    rewriter: RpsRewriter,
+    engine: FederatedEngine,
+    config: EngineConfig,
+    cost_model: CostModel,
+}
+
+/// Process-unique federated-session ids (see
+/// [`PreparedFederatedQuery`]'s session-binding contract).
+fn next_session_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl FederatedSession {
+    /// Builds a session after validating the system.
+    pub fn open(system: &RdfPeerSystem, config: EngineConfig) -> Result<Self, RpsError> {
+        system.validate()?;
+        Ok(Self::new(system, config))
+    }
+
+    /// Builds a session without validating the system. Peer stores are
+    /// canonicalised on equivalence classes (the combined approach), so
+    /// rewriting only has to expand graph-mapping dependencies.
+    pub fn new(system: &RdfPeerSystem, config: EngineConfig) -> Self {
+        let rewriter = RpsRewriter::new(system);
+        let engine = FederatedEngine::new_canonical(system, rewriter.index());
+        FederatedSession {
+            id: next_session_id(),
+            rewriter,
+            engine,
+            config,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Overrides the network cost model.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (applies to queries prepared
+    /// afterwards).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    /// `true` iff Proposition 2 guarantees the rewriting is perfect.
+    pub fn fo_rewritable(&self) -> bool {
+        self.rewriter.fo_rewritable()
+    }
+
+    /// Compiles a query once for repeated federated execution: canonical
+    /// UCQ rewriting, branch decoding, per-pattern routing, per-peer
+    /// constant resolution and head-template interning all happen here.
+    ///
+    /// The federated pipeline computes certain answers; requesting the
+    /// `Q*` semantics is a configuration error
+    /// ([`RpsError::StarNeedsMaterialisation`]).
+    pub fn prepare(
+        &mut self,
+        query: &GraphPatternQuery,
+    ) -> Result<PreparedFederatedQuery, RpsError> {
+        if self.config.semantics == Semantics::Star {
+            return Err(RpsError::StarNeedsMaterialisation);
+        }
+        let rewriting = self.rewriter.rewrite_canonical(query, &self.config.rewrite);
+        let branches = rewriting.branches(self.rewriter.encoder());
+        let prepared = self.engine.prepare_branches(&branches);
+        Ok(PreparedFederatedQuery {
+            session_id: self.id,
+            query: query.clone(),
+            prepared,
+            complete: rewriting.complete,
+            branches: branches.len(),
+        })
+    }
+
+    /// Executes a prepared query: federate every branch over the
+    /// canonical peer stores at the id level, then expand the union over
+    /// the equivalence classes. No term is re-parsed or re-interned per
+    /// peer per round — that work happened once, at prepare time. The
+    /// query must have been prepared by *this* session
+    /// ([`RpsError::SessionMismatch`] otherwise — its term ids belong to
+    /// this session's answer dictionary).
+    pub fn execute(&self, prepared: &PreparedFederatedQuery) -> Result<FederatedAnswer, RpsError> {
+        if prepared.session_id != self.id {
+            return Err(RpsError::SessionMismatch);
+        }
+        let mut net = SimNetwork::new();
+        let (canon_ids, stats) =
+            self.engine
+                .execute(&prepared.prepared, Semantics::Certain, &mut net);
+        let canon_tuples = self.engine.decode(&canon_ids);
+        let tuples = rps_core::expand_answers(&canon_tuples, self.rewriter.index());
+        let makespan_ms = net.round_makespan_ms(&self.cost_model, self.engine.peer_count());
+        let vars = prepared
+            .query
+            .free_vars()
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect();
+        Ok(FederatedAnswer {
+            stream: AnswerStream::from_terms(vars, ExecRoute::Federated, tuples),
+            complete: prepared.complete,
+            branches: prepared.branches,
+            stats,
+            makespan_ms,
+        })
+    }
+
+    /// Prepares and executes in one call. Prefer
+    /// [`FederatedSession::prepare`] + [`FederatedSession::execute`] when
+    /// the same query runs repeatedly.
+    pub fn answer(&mut self, query: &GraphPatternQuery) -> Result<FederatedAnswer, RpsError> {
+        let prepared = self.prepare(query)?;
+        self.execute(&prepared)
+    }
+}
+
+/// Result of a federated, rewriting-backed query execution (legacy
+/// shape; see [`FederatedAnswer`] for the streaming form).
 #[derive(Clone, Debug)]
 pub struct ServiceAnswer {
     /// The certain answers.
@@ -24,83 +215,51 @@ pub struct ServiceAnswer {
     pub makespan_ms: f64,
 }
 
-/// The query service: owns the rewriter and the federated engine.
+/// The legacy query service, kept as a thin shim over
+/// [`FederatedSession`]. **Deprecated in favour of `FederatedSession`**,
+/// which prepares queries once, streams answers and reports typed
+/// errors.
 pub struct P2pQueryService {
-    rewriter: RpsRewriter,
-    engine: FederatedEngine,
-    rewrite_config: RewriteConfig,
-    cost_model: CostModel,
+    session: FederatedSession,
 }
 
 impl P2pQueryService {
-    /// Builds the service for a system. Peer stores are canonicalised on
-    /// equivalence classes (the combined approach), so rewriting only has
-    /// to expand graph-mapping dependencies.
+    /// Builds the service for a system.
     pub fn new(system: &RdfPeerSystem) -> Self {
-        let rewriter = RpsRewriter::new(system);
-        let engine = FederatedEngine::new_canonical(system, rewriter.index());
         P2pQueryService {
-            rewriter,
-            engine,
-            rewrite_config: RewriteConfig::default(),
-            cost_model: CostModel::default(),
+            session: FederatedSession::new(system, EngineConfig::default()),
         }
     }
 
     /// Overrides the rewriting budgets.
     pub fn with_rewrite_config(mut self, config: RewriteConfig) -> Self {
-        self.rewrite_config = config;
+        self.session.config_mut().rewrite = config;
         self
     }
 
     /// Overrides the network cost model.
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
-        self.cost_model = model;
+        self.session = self.session.with_cost_model(model);
         self
     }
 
     /// `true` iff Proposition 2 guarantees the rewriting is perfect.
     pub fn fo_rewritable(&self) -> bool {
-        self.rewriter.fo_rewritable()
+        self.session.fo_rewritable()
     }
 
-    /// Answers a query: rewrite against the quotient system, decode each
-    /// branch to an RDF pattern plus head template, federate every
-    /// branch over the canonical peer stores, then expand the union over
-    /// the equivalence classes.
+    /// Answers a query through the prepared federated pipeline.
     pub fn answer(&mut self, query: &GraphPatternQuery) -> ServiceAnswer {
-        let rewriting = self.rewriter.rewrite_canonical(query, &self.rewrite_config);
-        let branches = rewriting.branches(self.rewriter.encoder());
-        let mut net = SimNetwork::new();
-        let mut stats = crate::federation::FederationStats::default();
-        let mut canon_tuples = std::collections::BTreeSet::new();
-        for (pattern, template) in &branches {
-            self.engine.evaluate_templated(
-                pattern,
-                template,
-                Semantics::Certain,
-                &mut net,
-                &mut stats,
-                &mut canon_tuples,
-            );
-        }
-        let tuples = rps_core::expand_answers(&canon_tuples, self.rewriter.index());
-        stats.messages = net.message_count();
-        stats.bytes = net.total_bytes();
-        let makespan_ms = net.round_makespan_ms(&self.cost_model, self.engine.peer_count());
+        let result = self
+            .session
+            .answer(query)
+            .expect("certain-semantics federated answering is infallible");
         ServiceAnswer {
-            answers: AnswerSet {
-                vars: query
-                    .free_vars()
-                    .iter()
-                    .map(|v| v.name().to_string())
-                    .collect(),
-                tuples,
-            },
-            complete: rewriting.complete,
-            branches: branches.len(),
-            stats,
-            makespan_ms,
+            complete: result.complete,
+            branches: result.branches,
+            stats: result.stats.clone(),
+            makespan_ms: result.makespan_ms,
+            answers: result.stream.into_set(),
         }
     }
 }
@@ -179,5 +338,49 @@ mod tests {
         let r2 = service.answer(&cast_query());
         assert_eq!(r1.answers.tuples, r2.answers.tuples);
         assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn session_prepares_once_and_executes_repeatedly() {
+        let sys = linear_system();
+        let mut session = FederatedSession::open(&sys, EngineConfig::default()).unwrap();
+        let prepared = session.prepare(&cast_query()).unwrap();
+        assert!(prepared.complete());
+        assert!(prepared.branch_count() >= 2);
+        let first = session.execute(&prepared).unwrap();
+        assert_eq!(first.stream.route(), ExecRoute::Federated);
+        let second = session.execute(&prepared).unwrap();
+        assert_eq!(first.stats, second.stats);
+        let a = first.stream.into_set();
+        let b = second.stream.into_set();
+        assert_eq!(a.tuples, b.tuples);
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        assert_eq!(a.tuples, certain_answers(&sol, &cast_query()).tuples);
+    }
+
+    #[test]
+    fn foreign_prepared_queries_are_rejected() {
+        let sys = linear_system();
+        let mut a = FederatedSession::open(&sys, EngineConfig::default()).unwrap();
+        let b = FederatedSession::open(&sys, EngineConfig::default()).unwrap();
+        let prepared = a.prepare(&cast_query()).unwrap();
+        // Executing against another session's answer dictionary would
+        // silently mistranslate ids; it must error instead.
+        assert!(matches!(
+            b.execute(&prepared),
+            Err(RpsError::SessionMismatch)
+        ));
+        assert!(!a.execute(&prepared).unwrap().stream.into_set().is_empty());
+    }
+
+    #[test]
+    fn star_semantics_is_rejected() {
+        let sys = linear_system();
+        let cfg = EngineConfig::default().with_semantics(Semantics::Star);
+        let mut session = FederatedSession::open(&sys, cfg).unwrap();
+        assert!(matches!(
+            session.prepare(&cast_query()),
+            Err(RpsError::StarNeedsMaterialisation)
+        ));
     }
 }

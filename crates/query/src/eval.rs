@@ -361,6 +361,116 @@ pub fn has_match_with(
     found
 }
 
+/// A graph pattern *query* compiled once against a graph's dictionary to
+/// an id-level plan: planner-ordered conjunct slots plus the projection
+/// of the query's free variables into the dense variable table. Where
+/// [`PreparedPattern`] answers repeated *match* probes, a
+/// `PreparedQueryIds` answers repeated *evaluations* — full or delta —
+/// without re-compiling, re-ordering or re-resolving constants per call.
+pub struct PreparedQueryIds {
+    compiled: Compiled,
+    /// Free-variable projection into compiled variable indexes; `None`
+    /// when some free variable does not occur in the pattern (the answer
+    /// set is then empty).
+    proj: Option<Vec<usize>>,
+}
+
+impl PreparedQueryIds {
+    /// Compiles `query` against `graph`, interning the pattern's
+    /// constants so the plan stays valid as the graph grows (a constant
+    /// with no triples simply matches nothing until triples arrive).
+    pub fn new(graph: &mut Graph, query: &GraphPatternQuery) -> Self {
+        for pat in query.pattern().patterns() {
+            for tv in [&pat.s, &pat.p, &pat.o] {
+                if let TermOrVar::Term(t) = tv {
+                    graph.intern(t);
+                }
+            }
+        }
+        Self::compile_only(graph, query)
+    }
+
+    /// Compiles `query` against a graph *without* interning its
+    /// constants: a constant missing from the dictionary makes the plan
+    /// unsatisfiable. Correct for frozen graphs (e.g. a materialised
+    /// universal solution) — a graph that later gains triples could make
+    /// the missing constant appear, which this plan would not notice.
+    pub fn compile_only(graph: &Graph, query: &GraphPatternQuery) -> Self {
+        let compiled = compile(graph, query.pattern());
+        let proj = projection(&compiled, query);
+        PreparedQueryIds { compiled, proj }
+    }
+
+    /// Evaluates the plan, returning id-level answer tuples (dense,
+    /// copy-free). Under [`Semantics::Certain`], tuples containing blank
+    /// nodes are dropped. `graph` must be the graph the plan was compiled
+    /// against (or a descendant sharing its dictionary ids).
+    pub fn evaluate(&self, graph: &Graph, semantics: Semantics) -> BTreeSet<Vec<TermId>> {
+        let mut out = BTreeSet::new();
+        if !self.compiled.satisfiable {
+            return out;
+        }
+        let Some(proj) = &self.proj else {
+            return out;
+        };
+        let mut binding: Vec<Option<TermId>> = vec![None; self.compiled.vars.len()];
+        search(graph, &self.compiled.slots, 0, &mut binding, &mut |b| {
+            project_into(graph, proj, b, semantics, &mut out);
+            true
+        });
+        out
+    }
+
+    /// Delta evaluation: the answer tuples with at least one witness
+    /// using a triple inserted at log index `log_from` or later (see
+    /// [`Graph::log_since`] and [`evaluate_query_ids_delta`]).
+    pub fn evaluate_delta(
+        &self,
+        graph: &Graph,
+        semantics: Semantics,
+        log_from: usize,
+    ) -> BTreeSet<Vec<TermId>> {
+        let mut out = BTreeSet::new();
+        if graph.log_since(log_from).is_empty() || !self.compiled.satisfiable {
+            return out;
+        }
+        let Some(proj) = &self.proj else {
+            return out;
+        };
+        // One pass per pivot conjunct: the pivot ranges over the delta
+        // triples, the remaining conjuncts over the whole graph (ordered
+        // with the pivot's variables pre-bound). Tuples found via several
+        // pivots collapse in the output set.
+        for pivot in 0..self.compiled.slots.len() {
+            let slot = self.compiled.slots[pivot];
+            let mut rest: Vec<[Slot; 3]> = self
+                .compiled
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pivot)
+                .map(|(_, s)| *s)
+                .collect();
+            let pivot_vars: BTreeSet<usize> = slot
+                .iter()
+                .filter_map(|s| match s {
+                    Slot::Var(v) => Some(*v),
+                    Slot::Const(_) => None,
+                })
+                .collect();
+            order_slots(graph, &mut rest, pivot_vars);
+            let mut binding: Vec<Option<TermId>> = vec![None; self.compiled.vars.len()];
+            for t in graph.log_since(log_from) {
+                match_one(graph, &rest, 0, &slot, t, &mut binding, &mut |b| {
+                    project_into(graph, proj, b, semantics, &mut out);
+                    true
+                });
+            }
+        }
+        out
+    }
+}
+
 /// Evaluates a graph pattern query at the id level: answer tuples are
 /// [`TermId`]s of this graph's dictionary (dense, copy-free). Under
 /// [`Semantics::Certain`], tuples containing blank nodes are dropped.
@@ -369,20 +479,7 @@ pub fn evaluate_query_ids(
     query: &GraphPatternQuery,
     semantics: Semantics,
 ) -> BTreeSet<Vec<TermId>> {
-    let compiled = compile(graph, query.pattern());
-    if !compiled.satisfiable {
-        return BTreeSet::new();
-    }
-    let Some(proj) = projection(&compiled, query) else {
-        return BTreeSet::new();
-    };
-    let mut out = BTreeSet::new();
-    let mut binding: Vec<Option<TermId>> = vec![None; compiled.vars.len()];
-    search(graph, &compiled.slots, 0, &mut binding, &mut |binding| {
-        project_into(graph, &proj, binding, semantics, &mut out);
-        true
-    });
-    out
+    PreparedQueryIds::compile_only(graph, query).evaluate(graph, semantics)
 }
 
 /// Delta evaluation: the answer tuples of `query` that have at least one
@@ -399,48 +496,7 @@ pub fn evaluate_query_ids_delta(
     semantics: Semantics,
     log_from: usize,
 ) -> BTreeSet<Vec<TermId>> {
-    let delta = graph.log_since(log_from);
-    let mut out = BTreeSet::new();
-    if delta.is_empty() {
-        return out;
-    }
-    let compiled = compile(graph, query.pattern());
-    if !compiled.satisfiable {
-        return out;
-    }
-    let Some(proj) = projection(&compiled, query) else {
-        return out;
-    };
-    // One pass per pivot conjunct: the pivot ranges over the delta
-    // triples, the remaining conjuncts over the whole graph (ordered with
-    // the pivot's variables pre-bound). Tuples found via several pivots
-    // collapse in the output set.
-    for pivot in 0..compiled.slots.len() {
-        let slot = compiled.slots[pivot];
-        let mut rest: Vec<[Slot; 3]> = compiled
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != pivot)
-            .map(|(_, s)| *s)
-            .collect();
-        let pivot_vars: BTreeSet<usize> = slot
-            .iter()
-            .filter_map(|s| match s {
-                Slot::Var(v) => Some(*v),
-                Slot::Const(_) => None,
-            })
-            .collect();
-        order_slots(graph, &mut rest, pivot_vars);
-        let mut binding: Vec<Option<TermId>> = vec![None; compiled.vars.len()];
-        for &t in delta {
-            match_one(graph, &rest, 0, &slot, t, &mut binding, &mut |binding| {
-                project_into(graph, &proj, binding, semantics, &mut out);
-                true
-            });
-        }
-    }
-    out
+    PreparedQueryIds::compile_only(graph, query).evaluate_delta(graph, semantics, log_from)
 }
 
 /// Maps the query's free variables to compiled variable indexes; `None`
@@ -718,6 +774,48 @@ _:c3 e:artist e:actor1 .
             .unwrap();
         let delta = evaluate_query_ids_delta(&g, &q, Semantics::Certain, mark);
         assert_eq!(delta.len(), 1);
+    }
+
+    #[test]
+    fn prepared_query_survives_graph_growth() {
+        let mut g = Graph::new();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::var("y"),
+        );
+        let q = GraphPatternQuery::new(vec![var("x"), var("y")], gp);
+        // Interning constructor on an empty graph: the constant gets an
+        // id up front, so the plan keeps working as triples arrive.
+        let plan = PreparedQueryIds::new(&mut g, &q);
+        assert!(plan.evaluate(&g, Semantics::Certain).is_empty());
+        let mark = g.log_len();
+        g.insert_terms(
+            Term::iri("http://e/actor1"),
+            Term::iri("http://e/age"),
+            Term::literal("39"),
+        )
+        .unwrap();
+        assert_eq!(plan.evaluate(&g, Semantics::Certain).len(), 1);
+        assert_eq!(plan.evaluate_delta(&g, Semantics::Certain, mark).len(), 1);
+        // Repeated execution agrees with the one-shot helpers.
+        assert_eq!(
+            plan.evaluate(&g, Semantics::Certain),
+            evaluate_query_ids(&g, &q, Semantics::Certain)
+        );
+    }
+
+    #[test]
+    fn prepared_query_missing_free_var_is_empty() {
+        let g = graph();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::var("y"),
+        );
+        let q = GraphPatternQuery::new(vec![var("x"), var("unbound")], gp);
+        let plan = PreparedQueryIds::compile_only(&g, &q);
+        assert!(plan.evaluate(&g, Semantics::Star).is_empty());
     }
 
     #[test]

@@ -81,6 +81,18 @@ impl TermDict {
         self.terms.is_empty()
     }
 
+    /// Interns every term of `other` into `self` and returns the
+    /// translation table from `other`'s ids to `self`'s: entry `i` is the
+    /// id in `self` of `other`'s term `i`.
+    ///
+    /// This is the cross-dictionary bridge federated evaluation builds
+    /// on: each peer keeps its own dictionary, the originator absorbs
+    /// them once, and per-tuple id translation is then a dense array
+    /// lookup instead of a term re-interning.
+    pub fn absorb(&mut self, other: &TermDict) -> Vec<TermId> {
+        other.terms.iter().map(|t| self.intern(t)).collect()
+    }
+
     /// Iterates over all `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
         self.terms
@@ -144,6 +156,23 @@ mod tests {
         assert!(d.is_name(i));
         assert!(!d.is_name(b));
         assert!(d.is_name(l));
+    }
+
+    #[test]
+    fn absorb_builds_translation_table() {
+        let mut a = TermDict::new();
+        a.intern(&Term::iri("shared"));
+        let mut b = TermDict::new();
+        b.intern(&Term::iri("b-only"));
+        b.intern(&Term::iri("shared"));
+        let table = a.absorb(&b);
+        assert_eq!(table.len(), 2);
+        for (id, term) in b.iter() {
+            assert_eq!(a.term(table[id.index()]), term);
+        }
+        // Shared terms map onto the existing id, not a duplicate.
+        assert_eq!(table[1], TermId(0));
+        assert_eq!(a.len(), 2);
     }
 
     #[test]

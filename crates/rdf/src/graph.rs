@@ -27,11 +27,33 @@ pub struct Graph {
     /// Number of triples per predicate id, maintained for selectivity
     /// estimation in the query planner.
     pred_counts: HashMap<TermId, usize>,
-    /// Insertion-ordered log of the triples added to this graph, powering
-    /// delta-driven (semi-naive) consumers: "the triples added since log
-    /// index `n`" is the contiguous slice `log_since(n)`. Removing a
-    /// triple erases its log entry.
+    /// Insertion-ordered, append-only log of the triples added to this
+    /// graph, powering delta-driven (semi-naive) consumers: "the triples
+    /// added since log index `n`" is the window `log_since(n)`. Removing
+    /// a triple *tombstones* its entry (see [`Graph::remove_ids`])
+    /// instead of erasing it, so log indexes — and outstanding marks —
+    /// stay stable across removals.
     log: Vec<IdTriple>,
+    /// Tombstone bitset over `log`, one bit per entry. Stays empty until
+    /// the first removal, so insert-only consumers pay nothing.
+    log_dead: Vec<u64>,
+    /// Lazily-built map from a live triple to its log index. Built on the
+    /// first removal (one pass over the log) and maintained incrementally
+    /// afterwards, making removal O(1) amortised; insert-only workloads
+    /// never allocate it.
+    log_pos: Option<HashMap<IdTriple, u32>>,
+}
+
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+}
+
+fn bit_set(bits: &mut Vec<u64>, i: usize) {
+    let word = i / 64;
+    if bits.len() <= word {
+        bits.resize(word + 1, 0);
+    }
+    bits[word] |= 1 << (i % 64);
 }
 
 impl Graph {
@@ -88,34 +110,50 @@ impl Graph {
             self.pos.insert([t.p.0, t.o.0, t.s.0]);
             self.osp.insert([t.o.0, t.s.0, t.p.0]);
             *self.pred_counts.entry(t.p).or_insert(0) += 1;
+            if let Some(pos) = &mut self.log_pos {
+                pos.insert(t, self.log.len() as u32);
+            }
             self.log.push(t);
         }
         added
     }
 
-    /// The number of insertions logged so far (equals [`Graph::len`],
-    /// since removals also erase their log entry). A snapshot of this
-    /// value marks a delta window for [`Graph::log_since`].
+    /// The number of log slots so far (insertions, including tombstoned
+    /// ones). A snapshot of this value marks a delta window for
+    /// [`Graph::log_since`].
     ///
-    /// **Removal invalidates outstanding marks:** [`Graph::remove`]
-    /// erases the triple's log entry, shifting the indexes of every
-    /// later entry down by one, so a mark taken before a removal no
-    /// longer bounds the same window. Delta-driven consumers (the chase,
-    /// [`rps_query::evaluate_query_ids_delta`]-style evaluation) operate
-    /// on monotonically-growing graphs and must not hold marks across
-    /// removals.
+    /// The log is append-only: removals tombstone their entry rather than
+    /// erasing it, so indexes never shift and a mark taken before a
+    /// removal still bounds exactly the insertions made after it.
     pub fn log_len(&self) -> usize {
         self.log.len()
     }
 
-    /// The triples inserted since log index `from`, in insertion order.
-    /// See [`Graph::log_len`] for the mark-invalidation contract around
-    /// removals.
-    pub fn log_since(&self, from: usize) -> &[IdTriple] {
-        &self.log[from.min(self.log.len())..]
+    /// The still-present triples inserted at log index `from` or later,
+    /// in insertion order (tombstoned entries are skipped).
+    pub fn log_since(&self, from: usize) -> LogWindow<'_> {
+        LogWindow {
+            log: &self.log,
+            dead: &self.log_dead,
+            next: from.min(self.log.len()),
+        }
+    }
+
+    /// The log entry at index `i`, or `None` if it is out of range or
+    /// tombstoned by a removal.
+    pub fn log_entry(&self, i: usize) -> Option<IdTriple> {
+        if i < self.log.len() && !bit_get(&self.log_dead, i) {
+            Some(self.log[i])
+        } else {
+            None
+        }
     }
 
     /// Removes an interned triple. Returns `true` if it was present.
+    ///
+    /// The triple's insertion-log entry is tombstoned in O(1) amortised
+    /// time (the triple→index map is built lazily on the first removal
+    /// and maintained incrementally from then on).
     pub fn remove_ids(&mut self, t: IdTriple) -> bool {
         let removed = self.spo.remove(&[t.s.0, t.p.0, t.o.0]);
         if removed {
@@ -127,9 +165,21 @@ impl Graph {
                     self.pred_counts.remove(&t.p);
                 }
             }
-            if let Some(i) = self.log.iter().rposition(|&x| x == t) {
-                self.log.remove(i);
+            if self.log_pos.is_none() {
+                // First removal: index the live log entries (each present
+                // triple has exactly one non-tombstoned entry).
+                let map: HashMap<IdTriple, u32> = self
+                    .log
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| !bit_get(&self.log_dead, i))
+                    .map(|(i, &entry)| (entry, i as u32))
+                    .collect();
+                self.log_pos = Some(map);
             }
+            let pos = self.log_pos.as_mut().expect("just built");
+            let i = pos.remove(&t).expect("present triple has a live log entry") as usize;
+            bit_set(&mut self.log_dead, i);
         }
         removed
     }
@@ -332,6 +382,45 @@ impl PartialEq for Graph {
 
 impl Eq for Graph {}
 
+/// A delta window over the insertion log: iterates the still-present
+/// triples inserted at or after some log index, in insertion order
+/// (see [`Graph::log_since`]). `Clone` is cheap — consumers that pass
+/// over the window several times (e.g. one pass per pivot conjunct in
+/// delta query evaluation) can re-clone the window instead of collecting
+/// it.
+#[derive(Clone)]
+pub struct LogWindow<'g> {
+    log: &'g [IdTriple],
+    dead: &'g [u64],
+    next: usize,
+}
+
+impl LogWindow<'_> {
+    /// `true` iff the window holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.clone().next().is_none()
+    }
+}
+
+impl Iterator for LogWindow<'_> {
+    type Item = IdTriple;
+
+    fn next(&mut self) -> Option<IdTriple> {
+        while self.next < self.log.len() {
+            let i = self.next;
+            self.next += 1;
+            if !bit_get(self.dead, i) {
+                return Some(self.log[i]);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.log.len() - self.next))
+    }
+}
+
 enum Perm {
     Spo,
     Pos,
@@ -526,13 +615,26 @@ mod tests {
         g.insert_terms(Term::iri("a"), Term::iri("p"), Term::iri("b"))
             .unwrap();
         assert_eq!(g.log_len(), 2);
-        assert_eq!(g.log_since(mark).len(), 1);
-        // Removal erases the log entry.
+        assert_eq!(g.log_since(mark).count(), 1);
+        // Removal tombstones the log entry: indexes (and marks) stay
+        // stable, but the window skips the removed triple.
         let t = Triple::new(Term::iri("c"), Term::iri("p"), Term::iri("d")).unwrap();
         g.remove(&t);
-        assert_eq!(g.log_len(), 1);
+        assert_eq!(g.log_len(), 2);
         assert!(g.log_since(mark).is_empty());
+        assert_eq!(
+            g.log_entry(0).unwrap().s,
+            g.term_id(&Term::iri("a")).unwrap()
+        );
+        assert!(g.log_entry(1).is_none());
         assert!(g.log_since(999).is_empty());
+        // Re-insertion after removal logs a fresh entry in the window.
+        g.insert_terms(Term::iri("c"), Term::iri("p"), Term::iri("d"))
+            .unwrap();
+        assert_eq!(g.log_since(mark).count(), 1);
+        // A second removal exercises the incrementally-maintained map.
+        g.remove(&t);
+        assert!(g.log_since(mark).is_empty());
     }
 
     #[test]

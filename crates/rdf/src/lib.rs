@@ -36,7 +36,7 @@ pub mod turtle;
 
 pub use dict::{TermDict, TermId};
 pub use error::RdfError;
-pub use graph::Graph;
+pub use graph::{Graph, LogWindow};
 pub use namespace::{vocab, PrefixMap};
 pub use term::{BlankNode, Iri, Literal, LiteralAnnotation, Term, TermKind};
 pub use triple::{IdTriple, Triple, TriplePosition};

@@ -12,7 +12,7 @@
 //! from old facts and never runs per-trigger satisfaction checks.
 //!
 //! Rules are compiled once to the same id-level representation the chase
-//! uses ([`crate::chase`]); the per-round delta is an [`InstanceMark`]
+//! uses ([`mod@crate::chase`]); the per-round delta is an [`InstanceMark`]
 //! window over the instance's insertion-ordered rows, so no separate
 //! delta instance is materialised.
 

@@ -5,7 +5,7 @@
 //! `u32` ids ([`ValId`], [`PredId`]) on first contact — the same idiom as
 //! `rps_rdf::TermDict` — and every hot-path operation (row storage,
 //! index probes, join matching in [`crate::hom`], the semi-naive chase in
-//! [`crate::chase`]) works purely on ids. The string-level [`Fact`] API
+//! [`mod@crate::chase`]) works purely on ids. The string-level [`Fact`] API
 //! is the boundary: `insert`/`contains`/`iter` translate through the
 //! dictionaries.
 //!
@@ -89,19 +89,97 @@ impl ValueDict {
     }
 }
 
-/// One predicate's rows: insertion-ordered storage, a membership set and
-/// per-position hash indexes mapping a value id to the (ascending) row
-/// indices where it occurs.
+/// An open-addressing membership set over the *indexes* of a relation's
+/// row store. Rows are hashed and compared through the backing `rows`
+/// vector, so each row is stored exactly once — replacing the former
+/// `HashSet<Box<[ValId]>>` that duplicated every row as its own key and
+/// doubled resident row memory at large chase sizes.
+#[derive(Clone, Default, Debug)]
+struct RowSet {
+    /// Power-of-two slot table; `0` is empty, otherwise `row index + 1`.
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl RowSet {
+    /// SplitMix64-style avalanche over the row's value ids.
+    fn hash_row(row: &[ValId]) -> u64 {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15 ^ (row.len() as u64);
+        for &v in row {
+            h ^= u64::from(v.0).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            h ^= h >> 31;
+        }
+        h
+    }
+
+    fn contains(&self, rows: &[Box<[ValId]>], row: &[ValId]) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash_row(row) as usize & mask;
+        loop {
+            match self.slots[i] {
+                0 => return false,
+                slot => {
+                    if rows[(slot - 1) as usize].as_ref() == row {
+                        return true;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Records `row_idx` (the about-to-be-pushed position in `rows`) for
+    /// a row known to be absent. `rows` must not yet contain the row —
+    /// the caller pushes it right after.
+    fn insert_new(&mut self, rows: &[Box<[ValId]>], row: &[ValId], row_idx: u32) {
+        if self.len * 8 >= self.slots.len() * 7 {
+            self.grow(rows);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash_row(row) as usize & mask;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = row_idx + 1;
+        self.len += 1;
+    }
+
+    fn grow(&mut self, rows: &[Box<[ValId]>]) {
+        let cap = (self.slots.len() * 2).max(16);
+        let mask = cap - 1;
+        let mut next = vec![0u32; cap];
+        for &slot in &self.slots {
+            if slot == 0 {
+                continue;
+            }
+            let mut i = Self::hash_row(&rows[(slot - 1) as usize]) as usize & mask;
+            while next[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            next[i] = slot;
+        }
+        self.slots = next;
+    }
+}
+
+/// One predicate's rows: insertion-ordered storage, an index-based
+/// membership set ([`RowSet`]) and per-position hash indexes mapping a
+/// value id to the (ascending) row indices where it occurs.
 #[derive(Clone, Default, Debug)]
 struct Relation {
     rows: Vec<Box<[ValId]>>,
-    seen: HashSet<Box<[ValId]>>,
+    seen: RowSet,
     index: Vec<HashMap<ValId, Vec<u32>>>,
 }
 
 impl Relation {
     fn insert(&mut self, row: Box<[ValId]>) -> bool {
-        if self.seen.contains(&row) {
+        if self.seen.contains(&self.rows, &row) {
             return false;
         }
         let row_idx = u32::try_from(self.rows.len()).expect("relation overflow");
@@ -111,9 +189,13 @@ impl Relation {
         for (pos, &v) in row.iter().enumerate() {
             self.index[pos].entry(v).or_default().push(row_idx);
         }
-        self.seen.insert(row.clone());
+        self.seen.insert_new(&self.rows, &row, row_idx);
         self.rows.push(row);
         true
+    }
+
+    fn contains(&self, row: &[ValId]) -> bool {
+        self.seen.contains(&self.rows, row)
     }
 
     /// The positions of rows whose position `pos` holds `v`, ascending.
@@ -219,14 +301,14 @@ impl Instance {
         };
         let row: Option<Box<[ValId]>> = fact.args.iter().map(|v| self.vals.id(v)).collect();
         match row {
-            Some(row) => self.relations[pred.index()].seen.contains(&row),
+            Some(row) => self.relations[pred.index()].contains(&row),
             None => false,
         }
     }
 
     /// Id-level membership test.
     pub fn contains_row(&self, pred: PredId, row: &[ValId]) -> bool {
-        self.relations[pred.index()].seen.contains(row)
+        self.relations[pred.index()].contains(row)
     }
 
     /// Total number of facts.
@@ -469,6 +551,23 @@ mod tests {
         assert_eq!(i.postings(p, 0, a), &[0, 2]);
         assert_eq!(i.postings(p, 1, a), &[1, 2]);
         assert_eq!(i.postings(p, 2, a), &[] as &[u32]);
+    }
+
+    #[test]
+    fn row_set_dedups_across_growth() {
+        // Push enough distinct rows through one relation to force several
+        // RowSet grow/rehash cycles, then re-insert everything.
+        let mut i = Instance::new();
+        let n = 1000;
+        for k in 0..n {
+            assert!(i.insert(fact("r", &[&format!("a{k}"), &format!("b{}", k % 7)])));
+        }
+        assert_eq!(i.len(), n);
+        for k in 0..n {
+            assert!(!i.insert(fact("r", &[&format!("a{k}"), &format!("b{}", k % 7)])));
+            assert!(i.contains(&fact("r", &[&format!("a{k}"), &format!("b{}", k % 7)])));
+        }
+        assert_eq!(i.len(), n);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The naive reference engine: string-level homomorphism search and the
 //! round-based restricted chase exactly as first implemented, kept as a
 //! correctness oracle for the interned, delta-driven engine in
-//! [`crate::hom`] and [`crate::chase`].
+//! [`crate::hom`] and [`mod@crate::chase`].
 //!
 //! Property tests (`tests/proptests.rs`) and benchmarks compare the two:
 //! homomorphism sets must be equal, chase results must be universal

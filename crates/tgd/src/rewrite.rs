@@ -144,8 +144,8 @@ impl Cq {
     /// logical structure (variable names do not matter; the order of
     /// shape-identical atoms does), so it can compare CQs across engines.
     ///
-    /// The rewriting engine itself uses [`canonicalize`] with a shared
-    /// [`CanonCtx`] so that sort keys are interned ids, not freshly
+    /// The rewriting engine itself uses an internal `canonicalize` with a
+    /// shared context so that sort keys are interned ids, not freshly
     /// formatted strings.
     pub fn canonical(&self) -> Cq {
         canonicalize(self, &mut CanonCtx::default()).0

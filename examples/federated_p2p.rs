@@ -1,13 +1,16 @@
-//! The Section 5 prototype in action: rewrite a query, route sub-queries
-//! to relevant peers over a simulated network, join at the originator,
-//! and report traffic statistics — compared against the centralised
-//! materialisation route.
+//! The Section 5 prototype in action through the `FederatedSession`
+//! façade: rewrite a query once, compile its branches to the id-level
+//! federation plan once, then execute repeatedly over a simulated
+//! network — compared against the centralised materialisation route and
+//! the retained term-level baseline.
 //!
 //! Run with: `cargo run --example federated_p2p`
 
-use rps_core::{RpsEngine, Strategy};
+use rps_core::{EngineConfig, Session, Strategy};
 use rps_lodgen::{actor_shape_query, film_system, FilmConfig, Topology};
-use rps_p2p::{CostModel, P2pQueryService};
+use rps_p2p::{CostModel, FederatedSession};
+use rps_tgd::RewriteConfig;
+use std::time::Instant;
 
 fn main() {
     let cfg = FilmConfig {
@@ -31,23 +34,36 @@ fn main() {
 
     let query = actor_shape_query(cfg.peers - 1, false);
 
-    // Federated route (Section 5 prototype).
-    let mut service = P2pQueryService::new(&system)
-        .with_rewrite_config(rps_tgd::RewriteConfig {
-            max_depth: 40,
-            max_cqs: 30_000,
-        })
+    // Federated route (Section 5 prototype): one config object, one
+    // prepare, many executes.
+    let engine_config = EngineConfig::default().with_rewrite(RewriteConfig {
+        max_depth: 40,
+        max_cqs: 30_000,
+    });
+    let mut session = FederatedSession::open(&system, engine_config)
+        .expect("the generated system validates")
         .with_cost_model(CostModel {
             latency_ms: 20.0,
             ms_per_kb: 0.5,
         });
     println!(
         "\nmappings FO-rewritable (Proposition 2 applies): {}",
-        service.fo_rewritable()
+        session.fo_rewritable()
     );
-    let result = service.answer(&query);
-    println!("\n== federated execution ==");
-    println!("  UNION branches evaluated : {}", result.branches);
+
+    let t0 = Instant::now();
+    let prepared = session.prepare(&query).expect("prepares");
+    let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(prepared.complete(), "chain mappings rewrite exhaustively");
+
+    let t1 = Instant::now();
+    let result = session.execute(&prepared).expect("executes");
+    let execute_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    println!("\n== federated execution (prepared, id-level) ==");
+    println!("  UNION branches compiled  : {}", result.branches);
+    println!("  prepare (once)           : {prepare_ms:.2} ms");
+    println!("  execute (repeatable)     : {execute_ms:.2} ms");
     println!("  sub-queries dispatched   : {}", result.stats.subqueries);
     println!(
         "  peers contacted (max)    : {}",
@@ -60,14 +76,27 @@ fn main() {
         result.stats.tuples_received
     );
     println!("  simulated makespan       : {:.1} ms", result.makespan_ms);
-    println!("  answers                  : {}", result.answers.len());
-    assert!(result.complete, "chain mappings rewrite exhaustively");
+    let answers = result.stream.into_set();
+    println!("  answers                  : {}", answers.len());
 
-    // Centralised reference: materialise and evaluate.
-    let mut engine = RpsEngine::new(system).with_strategy(Strategy::Materialise);
-    let (reference, _) = engine.answer(&query);
+    // Re-executing the prepared query re-runs only the id-level hot
+    // loop: no re-rewriting, no re-routing, no term re-interning.
+    let t2 = Instant::now();
+    let again = session.execute(&prepared).expect("executes");
+    let reexec_ms = t2.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(again.stats, result.stats);
+    println!("  re-execute (cached plan) : {reexec_ms:.2} ms");
+
+    // Centralised reference: materialise and evaluate via the local
+    // Session façade.
+    let mut central = Session::open(
+        system,
+        EngineConfig::default().with_strategy(Strategy::Materialise),
+    )
+    .expect("validates");
+    let reference = central.answer(&query).expect("answers").into_set();
     assert_eq!(
-        result.answers.tuples, reference.tuples,
+        answers.tuples, reference.tuples,
         "federated answers equal centralised certain answers"
     );
     println!(

@@ -1,4 +1,5 @@
-//! Quickstart: the paper's running example, end to end.
+//! Quickstart: the paper's running example, end to end, through the
+//! unified `Session` API.
 //!
 //! Builds the three sources of Figure 1, the RPS of Example 2, poses the
 //! Example 1 query, and reproduces Listing 1 — including the empty result
@@ -6,7 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use rps_core::{certain_answers, chase_system, EquivalenceIndex, RpsChaseConfig};
+use rps_core::{EngineConfig, ExecRoute, Session, Strategy};
 use rps_lodgen::paper_example;
 use rps_query::{evaluate_query, Semantics};
 
@@ -43,8 +44,18 @@ fn main() {
     );
     assert!(raw.is_empty());
 
-    // Algorithm 1: chase to a universal solution.
-    let sol = chase_system(&ex.system, &RpsChaseConfig::default());
+    // One façade for the whole stack: system + config in, validated
+    // session out; every failure is a typed RpsError.
+    let mut session = Session::open(
+        ex.system.clone(),
+        EngineConfig::default().with_strategy(Strategy::Materialise),
+    )
+    .expect("the paper system validates");
+
+    // Algorithm 1: chase to a universal solution (cached by the session).
+    let sol = session
+        .universal_solution()
+        .expect("default budgets suffice");
     println!(
         "\n== Algorithm 1 (chase) ==\n  rounds: {}  gma firings: {}  equivalence copies: {}  fresh blanks: {}",
         sol.stats.rounds, sol.stats.gma_firings, sol.stats.eq_copies, sol.stats.blanks_created
@@ -55,14 +66,21 @@ fn main() {
         sol.graph.len()
     );
 
-    // Listing 1.
-    let ans = certain_answers(&sol, &ex.query);
-    println!("\n== Listing 1: certain answers ==");
+    // Listing 1: prepare the query once, stream the certain answers.
+    let prepared = session.prepare(&ex.query).expect("prepares");
+    let stream = session.execute(&prepared).expect("executes");
+    assert_eq!(stream.route(), ExecRoute::Materialised);
+    println!(
+        "\n== Listing 1: certain answers ({} tuples, streamed) ==",
+        stream.len()
+    );
+    let ans = stream.into_set();
     print!("{}", ans.render());
     assert_eq!(ans.tuples, ex.expected_full);
 
-    let index = EquivalenceIndex::from_mappings(ex.system.equivalences());
-    let lean = ans.without_redundancy(&index);
+    let lean = session
+        .answer_without_redundancy(&ex.query)
+        .expect("executes");
     println!("\n== Listing 1: result without redundancy ==");
     print!("{}", lean.render());
     assert_eq!(lean.tuples, ex.expected_lean);
