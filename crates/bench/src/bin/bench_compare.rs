@@ -1,0 +1,131 @@
+//! Regression gate over harness reports: compares per-experiment
+//! `wall_ms` between a current `BENCH_tgd.json` and a frozen baseline,
+//! and exits non-zero if any shared experiment regressed beyond the
+//! threshold.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare CURRENT.json BASELINE.json [--threshold-pct 25] [--slack-ms 5]
+//! ```
+//!
+//! An experiment regresses when
+//! `current > baseline * (1 + threshold/100) + slack`. The absolute
+//! slack absorbs timer noise on millisecond-scale experiments, which
+//! would otherwise trip a pure percentage gate on shared CI runners;
+//! it is deliberately small (default 5 ms) so the percentage threshold
+//! stays the binding constraint for every experiment that takes longer
+//! than a few milliseconds. Experiments present on only one side (e.g.
+//! a newly added one) are reported but never fail the gate.
+
+use std::process::ExitCode;
+
+/// Extracts `(id, wall_ms)` pairs from a harness report without a JSON
+/// dependency (the container has no crates.io access; the shape is the
+/// harness's own hand-rolled `{schema, mode, experiments: [...]}`).
+fn parse_experiments(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(id_at) = rest.find("\"id\": \"") {
+        let after_id = &rest[id_at + 7..];
+        let Some(id_end) = after_id.find('"') else {
+            break;
+        };
+        let id = after_id[..id_end].to_string();
+        let Some(wall_at) = after_id.find("\"wall_ms\": ") else {
+            break;
+        };
+        let after_wall = &after_id[wall_at + 11..];
+        let num_end = after_wall
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(after_wall.len());
+        if let Ok(ms) = after_wall[..num_end].parse::<f64>() {
+            out.push((id, ms));
+        }
+        rest = after_wall;
+    }
+    out
+}
+
+fn read_experiments(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    let parsed = parse_experiments(&text);
+    if parsed.is_empty() {
+        return Err(format!("{path}: no experiments found"));
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 25.0f64;
+    let mut slack_ms = 5.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold-pct" => {
+                threshold_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold-pct takes a number")
+            }
+            "--slack-ms" => {
+                slack_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--slack-ms takes a number")
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench_compare CURRENT.json BASELINE.json [--threshold-pct 25] [--slack-ms 5]"
+        );
+        return ExitCode::from(2);
+    }
+
+    let (current, baseline) = match (read_experiments(&paths[0]), read_experiments(&paths[1])) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for r in [c, b].into_iter().filter_map(Result::err) {
+                eprintln!("bench_compare: {r}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let base: std::collections::HashMap<&str, f64> =
+        baseline.iter().map(|(id, ms)| (id.as_str(), *ms)).collect();
+    let mut failed = false;
+    println!(
+        "{:<6} {:>12} {:>12} {:>9}  verdict (threshold {threshold_pct}% + {slack_ms}ms)",
+        "id", "baseline ms", "current ms", "ratio"
+    );
+    for (id, cur) in &current {
+        match base.get(id.as_str()) {
+            Some(&b) => {
+                let limit = b * (1.0 + threshold_pct / 100.0) + slack_ms;
+                let regressed = *cur > limit;
+                failed |= regressed;
+                println!(
+                    "{id:<6} {b:>12.1} {cur:>12.1} {:>8.2}x  {}",
+                    cur / b.max(1e-9),
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            None => println!("{id:<6} {:>12} {cur:>12.1}      new  (not gated)", "-"),
+        }
+    }
+    for (id, b) in &baseline {
+        if !current.iter().any(|(c, _)| c == id) {
+            println!("{id:<6} {b:>12.1} {:>12}  dropped  (not gated)", "-");
+        }
+    }
+    if failed {
+        eprintln!("bench_compare: at least one experiment regressed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

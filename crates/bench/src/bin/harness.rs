@@ -156,6 +156,14 @@ fn main() {
         let peers: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16] };
         run("e12", &mut || e12_federation(peers));
     }
+    if want("e13") {
+        let sizes: &[usize] = if quick {
+            &[10_000, 50_000, 150_000]
+        } else {
+            &[10_000, 50_000, 150_000, 500_000]
+        };
+        run("e13", &mut || e13_storage(sizes));
+    }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
     for t in &timed {

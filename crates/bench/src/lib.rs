@@ -16,6 +16,10 @@
 //! | E7 | Definition 4 / Section 4 classification claims | [`e7_classification`] |
 //! | E8 | Section 5 scalability (peers × topology) | [`e8_topology_scaling`] |
 //! | E9 | Section 5 item 1 (chase vs rewrite crossover, ablation) | [`e9_crossover`], [`e9_equivalence_ablation`] |
+//!
+//! Post-paper engineering experiments: E10 (Datalog route), E11 (mapping
+//! discovery), E12 (id-level federation) and E13 (sorted-run vs B-tree
+//! triple storage, [`e13_storage`]).
 
 #![warn(missing_docs)]
 
@@ -750,9 +754,164 @@ pub fn e11_discovery(duplicate_fractions: &[f64]) -> Table {
     }
 }
 
+/// E13 — the storage-layer ablation: sorted-run / merge-batch indexes
+/// (the [`rps_rdf::StorageBackend::SortedRuns`] default) vs the
+/// three-`BTreeSet` baseline, on an insert-then-scan microworkload in
+/// the chase's shape (skewed predicates, growing subject space).
+///
+/// Columns: per-backend insert wall time (one `insert_ids` per triple),
+/// the sorted-run batch-load time ([`rps_rdf::Graph::insert_batch`],
+/// which sorts once into a fresh run), per-backend scan wall time (all
+/// predicate ranges + sampled subject ranges + one full SPO sweep), the
+/// combined insert+scan speedup of runs over B-trees, and an agreement
+/// check (identical scan results).
+pub fn e13_storage(sizes: &[usize]) -> Table {
+    use rps_lodgen::rng::SeededRng;
+    use rps_rdf::{Graph, IdTriple, StorageBackend, Term};
+    const PREDS: usize = 16;
+    const SCAN_REPS: u32 = 3;
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        // One deterministic triple workload per size; both backends see
+        // the same interning order, so term ids coincide and scans are
+        // comparable id-for-id.
+        let mut rng = SeededRng::seed_from_u64(13 + n as u64);
+        let subjects = (n / 8).max(4);
+        let objects = (n / 4).max(4);
+        let make = |g: &mut Graph, rng: &mut SeededRng| -> Vec<IdTriple> {
+            let pred_ids: Vec<_> = (0..PREDS)
+                .map(|i| g.intern(&Term::iri(format!("http://e13/p{i}"))))
+                .collect();
+            let subj_ids: Vec<_> = (0..subjects)
+                .map(|i| g.intern(&Term::iri(format!("http://e13/s{i}"))))
+                .collect();
+            let obj_ids: Vec<_> = (0..objects)
+                .map(|i| g.intern(&Term::iri(format!("http://e13/o{i}"))))
+                .collect();
+            (0..n)
+                .map(|_| {
+                    // Zipf-ish predicate skew: half the triples on 2
+                    // predicates, like `starring`/`artist` in the film
+                    // workloads.
+                    let p = if rng.gen_bool(0.5) {
+                        rng.gen_range(0..2)
+                    } else {
+                        rng.gen_range(0..PREDS)
+                    };
+                    IdTriple::new(
+                        subj_ids[rng.gen_range(0..subjects)],
+                        pred_ids[p],
+                        obj_ids[rng.gen_range(0..objects)],
+                    )
+                })
+                .collect()
+        };
+
+        let mut g_runs = Graph::new();
+        let triples = make(&mut g_runs, &mut rng);
+        let mut rng2 = SeededRng::seed_from_u64(13 + n as u64);
+        let mut g_btree = Graph::with_backend(StorageBackend::BTree);
+        let triples_bt = make(&mut g_btree, &mut rng2);
+        assert_eq!(triples, triples_bt, "identical interning order");
+
+        let t0 = Instant::now();
+        for &t in &triples {
+            g_runs.insert_ids(t);
+        }
+        let runs_insert = t0.elapsed();
+
+        let t1 = Instant::now();
+        for &t in &triples_bt {
+            g_btree.insert_ids(t);
+        }
+        let btree_insert = t1.elapsed();
+
+        // The bulk path: one merge-batch instead of n tail pushes.
+        let mut g_batch = Graph::new();
+        let triples_batch = make(&mut g_batch, &mut SeededRng::seed_from_u64(13 + n as u64));
+        let t2 = Instant::now();
+        g_batch.insert_batch(triples_batch);
+        let batch_insert = t2.elapsed();
+        assert_eq!(g_batch.len(), g_runs.len());
+
+        let pred_ids: Vec<_> = (0..PREDS)
+            .map(|i| {
+                g_runs
+                    .term_id(&Term::iri(format!("http://e13/p{i}")))
+                    .unwrap()
+            })
+            .collect();
+        let subj_sample: Vec<_> = (0..64)
+            .map(|i| {
+                g_runs
+                    .term_id(&Term::iri(format!("http://e13/s{}", i * subjects / 64)))
+                    .unwrap()
+            })
+            .collect();
+        let scan = |g: &Graph| -> (std::time::Duration, usize) {
+            let t = Instant::now();
+            let mut total = 0usize;
+            for _ in 0..SCAN_REPS {
+                for &p in &pred_ids {
+                    total += g.match_ids(None, Some(p), None).count();
+                }
+                for &s in &subj_sample {
+                    total += g.match_ids(Some(s), None, None).count();
+                }
+                total += g.iter_ids().count();
+            }
+            (t.elapsed(), total)
+        };
+        let (runs_scan, runs_total) = scan(&g_runs);
+        let (btree_scan, btree_total) = scan(&g_btree);
+        let agree = runs_total == btree_total && g_runs.len() == g_btree.len();
+
+        let runs_combined = runs_insert + runs_scan;
+        let btree_combined = btree_insert + btree_scan;
+        rows.push(vec![
+            n.to_string(),
+            g_runs.len().to_string(),
+            ms(btree_insert),
+            ms(runs_insert),
+            ms(batch_insert),
+            ms(btree_scan),
+            ms(runs_scan),
+            format!(
+                "{:.2}x",
+                btree_combined.as_secs_f64() / runs_combined.as_secs_f64().max(1e-9)
+            ),
+            agree.to_string(),
+        ]);
+    }
+    Table {
+        title: "E13 — storage: sorted-run / merge-batch indexes vs BTreeSet baseline".into(),
+        headers: vec![
+            "triples".into(),
+            "distinct".into(),
+            "btree insert ms".into(),
+            "runs insert ms".into(),
+            "runs batch ms".into(),
+            "btree scan ms".into(),
+            "runs scan ms".into(),
+            "ins+scan speedup".into(),
+            "agree".into(),
+        ],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e13_backends_agree() {
+        let t = e13_storage(&[4_000]);
+        for row in &t.rows {
+            assert_eq!(row[8], "true", "backends agree on scan results");
+        }
+    }
 
     #[test]
     fn e10_datalog_agrees() {

@@ -316,9 +316,9 @@ impl ConclusionPlan {
             }
             to_insert.push(t);
         }
-        for t in to_insert {
-            graph.insert_ids(t);
-        }
+        // The batch path: conclusions with several conjuncts go into the
+        // store in one merge-batch instead of per-triple tail pushes.
+        graph.insert_batch(to_insert);
         Some(self.n_existentials as u64)
     }
 }

@@ -13,6 +13,13 @@
 //! id-level tuples lazily instead of materialising term vectors up
 //! front, and every failure is a typed [`RpsError`].
 //!
+//! Everything below the façade runs on the `rps_rdf` triple store: the
+//! materialise route chases into a [`rps_rdf::Graph`] (sorted-run
+//! storage by default — see `rps_rdf::store`), the rewrite and Datalog
+//! routes evaluate their UCQs over it, and the id-level plans compiled
+//! here are `rps_query::PreparedQueryIds` range scans against its
+//! permutation indexes.
+//!
 //! The federated counterpart with the same vocabulary lives in
 //! `rps-p2p` (`FederatedSession`), which reuses this module's
 //! [`AnswerStream`], [`EngineConfig`], [`ExecRoute`] and [`RpsError`].

@@ -73,7 +73,8 @@ impl RdfPeerSystem {
     pub fn stored_database(&self) -> Graph {
         let mut out = Graph::new();
         // Relabel each peer's blanks and intern directly into the union —
-        // one interning pass per distinct term, no intermediate graphs.
+        // one interning pass per distinct term, no intermediate graphs —
+        // then store each peer's triples as one sorted batch.
         for idx in 0..self.peers.len() {
             let db = &self.peers[idx].database;
             let mut memo: Vec<Option<rps_rdf::TermId>> = vec![None; db.dict().len()];
@@ -90,12 +91,16 @@ impl RdfPeerSystem {
                     mapped
                 }
             };
-            for t in db.iter_ids() {
-                let s = map(t.s, &mut out);
-                let p = map(t.p, &mut out);
-                let o = map(t.o, &mut out);
-                out.insert_ids(rps_rdf::IdTriple::new(s, p, o));
-            }
+            let batch: Vec<rps_rdf::IdTriple> = db
+                .iter_ids()
+                .map(|t| {
+                    let s = map(t.s, &mut out);
+                    let p = map(t.p, &mut out);
+                    let o = map(t.o, &mut out);
+                    rps_rdf::IdTriple::new(s, p, o)
+                })
+                .collect();
+            out.insert_batch(batch);
         }
         out
     }
@@ -125,12 +130,16 @@ impl RdfPeerSystem {
                 mapped
             }
         };
-        for t in db.iter_ids() {
-            let s = map(t.s, &mut out);
-            let p = map(t.p, &mut out);
-            let o = map(t.o, &mut out);
-            out.insert_ids(rps_rdf::IdTriple::new(s, p, o));
-        }
+        let batch: Vec<rps_rdf::IdTriple> = db
+            .iter_ids()
+            .map(|t| {
+                let s = map(t.s, &mut out);
+                let p = map(t.p, &mut out);
+                let o = map(t.o, &mut out);
+                rps_rdf::IdTriple::new(s, p, o)
+            })
+            .collect();
+        out.insert_batch(batch);
         out
     }
 

@@ -20,8 +20,10 @@
 //! dictionary, and interning head-template constants — into a
 //! [`PreparedFederation`] that [`FederatedEngine::execute`] can run any
 //! number of times. The hot loop is then pure id arithmetic: peer-side
-//! range scans, array-lookup id translation, and hash joins on dense
-//! `u32` tuples at the originator. No term is parsed, cloned, re-interned
+//! range scans (served by each peer graph's permutation indexes —
+//! sorted-run storage by default, see `rps_rdf::store`), array-lookup
+//! id translation, and hash joins on dense `u32` tuples at the
+//! originator. No term is parsed, cloned, re-interned
 //! or compared per peer per round — the failure mode of the previous
 //! term-level path, which is retained as
 //! [`FederatedEngine::evaluate_union_term_level`] for the benchmark

@@ -3,7 +3,11 @@
 //! Implements Definition 1 of the paper (the Pérez-et-al. join semantics)
 //! with an index-nested-loop strategy: conjuncts are ordered greedily by
 //! estimated selectivity, and each conjunct is matched by a range scan on
-//! the store's permutation indexes. Both result semantics are provided:
+//! the store's permutation indexes ([`Graph::match_ids`] — under the
+//! default sorted-run backend that scan is a k-way merge over the run
+//! slices and the mutable tail, in the same key order as a B-tree
+//! range, so the evaluator is storage-agnostic). Both result semantics
+//! are provided:
 //!
 //! * `Q_D` (certain-answer eligible): tuples containing blank nodes are
 //!   dropped;
@@ -367,6 +371,34 @@ pub fn has_match_with(
 /// [`PreparedPattern`] answers repeated *match* probes, a
 /// `PreparedQueryIds` answers repeated *evaluations* — full or delta —
 /// without re-compiling, re-ordering or re-resolving constants per call.
+///
+/// ```
+/// use rps_query::{GraphPattern, GraphPatternQuery, PreparedQueryIds,
+///                 Semantics, TermOrVar, Variable};
+/// use rps_rdf::{Graph, Term};
+///
+/// let mut g = Graph::new();
+/// let q = GraphPatternQuery::new(
+///     vec![Variable::new("who")],
+///     GraphPattern::triple(
+///         TermOrVar::var("who"),
+///         TermOrVar::iri("http://e/knows"),
+///         TermOrVar::iri("http://e/alice"),
+///     ),
+/// );
+/// // Compile once (interning constants so the plan survives growth)...
+/// let plan = PreparedQueryIds::new(&mut g, &q);
+/// let mark = g.log_len();
+/// g.insert_terms(
+///     Term::iri("http://e/bob"), Term::iri("http://e/knows"),
+///     Term::iri("http://e/alice"),
+/// ).unwrap();
+/// // ...then evaluate repeatedly: full, or restricted to the delta
+/// // window since a mark.
+/// assert_eq!(plan.evaluate(&g, Semantics::Certain).len(), 1);
+/// assert_eq!(plan.evaluate_delta(&g, Semantics::Certain, mark).len(), 1);
+/// assert!(plan.evaluate_delta(&g, Semantics::Certain, g.log_len()).is_empty());
+/// ```
 pub struct PreparedQueryIds {
     compiled: Compiled,
     /// Free-variable projection into compiled variable indexes; `None`

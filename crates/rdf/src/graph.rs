@@ -1,17 +1,64 @@
 //! The indexed triple store.
 //!
-//! A [`Graph`] owns a [`TermDict`] and keeps each triple in three B-tree
-//! permutation indexes (SPO, POS, OSP). Every one of the eight
+//! A [`Graph`] owns a [`TermDict`] and keeps each triple in three
+//! permutation indexes (SPO, POS, OSP), so every one of the eight
 //! bound/unbound shapes of a triple pattern is answered by a contiguous
-//! range scan over one of the indexes, which is what the graph-pattern
+//! range scan over one of them — the substrate the graph-pattern
 //! evaluator in `rps-query` builds on.
+//!
+//! The physical layout of those indexes lives in [`crate::store`] and is
+//! chosen per graph with [`StorageBackend`]: the default is **sorted-run
+//! / merge-batch storage** (immutable sorted runs + a small mutable
+//! tail, size-tiered compaction, tombstoned removals), with the original
+//! three-`BTreeSet` layout retained as an oracle and benchmark baseline.
+//! Logical behaviour — membership, scan order, the insertion log and its
+//! delta windows — is identical across backends; the `rps-bench`
+//! experiment `e13` measures the difference in insert and scan cost.
+//!
+//! Independently of the backend, a graph maintains an append-only
+//! **insertion log** ([`Graph::log_since`]): consumers such as the
+//! semi-naive chase snapshot `log_len()` as a *mark* and later iterate
+//! exactly the triples added since. Removals tombstone their log entry
+//! instead of erasing it, so marks stay valid across removals — and
+//! because compaction never changes the logical key set, marks are
+//! unaffected by flushes and merges too.
+//!
+//! ```
+//! use rps_rdf::{Graph, StorageBackend, Term};
+//!
+//! let mut g = Graph::new(); // sorted-run backend by default
+//! g.insert_terms(Term::iri("s"), Term::iri("p"), Term::iri("o")).unwrap();
+//!
+//! // Bulk loads sort once into a fresh run instead of N tail pushes.
+//! let p = g.intern(&Term::iri("p"));
+//! let ids: Vec<rps_rdf::IdTriple> = (0..1000)
+//!     .map(|i| {
+//!         let s = g.intern(&Term::iri(format!("s{i}")));
+//!         let o = g.intern(&Term::iri(format!("o{}", i % 7)));
+//!         rps_rdf::IdTriple::new(s, p, o)
+//!     })
+//!     .collect();
+//! assert_eq!(g.insert_batch(ids), 1000);
+//! assert_eq!(g.len(), 1001);
+//!
+//! // Both backends answer pattern scans identically.
+//! let bt = {
+//!     let mut bt = Graph::with_backend(StorageBackend::BTree);
+//!     bt.merge(&g);
+//!     bt
+//! };
+//! assert_eq!(
+//!     g.match_ids(None, Some(p), None).count(),
+//!     bt.match_ids(None, bt.term_id(&Term::iri("p")), None).count(),
+//! );
+//! ```
 
 use crate::dict::{TermDict, TermId};
 use crate::error::RdfError;
+use crate::store::{Perm, StorageBackend, StorageStats, StoreRangeIter, TripleStore};
 use crate::term::Term;
 use crate::triple::{IdTriple, Triple};
 use std::collections::{BTreeSet, HashMap};
-use std::ops::RangeInclusive;
 
 const MIN: u32 = u32::MIN;
 const MAX: u32 = u32::MAX;
@@ -21,9 +68,8 @@ const MAX: u32 = u32::MAX;
 #[derive(Clone, Default)]
 pub struct Graph {
     dict: TermDict,
-    spo: BTreeSet<[u32; 3]>,
-    pos: BTreeSet<[u32; 3]>,
-    osp: BTreeSet<[u32; 3]>,
+    /// The physical permutation indexes (see [`crate::store`]).
+    store: TripleStore,
     /// Number of triples per predicate id, maintained for selectivity
     /// estimation in the query planner.
     pred_counts: HashMap<TermId, usize>,
@@ -57,9 +103,31 @@ fn bit_set(bits: &mut Vec<u64>, i: usize) {
 }
 
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty graph with the default (sorted-run) backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty graph with an explicit storage backend. Logical
+    /// behaviour is backend-independent; use [`StorageBackend::BTree`]
+    /// only to compare physical layouts (as experiment `e13` does).
+    pub fn with_backend(backend: StorageBackend) -> Self {
+        Graph {
+            store: TripleStore::new(backend),
+            ..Self::default()
+        }
+    }
+
+    /// The storage backend this graph was created with.
+    pub fn backend(&self) -> StorageBackend {
+        self.store.backend()
+    }
+
+    /// Physical counters of the storage layer (run/tail/tombstone
+    /// sizes). For tests and benchmarks; all zeros for the B-tree
+    /// backend.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.store.stats()
     }
 
     /// Read access to the term dictionary.
@@ -105,17 +173,39 @@ impl Graph {
     /// Inserts an interned triple (ids must come from this graph's
     /// dictionary). Returns `true` if newly added.
     pub fn insert_ids(&mut self, t: IdTriple) -> bool {
-        let added = self.spo.insert([t.s.0, t.p.0, t.o.0]);
+        let added = self.store.insert(t);
         if added {
-            self.pos.insert([t.p.0, t.o.0, t.s.0]);
-            self.osp.insert([t.o.0, t.s.0, t.p.0]);
-            *self.pred_counts.entry(t.p).or_insert(0) += 1;
-            if let Some(pos) = &mut self.log_pos {
-                pos.insert(t, self.log.len() as u32);
-            }
-            self.log.push(t);
+            self.note_added(t);
         }
         added
+    }
+
+    /// Bulk-inserts interned triples, returning how many were newly
+    /// added (duplicates — within the batch or against the graph — are
+    /// skipped; first occurrence wins, and each added triple gets one
+    /// insertion-log entry in batch order).
+    ///
+    /// Under the sorted-run backend a batch that overflows the mutable
+    /// tail is sorted **once** into a fresh run per permutation index
+    /// instead of paying per-triple tail pushes and repeated threshold
+    /// flushes — the fast path for the chase's conclusion application
+    /// and for graph merges.
+    pub fn insert_batch<I: IntoIterator<Item = IdTriple>>(&mut self, triples: I) -> usize {
+        let mut added = Vec::new();
+        self.store.insert_batch(triples.into_iter(), &mut added);
+        for &t in &added {
+            self.note_added(t);
+        }
+        added.len()
+    }
+
+    /// Log + planner bookkeeping for one newly-stored triple.
+    fn note_added(&mut self, t: IdTriple) {
+        *self.pred_counts.entry(t.p).or_insert(0) += 1;
+        if let Some(pos) = &mut self.log_pos {
+            pos.insert(t, self.log.len() as u32);
+        }
+        self.log.push(t);
     }
 
     /// The number of log slots so far (insertions, including tombstoned
@@ -153,12 +243,12 @@ impl Graph {
     ///
     /// The triple's insertion-log entry is tombstoned in O(1) amortised
     /// time (the triple→index map is built lazily on the first removal
-    /// and maintained incrementally from then on).
+    /// and maintained incrementally from then on). In the sorted-run
+    /// backend the stored key is tombstoned too when it lives in an
+    /// immutable run; a later compaction drops it physically.
     pub fn remove_ids(&mut self, t: IdTriple) -> bool {
-        let removed = self.spo.remove(&[t.s.0, t.p.0, t.o.0]);
+        let removed = self.store.remove(t);
         if removed {
-            self.pos.remove(&[t.p.0, t.o.0, t.s.0]);
-            self.osp.remove(&[t.o.0, t.s.0, t.p.0]);
             if let Some(c) = self.pred_counts.get_mut(&t.p) {
                 *c -= 1;
                 if *c == 0 {
@@ -198,7 +288,7 @@ impl Graph {
 
     /// Membership test on interned ids.
     pub fn contains_ids(&self, t: IdTriple) -> bool {
-        self.spo.contains(&[t.s.0, t.p.0, t.o.0])
+        self.store.contains(t)
     }
 
     /// Membership test on an owned triple.
@@ -215,19 +305,17 @@ impl Graph {
 
     /// Number of triples in the graph.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.store.len()
     }
 
     /// Whether the graph has no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.store.len() == 0
     }
 
     /// Iterates over all triples as interned ids, in SPO order.
     pub fn iter_ids(&self) -> impl Iterator<Item = IdTriple> + '_ {
-        self.spo
-            .iter()
-            .map(|&[s, p, o]| IdTriple::new(TermId(s), TermId(p), TermId(o)))
+        self.store.range(Perm::Spo, [MIN; 3], [MAX; 3])
     }
 
     /// Iterates over all triples as owned terms, in SPO order.
@@ -247,31 +335,35 @@ impl Graph {
     /// Matches a triple pattern given as optionally-bound interned ids.
     ///
     /// Every combination of bound positions is served by a contiguous range
-    /// scan over one of the three permutation indexes.
+    /// scan over one of the three permutation indexes — under the
+    /// sorted-run backend, a k-way merge of the runs' range slices and
+    /// the tail's matches, in the same key order a B-tree scan yields.
     pub fn match_ids(
         &self,
         s: Option<TermId>,
         p: Option<TermId>,
         o: Option<TermId>,
     ) -> MatchIter<'_> {
-        let (index, range, perm) = match (s, p, o) {
+        let (perm, lo, hi) = match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
-                let key = [s.0, p.0, o.0];
-                return if self.spo.contains(&key) {
-                    MatchIter::single(IdTriple::new(s, p, o))
+                let t = IdTriple::new(s, p, o);
+                return if self.store.contains(t) {
+                    MatchIter::single(t)
                 } else {
                     MatchIter::empty()
                 };
             }
-            (Some(s), Some(p), None) => (&self.spo, [s.0, p.0, MIN]..=[s.0, p.0, MAX], Perm::Spo),
-            (Some(s), None, None) => (&self.spo, [s.0, MIN, MIN]..=[s.0, MAX, MAX], Perm::Spo),
-            (Some(s), None, Some(o)) => (&self.osp, [o.0, s.0, MIN]..=[o.0, s.0, MAX], Perm::Osp),
-            (None, Some(p), Some(o)) => (&self.pos, [p.0, o.0, MIN]..=[p.0, o.0, MAX], Perm::Pos),
-            (None, Some(p), None) => (&self.pos, [p.0, MIN, MIN]..=[p.0, MAX, MAX], Perm::Pos),
-            (None, None, Some(o)) => (&self.osp, [o.0, MIN, MIN]..=[o.0, MAX, MAX], Perm::Osp),
-            (None, None, None) => (&self.spo, [MIN; 3]..=[MAX; 3], Perm::Spo),
+            (Some(s), Some(p), None) => (Perm::Spo, [s.0, p.0, MIN], [s.0, p.0, MAX]),
+            (Some(s), None, None) => (Perm::Spo, [s.0, MIN, MIN], [s.0, MAX, MAX]),
+            (Some(s), None, Some(o)) => (Perm::Osp, [o.0, s.0, MIN], [o.0, s.0, MAX]),
+            (None, Some(p), Some(o)) => (Perm::Pos, [p.0, o.0, MIN], [p.0, o.0, MAX]),
+            (None, Some(p), None) => (Perm::Pos, [p.0, MIN, MIN], [p.0, MAX, MAX]),
+            (None, None, Some(o)) => (Perm::Osp, [o.0, MIN, MIN], [o.0, MAX, MAX]),
+            (None, None, None) => (Perm::Spo, [MIN; 3], [MAX; 3]),
         };
-        MatchIter::range(index, range, perm)
+        MatchIter {
+            inner: MatchIterInner::Range(self.store.range(perm, lo, hi)),
+        }
     }
 
     /// Estimated number of matches for a pattern, used by the planner.
@@ -328,7 +420,8 @@ impl Graph {
 
     /// Unions another graph into this one, re-interning terms. Each
     /// distinct term of `other` is interned once (memoised by its id),
-    /// not once per occurrence.
+    /// not once per occurrence, and the triples go in through the
+    /// batch path ([`Graph::insert_batch`]).
     pub fn merge(&mut self, other: &Graph) {
         let mut memo: Vec<Option<TermId>> = vec![None; other.dict.len()];
         let mut map = |dict: &mut TermDict, id: TermId| match memo[id.index()] {
@@ -339,20 +432,31 @@ impl Graph {
                 mapped
             }
         };
-        for t in other.iter_ids() {
-            let s = map(&mut self.dict, t.s);
-            let p = map(&mut self.dict, t.p);
-            let o = map(&mut self.dict, t.o);
-            self.insert_ids(IdTriple::new(s, p, o));
-        }
+        let mapped: Vec<IdTriple> = other
+            .iter_ids()
+            .map(|t| {
+                let s = map(&mut self.dict, t.s);
+                let p = map(&mut self.dict, t.p);
+                let o = map(&mut self.dict, t.o);
+                IdTriple::new(s, p, o)
+            })
+            .collect();
+        self.insert_batch(mapped);
     }
 
     /// Builds a graph from owned triples.
     pub fn from_triples<I: IntoIterator<Item = Triple>>(triples: I) -> Self {
         let mut g = Graph::new();
-        for t in triples {
-            g.insert(&t);
-        }
+        let ids: Vec<IdTriple> = triples
+            .into_iter()
+            .map(|t| {
+                let s = g.dict.intern(t.subject());
+                let p = g.dict.intern(t.predicate());
+                let o = g.dict.intern(t.object());
+                IdTriple::new(s, p, o)
+            })
+            .collect();
+        g.insert_batch(ids);
         g
     }
 
@@ -374,7 +478,8 @@ impl std::fmt::Debug for Graph {
 
 impl PartialEq for Graph {
     /// Graphs compare equal iff they contain the same set of owned triples
-    /// (dictionaries and id assignments are irrelevant).
+    /// (dictionaries, id assignments and storage backends are
+    /// irrelevant).
     fn eq(&self, other: &Self) -> bool {
         self.len() == other.len() && self.is_subgraph_of(other)
     }
@@ -421,23 +526,6 @@ impl Iterator for LogWindow<'_> {
     }
 }
 
-enum Perm {
-    Spo,
-    Pos,
-    Osp,
-}
-
-impl Perm {
-    fn unpermute(&self, key: [u32; 3]) -> IdTriple {
-        let [a, b, c] = key;
-        match self {
-            Perm::Spo => IdTriple::new(TermId(a), TermId(b), TermId(c)),
-            Perm::Pos => IdTriple::new(TermId(c), TermId(a), TermId(b)),
-            Perm::Osp => IdTriple::new(TermId(b), TermId(c), TermId(a)),
-        }
-    }
-}
-
 /// Iterator over the triples matching a pattern.
 pub struct MatchIter<'g> {
     inner: MatchIterInner<'g>,
@@ -446,13 +534,10 @@ pub struct MatchIter<'g> {
 enum MatchIterInner<'g> {
     Empty,
     Single(Option<IdTriple>),
-    Range {
-        iter: std::collections::btree_set::Range<'g, [u32; 3]>,
-        perm: Perm,
-    },
+    Range(StoreRangeIter<'g>),
 }
 
-impl<'g> MatchIter<'g> {
+impl MatchIter<'_> {
     fn empty() -> Self {
         MatchIter {
             inner: MatchIterInner::Empty,
@@ -464,15 +549,6 @@ impl<'g> MatchIter<'g> {
             inner: MatchIterInner::Single(Some(t)),
         }
     }
-
-    fn range(index: &'g BTreeSet<[u32; 3]>, range: RangeInclusive<[u32; 3]>, perm: Perm) -> Self {
-        MatchIter {
-            inner: MatchIterInner::Range {
-                iter: index.range(range),
-                perm,
-            },
-        }
-    }
 }
 
 impl Iterator for MatchIter<'_> {
@@ -482,7 +558,7 @@ impl Iterator for MatchIter<'_> {
         match &mut self.inner {
             MatchIterInner::Empty => None,
             MatchIterInner::Single(t) => t.take(),
-            MatchIterInner::Range { iter, perm } => iter.next().map(|&k| perm.unpermute(k)),
+            MatchIterInner::Range(iter) => iter.next(),
         }
     }
 }
@@ -647,5 +723,145 @@ mod tests {
         assert!(g.estimate(Some(s1), None, None) >= 1);
         let o1 = g.term_id(&Term::iri("o1")).unwrap();
         assert_eq!(g.estimate(Some(s1), Some(p1), Some(o1)), 1);
+    }
+
+    /// Enough inserts to force tail flushes and tiered merges, so the
+    /// pattern scans below run against real runs, not just the tail.
+    fn bulk(g: &mut Graph, n: u32) {
+        for i in 0..n {
+            g.insert_terms(
+                Term::iri(format!("s{}", i % 97)),
+                Term::iri(format!("p{}", i % 7)),
+                Term::iri(format!("o{i}")),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn backends_agree_after_compaction() {
+        let mut runs = Graph::new();
+        let mut btree = Graph::with_backend(StorageBackend::BTree);
+        assert_eq!(runs.backend(), StorageBackend::SortedRuns);
+        assert_eq!(btree.backend(), StorageBackend::BTree);
+        bulk(&mut runs, 2000);
+        bulk(&mut btree, 2000);
+        assert!(runs.storage_stats().runs >= 1, "compaction happened");
+        assert_eq!(runs.len(), btree.len());
+        assert_eq!(runs, btree);
+        // Same dictionary insertion order ⇒ same ids: compare raw scans.
+        let p3 = runs.term_id(&Term::iri("p3")).unwrap();
+        let s5 = runs.term_id(&Term::iri("s5")).unwrap();
+        for (s, p, o) in [
+            (None, None, None),
+            (None, Some(p3), None),
+            (Some(s5), None, None),
+            (Some(s5), Some(p3), None),
+        ] {
+            let a: Vec<IdTriple> = runs.match_ids(s, p, o).collect();
+            let b: Vec<IdTriple> = btree.match_ids(s, p, o).collect();
+            assert_eq!(a, b, "scan order identical across backends");
+        }
+    }
+
+    #[test]
+    fn insert_batch_dedups_and_logs_in_order() {
+        let mut g = Graph::new();
+        let s = g.intern(&Term::iri("s"));
+        let p = g.intern(&Term::iri("p"));
+        let o1 = g.intern(&Term::iri("o1"));
+        let o2 = g.intern(&Term::iri("o2"));
+        g.insert_ids(IdTriple::new(s, p, o1));
+        let mark = g.log_len();
+        let added = g.insert_batch(vec![
+            IdTriple::new(s, p, o2),
+            IdTriple::new(s, p, o1), // already present
+            IdTriple::new(s, p, o2), // batch duplicate
+        ]);
+        assert_eq!(added, 1);
+        assert_eq!(g.len(), 2);
+        let window: Vec<IdTriple> = g.log_since(mark).collect();
+        assert_eq!(window, vec![IdTriple::new(s, p, o2)]);
+    }
+
+    #[test]
+    fn large_batch_skips_the_tail() {
+        let mut g = Graph::new();
+        let p = g.intern(&Term::iri("p"));
+        let ids: Vec<IdTriple> = (0..4000)
+            .map(|i| {
+                let s = g.intern(&Term::iri(format!("s{i}")));
+                let o = g.intern(&Term::iri(format!("o{}", i % 11)));
+                IdTriple::new(s, p, o)
+            })
+            .collect();
+        assert_eq!(g.insert_batch(ids.clone()), 4000);
+        let stats = g.storage_stats();
+        assert_eq!(stats.tail, 0, "batch went straight into a run");
+        assert_eq!(g.len(), 4000);
+        // Batch again: all duplicates.
+        assert_eq!(g.insert_batch(ids), 0);
+        assert_eq!(g.match_ids(None, Some(p), None).count(), 4000);
+    }
+
+    #[test]
+    fn marks_survive_removals_and_compaction() {
+        // The satellite scenario: marks taken before/after removals must
+        // still bound exactly the insertions made after them, even when
+        // sorted-run flushes and merges happen in between.
+        let mut g = Graph::new();
+        bulk(&mut g, 600); // several flushes
+        let before_removals = g.log_len();
+
+        // Remove a slice of triples that now live inside runs.
+        let p0 = g.term_id(&Term::iri("p0")).unwrap();
+        let victims: Vec<IdTriple> = g.match_ids(None, Some(p0), None).take(40).collect();
+        for &v in &victims {
+            assert!(g.remove_ids(v));
+        }
+        assert_eq!(g.storage_stats().tombstones, 40);
+        // A mark taken before the removals sees no live additions.
+        assert!(g.log_since(before_removals).is_empty());
+
+        let after_removals = g.log_len();
+        // Keep inserting to force more flushes/merges over the
+        // tombstoned runs.
+        for i in 0..600u32 {
+            g.insert_terms(
+                Term::iri(format!("post{i}")),
+                Term::iri("p-new"),
+                Term::iri(format!("o{i}")),
+            )
+            .unwrap();
+        }
+        // The windows bound exactly the post-removal insertions.
+        assert_eq!(g.log_since(after_removals).count(), 600);
+        assert_eq!(g.log_since(before_removals).count(), 600);
+
+        // Removed triples are gone from every scan shape...
+        for &v in &victims {
+            assert!(!g.contains_ids(v));
+            assert!(!g.match_ids(Some(v.s), Some(v.p), None).any(|x| x == v));
+            assert!(!g.match_ids(None, None, Some(v.o)).any(|x| x == v));
+        }
+        // ...and re-inserting one logs a fresh entry visible to old marks.
+        let back = victims[0];
+        assert!(g.insert_ids(back));
+        assert_eq!(g.log_since(after_removals).count(), 601);
+        assert!(g.log_since(before_removals).any(|t| t == back));
+        assert!(g.contains_ids(back));
+    }
+
+    #[test]
+    fn iter_ids_is_spo_sorted_across_runs_and_tail() {
+        let mut g = Graph::new();
+        bulk(&mut g, 500);
+        let stats = g.storage_stats();
+        assert!(stats.runs >= 1 && stats.tail > 0, "mixed layout: {stats:?}");
+        let all: Vec<IdTriple> = g.iter_ids().collect();
+        assert_eq!(all.len(), g.len());
+        let mut sorted = all.clone();
+        sorted.sort_by_key(|t| (t.s.0, t.p.0, t.o.0));
+        assert_eq!(all, sorted, "iter_ids yields SPO order");
     }
 }

@@ -15,6 +15,10 @@
 //! * [`graph`] — the indexed triple store ([`Graph`]) with SPO/POS/OSP
 //!   permutation indexes answering all eight triple-pattern shapes via
 //!   range scans;
+//! * [`store`] — the physical index layouts behind [`StorageBackend`]:
+//!   sorted-run / merge-batch storage (immutable sorted runs + mutable
+//!   tail, size-tiered compaction) by default, with the historical
+//!   B-tree layout kept as oracle and benchmark baseline;
 //! * [`turtle`] — an N-Triples / Turtle-lite parser and serialiser;
 //! * [`namespace`] — prefix maps and well-known vocabulary constants
 //!   (notably `owl:sameAs`, which the paper's equivalence mappings model).
@@ -30,13 +34,15 @@ pub mod dict;
 pub mod error;
 pub mod graph;
 pub mod namespace;
+pub mod store;
 pub mod term;
 pub mod triple;
 pub mod turtle;
 
 pub use dict::{TermDict, TermId};
 pub use error::RdfError;
-pub use graph::{Graph, LogWindow};
+pub use graph::{Graph, LogWindow, MatchIter};
 pub use namespace::{vocab, PrefixMap};
+pub use store::{StorageBackend, StorageStats};
 pub use term::{BlankNode, Iri, Literal, LiteralAnnotation, Term, TermKind};
 pub use triple::{IdTriple, Triple, TriplePosition};

@@ -1,0 +1,895 @@
+//! Sorted-run / merge-batch triple storage — the physical layer under
+//! [`Graph`](crate::graph::Graph).
+//!
+//! The logical contract of the store is small: a *set* of `[u32; 3]` keys
+//! per permutation (SPO, POS, OSP), answering membership probes and
+//! contiguous range scans in key order. This module provides two
+//! interchangeable implementations behind [`StorageBackend`]:
+//!
+//! * [`StorageBackend::SortedRuns`] (the default) — an LSM-flavoured
+//!   layout. Each permutation index is a stack of **immutable sorted
+//!   runs** (`Vec<[u32; 3]>`) plus one shared, insertion-ordered mutable
+//!   **tail** kept sorted in each permutation's key order. Inserts are
+//!   an `O(1)` hash probe plus three small sorted-tail insertions; when
+//!   the tail reaches [`TAIL_MAX`] entries it becomes a fresh run per
+//!   permutation, and a **size-tiered compaction** merges
+//!   neighbouring runs while the older run is within `TIER_FACTOR`
+//!   (4) times the newer one — keeping the run count logarithmic in
+//!   the store size.
+//!   Range scans binary-search every run — and the tail, which is kept
+//!   sorted per permutation — for the key range and k-way merge the
+//!   resulting slices, so iteration order is identical to a B-tree
+//!   range scan and scan setup allocates nothing beyond the head list. Removals from runs are **tombstones** in a side set,
+//!   filtered during scans and physically dropped by a full compaction
+//!   once they outnumber half the run-resident keys.
+//!
+//! * [`StorageBackend::BTree`] — the original three
+//!   `BTreeSet<[u32; 3]>` permutation indexes, retained as a correctness
+//!   oracle and benchmark baseline (experiment `e13` in `rps-bench`
+//!   measures both).
+//!
+//! **Why runs beat trees here.** The chase workload is insert-dominated:
+//! every equivalence repair and GMA firing inserts triples, and each
+//! insert into a balanced tree pays three `O(log n)` node traversals
+//! with poor cache locality. The sorted-run layout moves that cost into
+//! batched `sort_unstable` + linear merges — sequential memory traffic
+//! that amortises to `O(log n)` comparisons per key — while keeping
+//! scans contiguous. The same key never occurs in more than one run (or
+//! the tail), so merged iteration needs no deduplication.
+//!
+//! Invariants relied on by [`Graph`](crate::graph::Graph):
+//!
+//! 1. a key is stored in **at most one** place: one run or the tail;
+//! 2. `dead` (tombstoned SPO keys) only ever names keys inside runs —
+//!    tail entries are removed physically — and a live copy of a key
+//!    never coexists with a tombstoned one (re-insertion *revives* the
+//!    run copy instead of adding another);
+//! 3. the three permutation tails hold the same triples, each sorted in
+//!    its own key order;
+//! 4. compaction never changes the logical key set, so the insertion
+//!    log kept by `Graph` (and every outstanding mark into it) is
+//!    unaffected by flushes, merges and purges.
+//!
+//! ```
+//! use rps_rdf::{Graph, StorageBackend, Term};
+//!
+//! let mut g = Graph::new();
+//! assert_eq!(g.backend(), StorageBackend::SortedRuns);
+//! for i in 0..1000 {
+//!     g.insert_terms(
+//!         Term::iri(format!("s{i}")), Term::iri("p"), Term::iri("o"),
+//!     ).unwrap();
+//! }
+//! let stats = g.storage_stats();
+//! // Tiered compaction keeps the run count logarithmic while the tail
+//! // stays below its flush threshold.
+//! assert!(stats.runs >= 1 && stats.runs <= 8, "{stats:?}");
+//! assert!(stats.tail < 128);
+//! assert_eq!(stats.run_keys + stats.tail, 1000);
+//! ```
+
+use crate::dict::TermId;
+use crate::triple::IdTriple;
+use std::collections::BTreeSet;
+
+/// Tail capacity before a flush turns it into a sorted run.
+///
+/// Small enough that the sorted-insertion memmove (the tail is kept in
+/// key order per permutation) stays a fraction of a cache line's worth
+/// of work; large enough that flush sorting and tiered merging
+/// amortise well. Exposed for documentation; not currently tunable per
+/// graph.
+pub const TAIL_MAX: usize = 128;
+
+/// Tombstone count that triggers a full purge-compaction (together with
+/// the relative threshold: dead keys must also outnumber half the
+/// run-resident keys).
+const PURGE_MIN: usize = 1024;
+
+/// Size-tiering factor: a freshly pushed run cascades merges upward
+/// until the next-older run is more than this many times its size. The
+/// total merge traffic per key is `O(factor × log_factor n)` — constant
+/// across factors — while the run count (and with it every scan's merge
+/// width and every range's binary-search count) shrinks as the factor
+/// grows, so a moderately aggressive factor favours the read path.
+const TIER_FACTOR: usize = 4;
+
+/// Which physical index layout a [`Graph`](crate::graph::Graph) uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StorageBackend {
+    /// Immutable sorted runs + mutable tail with size-tiered compaction
+    /// (the default; see the module docs).
+    #[default]
+    SortedRuns,
+    /// Three `BTreeSet<[u32; 3]>` permutation indexes (the historical
+    /// layout, kept as oracle and benchmark baseline).
+    BTree,
+}
+
+/// Counters describing the physical state of a store — used by tests
+/// (to force and observe compaction) and by the `e13` storage benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StorageStats {
+    /// Immutable sorted runs per permutation index.
+    pub runs: usize,
+    /// Keys in the mutable tail (shared across the three permutations).
+    pub tail: usize,
+    /// Tombstoned keys awaiting a purge-compaction (always 0 for the
+    /// B-tree backend, which removes in place).
+    pub tombstones: usize,
+    /// Keys resident in runs (live + tombstoned).
+    pub run_keys: usize,
+}
+
+/// One of the three permutation orders.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Perm {
+    /// subject, predicate, object
+    Spo,
+    /// predicate, object, subject
+    Pos,
+    /// object, subject, predicate
+    Osp,
+}
+
+impl Perm {
+    /// Rebuilds the triple from a key in this permutation's order.
+    pub(crate) fn unpermute(&self, key: [u32; 3]) -> IdTriple {
+        let [a, b, c] = key;
+        match self {
+            Perm::Spo => IdTriple::new(TermId(a), TermId(b), TermId(c)),
+            Perm::Pos => IdTriple::new(TermId(c), TermId(a), TermId(b)),
+            Perm::Osp => IdTriple::new(TermId(b), TermId(c), TermId(a)),
+        }
+    }
+
+    /// Projects a triple into this permutation's key order.
+    fn permute(&self, t: IdTriple) -> [u32; 3] {
+        match self {
+            Perm::Spo => [t.s.0, t.p.0, t.o.0],
+            Perm::Pos => [t.p.0, t.o.0, t.s.0],
+            Perm::Osp => [t.o.0, t.s.0, t.p.0],
+        }
+    }
+}
+
+fn spo_key(t: IdTriple) -> [u32; 3] {
+    [t.s.0, t.p.0, t.o.0]
+}
+
+/// The physical triple store: three permutation indexes in one of the
+/// two layouts. All members take/return SPO-keyed [`IdTriple`]s; the
+/// permutation plumbing is internal.
+#[derive(Clone)]
+pub(crate) enum TripleStore {
+    BTree(BTreeStore),
+    Runs(RunStore),
+}
+
+impl Default for TripleStore {
+    fn default() -> Self {
+        TripleStore::new(StorageBackend::default())
+    }
+}
+
+impl TripleStore {
+    pub(crate) fn new(backend: StorageBackend) -> Self {
+        match backend {
+            StorageBackend::BTree => TripleStore::BTree(BTreeStore::default()),
+            StorageBackend::SortedRuns => TripleStore::Runs(RunStore::default()),
+        }
+    }
+
+    pub(crate) fn backend(&self) -> StorageBackend {
+        match self {
+            TripleStore::BTree(_) => StorageBackend::BTree,
+            TripleStore::Runs(_) => StorageBackend::SortedRuns,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> StorageStats {
+        match self {
+            TripleStore::BTree(_) => StorageStats::default(),
+            TripleStore::Runs(s) => StorageStats {
+                runs: s.spo.runs.len(),
+                tail: s.spo.tail.len(),
+                tombstones: s.dead.len(),
+                run_keys: s.spo.runs.iter().map(Vec::len).sum(),
+            },
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            TripleStore::BTree(s) => s.spo.len(),
+            TripleStore::Runs(s) => s.len(),
+        }
+    }
+
+    pub(crate) fn contains(&self, t: IdTriple) -> bool {
+        match self {
+            TripleStore::BTree(s) => s.spo.contains(&spo_key(t)),
+            TripleStore::Runs(s) => s.contains(spo_key(t)),
+        }
+    }
+
+    /// Inserts one triple; `true` iff it was not already present.
+    pub(crate) fn insert(&mut self, t: IdTriple) -> bool {
+        match self {
+            TripleStore::BTree(s) => s.insert(t),
+            TripleStore::Runs(s) => s.insert(t),
+        }
+    }
+
+    /// Inserts many triples, pushing those actually added (first
+    /// occurrence wins; duplicates and already-present keys are skipped)
+    /// onto `added` in input order. For the sorted-run backend, a batch
+    /// that overflows the tail is sorted **once** into a fresh run per
+    /// permutation instead of paying per-key tail pushes and repeated
+    /// flushes.
+    pub(crate) fn insert_batch(
+        &mut self,
+        triples: impl Iterator<Item = IdTriple>,
+        added: &mut Vec<IdTriple>,
+    ) {
+        match self {
+            TripleStore::BTree(s) => {
+                for t in triples {
+                    if s.insert(t) {
+                        added.push(t);
+                    }
+                }
+            }
+            TripleStore::Runs(s) => s.insert_batch(triples, added),
+        }
+    }
+
+    /// Removes one triple; `true` iff it was present.
+    pub(crate) fn remove(&mut self, t: IdTriple) -> bool {
+        match self {
+            TripleStore::BTree(s) => s.remove(t),
+            TripleStore::Runs(s) => s.remove(t),
+        }
+    }
+
+    /// A contiguous scan of `perm`'s index over the inclusive key range,
+    /// yielding triples in that permutation's key order.
+    pub(crate) fn range(&self, perm: Perm, lo: [u32; 3], hi: [u32; 3]) -> StoreRangeIter<'_> {
+        match self {
+            TripleStore::BTree(s) => {
+                let index = match perm {
+                    Perm::Spo => &s.spo,
+                    Perm::Pos => &s.pos,
+                    Perm::Osp => &s.osp,
+                };
+                StoreRangeIter::BTree {
+                    iter: index.range(lo..=hi),
+                    perm,
+                }
+            }
+            TripleStore::Runs(s) => StoreRangeIter::Runs(s.range(perm, lo, hi)),
+        }
+    }
+}
+
+/// The historical layout: one `BTreeSet` per permutation.
+#[derive(Clone, Default)]
+pub(crate) struct BTreeStore {
+    spo: BTreeSet<[u32; 3]>,
+    pos: BTreeSet<[u32; 3]>,
+    osp: BTreeSet<[u32; 3]>,
+}
+
+impl BTreeStore {
+    fn insert(&mut self, t: IdTriple) -> bool {
+        let added = self.spo.insert(Perm::Spo.permute(t));
+        if added {
+            self.pos.insert(Perm::Pos.permute(t));
+            self.osp.insert(Perm::Osp.permute(t));
+        }
+        added
+    }
+
+    fn remove(&mut self, t: IdTriple) -> bool {
+        let removed = self.spo.remove(&Perm::Spo.permute(t));
+        if removed {
+            self.pos.remove(&Perm::Pos.permute(t));
+            self.osp.remove(&Perm::Osp.permute(t));
+        }
+        removed
+    }
+}
+
+/// One permutation's sorted-run stack plus its view of the mutable
+/// tail.
+#[derive(Clone, Default)]
+struct RunIndex {
+    /// Immutable sorted runs, oldest first. Sizes decrease towards the
+    /// newest run by at least the tiering factor, so there are
+    /// `O(log n)` of them.
+    runs: Vec<Vec<[u32; 3]>>,
+    /// The mutable tail, **kept sorted in this permutation's key
+    /// order** (binary-search insertion; the tail is at most
+    /// [`TAIL_MAX`] 12-byte keys, so the shift is one small memmove).
+    /// Scans then take a `partition_point` subslice of it with no
+    /// per-scan allocation, filtering or sorting — the tail is just one
+    /// more merge source. All three permutations' tails hold the same
+    /// triples, each in its own order.
+    tail: Vec<[u32; 3]>,
+}
+
+impl RunIndex {
+    /// The subslices of each run — and of the sorted tail — intersecting
+    /// `lo..=hi`.
+    fn sorted_slices(&self, lo: [u32; 3], hi: [u32; 3]) -> Vec<&[[u32; 3]]> {
+        let mut out = Vec::with_capacity(self.runs.len() + 1);
+        for source in self.runs.iter().chain(std::iter::once(&self.tail)) {
+            let start = source.partition_point(|k| *k < lo);
+            let end = source.partition_point(|k| *k <= hi);
+            if start < end {
+                out.push(&source[start..end]);
+            }
+        }
+        out
+    }
+
+    /// Inserts a key into the sorted tail. The caller guarantees it is
+    /// not already present anywhere in the store.
+    fn tail_insert(&mut self, key: [u32; 3]) {
+        let at = self.tail.partition_point(|k| *k < key);
+        self.tail.insert(at, key);
+    }
+
+    /// Removes a key from the sorted tail; `true` iff it was there.
+    fn tail_remove(&mut self, key: [u32; 3]) -> bool {
+        match self.tail.binary_search(&key) {
+            Ok(i) => {
+                self.tail.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Appends a new sorted run and merges neighbours while the older
+    /// run is within the tiering factor of the newer one.
+    fn push_run_tiered(&mut self, run: Vec<[u32; 3]>) {
+        if run.is_empty() {
+            return;
+        }
+        self.runs.push(run);
+        while self.runs.len() >= 2 {
+            let newer = self.runs[self.runs.len() - 1].len();
+            let older = self.runs[self.runs.len() - 2].len();
+            if older > newer * TIER_FACTOR {
+                break;
+            }
+            let b = self.runs.pop().expect("len checked");
+            let a = self.runs.pop().expect("len checked");
+            self.runs.push(merge_sorted(&a, &b));
+        }
+    }
+}
+
+/// Two-pointer merge of disjoint sorted key vectors.
+fn merge_sorted(a: &[[u32; 3]], b: &[[u32; 3]]) -> Vec<[u32; 3]> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The sorted-run layout shared by the three permutation indexes.
+///
+/// Point membership never touches the runs: `present` is a fast
+/// open-addressing sidecar holding **every live SPO key**, so inserts
+/// and `contains` probes are one multiply-hash lookup instead of a
+/// binary search per run (the LSM "memtable + filter" trick, collapsed
+/// into one exact set since everything is in memory anyway).
+#[derive(Clone, Default)]
+pub(crate) struct RunStore {
+    spo: RunIndex,
+    pos: RunIndex,
+    osp: RunIndex,
+    /// Every live SPO key (runs + tail). The single point-lookup
+    /// structure; also the live count.
+    present: KeySet,
+    /// SPO keys tombstoned inside runs. Disjoint from `present`; every
+    /// member is resident in some run; filtered during scans and
+    /// physically dropped by `purge`. A live copy of a key never
+    /// coexists with a tombstoned copy (revival clears the tombstone
+    /// instead of re-adding the key).
+    dead: KeySet,
+}
+
+impl RunStore {
+    fn contains(&self, key: [u32; 3]) -> bool {
+        self.present.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    fn insert(&mut self, t: IdTriple) -> bool {
+        let key = spo_key(t);
+        if !self.present.insert(key) {
+            return false;
+        }
+        // A tombstoned run copy is revived in place; otherwise the key
+        // goes to the tail.
+        if !self.dead.remove(key) {
+            self.push_tail(t);
+            if self.spo.tail.len() >= TAIL_MAX {
+                self.flush(Vec::new());
+            }
+        }
+        true
+    }
+
+    fn insert_batch(&mut self, triples: impl Iterator<Item = IdTriple>, added: &mut Vec<IdTriple>) {
+        let mut fresh: Vec<IdTriple> = Vec::new();
+        for t in triples {
+            let key = spo_key(t);
+            if !self.present.insert(key) {
+                continue;
+            }
+            added.push(t);
+            if !self.dead.remove(key) {
+                fresh.push(t);
+            }
+        }
+        if self.spo.tail.len() + fresh.len() < TAIL_MAX {
+            // Small batch: the tail absorbs it without a flush.
+            for t in fresh {
+                self.push_tail(t);
+            }
+        } else {
+            // Merge-batch: sort the batch together with the current tail
+            // into one fresh run per permutation — one sort instead of
+            // `fresh.len()` pushes and repeated threshold flushes.
+            self.flush(fresh);
+        }
+    }
+
+    fn push_tail(&mut self, t: IdTriple) {
+        self.spo.tail_insert(Perm::Spo.permute(t));
+        self.pos.tail_insert(Perm::Pos.permute(t));
+        self.osp.tail_insert(Perm::Osp.permute(t));
+    }
+
+    /// Drains the (already sorted) tail plus `extra` into one fresh
+    /// sorted run per permutation, then lets size-tiered merging
+    /// restore the run-size ladder.
+    fn flush(&mut self, extra: Vec<IdTriple>) {
+        for (perm, index) in [
+            (Perm::Spo, &mut self.spo),
+            (Perm::Pos, &mut self.pos),
+            (Perm::Osp, &mut self.osp),
+        ] {
+            let mut run = std::mem::take(&mut index.tail);
+            run.extend(extra.iter().map(|&t| perm.permute(t)));
+            // pdqsort exploits the sorted tail prefix; only the batch
+            // part is genuinely unsorted.
+            run.sort_unstable();
+            index.push_run_tiered(run);
+        }
+    }
+
+    fn remove(&mut self, t: IdTriple) -> bool {
+        let key = spo_key(t);
+        if !self.present.remove(key) {
+            return false;
+        }
+        // Tail entries are removed physically (the tail is small and
+        // removals rare); each permutation finds the key at its own
+        // sorted position. Run-resident keys are tombstoned.
+        if self.spo.tail_remove(key) {
+            self.pos.tail_remove(Perm::Pos.permute(t));
+            self.osp.tail_remove(Perm::Osp.permute(t));
+        } else {
+            self.dead.insert(key);
+            self.maybe_purge();
+        }
+        true
+    }
+
+    /// Physically drops tombstoned keys once they outnumber half the
+    /// run-resident keys (and exceed an absolute floor), by merging each
+    /// index's whole run stack into one purged run.
+    fn maybe_purge(&mut self) {
+        let run_keys: usize = self.spo.runs.iter().map(Vec::len).sum();
+        if self.dead.len() < PURGE_MIN || self.dead.len() * 2 < run_keys {
+            return;
+        }
+        for (perm, index) in [
+            (Perm::Spo, &mut self.spo),
+            (Perm::Pos, &mut self.pos),
+            (Perm::Osp, &mut self.osp),
+        ] {
+            let mut all: Vec<[u32; 3]> = Vec::with_capacity(run_keys - self.dead.len());
+            for run in index.runs.drain(..) {
+                all.extend(
+                    run.into_iter()
+                        .filter(|k| !self.dead.contains(spo_key(perm.unpermute(*k)))),
+                );
+            }
+            all.sort_unstable();
+            if !all.is_empty() {
+                index.runs.push(all);
+            }
+        }
+        self.dead = KeySet::default();
+    }
+
+    fn range(&self, perm: Perm, lo: [u32; 3], hi: [u32; 3]) -> RunRangeIter<'_> {
+        let index = match perm {
+            Perm::Spo => &self.spo,
+            Perm::Pos => &self.pos,
+            Perm::Osp => &self.osp,
+        };
+        RunRangeIter {
+            heads: index.sorted_slices(lo, hi),
+            perm,
+            dead: (self.dead.len() > 0).then_some(&self.dead),
+        }
+    }
+}
+
+/// A minimal open-addressing hash set for `[u32; 3]` keys with a cheap
+/// multiply-xor hash — the point-lookup sidecar of [`RunStore`]. The
+/// std `HashSet` pays SipHash on every probe, which dominates the
+/// insert path of a triple store whose keys are 12 bytes; this set is
+/// the same trick as `rps_tgd`'s open-addressing `RowSet`.
+///
+/// Linear probing, power-of-two capacity, tombstone deletion, rehash at
+/// 7/8 occupancy (rehashing also drops tombstones).
+#[derive(Clone, Default)]
+struct KeySet {
+    /// 0 = empty, 1 = full, 2 = deleted.
+    ctrl: Vec<u8>,
+    keys: Vec<[u32; 3]>,
+    /// Full slots.
+    len: usize,
+    /// Full + deleted slots (drives the rehash threshold).
+    occupied: usize,
+}
+
+const CTRL_EMPTY: u8 = 0;
+const CTRL_FULL: u8 = 1;
+const CTRL_DELETED: u8 = 2;
+
+fn key_hash(key: [u32; 3]) -> u64 {
+    let mut h = (key[0] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= (key[1] as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= (key[2] as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 32)
+}
+
+impl KeySet {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Index of the slot holding `key`, if present.
+    fn find(&self, key: [u32; 3]) -> Option<usize> {
+        if self.ctrl.is_empty() {
+            return None;
+        }
+        let mask = self.ctrl.len() - 1;
+        let mut i = key_hash(key) as usize & mask;
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => return None,
+                CTRL_FULL if self.keys[i] == key => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn contains(&self, key: [u32; 3]) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Adds `key`; `true` iff it was not present.
+    fn insert(&mut self, key: [u32; 3]) -> bool {
+        if self.ctrl.is_empty() || (self.occupied + 1) * 8 > self.ctrl.len() * 7 {
+            self.grow();
+        }
+        let mask = self.ctrl.len() - 1;
+        let mut i = key_hash(key) as usize & mask;
+        let mut insert_at = None;
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => {
+                    // Reuse the first tombstone passed, if any.
+                    let slot = insert_at.unwrap_or(i);
+                    if self.ctrl[slot] == CTRL_EMPTY {
+                        self.occupied += 1;
+                    }
+                    self.ctrl[slot] = CTRL_FULL;
+                    self.keys[slot] = key;
+                    self.len += 1;
+                    return true;
+                }
+                CTRL_FULL if self.keys[i] == key => return false,
+                CTRL_DELETED => {
+                    insert_at.get_or_insert(i);
+                    i = (i + 1) & mask;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Removes `key`; `true` iff it was present.
+    fn remove(&mut self, key: [u32; 3]) -> bool {
+        match self.find(key) {
+            Some(i) => {
+                self.ctrl[i] = CTRL_DELETED;
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.ctrl.len() * 2).max(16);
+        let old_ctrl = std::mem::replace(&mut self.ctrl, vec![CTRL_EMPTY; new_cap]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![[0; 3]; new_cap]);
+        self.len = 0;
+        self.occupied = 0;
+        let mask = new_cap - 1;
+        for (c, k) in old_ctrl.into_iter().zip(old_keys) {
+            if c == CTRL_FULL {
+                let mut i = key_hash(k) as usize & mask;
+                while self.ctrl[i] == CTRL_FULL {
+                    i = (i + 1) & mask;
+                }
+                self.ctrl[i] = CTRL_FULL;
+                self.keys[i] = k;
+                self.len += 1;
+                self.occupied += 1;
+            }
+        }
+    }
+}
+
+/// Iterator over one permutation's key range: a k-way merge of the
+/// intersecting run slices and the sorted tail's subslice, yielding
+/// triples in the permutation's key order with tombstones filtered.
+pub(crate) struct RunRangeIter<'g> {
+    /// Remaining slice of each intersecting source (runs + tail; the
+    /// construction drops empty intersections, `next` drops exhausted
+    /// ones).
+    heads: Vec<&'g [[u32; 3]]>,
+    perm: Perm,
+    /// Tombstoned SPO keys, present only when non-empty.
+    dead: Option<&'g KeySet>,
+}
+
+impl Iterator for RunRangeIter<'_> {
+    type Item = IdTriple;
+
+    fn next(&mut self) -> Option<IdTriple> {
+        loop {
+            // Fast path: one remaining source and nothing tombstoned —
+            // plain slice iteration (the common shape once tiered
+            // merging has concentrated the data in few runs).
+            if self.heads.len() == 1 && self.dead.is_none() {
+                let (&key, rest) = self.heads[0].split_first()?;
+                if rest.is_empty() {
+                    self.heads.clear();
+                } else {
+                    self.heads[0] = rest;
+                }
+                return Some(self.perm.unpermute(key));
+            }
+            // Pick the smallest head. The key sets are disjoint, so no
+            // tie-breaking or deduplication is needed; exhausted heads
+            // are dropped, so the linear min runs over live sources
+            // only.
+            let mut best: Option<(usize, [u32; 3])> = None; // (source, key)
+            for (i, h) in self.heads.iter().enumerate() {
+                let k = h[0];
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+            let (i, key) = best?;
+            self.heads[i] = &self.heads[i][1..];
+            if self.heads[i].is_empty() {
+                self.heads.swap_remove(i);
+            }
+            let t = self.perm.unpermute(key);
+            if let Some(dead) = self.dead {
+                // Tail keys are never tombstoned, so this probe is only
+                // ever a (cheap) no-op for them.
+                if dead.contains(spo_key(t)) {
+                    continue;
+                }
+            }
+            return Some(t);
+        }
+    }
+}
+
+/// Iterator over a permutation range of either backend.
+pub(crate) enum StoreRangeIter<'g> {
+    BTree {
+        iter: std::collections::btree_set::Range<'g, [u32; 3]>,
+        perm: Perm,
+    },
+    Runs(RunRangeIter<'g>),
+}
+
+impl Iterator for StoreRangeIter<'_> {
+    type Item = IdTriple;
+
+    fn next(&mut self) -> Option<IdTriple> {
+        match self {
+            StoreRangeIter::BTree { iter, perm } => iter.next().map(|&k| perm.unpermute(k)),
+            StoreRangeIter::Runs(it) => it.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        IdTriple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    fn collect_range(store: &TripleStore, perm: Perm, lo: [u32; 3], hi: [u32; 3]) -> Vec<IdTriple> {
+        store.range(perm, lo, hi).collect()
+    }
+
+    /// Drives both backends through the same operation sequence and
+    /// asserts every observable agrees.
+    fn assert_backends_agree(ops: &[(bool, IdTriple)]) {
+        let mut bt = TripleStore::new(StorageBackend::BTree);
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        for &(is_insert, triple) in ops {
+            if is_insert {
+                assert_eq!(bt.insert(triple), rs.insert(triple), "insert {triple:?}");
+            } else {
+                assert_eq!(bt.remove(triple), rs.remove(triple), "remove {triple:?}");
+            }
+            assert_eq!(bt.len(), rs.len());
+        }
+        for perm in [Perm::Spo, Perm::Pos, Perm::Osp] {
+            let full_bt = collect_range(&bt, perm, [0; 3], [u32::MAX; 3]);
+            let full_rs = collect_range(&rs, perm, [0; 3], [u32::MAX; 3]);
+            assert_eq!(full_bt, full_rs, "{perm:?} full scans agree, in order");
+        }
+        for &(_, triple) in ops {
+            assert_eq!(bt.contains(triple), rs.contains(triple));
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_seeded_mixed_workload() {
+        // Seeded SplitMix64 stream; enough volume to force several
+        // flushes and tiered merges (TAIL_MAX * ~8 inserts).
+        let mut state: u64 = 0xDEAD_BEEF;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut ops = Vec::new();
+        for _ in 0..(TAIL_MAX * 8) {
+            let r = next();
+            let triple = t(
+                (r % 37) as u32,
+                ((r >> 8) % 11) as u32,
+                ((r >> 16) % 53) as u32,
+            );
+            // ~1 in 5 ops is a removal (of a likely-present key).
+            ops.push((r % 5 != 0, triple));
+        }
+        assert_backends_agree(&ops);
+    }
+
+    #[test]
+    fn tiered_merge_keeps_run_count_logarithmic() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        for i in 0..(TAIL_MAX as u32 * 64) {
+            rs.insert(t(i, i % 7, i % 13));
+        }
+        let stats = rs.stats();
+        assert!(
+            stats.runs <= 16,
+            "expected O(log n) runs, got {}",
+            stats.runs
+        );
+        assert_eq!(rs.len(), TAIL_MAX * 64);
+    }
+
+    #[test]
+    fn revival_of_tombstoned_key() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let probe = t(1, 2, 3);
+        rs.insert(probe);
+        // Fill the tail exactly to the flush threshold, pushing the
+        // probe into a run.
+        for i in 0..(TAIL_MAX as u32 - 1) {
+            rs.insert(t(1000 + i, 1, 1));
+        }
+        assert_eq!(rs.stats().tail, 0, "flush ran at the threshold");
+        assert!(rs.remove(probe));
+        assert!(!rs.contains(probe));
+        assert!(rs.insert(probe), "re-insert of a tombstoned key adds it");
+        assert!(rs.contains(probe));
+        assert!(!rs.insert(probe), "now a duplicate again");
+    }
+
+    #[test]
+    fn purge_drops_tombstones_physically() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let n = (PURGE_MIN * 3) as u32;
+        for i in 0..n {
+            rs.insert(t(i, 0, 0));
+        }
+        // Remove two thirds — crosses both purge thresholds along the
+        // way (a sub-threshold remainder of fresh tombstones may be
+        // left, but the purged bulk must be physically gone).
+        let removed = n * 2 / 3;
+        for i in 0..removed {
+            assert!(rs.remove(t(i, 0, 0)));
+        }
+        let stats = rs.stats();
+        assert!(
+            stats.tombstones < PURGE_MIN,
+            "bulk of the tombstones purged, {} left",
+            stats.tombstones
+        );
+        assert!(stats.run_keys < n as usize, "purge dropped keys physically");
+        assert_eq!(rs.len(), (n - removed) as usize);
+        let all = collect_range(&rs, Perm::Spo, [0; 3], [u32::MAX; 3]);
+        assert_eq!(all.len(), (n - removed) as usize);
+        assert!(all.iter().all(|x| x.s.0 >= removed));
+    }
+
+    #[test]
+    fn batch_insert_dedups_and_reports_in_order() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        rs.insert(t(5, 5, 5));
+        let mut added = Vec::new();
+        rs.insert_batch(
+            vec![t(1, 1, 1), t(5, 5, 5), t(2, 2, 2), t(1, 1, 1)].into_iter(),
+            &mut added,
+        );
+        assert_eq!(added, vec![t(1, 1, 1), t(2, 2, 2)]);
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn big_batch_becomes_a_run() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let mut added = Vec::new();
+        let batch: Vec<IdTriple> = (0..TAIL_MAX as u32 * 4).map(|i| t(i, 1, 2)).collect();
+        rs.insert_batch(batch.into_iter(), &mut added);
+        assert_eq!(added.len(), TAIL_MAX * 4);
+        let stats = rs.stats();
+        assert_eq!(stats.tail, 0, "batch flushed straight into a run");
+        assert!(stats.runs >= 1);
+    }
+}

@@ -5,7 +5,7 @@
 //! run a fixed number of cases over a seeded SplitMix64 generator — same
 //! invariants, deterministic inputs.
 
-use rps_rdf::{turtle, Graph, Term, Triple};
+use rps_rdf::{turtle, Graph, StorageBackend, Term, Triple};
 
 struct Rng(u64);
 
@@ -126,6 +126,129 @@ fn merge_is_union() {
         let before = m.len();
         m.merge(&b);
         assert_eq!(m.len(), before);
+    }
+}
+
+#[test]
+fn storage_backends_agree_under_mixed_workloads() {
+    // The sorted-run store must be observationally identical to the
+    // B-tree oracle: same insert/remove results, same membership, and
+    // the same triples in the same order for every pattern shape —
+    // across flushes, tiered merges, tombstones and batch inserts.
+    for seed in 0..24 {
+        let rng = &mut Rng(1000 + seed);
+        let mut runs = Graph::new();
+        let mut btree = Graph::with_backend(StorageBackend::BTree);
+        // Interleave single inserts, batches and removals. Volume is
+        // chosen to exceed the tail threshold several times over.
+        for _ in 0..rng.below(40) + 20 {
+            match rng.below(4) {
+                0 => {
+                    // A batch large enough to flush straight into a run.
+                    let batch: Vec<Triple> =
+                        (0..rng.below(300) + 50).map(|_| arb_triple(rng)).collect();
+                    let ids_runs: Vec<_> = batch
+                        .iter()
+                        .map(|t| {
+                            let s = runs.intern(t.subject());
+                            let p = runs.intern(t.predicate());
+                            let o = runs.intern(t.object());
+                            rps_rdf::IdTriple::new(s, p, o)
+                        })
+                        .collect();
+                    let ids_btree: Vec<_> = batch
+                        .iter()
+                        .map(|t| {
+                            let s = btree.intern(t.subject());
+                            let p = btree.intern(t.predicate());
+                            let o = btree.intern(t.object());
+                            rps_rdf::IdTriple::new(s, p, o)
+                        })
+                        .collect();
+                    assert_eq!(
+                        runs.insert_batch(ids_runs),
+                        btree.insert_batch(ids_btree),
+                        "batch add counts agree"
+                    );
+                }
+                1 => {
+                    let t = arb_triple(rng);
+                    assert_eq!(runs.remove(&t), btree.remove(&t));
+                }
+                _ => {
+                    let t = arb_triple(rng);
+                    assert_eq!(runs.insert(&t), btree.insert(&t));
+                }
+            }
+            assert_eq!(runs.len(), btree.len());
+        }
+        assert_eq!(runs, btree, "same owned-triple sets");
+        // Same interning sequence ⇒ comparable ids; check scan order for
+        // every pattern shape over a sample of present triples.
+        let all: Vec<_> = runs.iter_ids().collect();
+        assert_eq!(all, btree.iter_ids().collect::<Vec<_>>());
+        for t in all.iter().take(25) {
+            for (s, p, o) in [
+                (Some(t.s), None, None),
+                (None, Some(t.p), None),
+                (None, None, Some(t.o)),
+                (Some(t.s), Some(t.p), None),
+                (Some(t.s), None, Some(t.o)),
+                (None, Some(t.p), Some(t.o)),
+                (Some(t.s), Some(t.p), Some(t.o)),
+            ] {
+                let a: Vec<_> = runs.match_ids(s, p, o).collect();
+                let b: Vec<_> = btree.match_ids(s, p, o).collect();
+                assert_eq!(a, b, "pattern ({s:?},{p:?},{o:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_windows_survive_removals_and_compaction() {
+    // Satellite invariant: a mark taken at any point bounds exactly the
+    // live triples inserted after it, regardless of how many flushes,
+    // merges and tombstone purges happen around it.
+    for seed in 0..16 {
+        let rng = &mut Rng(2000 + seed);
+        let mut g = Graph::new();
+        // Phase 1: bulk load past several flush thresholds.
+        for _ in 0..400 {
+            g.insert(&arb_triple(rng));
+        }
+        let mark = g.log_len();
+        let mut expected: Vec<rps_rdf::IdTriple> = Vec::new();
+        // Phase 2: interleave inserts and removals; track what a
+        // delta consumer must see (insertion order, minus triples
+        // removed again before being consumed).
+        for _ in 0..300 {
+            if rng.below(3) == 0 {
+                let t = arb_triple(rng);
+                if g.remove(&t) {
+                    // If it was a post-mark insertion, it must vanish
+                    // from the window too.
+                    let (Some(s), Some(p), Some(o)) = (
+                        g.term_id(t.subject()),
+                        g.term_id(t.predicate()),
+                        g.term_id(t.object()),
+                    ) else {
+                        unreachable!("removed triple had interned terms")
+                    };
+                    expected.retain(|&x| x != rps_rdf::IdTriple::new(s, p, o));
+                }
+            } else {
+                let t = arb_triple(rng);
+                let s = g.intern(t.subject());
+                let p = g.intern(t.predicate());
+                let o = g.intern(t.object());
+                if g.insert_ids(rps_rdf::IdTriple::new(s, p, o)) {
+                    expected.push(rps_rdf::IdTriple::new(s, p, o));
+                }
+            }
+        }
+        let window: Vec<_> = g.log_since(mark).collect();
+        assert_eq!(window, expected, "seed {seed}");
     }
 }
 
