@@ -164,6 +164,10 @@ fn main() {
         };
         run("e13", &mut || e13_storage(sizes));
     }
+    if want("e14") {
+        let depths: &[usize] = if quick { &[4, 6, 8] } else { &[4, 6, 8, 10] };
+        run("e14", &mut || e14_rewrite_ablation(depths));
+    }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
     for t in &timed {

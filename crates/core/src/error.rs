@@ -33,6 +33,22 @@ pub enum RpsError {
         /// Triples materialised before giving up.
         triples: usize,
     },
+    /// The UCQ rewriting exhausted its budgets before reaching a
+    /// fixpoint, so the union is not a perfect rewriting and answering
+    /// over it would silently drop certain answers. Raised when the
+    /// strategy *requires* the rewrite route; the `Auto` strategy falls
+    /// back to materialisation instead (see
+    /// [`crate::PreparedQuery::rewrite_fell_back`]). Raise the budgets
+    /// in [`crate::EngineConfig::rewrite`], or pick a strategy with a
+    /// complete route (materialise, or Datalog for full mappings).
+    RewriteBudget {
+        /// Distinct CQs explored before giving up.
+        explored: usize,
+        /// The depth budget that bounded the expansion.
+        max_depth: usize,
+        /// The union-size budget that bounded the expansion.
+        max_cqs: usize,
+    },
     /// Datalog routing was requested for a system whose graph mapping
     /// assertions are not full (existential conclusions need the chase).
     NotDatalog(DatalogError),
@@ -63,6 +79,15 @@ impl fmt::Display for RpsError {
                 f,
                 "chase budget exhausted after {rounds} rounds / {triples} triples \
                  without reaching a fixpoint"
+            ),
+            RpsError::RewriteBudget {
+                explored,
+                max_depth,
+                max_cqs,
+            } => write!(
+                f,
+                "rewriting budget exhausted after exploring {explored} CQs \
+                 (max_depth {max_depth}, max_cqs {max_cqs}) without reaching a fixpoint"
             ),
             RpsError::NotDatalog(e) => {
                 write!(f, "system is not expressible as a Datalog program: {e}")

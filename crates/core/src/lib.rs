@@ -49,7 +49,9 @@ pub use datalog_route::DatalogEngine;
 pub use discovery::{
     discover, evaluate as evaluate_discovery, Candidate, DiscoveryConfig, DiscoveryQuality,
 };
-pub use encode::{encode_system, graph_as_tt, query_to_cq, DataExchange, Encoder};
+pub use encode::{
+    encode_system, graph_as_tt, graph_as_tt_mapped, query_to_cq, DataExchange, Encoder,
+};
 pub use engine::{AnswerRoute, RpsEngine};
 pub use equivalence::{canonicalize_graph, expand_answers, saturate_naive, EquivalenceIndex};
 pub use error::RpsError;

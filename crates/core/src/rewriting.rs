@@ -13,18 +13,39 @@
 //! and evaluating that over the sources.
 
 use crate::answers::AnswerSet;
-use crate::encode::{encode_system, graph_as_tt, query_to_cq, DataExchange, Encoder};
+use crate::encode::{
+    encode_system, graph_as_tt, graph_as_tt_mapped, query_to_cq, DataExchange, Encoder,
+};
 use crate::system::RdfPeerSystem;
-use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar, UnionQuery, Variable};
-use rps_rdf::Term;
-use rps_tgd::{AtomArg, Classification, Cq, Instance, RewriteConfig, Tgd};
+use rps_query::{
+    GraphPattern, GraphPatternQuery, PlanSlot, PreparedQueryIds, TermOrVar, UnionQuery, Variable,
+};
+use rps_rdf::{Graph, Term, TermId};
+use rps_tgd::{AtomArg, Classification, Cq, IdArg, IdCq, IdTgdSet, Instance, RewriteConfig, Tgd};
 use std::collections::BTreeSet;
+
+/// Which instance dictionary a rewriting's id-CQs were interned against
+/// (ids are only meaningful relative to their dictionary).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum RewriteSpace {
+    /// The canonical stored database (`rewrite_canonical`).
+    Canon,
+    /// The raw stored database (`rewrite`, the paper-verbatim route).
+    Pure,
+}
 
 /// A rewriting of an RPS query.
 #[derive(Clone, Debug)]
 pub struct RpsRewriting {
-    /// The union of relational CQs over `tt`.
+    /// The union of relational CQs over `tt` (decoded, canonical — the
+    /// display / federation form of `id_cqs`).
     pub cqs: Vec<Cq>,
+    /// The id-level union the engine actually produced and evaluates
+    /// (empty for the retained naive oracle path, which falls back to
+    /// string-level evaluation).
+    pub(crate) id_cqs: Vec<IdCq>,
+    /// Which of the rewriter's instances minted `id_cqs`' ids.
+    pub(crate) space: RewriteSpace,
     /// `true` iff the expansion reached a fixpoint — together with an
     /// FO-rewritable classification this makes the union perfect.
     pub complete: bool,
@@ -106,6 +127,22 @@ impl RpsRewriting {
     }
 }
 
+/// One UCQ branch compiled for execution over the canonical stored
+/// graph (see `RpsRewriter::compile_branches`): an id-level
+/// `rps_query` plan plus the head template interleaving projected
+/// variables with constants the rewriting specialised. Crate-internal:
+/// the plans' term ids are only meaningful against the rewriter's
+/// canonical graph, so `Session` is the one consumer.
+pub(crate) struct RewrittenBranch {
+    /// The prepared id-level plan (evaluated against
+    /// [`RpsRewriter::canon_graph`]).
+    pub(crate) plan: PreparedQueryIds,
+    /// Head template, one entry per answer position: `None` consumes
+    /// the next projected variable of a result tuple, `Some(term)`
+    /// injects a constant.
+    pub(crate) head: Vec<Option<Term>>,
+}
+
 /// Decodes a relational CQ over `tt` into an RDF graph pattern.
 pub fn cq_to_pattern(cq: &Cq, encoder: &Encoder) -> Option<GraphPattern> {
     let mut gp = GraphPattern::new();
@@ -160,6 +197,18 @@ pub struct RpsRewriter {
     canon_gma_tgds: Vec<Tgd>,
     /// The canonicalised stored database as `tt` facts.
     canon_stored_tt: Instance,
+    /// The canonicalised stored database as an RDF graph — the
+    /// evaluation substrate for [`Self::compile_branches`] plans.
+    canon_graph: Graph,
+    /// `canon_stored_tt` value id → `canon_graph` term id, seeded from
+    /// the encoding pass and extended lazily for query constants.
+    val_to_term: Vec<Option<TermId>>,
+    /// The canonical GMA TGDs compiled for id-level rewriting (built on
+    /// first use; ids live in `canon_stored_tt`'s dictionaries).
+    canon_tgds_id: Option<IdTgdSet>,
+    /// The full TGD set compiled for the pure route (ids live in
+    /// `stored_tt`'s dictionaries).
+    pure_tgds_id: Option<IdTgdSet>,
 }
 
 impl RpsRewriter {
@@ -183,7 +232,16 @@ impl RpsRewriter {
             })
             .collect();
         let canon_graph = crate::equivalence::canonicalize_graph(&stored, &index);
-        let canon_stored_tt = graph_as_tt(&canon_graph, &mut exchange.encoder);
+        let (canon_stored_tt, term_to_val) =
+            graph_as_tt_mapped(&canon_graph, &mut exchange.encoder);
+        // Invert the encoding map so id-CQ values translate to graph
+        // term ids by array lookup.
+        let mut val_to_term = vec![None; canon_stored_tt.values().len()];
+        for (ti, val) in term_to_val.iter().enumerate() {
+            if let Some(v) = val {
+                val_to_term[v.index()] = Some(TermId(ti as u32));
+            }
+        }
 
         RpsRewriter {
             exchange,
@@ -193,6 +251,10 @@ impl RpsRewriter {
             index,
             canon_gma_tgds,
             canon_stored_tt,
+            canon_graph,
+            val_to_term,
+            canon_tgds_id: None,
+            pure_tgds_id: None,
         }
     }
 
@@ -201,9 +263,42 @@ impl RpsRewriter {
         &self.index
     }
 
+    /// The shared id-level pipeline behind both routes: compile the TGD
+    /// set into `cache` on first use, intern the query against `inst`,
+    /// run the pruned id-level expansion, and decode the union once.
+    /// An associated function (not a method) so callers can hand in
+    /// disjoint field borrows.
+    fn rewrite_in_space(
+        cq: &Cq,
+        cfg: &RewriteConfig,
+        space: RewriteSpace,
+        tgd_src: &[Tgd],
+        inst: &mut Instance,
+        cache: &mut Option<IdTgdSet>,
+    ) -> RpsRewriting {
+        if cache.is_none() {
+            *cache = Some(IdTgdSet::compile(tgd_src, inst));
+        }
+        let id_query = rps_tgd::intern_cq(cq, inst);
+        let r = rps_tgd::rewrite_ids(&id_query, cache.as_ref().expect("just compiled"), cfg);
+        let cqs: Vec<Cq> = r.cqs.iter().map(|c| rps_tgd::decode_cq(c, inst)).collect();
+        RpsRewriting {
+            cqs,
+            id_cqs: r.cqs,
+            space,
+            complete: r.complete,
+            explored: r.explored,
+        }
+    }
+
     /// Rewrites a query under the *canonicalised graph-mapping TGDs only*
-    /// (combined route). Evaluate over the canonical stored database and
-    /// expand answers with [`crate::equivalence::expand_answers`].
+    /// (combined route), entirely at the id level: the TGD set is
+    /// compiled once, the query is interned, the expansion runs on
+    /// numbered-variable CQs, and the emitted union is
+    /// subsumption-pruned. Evaluate over the canonical stored database
+    /// with [`Self::evaluate_canonical`] (which hands the id-CQs
+    /// straight to the id-level evaluator) and expand answers with
+    /// [`crate::equivalence::expand_answers`].
     pub fn rewrite_canonical(
         &mut self,
         query: &GraphPatternQuery,
@@ -211,18 +306,21 @@ impl RpsRewriter {
     ) -> RpsRewriting {
         let canon_query = crate::equivalence::canonicalize_query(query, &self.index);
         let cq = query_to_cq(&canon_query, &mut self.exchange.encoder, false);
-        let r = rps_tgd::rewrite(&cq, &self.canon_gma_tgds, cfg);
-        RpsRewriting {
-            cqs: r.cqs,
-            complete: r.complete,
-            explored: r.explored,
-        }
+        Self::rewrite_in_space(
+            &cq,
+            cfg,
+            RewriteSpace::Canon,
+            &self.canon_gma_tgds,
+            &mut self.canon_stored_tt,
+            &mut self.canon_tgds_id,
+        )
     }
 
     /// [`Self::rewrite_canonical`] through the retained naive rewriting
     /// engine (`rps_tgd::naive`) — string-keyed canonicalisation, CQ-set
-    /// duplicate detection. Used by benchmarks and property tests to
-    /// compare engines; produces the same UCQ set.
+    /// duplicate detection, no subsumption pruning. Used by benchmarks
+    /// (experiment e14) and property tests as the oracle; its union has
+    /// the same certain answers as the pruned id-level one.
     pub fn rewrite_canonical_naive(
         &mut self,
         query: &GraphPatternQuery,
@@ -233,6 +331,8 @@ impl RpsRewriter {
         let r = rps_tgd::naive::rewrite(&cq, &self.canon_gma_tgds, cfg);
         RpsRewriting {
             cqs: r.cqs,
+            id_cqs: Vec::new(),
+            space: RewriteSpace::Canon,
             complete: r.complete,
             explored: r.explored,
         }
@@ -254,29 +354,155 @@ impl RpsRewriter {
         &self.exchange.encoder
     }
 
-    /// Rewrites a graph pattern query into a UCQ over the sources.
+    /// Rewrites a graph pattern query into a UCQ over the sources — the
+    /// paper-verbatim route, under the *full* dependency set (graph
+    /// mappings + equivalence TGDs). Runs on the id-level engine like
+    /// [`Self::rewrite_canonical`], with ids minted against the raw
+    /// stored database.
     pub fn rewrite(&mut self, query: &GraphPatternQuery, cfg: &RewriteConfig) -> RpsRewriting {
         let cq = query_to_cq(query, &mut self.exchange.encoder, false);
-        let r = rps_tgd::rewrite(&cq, &self.tgds, cfg);
-        RpsRewriting {
-            cqs: r.cqs,
-            complete: r.complete,
-            explored: r.explored,
-        }
+        Self::rewrite_in_space(
+            &cq,
+            cfg,
+            RewriteSpace::Pure,
+            &self.tgds,
+            &mut self.stored_tt,
+            &mut self.pure_tgds_id,
+        )
     }
 
     /// Evaluates a previously-computed *canonical* rewriting (see
     /// [`Self::rewrite_canonical`]) over the canonical stored database,
     /// decoding the relational tuples and expanding them back over the
-    /// equivalence classes. Rewrite once, evaluate repeatedly.
+    /// equivalence classes. Rewrite once, evaluate repeatedly. Id-level
+    /// rewritings evaluate without any string round-trip — only the
+    /// distinct answer ids are decoded; the naive-oracle path (no
+    /// id-CQs) falls back to string-level evaluation.
     pub fn evaluate_canonical(&self, rewriting: &RpsRewriting) -> BTreeSet<Vec<Term>> {
-        let tuples = rps_tgd::evaluate_union(&rewriting.cqs, &self.canon_stored_tt);
         let enc = &self.exchange.encoder;
-        let decoded: BTreeSet<Vec<Term>> = tuples
-            .iter()
-            .map(|row| row.iter().map(|g| enc.decode(g)).collect())
-            .collect();
+        let decoded: BTreeSet<Vec<Term>> =
+            if rewriting.space == RewriteSpace::Canon && !rewriting.id_cqs.is_empty() {
+                rps_tgd::evaluate_union_ids(&rewriting.id_cqs, &self.canon_stored_tt)
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|&v| enc.decode(self.canon_stored_tt.values().value(v)))
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                rps_tgd::evaluate_union(&rewriting.cqs, &self.canon_stored_tt)
+                    .iter()
+                    .map(|row| row.iter().map(|g| enc.decode(g)).collect())
+                    .collect()
+            };
         crate::equivalence::expand_answers(&decoded, &self.index)
+    }
+
+    /// The canonicalised stored database as an RDF graph — the substrate
+    /// the compiled rewrite-route branch plans execute over.
+    pub fn canon_graph(&self) -> &Graph {
+        &self.canon_graph
+    }
+
+    /// Translates a `canon_stored_tt` value id to the canonical graph's
+    /// term id. Seeded by the encoding pass; values interned later
+    /// (query constants) resolve lazily — `None` means the value does
+    /// not occur in the stored data at all.
+    fn term_of_val(&mut self, v: rps_tgd::ValId) -> Option<TermId> {
+        if self.val_to_term.len() < self.canon_stored_tt.values().len() {
+            self.val_to_term
+                .resize(self.canon_stored_tt.values().len(), None);
+        }
+        if let Some(t) = self.val_to_term[v.index()] {
+            return Some(t);
+        }
+        let term = self
+            .exchange
+            .encoder
+            .decode(self.canon_stored_tt.values().value(v));
+        let tid = self.canon_graph.term_id(&term);
+        if let Some(t) = tid {
+            self.val_to_term[v.index()] = Some(t);
+        }
+        tid
+    }
+
+    /// Compiles a canonical rewriting's id-CQ branches into prepared
+    /// [`rps_query::PreparedQueryIds`] plans over the canonical stored
+    /// graph. Branch bodies are `tt/3` atoms by construction, so each
+    /// maps positionally onto triple-pattern conjuncts; values translate
+    /// to term ids through the table built while encoding the graph —
+    /// no CQ is decoded and no term re-interned on the way. Branches
+    /// whose head was specialised to a labelled null are dropped (no
+    /// certain tuple can come from them); branches mentioning values
+    /// absent from the stored data compile to unsatisfiable plans.
+    pub(crate) fn compile_branches(&mut self, rewriting: &RpsRewriting) -> Vec<RewrittenBranch> {
+        debug_assert_eq!(rewriting.space, RewriteSpace::Canon);
+        let tt = self.canon_stored_tt.pred_id("tt");
+        let mut out = Vec::with_capacity(rewriting.id_cqs.len());
+        'branches: for cq in &rewriting.id_cqs {
+            let nvars = (cq.nvars() as usize).max(1);
+            let mut satisfiable = true;
+            let mut conjuncts: Vec<[PlanSlot; 3]> = Vec::with_capacity(cq.body.len());
+            for atom in &cq.body {
+                if Some(atom.pred) != tt || atom.args.len() != 3 {
+                    continue 'branches; // not a stored-triple atom
+                }
+                let mut slot = [PlanSlot::Var(0); 3];
+                for (i, arg) in atom.args.iter().enumerate() {
+                    slot[i] = match arg {
+                        IdArg::Var(v) => PlanSlot::Var(*v as usize),
+                        IdArg::Const(c) => match self.term_of_val(*c) {
+                            Some(t) => PlanSlot::Const(t),
+                            None => {
+                                // Dead branch; the placeholder slot is
+                                // never consulted.
+                                satisfiable = false;
+                                PlanSlot::Var(0)
+                            }
+                        },
+                    };
+                }
+                conjuncts.push(slot);
+            }
+            let mut in_body = vec![false; nvars];
+            for slot in &conjuncts {
+                for s in slot {
+                    if let PlanSlot::Var(v) = s {
+                        in_body[*v] = true;
+                    }
+                }
+            }
+            let mut proj: Vec<usize> = Vec::new();
+            let mut head: Vec<Option<Term>> = Vec::with_capacity(cq.head.len());
+            let mut head_bound = true;
+            for arg in &cq.head {
+                match arg {
+                    IdArg::Var(v) => {
+                        head_bound &= in_body[*v as usize];
+                        proj.push(*v as usize);
+                        head.push(None);
+                    }
+                    IdArg::Const(c) => {
+                        let g = self.canon_stored_tt.values().value(*c);
+                        if g.is_null() {
+                            continue 'branches; // never a certain answer
+                        }
+                        head.push(Some(self.exchange.encoder.decode(g)));
+                    }
+                }
+            }
+            let plan = PreparedQueryIds::from_id_slots(
+                &self.canon_graph,
+                &conjuncts,
+                nvars,
+                head_bound.then_some(proj),
+                satisfiable,
+            );
+            out.push(RewrittenBranch { plan, head });
+        }
+        out
     }
 
     /// Rewrites and evaluates a query over the stored database via the
@@ -308,11 +534,15 @@ impl RpsRewriter {
         cfg: &RewriteConfig,
     ) -> (AnswerSet, bool) {
         let rewriting = self.rewrite(query, cfg);
-        let tuples = rps_tgd::evaluate_union(&rewriting.cqs, &self.stored_tt);
+        let tuples = rps_tgd::evaluate_union_ids(&rewriting.id_cqs, &self.stored_tt);
         let enc = &self.exchange.encoder;
         let decoded: BTreeSet<Vec<Term>> = tuples
             .iter()
-            .map(|row| row.iter().map(|g| enc.decode(g)).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|&v| enc.decode(self.stored_tt.values().value(v)))
+                    .collect()
+            })
             .collect();
         (
             AnswerSet {
@@ -347,8 +577,15 @@ impl RpsRewriter {
         let bound = canon_query.pattern().substitute(&subst);
         let boolean = GraphPatternQuery::boolean(bound);
         let cq = query_to_cq(&boolean, &mut self.exchange.encoder, false);
-        let r = rps_tgd::rewrite(&cq, &self.canon_gma_tgds, cfg);
-        !rps_tgd::evaluate_union(&r.cqs, &self.canon_stored_tt).is_empty()
+        let r = Self::rewrite_in_space(
+            &cq,
+            cfg,
+            RewriteSpace::Canon,
+            &self.canon_gma_tgds,
+            &mut self.canon_stored_tt,
+            &mut self.canon_tgds_id,
+        );
+        rps_tgd::union_has_answer(&r.id_cqs, &self.canon_stored_tt)
     }
 
     /// The full Example 3 pipeline: enumerate all candidate tuples of

@@ -77,7 +77,7 @@ use crate::chase::{chase_system, RpsChaseConfig, UniversalSolution};
 use crate::datalog_route::DatalogEngine;
 use crate::equivalence::EquivalenceIndex;
 use crate::error::RpsError;
-use crate::rewriting::{RpsRewriter, RpsRewriting};
+use crate::rewriting::{RewrittenBranch, RpsRewriter};
 use crate::system::RdfPeerSystem;
 use rps_query::{GraphPatternQuery, PreparedQueryIds, Semantics};
 use rps_rdf::{Term, TermId};
@@ -179,8 +179,10 @@ enum Plan {
         solution: Arc<UniversalSolution>,
         plan: PreparedQueryIds,
     },
-    /// A complete canonical UCQ rewriting, computed once.
-    Rewritten { rewriting: RpsRewriting },
+    /// A complete canonical UCQ rewriting, compiled once into id-level
+    /// branch plans over the rewriter's canonical stored graph (no
+    /// per-execution pattern decoding or term re-interning).
+    Rewritten { branches: Vec<RewrittenBranch> },
     /// Evaluated through the session's cached Datalog engine.
     Datalog,
 }
@@ -196,6 +198,7 @@ pub struct PreparedQuery {
     query: GraphPatternQuery,
     route: ExecRoute,
     semantics: Semantics,
+    rewrite_fell_back: bool,
     plan: Plan,
 }
 
@@ -203,6 +206,16 @@ impl PreparedQuery {
     /// The route this query will execute through.
     pub fn route(&self) -> ExecRoute {
         self.route
+    }
+
+    /// `true` iff the `Auto` strategy attempted the rewrite route but
+    /// the expansion exhausted its budgets, so this query was compiled
+    /// against the materialised solution instead. The answers are still
+    /// exact — this flag only explains the route change. An explicit
+    /// [`Strategy::Rewrite`] reports the same condition as the typed
+    /// [`RpsError::RewriteBudget`] instead of falling back.
+    pub fn rewrite_fell_back(&self) -> bool {
+        self.rewrite_fell_back
     }
 
     /// The result semantics this query was compiled under. Captured at
@@ -217,10 +230,13 @@ impl PreparedQuery {
         &self.query
     }
 
-    /// Number of UCQ branches when the route is [`ExecRoute::Rewritten`].
+    /// Number of *compiled* UCQ branch plans when the route is
+    /// [`ExecRoute::Rewritten`] — what execution actually runs (branches
+    /// whose head was specialised to a labelled null are dropped at
+    /// compile time, so this can be below the rewriting's union size).
     pub fn branch_count(&self) -> Option<usize> {
         match &self.plan {
-            Plan::Rewritten { rewriting } => Some(rewriting.cqs.len()),
+            Plan::Rewritten { branches } => Some(branches.len()),
             _ => None,
         }
     }
@@ -470,33 +486,50 @@ impl Session {
     }
 
     /// Compiles a query once — route resolution, canonical UCQ rewriting
-    /// or id-level plan compilation — into a [`PreparedQuery`] for
-    /// repeated execution.
+    /// (id-level, subsumption-pruned) and per-branch plan compilation
+    /// over the canonical stored graph, or an id-level plan against the
+    /// materialised solution — into a [`PreparedQuery`] for repeated
+    /// execution.
     ///
     /// An incomplete rewriting (budget exhaustion, non-FO-rewritable
-    /// mappings) is unsound to trust, so preparation falls back to the
-    /// materialised route in that case; the returned
-    /// [`PreparedQuery::route`] reports what was actually compiled.
+    /// mappings) is unsound to trust. Under the explicit
+    /// [`Strategy::Rewrite`] it is reported as the typed
+    /// [`RpsError::RewriteBudget`]; under [`Strategy::Auto`] preparation
+    /// falls back to the materialised route (which is exact) and records
+    /// the fact on [`PreparedQuery::rewrite_fell_back`].
     pub fn prepare(&mut self, query: &GraphPatternQuery) -> Result<PreparedQuery, RpsError> {
         let route = self.resolve_route()?;
-        let (route, plan) = match route {
-            ExecRoute::Materialised | ExecRoute::Federated => {
-                (ExecRoute::Materialised, self.prepare_materialised(query)?)
-            }
+        let (route, rewrite_fell_back, plan) = match route {
+            ExecRoute::Materialised | ExecRoute::Federated => (
+                ExecRoute::Materialised,
+                false,
+                self.prepare_materialised(query)?,
+            ),
             ExecRoute::Rewritten => {
                 let cfg = self.config.rewrite.clone();
                 let rewriting = self.rewriter_mut().rewrite_canonical(query, &cfg);
                 if rewriting.complete {
-                    (ExecRoute::Rewritten, Plan::Rewritten { rewriting })
+                    let branches = self.rewriter_mut().compile_branches(&rewriting);
+                    (ExecRoute::Rewritten, false, Plan::Rewritten { branches })
+                } else if self.config.strategy == Strategy::Rewrite {
+                    return Err(RpsError::RewriteBudget {
+                        explored: rewriting.explored,
+                        max_depth: cfg.max_depth,
+                        max_cqs: cfg.max_cqs,
+                    });
                 } else {
-                    (ExecRoute::Materialised, self.prepare_materialised(query)?)
+                    (
+                        ExecRoute::Materialised,
+                        true,
+                        self.prepare_materialised(query)?,
+                    )
                 }
             }
             ExecRoute::Datalog => {
                 if self.datalog.is_none() {
                     self.datalog = Some(DatalogEngine::new(&self.system)?);
                 }
-                (ExecRoute::Datalog, Plan::Datalog)
+                (ExecRoute::Datalog, false, Plan::Datalog)
             }
         };
         Ok(PreparedQuery {
@@ -504,6 +537,7 @@ impl Session {
             query: query.clone(),
             route,
             semantics: self.config.semantics,
+            rewrite_fell_back,
             plan,
         })
     }
@@ -531,11 +565,49 @@ impl Session {
                     ids,
                 ))
             }
-            Plan::Rewritten { rewriting } => {
+            Plan::Rewritten { branches } => {
                 // The rewriter exists: prepare() built it to rewrite.
+                // Each branch is a prepared id-level plan over the
+                // canonical stored graph. All-variable-head branches
+                // (the common shape) union at the id level first, so
+                // cross-branch duplicates are deduplicated before any
+                // term is decoded; only branches whose head injects a
+                // rewriting-specialised constant decode per distinct
+                // branch row.
                 let rewriter = self.rewriter.as_ref().expect("rewriter built at prepare");
-                let tuples = rewriter.evaluate_canonical(rewriting);
-                Ok(AnswerStream::from_terms(vars, ExecRoute::Rewritten, tuples))
+                let graph = rewriter.canon_graph();
+                let mut id_union: BTreeSet<Vec<TermId>> = BTreeSet::new();
+                let mut tuples: BTreeSet<Vec<Term>> = BTreeSet::new();
+                for branch in branches {
+                    let rows = branch.plan.evaluate(graph, Semantics::Certain);
+                    if branch.head.iter().all(Option::is_none) {
+                        id_union.extend(rows);
+                        continue;
+                    }
+                    for row in rows {
+                        let mut vals = row.into_iter();
+                        let tuple: Vec<Term> = branch
+                            .head
+                            .iter()
+                            .map(|slot| match slot {
+                                Some(term) => term.clone(),
+                                None => graph
+                                    .term(vals.next().expect("one id per projected position"))
+                                    .clone(),
+                            })
+                            .collect();
+                        tuples.insert(tuple);
+                    }
+                }
+                for row in id_union {
+                    tuples.insert(row.iter().map(|&id| graph.term(id).clone()).collect());
+                }
+                let expanded = crate::equivalence::expand_answers(&tuples, &self.eq_index);
+                Ok(AnswerStream::from_terms(
+                    vars,
+                    ExecRoute::Rewritten,
+                    expanded,
+                ))
             }
             Plan::Datalog => {
                 let engine = self.datalog.as_mut().expect("datalog built at prepare");
@@ -710,6 +782,40 @@ mod tests {
             .answer(&crate::datalog_route::tests_support::edge_query())
             .unwrap();
         assert_eq!(stream.len(), 13 * 12 / 2);
+    }
+
+    #[test]
+    fn exhausted_rewrite_budget_is_typed_and_auto_falls_back() {
+        // A zero-depth budget makes even a linear system's rewriting
+        // non-exhaustive. Explicit Rewrite reports the typed error…
+        let tiny = RewriteConfig {
+            max_depth: 0,
+            max_cqs: 10,
+        };
+        let mut strict = Session::open(
+            linear_system(),
+            EngineConfig::default()
+                .with_strategy(Strategy::Rewrite)
+                .with_rewrite(tiny.clone()),
+        )
+        .unwrap();
+        assert!(matches!(
+            strict.prepare(&cast_query()),
+            Err(RpsError::RewriteBudget { .. })
+        ));
+        // …while Auto falls back to the (exact) materialised route and
+        // records why the route changed.
+        let mut auto =
+            Session::open(linear_system(), EngineConfig::default().with_rewrite(tiny)).unwrap();
+        let prepared = auto.prepare(&cast_query()).unwrap();
+        assert_eq!(prepared.route(), ExecRoute::Materialised);
+        assert!(prepared.rewrite_fell_back());
+        assert_eq!(auto.execute(&prepared).unwrap().len(), 4);
+        // A normally-budgeted preparation does not set the flag.
+        let mut ok = Session::open(linear_system(), EngineConfig::default()).unwrap();
+        let prepared = ok.prepare(&cast_query()).unwrap();
+        assert!(!prepared.rewrite_fell_back());
+        assert_eq!(prepared.route(), ExecRoute::Rewritten);
     }
 
     #[test]

@@ -31,14 +31,21 @@ pub struct PreparedFederatedQuery {
     query: GraphPatternQuery,
     prepared: PreparedFederation,
     complete: bool,
+    explored: usize,
     branches: usize,
 }
 
 impl PreparedFederatedQuery {
     /// `true` iff the rewriting was exhaustive (perfect under
-    /// Proposition 2's conditions).
+    /// Proposition 2's conditions). Only [`FederatedSession::prepare_lenient`]
+    /// hands out queries where this is `false`.
     pub fn complete(&self) -> bool {
         self.complete
+    }
+
+    /// Number of distinct CQs the rewriting explored.
+    pub fn explored(&self) -> usize {
+        self.explored
     }
 
     /// Number of UNION branches compiled.
@@ -136,8 +143,32 @@ impl FederatedSession {
     ///
     /// The federated pipeline computes certain answers; requesting the
     /// `Q*` semantics is a configuration error
-    /// ([`RpsError::StarNeedsMaterialisation`]).
+    /// ([`RpsError::StarNeedsMaterialisation`]). A rewriting that
+    /// exhausts its budgets before reaching a fixpoint is unsound to
+    /// federate silently — there is no materialised fallback out here —
+    /// so it is reported as the typed [`RpsError::RewriteBudget`];
+    /// callers that deliberately want the truncated union (the
+    /// historical lenient contract) use [`Self::prepare_lenient`].
     pub fn prepare(
+        &mut self,
+        query: &GraphPatternQuery,
+    ) -> Result<PreparedFederatedQuery, RpsError> {
+        let prepared = self.prepare_lenient(query)?;
+        if !prepared.complete {
+            return Err(RpsError::RewriteBudget {
+                explored: prepared.explored,
+                max_depth: self.config.rewrite.max_depth,
+                max_cqs: self.config.rewrite.max_cqs,
+            });
+        }
+        Ok(prepared)
+    }
+
+    /// [`Self::prepare`] without the completeness check: an exhausted
+    /// rewriting budget yields a prepared query over the *truncated*
+    /// union, flagged by [`PreparedFederatedQuery::complete`] returning
+    /// `false` (its answers are sound but possibly incomplete).
+    pub fn prepare_lenient(
         &mut self,
         query: &GraphPatternQuery,
     ) -> Result<PreparedFederatedQuery, RpsError> {
@@ -152,6 +183,7 @@ impl FederatedSession {
             query: query.clone(),
             prepared,
             complete: rewriting.complete,
+            explored: rewriting.explored,
             branches: branches.len(),
         })
     }
@@ -248,11 +280,16 @@ impl P2pQueryService {
         self.session.fo_rewritable()
     }
 
-    /// Answers a query through the prepared federated pipeline.
+    /// Answers a query through the prepared federated pipeline. Keeps
+    /// the historical lenient contract: an exhausted rewriting budget
+    /// evaluates the truncated union (flagged via
+    /// [`ServiceAnswer::complete`]) instead of erroring like
+    /// [`FederatedSession::prepare`] does.
     pub fn answer(&mut self, query: &GraphPatternQuery) -> ServiceAnswer {
         let result = self
             .session
-            .answer(query)
+            .prepare_lenient(query)
+            .and_then(|prepared| self.session.execute(&prepared))
             .expect("certain-semantics federated answering is infallible");
         ServiceAnswer {
             complete: result.complete,
@@ -371,6 +408,32 @@ mod tests {
             Err(RpsError::SessionMismatch)
         ));
         assert!(!a.execute(&prepared).unwrap().stream.into_set().is_empty());
+    }
+
+    #[test]
+    fn exhausted_rewriting_budget_is_a_typed_error() {
+        // Transitive closure is not FO-rewritable (Proposition 3): a
+        // bounded expansion can never be exhaustive. The strict prepare
+        // reports that as the typed budget error instead of silently
+        // federating a truncated union; the lenient path keeps the
+        // historical contract and flags the truncation.
+        let sys = rps_lodgen::chain::transitive_system(6);
+        let cfg = EngineConfig::default().with_rewrite(RewriteConfig {
+            max_depth: 3,
+            max_cqs: 10_000,
+        });
+        let mut session = FederatedSession::open(&sys, cfg).unwrap();
+        let query = rps_lodgen::chain::edge_query();
+        assert!(matches!(
+            session.prepare(&query),
+            Err(RpsError::RewriteBudget { .. })
+        ));
+        let prepared = session.prepare_lenient(&query).unwrap();
+        assert!(!prepared.complete());
+        assert!(prepared.explored() > 0);
+        // Sound but possibly incomplete: short-range pairs are found.
+        let answers = session.execute(&prepared).unwrap().stream.into_set();
+        assert!(!answers.is_empty());
     }
 
     #[test]

@@ -503,6 +503,69 @@ impl PreparedQueryIds {
     }
 }
 
+/// One position of an id-level conjunct handed to
+/// [`PreparedQueryIds::from_id_slots`]: a constant already resolved to a
+/// term id of the target graph, or a dense variable index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanSlot {
+    /// A constant, already resolved against the target graph's
+    /// dictionary.
+    Const(TermId),
+    /// A variable, identified by its dense index (must be `< nvars`).
+    Var(usize),
+}
+
+impl PreparedQueryIds {
+    /// Builds a plan from pre-resolved id-level conjuncts — the seam the
+    /// UCQ rewriting pipeline hands its numbered-variable CQ branches
+    /// through, with no [`Term`](rps_rdf::Term) decode / re-intern
+    /// round-trip on the way.
+    ///
+    /// `nvars` is the dense variable count (every [`PlanSlot::Var`]
+    /// index must be below it); `proj` maps answer positions to variable
+    /// indexes, or is `None` when some answer variable cannot be bound
+    /// by the body (the answer set is then empty); `satisfiable: false`
+    /// short-circuits evaluation for branches whose constants the caller
+    /// already knows are absent from the graph's dictionary. Conjuncts
+    /// are planner-ordered against the graph's current statistics,
+    /// exactly as Term-level compilation would order them.
+    pub fn from_id_slots(
+        graph: &Graph,
+        conjuncts: &[[PlanSlot; 3]],
+        nvars: usize,
+        proj: Option<Vec<usize>>,
+        satisfiable: bool,
+    ) -> Self {
+        let mut slots: Vec<[Slot; 3]> = conjuncts
+            .iter()
+            .map(|c| {
+                c.map(|s| match s {
+                    PlanSlot::Const(id) => Slot::Const(id),
+                    PlanSlot::Var(v) => {
+                        debug_assert!(v < nvars, "variable index out of range");
+                        Slot::Var(v)
+                    }
+                })
+            })
+            .collect();
+        if satisfiable {
+            order_slots(graph, &mut slots, BTreeSet::new());
+        }
+        debug_assert!(proj.iter().flatten().all(|&i| i < nvars));
+        // Numbered variables have no source names; synthesise stable
+        // placeholders so the dense table keeps its invariants.
+        let vars: Vec<Variable> = (0..nvars).map(|i| Variable::new(format!("_{i}"))).collect();
+        PreparedQueryIds {
+            compiled: Compiled {
+                slots,
+                vars,
+                satisfiable,
+            },
+            proj,
+        }
+    }
+}
+
 /// Evaluates a graph pattern query at the id level: answer tuples are
 /// [`TermId`]s of this graph's dictionary (dense, copy-free). Under
 /// [`Semantics::Certain`], tuples containing blank nodes are dropped.
@@ -848,6 +911,49 @@ _:c3 e:artist e:actor1 .
         let q = GraphPatternQuery::new(vec![var("x"), var("unbound")], gp);
         let plan = PreparedQueryIds::compile_only(&g, &q);
         assert!(plan.evaluate(&g, Semantics::Star).is_empty());
+    }
+
+    #[test]
+    fn from_id_slots_matches_term_level_compilation() {
+        let g = graph();
+        let age = g.term_id(&Term::iri("http://e/age")).unwrap();
+        // q(x, y) <- (x, age, y) built straight from resolved ids.
+        let plan = PreparedQueryIds::from_id_slots(
+            &g,
+            &[[PlanSlot::Var(0), PlanSlot::Const(age), PlanSlot::Var(1)]],
+            2,
+            Some(vec![0, 1]),
+            true,
+        );
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/age"),
+            TermOrVar::var("y"),
+        );
+        let q = GraphPatternQuery::new(vec![var("x"), var("y")], gp);
+        assert_eq!(
+            plan.evaluate(&g, Semantics::Certain),
+            evaluate_query_ids(&g, &q, Semantics::Certain)
+        );
+        // An unsatisfiable branch (constant absent from the dictionary)
+        // evaluates to nothing.
+        let dead = PreparedQueryIds::from_id_slots(
+            &g,
+            &[[PlanSlot::Var(0), PlanSlot::Const(age), PlanSlot::Var(1)]],
+            2,
+            Some(vec![0, 1]),
+            false,
+        );
+        assert!(dead.evaluate(&g, Semantics::Star).is_empty());
+        // A projection that no variable can bind yields nothing either.
+        let unbound = PreparedQueryIds::from_id_slots(
+            &g,
+            &[[PlanSlot::Var(0), PlanSlot::Const(age), PlanSlot::Var(1)]],
+            2,
+            None,
+            true,
+        );
+        assert!(unbound.evaluate(&g, Semantics::Star).is_empty());
     }
 
     #[test]

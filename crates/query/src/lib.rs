@@ -28,8 +28,8 @@ pub use algebra::{Query, QueryResult, UnionQuery};
 pub use binding::{join, Mapping};
 pub use eval::{
     evaluate_boolean, evaluate_pattern, evaluate_query, evaluate_query_ids,
-    evaluate_query_ids_delta, has_match, has_match_with, PreparedPattern, PreparedQueryIds,
-    Semantics,
+    evaluate_query_ids_delta, has_match, has_match_with, PlanSlot, PreparedPattern,
+    PreparedQueryIds, Semantics,
 };
 pub use parser::{parse_query, to_sparql};
 pub use pattern::{GraphPattern, GraphPatternQuery, TermOrVar, TriplePattern, Variable};

@@ -320,10 +320,19 @@ struct RunIndex {
 
 impl RunIndex {
     /// The subslices of each run — and of the sorted tail — intersecting
-    /// `lo..=hi`.
+    /// `lo..=hi`. Each source is a sorted vector, so its first and last
+    /// entries are its min/max key: a run whose key range cannot
+    /// intersect the scan range is skipped with two O(1) comparisons
+    /// before any binary search runs. On clustered key ranges (a fresh
+    /// predicate or subject landing in one recent run) this prunes most
+    /// of the run stack per scan.
     fn sorted_slices(&self, lo: [u32; 3], hi: [u32; 3]) -> Vec<&[[u32; 3]]> {
         let mut out = Vec::with_capacity(self.runs.len() + 1);
         for source in self.runs.iter().chain(std::iter::once(&self.tail)) {
+            match (source.first(), source.last()) {
+                (Some(min), Some(max)) if *min <= hi && lo <= *max => {}
+                _ => continue, // empty, or disjoint from [lo, hi]
+            }
             let start = source.partition_point(|k| *k < lo);
             let end = source.partition_point(|k| *k <= hi);
             if start < end {
@@ -866,6 +875,35 @@ mod tests {
         let all = collect_range(&rs, Perm::Spo, [0; 3], [u32::MAX; 3]);
         assert_eq!(all.len(), (n - removed) as usize);
         assert!(all.iter().all(|x| x.s.0 >= removed));
+    }
+
+    #[test]
+    fn min_max_pruning_preserves_scan_results() {
+        // Several runs with disjoint, clustered subject ranges: scans
+        // over one cluster must skip the others' runs entirely (min/max
+        // pruning) while returning exactly the B-tree results.
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let mut bt = TripleStore::new(StorageBackend::BTree);
+        for cluster in 0..4u32 {
+            let base = cluster * 100_000;
+            for i in 0..(TAIL_MAX as u32 * 2) {
+                let triple = t(base + i, i % 5, i % 17);
+                rs.insert(triple);
+                bt.insert(triple);
+            }
+        }
+        assert!(rs.stats().runs >= 2, "needs several runs to prune");
+        for cluster in 0..4u32 {
+            let base = cluster * 100_000;
+            let lo = [base, 0, 0];
+            let hi = [base + TAIL_MAX as u32 * 2, u32::MAX, u32::MAX];
+            let runs: Vec<IdTriple> = collect_range(&rs, Perm::Spo, lo, hi);
+            let tree: Vec<IdTriple> = collect_range(&bt, Perm::Spo, lo, hi);
+            assert_eq!(runs, tree, "cluster {cluster}");
+            assert_eq!(runs.len(), TAIL_MAX * 2);
+        }
+        // A range beyond every run's max matches nothing.
+        assert!(collect_range(&rs, Perm::Spo, [9_000_000, 0, 0], [u32::MAX; 3]).is_empty());
     }
 
     #[test]

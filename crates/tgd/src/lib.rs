@@ -25,8 +25,12 @@
 //!   linearity, guardedness and weak-acyclicity classifiers
 //!   (experiment E7);
 //! * [`mod@rewrite`] — depth-bounded UCQ rewriting (TGD-rewrite style) with
-//!   rewriting and factorisation steps; canonicalisation and duplicate
-//!   detection run on interned integer keys;
+//!   rewriting and factorisation steps, as a string boundary over:
+//! * [`idcq`] — the id-level (numbered-variable) rewriting engine:
+//!   interned CQs ([`IdCq`]), a compiled TGD head index, an array-backed
+//!   MGU with no per-step hashing, canonicalisation as numbering + sort,
+//!   homomorphic subsumption pruning of the emitted union, and direct
+//!   id-level union evaluation;
 //! * [`naive`] — the original string-level engine (unindexed search,
 //!   re-scanning chase, string-canonical rewriting), retained as the
 //!   correctness oracle: `tests/proptests.rs` asserts both engines agree
@@ -38,6 +42,7 @@ pub mod chase;
 pub mod classify;
 pub mod datalog;
 pub mod hom;
+pub mod idcq;
 pub mod instance;
 pub mod naive;
 pub mod rewrite;
@@ -51,6 +56,10 @@ pub use classify::{
 };
 pub use datalog::{DatalogError, Program};
 pub use hom::{all_homomorphisms, evaluate_cq, exists_homomorphism, Subst};
+pub use idcq::{
+    decode_cq, evaluate_union_ids, intern_cq, rewrite_ids, rewrite_ids_unpruned, union_has_answer,
+    IdArg, IdAtom, IdCq, IdRewriteResult, IdTgdSet,
+};
 pub use instance::{Instance, InstanceMark, PredId, ValId, ValueDict};
 pub use rewrite::{
     evaluate_union, normalize_single_head, rewrite, Cq, RewriteConfig, RewriteResult,

@@ -27,7 +27,7 @@
 
 use crate::term::{Atom, AtomArg, Sym};
 use crate::tgd::Tgd;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// A conjunctive query: head (answer) arguments over a body conjunction.
@@ -364,12 +364,6 @@ pub fn normalize_single_head(tgds: &[Tgd]) -> Vec<Tgd> {
     out
 }
 
-/// `true` iff the atom mentions an auxiliary predicate introduced by
-/// [`normalize_single_head`].
-fn is_aux(atom: &Atom) -> bool {
-    atom.pred.starts_with("_aux")
-}
-
 /// A substitution produced by unification: variables map to arguments.
 /// Unifiers are tiny (one entry per unified position), so a linear-probe
 /// vector beats a hash map.
@@ -562,71 +556,30 @@ pub(crate) fn factorisation_steps(cq: &Cq) -> Vec<Cq> {
 /// internally). The returned union always *contains* the original query,
 /// is always sound, and is complete (a perfect rewriting) whenever the
 /// expansion terminated (`complete == true`).
+///
+/// This is a string-boundary wrapper over the id-level engine in
+/// [`crate::idcq`]: the TGDs are compiled to an
+/// [`crate::idcq::IdTgdSet`] and the query interned against a scratch
+/// dictionary, the expansion runs entirely on dense ids, and the union
+/// is decoded once at the end. No subsumption pruning is applied here,
+/// so the union equals the retained [`crate::naive::rewrite`] oracle's
+/// up to canonical renaming; callers wanting the pruned union use
+/// [`crate::idcq::rewrite_ids`] directly.
 pub fn rewrite(query: &Cq, tgds: &[Tgd], config: &RewriteConfig) -> RewriteResult {
-    let tgds = normalize_single_head(tgds);
-    // The seen-set holds hashed canonical integer keys (variables
-    // numbered by appearance, symbols interned in `cx`), not CQ values:
-    // duplicate detection costs one Vec<u64> hash instead of a deep
-    // structural comparison against a tree of stored queries.
-    let mut cx = CanonCtx::default();
-    let mut seen: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
-    let mut kept: Vec<Cq> = Vec::new();
-    let mut queue: VecDeque<(Cq, usize)> = VecDeque::new();
-    let (start, start_key) = canonicalize(query, &mut cx);
-    seen.insert(start_key);
-    kept.push(start.clone());
-    queue.push_back((start, 0));
-    let mut complete = true;
-    let mut fresh_rename = 0usize;
-
-    while let Some((cq, depth)) = queue.pop_front() {
-        if depth >= config.max_depth {
-            complete = false;
-            continue;
-        }
-        let mut successors: Vec<Cq> = Vec::new();
-
-        // Rewriting steps: resolve each atom against each TGD head.
-        for tgd in &tgds {
-            let head_atom = &tgd.head()[0];
-            for (ai, atom) in cq.body.iter().enumerate() {
-                if atom.pred != head_atom.pred {
-                    continue;
-                }
-                fresh_rename += 1;
-                if let Some(succ) = resolve_step(&cq, tgd, head_atom, ai, fresh_rename) {
-                    successors.push(succ);
-                }
-            }
-        }
-
-        successors.extend(factorisation_steps(&cq));
-
-        for succ in successors {
-            let (canon, key) = canonicalize(&succ, &mut cx);
-            if seen.contains(&key) {
-                continue;
-            }
-            if seen.len() >= config.max_cqs {
-                complete = false;
-                break;
-            }
-            seen.insert(key);
-            kept.push(canon.clone());
-            queue.push_back((canon, depth + 1));
-        }
-    }
-
-    let explored = seen.len();
-    kept.sort();
-    let cqs: Vec<Cq> = kept
-        .into_iter()
-        .filter(|cq| !cq.body.iter().any(is_aux))
+    let mut scratch = crate::instance::Instance::new();
+    let compiled = crate::idcq::IdTgdSet::compile(tgds, &mut scratch);
+    let start = crate::idcq::intern_cq(query, &mut scratch);
+    let r = crate::idcq::rewrite_ids_unpruned(&start, &compiled, config);
+    let mut cqs: Vec<Cq> = r
+        .cqs
+        .iter()
+        .map(|cq| crate::idcq::decode_cq(cq, &scratch))
         .collect();
+    cqs.sort();
     RewriteResult {
         cqs,
-        complete,
-        explored,
+        complete: r.complete,
+        explored: r.explored,
     }
 }
 

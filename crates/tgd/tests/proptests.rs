@@ -373,6 +373,142 @@ fn rewriting_agrees_with_naive() {
     }
 }
 
+/// Linear constant-specialising shapes (the equivalence-mapping idiom):
+/// sticky as well as linear, with terminating rewritings.
+fn arb_sticky_tgds(rng: &mut Rng) -> Vec<Tgd> {
+    use rps_tgd::term::dsl::{atom, c, v};
+    let pool = [
+        // constant swaps in each position of r/2 (both directions)
+        Tgd::new(
+            vec![atom("r", &[v("x"), c("k0")])],
+            vec![atom("r", &[v("x"), c("k1")])],
+        ),
+        Tgd::new(
+            vec![atom("r", &[v("x"), c("k1")])],
+            vec![atom("r", &[v("x"), c("k0")])],
+        ),
+        Tgd::new(
+            vec![atom("r", &[c("k2"), v("y")])],
+            vec![atom("r", &[c("k3"), v("y")])],
+        ),
+        // linear copies into the queried predicate
+        Tgd::new(
+            vec![atom("r", &[v("x"), v("y")])],
+            vec![atom("t", &[v("x"), v("y")])],
+        ),
+        Tgd::new(
+            vec![atom("s", &[v("x"), v("y")])],
+            vec![atom("t", &[v("y"), v("x")])],
+        ),
+    ];
+    let tgds: Vec<Tgd> = (0..rng.below(5))
+        .map(|_| pool[rng.below(pool.len())].clone())
+        .collect();
+    assert!(rps_tgd::is_linear(&tgds) && rps_tgd::is_sticky(&tgds));
+    tgds
+}
+
+/// The id-level engine against the string-level oracle on random
+/// linear *and* sticky TGD sets: equal canonical UCQ sets, equal
+/// completeness, equal certain answers (the satellite contract of the
+/// id-level rewriting pipeline). `rps_tgd::rewrite` is the id engine
+/// behind the string boundary, so this pins the whole pipeline.
+#[test]
+fn id_rewriting_matches_naive_on_linear_and_sticky_sets() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let inst = arb_instance(rng, 16);
+        let tgds = if rng.below(2) == 0 {
+            arb_linear_tgds(rng)
+        } else {
+            arb_sticky_tgds(rng)
+        };
+        let q = Cq::new(
+            &["x"],
+            vec![Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("y")])],
+        );
+        let cfg = RewriteConfig {
+            max_depth: 12,
+            max_cqs: 50_000,
+        };
+        let fast = rewrite(&q, &tgds, &cfg);
+        let slow = naive::rewrite(&q, &tgds, &cfg);
+        assert_eq!(fast.complete, slow.complete, "seed {seed}");
+        let fa: BTreeSet<Cq> = fast.cqs.iter().map(Cq::canonical).collect();
+        let sa: BTreeSet<Cq> = slow.cqs.iter().map(Cq::canonical).collect();
+        assert_eq!(fa, sa, "seed {seed}: UCQ sets differ");
+        assert_eq!(
+            rps_tgd::evaluate_union(&fast.cqs, &inst),
+            rps_tgd::evaluate_union(&slow.cqs, &inst),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Subsumption pruning is sound: the pruned union is a subset of the
+/// unpruned one (up to canonical renaming) with identical certain
+/// answers on random instances — and the id-level evaluator agrees
+/// with the string-level one on both.
+#[test]
+fn subsumption_pruning_preserves_answers() {
+    for seed in 0..CASES {
+        let rng = &mut Rng(seed);
+        let inst = arb_instance(rng, 16);
+        let tgds = arb_tgds(rng);
+        // A join query gives factorisation (and hence pruning) a chance
+        // to fire.
+        let q = Cq::new(
+            &["x"],
+            vec![
+                Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("y")]),
+                Atom::new("t", vec![AtomArg::var("x"), AtomArg::var("z")]),
+            ],
+        );
+        let cfg = RewriteConfig {
+            max_depth: 4,
+            max_cqs: 20_000,
+        };
+        let mut scratch = Instance::new();
+        let set = rps_tgd::IdTgdSet::compile(&tgds, &mut scratch);
+        let id_q = rps_tgd::intern_cq(&q, &mut scratch);
+        let pruned = rps_tgd::rewrite_ids(&id_q, &set, &cfg);
+        let unpruned = rps_tgd::rewrite_ids_unpruned(&id_q, &set, &cfg);
+        assert!(pruned.cqs.len() <= unpruned.cqs.len(), "seed {seed}");
+        assert_eq!(pruned.complete, unpruned.complete, "seed {seed}");
+        let dec = |cqs: &[rps_tgd::IdCq]| -> Vec<Cq> {
+            cqs.iter()
+                .map(|c| rps_tgd::decode_cq(c, &scratch))
+                .collect()
+        };
+        let (pruned_cqs, unpruned_cqs) = (dec(&pruned.cqs), dec(&unpruned.cqs));
+        let pa: BTreeSet<Cq> = pruned_cqs.iter().map(Cq::canonical).collect();
+        let ua: BTreeSet<Cq> = unpruned_cqs.iter().map(Cq::canonical).collect();
+        assert!(pa.is_subset(&ua), "seed {seed}: pruning invented CQs");
+        // Pruned union ≡ unpruned answers, string-level…
+        let pruned_ans = rps_tgd::evaluate_union(&pruned_cqs, &inst);
+        assert_eq!(
+            pruned_ans,
+            rps_tgd::evaluate_union(&unpruned_cqs, &inst),
+            "seed {seed}: pruning changed answers"
+        );
+        // …and the id-level evaluator agrees with the string-level one.
+        let mut inst_ids = inst.clone();
+        let re_pruned: Vec<rps_tgd::IdCq> = pruned_cqs
+            .iter()
+            .map(|c| rps_tgd::intern_cq(c, &mut inst_ids))
+            .collect();
+        let id_ans: BTreeSet<Vec<GroundTerm>> = rps_tgd::evaluate_union_ids(&re_pruned, &inst_ids)
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| inst_ids.values().value(v).clone())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(id_ans, pruned_ans, "seed {seed}: id evaluation differs");
+    }
+}
+
 #[test]
 fn datalog_fixpoint_agrees_with_naive_chase_on_full_sets() {
     for seed in 0..CASES {
