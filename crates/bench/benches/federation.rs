@@ -41,7 +41,7 @@ fn main() {
             seed: 6,
         };
         let sys = film_system(&cfg);
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let query = actor_shape_query(5, false);
         let prepared = engine.prepare_query(&query);
         bench(&format!("federated_query/id/{label}"), 10, || {

@@ -168,6 +168,11 @@ fn main() {
         let depths: &[usize] = if quick { &[4, 6, 8] } else { &[4, 6, 8, 10] };
         run("e14", &mut || e14_rewrite_ablation(depths));
     }
+    if want("e15") {
+        let threads: &[usize] = &[1, 2, 4, 8];
+        let execs = if quick { 240 } else { 1920 };
+        run("e15", &mut || e15_frozen_concurrency(threads, execs));
+    }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
     for t in &timed {

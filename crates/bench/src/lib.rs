@@ -655,7 +655,7 @@ pub fn e12_federation(peer_counts: &[usize]) -> Table {
         };
         let sys = film_system(&cfg);
         let query = actor_shape_query(peers - 1, false);
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
 
         let t0 = Instant::now();
         let prepared = engine.prepare_query(&query);
@@ -957,6 +957,155 @@ pub fn e13_storage(sizes: &[usize]) -> Table {
             "btree scan ms".into(),
             "runs scan ms".into(),
             "ins+scan speedup".into(),
+            "agree".into(),
+        ],
+        rows,
+    }
+}
+
+/// E15 — the frozen-session concurrency experiment: execute throughput
+/// of one shared `FrozenSession` as the thread count grows, plus the
+/// plan-cache hit-vs-miss preparation speedup.
+///
+/// The `execute` rows split a **fixed** total of `total_execs`
+/// executions of one prepared query across 1/2/4/… threads sharing a
+/// single frozen handle (materialised route — the execution itself is
+/// lock-free), so wall time shrinks with real parallel speedup and
+/// stays flat on a single-core host; every thread checks its answers
+/// against the sequential `Session`. The `prepare` rows measure the
+/// rewrite route's compile cost (fresh frozen session per miss) against
+/// repeated preparations of the same canonical query served from the
+/// plan cache.
+pub fn e15_frozen_concurrency(threads: &[usize], total_execs: usize) -> Table {
+    use rps_core::{EngineConfig, Session, Strategy};
+    const MISS_REPS: u32 = 5;
+    const HIT_REPS: u32 = 2_000;
+
+    let cfg = FilmConfig {
+        peers: 4,
+        films_per_peer: 24,
+        actors_per_film: 3,
+        person_pool: 40,
+        sameas_per_pair: 2,
+        topology: Topology::Chain,
+        hub_style: false,
+        seed: 15,
+    };
+    let sys = film_system(&cfg);
+    let query = actor_shape_query(cfg.peers - 1, false);
+    let mat = EngineConfig::default().with_strategy(Strategy::Materialise);
+    let expected = Session::open(sys.clone(), mat.clone())
+        .unwrap()
+        .answer(&query)
+        .unwrap()
+        .into_set()
+        .tuples;
+    let frozen = Session::open(sys.clone(), mat).unwrap().freeze().unwrap();
+    let prepared = frozen.prepare(&query).unwrap();
+
+    let mut rows = Vec::new();
+    let mut base_qps = 0.0;
+    for &t in threads {
+        let per_thread = (total_execs / t.max(1)).max(1);
+        let t0 = Instant::now();
+        let agree = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..t)
+                .map(|_| {
+                    let (frozen, prepared, expected) = (&frozen, &prepared, &expected);
+                    scope.spawn(move || {
+                        let mut ok = true;
+                        for _ in 0..per_thread {
+                            let got = frozen.execute(prepared).unwrap().into_set().tuples;
+                            ok &= &got == expected;
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            handles.into_iter().all(|h| h.join().unwrap())
+        });
+        let wall = t0.elapsed();
+        let execs = per_thread * t;
+        let qps = execs as f64 / wall.as_secs_f64().max(1e-9);
+        if base_qps == 0.0 {
+            base_qps = qps;
+        }
+        rows.push(vec![
+            "execute".into(),
+            t.to_string(),
+            execs.to_string(),
+            ms(wall),
+            format!("{qps:.0}"),
+            format!("{:.2}x", qps / base_qps),
+            agree.to_string(),
+        ]);
+    }
+
+    // Plan-cache ablation on the rewrite route (compilation is the
+    // expensive phase the cache skips).
+    let rw_cfg = EngineConfig::default()
+        .with_strategy(Strategy::Rewrite)
+        .with_rewrite(RewriteConfig {
+            max_depth: 40,
+            max_cqs: 100_000,
+        });
+    let mut miss_total = std::time::Duration::ZERO;
+    let mut miss_answers = None;
+    for _ in 0..MISS_REPS {
+        let f = Session::open(sys.clone(), rw_cfg.clone())
+            .unwrap()
+            .freeze()
+            .unwrap();
+        let t0 = Instant::now();
+        let p = f.prepare(&query).unwrap();
+        miss_total += t0.elapsed();
+        miss_answers = Some(f.execute(&p).unwrap().into_set().tuples);
+    }
+    let miss_avg = miss_total / MISS_REPS;
+
+    let f = Session::open(sys, rw_cfg).unwrap().freeze().unwrap();
+    let p = f.prepare(&query).unwrap(); // warm the cache
+    let t0 = Instant::now();
+    for _ in 0..HIT_REPS {
+        std::hint::black_box(f.prepare(&query).unwrap());
+    }
+    let hit_avg = t0.elapsed() / HIT_REPS;
+    let hit_answers = f.execute(&p).unwrap().into_set().tuples;
+    let agree = miss_answers.as_ref() == Some(&hit_answers);
+    let per_sec = |d: std::time::Duration| format!("{:.0}", 1.0 / d.as_secs_f64().max(1e-9));
+    rows.push(vec![
+        "prepare-miss".into(),
+        "1".into(),
+        MISS_REPS.to_string(),
+        ms(miss_avg),
+        per_sec(miss_avg),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+    rows.push(vec![
+        "prepare-hit".into(),
+        "1".into(),
+        HIT_REPS.to_string(),
+        ms(hit_avg),
+        per_sec(hit_avg),
+        format!(
+            "{:.1}x",
+            miss_avg.as_secs_f64() / hit_avg.as_secs_f64().max(1e-9)
+        ),
+        agree.to_string(),
+    ]);
+
+    Table {
+        title: "E15 — frozen sessions: shared-handle execute throughput by threads \
+                + plan-cache hit speedup"
+            .into(),
+        headers: vec![
+            "phase".into(),
+            "threads".into(),
+            "ops".into(),
+            "wall ms".into(),
+            "ops/s".into(),
+            "speedup".into(),
             "agree".into(),
         ],
         rows,

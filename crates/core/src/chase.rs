@@ -225,6 +225,11 @@ pub fn chase_system(system: &RdfPeerSystem, config: &RpsChaseConfig) -> Universa
         }
 
         if !changed {
+            // Fixpoint: the solution never grows again. Seal the store
+            // (flush the sorted-run tail into an immutable run) so every
+            // later scan — including concurrent ones through a frozen
+            // session — merges immutable runs only.
+            graph.seal();
             return UniversalSolution {
                 graph,
                 stats,

@@ -60,6 +60,18 @@ pub enum RpsError {
     /// that prepared it. Compiled plans reference their session's caches
     /// and dictionaries, so they are not transferable.
     SessionMismatch,
+    /// The session's configuration was mutated (via
+    /// [`crate::Session::config_mut`]) after this query was prepared, so
+    /// the compiled plan may no longer reflect the active strategy,
+    /// semantics or budgets. Re-prepare the query under the new
+    /// configuration. (Frozen sessions never raise this — their
+    /// configuration is immutable by construction.)
+    StalePlan {
+        /// The configuration generation the plan was compiled under.
+        prepared: u32,
+        /// The session's current configuration generation.
+        current: u32,
+    },
     /// A candidate tuple's arity does not match the query's.
     Arity {
         /// The query arity.
@@ -99,6 +111,11 @@ impl fmt::Display for RpsError {
             RpsError::SessionMismatch => write!(
                 f,
                 "prepared query was compiled by a different session; re-prepare it here"
+            ),
+            RpsError::StalePlan { prepared, current } => write!(
+                f,
+                "prepared query is stale: compiled under configuration generation \
+                 {prepared}, but the session is at generation {current}; re-prepare it"
             ),
             RpsError::Arity { expected, got } => {
                 write!(

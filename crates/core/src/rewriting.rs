@@ -23,6 +23,7 @@ use rps_query::{
 use rps_rdf::{Graph, Term, TermId};
 use rps_tgd::{AtomArg, Classification, Cq, IdArg, IdCq, IdTgdSet, Instance, RewriteConfig, Tgd};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Which instance dictionary a rewriting's id-CQs were interned against
 /// (ids are only meaningful relative to their dictionary).
@@ -199,7 +200,10 @@ pub struct RpsRewriter {
     canon_stored_tt: Instance,
     /// The canonicalised stored database as an RDF graph — the
     /// evaluation substrate for [`Self::compile_branches`] plans.
-    canon_graph: Graph,
+    /// `Arc`-shared and sealed at build time so compiled plans (and the
+    /// frozen sessions of `rps-core`/`rps-p2p`) can evaluate against it
+    /// concurrently without holding the rewriter.
+    canon_graph: Arc<Graph>,
     /// `canon_stored_tt` value id → `canon_graph` term id, seeded from
     /// the encoding pass and extended lazily for query constants.
     val_to_term: Vec<Option<TermId>>,
@@ -231,7 +235,10 @@ impl RpsRewriter {
                 crate::encode::gma_tgd_unguarded(&premise, &conclusion, &mut exchange.encoder)
             })
             .collect();
-        let canon_graph = crate::equivalence::canonicalize_graph(&stored, &index);
+        let mut canon_graph = crate::equivalence::canonicalize_graph(&stored, &index);
+        // The canonical graph never changes after this point: seal it so
+        // branch-plan scans merge immutable runs only.
+        canon_graph.seal();
         let (canon_stored_tt, term_to_val) =
             graph_as_tt_mapped(&canon_graph, &mut exchange.encoder);
         // Invert the encoding map so id-CQ values translate to graph
@@ -251,7 +258,7 @@ impl RpsRewriter {
             index,
             canon_gma_tgds,
             canon_stored_tt,
-            canon_graph,
+            canon_graph: Arc::new(canon_graph),
             val_to_term,
             canon_tgds_id: None,
             pure_tgds_id: None,
@@ -403,6 +410,27 @@ impl RpsRewriter {
     /// the compiled rewrite-route branch plans execute over.
     pub fn canon_graph(&self) -> &Graph {
         &self.canon_graph
+    }
+
+    /// The shared handle to the canonical stored graph (sealed at
+    /// construction). Compiled branch plans carry a clone of this so
+    /// execution needs no access to the rewriter itself.
+    pub(crate) fn canon_graph_arc(&self) -> Arc<Graph> {
+        self.canon_graph.clone()
+    }
+
+    /// Compiles the canonical-route `IdTgdSet` eagerly (normally built
+    /// on the first rewrite). Freezing a session — `Session::freeze`
+    /// here, `FederatedSession::freeze` in `rps-p2p` — calls this so the
+    /// first concurrent `prepare` does not pay the compilation inside
+    /// the compile lock.
+    pub fn precompile_canonical(&mut self) {
+        if self.canon_tgds_id.is_none() {
+            self.canon_tgds_id = Some(IdTgdSet::compile(
+                &self.canon_gma_tgds,
+                &mut self.canon_stored_tt,
+            ));
+        }
     }
 
     /// Translates a `canon_stored_tt` value id to the canonical graph's

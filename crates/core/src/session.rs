@@ -80,10 +80,15 @@ use crate::error::RpsError;
 use crate::rewriting::{RewrittenBranch, RpsRewriter};
 use crate::system::RdfPeerSystem;
 use rps_query::{GraphPatternQuery, PreparedQueryIds, Semantics};
-use rps_rdf::{Term, TermId};
+use rps_rdf::{Graph, Term, TermId};
 use rps_tgd::RewriteConfig;
 use std::collections::BTreeSet;
 use std::sync::Arc;
+
+pub mod frozen;
+pub use frozen::{
+    canonical_plan_key, FrozenSession, PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY,
+};
 
 /// Query-answering strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -181,8 +186,13 @@ enum Plan {
     },
     /// A complete canonical UCQ rewriting, compiled once into id-level
     /// branch plans over the rewriter's canonical stored graph (no
-    /// per-execution pattern decoding or term re-interning).
-    Rewritten { branches: Vec<RewrittenBranch> },
+    /// per-execution pattern decoding or term re-interning). The sealed
+    /// canonical graph travels with the plan, so execution never needs
+    /// the rewriter back.
+    Rewritten {
+        graph: Arc<Graph>,
+        branches: Vec<RewrittenBranch>,
+    },
     /// Evaluated through the session's cached Datalog engine.
     Datalog,
 }
@@ -195,6 +205,10 @@ enum Plan {
 /// [`RpsError::SessionMismatch`]).
 pub struct PreparedQuery {
     session_id: u64,
+    /// The session's configuration generation at prepare time; a later
+    /// [`Session::config_mut`] bumps the session's counter, making this
+    /// plan stale ([`RpsError::StalePlan`] at execute).
+    generation: u32,
     query: GraphPatternQuery,
     route: ExecRoute,
     semantics: Semantics,
@@ -219,8 +233,9 @@ impl PreparedQuery {
     }
 
     /// The result semantics this query was compiled under. Captured at
-    /// prepare time: later [`Session::config_mut`] changes affect only
-    /// queries prepared afterwards.
+    /// prepare time; a later [`Session::config_mut`] call marks the plan
+    /// stale ([`RpsError::StalePlan`] at execute) rather than letting it
+    /// silently diverge from the active configuration.
     pub fn semantics(&self) -> Semantics {
         self.semantics
     }
@@ -236,7 +251,7 @@ impl PreparedQuery {
     /// compile time, so this can be below the rewriting's union size).
     pub fn branch_count(&self) -> Option<usize> {
         match &self.plan {
-            Plan::Rewritten { branches } => Some(branches.len()),
+            Plan::Rewritten { branches, .. } => Some(branches.len()),
             _ => None,
         }
     }
@@ -347,6 +362,79 @@ pub(crate) fn next_session_id() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// The projection variable names of a query, in tuple order.
+pub(crate) fn stream_vars(query: &GraphPatternQuery) -> Vec<String> {
+    query
+        .free_vars()
+        .iter()
+        .map(|v| v.name().to_string())
+        .collect()
+}
+
+/// Executes a materialised or rewritten plan. Everything this touches —
+/// the `Arc`ed solution, the sealed canonical graph carried by the plan,
+/// the equivalence index — is immutable, so both the mutable [`Session`]
+/// and the shared [`crate::FrozenSession`] route through here (the
+/// latter concurrently from many threads).
+pub(crate) fn execute_plan(
+    prepared: &PreparedQuery,
+    eq_index: &EquivalenceIndex,
+) -> Result<AnswerStream, RpsError> {
+    let vars = stream_vars(&prepared.query);
+    match &prepared.plan {
+        Plan::Materialised { solution, plan } => {
+            let ids = plan.evaluate(&solution.graph, prepared.semantics);
+            Ok(AnswerStream::from_ids(
+                vars,
+                ExecRoute::Materialised,
+                solution.clone(),
+                ids,
+            ))
+        }
+        Plan::Rewritten { graph, branches } => {
+            // Each branch is a prepared id-level plan over the sealed
+            // canonical stored graph. All-variable-head branches (the
+            // common shape) union at the id level first, so cross-branch
+            // duplicates are deduplicated before any term is decoded;
+            // only branches whose head injects a rewriting-specialised
+            // constant decode per distinct branch row.
+            let mut id_union: BTreeSet<Vec<TermId>> = BTreeSet::new();
+            let mut tuples: BTreeSet<Vec<Term>> = BTreeSet::new();
+            for branch in branches {
+                let rows = branch.plan.evaluate(graph, Semantics::Certain);
+                if branch.head.iter().all(Option::is_none) {
+                    id_union.extend(rows);
+                    continue;
+                }
+                for row in rows {
+                    let mut vals = row.into_iter();
+                    let tuple: Vec<Term> = branch
+                        .head
+                        .iter()
+                        .map(|slot| match slot {
+                            Some(term) => term.clone(),
+                            None => graph
+                                .term(vals.next().expect("one id per projected position"))
+                                .clone(),
+                        })
+                        .collect();
+                    tuples.insert(tuple);
+                }
+            }
+            for row in id_union {
+                tuples.insert(row.iter().map(|&id| graph.term(id).clone()).collect());
+            }
+            let expanded = crate::equivalence::expand_answers(&tuples, eq_index);
+            Ok(AnswerStream::from_terms(
+                vars,
+                ExecRoute::Rewritten,
+                expanded,
+            ))
+        }
+        Plan::Datalog => unreachable!("Datalog plans execute through their engine"),
+    }
+}
+
 /// The unified answering façade: one system, one configuration, cached
 /// heavy state, typed errors. See the [module docs](self) for an
 /// end-to-end example.
@@ -354,6 +442,12 @@ pub struct Session {
     id: u64,
     system: RdfPeerSystem,
     config: EngineConfig,
+    /// Bumped by every [`Session::config_mut`] call; prepared queries
+    /// are stamped with the generation they were compiled under, so a
+    /// post-prepare config change surfaces as [`RpsError::StalePlan`]
+    /// instead of silently executing a plan the new configuration would
+    /// not have produced.
+    generation: u32,
     eq_index: EquivalenceIndex,
     solution: Option<Arc<UniversalSolution>>,
     /// The chase budgets the cached (possibly incomplete) solution was
@@ -381,6 +475,7 @@ impl Session {
             id: next_session_id(),
             system,
             config,
+            generation: 0,
             eq_index,
             solution: None,
             solution_budgets: None,
@@ -399,11 +494,22 @@ impl Session {
         &self.config
     }
 
-    /// Mutable access to the configuration. Route-affecting changes apply
-    /// to queries prepared afterwards; already-prepared queries keep
-    /// their compiled route.
+    /// Mutable access to the configuration. Changes apply to queries
+    /// prepared afterwards; queries prepared *before* the change are
+    /// marked stale and report [`RpsError::StalePlan`] when executed —
+    /// their compiled route, semantics and budgets may no longer match
+    /// the active configuration, and silently running them was a
+    /// long-standing footgun. Re-prepare after reconfiguring.
     pub fn config_mut(&mut self) -> &mut EngineConfig {
+        self.generation += 1;
         &mut self.config
+    }
+
+    /// The current configuration generation (bumped by every
+    /// [`Session::config_mut`] call; prepared queries record the
+    /// generation they were compiled under).
+    pub fn config_generation(&self) -> u32 {
+        self.generation
     }
 
     /// The union-find index over the system's equivalence mappings.
@@ -509,8 +615,14 @@ impl Session {
                 let cfg = self.config.rewrite.clone();
                 let rewriting = self.rewriter_mut().rewrite_canonical(query, &cfg);
                 if rewriting.complete {
-                    let branches = self.rewriter_mut().compile_branches(&rewriting);
-                    (ExecRoute::Rewritten, false, Plan::Rewritten { branches })
+                    let rewriter = self.rewriter_mut();
+                    let branches = rewriter.compile_branches(&rewriting);
+                    let graph = rewriter.canon_graph_arc();
+                    (
+                        ExecRoute::Rewritten,
+                        false,
+                        Plan::Rewritten { graph, branches },
+                    )
                 } else if self.config.strategy == Strategy::Rewrite {
                     return Err(RpsError::RewriteBudget {
                         explored: rewriting.explored,
@@ -534,6 +646,7 @@ impl Session {
         };
         Ok(PreparedQuery {
             session_id: self.id,
+            generation: self.generation,
             query: query.clone(),
             route,
             semantics: self.config.semantics,
@@ -544,80 +657,30 @@ impl Session {
 
     /// Executes a prepared query, returning a streaming answer iterator.
     /// The query must have been prepared by *this* session
-    /// ([`RpsError::SessionMismatch`] otherwise).
+    /// ([`RpsError::SessionMismatch`] otherwise) under the session's
+    /// *current* configuration ([`RpsError::StalePlan`] after a
+    /// [`Session::config_mut`] call — re-prepare first).
     pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<AnswerStream, RpsError> {
         if prepared.session_id != self.id {
             return Err(RpsError::SessionMismatch);
         }
-        let vars: Vec<String> = prepared
-            .query
-            .free_vars()
-            .iter()
-            .map(|v| v.name().to_string())
-            .collect();
+        if prepared.generation != self.generation {
+            return Err(RpsError::StalePlan {
+                prepared: prepared.generation,
+                current: self.generation,
+            });
+        }
         match &prepared.plan {
-            Plan::Materialised { solution, plan } => {
-                let ids = plan.evaluate(&solution.graph, prepared.semantics);
-                Ok(AnswerStream::from_ids(
-                    vars,
-                    ExecRoute::Materialised,
-                    solution.clone(),
-                    ids,
-                ))
-            }
-            Plan::Rewritten { branches } => {
-                // The rewriter exists: prepare() built it to rewrite.
-                // Each branch is a prepared id-level plan over the
-                // canonical stored graph. All-variable-head branches
-                // (the common shape) union at the id level first, so
-                // cross-branch duplicates are deduplicated before any
-                // term is decoded; only branches whose head injects a
-                // rewriting-specialised constant decode per distinct
-                // branch row.
-                let rewriter = self.rewriter.as_ref().expect("rewriter built at prepare");
-                let graph = rewriter.canon_graph();
-                let mut id_union: BTreeSet<Vec<TermId>> = BTreeSet::new();
-                let mut tuples: BTreeSet<Vec<Term>> = BTreeSet::new();
-                for branch in branches {
-                    let rows = branch.plan.evaluate(graph, Semantics::Certain);
-                    if branch.head.iter().all(Option::is_none) {
-                        id_union.extend(rows);
-                        continue;
-                    }
-                    for row in rows {
-                        let mut vals = row.into_iter();
-                        let tuple: Vec<Term> = branch
-                            .head
-                            .iter()
-                            .map(|slot| match slot {
-                                Some(term) => term.clone(),
-                                None => graph
-                                    .term(vals.next().expect("one id per projected position"))
-                                    .clone(),
-                            })
-                            .collect();
-                        tuples.insert(tuple);
-                    }
-                }
-                for row in id_union {
-                    tuples.insert(row.iter().map(|&id| graph.term(id).clone()).collect());
-                }
-                let expanded = crate::equivalence::expand_answers(&tuples, &self.eq_index);
-                Ok(AnswerStream::from_terms(
-                    vars,
-                    ExecRoute::Rewritten,
-                    expanded,
-                ))
-            }
             Plan::Datalog => {
                 let engine = self.datalog.as_mut().expect("datalog built at prepare");
                 let ans = engine.answers(&prepared.query);
                 Ok(AnswerStream::from_terms(
-                    vars,
+                    stream_vars(&prepared.query),
                     ExecRoute::Datalog,
                     ans.tuples,
                 ))
             }
+            _ => execute_plan(prepared, &self.eq_index),
         }
     }
 
@@ -833,7 +896,7 @@ mod tests {
     }
 
     #[test]
-    fn semantics_is_captured_at_prepare_time() {
+    fn config_changes_stale_prepared_plans() {
         let mut s = Session::open(
             linear_system(),
             EngineConfig::default()
@@ -844,14 +907,129 @@ mod tests {
         let prepared = s.prepare(&cast_query()).unwrap();
         assert_eq!(prepared.semantics(), Semantics::Star);
         let star = s.execute(&prepared).unwrap().into_set();
-        // A post-prepare config change must not alter the prepared
-        // query's meaning.
+        // Mutating the config after prepare marks the plan stale:
+        // executing it is a typed error instead of silently running a
+        // plan the new configuration would not have produced (the old
+        // footgun).
         s.config_mut().semantics = Semantics::Certain;
-        let again = s.execute(&prepared).unwrap().into_set();
-        assert_eq!(star.tuples, again.tuples);
-        // A fresh preparation picks up the new semantics.
+        assert_eq!(s.config_generation(), 1);
+        assert!(matches!(
+            s.execute(&prepared),
+            Err(RpsError::StalePlan {
+                prepared: 0,
+                current: 1
+            })
+        ));
+        // A fresh preparation picks up the new semantics and executes.
         let certain = s.answer(&cast_query()).unwrap().into_set();
         assert!(certain.tuples.is_subset(&star.tuples));
+        assert!(certain.len() < star.len() || certain.tuples == star.tuples);
+    }
+
+    #[test]
+    fn frozen_session_executes_all_routes() {
+        for strategy in [Strategy::Materialise, Strategy::Rewrite, Strategy::Auto] {
+            let mut seq = Session::open(
+                linear_system(),
+                EngineConfig::default().with_strategy(strategy),
+            )
+            .unwrap();
+            let expected = seq.answer(&cast_query()).unwrap().into_set();
+            let frozen = Session::open(
+                linear_system(),
+                EngineConfig::default().with_strategy(strategy),
+            )
+            .unwrap()
+            .freeze()
+            .unwrap();
+            let prepared = frozen.prepare(&cast_query()).unwrap();
+            let got = frozen.execute(&prepared).unwrap().into_set();
+            assert_eq!(got.tuples, expected.tuples, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn freeze_preserves_prefrozen_prepared_queries() {
+        let mut s = Session::open(linear_system(), EngineConfig::default()).unwrap();
+        let prepared = s.prepare(&cast_query()).unwrap();
+        let before = s.execute(&prepared).unwrap().into_set();
+        let frozen = s.freeze().unwrap();
+        // Plans carry their substrate; identity and generation carry
+        // over, so the pre-freeze plan still runs.
+        let after = frozen.execute(&prepared).unwrap().into_set();
+        assert_eq!(before.tuples, after.tuples);
+    }
+
+    #[test]
+    fn frozen_plan_cache_hits_and_bounds() {
+        let frozen = Session::open(linear_system(), EngineConfig::default())
+            .unwrap()
+            .freeze_with_cache_capacity(1)
+            .unwrap();
+        let p1 = frozen.prepare(&cast_query()).unwrap();
+        // An α-equivalent renaming of the same query is a cache hit and
+        // shares the identical plan.
+        let renamed = GraphPatternQuery::new(
+            vec![v("a"), v("b")],
+            GraphPattern::triple(
+                TermOrVar::var("a"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("b"),
+            ),
+        );
+        let p2 = frozen.prepare(&renamed).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let stats = frozen.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.capacity, 1);
+        // A different query evicts the old entry (capacity 1)…
+        let other = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
+        );
+        frozen.prepare(&other).unwrap();
+        assert_eq!(frozen.plan_cache_stats().entries, 1);
+        // …and hit answers equal miss answers.
+        let hit = frozen.execute(&p2).unwrap().into_set();
+        let miss = frozen
+            .execute(&frozen.prepare(&cast_query()).unwrap())
+            .unwrap()
+            .into_set();
+        assert_eq!(hit.tuples, miss.tuples);
+    }
+
+    #[test]
+    fn frozen_auto_without_solution_reports_rewrite_budget() {
+        // Auto over an FO-rewritable system freezes without a solution;
+        // a budget-starved rewriting is then a typed error (no lazy
+        // chase exists to fall back to).
+        let tiny = RewriteConfig {
+            max_depth: 0,
+            max_cqs: 10,
+        };
+        let frozen = Session::open(linear_system(), EngineConfig::default().with_rewrite(tiny))
+            .unwrap()
+            .freeze()
+            .unwrap();
+        assert!(matches!(
+            frozen.prepare(&cast_query()),
+            Err(RpsError::RewriteBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn frozen_star_strategy_checked_at_freeze() {
+        let cfg = EngineConfig::default()
+            .with_strategy(Strategy::Rewrite)
+            .with_semantics(Semantics::Star);
+        assert!(matches!(
+            Session::open(linear_system(), cfg).unwrap().freeze(),
+            Err(RpsError::StarNeedsMaterialisation)
+        ));
     }
 
     #[test]

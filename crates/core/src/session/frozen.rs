@@ -1,0 +1,525 @@
+//! The shared half of the prepare-mutable / execute-shared split:
+//! [`FrozenSession`].
+//!
+//! A [`Session`] is deliberately mutable — it chases,
+//! rewrites and compiles into caches behind `&mut self` — which makes it
+//! structurally single-user: one long compile blocks every other query,
+//! and nothing can be shared across threads. Freezing a session
+//! ([`Session::freeze`]) runs the remaining
+//! compile-phase work **once** — materialising (and sealing) the
+//! universal solution where the strategy needs it, building the rewriter
+//! and eagerly compiling its `IdTgdSet`, saturating the Datalog least
+//! model — and moves the result into an `Arc`-backed, `Send + Sync`
+//! handle on which [`FrozenSession::prepare`] and
+//! [`FrozenSession::execute`] take `&self` and run concurrently from any
+//! number of threads.
+//!
+//! Execution is lock-free on the materialised and rewritten routes:
+//! plans carry their own `Arc` of the sealed substrate (universal
+//! solution or canonical stored graph), so an execute touches only
+//! immutable data. Preparation of a *new* query takes a short internal
+//! compile lock (query interning mutates the rewriter's dictionaries);
+//! repeated queries skip even that through the **plan cache**, a bounded
+//! map keyed on the canonical numbered-variable form of the query, with
+//! hit/miss counters exposed via [`FrozenSession::plan_cache_stats`].
+//!
+//! ```
+//! use rps_core::{EngineConfig, PeerId, RpsBuilder, Session};
+//! use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
+//!
+//! let mut p = PeerId(0);
+//! let system = RpsBuilder::new()
+//!     .peer_turtle(
+//!         "A",
+//!         "<http://a/f1> <http://a/cast> <http://a/p1> .\n\
+//!          <http://a/f2> <http://a/cast> <http://a/p2> .",
+//!         &mut p,
+//!     )
+//!     .unwrap()
+//!     .build();
+//! let query = GraphPatternQuery::new(
+//!     vec![Variable::new("x"), Variable::new("y")],
+//!     GraphPattern::triple(
+//!         TermOrVar::var("x"),
+//!         TermOrVar::iri("http://a/cast"),
+//!         TermOrVar::var("y"),
+//!     ),
+//! );
+//!
+//! // Compile-phase work happens behind `&mut self`, then `freeze`
+//! // produces a Send + Sync handle shared across threads by reference.
+//! let frozen = Session::open(system, EngineConfig::default())
+//!     .unwrap()
+//!     .freeze()
+//!     .unwrap();
+//! frozen.prepare(&query).unwrap(); // compile once (a cache miss)
+//! let counts: Vec<usize> = std::thread::scope(|scope| {
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             scope.spawn(|| {
+//!                 let prepared = frozen.prepare(&query).unwrap();
+//!                 frozen.execute(&prepared).unwrap().count()
+//!             })
+//!         })
+//!         .collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).collect()
+//! });
+//! assert_eq!(counts, vec![2, 2]);
+//! // Both thread-side preparations were plan-cache hits.
+//! let stats = frozen.plan_cache_stats();
+//! assert_eq!((stats.hits, stats.misses), (2, 1));
+//! ```
+
+use super::{
+    execute_plan, stream_vars, AnswerStream, EngineConfig, ExecRoute, Plan, PreparedQuery, Session,
+    Strategy,
+};
+use crate::chase::UniversalSolution;
+use crate::datalog_route::DatalogEngine;
+use crate::equivalence::EquivalenceIndex;
+use crate::error::RpsError;
+use crate::rewriting::RpsRewriter;
+use rps_query::{GraphPatternQuery, Semantics, TermOrVar};
+use rps_rdf::Term;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Default bound of the plan cache (entries), used by
+/// [`Session::freeze`].
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
+
+/// Hit/miss counters and occupancy of a frozen session's plan cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PlanCacheStats {
+    /// Preparations served from the cache (no rewriting, no lock on the
+    /// compile state).
+    pub hits: u64,
+    /// Preparations that compiled a fresh plan.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// The configured bound.
+    pub capacity: usize,
+}
+
+/// The bounded plan cache: canonical query key → shared prepared plan,
+/// FIFO-evicted at capacity, with hit/miss counters. One mutex (owned
+/// by the embedding session) guards map, eviction order and counters
+/// together — the critical section is a hash probe, so the lock is
+/// never held across compilation or execution. Generic over the plan
+/// type so the federated counterpart in `rps-p2p` shares the
+/// implementation.
+pub struct PlanCache<T> {
+    capacity: usize,
+    map: HashMap<String, Arc<T>>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> PlanCache<T> {
+    /// An empty cache bounded to `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetches the plan cached under `key`, counting a hit or a miss.
+    pub fn lookup(&mut self, key: &str) -> Option<Arc<T>> {
+        match self.map.get(key) {
+            Some(hit) => {
+                self.hits += 1;
+                Some(hit.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled plan, unless a concurrent preparation
+    /// of the same key landed first — then that plan wins (so every
+    /// caller of the same key converges on one shared `Arc`).
+    pub fn insert(&mut self, key: String, plan: Arc<T>) -> Arc<T> {
+        if let Some(existing) = self.map.get(&key) {
+            return existing.clone();
+        }
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.map.insert(key.clone(), plan.clone());
+        self.order.push_back(key);
+        plan
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// The canonical (numbered-variable) cache key of a query: variables are
+/// renamed to dense `#n` slots by first occurrence — head first, then
+/// body in conjunct order — so α-equivalent queries share one plan.
+/// Constants render with an explicit kind tag, making the key injective
+/// on everything that affects compilation. Shared with the federated
+/// frozen session in `rps-p2p`.
+pub fn canonical_plan_key(query: &GraphPatternQuery) -> String {
+    let mut slots: HashMap<String, usize> = HashMap::new();
+    let mut key = String::new();
+    let push_var = |name: &str, key: &mut String, slots: &mut HashMap<String, usize>| {
+        let next = slots.len();
+        let slot = *slots.entry(name.to_string()).or_insert(next);
+        let _ = write!(key, "#{slot} ");
+    };
+    for v in query.free_vars() {
+        push_var(v.name(), &mut key, &mut slots);
+    }
+    key.push('|');
+    for tp in query.pattern().patterns() {
+        for tv in [&tp.s, &tp.p, &tp.o] {
+            match tv {
+                TermOrVar::Var(v) => push_var(v.name(), &mut key, &mut slots),
+                TermOrVar::Term(Term::Iri(i)) => {
+                    let _ = write!(key, "I<{i}> ");
+                }
+                TermOrVar::Term(Term::Literal(l)) => {
+                    let _ = write!(key, "L<{l}> ");
+                }
+                TermOrVar::Term(Term::Blank(b)) => {
+                    let _ = write!(key, "B<{b}> ");
+                }
+            }
+        }
+        key.push('.');
+    }
+    key
+}
+
+/// The shared, immutable state behind every clone of a [`FrozenSession`].
+struct FrozenInner {
+    /// Inherited from the freezing session, so queries prepared *before*
+    /// the freeze still execute here.
+    id: u64,
+    generation: u32,
+    config: EngineConfig,
+    eq_index: EquivalenceIndex,
+    /// Captured at freeze so route resolution never takes the compile
+    /// lock.
+    fo_rewritable: bool,
+    /// The sealed universal solution — present whenever the strategy can
+    /// route a query to the materialised plan (including the `Auto`
+    /// fallback).
+    solution: Option<Arc<UniversalSolution>>,
+    /// The compile state of the rewrite route. Preparing a *new* query
+    /// interns its constants into the rewriter's dictionaries, so that
+    /// short phase is serialised here; compiled plans carry their own
+    /// `Arc` of the sealed canonical graph and execute without this
+    /// lock.
+    compiler: Option<Mutex<RpsRewriter>>,
+    /// The saturated Datalog engine (least model computed at freeze).
+    /// Query evaluation interns into its encoder, hence the lock.
+    datalog: Option<Mutex<DatalogEngine>>,
+    cache: Mutex<PlanCache<PreparedQuery>>,
+}
+
+/// A `Send + Sync` answering handle over a frozen
+/// [`Session`]: [`prepare`](FrozenSession::prepare) and
+/// [`execute`](FrozenSession::execute) take `&self` and run concurrently
+/// from many threads, with a bounded plan cache in front of the compile
+/// phase. Cloning is an `Arc` bump — clones share the cache and all
+/// compiled state. See the [module docs](self) for the threading
+/// example and [`Session::freeze`] for what freezing seals.
+#[derive(Clone)]
+pub struct FrozenSession {
+    inner: Arc<FrozenInner>,
+}
+
+// The point of freezing: one handle, many threads. (Enforced here at
+// compile time; a regression — e.g. a `Cell` slipping into a plan —
+// fails this function's where-clauses.)
+#[allow(dead_code)]
+fn static_assert_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<FrozenSession>();
+    assert::<PreparedQuery>();
+    assert::<AnswerStream>();
+}
+
+impl Session {
+    /// Freezes this session into a shareable [`FrozenSession`] with the
+    /// default plan-cache bound, running the outstanding compile-phase
+    /// work eagerly:
+    ///
+    /// * strategies that can route to the materialised plan
+    ///   ([`Strategy::Materialise`], and [`Strategy::Auto`] when
+    ///   rewriting is not guaranteed perfect) chase now and seal the
+    ///   universal solution ([`RpsError::ChaseBudget`] on exhaustion);
+    /// * the rewrite route's `IdTgdSet` is compiled now, so the first
+    ///   concurrent `prepare` pays only its own query's expansion;
+    /// * [`Strategy::Datalog`] saturates the least model now.
+    ///
+    /// Queries prepared *before* the freeze keep working on the frozen
+    /// session — plans carry their substrate, and the session identity
+    /// and configuration generation carry over. One behavioural
+    /// difference from the mutable path: under [`Strategy::Auto`] with
+    /// FO-rewritable mappings no solution is materialised, so a
+    /// rewriting that exhausts its budgets reports
+    /// [`RpsError::RewriteBudget`] instead of lazily chasing a fallback
+    /// (a frozen session cannot start a chase). Raise the budgets or
+    /// freeze under [`Strategy::Materialise`] if that can matter.
+    pub fn freeze(self) -> Result<FrozenSession, RpsError> {
+        self.freeze_with_cache_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// [`Session::freeze`] with an explicit plan-cache bound (entries;
+    /// clamped to at least 1).
+    pub fn freeze_with_cache_capacity(
+        mut self,
+        capacity: usize,
+    ) -> Result<FrozenSession, RpsError> {
+        let star = self.config.semantics == Semantics::Star;
+        if star && matches!(self.config.strategy, Strategy::Rewrite | Strategy::Datalog) {
+            return Err(RpsError::StarNeedsMaterialisation);
+        }
+        let needs_rewriter =
+            !star && matches!(self.config.strategy, Strategy::Rewrite | Strategy::Auto);
+        let mut fo_rewritable = false;
+        if needs_rewriter {
+            let rewriter = self.rewriter_mut();
+            rewriter.precompile_canonical();
+            fo_rewritable = rewriter.fo_rewritable();
+        }
+        let needs_solution = match self.config.strategy {
+            Strategy::Materialise => true,
+            Strategy::Auto => star || !fo_rewritable,
+            Strategy::Rewrite | Strategy::Datalog => false,
+        };
+        let solution = if needs_solution {
+            Some(self.universal_solution()?)
+        } else {
+            // Keep an already-complete cached solution (from pre-freeze
+            // preparations) as the Auto fallback substrate.
+            self.solution.take().filter(|s| s.complete)
+        };
+        let datalog = if self.config.strategy == Strategy::Datalog {
+            let mut engine = match self.datalog.take() {
+                Some(engine) => engine,
+                None => DatalogEngine::new(&self.system)?,
+            };
+            engine.model_size(); // saturate outside the per-query lock
+            Some(Mutex::new(engine))
+        } else {
+            None
+        };
+        let compiler = if needs_rewriter {
+            Some(Mutex::new(self.rewriter.take().expect("built above")))
+        } else {
+            None
+        };
+        Ok(FrozenSession {
+            inner: Arc::new(FrozenInner {
+                id: self.id,
+                generation: self.generation,
+                config: self.config,
+                eq_index: self.eq_index,
+                fo_rewritable,
+                solution,
+                compiler,
+                datalog,
+                cache: Mutex::new(PlanCache::new(capacity)),
+            }),
+        })
+    }
+}
+
+impl FrozenSession {
+    /// The (immutable) configuration this session was frozen with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// The union-find index over the system's equivalence mappings.
+    pub fn equivalence_index(&self) -> &EquivalenceIndex {
+        &self.inner.eq_index
+    }
+
+    /// Plan-cache hit/miss counters and occupancy.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.inner.cache.lock().expect("plan cache lock").stats()
+    }
+
+    /// Compiles a query — or returns the cached plan of an α-equivalent
+    /// one prepared earlier (on any thread). The returned handle is
+    /// shared: executing it does not require re-preparation, and
+    /// repeated preparations of the same canonical query are cache hits
+    /// that skip route resolution, rewriting and plan compilation
+    /// entirely.
+    ///
+    /// Cache-hit note: the handle's [`PreparedQuery::query`] (and hence
+    /// the projection variable *names* on executed streams) is the
+    /// first-prepared representative of the α-equivalence class; answer
+    /// tuples are identical for every member of the class.
+    pub fn prepare(&self, query: &GraphPatternQuery) -> Result<Arc<PreparedQuery>, RpsError> {
+        let key = canonical_plan_key(query);
+        if let Some(hit) = self
+            .inner
+            .cache
+            .lock()
+            .expect("plan cache lock")
+            .lookup(&key)
+        {
+            return Ok(hit);
+        }
+        // Compile outside the cache lock; if several threads race on the
+        // same fresh query, the first insert wins and the rest adopt it.
+        let compiled = Arc::new(self.compile(query)?);
+        Ok(self
+            .inner
+            .cache
+            .lock()
+            .expect("plan cache lock")
+            .insert(key, compiled))
+    }
+
+    /// Route resolution without the compile lock (the FO-rewritability
+    /// verdict was captured at freeze).
+    fn resolve_route(&self) -> ExecRoute {
+        let star = self.inner.config.semantics == Semantics::Star;
+        match self.inner.config.strategy {
+            Strategy::Materialise => ExecRoute::Materialised,
+            Strategy::Rewrite => ExecRoute::Rewritten,
+            Strategy::Datalog => ExecRoute::Datalog,
+            Strategy::Auto => {
+                if !star && self.inner.fo_rewritable {
+                    ExecRoute::Rewritten
+                } else {
+                    ExecRoute::Materialised
+                }
+            }
+        }
+    }
+
+    fn compile(&self, query: &GraphPatternQuery) -> Result<PreparedQuery, RpsError> {
+        let inner = &*self.inner;
+        let materialised = |rewrite_fell_back: bool| -> Result<(ExecRoute, bool, Plan), RpsError> {
+            let solution = inner
+                .solution
+                .as_ref()
+                .expect("freeze materialised the solution for this route")
+                .clone();
+            let plan = rps_query::PreparedQueryIds::compile_only(&solution.graph, query);
+            Ok((
+                ExecRoute::Materialised,
+                rewrite_fell_back,
+                Plan::Materialised { solution, plan },
+            ))
+        };
+        let (route, rewrite_fell_back, plan) = match self.resolve_route() {
+            ExecRoute::Materialised | ExecRoute::Federated => materialised(false)?,
+            ExecRoute::Datalog => (ExecRoute::Datalog, false, Plan::Datalog),
+            ExecRoute::Rewritten => {
+                let cfg = inner.config.rewrite.clone();
+                let mut rewriter = inner
+                    .compiler
+                    .as_ref()
+                    .expect("freeze built the rewriter for this route")
+                    .lock()
+                    .expect("compile lock");
+                let rewriting = rewriter.rewrite_canonical(query, &cfg);
+                if rewriting.complete {
+                    let branches = rewriter.compile_branches(&rewriting);
+                    let graph = rewriter.canon_graph_arc();
+                    (
+                        ExecRoute::Rewritten,
+                        false,
+                        Plan::Rewritten { graph, branches },
+                    )
+                } else if inner.config.strategy == Strategy::Rewrite || inner.solution.is_none() {
+                    // Explicit Rewrite reports the typed error; Auto can
+                    // only fall back if a (complete) solution was frozen
+                    // in — a frozen session cannot start a chase.
+                    return Err(RpsError::RewriteBudget {
+                        explored: rewriting.explored,
+                        max_depth: cfg.max_depth,
+                        max_cqs: cfg.max_cqs,
+                    });
+                } else {
+                    drop(rewriter);
+                    materialised(true)?
+                }
+            }
+        };
+        Ok(PreparedQuery {
+            session_id: inner.id,
+            generation: inner.generation,
+            query: query.clone(),
+            route,
+            semantics: inner.config.semantics,
+            rewrite_fell_back,
+            plan,
+        })
+    }
+
+    /// Executes a prepared query, returning a streaming answer iterator.
+    /// Lock-free on the materialised and rewritten routes (plans carry
+    /// their sealed substrate); the Datalog route serialises on its
+    /// engine's encoder. Accepts queries prepared by this frozen session
+    /// *or* by the mutable session it was frozen from
+    /// ([`RpsError::SessionMismatch`] for anything else;
+    /// [`RpsError::StalePlan`] if the plan predates the last pre-freeze
+    /// [`Session::config_mut`]).
+    pub fn execute(&self, prepared: &PreparedQuery) -> Result<AnswerStream, RpsError> {
+        let inner = &*self.inner;
+        if prepared.session_id != inner.id {
+            return Err(RpsError::SessionMismatch);
+        }
+        if prepared.generation != inner.generation {
+            return Err(RpsError::StalePlan {
+                prepared: prepared.generation,
+                current: inner.generation,
+            });
+        }
+        match &prepared.plan {
+            Plan::Datalog => {
+                let mut engine = inner
+                    .datalog
+                    .as_ref()
+                    .expect("freeze built the Datalog engine for this route")
+                    .lock()
+                    .expect("datalog lock");
+                let ans = engine.answers(&prepared.query);
+                Ok(AnswerStream::from_terms(
+                    stream_vars(&prepared.query),
+                    ExecRoute::Datalog,
+                    ans.tuples,
+                ))
+            }
+            _ => execute_plan(prepared, &inner.eq_index),
+        }
+    }
+
+    /// Prepares (or fetches from the plan cache) and executes in one
+    /// call.
+    pub fn answer(&self, query: &GraphPatternQuery) -> Result<AnswerStream, RpsError> {
+        let prepared = self.prepare(query)?;
+        self.execute(&prepared)
+    }
+}

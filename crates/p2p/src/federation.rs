@@ -94,6 +94,13 @@ struct BranchPlan {
 /// A UCQ compiled against a [`FederatedEngine`] for repeated execution.
 pub struct PreparedFederation {
     branches: Vec<BranchPlan>,
+    /// Head-template constants absent from the engine's answer
+    /// dictionary, carried by the plan itself: they get synthetic ids
+    /// one past the dictionary (`dict.len() + k`), so preparation never
+    /// mutates the shared engine — the seam that lets `prepare` take
+    /// `&self` and run concurrently on a frozen session. Decode answer
+    /// ids through [`FederatedEngine::decode_prepared`].
+    extra: Vec<Term>,
 }
 
 impl PreparedFederation {
@@ -122,7 +129,12 @@ pub struct FederatedEngine {
 }
 
 impl FederatedEngine {
-    fn build(locals: Vec<Graph>, index: SchemaIndex) -> Self {
+    fn build(mut locals: Vec<Graph>, index: SchemaIndex) -> Self {
+        // Peer stores never change after engine construction: seal them
+        // so concurrent range scans merge immutable runs only.
+        for g in &mut locals {
+            g.seal();
+        }
         let mut dict = TermDict::new();
         let to_global: Vec<Vec<TermId>> = locals.iter().map(|g| dict.absorb(g.dict())).collect();
         let term_bytes = dict
@@ -181,12 +193,54 @@ impl FederatedEngine {
         &self.dict
     }
 
-    /// Decodes id-level answer tuples to owned terms.
+    /// Decodes id-level answer tuples to owned terms. Only valid for
+    /// tuples whose every id lives in the answer dictionary; answers of
+    /// a [`PreparedFederation`] may carry plan-local overlay ids, so
+    /// decode those with [`FederatedEngine::decode_prepared`].
     pub fn decode(&self, tuples: &BTreeSet<Vec<TermId>>) -> BTreeSet<Vec<Term>> {
         tuples
             .iter()
             .map(|row| row.iter().map(|&id| self.dict.term(id).clone()).collect())
             .collect()
+    }
+
+    /// Decodes the id-level answers of one prepared federation,
+    /// resolving plan-local overlay ids (head-template constants
+    /// unknown to the answer dictionary) against the plan.
+    pub fn decode_prepared(
+        &self,
+        prepared: &PreparedFederation,
+        tuples: &BTreeSet<Vec<TermId>>,
+    ) -> BTreeSet<Vec<Term>> {
+        tuples
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&id| self.term_of(&prepared.extra, id).clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Resolves an answer id against the dictionary or a plan's overlay.
+    fn term_of<'a>(&'a self, extra: &'a [Term], id: TermId) -> &'a Term {
+        let i = id.index();
+        if i < self.dict.len() {
+            self.dict.term(id)
+        } else {
+            &extra[i - self.dict.len()]
+        }
+    }
+
+    /// Certain-answer eligibility of an answer id (names are IRIs and
+    /// literals; blank nodes are not certain).
+    fn id_is_name(&self, extra: &[Term], id: TermId) -> bool {
+        let i = id.index();
+        if i < self.dict.len() {
+            self.dict.is_name(id)
+        } else {
+            !extra[i - self.dict.len()].is_blank()
+        }
     }
 
     fn term_cost(&self, id: TermId) -> usize {
@@ -200,11 +254,16 @@ impl FederatedEngine {
     /// Compiles a UCQ — given as `(body pattern, head template)` branches,
     /// the shape [`rps_core::RpsRewriting::branches`] produces — for
     /// repeated federated execution. Routing, per-peer constant
-    /// resolution and template interning happen here, once.
+    /// resolution and template constant resolution happen here, once.
+    /// Takes `&self`: template constants missing from the answer
+    /// dictionary ride along in the plan as overlay terms (decoded via
+    /// [`FederatedEngine::decode_prepared`]) instead of being interned,
+    /// so any number of preparations can run against a shared engine.
     pub fn prepare_branches(
-        &mut self,
+        &self,
         branches: &[(GraphPattern, Vec<TermOrVar>)],
     ) -> PreparedFederation {
+        let mut extra: Vec<Term> = Vec::new();
         let mut plans = Vec::with_capacity(branches.len());
         for (gp, template) in branches {
             let mut var_ix: HashMap<Variable, usize> = HashMap::new();
@@ -263,23 +322,32 @@ impl FederatedEngine {
                 .iter()
                 .map(|entry| match entry {
                     TermOrVar::Var(v) => var_ix.get(v).copied().map(TemplateSlot::Var),
-                    TermOrVar::Term(t) => Some(TemplateSlot::Const(self.dict.intern(t))),
+                    TermOrVar::Term(t) => Some(TemplateSlot::Const(match self.dict.id(t) {
+                        Some(id) => id,
+                        None => {
+                            // Unknown constant: a plan-local overlay id
+                            // one past the (immutable) dictionary, one
+                            // per distinct term so equal tuples from
+                            // different branches share one id.
+                            let slot = extra.iter().position(|e| e == t).unwrap_or_else(|| {
+                                extra.push(t.clone());
+                                extra.len() - 1
+                            });
+                            TermId((self.dict.len() + slot) as u32)
+                        }
+                    })),
                 })
                 .collect::<Option<Vec<TemplateSlot>>>();
             plans.push(BranchPlan { patterns, template });
         }
-        // Template constants may have grown the dictionary; keep the
-        // response-cost table aligned (constants never travel in peer
-        // responses, but the invariant is cheap to maintain).
-        for i in self.term_bytes.len()..self.dict.len() {
-            let t = self.dict.term(TermId(i as u32));
-            self.term_bytes.push(t.to_string().len() as u32);
+        PreparedFederation {
+            branches: plans,
+            extra,
         }
-        PreparedFederation { branches: plans }
     }
 
     /// Compiles a single graph pattern query (head = its free variables).
-    pub fn prepare_query(&mut self, query: &GraphPatternQuery) -> PreparedFederation {
+    pub fn prepare_query(&self, query: &GraphPatternQuery) -> PreparedFederation {
         let template: Vec<TermOrVar> = query
             .free_vars()
             .iter()
@@ -290,7 +358,7 @@ impl FederatedEngine {
 
     /// Compiles a UCQ whose every branch projects the union's free
     /// variables.
-    pub fn prepare_union(&mut self, union: &UnionQuery) -> PreparedFederation {
+    pub fn prepare_union(&self, union: &UnionQuery) -> PreparedFederation {
         let template: Vec<TermOrVar> = union
             .free_vars()
             .iter()
@@ -325,17 +393,95 @@ impl FederatedEngine {
             let Some(template) = &branch.template else {
                 continue; // dead branch: its head can never bind
             };
-            self.execute_branch(branch, template, semantics, net, &mut stats, &mut out);
+            self.execute_branch(
+                branch,
+                template,
+                &prepared.extra,
+                semantics,
+                net,
+                &mut stats,
+                &mut out,
+            );
         }
         stats.messages = net.message_count();
         stats.bytes = net.total_bytes();
         (out, stats)
     }
 
+    /// [`FederatedEngine::execute`], fanning the prepared branches out
+    /// across OS threads (`std::thread::scope`; at most
+    /// `max_threads` of them, clamped to the branch count and to at
+    /// least 1). Each worker owns a private network, statistics and
+    /// answer set over a contiguous chunk of branches; merging happens
+    /// in branch order, so the returned answers, statistics and the
+    /// traffic trace are byte-identical to the sequential
+    /// [`FederatedEngine::execute`] — property the agreement tests pin.
+    pub fn execute_parallel(
+        &self,
+        prepared: &PreparedFederation,
+        semantics: Semantics,
+        net: &mut SimNetwork,
+        max_threads: usize,
+    ) -> (BTreeSet<Vec<TermId>>, FederationStats) {
+        let live: Vec<(&BranchPlan, &Vec<TemplateSlot>)> = prepared
+            .branches
+            .iter()
+            .filter_map(|b| b.template.as_ref().map(|t| (b, t)))
+            .collect();
+        let threads = max_threads.max(1).min(live.len().max(1));
+        if threads <= 1 {
+            return self.execute(prepared, semantics, net);
+        }
+        let chunk = live.len().div_ceil(threads);
+        let results: Vec<(SimNetwork, FederationStats, BTreeSet<Vec<TermId>>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = live
+                    .chunks(chunk)
+                    .map(|branches| {
+                        scope.spawn(move || {
+                            let mut net = SimNetwork::new();
+                            let mut stats = FederationStats::default();
+                            let mut out = BTreeSet::new();
+                            for (branch, template) in branches {
+                                self.execute_branch(
+                                    branch,
+                                    template,
+                                    &prepared.extra,
+                                    semantics,
+                                    &mut net,
+                                    &mut stats,
+                                    &mut out,
+                                );
+                            }
+                            (net, stats, out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("federated worker panicked"))
+                    .collect()
+            });
+        let mut stats = FederationStats::default();
+        let mut out = BTreeSet::new();
+        for (worker_net, worker_stats, worker_out) in results {
+            net.absorb(&worker_net);
+            stats.subqueries += worker_stats.subqueries;
+            stats.tuples_received += worker_stats.tuples_received;
+            stats.peers_contacted = stats.peers_contacted.max(worker_stats.peers_contacted);
+            out.extend(worker_out);
+        }
+        stats.messages = net.message_count();
+        stats.bytes = net.total_bytes();
+        (out, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn execute_branch(
         &self,
         branch: &BranchPlan,
         template: &[TemplateSlot],
+        extra: &[Term],
         semantics: Semantics,
         net: &mut SimNetwork,
         stats: &mut FederationStats,
@@ -451,7 +597,7 @@ impl FederatedEngine {
                     Ok(pos) => arow[*pos],
                     Err(id) => *id,
                 };
-                if semantics == Semantics::Certain && !self.dict.is_name(id) {
+                if semantics == Semantics::Certain && !self.id_is_name(extra, id) {
                     continue 'rows;
                 }
                 tuple.push(id);
@@ -464,26 +610,26 @@ impl FederatedEngine {
     /// answers. Prefer [`FederatedEngine::prepare_query`] +
     /// [`FederatedEngine::execute`] when the query runs repeatedly.
     pub fn evaluate_query(
-        &mut self,
+        &self,
         query: &GraphPatternQuery,
         semantics: Semantics,
         net: &mut SimNetwork,
     ) -> (BTreeSet<Vec<Term>>, FederationStats) {
         let prepared = self.prepare_query(query);
         let (ids, stats) = self.execute(&prepared, semantics, net);
-        (self.decode(&ids), stats)
+        (self.decode_prepared(&prepared, &ids), stats)
     }
 
     /// Prepares and executes a UCQ, decoding the answers.
     pub fn evaluate_union(
-        &mut self,
+        &self,
         query: &UnionQuery,
         semantics: Semantics,
         net: &mut SimNetwork,
     ) -> (BTreeSet<Vec<Term>>, FederationStats) {
         let prepared = self.prepare_union(query);
         let (ids, stats) = self.execute(&prepared, semantics, net);
-        (self.decode(&ids), stats)
+        (self.decode_prepared(&prepared, &ids), stats)
     }
 
     // ------------------------------------------------------------------
@@ -654,7 +800,7 @@ mod tests {
     #[test]
     fn federated_equals_centralised() {
         let sys = system();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let (fed, stats) = engine.evaluate_query(&path_query(), Semantics::Certain, &mut net);
         let central = central_eval(&sys.stored_database(), &path_query(), Semantics::Certain);
@@ -667,7 +813,7 @@ mod tests {
     #[test]
     fn id_level_agrees_with_term_level() {
         let sys = system();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         for semantics in [Semantics::Certain, Semantics::Star] {
             let mut net = SimNetwork::new();
             let (fed, _) = engine.evaluate_query(&path_query(), semantics, &mut net);
@@ -680,7 +826,7 @@ mod tests {
     #[test]
     fn prepared_execution_is_repeatable() {
         let sys = system();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let prepared = engine.prepare_query(&path_query());
         assert_eq!(prepared.branch_count(), 1);
         let mut net = SimNetwork::new();
@@ -695,7 +841,7 @@ mod tests {
     #[test]
     fn cross_peer_join_works() {
         let sys = system();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let (fed, _) = engine.evaluate_query(&path_query(), Semantics::Certain, &mut net);
         assert!(fed.contains(&vec![Term::iri("http://e/s1"), Term::iri("http://e/o1")]));
@@ -704,7 +850,7 @@ mod tests {
     #[test]
     fn routing_prunes_subqueries() {
         let sys = system();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         // A pattern anchored in C-only vocabulary contacts one peer.
         let q = GraphPatternQuery::new(
@@ -724,7 +870,7 @@ mod tests {
     #[test]
     fn union_queries_accumulate() {
         let sys = system();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let u = UnionQuery::new(
             vec![Variable::new("x")],
@@ -758,7 +904,7 @@ mod tests {
             )
             .unwrap()
             .build();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let q = GraphPatternQuery::new(
             vec![Variable::new("x")],
             GraphPattern::triple(
@@ -777,7 +923,7 @@ mod tests {
     fn constant_head_templates_project() {
         // A rewriting may specialise an answer position to a constant.
         let sys = system();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let branch = GraphPattern::triple(
             TermOrVar::var("x"),
             TermOrVar::iri("http://e/p"),
@@ -790,7 +936,9 @@ mod tests {
         let prepared = engine.prepare_branches(&[(branch, head)]);
         let mut net = SimNetwork::new();
         let (ids, _) = engine.execute(&prepared, Semantics::Certain, &mut net);
-        let ans = engine.decode(&ids);
+        // The constant is unknown to every peer dictionary, so it rides
+        // in the plan's overlay; `decode_prepared` resolves it.
+        let ans = engine.decode_prepared(&prepared, &ids);
         assert_eq!(ans.len(), 2);
         for tuple in &ans {
             assert_eq!(tuple[1], Term::iri("http://answer/const"));
@@ -798,9 +946,92 @@ mod tests {
     }
 
     #[test]
+    fn repeated_overlay_constants_share_one_id() {
+        // Two branches specialising the head to the *same* unknown
+        // constant must produce one id per distinct answer tuple —
+        // duplicate overlay ids would make the id-level union
+        // over-report rows that decode identically.
+        let sys = system();
+        let engine = FederatedEngine::new(&sys);
+        let branch = |pred: &str| {
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri(pred),
+                TermOrVar::var("y"),
+            )
+        };
+        let head = vec![
+            TermOrVar::var("x"),
+            TermOrVar::Term(Term::iri("http://answer/const")),
+        ];
+        // Both branches bind x = e/m1 (via p at peer A and q at peer B),
+        // so their projected tuples coincide.
+        let prepared = engine.prepare_branches(&[
+            (
+                GraphPattern::triple(
+                    TermOrVar::var("x"),
+                    TermOrVar::iri("http://e/p"),
+                    TermOrVar::var("m"),
+                ),
+                head.clone(),
+            ),
+            (branch("http://e/p"), head),
+        ]);
+        let mut net = SimNetwork::new();
+        let (ids, _) = engine.execute(&prepared, Semantics::Certain, &mut net);
+        let decoded = engine.decode_prepared(&prepared, &ids);
+        assert_eq!(
+            ids.len(),
+            decoded.len(),
+            "id-level and term-level answer counts must agree"
+        );
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_sequential() {
+        let sys = system();
+        let engine = FederatedEngine::new(&sys);
+        // A union with several branches so the fan-out has work to
+        // split; one branch carries an overlay head constant.
+        let mk = |pred: &str| {
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri(pred),
+                TermOrVar::var("y"),
+            )
+        };
+        let head = vec![TermOrVar::var("x"), TermOrVar::var("y")];
+        let branches = vec![
+            (mk("http://e/p"), head.clone()),
+            (mk("http://e/q"), head.clone()),
+            (mk("http://c/r"), head.clone()),
+            (
+                mk("http://e/p"),
+                vec![
+                    TermOrVar::var("x"),
+                    TermOrVar::Term(Term::iri("http://answer/const")),
+                ],
+            ),
+        ];
+        let prepared = engine.prepare_branches(&branches);
+        for semantics in [Semantics::Certain, Semantics::Star] {
+            let mut seq_net = SimNetwork::new();
+            let (seq_ids, seq_stats) = engine.execute(&prepared, semantics, &mut seq_net);
+            for threads in [1, 2, 4, 8] {
+                let mut par_net = SimNetwork::new();
+                let (par_ids, par_stats) =
+                    engine.execute_parallel(&prepared, semantics, &mut par_net, threads);
+                assert_eq!(par_ids, seq_ids, "{threads} threads, {semantics:?}");
+                assert_eq!(par_stats, seq_stats);
+                assert_eq!(par_net.messages(), seq_net.messages(), "traffic trace");
+            }
+        }
+    }
+
+    #[test]
     fn dead_branches_are_pruned() {
         let sys = system();
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let branch = GraphPattern::triple(
             TermOrVar::var("x"),
             TermOrVar::iri("http://e/p"),
@@ -841,7 +1072,7 @@ mod tests {
                 TermOrVar::var("y"),
             )),
         );
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let (fed, _) = engine.evaluate_query(&q, Semantics::Certain, &mut net);
         let central = central_eval(&sys.stored_database(), &q, Semantics::Certain);

@@ -36,5 +36,6 @@ pub use federation::{FederatedEngine, FederationStats, PreparedFederation};
 pub use network::{CostModel, Message, NodeId, SimNetwork};
 pub use routing::SchemaIndex;
 pub use service::{
-    FederatedAnswer, FederatedSession, P2pQueryService, PreparedFederatedQuery, ServiceAnswer,
+    FederatedAnswer, FederatedSession, FrozenFederatedSession, P2pQueryService,
+    PreparedFederatedQuery, ServiceAnswer,
 };

@@ -120,6 +120,13 @@ impl SimNetwork {
     pub fn reset(&mut self) {
         self.messages.clear();
     }
+
+    /// Appends another network's recorded traffic to this one — used to
+    /// merge the per-branch networks of a parallel federated fan-out
+    /// into one deterministic trace (callers absorb in branch order).
+    pub fn absorb(&mut self, other: &SimNetwork) {
+        self.messages.extend(other.messages.iter().cloned());
+    }
 }
 
 #[cfg(test)]

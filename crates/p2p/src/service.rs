@@ -15,10 +15,14 @@
 use crate::federation::{FederatedEngine, FederationStats, PreparedFederation};
 use crate::network::{CostModel, SimNetwork};
 use rps_core::{
-    AnswerSet, AnswerStream, EngineConfig, ExecRoute, RdfPeerSystem, RpsError, RpsRewriter,
+    canonical_plan_key, AnswerSet, AnswerStream, EngineConfig, EquivalenceIndex, ExecRoute,
+    PlanCache, PlanCacheStats, RdfPeerSystem, RpsError, RpsRewriter,
 };
 use rps_query::{GraphPatternQuery, Semantics};
+use rps_rdf::TermId;
 use rps_tgd::RewriteConfig;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 
 /// A query compiled once against a [`FederatedSession`]: the canonical
 /// UCQ rewriting is expanded and every branch is routed, constant-
@@ -28,6 +32,9 @@ use rps_tgd::RewriteConfig;
 /// [`RpsError::SessionMismatch`]).
 pub struct PreparedFederatedQuery {
     session_id: u64,
+    /// The session's configuration generation at prepare time (see
+    /// [`FederatedSession::config_mut`]).
+    generation: u32,
     query: GraphPatternQuery,
     prepared: PreparedFederation,
     complete: bool,
@@ -79,6 +86,11 @@ pub struct FederatedAnswer {
 /// stores, expand the answers back over the equivalence classes.
 pub struct FederatedSession {
     id: u64,
+    /// Bumped by [`FederatedSession::config_mut`]; prepared queries are
+    /// stamped with it so post-prepare config changes surface as
+    /// [`RpsError::StalePlan`] instead of executing silently-stale
+    /// plans.
+    generation: u32,
     rewriter: RpsRewriter,
     engine: FederatedEngine,
     config: EngineConfig,
@@ -108,6 +120,7 @@ impl FederatedSession {
         let engine = FederatedEngine::new_canonical(system, rewriter.index());
         FederatedSession {
             id: next_session_id(),
+            generation: 0,
             rewriter,
             engine,
             config,
@@ -126,9 +139,11 @@ impl FederatedSession {
         &self.config
     }
 
-    /// Mutable access to the configuration (applies to queries prepared
-    /// afterwards).
+    /// Mutable access to the configuration. Applies to queries prepared
+    /// afterwards; queries prepared *before* the change become stale and
+    /// report [`RpsError::StalePlan`] at execute — re-prepare them.
     pub fn config_mut(&mut self) -> &mut EngineConfig {
+        self.generation += 1;
         &mut self.config
     }
 
@@ -180,6 +195,7 @@ impl FederatedSession {
         let prepared = self.engine.prepare_branches(&branches);
         Ok(PreparedFederatedQuery {
             session_id: self.id,
+            generation: self.generation,
             query: query.clone(),
             prepared,
             complete: rewriting.complete,
@@ -199,32 +215,259 @@ impl FederatedSession {
         if prepared.session_id != self.id {
             return Err(RpsError::SessionMismatch);
         }
+        if prepared.generation != self.generation {
+            return Err(RpsError::StalePlan {
+                prepared: prepared.generation,
+                current: self.generation,
+            });
+        }
         let mut net = SimNetwork::new();
         let (canon_ids, stats) =
             self.engine
                 .execute(&prepared.prepared, Semantics::Certain, &mut net);
-        let canon_tuples = self.engine.decode(&canon_ids);
-        let tuples = rps_core::expand_answers(&canon_tuples, self.rewriter.index());
-        let makespan_ms = net.round_makespan_ms(&self.cost_model, self.engine.peer_count());
-        let vars = prepared
-            .query
-            .free_vars()
-            .iter()
-            .map(|v| v.name().to_string())
-            .collect();
-        Ok(FederatedAnswer {
-            stream: AnswerStream::from_terms(vars, ExecRoute::Federated, tuples),
-            complete: prepared.complete,
-            branches: prepared.branches,
+        finish_federated(
+            prepared,
+            canon_ids,
             stats,
-            makespan_ms,
-        })
+            net,
+            &self.engine,
+            self.rewriter.index(),
+            &self.cost_model,
+        )
     }
 
     /// Prepares and executes in one call. Prefer
     /// [`FederatedSession::prepare`] + [`FederatedSession::execute`] when
     /// the same query runs repeatedly.
     pub fn answer(&mut self, query: &GraphPatternQuery) -> Result<FederatedAnswer, RpsError> {
+        let prepared = self.prepare(query)?;
+        self.execute(&prepared)
+    }
+
+    /// Freezes this session into a shareable [`FrozenFederatedSession`]
+    /// with the default plan-cache bound: a `Send + Sync` handle whose
+    /// `prepare(&self)`/`execute(&self)` run concurrently from many
+    /// threads, and whose execution fans the prepared branches out
+    /// across OS threads. The rewrite engine's `IdTgdSet` is compiled
+    /// eagerly here. `Q*` semantics has no federated route, so it is
+    /// rejected at freeze ([`RpsError::StarNeedsMaterialisation`]).
+    pub fn freeze(self) -> Result<FrozenFederatedSession, RpsError> {
+        self.freeze_with_cache_capacity(rps_core::DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// [`FederatedSession::freeze`] with an explicit plan-cache bound.
+    pub fn freeze_with_cache_capacity(
+        mut self,
+        capacity: usize,
+    ) -> Result<FrozenFederatedSession, RpsError> {
+        if self.config.semantics == Semantics::Star {
+            return Err(RpsError::StarNeedsMaterialisation);
+        }
+        self.rewriter.precompile_canonical();
+        let eq_index = self.rewriter.index().clone();
+        let fo_rewritable = self.rewriter.fo_rewritable();
+        Ok(FrozenFederatedSession {
+            inner: Arc::new(FrozenFedInner {
+                id: self.id,
+                generation: self.generation,
+                fo_rewritable,
+                engine: self.engine,
+                compiler: Mutex::new(self.rewriter),
+                eq_index,
+                config: self.config,
+                cost_model: self.cost_model,
+                cache: Mutex::new(PlanCache::new(capacity)),
+            }),
+        })
+    }
+}
+
+/// Decodes, equivalence-expands and packages one federated execution —
+/// the tail shared by [`FederatedSession::execute`] and
+/// [`FrozenFederatedSession::execute`].
+fn finish_federated(
+    prepared: &PreparedFederatedQuery,
+    canon_ids: BTreeSet<Vec<TermId>>,
+    stats: FederationStats,
+    net: SimNetwork,
+    engine: &FederatedEngine,
+    eq_index: &EquivalenceIndex,
+    cost_model: &CostModel,
+) -> Result<FederatedAnswer, RpsError> {
+    let canon_tuples = engine.decode_prepared(&prepared.prepared, &canon_ids);
+    let tuples = rps_core::expand_answers(&canon_tuples, eq_index);
+    let makespan_ms = net.round_makespan_ms(cost_model, engine.peer_count());
+    let vars = prepared
+        .query
+        .free_vars()
+        .iter()
+        .map(|v| v.name().to_string())
+        .collect();
+    Ok(FederatedAnswer {
+        stream: AnswerStream::from_terms(vars, ExecRoute::Federated, tuples),
+        complete: prepared.complete,
+        branches: prepared.branches,
+        stats,
+        makespan_ms,
+    })
+}
+
+/// The shared state behind every clone of a [`FrozenFederatedSession`].
+struct FrozenFedInner {
+    id: u64,
+    generation: u32,
+    fo_rewritable: bool,
+    /// The engine is immutable after construction (preparation carries
+    /// unknown constants in the plan instead of interning them), so
+    /// executes touch it lock-free from any number of threads.
+    engine: FederatedEngine,
+    /// The rewriting compile state — held only while preparing a query
+    /// that missed the plan cache.
+    compiler: Mutex<RpsRewriter>,
+    eq_index: EquivalenceIndex,
+    config: EngineConfig,
+    cost_model: CostModel,
+    cache: Mutex<PlanCache<PreparedFederatedQuery>>,
+}
+
+/// The federated counterpart of `rps_core::FrozenSession`: a
+/// `Send + Sync` handle over a frozen [`FederatedSession`] on which
+/// [`prepare`](FrozenFederatedSession::prepare) and
+/// [`execute`](FrozenFederatedSession::execute) take `&self` and run
+/// concurrently, with the same bounded plan cache keyed on the
+/// canonical numbered-variable query. `execute` additionally fans the
+/// prepared UNION branches out across OS threads
+/// (`std::thread::scope`), merging the per-branch id-level answer sets,
+/// statistics and traffic traces deterministically in branch order —
+/// answers are byte-identical to the sequential session's. Cloning is
+/// an `Arc` bump.
+#[derive(Clone)]
+pub struct FrozenFederatedSession {
+    inner: Arc<FrozenFedInner>,
+}
+
+// One handle, many threads — enforced at compile time.
+#[allow(dead_code)]
+fn static_assert_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<FrozenFederatedSession>();
+    assert::<PreparedFederatedQuery>();
+}
+
+impl FrozenFederatedSession {
+    /// The (immutable) configuration this session was frozen with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// `true` iff Proposition 2 guarantees the rewriting is perfect.
+    pub fn fo_rewritable(&self) -> bool {
+        self.inner.fo_rewritable
+    }
+
+    /// Plan-cache hit/miss counters and occupancy.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.inner.cache.lock().expect("plan cache lock").stats()
+    }
+
+    /// Compiles a query — or returns the cached plan of an α-equivalent
+    /// one. Strict like [`FederatedSession::prepare`]: an exhausted
+    /// rewriting budget is the typed [`RpsError::RewriteBudget`] (a
+    /// truncated union is never cached).
+    pub fn prepare(
+        &self,
+        query: &GraphPatternQuery,
+    ) -> Result<Arc<PreparedFederatedQuery>, RpsError> {
+        let key = canonical_plan_key(query);
+        if let Some(hit) = self
+            .inner
+            .cache
+            .lock()
+            .expect("plan cache lock")
+            .lookup(&key)
+        {
+            return Ok(hit);
+        }
+        let compiled = {
+            let mut rewriter = self.inner.compiler.lock().expect("compile lock");
+            let rewriting = rewriter.rewrite_canonical(query, &self.inner.config.rewrite);
+            if !rewriting.complete {
+                return Err(RpsError::RewriteBudget {
+                    explored: rewriting.explored,
+                    max_depth: self.inner.config.rewrite.max_depth,
+                    max_cqs: self.inner.config.rewrite.max_cqs,
+                });
+            }
+            let branches = rewriting.branches(rewriter.encoder());
+            let prepared = self.inner.engine.prepare_branches(&branches);
+            PreparedFederatedQuery {
+                session_id: self.inner.id,
+                generation: self.inner.generation,
+                query: query.clone(),
+                prepared,
+                complete: rewriting.complete,
+                explored: rewriting.explored,
+                branches: branches.len(),
+            }
+        };
+        Ok(self
+            .inner
+            .cache
+            .lock()
+            .expect("plan cache lock")
+            .insert(key, Arc::new(compiled)))
+    }
+
+    /// Executes a prepared query with the branch fan-out spread over up
+    /// to `available_parallelism` OS threads. Accepts queries prepared
+    /// by this frozen session or by the mutable session it was frozen
+    /// from.
+    pub fn execute(&self, prepared: &PreparedFederatedQuery) -> Result<FederatedAnswer, RpsError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.execute_with_threads(prepared, threads)
+    }
+
+    /// [`FrozenFederatedSession::execute`] with an explicit worker-thread
+    /// bound (1 runs the sequential path; the bound is also clamped to
+    /// the live branch count).
+    pub fn execute_with_threads(
+        &self,
+        prepared: &PreparedFederatedQuery,
+        max_threads: usize,
+    ) -> Result<FederatedAnswer, RpsError> {
+        let inner = &*self.inner;
+        if prepared.session_id != inner.id {
+            return Err(RpsError::SessionMismatch);
+        }
+        if prepared.generation != inner.generation {
+            return Err(RpsError::StalePlan {
+                prepared: prepared.generation,
+                current: inner.generation,
+            });
+        }
+        let mut net = SimNetwork::new();
+        let (canon_ids, stats) = inner.engine.execute_parallel(
+            &prepared.prepared,
+            Semantics::Certain,
+            &mut net,
+            max_threads,
+        );
+        finish_federated(
+            prepared,
+            canon_ids,
+            stats,
+            net,
+            &inner.engine,
+            &inner.eq_index,
+            &inner.cost_model,
+        )
+    }
+
+    /// Prepares (or fetches from the plan cache) and executes in one
+    /// call.
+    pub fn answer(&self, query: &GraphPatternQuery) -> Result<FederatedAnswer, RpsError> {
         let prepared = self.prepare(query)?;
         self.execute(&prepared)
     }
@@ -440,10 +683,71 @@ mod tests {
     fn star_semantics_is_rejected() {
         let sys = linear_system();
         let cfg = EngineConfig::default().with_semantics(Semantics::Star);
-        let mut session = FederatedSession::open(&sys, cfg).unwrap();
+        let mut session = FederatedSession::open(&sys, cfg.clone()).unwrap();
         assert!(matches!(
             session.prepare(&cast_query()),
             Err(RpsError::StarNeedsMaterialisation)
         ));
+        // A frozen session rejects the configuration at freeze time.
+        assert!(matches!(
+            FederatedSession::open(&sys, cfg).unwrap().freeze(),
+            Err(RpsError::StarNeedsMaterialisation)
+        ));
+    }
+
+    #[test]
+    fn config_changes_stale_federated_plans() {
+        let sys = linear_system();
+        let mut session = FederatedSession::open(&sys, EngineConfig::default()).unwrap();
+        let prepared = session.prepare(&cast_query()).unwrap();
+        session.config_mut().rewrite = RewriteConfig::default();
+        assert!(matches!(
+            session.execute(&prepared),
+            Err(RpsError::StalePlan {
+                prepared: 0,
+                current: 1
+            })
+        ));
+        let reprepared = session.prepare(&cast_query()).unwrap();
+        assert!(!session
+            .execute(&reprepared)
+            .unwrap()
+            .stream
+            .into_set()
+            .is_empty());
+    }
+
+    #[test]
+    fn frozen_federated_matches_sequential_session() {
+        let sys = linear_system();
+        let mut seq = FederatedSession::open(&sys, EngineConfig::default()).unwrap();
+        let expected = seq.answer(&cast_query()).unwrap();
+        let expected_tuples = expected.stream.into_set().tuples;
+
+        let frozen = FederatedSession::open(&sys, EngineConfig::default())
+            .unwrap()
+            .freeze()
+            .unwrap();
+        let prepared = frozen.prepare(&cast_query()).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let got = frozen.execute_with_threads(&prepared, threads).unwrap();
+            assert_eq!(got.stats, expected.stats, "{threads} threads");
+            assert!((got.makespan_ms - expected.makespan_ms).abs() < 1e-9);
+            assert_eq!(got.stream.into_set().tuples, expected_tuples);
+        }
+        // Re-preparing the same (α-equivalent) query is a cache hit on
+        // the identical shared plan.
+        let renamed = GraphPatternQuery::new(
+            vec![Variable::new("a"), Variable::new("b")],
+            GraphPattern::triple(
+                TermOrVar::var("a"),
+                TermOrVar::iri("http://a/cast"),
+                TermOrVar::var("b"),
+            ),
+        );
+        let again = frozen.prepare(&renamed).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&prepared, &again));
+        let stats = frozen.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 }

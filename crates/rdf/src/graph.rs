@@ -130,6 +130,28 @@ impl Graph {
         self.store.stats()
     }
 
+    /// Seals the graph's physical layout for read-only sharing: under
+    /// the sorted-run backend the mutable tail is flushed into an
+    /// immutable run and every tombstone is physically purged, so
+    /// subsequent `&self` scans are pure merges of immutable runs —
+    /// nothing left for a writer to race with, which is what makes a
+    /// sealed graph the substrate of the `Send + Sync` frozen sessions
+    /// in `rps-core`/`rps-p2p`. The logical triple set, the dictionary
+    /// and the insertion log (and every outstanding mark into it) are
+    /// unchanged; sealing an already-sealed or B-tree graph is a no-op.
+    /// A sealed graph still accepts writes — they simply start a new
+    /// tail and clear [`Graph::is_sealed`].
+    pub fn seal(&mut self) {
+        self.store.seal();
+    }
+
+    /// `true` iff the physical layout is in the sealed shape (empty
+    /// mutable tail, no pending tombstones; trivially true for the
+    /// B-tree backend).
+    pub fn is_sealed(&self) -> bool {
+        self.store.is_sealed()
+    }
+
     /// Read access to the term dictionary.
     pub fn dict(&self) -> &TermDict {
         &self.dict
@@ -850,6 +872,28 @@ mod tests {
         assert_eq!(g.log_since(after_removals).count(), 601);
         assert!(g.log_since(before_removals).any(|t| t == back));
         assert!(g.contains_ids(back));
+    }
+
+    #[test]
+    fn sealing_preserves_contents_log_and_marks() {
+        let mut g = Graph::new();
+        bulk(&mut g, 700);
+        let mark = g.log_len();
+        let victim = g.iter_ids().next().unwrap();
+        g.remove_ids(victim);
+        g.insert_terms(Term::iri("late"), Term::iri("p-late"), Term::iri("o"))
+            .unwrap();
+        let before: Vec<IdTriple> = g.iter_ids().collect();
+        assert!(!g.is_sealed());
+        g.seal();
+        assert!(g.is_sealed());
+        let stats = g.storage_stats();
+        assert_eq!((stats.tail, stats.tombstones), (0, 0));
+        let after: Vec<IdTriple> = g.iter_ids().collect();
+        assert_eq!(before, after, "sealing changes nothing logical");
+        assert!(!g.contains_ids(victim));
+        // Marks still bound exactly the post-mark insertions.
+        assert_eq!(g.log_since(mark).count(), 1);
     }
 
     #[test]

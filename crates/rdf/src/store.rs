@@ -252,6 +252,27 @@ impl TripleStore {
         }
     }
 
+    /// Seals the physical layout for read-only sharing: the sorted-run
+    /// backend flushes the mutable tail into a run and physically purges
+    /// all tombstones, so subsequent scans merge immutable runs only
+    /// (no tail subslice, no per-key tombstone probe). The logical key
+    /// set is unchanged; the B-tree backend is a no-op. A sealed store
+    /// accepts further writes (they simply start a new tail).
+    pub(crate) fn seal(&mut self) {
+        if let TripleStore::Runs(s) = self {
+            s.seal();
+        }
+    }
+
+    /// `true` iff the store is in the sealed shape ([`Self::seal`]):
+    /// empty tail, no tombstones. Trivially true for the B-tree backend.
+    pub(crate) fn is_sealed(&self) -> bool {
+        match self {
+            TripleStore::BTree(_) => true,
+            TripleStore::Runs(s) => s.spo.tail.is_empty() && s.dead.len() == 0,
+        }
+    }
+
     /// A contiguous scan of `perm`'s index over the inclusive key range,
     /// yielding triples in that permutation's key order.
     pub(crate) fn range(&self, perm: Perm, lo: [u32; 3], hi: [u32; 3]) -> StoreRangeIter<'_> {
@@ -539,6 +560,34 @@ impl RunStore {
             }
         }
         self.dead = KeySet::default();
+    }
+
+    /// Flushes the tail and drops every tombstone physically, leaving
+    /// the store as immutable runs only (see [`TripleStore::seal`]).
+    fn seal(&mut self) {
+        if !self.spo.tail.is_empty() {
+            self.flush(Vec::new());
+        }
+        if self.dead.len() > 0 {
+            for (perm, index) in [
+                (Perm::Spo, &mut self.spo),
+                (Perm::Pos, &mut self.pos),
+                (Perm::Osp, &mut self.osp),
+            ] {
+                let mut all: Vec<[u32; 3]> = Vec::new();
+                for run in index.runs.drain(..) {
+                    all.extend(
+                        run.into_iter()
+                            .filter(|k| !self.dead.contains(spo_key(perm.unpermute(*k)))),
+                    );
+                }
+                all.sort_unstable();
+                if !all.is_empty() {
+                    index.runs.push(all);
+                }
+            }
+            self.dead = KeySet::default();
+        }
     }
 
     fn range(&self, perm: Perm, lo: [u32; 3], hi: [u32; 3]) -> RunRangeIter<'_> {
@@ -904,6 +953,39 @@ mod tests {
         }
         // A range beyond every run's max matches nothing.
         assert!(collect_range(&rs, Perm::Spo, [9_000_000, 0, 0], [u32::MAX; 3]).is_empty());
+    }
+
+    #[test]
+    fn seal_flushes_tail_and_purges_tombstones() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let mut bt = TripleStore::new(StorageBackend::BTree);
+        for i in 0..(TAIL_MAX as u32 * 3 + 17) {
+            rs.insert(t(i, i % 5, i % 9));
+            bt.insert(t(i, i % 5, i % 9));
+        }
+        // Tombstone some run-resident keys and leave a partial tail.
+        for i in 0..24 {
+            assert!(rs.remove(t(i, i % 5, i % 9)));
+            assert!(bt.remove(t(i, i % 5, i % 9)));
+        }
+        assert!(!rs.is_sealed());
+        rs.seal();
+        assert!(rs.is_sealed());
+        let stats = rs.stats();
+        assert_eq!(stats.tail, 0);
+        assert_eq!(stats.tombstones, 0);
+        assert_eq!(rs.len(), bt.len());
+        for perm in [Perm::Spo, Perm::Pos, Perm::Osp] {
+            assert_eq!(
+                collect_range(&rs, perm, [0; 3], [u32::MAX; 3]),
+                collect_range(&bt, perm, [0; 3], [u32::MAX; 3]),
+                "{perm:?} scans agree after sealing"
+            );
+        }
+        // A sealed store still accepts writes (a fresh tail begins).
+        assert!(rs.insert(t(9_999, 0, 0)));
+        assert!(!rs.is_sealed());
+        assert!(rs.contains(t(9_999, 0, 0)));
     }
 
     #[test]

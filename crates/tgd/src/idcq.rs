@@ -646,7 +646,7 @@ fn rewrite_ids_with(
         .collect();
     cqs.sort();
     if prune {
-        cqs = prune_subsumed(cqs);
+        cqs = prune_union(cqs);
     }
     IdRewriteResult {
         cqs,
@@ -655,33 +655,51 @@ fn rewrite_ids_with(
     }
 }
 
-/// Pairwise checks are quadratic; beyond this union size pruning is
-/// skipped (the union is returned as-is, which is always sound).
-const MAX_PRUNE_CANDIDATES: usize = 4096;
-
-/// Drops every CQ homomorphically subsumed by a retained one.
+/// Drops every CQ of a union that is homomorphically subsumed by a
+/// retained one — the pruning pass [`rewrite_ids`] applies to its
+/// emitted union, exposed for callers that assemble unions themselves.
+/// Always sound: the pruned union has the same certain answers as the
+/// input on every database (property-tested).
 ///
 /// Candidates are processed in ascending body length, so a CQ is only
 /// ever checked against retained CQs no longer than itself — dropping
 /// the longer (more constrained) member of each subsumed pair and never
-/// both of an equivalent pair.
-fn prune_subsumed(mut cqs: Vec<IdCq>) -> Vec<IdCq> {
-    if cqs.len() <= 1 || cqs.len() > MAX_PRUNE_CANDIDATES {
+/// both of an equivalent pair. Retained CQs are bucketed by their
+/// *(body length, 64-bit predicate signature)* pair: a subsumer's
+/// predicates must all occur in the candidate, so the subset pre-check
+/// runs once per bucket instead of once per retained CQ, and whole
+/// buckets of incompatible signatures are skipped without touching
+/// their members. This replaces the earlier linear prefilter, which was
+/// capped at 4096 branches — there is no cap any more.
+pub fn prune_union(mut cqs: Vec<IdCq>) -> Vec<IdCq> {
+    if cqs.len() <= 1 {
         return cqs;
     }
     cqs.sort_by_key(|cq| cq.body.len());
     let mut retained: Vec<IdCq> = Vec::with_capacity(cqs.len());
-    let mut retained_masks: Vec<u64> = Vec::with_capacity(cqs.len());
+    // (body length, predicate signature) → indexes into `retained`,
+    // in insertion order so bucket iteration stays deterministic.
+    let mut buckets: Vec<((u32, u64), Vec<u32>)> = Vec::new();
+    let mut bucket_of: HashMap<(u32, u64), u32> = HashMap::new();
     for cq in cqs {
         let mask = pred_mask(&cq);
-        let subsumed = retained
-            .iter()
-            .zip(&retained_masks)
-            // A subsumer's predicates must all occur in the candidate.
-            .any(|(q1, m1)| m1 & !mask == 0 && subsumes(q1, &cq));
+        let len = cq.body.len() as u32;
+        // Ascending processing makes every retained body no longer than
+        // the candidate's, so only the signature filters buckets here.
+        let subsumed = buckets.iter().any(|((_, bmask), members)| {
+            bmask & !mask == 0
+                && members
+                    .iter()
+                    .any(|&i| subsumes(&retained[i as usize], &cq))
+        });
         if !subsumed {
+            let key = (len, mask);
+            let slot = *bucket_of.entry(key).or_insert_with(|| {
+                buckets.push((key, Vec::new()));
+                (buckets.len() - 1) as u32
+            });
+            buckets[slot as usize].1.push(retained.len() as u32);
             retained.push(cq);
-            retained_masks.push(mask);
         }
     }
     retained.sort();

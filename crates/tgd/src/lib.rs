@@ -57,8 +57,8 @@ pub use classify::{
 pub use datalog::{DatalogError, Program};
 pub use hom::{all_homomorphisms, evaluate_cq, exists_homomorphism, Subst};
 pub use idcq::{
-    decode_cq, evaluate_union_ids, intern_cq, rewrite_ids, rewrite_ids_unpruned, union_has_answer,
-    IdArg, IdAtom, IdCq, IdRewriteResult, IdTgdSet,
+    decode_cq, evaluate_union_ids, intern_cq, prune_union, rewrite_ids, rewrite_ids_unpruned,
+    union_has_answer, IdArg, IdAtom, IdCq, IdRewriteResult, IdTgdSet,
 };
 pub use instance::{Instance, InstanceMark, PredId, ValId, ValueDict};
 pub use rewrite::{

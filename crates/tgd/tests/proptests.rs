@@ -525,3 +525,61 @@ fn datalog_fixpoint_agrees_with_naive_chase_on_full_sets() {
         assert_eq!(model, slow.instance, "seed {seed}");
     }
 }
+
+#[test]
+fn subsumption_pruning_is_sound_above_the_old_cap() {
+    // The bucketed prefilter lifted the 4096-branch cap on
+    // `prune_union`; this drives unions well past it with synthetic
+    // random CQs (a rewriting producing that many branches would
+    // dominate the suite's runtime) and asserts the pruned union keeps
+    // exactly the unpruned certain answers on random instances.
+    for seed in 0..2u64 {
+        let rng = &mut Rng(0xCA90 + seed);
+        let mut inst = Instance::new();
+        for _ in 0..40 {
+            inst.insert(Fact::new("r", vec![c(rng.below(8)), c(rng.below(8))]));
+            inst.insert(Fact::new("s", vec![c(rng.below(8)), c(rng.below(8))]));
+        }
+        inst.insert(Fact::new("p", vec![c(rng.below(8))]));
+        let vars = ["x", "y", "z"];
+        let mut cqs = Vec::new();
+        for _ in 0..5_000 {
+            let mut body = Vec::new();
+            for _ in 0..(1 + rng.below(3)) {
+                let pred = ["r", "s", "p"][rng.below(3)];
+                let arity = if pred == "p" { 1 } else { 2 };
+                let args: Vec<AtomArg> = (0..arity)
+                    .map(|_| {
+                        if rng.below(4) == 0 {
+                            AtomArg::Const(format!("k{}", rng.below(8)).into())
+                        } else {
+                            AtomArg::var(vars[rng.below(3)])
+                        }
+                    })
+                    .collect();
+                body.push(Atom::new(pred, args));
+            }
+            // Keep the head bound by the body so every branch is live.
+            let head_var = match body[0].args.first().expect("non-empty atom") {
+                AtomArg::Var(v) => v.to_string(),
+                _ => "x".to_string(),
+            };
+            cqs.push(Cq::new(&[head_var.as_str()], body));
+        }
+        let id_cqs: Vec<rps_tgd::IdCq> = cqs
+            .iter()
+            .map(|q| rps_tgd::intern_cq(q, &mut inst))
+            .collect();
+        assert!(id_cqs.len() > 4_096, "must exceed the old pruning cap");
+        let pruned = rps_tgd::prune_union(id_cqs.clone());
+        assert!(
+            pruned.len() < id_cqs.len(),
+            "seed {seed}: random redundant unions should shrink"
+        );
+        assert_eq!(
+            rps_tgd::evaluate_union_ids(&pruned, &inst),
+            rps_tgd::evaluate_union_ids(&id_cqs, &inst),
+            "seed {seed}: pruning changed answers"
+        );
+    }
+}

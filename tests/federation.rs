@@ -41,7 +41,7 @@ fn service_equals_materialisation_across_seeds() {
 #[test]
 fn plain_federation_equals_centralised_pattern_eval() {
     let sys = film_system(&cfg(5, 3));
-    let mut engine = FederatedEngine::new(&sys);
+    let engine = FederatedEngine::new(&sys);
     let query = actor_shape_query(2, false);
     let mut net = SimNetwork::new();
     let (fed, stats) = engine.evaluate_query(&query, Semantics::Certain, &mut net);
@@ -82,7 +82,7 @@ fn traffic_grows_with_peer_count() {
     let mut previous = 0usize;
     for peers in [2usize, 4, 8] {
         let sys = film_system(&cfg(peers, 2));
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let mut net = SimNetwork::new();
         let (_, stats) = engine.evaluate_query(&q, Semantics::Star, &mut net);
         assert_eq!(stats.subqueries, peers);

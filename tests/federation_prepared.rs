@@ -36,7 +36,7 @@ fn rewrite_cfg() -> RewriteConfig {
 fn id_level_equals_term_level_and_centralised_across_semantics() {
     for seed in [1u64, 7, 21] {
         let sys = film_system(&cfg(4, seed));
-        let mut engine = FederatedEngine::new(&sys);
+        let engine = FederatedEngine::new(&sys);
         let stored = sys.stored_database();
         for shape in 0..3 {
             let query = actor_shape_query(shape, false);
@@ -59,7 +59,7 @@ fn id_level_equals_term_level_and_centralised_across_semantics() {
 #[test]
 fn union_forms_agree_across_paths() {
     let sys = film_system(&cfg(3, 5));
-    let mut engine = FederatedEngine::new(&sys);
+    let engine = FederatedEngine::new(&sys);
     let stored = sys.stored_database();
     // A union over two differently-shaped branches, sharing one head var.
     let union = UnionQuery::new(

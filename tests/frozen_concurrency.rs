@@ -1,0 +1,210 @@
+//! Concurrency agreement tests for the frozen answering API: N threads
+//! sharing one `FrozenSession` (or `FrozenFederatedSession`) across
+//! mixed routes and semantics must each observe answers byte-identical
+//! to the sequential mutable `Session`, and plan-cache hits must answer
+//! exactly like misses.
+//!
+//! Thread counts deliberately exceed the host's cores (oversubscription
+//! shakes out interleavings); CI additionally runs this file with
+//! `RUST_TEST_THREADS` unconstrained so the test binary's own
+//! parallelism stacks on top.
+
+use rps_core::{EngineConfig, FrozenSession, Session, Strategy};
+use rps_lodgen::{chain, film_system, FilmConfig, Topology};
+use rps_p2p::FederatedSession;
+use rps_query::{GraphPattern, GraphPatternQuery, Semantics, TermOrVar, Variable};
+use rps_rdf::Term;
+use std::collections::BTreeSet;
+
+const THREADS: usize = 8;
+const REPS_PER_THREAD: usize = 3;
+
+fn film_cfg(seed: u64) -> FilmConfig {
+    FilmConfig {
+        peers: 3,
+        films_per_peer: 10,
+        actors_per_film: 2,
+        person_pool: 12,
+        sameas_per_pair: 2,
+        topology: Topology::Chain,
+        hub_style: false,
+        seed,
+    }
+}
+
+fn film_queries() -> Vec<GraphPatternQuery> {
+    let mut queries = vec![rps_lodgen::actor_shape_query(2, false)];
+    // A star-join over peer 1's vocabulary plus a single-pattern scan.
+    queries.push(GraphPatternQuery::new(
+        vec![Variable::new("f"), Variable::new("a")],
+        GraphPattern::triple(
+            TermOrVar::var("f"),
+            TermOrVar::Term(Term::Iri(rps_lodgen::film::actor_pred(1))),
+            TermOrVar::var("a"),
+        ),
+    ));
+    queries.push(GraphPatternQuery::new(
+        vec![Variable::new("s"), Variable::new("p"), Variable::new("o")],
+        GraphPattern::triple(
+            TermOrVar::var("s"),
+            TermOrVar::var("p"),
+            TermOrVar::var("o"),
+        ),
+    ));
+    queries
+}
+
+/// Sequential oracle: one mutable session per (strategy, semantics).
+fn sequential_answers(
+    sys: &rps_core::RdfPeerSystem,
+    cfg: &EngineConfig,
+    queries: &[GraphPatternQuery],
+) -> Vec<BTreeSet<Vec<Term>>> {
+    let mut session = Session::open(sys.clone(), cfg.clone()).unwrap();
+    queries
+        .iter()
+        .map(|q| session.answer(q).unwrap().into_set().tuples)
+        .collect()
+}
+
+/// Hammers one frozen session from `THREADS` threads, each preparing
+/// and executing every query several times, and asserts every thread
+/// observes exactly `expected`.
+fn hammer(frozen: &FrozenSession, queries: &[GraphPatternQuery], expected: &[BTreeSet<Vec<Term>>]) {
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for rep in 0..REPS_PER_THREAD {
+                    for (qi, query) in queries.iter().enumerate() {
+                        let prepared = frozen.prepare(query).unwrap();
+                        let got = frozen.execute(&prepared).unwrap().into_set().tuples;
+                        assert_eq!(
+                            got, expected[qi],
+                            "thread {t}, rep {rep}, query {qi} diverged"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn threads_agree_with_sequential_session_across_routes() {
+    let sys = film_system(&film_cfg(42));
+    let queries = film_queries();
+    for (strategy, semantics) in [
+        (Strategy::Materialise, Semantics::Certain),
+        (Strategy::Materialise, Semantics::Star),
+        (Strategy::Rewrite, Semantics::Certain),
+        (Strategy::Auto, Semantics::Certain),
+    ] {
+        let cfg = EngineConfig::default()
+            .with_strategy(strategy)
+            .with_semantics(semantics);
+        let expected = sequential_answers(&sys, &cfg, &queries);
+        let frozen = Session::open(sys.clone(), cfg.clone())
+            .unwrap()
+            .freeze()
+            .unwrap();
+        hammer(&frozen, &queries, &expected);
+        // Every preparation is exactly one hit or one miss; misses can
+        // exceed the query count only by benign first-use races (several
+        // threads missing the same fresh key before one insert wins).
+        let stats = frozen.plan_cache_stats();
+        assert!(
+            stats.misses >= queries.len() as u64
+                && stats.misses <= (queries.len() * THREADS) as u64,
+            "{strategy:?}: {stats:?}"
+        );
+        assert_eq!(
+            stats.hits + stats.misses,
+            (THREADS * REPS_PER_THREAD * queries.len()) as u64,
+            "{strategy:?} {semantics:?}"
+        );
+        assert_eq!(stats.entries, queries.len(), "{strategy:?}");
+    }
+}
+
+#[test]
+fn threads_agree_on_datalog_route() {
+    // Transitive closure is the route rewriting cannot take
+    // (Proposition 3); the Datalog engine serialises on its encoder but
+    // must still agree with the sequential session from every thread.
+    let sys = chain::transitive_system(12);
+    let queries = vec![chain::edge_query(), chain::endpoint_query(12)];
+    let cfg = EngineConfig::default().with_strategy(Strategy::Datalog);
+    let expected = sequential_answers(&sys, &cfg, &queries);
+    assert!(!expected[0].is_empty());
+    let frozen = Session::new(sys, cfg).freeze().unwrap();
+    hammer(&frozen, &queries, &expected);
+}
+
+#[test]
+fn plan_cache_hit_equals_miss() {
+    let sys = film_system(&film_cfg(7));
+    let query = rps_lodgen::actor_shape_query(2, false);
+    // A cache so small every second query evicts: the same query is
+    // answered through a miss (fresh compile) and a hit (cached plan),
+    // and both answer sets must be identical.
+    let frozen = Session::open(sys, EngineConfig::default())
+        .unwrap()
+        .freeze_with_cache_capacity(1)
+        .unwrap();
+    let miss = frozen.answer(&query).unwrap().into_set().tuples;
+    let hit = frozen.answer(&query).unwrap().into_set().tuples;
+    assert_eq!(miss, hit);
+    let stats = frozen.plan_cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+
+    // Evict by preparing a different query, then re-miss the original.
+    let other = GraphPatternQuery::new(
+        vec![Variable::new("s")],
+        GraphPattern::triple(
+            TermOrVar::var("s"),
+            TermOrVar::var("p"),
+            TermOrVar::var("o"),
+        ),
+    );
+    frozen.prepare(&other).unwrap();
+    let re_missed = frozen.answer(&query).unwrap().into_set().tuples;
+    assert_eq!(re_missed, miss);
+}
+
+#[test]
+fn frozen_federated_threads_agree_with_sequential() {
+    let sys = film_system(&film_cfg(11));
+    let queries = film_queries();
+    let mut seq = FederatedSession::open(&sys, EngineConfig::default()).unwrap();
+    let expected: Vec<BTreeSet<Vec<Term>>> = queries
+        .iter()
+        .map(|q| seq.answer(q).unwrap().stream.into_set().tuples)
+        .collect();
+    let frozen = FederatedSession::open(&sys, EngineConfig::default())
+        .unwrap()
+        .freeze()
+        .unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let frozen = &frozen;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for (qi, query) in queries.iter().enumerate() {
+                    let prepared = frozen.prepare(query).unwrap();
+                    // Exercise both the internal branch fan-out widths
+                    // and repeated execution of one shared plan.
+                    for threads in [1, 4] {
+                        let got = frozen
+                            .execute_with_threads(&prepared, threads)
+                            .unwrap()
+                            .stream
+                            .into_set()
+                            .tuples;
+                        assert_eq!(got, expected[qi], "thread {t}, query {qi}");
+                    }
+                }
+            });
+        }
+    });
+}
