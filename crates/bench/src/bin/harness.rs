@@ -173,6 +173,14 @@ fn main() {
         let execs = if quick { 240 } else { 1920 };
         run("e15", &mut || e15_frozen_concurrency(threads, execs));
     }
+    if want("e16") {
+        let rates: &[f64] = if quick {
+            &[0.0, 0.2]
+        } else {
+            &[0.0, 0.1, 0.2, 0.4]
+        };
+        run("e16", &mut || e16_fault_tolerance(rates));
+    }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
     for t in &timed {

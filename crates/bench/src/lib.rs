@@ -19,8 +19,10 @@
 //!
 //! Post-paper engineering experiments: E10 (Datalog route), E11 (mapping
 //! discovery), E12 (id-level federation), E13 (sorted-run vs B-tree
-//! triple storage, [`e13_storage`]) and E14 (id-level vs string-level
-//! UCQ rewriting, [`e14_rewrite_ablation`]).
+//! triple storage, [`e13_storage`]), E14 (id-level vs string-level
+//! UCQ rewriting, [`e14_rewrite_ablation`]), E15 (frozen-session
+//! concurrency, [`e15_frozen_concurrency`]) and E16 (fault-tolerant
+//! federation under seeded fault injection, [`e16_fault_tolerance`]).
 
 #![warn(missing_docs)]
 
@@ -1107,6 +1109,138 @@ pub fn e15_frozen_concurrency(threads: &[usize], total_execs: usize) -> Table {
             "ops/s".into(),
             "speedup".into(),
             "agree".into(),
+        ],
+        rows,
+    }
+}
+
+/// E16 — fault-tolerant federation: the cost of the retry/deadline
+/// machinery at zero faults and the degraded-mode behaviour as the
+/// injected fault rate grows.
+///
+/// The first row runs the legacy perfect path
+/// (`FederatedEngine::execute`, no retry bookkeeping); the `0.00` row
+/// runs the same exchanges through `execute_with` + `RetryPolicy` over
+/// a fault wrapper with every rate at zero — their wall-clock delta is
+/// the whole fault-tolerance overhead. Each further row injects drops
+/// and transient errors at the given per-exchange rate (seeded, so
+/// every run reproduces the same schedule) under
+/// `FailurePolicy::BestEffort`, reporting the retries taken, the retry
+/// traffic added, the exchanges given up on, the quorum accounting and
+/// the degraded-round makespan. `sound` pins the degradation contract:
+/// degraded answers are always a subset of the fault-free answers.
+pub fn e16_fault_tolerance(fault_rates: &[f64]) -> Table {
+    use rps_core::{FailurePolicy, RetryPolicy};
+    use rps_p2p::{
+        CostModel, FaultConfig, FaultyTransport, FederatedEngine, SimNetwork, SimTransport,
+    };
+    const REPS: u32 = 7;
+    let cfg = FilmConfig {
+        peers: 4,
+        films_per_peer: 40,
+        actors_per_film: 3,
+        person_pool: 60,
+        sameas_per_pair: 2,
+        topology: Topology::Chain,
+        hub_style: false,
+        seed: 16,
+    };
+    let sys = film_system(&cfg);
+    // A UCQ touching every peer: one shape branch per peer plus a full
+    // scan branch that fans out to all of them — so fault schedules
+    // have many pattern×peer exchanges to bite on.
+    let query = {
+        use rps_query::{GraphPattern, TermOrVar, UnionQuery, Variable};
+        let mut branches: Vec<GraphPattern> = (0..cfg.peers)
+            .map(|p| actor_shape_query(p, false).pattern().clone())
+            .collect();
+        branches.push(GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::var("p"),
+            TermOrVar::var("y"),
+        ));
+        UnionQuery::new(vec![Variable::new("x"), Variable::new("y")], branches)
+    };
+    let engine = FederatedEngine::new(&sys);
+    let prepared = engine.prepare_union(&query);
+    let retry = RetryPolicy::default();
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+
+    // Fault-free reference: the legacy no-retry path.
+    let t0 = Instant::now();
+    let mut clean = (std::collections::BTreeSet::new(), SimNetwork::new());
+    for _ in 0..REPS {
+        let mut net = SimNetwork::new();
+        let (ids, _) = engine.execute(&prepared, Semantics::Certain, &mut net);
+        clean = (ids, net);
+    }
+    let legacy_wall = t0.elapsed() / REPS;
+    let (clean_ids, clean_net) = clean;
+    rows.push(vec![
+        "legacy".into(),
+        ms(legacy_wall),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        format!("{peers}/{peers}", peers = cfg.peers),
+        format!("{:.2}", clean_net.round_makespan_ms(&cost, cfg.peers)),
+        "true".into(),
+    ]);
+
+    for &rate in fault_rates {
+        let transport = FaultyTransport::new(
+            SimTransport::new(engine.peer_graphs()),
+            FaultConfig {
+                seed: 16,
+                drop_rate: rate,
+                transient_rate: rate,
+                latency_jitter_ms: 2.0,
+                ..FaultConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let mut last = None;
+        for _ in 0..REPS {
+            let mut net = SimNetwork::new();
+            let out = engine
+                .execute_with(
+                    &prepared,
+                    Semantics::Certain,
+                    &mut net,
+                    &transport,
+                    &retry,
+                    FailurePolicy::BestEffort,
+                )
+                .expect("best effort never fails the query");
+            last = Some((out, net));
+        }
+        let wall = t0.elapsed() / REPS;
+        let ((ids, _stats, report), net) = last.expect("REPS > 0");
+        rows.push(vec![
+            format!("{rate:.2}"),
+            ms(wall),
+            report.retries().to_string(),
+            net.retry_bytes().to_string(),
+            report.skipped.len().to_string(),
+            format!("{}/{}", report.peers_responded, report.peers_contacted),
+            format!("{:.2}", net.round_makespan_ms(&cost, cfg.peers)),
+            ids.is_subset(&clean_ids).to_string(),
+        ]);
+    }
+    Table {
+        title: "E16 — fault-tolerant federation: retry overhead at zero faults and \
+                degraded-mode cost by injected fault rate (best effort)"
+            .into(),
+        headers: vec![
+            "fault rate".into(),
+            "exec ms".into(),
+            "retries".into(),
+            "retry bytes".into(),
+            "skipped".into(),
+            "responded".into(),
+            "makespan ms".into(),
+            "sound".into(),
         ],
         rows,
     }

@@ -7,6 +7,7 @@
 //! results). [`RpsError`] is the single surface the [`crate::Session`]
 //! façade reports all of them through.
 
+use crate::fault::FailureCause;
 use crate::mapping::MappingError;
 use crate::system::SystemValidationError;
 use rps_rdf::RdfError;
@@ -72,6 +73,29 @@ pub enum RpsError {
         /// The session's current configuration generation.
         current: u32,
     },
+    /// A federated peer stayed unreachable after the configured retry
+    /// policy was exhausted, and the failure policy is
+    /// [`crate::FailurePolicy::Strict`] — the query fails rather than
+    /// returning silently incomplete answers. Switch to `BestEffort` or
+    /// `Quorum` (see [`crate::EngineConfig::failure`]) to degrade
+    /// gracefully instead; the skipped peers are then itemised in the
+    /// per-query federation report.
+    PeerUnreachable {
+        /// The unreachable peer's index.
+        peer: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Why the final attempt failed.
+        cause: FailureCause,
+    },
+    /// A federated execution under [`crate::FailurePolicy::Quorum`]
+    /// finished with fewer responsive peers than the quorum requires.
+    QuorumNotMet {
+        /// Contacted peers that responded to every exchange.
+        responded: usize,
+        /// The configured quorum.
+        required: usize,
+    },
     /// A candidate tuple's arity does not match the query's.
     Arity {
         /// The query arity.
@@ -116,6 +140,21 @@ impl fmt::Display for RpsError {
                 f,
                 "prepared query is stale: compiled under configuration generation \
                  {prepared}, but the session is at generation {current}; re-prepare it"
+            ),
+            RpsError::PeerUnreachable {
+                peer,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "peer {peer} unreachable after {attempts} attempt(s): {cause}"
+            ),
+            RpsError::QuorumNotMet {
+                responded,
+                required,
+            } => write!(
+                f,
+                "quorum not met: {responded} peer(s) responded, {required} required"
             ),
             RpsError::Arity { expected, got } => {
                 write!(

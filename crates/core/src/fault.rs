@@ -1,0 +1,194 @@
+//! Fault-tolerance policies for federated answering.
+//!
+//! The federated pipeline (`rps-p2p`) talks to peers through a pluggable
+//! transport that can time out, refuse connections, or answer with
+//! transient errors. These types make that failure surface explicit in
+//! the configuration instead of leaving it to crash the process:
+//!
+//! * [`RetryPolicy`] bounds how hard one peer exchange is retried —
+//!   attempt count, exponential backoff with *deterministic* jitter, and
+//!   a per-peer deadline budget that caps the total (virtual) time a
+//!   branch may burn on one peer;
+//! * [`FailurePolicy`] decides what a query execution does when a peer
+//!   stays unreachable after the retries: fail the query
+//!   ([`FailurePolicy::Strict`]), degrade gracefully
+//!   ([`FailurePolicy::BestEffort`]), or degrade only while at least `k`
+//!   peers respond ([`FailurePolicy::Quorum`]);
+//! * [`FailureCause`] is the typed taxonomy both the
+//!   `RpsError::PeerUnreachable` error and the per-query federation
+//!   report classify give-ups with.
+//!
+//! They live in `rps-core` so [`crate::EngineConfig`] can carry them (the
+//! federated session in `rps-p2p` reads them; the local routes ignore
+//! them). All backoff and deadline arithmetic is *virtual* — measured in
+//! simulated milliseconds reported by the transport — so a seeded fault
+//! schedule produces bit-identical outcomes on every run and on every
+//! thread interleaving.
+
+/// Why one peer exchange was finally given up on (after retries).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FailureCause {
+    /// No response arrived within the attempt's time budget.
+    Timeout,
+    /// The per-peer deadline budget was exhausted before the attempts
+    /// were (retries and backoff burned it all).
+    DeadlineExhausted,
+    /// The peer answered, but with a (possibly injected) transient
+    /// error response instead of an answer batch.
+    Transient,
+    /// The peer is down: connections are refused outright.
+    PeerDown,
+    /// The peer answered with bytes that do not decode as a wire
+    /// message (version skew, corruption).
+    Protocol,
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureCause::Timeout => "timeout",
+            FailureCause::DeadlineExhausted => "deadline exhausted",
+            FailureCause::Transient => "transient error",
+            FailureCause::PeerDown => "peer down",
+            FailureCause::Protocol => "protocol error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a federated execution does when a peer stays unreachable after
+/// the [`RetryPolicy`] is exhausted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FailurePolicy {
+    /// Any unreachable peer fails the whole query with the typed
+    /// `RpsError::PeerUnreachable`. Answers are never silently
+    /// incomplete. The default.
+    #[default]
+    Strict,
+    /// Unreachable peers contribute nothing; the query still answers,
+    /// and every skipped peer is listed in the per-query federation
+    /// report. Answers equal the centralised answers restricted to the
+    /// reachable peers.
+    BestEffort,
+    /// Like [`FailurePolicy::BestEffort`], but the execution fails with
+    /// `RpsError::QuorumNotMet` unless at least `k` of the contacted
+    /// peers responded.
+    Quorum(usize),
+}
+
+/// Bounded-retry policy for one federated peer exchange.
+///
+/// Attempt `n` (1-based) of an exchange is preceded, for `n ≥ 2`, by an
+/// exponential backoff of
+/// `base_backoff_ms · 2^(n-2) · (1 + jitter · u)` virtual milliseconds,
+/// where `u ∈ [0, 1)` is a SplitMix64 draw seeded from
+/// `(jitter_seed, peer, attempt, request fingerprint)` — deterministic,
+/// and independent of thread interleaving. Backoff and transport-reported
+/// latency both charge the **per-peer deadline budget**: once a branch
+/// has spent `peer_deadline_ms` on one peer, further attempts (and
+/// further exchanges with that peer in the same branch) give up with
+/// [`FailureCause::DeadlineExhausted`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per exchange (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Base backoff before the second attempt, in virtual milliseconds.
+    pub base_backoff_ms: f64,
+    /// Jitter fraction in `[0, 1]`: attempt backoff is scaled by a
+    /// deterministic factor in `[1, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Virtual-millisecond budget one branch may spend on one peer
+    /// (latency + backoff across all of that branch's exchanges with
+    /// the peer).
+    pub peer_deadline_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 5.0,
+            jitter: 0.5,
+            jitter_seed: 0x5EED,
+            peer_deadline_ms: 1_000.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never waits: the first failure is
+    /// final. Useful as the zero-overhead choice for perfect transports.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0.0,
+            jitter: 0.0,
+            jitter_seed: 0,
+            peer_deadline_ms: f64::INFINITY,
+        }
+    }
+
+    /// The deterministic backoff charged before `attempt` (1-based) of
+    /// an exchange with `peer`, where `fingerprint` identifies the
+    /// request (any stable hash). Attempt 1 has no backoff.
+    pub fn backoff_ms(&self, peer: usize, attempt: u32, fingerprint: u64) -> f64 {
+        if attempt <= 1 {
+            return 0.0;
+        }
+        let exp = self.base_backoff_ms * f64::from(1u32 << (attempt - 2).min(20));
+        let mix = splitmix64(
+            self.jitter_seed
+                ^ (peer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                ^ fingerprint,
+        );
+        let unit = (mix >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        exp * (1.0 + self.jitter.clamp(0.0, 1.0) * unit)
+    }
+}
+
+/// One SplitMix64 output step (shared by the jitter stream and the
+/// fault schedules in `rps-p2p`).
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(0, 1, 7), 0.0);
+        let b2 = p.backoff_ms(0, 2, 7);
+        let b3 = p.backoff_ms(0, 3, 7);
+        let b4 = p.backoff_ms(0, 4, 7);
+        assert!(b2 >= p.base_backoff_ms && b2 <= p.base_backoff_ms * 1.5);
+        assert!(b3 >= 2.0 * p.base_backoff_ms && b3 <= 3.0 * p.base_backoff_ms);
+        assert!(b4 >= 4.0 * p.base_backoff_ms && b4 <= 6.0 * p.base_backoff_ms);
+        // Same inputs, same jitter — bit-identical.
+        assert_eq!(b3, p.backoff_ms(0, 3, 7));
+        // Different peers / fingerprints draw different jitter.
+        assert_ne!(b3, p.backoff_ms(1, 3, 7));
+        assert_ne!(b3, p.backoff_ms(0, 3, 8));
+    }
+
+    #[test]
+    fn no_retry_policy_is_inert() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff_ms(3, 2, 1), 0.0);
+        assert!(p.peer_deadline_ms.is_infinite());
+    }
+
+    #[test]
+    fn failure_policy_default_is_strict() {
+        assert_eq!(FailurePolicy::default(), FailurePolicy::Strict);
+    }
+}

@@ -37,6 +37,7 @@ pub mod encode;
 pub mod engine;
 pub mod equivalence;
 pub mod error;
+pub mod fault;
 pub mod mapping;
 pub mod peer;
 pub mod rewriting;
@@ -55,6 +56,7 @@ pub use encode::{
 pub use engine::{AnswerRoute, RpsEngine};
 pub use equivalence::{canonicalize_graph, expand_answers, saturate_naive, EquivalenceIndex};
 pub use error::RpsError;
+pub use fault::{splitmix64, FailureCause, FailurePolicy, RetryPolicy};
 pub use mapping::{EquivalenceMapping, GraphMappingAssertion, MappingError};
 pub use peer::{Peer, PeerId, PeerValidationError};
 pub use rewriting::{cq_to_pattern, RpsRewriter, RpsRewriting};

@@ -136,6 +136,15 @@ pub struct EngineConfig {
     pub chase: RpsChaseConfig,
     /// Rewriting budgets for the rewritten route.
     pub rewrite: RewriteConfig,
+    /// Retry policy for federated peer exchanges (attempt bound,
+    /// deterministic-jitter backoff, per-peer deadline budget). Read by
+    /// the federated sessions in `rps-p2p`; the local routes never talk
+    /// to a network and ignore it.
+    pub retry: crate::fault::RetryPolicy,
+    /// What a federated execution does when a peer stays unreachable
+    /// after the retries. Ignored by the local routes, like
+    /// [`EngineConfig::retry`].
+    pub failure: crate::fault::FailurePolicy,
 }
 
 impl Default for EngineConfig {
@@ -145,6 +154,8 @@ impl Default for EngineConfig {
             semantics: Semantics::Certain,
             chase: RpsChaseConfig::default(),
             rewrite: RewriteConfig::default(),
+            retry: crate::fault::RetryPolicy::default(),
+            failure: crate::fault::FailurePolicy::default(),
         }
     }
 }
@@ -171,6 +182,18 @@ impl EngineConfig {
     /// Overrides the rewriting budgets.
     pub fn with_rewrite(mut self, rewrite: RewriteConfig) -> Self {
         self.rewrite = rewrite;
+        self
+    }
+
+    /// Overrides the federated retry policy.
+    pub fn with_retry(mut self, retry: crate::fault::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the federated failure policy.
+    pub fn with_failure(mut self, failure: crate::fault::FailurePolicy) -> Self {
+        self.failure = failure;
         self
     }
 }

@@ -31,13 +31,16 @@
 
 use crate::network::{NodeId, SimNetwork};
 use crate::routing::SchemaIndex;
-use rps_core::{PeerId, RdfPeerSystem};
+use crate::transport::{SimTransport, Transport};
+use crate::wire::{self, WireMessage, WireRequest, WireSlot};
+use rps_core::{FailureCause, FailurePolicy, PeerId, RdfPeerSystem, RetryPolicy, RpsError};
 use rps_query::{
     evaluate_pattern, join, GraphPattern, GraphPatternQuery, Mapping, Semantics, TermOrVar,
     UnionQuery, Variable,
 };
 use rps_rdf::{Graph, Term, TermDict, TermId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Statistics of one federated query execution.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -54,6 +57,126 @@ pub struct FederationStats {
     pub tuples_received: usize,
 }
 
+/// One peer exchange the execution finally gave up on (after the retry
+/// policy was exhausted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerFailure {
+    /// The peer that stayed unreachable.
+    pub peer: usize,
+    /// Attempts actually made before giving up (0 when the per-peer
+    /// deadline was already exhausted by earlier exchanges).
+    pub attempts: u32,
+    /// Why the final attempt failed.
+    pub cause: FailureCause,
+    /// Human-readable detail from the transport or the peer.
+    pub detail: String,
+}
+
+/// The fault-tolerance outcome of one federated execution — which peers
+/// were skipped, why, and how much retrying it took. Returned alongside
+/// the answers by [`FederatedEngine::execute_with`]; under
+/// [`FailurePolicy::BestEffort`]/[`FailurePolicy::Quorum`] this is the
+/// *only* record of degradation, so answers are never silently
+/// incomplete.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FederationReport {
+    /// The transport's label ("sim", "faulty", "tcp").
+    pub transport: &'static str,
+    /// The failure policy the execution ran under.
+    pub policy: FailurePolicy,
+    /// Every exchange given up on (empty ⇔ the execution was not
+    /// degraded). Under [`FailurePolicy::Strict`] the execution errors
+    /// at the first entry instead.
+    pub skipped: Vec<PeerFailure>,
+    /// Retry attempts (beyond each exchange's first) per prepared
+    /// branch, aligned with the plan's branch order.
+    pub retries_by_branch: Vec<u32>,
+    /// Distinct peers contacted across the whole execution.
+    pub peers_contacted: usize,
+    /// Distinct contacted peers that responded to *every* exchange
+    /// addressed to them (the quorum count).
+    pub peers_responded: usize,
+}
+
+impl FederationReport {
+    /// Total retry attempts across every branch.
+    pub fn retries(&self) -> u32 {
+        self.retries_by_branch.iter().sum()
+    }
+
+    /// `true` iff at least one exchange was skipped (the answers may be
+    /// a strict subset of the fault-free answers).
+    pub fn degraded(&self) -> bool {
+        !self.skipped.is_empty()
+    }
+
+    /// The distinct peers that failed at least one exchange.
+    pub fn failed_peers(&self) -> BTreeSet<usize> {
+        self.skipped.iter().map(|f| f.peer).collect()
+    }
+}
+
+/// Mutable report bookkeeping threaded through an execution.
+struct ReportState {
+    skipped: Vec<PeerFailure>,
+    retries_by_branch: Vec<u32>,
+    contacted: BTreeSet<usize>,
+    failed: BTreeSet<usize>,
+}
+
+impl ReportState {
+    fn new(branches: usize) -> Self {
+        ReportState {
+            skipped: Vec::new(),
+            retries_by_branch: vec![0; branches],
+            contacted: BTreeSet::new(),
+            failed: BTreeSet::new(),
+        }
+    }
+
+    /// Merges a parallel worker's bookkeeping (branch slots are
+    /// disjoint across workers).
+    fn merge(&mut self, other: ReportState) {
+        self.skipped.extend(other.skipped);
+        for (slot, v) in self
+            .retries_by_branch
+            .iter_mut()
+            .zip(&other.retries_by_branch)
+        {
+            *slot += v;
+        }
+        self.contacted.extend(other.contacted);
+        self.failed.extend(other.failed);
+    }
+
+    /// Seals the report, enforcing the quorum policy: with peers
+    /// contacted and fewer than `k` fully responsive, the execution
+    /// fails with [`RpsError::QuorumNotMet`].
+    fn finish(
+        self,
+        transport: &'static str,
+        policy: FailurePolicy,
+    ) -> Result<FederationReport, RpsError> {
+        let responded = self.contacted.difference(&self.failed).count();
+        if let FailurePolicy::Quorum(k) = policy {
+            if !self.contacted.is_empty() && responded < k {
+                return Err(RpsError::QuorumNotMet {
+                    responded,
+                    required: k,
+                });
+            }
+        }
+        Ok(FederationReport {
+            transport,
+            policy,
+            skipped: self.skipped,
+            retries_by_branch: self.retries_by_branch,
+            peers_contacted: self.contacted.len(),
+            peers_responded: responded,
+        })
+    }
+}
+
 /// A head-template position of a prepared branch.
 enum TemplateSlot {
     /// Branch-local variable index.
@@ -63,24 +186,17 @@ enum TemplateSlot {
 }
 
 /// One triple pattern of a branch, compiled for repeated federated
-/// execution: routing decided, constants resolved per routed peer,
-/// request payload sized — all once, at prepare time.
+/// execution: routing decided, constants resolved per routed peer, and
+/// the wire request built — all once, at prepare time.
 struct PatternPlan {
-    /// For each position: the slot in `pvars` its variable projects to
-    /// (`None` for constant positions). Repeated variables share a slot.
-    pos_slot: [Option<usize>; 3],
     /// The pattern's distinct branch-local variable indexes, in first
     /// occurrence order; binding rows are aligned with this.
     pvars: Vec<usize>,
-    /// Σ of the variable name lengths (response byte accounting).
-    var_name_bytes: usize,
-    /// Routed peers with the pattern's constants resolved to their
-    /// dictionaries; `None` when a constant is unknown at that peer (the
-    /// sub-query is still sent, mirroring the wire protocol, but matches
-    /// nothing).
-    probes: Vec<(PeerId, Option<[Option<TermId>; 3]>)>,
-    /// Serialised request size.
-    request_bytes: usize,
+    /// Routed peers, each with its ready-to-encode wire request:
+    /// constants resolved to the peer's dictionary
+    /// ([`WireSlot::Unresolved`] when unknown there — the sub-query is
+    /// still sent, but matches nothing).
+    probes: Vec<(PeerId, WireRequest)>,
 }
 
 /// One conjunctive branch of a prepared UCQ.
@@ -113,8 +229,8 @@ impl PreparedFederation {
 /// The federated query processor.
 pub struct FederatedEngine {
     /// Peer-local stores (blank nodes scoped exactly as in the
-    /// centralised stored database).
-    locals: Vec<Graph>,
+    /// centralised stored database), shared with transports.
+    locals: Arc<Vec<Graph>>,
     index: SchemaIndex,
     /// The originator's node id (one past the last peer).
     originator: NodeId,
@@ -123,9 +239,6 @@ pub struct FederatedEngine {
     dict: TermDict,
     /// Per peer: local term id → answer-dictionary id (dense table).
     to_global: Vec<Vec<TermId>>,
-    /// Rendered byte length per answer-dictionary term (response
-    /// costing), aligned with the ids minted by `absorb`.
-    term_bytes: Vec<u32>,
 }
 
 impl FederatedEngine {
@@ -137,17 +250,12 @@ impl FederatedEngine {
         }
         let mut dict = TermDict::new();
         let to_global: Vec<Vec<TermId>> = locals.iter().map(|g| dict.absorb(g.dict())).collect();
-        let term_bytes = dict
-            .iter()
-            .map(|(_, t)| t.to_string().len() as u32)
-            .collect();
         FederatedEngine {
             originator: locals.len(),
-            locals,
+            locals: Arc::new(locals),
             index,
             dict,
             to_global,
-            term_bytes,
         }
     }
 
@@ -185,6 +293,13 @@ impl FederatedEngine {
     /// Number of peers.
     pub fn peer_count(&self) -> usize {
         self.locals.len()
+    }
+
+    /// The sealed peer graphs, shared for constructing transports
+    /// ([`SimTransport::new`], [`crate::TcpTransport::serve`]) that
+    /// serve the same stores this engine plans against.
+    pub fn peer_graphs(&self) -> Arc<Vec<Graph>> {
+        Arc::clone(&self.locals)
     }
 
     /// The originator's answer dictionary (decode id-level answers
@@ -243,10 +358,6 @@ impl FederatedEngine {
         }
     }
 
-    fn term_cost(&self, id: TermId) -> usize {
-        self.term_bytes.get(id.index()).copied().unwrap_or(0) as usize
-    }
-
     // ------------------------------------------------------------------
     // Prepared, id-level path
     // ------------------------------------------------------------------
@@ -271,7 +382,6 @@ impl FederatedEngine {
             for tp in gp.patterns() {
                 let mut pos_slot = [None; 3];
                 let mut pvars: Vec<usize> = Vec::new();
-                let mut var_name_bytes = 0usize;
                 let mut consts: [Option<&Term>; 3] = [None; 3];
                 for (k, tv) in [&tp.s, &tp.p, &tp.o].into_iter().enumerate() {
                     match tv {
@@ -282,7 +392,6 @@ impl FederatedEngine {
                                 Some(s) => s,
                                 None => {
                                     pvars.push(vix);
-                                    var_name_bytes += v.name().len();
                                     pvars.len() - 1
                                 }
                             };
@@ -297,26 +406,24 @@ impl FederatedEngine {
                     .into_iter()
                     .map(|peer| {
                         let g = &self.locals[peer.0];
-                        let mut probe = [None; 3];
-                        let mut known = true;
-                        for (k, c) in consts.iter().enumerate() {
-                            if let Some(t) = c {
-                                match g.term_id(t) {
-                                    Some(id) => probe[k] = Some(id),
-                                    None => known = false,
-                                }
-                            }
+                        let mut slots = [WireSlot::Unresolved; 3];
+                        for k in 0..3 {
+                            slots[k] = match (pos_slot[k], consts[k]) {
+                                (Some(slot), _) => WireSlot::Var(slot as u8),
+                                (None, Some(t)) => match g.term_id(t) {
+                                    Some(id) => WireSlot::Const(id),
+                                    // Unknown at this peer: the request
+                                    // is still sent (mirroring the wire
+                                    // protocol) but matches nothing.
+                                    None => WireSlot::Unresolved,
+                                },
+                                (None, None) => unreachable!("position is var or const"),
+                            };
                         }
-                        (peer, known.then_some(probe))
+                        (peer, WireRequest { attempt: 1, slots })
                     })
                     .collect();
-                patterns.push(PatternPlan {
-                    pos_slot,
-                    pvars,
-                    var_name_bytes,
-                    probes,
-                    request_bytes: tp.to_string().len(),
-                });
+                patterns.push(PatternPlan { pvars, probes });
             }
             let template = template
                 .iter()
@@ -372,50 +479,41 @@ impl FederatedEngine {
         self.prepare_branches(&branches)
     }
 
-    /// Executes a prepared federation, recording traffic into `net` and
-    /// returning answer tuples over the originator's answer dictionary.
+    /// Executes a prepared federation over the perfect in-process
+    /// [`SimTransport`], recording traffic into `net` and returning
+    /// answer tuples over the originator's answer dictionary.
     ///
     /// Per branch: every pattern's sub-queries fan out to its routed
-    /// peers (peer-side index range scans, ids translated to the answer
-    /// dictionary by table lookup), the per-pattern binding sets are
-    /// hash-joined smallest-first at the originator, and the head
-    /// template projects the result. Under [`Semantics::Certain`], tuples
-    /// containing blank nodes are dropped.
+    /// peers as encoded wire frames (peer-side index range scans, ids
+    /// translated to the answer dictionary by table lookup), the
+    /// per-pattern binding sets are hash-joined smallest-first at the
+    /// originator, and the head template projects the result. Under
+    /// [`Semantics::Certain`], tuples containing blank nodes are
+    /// dropped. The fault-tolerant generalisation over pluggable
+    /// transports is [`FederatedEngine::execute_with`].
     pub fn execute(
         &self,
         prepared: &PreparedFederation,
         semantics: Semantics,
         net: &mut SimNetwork,
     ) -> (BTreeSet<Vec<TermId>>, FederationStats) {
-        let mut stats = FederationStats::default();
-        let mut out = BTreeSet::new();
-        for branch in &prepared.branches {
-            let Some(template) = &branch.template else {
-                continue; // dead branch: its head can never bind
-            };
-            self.execute_branch(
-                branch,
-                template,
-                &prepared.extra,
+        let transport = SimTransport::new(Arc::clone(&self.locals));
+        let (out, stats, _report) = self
+            .execute_with(
+                prepared,
                 semantics,
                 net,
-                &mut stats,
-                &mut out,
-            );
-        }
-        stats.messages = net.message_count();
-        stats.bytes = net.total_bytes();
+                &transport,
+                &RetryPolicy::none(),
+                FailurePolicy::Strict,
+            )
+            .expect("the perfect in-process transport cannot fail");
         (out, stats)
     }
 
     /// [`FederatedEngine::execute`], fanning the prepared branches out
-    /// across OS threads (`std::thread::scope`; at most
-    /// `max_threads` of them, clamped to the branch count and to at
-    /// least 1). Each worker owns a private network, statistics and
-    /// answer set over a contiguous chunk of branches; merging happens
-    /// in branch order, so the returned answers, statistics and the
-    /// traffic trace are byte-identical to the sequential
-    /// [`FederatedEngine::execute`] — property the agreement tests pin.
+    /// across OS threads. See
+    /// [`FederatedEngine::execute_parallel_with`] for the semantics.
     pub fn execute_parallel(
         &self,
         prepared: &PreparedFederation,
@@ -423,49 +521,172 @@ impl FederatedEngine {
         net: &mut SimNetwork,
         max_threads: usize,
     ) -> (BTreeSet<Vec<TermId>>, FederationStats) {
-        let live: Vec<(&BranchPlan, &Vec<TemplateSlot>)> = prepared
+        let transport = SimTransport::new(Arc::clone(&self.locals));
+        let (out, stats, _report) = self
+            .execute_parallel_with(
+                prepared,
+                semantics,
+                net,
+                &transport,
+                &RetryPolicy::none(),
+                FailurePolicy::Strict,
+                max_threads,
+            )
+            .expect("the perfect in-process transport cannot fail");
+        (out, stats)
+    }
+
+    /// Executes a prepared federation over an explicit [`Transport`]
+    /// under a [`RetryPolicy`] and a [`FailurePolicy`] — the
+    /// fault-tolerant core every other execute entry point wraps.
+    ///
+    /// Each pattern×peer exchange encodes the prepared wire request
+    /// (the attempt number stamped into the frame), records the exact
+    /// frame bytes in `net`, and retries per the policy: exponential
+    /// backoff with deterministic jitter, all charged — together with
+    /// the transport-reported latency — against a per-branch, per-peer
+    /// virtual deadline budget. Exchanges that stay failed after the
+    /// retries are resolved by the failure policy:
+    ///
+    /// * [`FailurePolicy::Strict`] — the execution stops with
+    ///   [`RpsError::PeerUnreachable`];
+    /// * [`FailurePolicy::BestEffort`] — the peer contributes nothing,
+    ///   and the give-up is itemised in the returned
+    ///   [`FederationReport`];
+    /// * [`FailurePolicy::Quorum`]`(k)` — best-effort, then
+    ///   [`RpsError::QuorumNotMet`] unless at least `k` contacted peers
+    ///   responded to every exchange.
+    ///
+    /// With a fault-free transport this is byte-identical (answers,
+    /// statistics, traffic trace) to [`FederatedEngine::execute`] for
+    /// every policy combination; under a seeded
+    /// [`crate::FaultyTransport`] every outcome is deterministic.
+    pub fn execute_with(
+        &self,
+        prepared: &PreparedFederation,
+        semantics: Semantics,
+        net: &mut SimNetwork,
+        transport: &dyn Transport,
+        retry: &RetryPolicy,
+        policy: FailurePolicy,
+    ) -> Result<(BTreeSet<Vec<TermId>>, FederationStats, FederationReport), RpsError> {
+        let mut stats = FederationStats::default();
+        let mut out = BTreeSet::new();
+        let mut report = ReportState::new(prepared.branches.len());
+        for (bi, branch) in prepared.branches.iter().enumerate() {
+            let Some(template) = &branch.template else {
+                continue; // dead branch: its head can never bind
+            };
+            self.execute_branch_with(
+                bi,
+                branch,
+                template,
+                &prepared.extra,
+                semantics,
+                net,
+                transport,
+                retry,
+                policy,
+                &mut stats,
+                &mut out,
+                &mut report,
+            )?;
+        }
+        stats.messages = net.message_count();
+        stats.bytes = net.total_bytes();
+        let report = report.finish(transport.name(), policy)?;
+        Ok((out, stats, report))
+    }
+
+    /// [`FederatedEngine::execute_with`], fanning the prepared branches
+    /// out across OS threads (`std::thread::scope`; at most
+    /// `max_threads` of them, clamped to the live branch count and to
+    /// at least 1). Each worker owns a private network, statistics,
+    /// answer set and report over a contiguous chunk of branches;
+    /// deadline budgets are branch-local, so nothing depends on the
+    /// interleaving, and merging happens in branch order — the returned
+    /// answers, statistics, report and traffic trace are byte-identical
+    /// to the sequential walk (property the agreement tests pin). Under
+    /// [`FailurePolicy::Strict`] the error of the lowest-indexed failing
+    /// branch wins, exactly as the sequential walk would surface it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_parallel_with(
+        &self,
+        prepared: &PreparedFederation,
+        semantics: Semantics,
+        net: &mut SimNetwork,
+        transport: &dyn Transport,
+        retry: &RetryPolicy,
+        policy: FailurePolicy,
+        max_threads: usize,
+    ) -> Result<(BTreeSet<Vec<TermId>>, FederationStats, FederationReport), RpsError> {
+        let live: Vec<(usize, &BranchPlan, &Vec<TemplateSlot>)> = prepared
             .branches
             .iter()
-            .filter_map(|b| b.template.as_ref().map(|t| (b, t)))
+            .enumerate()
+            .filter_map(|(i, b)| b.template.as_ref().map(|t| (i, b, t)))
             .collect();
         let threads = max_threads.max(1).min(live.len().max(1));
         if threads <= 1 {
-            return self.execute(prepared, semantics, net);
+            return self.execute_with(prepared, semantics, net, transport, retry, policy);
         }
         let chunk = live.len().div_ceil(threads);
-        let results: Vec<(SimNetwork, FederationStats, BTreeSet<Vec<TermId>>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = live
-                    .chunks(chunk)
-                    .map(|branches| {
-                        scope.spawn(move || {
-                            let mut net = SimNetwork::new();
-                            let mut stats = FederationStats::default();
-                            let mut out = BTreeSet::new();
-                            for (branch, template) in branches {
-                                self.execute_branch(
-                                    branch,
-                                    template,
-                                    &prepared.extra,
-                                    semantics,
-                                    &mut net,
-                                    &mut stats,
-                                    &mut out,
-                                );
+        type WorkerOut = (
+            SimNetwork,
+            FederationStats,
+            BTreeSet<Vec<TermId>>,
+            ReportState,
+            Option<RpsError>,
+        );
+        let results: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = live
+                .chunks(chunk)
+                .map(|branches| {
+                    scope.spawn(move || {
+                        let mut wnet = SimNetwork::new();
+                        let mut stats = FederationStats::default();
+                        let mut out = BTreeSet::new();
+                        let mut report = ReportState::new(prepared.branches.len());
+                        let mut err = None;
+                        for (bi, branch, template) in branches {
+                            if let Err(e) = self.execute_branch_with(
+                                *bi,
+                                branch,
+                                template,
+                                &prepared.extra,
+                                semantics,
+                                &mut wnet,
+                                transport,
+                                retry,
+                                policy,
+                                &mut stats,
+                                &mut out,
+                                &mut report,
+                            ) {
+                                err = Some(e);
+                                break; // mirror the sequential early stop
                             }
-                            (net, stats, out)
-                        })
+                        }
+                        (wnet, stats, out, report, err)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("federated worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("federated worker panicked"))
+                .collect()
+        });
         let mut stats = FederationStats::default();
         let mut out = BTreeSet::new();
-        for (worker_net, worker_stats, worker_out) in results {
+        let mut report = ReportState::new(prepared.branches.len());
+        for (worker_net, worker_stats, worker_out, worker_report, worker_err) in results {
             net.absorb(&worker_net);
+            report.merge(worker_report);
+            if let Some(e) = worker_err {
+                // Lowest-branch error wins; later chunks' traffic is
+                // discarded, deterministically.
+                return Err(e);
+            }
             stats.subqueries += worker_stats.subqueries;
             stats.tuples_received += worker_stats.tuples_received;
             stats.peers_contacted = stats.peers_contacted.max(worker_stats.peers_contacted);
@@ -473,62 +694,229 @@ impl FederatedEngine {
         }
         stats.messages = net.message_count();
         stats.bytes = net.total_bytes();
-        (out, stats)
+        let report = report.finish(transport.name(), policy)?;
+        Ok((out, stats, report))
+    }
+
+    /// Translates one peer batch into answer-dictionary rows, verifying
+    /// shape and id range (a malformed batch is a protocol failure, not
+    /// a panic).
+    fn translate(
+        &self,
+        batch: &wire::WireBatch,
+        pat: &PatternPlan,
+        peer: usize,
+    ) -> Result<Vec<Vec<TermId>>, String> {
+        if usize::from(batch.width) != pat.pvars.len() {
+            return Err(format!(
+                "batch width {} does not match the expected {}",
+                batch.width,
+                pat.pvars.len()
+            ));
+        }
+        let table = &self.to_global[peer];
+        let mut out = Vec::with_capacity(batch.rows.len());
+        for row in &batch.rows {
+            let mut global = Vec::with_capacity(row.len());
+            for id in row {
+                match table.get(id.index()) {
+                    Some(&gid) => global.push(gid),
+                    None => return Err(format!("peer id {} outside its dictionary", id.0)),
+                }
+            }
+            out.push(global);
+        }
+        Ok(out)
+    }
+
+    /// Resolves one failed exchange per the failure policy: Strict
+    /// escalates to the typed error, the degrading policies record it.
+    fn note_failure(
+        report: &mut ReportState,
+        policy: FailurePolicy,
+        failure: PeerFailure,
+    ) -> Result<(), RpsError> {
+        report.failed.insert(failure.peer);
+        match policy {
+            FailurePolicy::Strict => Err(RpsError::PeerUnreachable {
+                peer: failure.peer,
+                attempts: failure.attempts,
+                cause: failure.cause,
+            }),
+            FailurePolicy::BestEffort | FailurePolicy::Quorum(_) => {
+                report.skipped.push(failure);
+                Ok(())
+            }
+        }
+    }
+
+    /// One retried exchange with `peer`: encodes the request with the
+    /// attempt number stamped in, records exact frame bytes in `net`,
+    /// and charges backoff plus transport-reported latency against the
+    /// branch's per-peer budget (`spent`). Returns the decoded batch or
+    /// the final failure, plus the retries used (attempts beyond the
+    /// first).
+    fn exchange(
+        &self,
+        transport: &dyn Transport,
+        retry: &RetryPolicy,
+        req: &WireRequest,
+        peer: usize,
+        net: &mut SimNetwork,
+        spent: &mut f64,
+    ) -> (Result<wire::WireBatch, PeerFailure>, u32) {
+        let fingerprint = req.fingerprint();
+        let max_attempts = retry.max_attempts.max(1);
+        let mut last: Option<(FailureCause, String)> = None;
+        let mut attempts = 0u32;
+        for attempt in 1..=max_attempts {
+            *spent += retry.backoff_ms(peer, attempt, fingerprint);
+            if *spent >= retry.peer_deadline_ms {
+                let failure = PeerFailure {
+                    peer,
+                    attempts,
+                    cause: FailureCause::DeadlineExhausted,
+                    detail: format!(
+                        "per-peer deadline of {:.1}ms exhausted before attempt {attempt}",
+                        retry.peer_deadline_ms
+                    ),
+                };
+                return (Err(failure), attempts.saturating_sub(1));
+            }
+            attempts = attempt;
+            let frame = wire::encode_request(&WireRequest { attempt, ..*req });
+            net.send_attempt(self.originator, peer, frame.len(), "subquery", attempt);
+            let budget = retry.peer_deadline_ms - *spent;
+            match transport.request(peer, &frame, budget) {
+                Ok(reply) => {
+                    *spent += reply.elapsed_ms;
+                    match wire::decode(&reply.frame) {
+                        Ok(WireMessage::Batch(batch)) => {
+                            net.send_attempt(
+                                peer,
+                                self.originator,
+                                reply.frame.len(),
+                                "answers",
+                                attempt,
+                            );
+                            return (Ok(batch), attempt - 1);
+                        }
+                        Ok(WireMessage::Fault(fault)) => {
+                            net.send_attempt(
+                                peer,
+                                self.originator,
+                                reply.frame.len(),
+                                "error",
+                                attempt,
+                            );
+                            let transient = fault.transient;
+                            let cause = if transient {
+                                FailureCause::Transient
+                            } else {
+                                FailureCause::Protocol
+                            };
+                            last = Some((cause, fault.message));
+                            if !transient {
+                                break; // permanent: retrying cannot help
+                            }
+                        }
+                        Ok(WireMessage::Request(_)) => {
+                            net.send_attempt(
+                                peer,
+                                self.originator,
+                                reply.frame.len(),
+                                "error",
+                                attempt,
+                            );
+                            last = Some((
+                                FailureCause::Protocol,
+                                "peer replied with a request frame".to_string(),
+                            ));
+                            break;
+                        }
+                        Err(e) => {
+                            // Corruption may be transient: retry.
+                            net.send_attempt(
+                                peer,
+                                self.originator,
+                                reply.frame.len(),
+                                "error",
+                                attempt,
+                            );
+                            last = Some((
+                                FailureCause::Protocol,
+                                format!("undecodable response: {e}"),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    *spent += e.elapsed_ms;
+                    last = Some((e.cause, e.detail));
+                }
+            }
+        }
+        let (cause, detail) =
+            last.unwrap_or((FailureCause::Timeout, "no attempt was possible".to_string()));
+        (
+            Err(PeerFailure {
+                peer,
+                attempts,
+                cause,
+                detail,
+            }),
+            attempts.saturating_sub(1),
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn execute_branch(
+    fn execute_branch_with(
         &self,
+        branch_ix: usize,
         branch: &BranchPlan,
         template: &[TemplateSlot],
         extra: &[Term],
         semantics: Semantics,
         net: &mut SimNetwork,
+        transport: &dyn Transport,
+        retry: &RetryPolicy,
+        policy: FailurePolicy,
         stats: &mut FederationStats,
         out: &mut BTreeSet<Vec<TermId>>,
-    ) {
+        report: &mut ReportState,
+    ) -> Result<(), RpsError> {
+        // Per-peer virtual deadline budgets, branch-local so the
+        // parallel fan-out stays deterministic.
+        let mut spent: BTreeMap<usize, f64> = BTreeMap::new();
         // Fetch every pattern's binding set from its routed peers.
         let mut fetched: Vec<(usize, Vec<Vec<TermId>>)> = Vec::with_capacity(branch.patterns.len());
         for (pi, pat) in branch.patterns.iter().enumerate() {
             let mut rows: Vec<Vec<TermId>> = Vec::new();
-            for (peer, probe) in &pat.probes {
-                net.send(
-                    self.originator,
-                    peer.0,
-                    pat.request_bytes.max(1),
-                    "subquery",
-                );
+            for (peer, req) in &pat.probes {
+                report.contacted.insert(peer.0);
                 stats.subqueries += 1;
-                let mut response_bytes = 0usize;
-                let mut received = 0usize;
-                if let Some(probe) = probe {
-                    let g = &self.locals[peer.0];
-                    let table = &self.to_global[peer.0];
-                    'triples: for t in g.match_ids(probe[0], probe[1], probe[2]) {
-                        let vals = [t.s, t.p, t.o];
-                        let mut row: [Option<TermId>; 3] = [None; 3];
-                        for k in 0..3 {
-                            if let Some(slot) = pat.pos_slot[k] {
-                                let gid = table[vals[k].index()];
-                                match row[slot] {
-                                    None => row[slot] = Some(gid),
-                                    Some(prev) if prev != gid => continue 'triples,
-                                    _ => {}
-                                }
-                            }
+                let budget = spent.entry(peer.0).or_insert(0.0);
+                let (outcome, retries) = self.exchange(transport, retry, req, peer.0, net, budget);
+                report.retries_by_branch[branch_ix] += retries;
+                match outcome {
+                    Ok(batch) => match self.translate(&batch, pat, peer.0) {
+                        Ok(translated) => {
+                            stats.tuples_received += translated.len();
+                            rows.extend(translated);
                         }
-                        let row: Vec<TermId> = row[..pat.pvars.len()]
-                            .iter()
-                            .map(|o| o.expect("every pattern slot binds"))
-                            .collect();
-                        response_bytes += pat.var_name_bytes
-                            + row.iter().map(|&id| self.term_cost(id)).sum::<usize>();
-                        received += 1;
-                        rows.push(row);
-                    }
+                        Err(detail) => Self::note_failure(
+                            report,
+                            policy,
+                            PeerFailure {
+                                peer: peer.0,
+                                attempts: retries + 1,
+                                cause: FailureCause::Protocol,
+                                detail,
+                            },
+                        )?,
+                    },
+                    Err(failure) => Self::note_failure(report, policy, failure)?,
                 }
-                stats.tuples_received += received;
-                net.send(peer.0, self.originator, response_bytes.max(1), "answers");
             }
             stats.peers_contacted = stats.peers_contacted.max(pat.probes.len());
             // Union of per-peer bindings may contain duplicates.
@@ -575,7 +963,7 @@ impl FederatedEngine {
             acc_vars.extend(fresh.iter().map(|&(_, v)| v));
             acc = next;
             if acc.is_empty() {
-                return;
+                return Ok(());
             }
         }
 
@@ -604,6 +992,7 @@ impl FederatedEngine {
             }
             out.insert(tuple);
         }
+        Ok(())
     }
 
     /// Prepares and executes a single graph pattern query, decoding the

@@ -23,7 +23,14 @@
 //! * [`service`] — the full prototype pipeline behind the
 //!   [`service::FederatedSession`] façade (rewrite once → prepare once →
 //!   federate repeatedly), sharing `rps_core`'s `Session` vocabulary
-//!   (`EngineConfig`, `AnswerStream`, `ExecRoute`, `RpsError`).
+//!   (`EngineConfig`, `AnswerStream`, `ExecRoute`, `RpsError`);
+//! * [`wire`] — the length-prefixed wire format every transport (and the
+//!   simulator's byte accounting) shares;
+//! * [`transport`] — the pluggable peer-exchange layer: a perfect
+//!   in-process transport over the simulator's graphs, a seeded
+//!   fault-injecting wrapper, and a real localhost TCP transport —
+//!   combined with `rps_core`'s `RetryPolicy`/`FailurePolicy` for
+//!   fault-tolerant federation.
 
 #![warn(missing_docs)]
 
@@ -31,11 +38,19 @@ pub mod federation;
 pub mod network;
 pub mod routing;
 pub mod service;
+pub mod transport;
+pub mod wire;
 
-pub use federation::{FederatedEngine, FederationStats, PreparedFederation};
+pub use federation::{
+    FederatedEngine, FederationReport, FederationStats, PeerFailure, PreparedFederation,
+};
 pub use network::{CostModel, Message, NodeId, SimNetwork};
 pub use routing::SchemaIndex;
 pub use service::{
     FederatedAnswer, FederatedSession, FrozenFederatedSession, P2pQueryService,
     PreparedFederatedQuery, ServiceAnswer,
 };
+pub use transport::{
+    FaultConfig, FaultyTransport, Reply, SimTransport, TcpTransport, Transport, TransportError,
+};
+pub use wire::{WireBatch, WireError, WireFault, WireMessage, WireRequest, WireSlot};

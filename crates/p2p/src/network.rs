@@ -37,10 +37,17 @@ pub struct Message {
     pub from: NodeId,
     /// Receiver node.
     pub to: NodeId,
-    /// Payload size in bytes (approximated from the query/answer text).
+    /// Payload size in bytes — the exact length of the encoded wire
+    /// frame (`rps_p2p::wire`) the transports exchange, so simulated
+    /// traffic and real TCP traffic agree byte for byte.
     pub bytes: usize,
-    /// A short label ("subquery", "answers", …) for traces.
+    /// A short label ("subquery", "answers", "error", …) for traces.
     pub kind: &'static str,
+    /// 1-based delivery attempt of the exchange this message belongs
+    /// to; retries record fresh messages with higher attempts, so retry
+    /// traffic stays visible in [`SimNetwork::bytes_by_kind`] and
+    /// [`SimNetwork::round_makespan_ms`].
+    pub attempt: u32,
 }
 
 /// The simulated network: records messages and derives cost statistics.
@@ -55,13 +62,27 @@ impl SimNetwork {
         Self::default()
     }
 
-    /// Records a message.
+    /// Records a first-attempt message.
     pub fn send(&mut self, from: NodeId, to: NodeId, bytes: usize, kind: &'static str) {
+        self.send_attempt(from, to, bytes, kind, 1);
+    }
+
+    /// Records a message belonging to the given (1-based) delivery
+    /// attempt of its exchange.
+    pub fn send_attempt(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        kind: &'static str,
+        attempt: u32,
+    ) {
         self.messages.push(Message {
             from,
             to,
             bytes,
             kind,
+            attempt,
         });
     }
 
@@ -87,6 +108,17 @@ impl SimNetwork {
             *out.entry(m.kind).or_insert(0) += m.bytes;
         }
         out
+    }
+
+    /// Bytes carried by retry traffic (messages with attempt > 1) —
+    /// the overhead a fault schedule added on top of the fault-free
+    /// exchange.
+    pub fn retry_bytes(&self) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.attempt > 1)
+            .map(|m| m.bytes)
+            .sum()
     }
 
     /// Simulated makespan of one federated round under a cost model:
@@ -157,6 +189,24 @@ mod tests {
         assert!((makespan - (10.0 + 4.0)).abs() < 1e-9);
         // Serial cost adds everything.
         assert!(n.serial_cost_ms(&model) > makespan);
+    }
+
+    #[test]
+    fn retry_traffic_is_visible() {
+        let mut n = SimNetwork::new();
+        n.send(0, 1, 40, "subquery");
+        n.send_attempt(0, 1, 40, "subquery", 2);
+        n.send_attempt(1, 0, 7, "answers", 2);
+        assert_eq!(n.retry_bytes(), 47);
+        assert_eq!(n.bytes_by_kind()["subquery"], 80);
+        assert_eq!(n.messages()[0].attempt, 1);
+        // Retries charge the same per-peer byte pools the makespan
+        // model reads.
+        let model = CostModel {
+            latency_ms: 0.0,
+            ms_per_kb: 1024.0,
+        };
+        assert!((n.round_makespan_ms(&model, 0) - 87.0).abs() < 1e-9);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! [`rps_core::RpsError`]. The old [`P2pQueryService`] remains as a thin
 //! shim.
 
-use crate::federation::{FederatedEngine, FederationStats, PreparedFederation};
+use crate::federation::{FederatedEngine, FederationReport, FederationStats, PreparedFederation};
 use crate::network::{CostModel, SimNetwork};
+use crate::transport::{SimTransport, Transport};
 use rps_core::{
     canonical_plan_key, AnswerSet, AnswerStream, EngineConfig, EquivalenceIndex, ExecRoute,
     PlanCache, PlanCacheStats, RdfPeerSystem, RpsError, RpsRewriter,
@@ -67,7 +68,8 @@ impl PreparedFederatedQuery {
 }
 
 /// Result of one federated execution: a streaming answer iterator plus
-/// the run's completeness flag and traffic statistics.
+/// the run's completeness flag, traffic statistics and fault-tolerance
+/// report.
 pub struct FederatedAnswer {
     /// The answers (route is [`ExecRoute::Federated`]).
     pub stream: AnswerStream,
@@ -79,6 +81,11 @@ pub struct FederatedAnswer {
     pub stats: FederationStats,
     /// Simulated wall-clock of the federated round.
     pub makespan_ms: f64,
+    /// The fault-tolerance outcome: skipped peers, retries per branch,
+    /// quorum accounting. [`FederationReport::degraded`] is `false` on
+    /// a fault-free run, and under `FailurePolicy::Strict` always — a
+    /// degraded strict run errors instead.
+    pub report: FederationReport,
 }
 
 /// The federated answering façade: rewrite against the quotient system
@@ -95,6 +102,9 @@ pub struct FederatedSession {
     engine: FederatedEngine,
     config: EngineConfig,
     cost_model: CostModel,
+    /// The peer-exchange transport (defaults to the perfect in-process
+    /// [`SimTransport`] over the engine's sealed peer graphs).
+    transport: Arc<dyn Transport>,
 }
 
 /// Process-unique federated-session ids (see
@@ -118,6 +128,7 @@ impl FederatedSession {
     pub fn new(system: &RdfPeerSystem, config: EngineConfig) -> Self {
         let rewriter = RpsRewriter::new(system);
         let engine = FederatedEngine::new_canonical(system, rewriter.index());
+        let transport = Arc::new(SimTransport::new(engine.peer_graphs()));
         FederatedSession {
             id: next_session_id(),
             generation: 0,
@@ -125,6 +136,7 @@ impl FederatedSession {
             engine,
             config,
             cost_model: CostModel::default(),
+            transport,
         }
     }
 
@@ -132,6 +144,23 @@ impl FederatedSession {
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
         self
+    }
+
+    /// Overrides the peer-exchange transport — e.g. a
+    /// [`crate::FaultyTransport`] for deterministic fault injection, or
+    /// a [`crate::TcpTransport`] served over the engine's graphs
+    /// ([`FederatedSession::peer_graphs`]). Retry and failure behaviour
+    /// come from the configuration
+    /// ([`rps_core::EngineConfig::retry`]/[`rps_core::EngineConfig::failure`]).
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The engine's sealed peer graphs, for wiring up external
+    /// transports that must serve the same stores.
+    pub fn peer_graphs(&self) -> Arc<Vec<rps_rdf::Graph>> {
+        self.engine.peer_graphs()
     }
 
     /// The active configuration.
@@ -222,13 +251,19 @@ impl FederatedSession {
             });
         }
         let mut net = SimNetwork::new();
-        let (canon_ids, stats) =
-            self.engine
-                .execute(&prepared.prepared, Semantics::Certain, &mut net);
+        let (canon_ids, stats, report) = self.engine.execute_with(
+            &prepared.prepared,
+            Semantics::Certain,
+            &mut net,
+            &*self.transport,
+            &self.config.retry,
+            self.config.failure,
+        )?;
         finish_federated(
             prepared,
             canon_ids,
             stats,
+            report,
             net,
             &self.engine,
             self.rewriter.index(),
@@ -276,6 +311,7 @@ impl FederatedSession {
                 eq_index,
                 config: self.config,
                 cost_model: self.cost_model,
+                transport: self.transport,
                 cache: Mutex::new(PlanCache::new(capacity)),
             }),
         })
@@ -285,10 +321,12 @@ impl FederatedSession {
 /// Decodes, equivalence-expands and packages one federated execution —
 /// the tail shared by [`FederatedSession::execute`] and
 /// [`FrozenFederatedSession::execute`].
+#[allow(clippy::too_many_arguments)]
 fn finish_federated(
     prepared: &PreparedFederatedQuery,
     canon_ids: BTreeSet<Vec<TermId>>,
     stats: FederationStats,
+    report: FederationReport,
     net: SimNetwork,
     engine: &FederatedEngine,
     eq_index: &EquivalenceIndex,
@@ -309,6 +347,7 @@ fn finish_federated(
         branches: prepared.branches,
         stats,
         makespan_ms,
+        report,
     })
 }
 
@@ -327,6 +366,9 @@ struct FrozenFedInner {
     eq_index: EquivalenceIndex,
     config: EngineConfig,
     cost_model: CostModel,
+    /// The peer-exchange transport, shared lock-free by concurrent
+    /// executes (the trait requires `Send + Sync`).
+    transport: Arc<dyn Transport>,
     cache: Mutex<PlanCache<PreparedFederatedQuery>>,
 }
 
@@ -448,16 +490,20 @@ impl FrozenFederatedSession {
             });
         }
         let mut net = SimNetwork::new();
-        let (canon_ids, stats) = inner.engine.execute_parallel(
+        let (canon_ids, stats, report) = inner.engine.execute_parallel_with(
             &prepared.prepared,
             Semantics::Certain,
             &mut net,
+            &*inner.transport,
+            &inner.config.retry,
+            inner.config.failure,
             max_threads,
-        );
+        )?;
         finish_federated(
             prepared,
             canon_ids,
             stats,
+            report,
             net,
             &inner.engine,
             &inner.eq_index,

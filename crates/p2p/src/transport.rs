@@ -1,0 +1,627 @@
+//! Pluggable federation transports with deterministic fault injection.
+//!
+//! The federated engine talks to peers through one narrow seam: the
+//! [`Transport`] trait, a blocking request/response exchange of encoded
+//! [`crate::wire`] frames. Three implementations cover the whole
+//! spectrum between simulation and reality:
+//!
+//! * [`SimTransport`] — the perfect in-process oracle: serves every
+//!   request directly from the peer graphs, never fails, reports zero
+//!   elapsed time. The default; byte-identical to the engine's
+//!   historical inline evaluation.
+//! * [`FaultyTransport`] — wraps any transport and injects a *seeded,
+//!   deterministic* fault schedule: whole-peer outages, dropped
+//!   exchanges, transient error responses and added virtual latency.
+//!   Every decision derives from SplitMix64 over
+//!   `(seed, peer, request bytes)`, so a schedule replays identically
+//!   regardless of call order or thread interleaving.
+//! * [`TcpTransport`] — real sockets: one localhost TCP listener per
+//!   peer served by background threads, length-prefixed frames on the
+//!   wire. No new dependencies — `std::net` only.
+//!
+//! All three speak the same wire format, so the byte accounting the
+//! [`crate::SimNetwork`] derives from frame lengths describes real TCP
+//! traffic exactly.
+//!
+//! ```
+//! use rps_p2p::{wire, SimTransport, Transport};
+//! use rps_core::{PeerId, RpsBuilder};
+//!
+//! let mut p = PeerId(0);
+//! let sys = RpsBuilder::new()
+//!     .peer_turtle("A", "<http://e/s> <http://e/p> <http://e/o> .", &mut p)
+//!     .unwrap()
+//!     .build();
+//! let engine = rps_p2p::FederatedEngine::new(&sys);
+//! let transport = SimTransport::new(engine.peer_graphs());
+//!
+//! // Ask peer 0 for every (?s, ?p, ?o) triple: three variable slots.
+//! let req = wire::WireRequest {
+//!     attempt: 1,
+//!     slots: [
+//!         wire::WireSlot::Var(0),
+//!         wire::WireSlot::Var(1),
+//!         wire::WireSlot::Var(2),
+//!     ],
+//! };
+//! let reply = transport
+//!     .request(0, &wire::encode_request(&req), f64::INFINITY)
+//!     .unwrap();
+//! match wire::decode(&reply.frame).unwrap() {
+//!     wire::WireMessage::Batch(batch) => assert_eq!(batch.rows.len(), 1),
+//!     other => panic!("expected a batch, got {other:?}"),
+//! }
+//! ```
+
+use crate::network::NodeId;
+use crate::wire::{self, WireMessage, WireSlot};
+use rps_core::{splitmix64, FailureCause};
+use rps_rdf::{Graph, TermId};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A successful transport exchange.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// The peer's complete response frame (length prefix included);
+    /// decode with [`wire::decode`]. May be a [`wire::WireFault`] —
+    /// "the peer answered with an error" is a *successful* exchange at
+    /// this layer.
+    pub frame: Vec<u8>,
+    /// Time the exchange took, in milliseconds — virtual for simulated
+    /// transports, measured for real ones. Charged against the caller's
+    /// per-peer deadline budget.
+    pub elapsed_ms: f64,
+}
+
+/// A failed transport exchange: no response frame arrived.
+#[derive(Clone, Debug)]
+pub struct TransportError {
+    /// The failure class (drives retry/report semantics).
+    pub cause: FailureCause,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Time burned before giving up, in milliseconds; charged against
+    /// the caller's per-peer deadline budget.
+    pub elapsed_ms: f64,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.cause, self.detail)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A blocking request/response exchange of wire frames with one peer.
+///
+/// Implementations must be `Send + Sync`: the parallel federated
+/// fan-out issues requests from many threads through one shared
+/// transport.
+pub trait Transport: Send + Sync {
+    /// Sends `frame` to `peer` and waits for its response frame, giving
+    /// up after roughly `budget_ms` milliseconds (virtual or real,
+    /// matching the transport's clock; `f64::INFINITY` disables the
+    /// deadline).
+    fn request(&self, peer: NodeId, frame: &[u8], budget_ms: f64) -> Result<Reply, TransportError>;
+
+    /// A short transport label for reports ("sim", "faulty", "tcp").
+    fn name(&self) -> &'static str;
+}
+
+/// Serves one request frame against a peer graph, returning the
+/// response frame. This is *the* peer-side evaluator — shared by
+/// [`SimTransport`] and the [`TcpTransport`] server threads, so both
+/// produce identical bytes for identical requests. Malformed input
+/// yields an encoded [`wire::WireFault`], never a panic.
+pub fn serve_frame(graph: &Graph, frame: &[u8]) -> Vec<u8> {
+    let req = match wire::decode(frame) {
+        Ok(WireMessage::Request(req)) => req,
+        Ok(_) => return wire::encode_fault(false, "expected a request frame"),
+        Err(e) => return wire::encode_fault(false, &format!("bad request frame: {e}")),
+    };
+    let width = req.width();
+    if width > usize::from(u8::MAX) {
+        return wire::encode_fault(false, "request row width overflows a batch");
+    }
+    let mut rows: Vec<Vec<TermId>> = Vec::new();
+    // A request carrying a constant the peer's dictionary does not know
+    // matches nothing; the empty batch is still a well-formed answer.
+    if req.resolved() {
+        let mut probe = [None; 3];
+        for (k, slot) in req.slots.iter().enumerate() {
+            if let WireSlot::Const(id) = slot {
+                probe[k] = Some(*id);
+            }
+        }
+        'triples: for t in graph.match_ids(probe[0], probe[1], probe[2]) {
+            let vals = [t.s, t.p, t.o];
+            let mut row: Vec<Option<TermId>> = vec![None; width];
+            for (k, slot) in req.slots.iter().enumerate() {
+                if let WireSlot::Var(s) = slot {
+                    let s = usize::from(*s);
+                    match row[s] {
+                        None => row[s] = Some(vals[k]),
+                        // A repeated variable must bind consistently.
+                        Some(prev) if prev != vals[k] => continue 'triples,
+                        _ => {}
+                    }
+                }
+            }
+            rows.push(row.into_iter().map(|o| o.unwrap_or(TermId(0))).collect());
+        }
+    }
+    wire::encode_batch(&wire::WireBatch {
+        width: width as u8,
+        rows,
+    })
+}
+
+/// The perfect in-process transport: serves requests synchronously from
+/// the shared peer graphs. Never fails, never retries, reports zero
+/// elapsed time — the deterministic oracle every fault schedule is
+/// compared against.
+#[derive(Clone)]
+pub struct SimTransport {
+    graphs: Arc<Vec<Graph>>,
+}
+
+impl SimTransport {
+    /// A transport over the given peer graphs (share an engine's with
+    /// [`crate::FederatedEngine::peer_graphs`]).
+    pub fn new(graphs: Arc<Vec<Graph>>) -> Self {
+        SimTransport { graphs }
+    }
+}
+
+impl Transport for SimTransport {
+    fn request(
+        &self,
+        peer: NodeId,
+        frame: &[u8],
+        _budget_ms: f64,
+    ) -> Result<Reply, TransportError> {
+        let Some(graph) = self.graphs.get(peer) else {
+            return Err(TransportError {
+                cause: FailureCause::Protocol,
+                detail: format!("unknown peer {peer}"),
+                elapsed_ms: 0.0,
+            });
+        };
+        Ok(Reply {
+            frame: serve_frame(graph, frame),
+            elapsed_ms: 0.0,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+}
+
+/// A seeded, deterministic fault schedule for a [`FaultyTransport`].
+///
+/// Every decision is a pure function of `(seed, peer, request bytes)` —
+/// the request frame includes the attempt number, so each retry gets an
+/// independent draw, and nothing depends on wall clock, call order or
+/// thread interleaving. Rates are probabilities in `[0, 1]`.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Seed of the schedule; two runs with the same seed inject the
+    /// same faults.
+    pub seed: u64,
+    /// Probability that a whole peer is down for the entire run
+    /// (connections refused outright).
+    pub peer_outage_rate: f64,
+    /// Probability that one exchange is dropped (no response; times out
+    /// after [`FaultConfig::timeout_ms`] virtual milliseconds).
+    pub drop_rate: f64,
+    /// Probability that the peer answers one exchange with a transient
+    /// error response instead of a batch.
+    pub transient_rate: f64,
+    /// Deterministic extra latency added to every exchange, in virtual
+    /// milliseconds.
+    pub added_latency_ms: f64,
+    /// Upper bound of the additional per-exchange latency jitter, in
+    /// virtual milliseconds (drawn deterministically per request).
+    pub latency_jitter_ms: f64,
+    /// Virtual time a dropped exchange burns before the caller gives up
+    /// on it (capped by the caller's remaining budget).
+    pub timeout_ms: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xFA17,
+            peer_outage_rate: 0.0,
+            drop_rate: 0.0,
+            transient_rate: 0.0,
+            added_latency_ms: 0.0,
+            latency_jitter_ms: 0.0,
+            timeout_ms: 50.0,
+        }
+    }
+}
+
+/// A unit-interval draw from one SplitMix64 output.
+fn unit(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// FNV-1a over a byte string.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Wraps any transport with a deterministic fault-injection schedule
+/// ([`FaultConfig`]). Latency is *virtual*: the wrapper never sleeps, it
+/// only reports elapsed milliseconds, so fault-injection tests run at
+/// full speed and replay bit-identically.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    config: FaultConfig,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` under the given schedule.
+    pub fn new(inner: T, config: FaultConfig) -> Self {
+        FaultyTransport { inner, config }
+    }
+
+    /// The active schedule.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// `true` iff the schedule takes `peer` down for the whole run.
+    /// Exposed so tests can compute the reachable-peer restriction a
+    /// degraded execution must agree with.
+    pub fn peer_down(&self, peer: NodeId) -> bool {
+        let mix = splitmix64(self.config.seed ^ 0x0DDB_EEF0)
+            ^ (peer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        unit(mix) < self.config.peer_outage_rate
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn request(&self, peer: NodeId, frame: &[u8], budget_ms: f64) -> Result<Reply, TransportError> {
+        let cfg = &self.config;
+        if self.peer_down(peer) {
+            return Err(TransportError {
+                cause: FailureCause::PeerDown,
+                detail: format!("injected outage of peer {peer}"),
+                elapsed_ms: 1.0_f64.min(budget_ms),
+            });
+        }
+        // Per-exchange draws: the frame bytes include the attempt
+        // number, so retries draw independently.
+        let h = cfg.seed ^ fnv64(frame) ^ (peer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let latency = cfg.added_latency_ms + unit(h ^ 3) * cfg.latency_jitter_ms;
+        if unit(h ^ 1) < cfg.drop_rate {
+            return Err(TransportError {
+                cause: FailureCause::Timeout,
+                detail: "injected drop".to_string(),
+                elapsed_ms: cfg.timeout_ms.min(budget_ms),
+            });
+        }
+        if latency >= budget_ms {
+            return Err(TransportError {
+                cause: FailureCause::Timeout,
+                detail: "injected latency exceeded the exchange budget".to_string(),
+                elapsed_ms: budget_ms,
+            });
+        }
+        if unit(h ^ 2) < cfg.transient_rate {
+            return Ok(Reply {
+                frame: wire::encode_fault(true, "injected transient error"),
+                elapsed_ms: latency,
+            });
+        }
+        let mut reply = self
+            .inner
+            .request(peer, frame, budget_ms - latency)
+            .map_err(|mut e| {
+                e.elapsed_ms += latency;
+                e
+            })?;
+        reply.elapsed_ms += latency;
+        Ok(reply)
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+}
+
+/// A real localhost TCP transport: one listener per peer, served by
+/// background threads that evaluate frames with [`serve_frame`] — the
+/// same evaluator the simulated transport uses, so at zero faults the
+/// two are byte-identical. Connections are per-exchange; timeouts
+/// derive from the caller's budget. Built on `std::net` only.
+pub struct TcpTransport {
+    addrs: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    servers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Binds one ephemeral localhost listener per peer graph and starts
+    /// the server threads.
+    pub fn serve(graphs: Arc<Vec<Graph>>) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut addrs = Vec::with_capacity(graphs.len());
+        let mut servers = Vec::with_capacity(graphs.len());
+        for peer in 0..graphs.len() {
+            let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            addrs.push(listener.local_addr()?);
+            let graphs = Arc::clone(&graphs);
+            let stop = Arc::clone(&stop);
+            servers.push(std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = Self::handle(&mut stream, &graphs[peer]);
+                    }
+                }
+            }));
+        }
+        Ok(TcpTransport {
+            addrs,
+            stop,
+            servers,
+        })
+    }
+
+    /// The bound address of one peer's listener.
+    pub fn peer_addr(&self, peer: NodeId) -> Option<SocketAddr> {
+        self.addrs.get(peer).copied()
+    }
+
+    fn handle(stream: &mut TcpStream, graph: &Graph) -> std::io::Result<()> {
+        // Server-side hygiene: a stalled client must not pin the
+        // listener thread forever.
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        let mut prefix = [0u8; 4];
+        stream.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        let reply = if len > wire::MAX_FRAME_PAYLOAD {
+            wire::encode_fault(false, "oversized request frame")
+        } else {
+            let mut frame = Vec::with_capacity(4 + len);
+            frame.extend_from_slice(&prefix);
+            frame.resize(4 + len, 0);
+            stream.read_exact(&mut frame[4..])?;
+            serve_frame(graph, &frame)
+        };
+        stream.write_all(&reply)
+    }
+
+    fn io_failure(e: &std::io::Error) -> FailureCause {
+        use std::io::ErrorKind::*;
+        match e.kind() {
+            TimedOut | WouldBlock => FailureCause::Timeout,
+            ConnectionRefused | ConnectionReset | ConnectionAborted | NotConnected => {
+                FailureCause::PeerDown
+            }
+            _ => FailureCause::Transient,
+        }
+    }
+
+    fn exchange(
+        &self,
+        addr: SocketAddr,
+        frame: &[u8],
+        timeout: Duration,
+    ) -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.write_all(frame)?;
+        let mut prefix = [0u8; 4];
+        stream.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > wire::MAX_FRAME_PAYLOAD {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "oversized response frame",
+            ));
+        }
+        let mut reply = Vec::with_capacity(4 + len);
+        reply.extend_from_slice(&prefix);
+        reply.resize(4 + len, 0);
+        stream.read_exact(&mut reply[4..])?;
+        Ok(reply)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&self, peer: NodeId, frame: &[u8], budget_ms: f64) -> Result<Reply, TransportError> {
+        let start = Instant::now();
+        let Some(addr) = self.peer_addr(peer) else {
+            return Err(TransportError {
+                cause: FailureCause::Protocol,
+                detail: format!("unknown peer {peer}"),
+                elapsed_ms: 0.0,
+            });
+        };
+        // Budgets are virtual milliseconds; clamp to a sane real-socket
+        // window so a tight virtual budget still allows the syscall.
+        let timeout = if budget_ms.is_finite() {
+            Duration::from_secs_f64((budget_ms / 1000.0).clamp(0.01, 10.0))
+        } else {
+            Duration::from_secs(10)
+        };
+        match self.exchange(addr, frame, timeout) {
+            Ok(reply) => Ok(Reply {
+                frame: reply,
+                elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+            }),
+            Err(e) => Err(TransportError {
+                cause: Self::io_failure(&e),
+                detail: e.to_string(),
+                elapsed_ms: start.elapsed().as_secs_f64() * 1000.0,
+            }),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock each listener's accept loop with a dummy connection.
+        for addr in &self.addrs {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+        }
+        for server in self.servers.drain(..) {
+            let _ = server.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rps_rdf::Term;
+
+    fn graphs() -> Arc<Vec<Graph>> {
+        let mut g = Graph::new();
+        let _ = g.insert_terms(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/o"),
+        );
+        let _ = g.insert_terms(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/o2"),
+        );
+        g.seal();
+        Arc::new(vec![g])
+    }
+
+    fn scan_all(attempt: u32) -> Vec<u8> {
+        wire::encode_request(&wire::WireRequest {
+            attempt,
+            slots: [WireSlot::Var(0), WireSlot::Var(1), WireSlot::Var(2)],
+        })
+    }
+
+    fn rows_of(frame: &[u8]) -> usize {
+        match wire::decode(frame).expect("decodes") {
+            WireMessage::Batch(b) => b.rows.len(),
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_and_tcp_serve_identical_bytes() {
+        let graphs = graphs();
+        let sim = SimTransport::new(Arc::clone(&graphs));
+        let tcp = TcpTransport::serve(graphs).expect("tcp serves");
+        let req = scan_all(1);
+        let a = sim.request(0, &req, f64::INFINITY).unwrap();
+        let b = tcp.request(0, &req, f64::INFINITY).unwrap();
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(rows_of(&a.frame), 2);
+    }
+
+    #[test]
+    fn unresolved_constant_matches_nothing() {
+        let graphs = graphs();
+        let sim = SimTransport::new(graphs);
+        let req = wire::encode_request(&wire::WireRequest {
+            attempt: 1,
+            slots: [WireSlot::Unresolved, WireSlot::Var(0), WireSlot::Var(1)],
+        });
+        let reply = sim.request(0, &req, f64::INFINITY).unwrap();
+        assert_eq!(rows_of(&reply.frame), 0);
+    }
+
+    #[test]
+    fn malformed_frames_get_fault_replies_not_panics() {
+        let graphs = graphs();
+        let sim = SimTransport::new(graphs);
+        let reply = sim.request(0, &[0xFF; 9], f64::INFINITY).unwrap();
+        match wire::decode(&reply.frame).unwrap() {
+            WireMessage::Fault(f) => assert!(!f.transient),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_attempt_sensitive() {
+        let graphs = graphs();
+        let cfg = FaultConfig {
+            seed: 42,
+            drop_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        let t1 = FaultyTransport::new(SimTransport::new(Arc::clone(&graphs)), cfg.clone());
+        let t2 = FaultyTransport::new(SimTransport::new(graphs), cfg);
+        let mut seen_ok = false;
+        let mut seen_drop = false;
+        for attempt in 1..=32 {
+            let frame = scan_all(attempt);
+            let a = t1.request(0, &frame, 1_000.0);
+            let b = t2.request(0, &frame, 1_000.0);
+            match (&a, &b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.frame, y.frame);
+                    seen_ok = true;
+                }
+                (Err(x), Err(y)) => {
+                    assert_eq!(x.cause, y.cause);
+                    seen_drop = true;
+                }
+                _ => panic!("same seed diverged at attempt {attempt}"),
+            }
+        }
+        assert!(seen_ok && seen_drop, "a 50% schedule shows both outcomes");
+    }
+
+    #[test]
+    fn outages_refuse_every_exchange() {
+        let graphs = graphs();
+        let cfg = FaultConfig {
+            seed: 7,
+            peer_outage_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let t = FaultyTransport::new(SimTransport::new(graphs), cfg);
+        assert!(t.peer_down(0));
+        let err = t.request(0, &scan_all(1), 1_000.0).unwrap_err();
+        assert_eq!(err.cause, FailureCause::PeerDown);
+    }
+
+    #[test]
+    fn tcp_down_peer_is_peer_down() {
+        let graphs = graphs();
+        let tcp = TcpTransport::serve(Arc::clone(&graphs)).expect("tcp serves");
+        let addr = tcp.peer_addr(0).unwrap();
+        drop(tcp); // listener gone: connections now refused
+        let probe = TcpTransport {
+            addrs: vec![addr],
+            stop: Arc::new(AtomicBool::new(false)),
+            servers: Vec::new(),
+        };
+        let err = probe.request(0, &scan_all(1), 500.0).unwrap_err();
+        assert_eq!(err.cause, FailureCause::PeerDown);
+    }
+}

@@ -1,0 +1,488 @@
+//! The federation wire format: length-prefixed frames for prepared
+//! sub-query requests and answer batches.
+//!
+//! Every byte that "crosses the network" in this crate — whether it is
+//! really written to a socket by the TCP transport or merely accounted
+//! by the deterministic simulator — is produced by this one codec, so
+//! [`crate::SimNetwork`] traffic statistics and real loopback traffic
+//! agree byte for byte.
+//!
+//! A frame is `[u32 little-endian payload length][payload]`; the payload
+//! is `[tag byte][body]` with three message kinds:
+//!
+//! | tag | message | body |
+//! |-----|---------|------|
+//! | `1` | [`WireRequest`] — one prepared triple-pattern sub-query | attempt varint, then 3 slots |
+//! | `2` | [`WireBatch`] — the peer's binding rows | width byte, row-count varint, then `rows × width` id varints |
+//! | `3` | [`WireFault`] — an error response | transient flag byte, message length varint, UTF-8 bytes |
+//!
+//! Integers use LEB128 varints, so the dense low ids the engines
+//! actually produce cost one or two bytes; ids are opaque `u32`s and
+//! round-trip unchanged even past any dictionary's length (the overlay
+//! ids prepared plans mint for unknown head constants). Decoding never
+//! panics and never trusts a claimed length it cannot afford: malformed
+//! or truncated input is a typed [`WireError`].
+
+use rps_rdf::TermId;
+
+/// Maximum payload a frame may claim. Larger claims are rejected before
+/// any allocation happens — a garbage length prefix must not OOM the
+/// decoder.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// One position of a prepared sub-query pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireSlot {
+    /// A variable position, projecting into the given binding-row slot
+    /// (repeated variables share a slot; rows must agree there).
+    Var(u8),
+    /// A constant, resolved to the *peer's* dictionary id at prepare
+    /// time.
+    Const(TermId),
+    /// A constant the peer's dictionary does not know. The sub-query is
+    /// still sent (the originator cannot always know in advance) and
+    /// matches nothing.
+    Unresolved,
+}
+
+/// One prepared triple-pattern sub-query, addressed to one peer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireRequest {
+    /// 1-based attempt number (retries re-send with a bumped attempt,
+    /// making retry traffic distinguishable in traces).
+    pub attempt: u32,
+    /// Subject, predicate and object slots.
+    pub slots: [WireSlot; 3],
+}
+
+impl WireRequest {
+    /// Number of binding-row slots the request projects (max `Var` slot
+    /// plus one).
+    pub fn width(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                WireSlot::Var(v) => Some(*v as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `true` iff every constant resolved at the addressed peer.
+    pub fn resolved(&self) -> bool {
+        !self.slots.contains(&WireSlot::Unresolved)
+    }
+
+    /// A stable FNV-1a fingerprint of the request's *pattern* (slots
+    /// only — not the attempt), used to seed deterministic per-request
+    /// jitter and fault draws that must not depend on call order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for slot in &self.slots {
+            match slot {
+                WireSlot::Var(v) => {
+                    eat(0);
+                    eat(*v);
+                }
+                WireSlot::Const(id) => {
+                    eat(1);
+                    for b in id.0.to_le_bytes() {
+                        eat(b);
+                    }
+                }
+                WireSlot::Unresolved => eat(2),
+            }
+        }
+        h
+    }
+}
+
+/// A peer's binding rows for one sub-query. Every row has exactly
+/// `width` ids (peer-local; the originator translates them through its
+/// per-peer table). Width 0 is legal: a fully-constant pattern answers
+/// with empty rows, one per match.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireBatch {
+    /// Row width in ids.
+    pub width: u8,
+    /// The binding rows, in peer scan order.
+    pub rows: Vec<Vec<TermId>>,
+}
+
+/// An error response: the peer answered, but not with a batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireFault {
+    /// `true` for transient conditions worth retrying (overload,
+    /// injected faults); `false` for permanent protocol errors.
+    pub transient: bool,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Any decoded frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireMessage {
+    /// A sub-query request.
+    Request(WireRequest),
+    /// An answer batch.
+    Batch(WireBatch),
+    /// An error response.
+    Fault(WireFault),
+}
+
+/// Why a frame failed to decode. Never a panic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The input ended before the structure it claims.
+    Truncated,
+    /// The length prefix disagrees with the bytes present, or exceeds
+    /// [`MAX_FRAME_PAYLOAD`].
+    BadLength,
+    /// Unknown message or slot tag.
+    BadTag(u8),
+    /// Bytes left over after a complete message.
+    TrailingBytes,
+    /// A varint ran past its maximum width.
+    BadVarint,
+    /// The error message is not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadLength => write!(f, "frame length prefix invalid"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::BadVarint => write!(f, "over-long varint"),
+            WireError::BadUtf8 => write!(f, "error message is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.bytes.get(self.at).ok_or(WireError::Truncated)?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::BadVarint)
+    }
+
+    fn varint_u32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.varint()?).map_err(|_| WireError::BadVarint)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+}
+
+fn encode_payload(msg: &WireMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match msg {
+        WireMessage::Request(req) => {
+            out.push(1);
+            push_varint(&mut out, u64::from(req.attempt));
+            for slot in &req.slots {
+                match slot {
+                    WireSlot::Var(v) => {
+                        out.push(0);
+                        out.push(*v);
+                    }
+                    WireSlot::Const(id) => {
+                        out.push(1);
+                        push_varint(&mut out, u64::from(id.0));
+                    }
+                    WireSlot::Unresolved => out.push(2),
+                }
+            }
+        }
+        WireMessage::Batch(batch) => {
+            out.push(2);
+            out.push(batch.width);
+            push_varint(&mut out, batch.rows.len() as u64);
+            for row in &batch.rows {
+                debug_assert_eq!(row.len(), batch.width as usize);
+                for id in row {
+                    push_varint(&mut out, u64::from(id.0));
+                }
+            }
+        }
+        WireMessage::Fault(fault) => {
+            out.push(3);
+            out.push(u8::from(fault.transient));
+            push_varint(&mut out, fault.message.len() as u64);
+            out.extend_from_slice(fault.message.as_bytes());
+        }
+    }
+    out
+}
+
+/// Encodes a message as a length-prefixed frame.
+pub fn encode(msg: &WireMessage) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Convenience: encodes a request frame.
+pub fn encode_request(req: &WireRequest) -> Vec<u8> {
+    encode(&WireMessage::Request(*req))
+}
+
+/// Convenience: encodes an answer-batch frame.
+pub fn encode_batch(batch: &WireBatch) -> Vec<u8> {
+    encode(&WireMessage::Batch(batch.clone()))
+}
+
+/// Convenience: encodes an error-response frame.
+pub fn encode_fault(transient: bool, message: &str) -> Vec<u8> {
+    encode(&WireMessage::Fault(WireFault {
+        transient,
+        message: message.to_string(),
+    }))
+}
+
+/// Decodes a frame *payload* (the bytes after the length prefix — what
+/// a TCP reader hands over after consuming the prefix itself). The
+/// whole payload must be consumed.
+pub fn decode_payload(payload: &[u8]) -> Result<WireMessage, WireError> {
+    let mut r = Reader {
+        bytes: payload,
+        at: 0,
+    };
+    let msg = match r.u8()? {
+        1 => {
+            let attempt = r.varint_u32()?;
+            let mut slots = [WireSlot::Unresolved; 3];
+            for slot in &mut slots {
+                *slot = match r.u8()? {
+                    0 => WireSlot::Var(r.u8()?),
+                    1 => WireSlot::Const(TermId(r.varint_u32()?)),
+                    2 => WireSlot::Unresolved,
+                    t => return Err(WireError::BadTag(t)),
+                };
+            }
+            WireMessage::Request(WireRequest { attempt, slots })
+        }
+        2 => {
+            let width = r.u8()?;
+            let rows = r.varint()?;
+            // Every id takes at least one byte: a row count the
+            // remaining bytes cannot possibly hold is rejected before
+            // any allocation. Zero-width rows carry no byte evidence,
+            // so their claim is capped outright.
+            if width > 0 {
+                if rows.saturating_mul(u64::from(width)) > r.remaining() as u64 {
+                    return Err(WireError::Truncated);
+                }
+            } else if rows > 1 << 20 {
+                return Err(WireError::BadLength);
+            }
+            let rows = usize::try_from(rows).map_err(|_| WireError::Truncated)?;
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let mut row = Vec::with_capacity(width as usize);
+                for _ in 0..width {
+                    row.push(TermId(r.varint_u32()?));
+                }
+                out.push(row);
+            }
+            WireMessage::Batch(WireBatch { width, rows: out })
+        }
+        3 => {
+            let transient = match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(WireError::BadTag(t)),
+            };
+            let len = usize::try_from(r.varint()?).map_err(|_| WireError::Truncated)?;
+            if len > r.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let bytes = &r.bytes[r.at..r.at + len];
+            r.at += len;
+            WireMessage::Fault(WireFault {
+                transient,
+                message: std::str::from_utf8(bytes)
+                    .map_err(|_| WireError::BadUtf8)?
+                    .to_string(),
+            })
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(msg)
+}
+
+/// Decodes a complete frame (length prefix included).
+pub fn decode(frame: &[u8]) -> Result<WireMessage, WireError> {
+    if frame.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+    if len > MAX_FRAME_PAYLOAD || frame.len() - 4 != len {
+        return Err(WireError::BadLength);
+    }
+    decode_payload(&frame[4..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: WireMessage) {
+        let frame = encode(&msg);
+        assert_eq!(decode(&frame).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip(WireMessage::Request(WireRequest {
+            attempt: 3,
+            slots: [
+                WireSlot::Var(0),
+                WireSlot::Const(TermId(u32::MAX)),
+                WireSlot::Unresolved,
+            ],
+        }));
+    }
+
+    #[test]
+    fn batch_roundtrips_including_empty_and_wide_ids() {
+        roundtrip(WireMessage::Batch(WireBatch {
+            width: 0,
+            rows: vec![],
+        }));
+        roundtrip(WireMessage::Batch(WireBatch {
+            width: 0,
+            rows: vec![vec![]; 3],
+        }));
+        roundtrip(WireMessage::Batch(WireBatch {
+            width: 2,
+            rows: vec![
+                vec![TermId(0), TermId(127)],
+                vec![TermId(128), TermId(u32::MAX)],
+            ],
+        }));
+    }
+
+    #[test]
+    fn fault_roundtrips() {
+        roundtrip(WireMessage::Fault(WireFault {
+            transient: true,
+            message: "injected".into(),
+        }));
+        roundtrip(WireMessage::Fault(WireFault {
+            transient: false,
+            message: String::new(),
+        }));
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let frame = encode_request(&WireRequest {
+            attempt: 1,
+            slots: [
+                WireSlot::Var(0),
+                WireSlot::Const(TermId(9)),
+                WireSlot::Var(1),
+            ],
+        });
+        for cut in 0..frame.len() {
+            assert!(decode(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0xFF; 8]).is_err());
+        // A batch claiming more rows than its bytes can hold must not
+        // allocate for them.
+        let mut bogus = vec![2u8, 4]; // tag=batch, width=4
+        push_varint(&mut bogus, u64::MAX);
+        let mut frame = (bogus.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&bogus);
+        assert_eq!(decode(&frame), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn fingerprint_ignores_attempt_but_not_pattern() {
+        let a = WireRequest {
+            attempt: 1,
+            slots: [
+                WireSlot::Var(0),
+                WireSlot::Const(TermId(7)),
+                WireSlot::Var(1),
+            ],
+        };
+        let b = WireRequest { attempt: 9, ..a };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = WireRequest {
+            attempt: 1,
+            slots: [
+                WireSlot::Var(0),
+                WireSlot::Const(TermId(8)),
+                WireSlot::Var(1),
+            ],
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn width_and_resolved() {
+        let r = WireRequest {
+            attempt: 1,
+            slots: [
+                WireSlot::Var(1),
+                WireSlot::Const(TermId(3)),
+                WireSlot::Var(0),
+            ],
+        };
+        assert_eq!(r.width(), 2);
+        assert!(r.resolved());
+        let u = WireRequest {
+            attempt: 1,
+            slots: [WireSlot::Unresolved, WireSlot::Var(0), WireSlot::Var(0)],
+        };
+        assert_eq!(u.width(), 1);
+        assert!(!u.resolved());
+    }
+}
