@@ -181,6 +181,14 @@ fn main() {
         };
         run("e16", &mut || e16_fault_tolerance(rates));
     }
+    if want("e17") {
+        let sizes: &[usize] = if quick {
+            &[100, 400]
+        } else {
+            &[100, 400, 1600]
+        };
+        run("e17", &mut || e17_durability(sizes));
+    }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
     for t in &timed {

@@ -21,8 +21,10 @@
 //! discovery), E12 (id-level federation), E13 (sorted-run vs B-tree
 //! triple storage, [`e13_storage`]), E14 (id-level vs string-level
 //! UCQ rewriting, [`e14_rewrite_ablation`]), E15 (frozen-session
-//! concurrency, [`e15_frozen_concurrency`]) and E16 (fault-tolerant
-//! federation under seeded fault injection, [`e16_fault_tolerance`]).
+//! concurrency, [`e15_frozen_concurrency`]), E16 (fault-tolerant
+//! federation under seeded fault injection, [`e16_fault_tolerance`])
+//! and E17 (durable storage: persist+reopen vs cold re-chase and
+//! paged-run scan overhead, [`e17_durability`]).
 
 #![warn(missing_docs)]
 
@@ -1241,6 +1243,114 @@ pub fn e16_fault_tolerance(fault_rates: &[f64]) -> Table {
             "responded".into(),
             "makespan ms".into(),
             "sound".into(),
+        ],
+        rows,
+    }
+}
+
+/// E17 — the durable storage tier: persisting a materialised universal
+/// solution and reopening it from disk vs re-running the chase cold,
+/// plus the overhead of scanning the checksummed paged run files
+/// through a small buffer pool against the recovered in-memory indexes.
+///
+/// `sizes` are films-per-peer as in [`e4_chase_scaling`]. For each
+/// size the solution is chased once (the cold path a restart would
+/// otherwise pay), checkpointed with [`rps_rdf::Graph::persist`], and
+/// recovered with [`rps_rdf::Graph::open`]; `reopen speedup` is
+/// chase-wall over persist+reopen-wall — the restart amortisation the
+/// tier exists for. The scan columns drive one full SPO pass through
+/// [`rps_rdf::store::disk::PagedRun`] over a deliberately tiny
+/// (16-frame) [`rps_rdf::store::disk::BufferPool`] — every page fault,
+/// checksum and eviction on the clock — against `iter_ids` on the
+/// recovered graph. `agree` pins both paths to the key counts the
+/// manifest promises.
+pub fn e17_durability(sizes: &[usize]) -> Table {
+    use rps_rdf::store::disk::{BufferPool, Manifest, PagedRun};
+    use rps_rdf::Graph;
+    const POOL_FRAMES: usize = 16;
+
+    let mut rows = Vec::new();
+    for (i, &films) in sizes.iter().enumerate() {
+        let cfg = FilmConfig {
+            peers: 3,
+            films_per_peer: films,
+            actors_per_film: 3,
+            person_pool: films,
+            sameas_per_pair: films / 10,
+            topology: Topology::Chain,
+            hub_style: false,
+            seed: 17,
+        };
+        let sys = film_system(&cfg);
+        let t0 = Instant::now();
+        let sol = chase_system(&sys, &RpsChaseConfig::default());
+        let chase = t0.elapsed();
+        assert!(sol.complete);
+
+        let dir = std::env::temp_dir().join(format!("rps-e17-{}-{i}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t1 = Instant::now();
+        sol.graph.persist(&dir).expect("persist");
+        let persist = t1.elapsed();
+        let t2 = Instant::now();
+        let reopened = Graph::open(&dir).expect("reopen");
+        let reopen = t2.elapsed();
+        assert_eq!(reopened.len(), sol.graph.len());
+        let stats = reopened.storage_stats();
+
+        let manifest = Manifest::load(&dir).expect("manifest");
+        let mut pool = BufferPool::new(POOL_FRAMES);
+        let runs: Vec<PagedRun> = manifest.runs[0]
+            .iter()
+            .map(|m| PagedRun::open(&mut pool, &dir.join(&m.name), m.keys).expect("run"))
+            .collect();
+        let t3 = Instant::now();
+        let mut paged_keys = 0usize;
+        for run in &runs {
+            run.for_each_in_range(&mut pool, [u32::MIN; 3], [u32::MAX; 3], &mut |_| {
+                paged_keys += 1
+            })
+            .expect("paged scan");
+        }
+        let paged = t3.elapsed();
+        let t4 = Instant::now();
+        let mem_keys = reopened.iter_ids().count();
+        let mem = t4.elapsed();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let agree = paged_keys == stats.run_keys && mem_keys == reopened.len();
+        rows.push(vec![
+            sol.graph.len().to_string(),
+            ms(chase),
+            ms(persist),
+            ms(reopen),
+            format!(
+                "{:.1}x",
+                chase.as_secs_f64() / (persist + reopen).as_secs_f64().max(1e-9)
+            ),
+            stats.pages_read.to_string(),
+            stats.wal_replayed.to_string(),
+            ms(paged),
+            ms(mem),
+            format!("{:.1}x", paged.as_secs_f64() / mem.as_secs_f64().max(1e-9)),
+            agree.to_string(),
+        ]);
+    }
+    Table {
+        title: "E17 — durability: persist+reopen vs cold re-chase; paged-run scan vs in-memory"
+            .into(),
+        headers: vec![
+            "solution triples".into(),
+            "chase ms".into(),
+            "persist ms".into(),
+            "reopen ms".into(),
+            "reopen speedup".into(),
+            "pages read".into(),
+            "wal replayed".into(),
+            "paged scan ms".into(),
+            "mem scan ms".into(),
+            "scan overhead".into(),
+            "agree".into(),
         ],
         rows,
     }

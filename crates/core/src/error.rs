@@ -96,6 +96,15 @@ pub enum RpsError {
         /// The configured quorum.
         required: usize,
     },
+    /// A frozen session could not be persisted or reopened: the route
+    /// is not persistable (only the materialised route snapshots to
+    /// disk — rewritten/Datalog routes carry live compile state), or
+    /// the session file on disk is malformed. Low-level I/O and
+    /// durable-state corruption surface as [`RpsError::Rdf`] instead.
+    Persist {
+        /// What prevented the persist/open.
+        detail: String,
+    },
     /// A candidate tuple's arity does not match the query's.
     Arity {
         /// The query arity.
@@ -156,6 +165,9 @@ impl fmt::Display for RpsError {
                 f,
                 "quorum not met: {responded} peer(s) responded, {required} required"
             ),
+            RpsError::Persist { detail } => {
+                write!(f, "cannot persist/open frozen session: {detail}")
+            }
             RpsError::Arity { expected, got } => {
                 write!(
                     f,

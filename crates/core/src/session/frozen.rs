@@ -71,18 +71,20 @@
 //! ```
 
 use super::{
-    execute_plan, stream_vars, AnswerStream, EngineConfig, ExecRoute, Plan, PreparedQuery, Session,
-    Strategy,
+    execute_plan, next_session_id, stream_vars, AnswerStream, EngineConfig, ExecRoute, Plan,
+    PreparedQuery, Session, Strategy,
 };
-use crate::chase::UniversalSolution;
+use crate::chase::{RpsChaseStats, UniversalSolution};
 use crate::datalog_route::DatalogEngine;
 use crate::equivalence::EquivalenceIndex;
 use crate::error::RpsError;
+use crate::mapping::EquivalenceMapping;
 use crate::rewriting::RpsRewriter;
 use rps_query::{GraphPatternQuery, Semantics, TermOrVar};
-use rps_rdf::Term;
+use rps_rdf::{Graph, Iri, RdfError, Term};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 /// Default bound of the plan cache (entries), used by
@@ -522,4 +524,255 @@ impl FrozenSession {
         let prepared = self.prepare(query)?;
         self.execute(&prepared)
     }
+
+    /// Physical storage counters of the frozen universal solution
+    /// (run/tail shape plus the durability counters), or `None` when the
+    /// session's route carries no materialised solution.
+    pub fn storage_stats(&self) -> Option<rps_rdf::StorageStats> {
+        self.inner
+            .solution
+            .as_ref()
+            .map(|s| s.graph.storage_stats())
+    }
+
+    /// Persists this frozen session into `dir` so [`FrozenSession::open`]
+    /// can rebuild it in a fresh process **without re-running the
+    /// chase**: the sealed universal solution goes through the durable
+    /// graph tier ([`Graph::persist`], under `dir/solution`) and the
+    /// session metadata — semantics, budgets, chase statistics, the
+    /// equivalence classes — into a `SESSION` file committed by
+    /// write-temp-then-atomic-rename.
+    ///
+    /// Only the **materialised route** persists: rewritten and Datalog
+    /// routes carry live compile state (interned dictionaries, saturated
+    /// engines) that is cheap to rebuild but has no stable on-disk form;
+    /// a session resolving to one of those routes is a typed
+    /// [`RpsError::Persist`]. Freeze under [`Strategy::Materialise`] to
+    /// guarantee persistability.
+    ///
+    /// The dictionary round-trips id-for-id, so a reopened session
+    /// serves **byte-identical** answer tuples in identical order.
+    pub fn persist(&self, dir: impl AsRef<Path>) -> Result<(), RpsError> {
+        let dir = dir.as_ref();
+        let route = self.resolve_route();
+        if route != ExecRoute::Materialised {
+            return Err(RpsError::Persist {
+                detail: format!(
+                    "only the materialised route persists; this session resolves to {route:?} \
+                     (freeze under Strategy::Materialise)"
+                ),
+            });
+        }
+        let solution = self
+            .inner
+            .solution
+            .as_ref()
+            .ok_or_else(|| RpsError::Persist {
+                detail: "session carries no materialised solution".to_string(),
+            })?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| RdfError::io(format!("create session directory {}", dir.display()), &e))?;
+        solution.graph.persist(dir.join("solution"))?;
+
+        let mut text = String::from("RPS-SESSION v1\n");
+        let cfg = &self.inner.config;
+        let semantics = match cfg.semantics {
+            Semantics::Certain => "certain",
+            Semantics::Star => "star",
+        };
+        let _ = writeln!(text, "semantics {semantics}");
+        let _ = writeln!(text, "chase.max_rounds {}", cfg.chase.max_rounds);
+        let _ = writeln!(text, "chase.max_triples {}", cfg.chase.max_triples);
+        let _ = writeln!(text, "rewrite.max_depth {}", cfg.rewrite.max_depth);
+        let _ = writeln!(text, "rewrite.max_cqs {}", cfg.rewrite.max_cqs);
+        let s = &solution.stats;
+        let _ = writeln!(
+            text,
+            "stats {} {} {} {} {}",
+            s.rounds, s.gma_firings, s.eq_copies, s.blanks_created, s.invalid_firings
+        );
+        let _ = writeln!(text, "complete {}", solution.complete);
+        for (_, members) in self.inner.eq_index.classes() {
+            text.push_str("eq");
+            for m in members {
+                text.push(' ');
+                text.push_str(&escape_field(m.as_str()));
+            }
+            text.push('\n');
+        }
+        text.push_str("end\n");
+
+        // Same commit discipline as the graph manifest: the rename is
+        // the point after which the session exists.
+        let tmp = dir.join("SESSION.tmp");
+        let dst = dir.join("SESSION");
+        let ctx = || format!("commit session file in {}", dir.display());
+        std::fs::write(&tmp, &text)
+            .and_then(|()| std::fs::File::open(&tmp).and_then(|f| f.sync_all()))
+            .and_then(|()| std::fs::rename(&tmp, &dst))
+            .map_err(|e| RdfError::io(ctx(), &e))?;
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Reopens a session persisted by [`FrozenSession::persist`]: the
+    /// universal solution is recovered through the durable graph tier
+    /// (checksum-verified pages, WAL replay — no chase) and the handle
+    /// answers on the materialised route exactly as the pre-persist
+    /// session did, byte-identically. Malformed session metadata is a
+    /// typed [`rps_rdf::RdfError::Corrupt`] via [`RpsError::Rdf`]; the
+    /// federated retry/failure policies reset to defaults (they describe
+    /// transports, not this snapshot).
+    pub fn open(dir: impl AsRef<Path>) -> Result<FrozenSession, RpsError> {
+        let dir = dir.as_ref();
+        let path = dir.join("SESSION");
+        let name = path.display().to_string();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| RdfError::io(format!("open session file {name}"), &e))?;
+        let corrupt = |detail: &str| RpsError::Rdf(RdfError::corrupt(&name, detail));
+
+        let mut lines = text.lines();
+        if lines.next() != Some("RPS-SESSION v1") {
+            return Err(corrupt("bad session header"));
+        }
+        let mut semantics = None;
+        let mut chase_rounds = None;
+        let mut chase_triples = None;
+        let mut rw_depth = None;
+        let mut rw_cqs = None;
+        let mut stats: Option<RpsChaseStats> = None;
+        let mut complete = None;
+        let mut mappings: Vec<EquivalenceMapping> = Vec::new();
+        let mut ended = false;
+        for line in lines {
+            let mut parts = line.split(' ');
+            let key = parts.next().unwrap_or("");
+            let num = |v: Option<&str>| -> Result<usize, RpsError> {
+                v.and_then(|v| v.parse().ok())
+                    .ok_or_else(|| corrupt(&format!("bad numeric field in `{line}`")))
+            };
+            match key {
+                "semantics" => {
+                    semantics = Some(match parts.next() {
+                        Some("certain") => Semantics::Certain,
+                        Some("star") => Semantics::Star,
+                        _ => return Err(corrupt("unknown semantics")),
+                    });
+                }
+                "chase.max_rounds" => chase_rounds = Some(num(parts.next())?),
+                "chase.max_triples" => chase_triples = Some(num(parts.next())?),
+                "rewrite.max_depth" => rw_depth = Some(num(parts.next())?),
+                "rewrite.max_cqs" => rw_cqs = Some(num(parts.next())?),
+                "stats" => {
+                    stats = Some(RpsChaseStats {
+                        rounds: num(parts.next())?,
+                        gma_firings: num(parts.next())?,
+                        eq_copies: num(parts.next())?,
+                        blanks_created: num(parts.next())? as u64,
+                        invalid_firings: num(parts.next())?,
+                    });
+                }
+                "complete" => {
+                    complete = Some(match parts.next() {
+                        Some("true") => true,
+                        Some("false") => false,
+                        _ => return Err(corrupt("bad completeness flag")),
+                    });
+                }
+                "eq" => {
+                    let members: Vec<Iri> = parts
+                        .map(|m| unescape_field(m).map(Iri::new))
+                        .collect::<Result<_, _>>()
+                        .map_err(|detail| corrupt(&detail))?;
+                    let [first, rest @ ..] = members.as_slice() else {
+                        return Err(corrupt("empty equivalence class"));
+                    };
+                    for m in rest {
+                        mappings.push(EquivalenceMapping::new(first.clone(), m.clone()));
+                    }
+                }
+                "end" => {
+                    ended = true;
+                    break;
+                }
+                _ => return Err(corrupt(&format!("unknown session field `{key}`"))),
+            }
+        }
+        if !ended {
+            return Err(corrupt("session file is truncated (no `end` marker)"));
+        }
+        let (Some(semantics), Some(stats), Some(complete)) = (semantics, stats, complete) else {
+            return Err(corrupt("session file is missing required fields"));
+        };
+
+        let mut graph = Graph::open(dir.join("solution"))?;
+        // The persisted solution was sealed; recovery replays the tail
+        // through the WAL, so re-seal for lock-free shared scans.
+        graph.seal();
+        let mut config = EngineConfig::default()
+            .with_strategy(Strategy::Materialise)
+            .with_semantics(semantics);
+        if let (Some(r), Some(t)) = (chase_rounds, chase_triples) {
+            config.chase.max_rounds = r;
+            config.chase.max_triples = t;
+        }
+        if let (Some(d), Some(c)) = (rw_depth, rw_cqs) {
+            config.rewrite.max_depth = d;
+            config.rewrite.max_cqs = c;
+        }
+        Ok(FrozenSession {
+            inner: Arc::new(FrozenInner {
+                id: next_session_id(),
+                generation: 0,
+                config,
+                eq_index: EquivalenceIndex::from_mappings(&mappings),
+                fo_rewritable: false,
+                solution: Some(Arc::new(UniversalSolution {
+                    graph,
+                    stats,
+                    complete,
+                })),
+                compiler: None,
+                datalog: None,
+                cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            }),
+        })
+    }
+}
+
+/// Escapes one space-separated `SESSION` field (IRIs may in principle
+/// contain spaces or control characters).
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\_"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape_field(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('_') => out.push(' '),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            _ => return Err(format!("bad escape in session field `{s}`")),
+        }
+    }
+    Ok(out)
 }

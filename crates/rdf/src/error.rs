@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// Errors produced by the RDF layer (validation, parsing).
+/// Errors produced by the RDF layer (validation, parsing, durability).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RdfError {
     /// A triple violated the RDF positional constraints.
@@ -16,6 +16,29 @@ pub enum RdfError {
     },
     /// An undeclared prefix was used in a prefixed name.
     UnknownPrefix(String),
+    /// An I/O failure while persisting or opening durable state. The
+    /// original `std::io::Error` is flattened into its kind and message
+    /// so the error type stays `Clone + Eq`.
+    Io {
+        /// What the failing operation was doing (e.g. `"write run file"`).
+        context: String,
+        /// The `std::io::ErrorKind` of the underlying failure.
+        kind: std::io::ErrorKind,
+        /// The underlying error's message.
+        message: String,
+    },
+    /// Committed on-disk state failed validation: a bad magic number or
+    /// checksum, a torn page, a manifest that references missing or
+    /// inconsistent files. Recovery refuses to serve from such state
+    /// rather than answering over silently wrong data. (A torn *WAL
+    /// tail* is not corruption — it is discarded cleanly, see
+    /// `store::wal`.)
+    Corrupt {
+        /// The offending file (or directory) as a display path.
+        file: String,
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl RdfError {
@@ -24,6 +47,23 @@ impl RdfError {
         RdfError::Parse {
             line,
             message: message.into(),
+        }
+    }
+
+    /// Wraps an `std::io::Error`, recording what the operation was doing.
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        RdfError::Io {
+            context: context.into(),
+            kind: err.kind(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Convenience constructor for corruption reports.
+    pub fn corrupt(file: impl Into<String>, detail: impl Into<String>) -> Self {
+        RdfError::Corrupt {
+            file: file.into(),
+            detail: detail.into(),
         }
     }
 }
@@ -36,6 +76,17 @@ impl fmt::Display for RdfError {
                 write!(f, "parse error at line {line}: {message}")
             }
             RdfError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
+            RdfError::Io {
+                context,
+                kind,
+                message,
+            } => write!(
+                f,
+                "I/O error while trying to {context} ({kind:?}): {message}"
+            ),
+            RdfError::Corrupt { file, detail } => {
+                write!(f, "corrupt durable state in {file}: {detail}")
+            }
         }
     }
 }

@@ -55,10 +55,12 @@
 
 use crate::dict::{TermDict, TermId};
 use crate::error::RdfError;
-use crate::store::{Perm, StorageBackend, StorageStats, StoreRangeIter, TripleStore};
+use crate::store::{Perm, RunSnapshot, StorageBackend, StorageStats, StoreRangeIter, TripleStore};
 use crate::term::Term;
 use crate::triple::{IdTriple, Triple};
 use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const MIN: u32 = u32::MIN;
 const MAX: u32 = u32::MAX;
@@ -88,6 +90,53 @@ pub struct Graph {
     /// afterwards, making removal O(1) amortised; insert-only workloads
     /// never allocate it.
     log_pos: Option<HashMap<IdTriple, u32>>,
+    /// Durability counters (see [`DurCounters`]); all zeros until the
+    /// graph touches the durable tier.
+    dur: DurCounters,
+}
+
+/// Counters for the durable tier, reported through
+/// [`Graph::storage_stats`]. Atomic because [`Graph::persist`] takes
+/// `&self` — a sealed graph may be shared read-only (e.g. inside a
+/// frozen session) while being checkpointed — and `Graph` must stay
+/// `Sync`.
+#[derive(Default, Debug)]
+pub(crate) struct DurCounters {
+    pub(crate) pages_written: AtomicU64,
+    pub(crate) pages_read: AtomicU64,
+    pub(crate) pool_hits: AtomicU64,
+    pub(crate) pool_misses: AtomicU64,
+    pub(crate) wal_bytes: AtomicU64,
+    pub(crate) wal_replayed: AtomicU64,
+}
+
+impl Clone for DurCounters {
+    fn clone(&self) -> Self {
+        let ld = |a: &AtomicU64| AtomicU64::new(a.load(Ordering::Relaxed));
+        DurCounters {
+            pages_written: ld(&self.pages_written),
+            pages_read: ld(&self.pages_read),
+            pool_hits: ld(&self.pool_hits),
+            pool_misses: ld(&self.pool_misses),
+            wal_bytes: ld(&self.wal_bytes),
+            wal_replayed: ld(&self.wal_replayed),
+        }
+    }
+}
+
+impl DurCounters {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn merge_into(&self, stats: &mut StorageStats) {
+        stats.pages_written = self.pages_written.load(Ordering::Relaxed);
+        stats.pages_read = self.pages_read.load(Ordering::Relaxed);
+        stats.pool_hits = self.pool_hits.load(Ordering::Relaxed);
+        stats.pool_misses = self.pool_misses.load(Ordering::Relaxed);
+        stats.wal_bytes = self.wal_bytes.load(Ordering::Relaxed);
+        stats.wal_replayed = self.wal_replayed.load(Ordering::Relaxed);
+    }
 }
 
 fn bit_get(bits: &[u64], i: usize) -> bool {
@@ -123,11 +172,44 @@ impl Graph {
         self.store.backend()
     }
 
-    /// Physical counters of the storage layer (run/tail/tombstone
-    /// sizes). For tests and benchmarks; all zeros for the B-tree
-    /// backend.
+    /// Physical counters of the storage layer (run/tail/tombstone sizes
+    /// plus the durability counters — pages read/written, buffer-pool
+    /// hits/misses, WAL bytes, replayed records). For tests and
+    /// benchmarks; the run counters are zero for the B-tree backend and
+    /// the durability counters are zero until the graph touches the
+    /// durable tier.
     pub fn storage_stats(&self) -> StorageStats {
-        self.store.stats()
+        let mut stats = self.store.stats();
+        self.dur.merge_into(&mut stats);
+        stats
+    }
+
+    /// Checkpoints the graph into `dir` so [`Graph::open`] can rebuild
+    /// it — dictionary, triples and physical run layout — without
+    /// re-deriving anything. The checkpoint is atomic: every file is
+    /// written and fsynced under an epoch-stamped name, then the
+    /// manifest is committed by an atomic rename; a crash at any point
+    /// leaves the previous checkpoint (or nothing) intact. Tombstoned
+    /// keys are physically absent from the persisted runs (a persist
+    /// doubles as a purge-compaction) and the mutable tail is logged
+    /// through the write-ahead log, so persisting does not require the
+    /// graph to be sealed.
+    ///
+    /// Takes `&self`: a sealed graph shared read-only (e.g. inside a
+    /// frozen session) can be checkpointed concurrently with readers.
+    pub fn persist(&self, dir: impl AsRef<Path>) -> Result<(), RdfError> {
+        crate::durable::persist_graph(self, dir.as_ref())
+    }
+
+    /// Opens a graph previously checkpointed by [`Graph::persist`]:
+    /// loads the manifest, validates and reads the run pages through a
+    /// buffer pool, rebuilds the dictionary from its segments, replays
+    /// the write-ahead log into the mutable tail, and reconstructs the
+    /// in-memory point-lookup set and insertion log. A torn WAL tail is
+    /// discarded cleanly; everything else that fails validation is a
+    /// typed [`RdfError::Corrupt`] — never a panic.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Graph, RdfError> {
+        crate::durable::open_graph(dir.as_ref())
     }
 
     /// Seals the graph's physical layout for read-only sharing: under
@@ -486,6 +568,35 @@ impl Graph {
     /// (set inclusion on owned triples; dictionaries may differ).
     pub fn is_subgraph_of(&self, other: &Graph) -> bool {
         self.iter().all(|t| other.contains(&t))
+    }
+
+    /// Live-only image of the physical layout for the durable tier.
+    pub(crate) fn store_snapshot(&self) -> RunSnapshot {
+        self.store.snapshot()
+    }
+
+    /// The durability counters (shared with the durable tier).
+    pub(crate) fn dur(&self) -> &DurCounters {
+        &self.dur
+    }
+
+    /// Assembles a graph from recovered parts: a rebuilt dictionary and
+    /// a validated run store. The planner's predicate counts and the
+    /// insertion log are reconstructed by one SPO scan — a recovered
+    /// log necessarily starts fresh (log indexes are process-local
+    /// marks, not durable state; see ARCHITECTURE.md).
+    pub(crate) fn from_recovered(dict: TermDict, store: TripleStore, dur: DurCounters) -> Graph {
+        let mut g = Graph {
+            dict,
+            store,
+            dur,
+            ..Graph::default()
+        };
+        let triples: Vec<IdTriple> = g.iter_ids().collect();
+        for t in triples {
+            g.note_added(t);
+        }
+        g
     }
 }
 

@@ -68,6 +68,10 @@
 //! assert_eq!(stats.run_keys + stats.tail, 1000);
 //! ```
 
+pub mod disk;
+pub mod page;
+pub mod wal;
+
 use crate::dict::TermId;
 use crate::triple::IdTriple;
 use std::collections::BTreeSet;
@@ -119,6 +123,30 @@ pub struct StorageStats {
     pub tombstones: usize,
     /// Keys resident in runs (live + tombstoned).
     pub run_keys: usize,
+    /// Pages written by `Graph::persist` checkpoints over this graph's
+    /// lifetime (0 until the graph touches the durable tier).
+    pub pages_written: u64,
+    /// Pages physically read through the buffer pool while opening or
+    /// scanning persisted state.
+    pub pages_read: u64,
+    /// Buffer-pool pins served from a resident frame.
+    pub pool_hits: u64,
+    /// Buffer-pool pins that had to read from disk.
+    pub pool_misses: u64,
+    /// Bytes appended to the write-ahead log (frames + magic).
+    pub wal_bytes: u64,
+    /// WAL records replayed into the tail during recovery.
+    pub wal_replayed: u64,
+}
+
+/// A live-only image of a store's physical shape, produced by
+/// [`TripleStore::snapshot`] for the durable tier.
+pub(crate) struct RunSnapshot {
+    /// Live keys of each permutation's runs (SPO, POS, OSP order),
+    /// oldest first, each sorted; empty runs are dropped.
+    pub(crate) runs: [Vec<Vec<[u32; 3]>>; 3],
+    /// Live tail triples in SPO key order.
+    pub(crate) tail: Vec<IdTriple>,
 }
 
 /// One of the three permutation orders.
@@ -195,6 +223,7 @@ impl TripleStore {
                 tail: s.spo.tail.len(),
                 tombstones: s.dead.len(),
                 run_keys: s.spo.runs.iter().map(Vec::len).sum(),
+                ..StorageStats::default()
             },
         }
     }
@@ -271,6 +300,136 @@ impl TripleStore {
             TripleStore::BTree(_) => true,
             TripleStore::Runs(s) => s.spo.tail.is_empty() && s.dead.len() == 0,
         }
+    }
+
+    /// A live-only image of the physical shape, taken by the durable
+    /// tier when writing a checkpoint. Tombstoned keys are filtered out
+    /// of the run images — a persist doubles as a purge-compaction —
+    /// and the mutable tail comes back as SPO-ordered triples so the
+    /// checkpoint can re-log it through the WAL. The B-tree backend
+    /// snapshots as one full run per permutation.
+    pub(crate) fn snapshot(&self) -> RunSnapshot {
+        match self {
+            TripleStore::BTree(s) => RunSnapshot {
+                runs: [
+                    if s.spo.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![s.spo.iter().copied().collect()]
+                    },
+                    if s.pos.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![s.pos.iter().copied().collect()]
+                    },
+                    if s.osp.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![s.osp.iter().copied().collect()]
+                    },
+                ],
+                tail: Vec::new(),
+            },
+            TripleStore::Runs(s) => {
+                let live = |perm: Perm, index: &RunIndex| -> Vec<Vec<[u32; 3]>> {
+                    index
+                        .runs
+                        .iter()
+                        .map(|run| {
+                            if s.dead.len() == 0 {
+                                run.clone()
+                            } else {
+                                run.iter()
+                                    .copied()
+                                    .filter(|k| !s.dead.contains(spo_key(perm.unpermute(*k))))
+                                    .collect()
+                            }
+                        })
+                        .filter(|run: &Vec<[u32; 3]>| !run.is_empty())
+                        .collect()
+                };
+                RunSnapshot {
+                    runs: [
+                        live(Perm::Spo, &s.spo),
+                        live(Perm::Pos, &s.pos),
+                        live(Perm::Osp, &s.osp),
+                    ],
+                    // Tail keys are never tombstoned (removals from the
+                    // tail are physical), so the tail is live as-is.
+                    tail: s.spo.tail.iter().map(|&k| Perm::Spo.unpermute(k)).collect(),
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a sorted-run store from persisted run images, validating
+    /// every structural invariant recovery depends on: each run strictly
+    /// sorted, every id below `max_term`, no key stored twice, and the
+    /// three permutations describing the same triple set. Violations are
+    /// reported as a description for the caller to wrap in a typed
+    /// corruption error — never a panic.
+    pub(crate) fn from_runs(
+        runs: [Vec<Vec<[u32; 3]>>; 3],
+        max_term: u32,
+    ) -> Result<TripleStore, String> {
+        let mut present = KeySet::default();
+        let [spo_runs, pos_runs, osp_runs] = runs;
+        for (perm, perm_runs) in [
+            (Perm::Spo, &spo_runs),
+            (Perm::Pos, &pos_runs),
+            (Perm::Osp, &osp_runs),
+        ] {
+            for (ri, run) in perm_runs.iter().enumerate() {
+                for (i, &key) in run.iter().enumerate() {
+                    if key.iter().any(|&id| id >= max_term) {
+                        return Err(format!(
+                            "{perm:?} run {ri} references term id beyond the dictionary \
+                             ({key:?}, {max_term} terms)"
+                        ));
+                    }
+                    if i > 0 && run[i - 1] >= key {
+                        return Err(format!("{perm:?} run {ri} is not strictly sorted"));
+                    }
+                    if perm == Perm::Spo && !present.insert(key) {
+                        return Err(format!("SPO key {key:?} stored more than once"));
+                    }
+                }
+            }
+        }
+        let spo_total: usize = spo_runs.iter().map(Vec::len).sum();
+        for (perm, perm_runs) in [(Perm::Pos, &pos_runs), (Perm::Osp, &osp_runs)] {
+            let total: usize = perm_runs.iter().map(Vec::len).sum();
+            if total != spo_total {
+                return Err(format!(
+                    "{perm:?} holds {total} keys, SPO holds {spo_total}"
+                ));
+            }
+            for run in perm_runs.iter() {
+                for &key in run {
+                    if !present.contains(spo_key(perm.unpermute(key))) {
+                        return Err(format!(
+                            "{perm:?} key {key:?} names a triple absent from SPO"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(TripleStore::Runs(RunStore {
+            spo: RunIndex {
+                runs: spo_runs,
+                tail: Vec::new(),
+            },
+            pos: RunIndex {
+                runs: pos_runs,
+                tail: Vec::new(),
+            },
+            osp: RunIndex {
+                runs: osp_runs,
+                tail: Vec::new(),
+            },
+            present,
+            dead: KeySet::default(),
+        }))
     }
 
     /// A contiguous scan of `perm`'s index over the inclusive key range,

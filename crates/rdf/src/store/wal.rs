@@ -1,0 +1,376 @@
+//! The write-ahead log of the durable storage tier.
+//!
+//! A WAL file captures everything that mutates a persisted graph between
+//! checkpoints: inserts and removes against the mutable tail, and
+//! dictionary appends (fresh term interns). The file layout is
+//!
+//! ```text
+//! "RWL1"                                  4-byte magic
+//! record*                                 zero or more framed records
+//! ```
+//!
+//! where each record is framed as
+//!
+//! ```text
+//! u32 LE   body length
+//! bytes    body  = type tag + payload (varint/term codecs, see
+//!          crate::store::page)
+//! u32 LE   CRC-32 of the body
+//! ```
+//!
+//! **Torn-tail discipline.** Replay ([`read_wal`]) stops at the first
+//! record that does not frame and verify — a truncated length, a short
+//! body, a checksum mismatch, an unknown tag. Everything before it is
+//! the recovered state; everything from it on is discarded as a torn
+//! write. This is not an error: a crash mid-append legitimately leaves a
+//! half-written final record, and the committed prefix is exactly the
+//! state the last successful [`WalWriter::sync`] promised. Corruption of
+//! *committed* state (manifest, run pages, dictionary segments) is a
+//! typed error instead — see [`crate::store::disk`].
+//!
+//! **Idempotent replay.** Records replay with set semantics: a duplicate
+//! `Insert` is a no-op, a `Remove` of an absent key is a no-op, and a
+//! `TermAppend` validates that re-interning the recorded term yields the
+//! recorded id (anything else means the dictionary and the log disagree,
+//! which *is* corruption).
+
+use super::page::{crc32, get_term, get_varint, put_term, put_varint};
+use crate::dict::TermId;
+use crate::error::RdfError;
+use crate::term::Term;
+use crate::triple::IdTriple;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Magic bytes opening every WAL file.
+pub(crate) const WAL_MAGIC: [u8; 4] = *b"RWL1";
+
+const REC_INSERT: u8 = 1;
+const REC_REMOVE: u8 = 2;
+const REC_TERM: u8 = 3;
+
+/// One logical WAL record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalRecord {
+    /// A triple added to the graph (tail insert).
+    Insert(IdTriple),
+    /// A triple removed from the graph.
+    Remove(IdTriple),
+    /// A fresh term interned into the dictionary. Replay validates that
+    /// the term re-interns to exactly `id`.
+    TermAppend {
+        /// The id the term was interned under when the record was
+        /// written.
+        id: TermId,
+        /// The interned term.
+        term: Term,
+    },
+}
+
+fn encode_body(rec: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    match rec {
+        WalRecord::Insert(t) => {
+            body.push(REC_INSERT);
+            for id in [t.s, t.p, t.o] {
+                put_varint(&mut body, u64::from(id.0));
+            }
+        }
+        WalRecord::Remove(t) => {
+            body.push(REC_REMOVE);
+            for id in [t.s, t.p, t.o] {
+                put_varint(&mut body, u64::from(id.0));
+            }
+        }
+        WalRecord::TermAppend { id, term } => {
+            body.push(REC_TERM);
+            put_varint(&mut body, u64::from(id.0));
+            put_term(&mut body, term);
+        }
+    }
+    body
+}
+
+fn decode_body(body: &[u8]) -> Result<WalRecord, String> {
+    let mut pos = 0;
+    let &tag = body.first().ok_or("empty record body")?;
+    pos += 1;
+    let triple = |pos: &mut usize| -> Result<IdTriple, String> {
+        let mut ids = [0u32; 3];
+        for slot in &mut ids {
+            let v = get_varint(body, pos)?;
+            *slot = u32::try_from(v).map_err(|_| "term id overflows u32".to_string())?;
+        }
+        Ok(IdTriple::new(
+            TermId(ids[0]),
+            TermId(ids[1]),
+            TermId(ids[2]),
+        ))
+    };
+    let rec = match tag {
+        REC_INSERT => WalRecord::Insert(triple(&mut pos)?),
+        REC_REMOVE => WalRecord::Remove(triple(&mut pos)?),
+        REC_TERM => {
+            let id = get_varint(body, &mut pos)?;
+            let id = u32::try_from(id).map_err(|_| "term id overflows u32".to_string())?;
+            let term = get_term(body, &mut pos)?;
+            WalRecord::TermAppend {
+                id: TermId(id),
+                term,
+            }
+        }
+        other => return Err(format!("unknown record tag {other}")),
+    };
+    if pos != body.len() {
+        return Err(format!(
+            "record body has {} trailing bytes",
+            body.len() - pos
+        ));
+    }
+    Ok(rec)
+}
+
+/// An append handle on a WAL file. Writes are buffered; call
+/// [`WalWriter::sync`] to make everything appended so far durable.
+pub struct WalWriter {
+    out: BufWriter<File>,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Creates (truncating) a fresh WAL file holding just the magic.
+    pub fn create(path: &Path) -> Result<Self, RdfError> {
+        let ctx = || format!("create WAL {}", path.display());
+        let mut file = File::create(path).map_err(|e| RdfError::io(ctx(), &e))?;
+        file.write_all(&WAL_MAGIC)
+            .map_err(|e| RdfError::io(ctx(), &e))?;
+        Ok(WalWriter {
+            out: BufWriter::new(file),
+            bytes: WAL_MAGIC.len() as u64,
+        })
+    }
+
+    /// Reopens an existing WAL for appending. `valid_bytes` is the
+    /// length of the verified prefix (from [`read_wal`]); anything after
+    /// it — a torn tail from a crash mid-append — is truncated away so
+    /// new records extend the committed prefix.
+    pub fn open_append(path: &Path, valid_bytes: u64) -> Result<Self, RdfError> {
+        let ctx = || format!("append to WAL {}", path.display());
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| RdfError::io(ctx(), &e))?;
+        file.set_len(valid_bytes)
+            .map_err(|e| RdfError::io(ctx(), &e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| RdfError::io(ctx(), &e))?;
+        Ok(WalWriter {
+            out: BufWriter::new(file),
+            bytes: valid_bytes,
+        })
+    }
+
+    /// Appends one framed record (buffered until the next
+    /// [`WalWriter::sync`]).
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), RdfError> {
+        let body = encode_body(rec);
+        let crc = crc32(&body);
+        let ctx = "append WAL record";
+        self.out
+            .write_all(&(body.len() as u32).to_le_bytes())
+            .and_then(|()| self.out.write_all(&body))
+            .and_then(|()| self.out.write_all(&crc.to_le_bytes()))
+            .map_err(|e| RdfError::io(ctx, &e))?;
+        self.bytes += 8 + body.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes buffered records and fsyncs the file.
+    pub fn sync(&mut self) -> Result<(), RdfError> {
+        self.out
+            .flush()
+            .and_then(|()| self.out.get_ref().sync_all())
+            .map_err(|e| RdfError::io("sync WAL", &e))
+    }
+
+    /// Bytes of the log written so far (magic included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// The result of scanning a WAL file: the verified record prefix, plus
+/// how the scan ended.
+pub struct WalReplay {
+    /// The records of the verified prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// `true` iff a torn (truncated or unverifiable) tail was discarded.
+    pub torn: bool,
+    /// Length in bytes of the verified prefix — the offset appends must
+    /// resume from.
+    pub bytes: u64,
+}
+
+/// Reads and verifies a WAL file. A missing file or a bad magic is
+/// [`RdfError::Corrupt`] (the manifest promised this log exists); an
+/// unverifiable *suffix* is not (see the module docs on torn tails).
+pub fn read_wal(path: &Path) -> Result<WalReplay, RdfError> {
+    let name = path.display().to_string();
+    let mut buf = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                RdfError::corrupt(&name, "WAL named by the manifest is missing")
+            } else {
+                RdfError::io(format!("read WAL {name}"), &e)
+            }
+        })?;
+    if buf.len() < WAL_MAGIC.len() || buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(RdfError::corrupt(&name, "bad WAL magic"));
+    }
+    let mut records = Vec::new();
+    let mut at = WAL_MAGIC.len();
+    let mut torn = false;
+    while at < buf.len() {
+        let Some(frame) = buf.get(at..at + 4) else {
+            torn = true;
+            break;
+        };
+        let len = u32::from_le_bytes(frame.try_into().expect("4 bytes")) as usize;
+        let body_start = at + 4;
+        let Some(body) = buf.get(body_start..body_start + len) else {
+            torn = true;
+            break;
+        };
+        let Some(crc_bytes) = buf.get(body_start + len..body_start + len + 4) else {
+            torn = true;
+            break;
+        };
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if stored != crc32(body) {
+            torn = true;
+            break;
+        }
+        match decode_body(body) {
+            Ok(rec) => records.push(rec),
+            Err(_) => {
+                torn = true;
+                break;
+            }
+        }
+        at = body_start + len + 4;
+    }
+    Ok(WalReplay {
+        records,
+        torn,
+        bytes: at as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rps-wal-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        IdTriple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    #[test]
+    fn roundtrip_and_append_resume() {
+        let path = tmp("roundtrip");
+        let recs = vec![
+            WalRecord::TermAppend {
+                id: TermId(0),
+                term: Term::iri("http://e/a"),
+            },
+            WalRecord::Insert(t(0, 1, 2)),
+            WalRecord::Remove(t(0, 1, 2)),
+        ];
+        let mut w = WalWriter::create(&path).unwrap();
+        for r in &recs[..2] {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        let replay = read_wal(&path).unwrap();
+        assert!(!replay.torn);
+        assert_eq!(replay.records, recs[..2]);
+
+        let mut w = WalWriter::open_append(&path, replay.bytes).unwrap();
+        w.append(&recs[2]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records, recs);
+        assert_eq!(replay.bytes, fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_cleanly() {
+        let path = tmp("torn");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(&WalRecord::Insert(t(1, 2, 3))).unwrap();
+        w.append(&WalRecord::Insert(t(4, 5, 6))).unwrap();
+        w.sync().unwrap();
+        let full = w.bytes();
+        drop(w);
+
+        // Truncate into the middle of the second record: replay keeps
+        // the first and reports a torn tail, not an error.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.torn);
+        assert_eq!(replay.records, vec![WalRecord::Insert(t(1, 2, 3))]);
+
+        // Reopening for append truncates the torn tail and resumes.
+        let mut w = WalWriter::open_append(&path, replay.bytes).unwrap();
+        w.append(&WalRecord::Insert(t(7, 8, 9))).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let replay = read_wal(&path).unwrap();
+        assert!(!replay.torn);
+        assert_eq!(
+            replay.records,
+            vec![WalRecord::Insert(t(1, 2, 3)), WalRecord::Insert(t(7, 8, 9))]
+        );
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay_at_prefix() {
+        let path = tmp("bitflip");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(&WalRecord::Insert(t(1, 2, 3))).unwrap();
+        w.append(&WalRecord::Insert(t(4, 5, 6))).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.torn);
+        assert_eq!(replay.records, vec![WalRecord::Insert(t(1, 2, 3))]);
+    }
+
+    #[test]
+    fn bad_magic_is_typed_corruption() {
+        let path = tmp("magic");
+        fs::write(&path, b"NOPE").unwrap();
+        assert!(matches!(read_wal(&path), Err(RdfError::Corrupt { .. })));
+        let missing = path.with_file_name("absent.log");
+        assert!(matches!(read_wal(&missing), Err(RdfError::Corrupt { .. })));
+    }
+}

@@ -11,7 +11,47 @@ use crate::error::RdfError;
 use crate::graph::Graph;
 use crate::namespace::{vocab, PrefixMap};
 use crate::term::{Iri, Literal, Term};
-use crate::triple::Triple;
+use crate::triple::{IdTriple, Triple};
+
+/// How many parsed triples accumulate before the loader flushes them
+/// through [`Graph::insert_batch`]. Large enough that bulk loads take
+/// the sorted-run batch path (one sort per chunk instead of per-triple
+/// tail pushes), small enough that the buffer stays cache-friendly.
+const LOAD_CHUNK: usize = 4096;
+
+/// Accumulates parsed triples and feeds the graph in
+/// [`LOAD_CHUNK`]-sized batches. Terms are interned as they are parsed
+/// (the dictionary is idempotent), only the store insertion is
+/// deferred.
+struct BatchLoader<'g> {
+    graph: &'g mut Graph,
+    buf: Vec<IdTriple>,
+}
+
+impl<'g> BatchLoader<'g> {
+    fn new(graph: &'g mut Graph) -> Self {
+        BatchLoader {
+            graph,
+            buf: Vec::with_capacity(LOAD_CHUNK),
+        }
+    }
+
+    fn push(&mut self, t: &Triple) {
+        let s = self.graph.intern(t.subject());
+        let p = self.graph.intern(t.predicate());
+        let o = self.graph.intern(t.object());
+        self.buf.push(IdTriple::new(s, p, o));
+        if self.buf.len() >= LOAD_CHUNK {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.graph.insert_batch(self.buf.drain(..));
+        }
+    }
+}
 
 /// Parses a Turtle-lite document into a fresh [`Graph`].
 pub fn parse(input: &str) -> Result<Graph, RdfError> {
@@ -20,7 +60,11 @@ pub fn parse(input: &str) -> Result<Graph, RdfError> {
     Ok(graph)
 }
 
-/// Parses a Turtle-lite document, inserting triples into an existing graph.
+/// Parses a Turtle-lite document, inserting triples into an existing
+/// graph through the chunked batch path ([`Graph::insert_batch`],
+/// `LOAD_CHUNK` triples at a time), so bulk loads pay one sort per
+/// chunk instead of per-triple tail maintenance. On a parse error the
+/// graph keeps the chunks flushed before the offending statement.
 pub fn parse_into(input: &str, graph: &mut Graph) -> Result<PrefixMap, RdfError> {
     let tokens = tokenize(input)?;
     let mut parser = Parser {
@@ -340,15 +384,17 @@ impl Parser {
     }
 
     fn document(&mut self, graph: &mut Graph) -> Result<(), RdfError> {
+        let mut loader = BatchLoader::new(graph);
         while let Some(spanned) = self.peek() {
             match &spanned.token {
                 Token::PrefixDecl => {
                     self.next();
                     self.prefix_decl()?;
                 }
-                _ => self.statement(graph)?,
+                _ => self.statement(&mut loader)?,
             }
         }
+        loader.flush();
         Ok(())
     }
 
@@ -382,7 +428,7 @@ impl Parser {
         }
     }
 
-    fn statement(&mut self, graph: &mut Graph) -> Result<(), RdfError> {
+    fn statement(&mut self, loader: &mut BatchLoader<'_>) -> Result<(), RdfError> {
         let line = self.line();
         let subject = self.term()?;
         loop {
@@ -391,7 +437,7 @@ impl Parser {
                 let object = self.term()?;
                 let t = Triple::new(subject.clone(), predicate.clone(), object)
                     .map_err(|e| RdfError::parse(line, e.to_string()))?;
-                graph.insert(&t);
+                loader.push(&t);
                 match self.peek().map(|s| &s.token) {
                     Some(Token::Comma) => {
                         self.next();
