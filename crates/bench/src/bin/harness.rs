@@ -189,6 +189,14 @@ fn main() {
         };
         run("e17", &mut || e17_durability(sizes));
     }
+    if want("e18") {
+        let sizes: &[usize] = if quick {
+            &[100, 400]
+        } else {
+            &[100, 400, 1600]
+        };
+        run("e18", &mut || e18_live_updates(sizes));
+    }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
     for t in &timed {

@@ -22,9 +22,11 @@
 //! triple storage, [`e13_storage`]), E14 (id-level vs string-level
 //! UCQ rewriting, [`e14_rewrite_ablation`]), E15 (frozen-session
 //! concurrency, [`e15_frozen_concurrency`]), E16 (fault-tolerant
-//! federation under seeded fault injection, [`e16_fault_tolerance`])
-//! and E17 (durable storage: persist+reopen vs cold re-chase and
-//! paged-run scan overhead, [`e17_durability`]).
+//! federation under seeded fault injection, [`e16_fault_tolerance`]),
+//! E17 (durable storage: persist+reopen vs cold re-chase and
+//! paged-run scan overhead, [`e17_durability`]) and E18 (live updates:
+//! incremental chase maintenance vs full re-chase and reader
+//! throughput under epoch churn, [`e18_live_updates`]).
 
 #![warn(missing_docs)]
 
@@ -1356,9 +1358,175 @@ pub fn e17_durability(sizes: &[usize]) -> Table {
     }
 }
 
+/// **E18 — live updates**: incremental chase maintenance against a full
+/// re-chase across update-batch sizes, plus reader throughput while the
+/// writer churns epochs.
+///
+/// For each workload size, a [`rps_core::LiveSession`] applies insert
+/// batches of growing size; each `apply` (semi-naive delta chase +
+/// epoch publication) is timed against a from-scratch re-chase of the
+/// mutated system under the same confluent configuration, and `agree`
+/// pins the two solutions to the same triple count (full byte-identity
+/// is the `tests/live_updates.rs` oracle's job). The final `churn` row
+/// per size runs 4 reader threads executing prepared plans non-stop
+/// while the writer publishes one-triple epochs for a fixed window,
+/// reporting sustained reader queries/second and epochs published.
+pub fn e18_live_updates(sizes: &[usize]) -> Table {
+    use rps_core::{EngineConfig, FiringMode, LiveSession, PeerId, UpdateBatch};
+    use rps_lodgen::film::actor_pred;
+    use rps_lodgen::peer_ns;
+    use rps_rdf::{Iri, Term, Triple};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const BATCHES: &[usize] = &[1, 16, 128];
+    const CHURN_READERS: usize = 4;
+    const CHURN_WINDOW_MS: u64 = 150;
+
+    let skolem = RpsChaseConfig {
+        firing: FiringMode::Skolem,
+        ..RpsChaseConfig::default()
+    };
+    let fresh_actor = |n: usize| -> Triple {
+        Triple::new(
+            Term::Iri(Iri::new(format!("{}live-film{n}", peer_ns(0)))),
+            Term::Iri(actor_pred(0)),
+            Term::Iri(Iri::new(format!("{}live-person{n}", peer_ns(0)))),
+        )
+        .expect("IRI triples are always valid")
+    };
+
+    let mut rows = Vec::new();
+    for &films in sizes {
+        let cfg = FilmConfig {
+            peers: 3,
+            films_per_peer: films,
+            actors_per_film: 3,
+            person_pool: films,
+            sameas_per_pair: films / 10,
+            topology: Topology::Chain,
+            hub_style: false,
+            seed: 18,
+        };
+        let mut live =
+            LiveSession::open(film_system(&cfg), EngineConfig::default()).expect("live opens");
+        let mut fresh = 0usize;
+
+        for &batch_size in BATCHES {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..batch_size {
+                fresh += 1;
+                batch = batch.insert(PeerId(0), fresh_actor(fresh));
+            }
+            let t0 = Instant::now();
+            live.apply(&batch).expect("batch applies");
+            let incr = t0.elapsed();
+            let t1 = Instant::now();
+            let scratch = chase_system(live.system(), &skolem);
+            let rechase = t1.elapsed();
+            assert!(scratch.complete);
+            let agree = scratch.graph.len() == live.solution().graph.len();
+            rows.push(vec![
+                films.to_string(),
+                live.solution().graph.len().to_string(),
+                batch_size.to_string(),
+                ms(incr),
+                ms(rechase),
+                format!(
+                    "{:.1}x",
+                    rechase.as_secs_f64() / incr.as_secs_f64().max(1e-9)
+                ),
+                agree.to_string(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+
+        // Reader throughput while the writer churns epochs.
+        let query = actor_shape_query(2, false);
+        let done = AtomicBool::new(false);
+        let (executed, published) = std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..CHURN_READERS)
+                .map(|_| {
+                    let reader = live.reader();
+                    let query = query.clone();
+                    let done = &done;
+                    scope.spawn(move || {
+                        let mut n = 0u64;
+                        while !done.load(Ordering::Acquire) {
+                            let plan = reader.prepare(&query).expect("prepare");
+                            let _ = reader.execute(&plan).expect("execute").count();
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            let deadline = Instant::now() + std::time::Duration::from_millis(CHURN_WINDOW_MS);
+            let mut published = 0u64;
+            while Instant::now() < deadline {
+                fresh += 1;
+                live.apply(&UpdateBatch::new().insert(PeerId(0), fresh_actor(fresh)))
+                    .expect("churn batch applies");
+                published += 1;
+            }
+            done.store(true, Ordering::Release);
+            let executed: u64 = readers
+                .into_iter()
+                .map(|h| h.join().expect("reader thread"))
+                .sum();
+            (executed, published)
+        });
+        let secs = CHURN_WINDOW_MS as f64 / 1e3;
+        rows.push(vec![
+            films.to_string(),
+            live.solution().graph.len().to_string(),
+            "churn".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{:.0}", executed as f64 / secs),
+            format!("{:.0}", published as f64 / secs),
+        ]);
+    }
+    Table {
+        title: "E18 — live updates: incremental maintenance vs full re-chase; readers under churn"
+            .into(),
+        headers: vec![
+            "films/peer".into(),
+            "solution triples".into(),
+            "batch".into(),
+            "incremental ms".into(),
+            "re-chase ms".into(),
+            "speedup".into(),
+            "agree".into(),
+            "reader q/s".into(),
+            "epochs/s".into(),
+        ],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e18_incremental_agrees_and_beats_rechase_on_small_deltas() {
+        let t = e18_live_updates(&[100]);
+        for row in &t.rows {
+            if row[2] == "churn" {
+                let qps: f64 = row[7].parse().unwrap();
+                assert!(qps > 0.0, "readers must make progress under churn");
+                continue;
+            }
+            assert_eq!(row[6], "true", "incremental and re-chase solutions agree");
+        }
+        // A one-triple delta must be cheaper to maintain incrementally
+        // than a full re-chase of the whole system.
+        let speedup: f64 = t.rows[0][5].trim_end_matches('x').parse().unwrap();
+        assert!(speedup > 1.0, "batch=1 speedup was {speedup}");
+    }
 
     #[test]
     fn e13_backends_agree() {

@@ -33,13 +33,45 @@
 //!   everything seen before;
 //! * all per-round work runs on interned [`TermId`]s; terms are only
 //!   materialised when a firing instantiates its conclusion.
+//!
+//! **Two firing modes.** [`FiringMode::Restricted`] is the paper's chase:
+//! a premise tuple whose conclusion is already satisfied (`t ∈ Q'_J`)
+//! does not fire. That chase is *order-dependent* — which firings are
+//! skipped depends on what happened to be derived first — so two runs
+//! over the same final base data can produce different (homomorphically
+//! equivalent, but not identical) universal solutions.
+//! [`FiringMode::Skolem`] removes the satisfaction guard and names the
+//! invented blanks deterministically from the firing itself (assertion
+//! index + premise tuple), making the chase *confluent*: the result is
+//! the least fixpoint of the repair rules, independent of execution
+//! order. That order-independence is what lets the live-update layer
+//! ([`crate::live`]) maintain a solution incrementally and still promise
+//! byte-identical triples to a from-scratch re-chase. Termination still
+//! holds: premise tuples are blank-free (the `rt` guard), so the skolem
+//! chase fires at most once per assertion and base-domain tuple.
 
+use crate::mapping::GraphMappingAssertion;
 use crate::system::RdfPeerSystem;
 use rps_query::{
-    evaluate_query, evaluate_query_ids, evaluate_query_ids_delta, Semantics, Variable,
+    evaluate_query, evaluate_query_ids, evaluate_query_ids_delta, PreparedPattern, Semantics,
+    Variable,
 };
-use rps_rdf::{Graph, Term, TermId, TriplePosition};
+use rps_rdf::{Graph, IdTriple, Term, TermId, TriplePosition};
 use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// How graph mapping assertions fire (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FiringMode {
+    /// The paper's restricted chase: skip a premise tuple when the
+    /// conclusion is already satisfied; invent counter-named blanks.
+    #[default]
+    Restricted,
+    /// The confluent variant: always fire, naming existential blanks
+    /// deterministically from (assertion, premise tuple) so the result
+    /// is the order-independent least fixpoint. Used by
+    /// [`crate::live::LiveSession`] and its differential test oracle.
+    Skolem,
+}
 
 /// Budgets for an RPS chase run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,6 +80,8 @@ pub struct RpsChaseConfig {
     pub max_rounds: usize,
     /// Maximum number of triples in the universal solution.
     pub max_triples: usize,
+    /// The firing mode (restricted by default).
+    pub firing: FiringMode,
 }
 
 impl Default for RpsChaseConfig {
@@ -55,6 +89,7 @@ impl Default for RpsChaseConfig {
         RpsChaseConfig {
             max_rounds: 10_000,
             max_triples: 10_000_000,
+            firing: FiringMode::Restricted,
         }
     }
 }
@@ -73,6 +108,11 @@ pub struct RpsChaseStats {
     /// Firings skipped because instantiation would produce invalid RDF
     /// (e.g. a literal in subject position).
     pub invalid_firings: usize,
+    /// Triples retracted by delete-and-rederive cascades (live updates).
+    pub retractions: usize,
+    /// Previously retracted firings re-fired because their premise still
+    /// held after a deletion (live updates).
+    pub refirings: usize,
 }
 
 /// A universal solution produced by the chase.
@@ -89,154 +129,484 @@ pub struct UniversalSolution {
 
 /// Runs Algorithm 1 on a system, producing a universal solution.
 pub fn chase_system(system: &RdfPeerSystem, config: &RpsChaseConfig) -> UniversalSolution {
-    let mut graph = system.stored_database();
-    let mut stats = RpsChaseStats::default();
-    let mut blank_counter: u64 = 0;
-
-    // Term-level equivalence adjacency (both directions); id-level
-    // neighbour lists are resolved lazily and cached — the dictionary is
-    // append-only, so cached ids stay valid.
-    let mut eq_adj: HashMap<Term, Vec<Term>> = HashMap::new();
-    for eq in system.equivalences() {
-        let c = Term::Iri(eq.left.clone());
-        let cp = Term::Iri(eq.right.clone());
-        eq_adj.entry(c.clone()).or_default().push(cp.clone());
-        eq_adj.entry(cp).or_default().push(c);
+    let mut engine = ChaseEngine::new(system, config, false);
+    let complete = engine.run();
+    if complete {
+        // Fixpoint: the solution never grows again. Seal the store
+        // (flush the sorted-run tail into an immutable run) so every
+        // later scan — including concurrent ones through a frozen
+        // session — merges immutable runs only.
+        engine.graph.seal();
     }
-    let mut eq_cache: HashMap<TermId, Vec<TermId>> = HashMap::new();
-    // Log index up to which equivalence repairs have been applied.
-    let mut eq_mark = 0usize;
+    UniversalSolution {
+        stats: engine.stats,
+        complete,
+        graph: engine.graph,
+    }
+}
 
-    let gmas = system.assertions();
-    // Per assertion: the log index of its previous premise evaluation,
-    // and the premise tuples already processed (fired or satisfied).
-    let mut gma_marks: Vec<usize> = vec![0; gmas.len()];
-    let mut processed: Vec<HashSet<Vec<TermId>>> = vec![HashSet::new(); gmas.len()];
-    // Conclusions compiled to id slots, so firing assembles `IdTriple`s
-    // directly instead of substituting, validating and re-interning
-    // term-level patterns on every trigger.
-    let plans: Vec<ConclusionPlan> = gmas
-        .iter()
-        .map(|gma| ConclusionPlan::new(&gma.conclusion, &mut graph))
-        .collect();
-    // Conclusion patterns compiled once for the per-tuple satisfaction
-    // checks (`t ∈ Q'_J`).
-    let prepared: Vec<rps_query::PreparedPattern> = gmas
-        .iter()
-        .map(|gma| rps_query::PreparedPattern::new(&mut graph, gma.conclusion.pattern()))
-        .collect();
+/// One firing of a graph mapping assertion, recorded when provenance
+/// tracking is on: which assertion fired on which premise tuple, the
+/// premise triples that supported it (one witness), and the conclusion
+/// triples it stands behind. Delete-and-rederive walks these records.
+struct FiringRecord {
+    gma: usize,
+    tuple: Vec<TermId>,
+    witness: Vec<IdTriple>,
+    conclusions: Vec<IdTriple>,
+    live: bool,
+}
 
-    loop {
-        if stats.rounds >= config.max_rounds {
-            return UniversalSolution {
-                graph,
-                stats,
-                complete: false,
-            };
+/// Minimal derivation provenance, maintained only for live sessions
+/// (`track_provenance`). Maps are additive and never shrink; stale
+/// entries (a dead firing, a re-extracted witness) are filtered at use.
+#[derive(Default)]
+struct Provenance {
+    firings: Vec<FiringRecord>,
+    /// Triple → firings whose *current* witness contains it.
+    dependents: HashMap<IdTriple, Vec<u32>>,
+    /// Triple → every firing whose conclusions contain it (live or not).
+    producers: HashMap<IdTriple, Vec<u32>>,
+    /// Triple → equivalence copies first derived from it.
+    eq_children: HashMap<IdTriple, Vec<IdTriple>>,
+}
+
+/// The chase loop's persistent state: graph, semi-naive marks, memos and
+/// compiled plans. [`chase_system`] drives it once to a fixpoint;
+/// [`crate::live::LiveSession`] keeps one alive across update batches so
+/// every `run()` continues from the delta windows instead of starting
+/// over.
+pub(crate) struct ChaseEngine {
+    pub(crate) graph: Graph,
+    pub(crate) config: RpsChaseConfig,
+    pub(crate) stats: RpsChaseStats,
+    blank_counter: u64,
+    /// Term-level equivalence adjacency (both directions); id-level
+    /// neighbour lists are resolved lazily and cached — the dictionary
+    /// is append-only, so cached ids stay valid.
+    eq_adj: HashMap<Term, Vec<Term>>,
+    eq_cache: HashMap<TermId, Vec<TermId>>,
+    /// Log index up to which equivalence repairs have been applied.
+    eq_mark: usize,
+    gmas: Vec<GraphMappingAssertion>,
+    /// Per assertion: the log index of its previous premise evaluation.
+    gma_marks: Vec<usize>,
+    /// Per assertion: premise tuples already processed (fired or
+    /// satisfied — permanent states under the restricted chase; under
+    /// the skolem chase a retraction may remove a tuple again).
+    processed: Vec<HashSet<Vec<TermId>>>,
+    /// Conclusions compiled to id slots, so firing assembles `IdTriple`s
+    /// directly instead of substituting, validating and re-interning
+    /// term-level patterns on every trigger.
+    plans: Vec<ConclusionPlan>,
+    /// Conclusion patterns compiled once for the per-tuple satisfaction
+    /// checks (`t ∈ Q'_J`; restricted mode only).
+    conclusion_pats: Vec<PreparedPattern>,
+    /// Premise patterns compiled once for witness extraction and the
+    /// rederive premise re-checks (provenance mode only).
+    premise_pats: Vec<PreparedPattern>,
+    prov: Option<Provenance>,
+}
+
+impl ChaseEngine {
+    pub(crate) fn new(
+        system: &RdfPeerSystem,
+        config: &RpsChaseConfig,
+        track_provenance: bool,
+    ) -> Self {
+        let mut graph = system.stored_database();
+        let mut eq_adj: HashMap<Term, Vec<Term>> = HashMap::new();
+        for eq in system.equivalences() {
+            let c = Term::Iri(eq.left.clone());
+            let cp = Term::Iri(eq.right.clone());
+            eq_adj.entry(c.clone()).or_default().push(cp.clone());
+            eq_adj.entry(cp).or_default().push(c);
         }
-        stats.rounds += 1;
-        let mut changed = false;
+        let gmas: Vec<GraphMappingAssertion> = system.assertions().to_vec();
+        let plans: Vec<ConclusionPlan> = gmas
+            .iter()
+            .map(|gma| ConclusionPlan::new(&gma.conclusion, &mut graph))
+            .collect();
+        let conclusion_pats: Vec<PreparedPattern> = gmas
+            .iter()
+            .map(|gma| PreparedPattern::new(&mut graph, gma.conclusion.pattern()))
+            .collect();
+        let premise_pats: Vec<PreparedPattern> = if track_provenance {
+            gmas.iter()
+                .map(|gma| PreparedPattern::new(&mut graph, gma.premise.pattern()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ChaseEngine {
+            graph,
+            config: config.clone(),
+            stats: RpsChaseStats::default(),
+            blank_counter: 0,
+            eq_adj,
+            eq_cache: HashMap::new(),
+            eq_mark: 0,
+            gma_marks: vec![0; gmas.len()],
+            processed: vec![HashSet::new(); gmas.len()],
+            plans,
+            conclusion_pats,
+            premise_pats,
+            prov: track_provenance.then(Provenance::default),
+            gmas,
+        }
+    }
 
-        // --- Equivalence mappings (Definition 2, item 3). ---
-        // Drain the insertion log to a local fixpoint: every logged
-        // triple (including the copies this loop itself inserts) is
-        // examined once per equivalence neighbour of its terms. This is
-        // the delta form of the `subjQ*`/`predQ*`/`objQ*` repairs.
-        if !eq_adj.is_empty() {
-            while eq_mark < graph.log_len() {
-                let Some(t) = graph.log_entry(eq_mark) else {
-                    // Tombstoned by a removal; chase graphs only grow, but
-                    // the log contract allows skipping dead entries.
-                    eq_mark += 1;
-                    continue;
-                };
-                eq_mark += 1;
-                for pos in TriplePosition::ALL {
-                    let from_id = t.get(pos);
-                    if let std::collections::hash_map::Entry::Vacant(e) = eq_cache.entry(from_id) {
-                        let neighbours: Vec<TermId> = match eq_adj.get(graph.term(from_id)) {
-                            Some(terms) => {
-                                let terms = terms.clone();
-                                terms.iter().map(|n| graph.intern(n)).collect()
+    /// Interns a term into the chase graph's dictionary.
+    pub(crate) fn intern(&mut self, term: &Term) -> TermId {
+        self.graph.intern(term)
+    }
+
+    /// Inserts a base triple (live updates). Derivation provenance is
+    /// not recorded — base multiplicity is the caller's bookkeeping.
+    pub(crate) fn insert_base(&mut self, t: IdTriple) -> bool {
+        self.graph.insert_ids(t)
+    }
+
+    /// Runs repair rounds until a fixpoint or until the budgets are
+    /// exhausted; `true` iff a fixpoint was reached. The round budget is
+    /// counted per call, so a long-lived engine gets a fresh allowance
+    /// for every update batch. Does **not** seal the graph.
+    pub(crate) fn run(&mut self) -> bool {
+        let round_base = self.stats.rounds;
+        loop {
+            if self.stats.rounds - round_base >= self.config.max_rounds {
+                return false;
+            }
+            self.stats.rounds += 1;
+            let mut changed = false;
+
+            // --- Equivalence mappings (Definition 2, item 3). ---
+            // Drain the insertion log to a local fixpoint: every logged
+            // triple (including the copies this loop itself inserts) is
+            // examined once per equivalence neighbour of its terms. This
+            // is the delta form of the `subjQ*`/`predQ*`/`objQ*` repairs.
+            if !self.eq_adj.is_empty() {
+                while self.eq_mark < self.graph.log_len() {
+                    let Some(t) = self.graph.log_entry(self.eq_mark) else {
+                        // Tombstoned by a removal; the log contract
+                        // allows skipping dead entries.
+                        self.eq_mark += 1;
+                        continue;
+                    };
+                    self.eq_mark += 1;
+                    for pos in TriplePosition::ALL {
+                        let from_id = t.get(pos);
+                        self.ensure_eq_neighbours(from_id);
+                        for &to_id in &self.eq_cache[&from_id] {
+                            let copy = t.with(pos, to_id);
+                            if self.graph.insert_ids(copy) {
+                                self.stats.eq_copies += 1;
+                                changed = true;
+                                if let Some(p) = &mut self.prov {
+                                    p.eq_children.entry(t).or_default().push(copy);
+                                }
                             }
-                            None => Vec::new(),
-                        };
-                        e.insert(neighbours);
-                    }
-                    for &to_id in &eq_cache[&from_id] {
-                        if graph.insert_ids(t.with(pos, to_id)) {
-                            stats.eq_copies += 1;
-                            changed = true;
                         }
                     }
-                }
-                if graph.len() > config.max_triples {
-                    return UniversalSolution {
-                        graph,
-                        stats,
-                        complete: false,
-                    };
+                    if self.graph.len() > self.config.max_triples {
+                        return false;
+                    }
                 }
             }
-        }
 
-        // --- Graph mapping assertions (Definition 2, item 2). ---
-        for (gi, gma) in gmas.iter().enumerate() {
-            // Q_J under the blank-dropping semantics: the `rt` guard.
-            // After the first full evaluation, only the delta window
-            // since this assertion's previous evaluation is joined: any
-            // tuple whose derivations all predate the window was already
-            // enumerated (and memoised) back then.
-            let from = gma_marks[gi];
-            gma_marks[gi] = graph.log_len();
-            let premise_tuples = if from == 0 {
-                evaluate_query_ids(&graph, &gma.premise, Semantics::Certain)
-            } else {
-                evaluate_query_ids_delta(&graph, &gma.premise, Semantics::Certain, from)
-            };
-            for tuple in premise_tuples {
-                if !processed[gi].insert(tuple.clone()) {
-                    continue;
-                }
-                if tuple_satisfied(&graph, &prepared[gi], &gma.conclusion, &tuple) {
-                    continue;
-                }
-                // Fire: instantiate the compiled conclusion with the
-                // tuple's ids and fresh blanks for existentials.
-                match plans[gi].fire(&mut graph, &tuple, &mut blank_counter) {
-                    Some(blanks) => {
-                        stats.gma_firings += 1;
-                        stats.blanks_created += blanks;
-                        changed = true;
-                    }
-                    None => {
-                        stats.invalid_firings += 1;
+            // --- Graph mapping assertions (Definition 2, item 2). ---
+            for gi in 0..self.gmas.len() {
+                // Q_J under the blank-dropping semantics: the `rt`
+                // guard. After the first full evaluation, only the delta
+                // window since this assertion's previous evaluation is
+                // joined: any tuple whose derivations all predate the
+                // window was already enumerated (and memoised) back then.
+                let from = self.gma_marks[gi];
+                self.gma_marks[gi] = self.graph.log_len();
+                let premise_tuples = if from == 0 {
+                    evaluate_query_ids(&self.graph, &self.gmas[gi].premise, Semantics::Certain)
+                } else {
+                    evaluate_query_ids_delta(
+                        &self.graph,
+                        &self.gmas[gi].premise,
+                        Semantics::Certain,
+                        from,
+                    )
+                };
+                for tuple in premise_tuples {
+                    if !self.processed[gi].insert(tuple.clone()) {
                         continue;
                     }
+                    if self.config.firing == FiringMode::Restricted
+                        && tuple_satisfied(
+                            &self.graph,
+                            &self.conclusion_pats[gi],
+                            &self.gmas[gi].conclusion,
+                            &tuple,
+                        )
+                    {
+                        continue;
+                    }
+                    if self.fire(gi, &tuple) {
+                        changed = true;
+                    }
+                    if self.graph.len() > self.config.max_triples {
+                        return false;
+                    }
                 }
-                if graph.len() > config.max_triples {
-                    return UniversalSolution {
-                        graph,
-                        stats,
-                        complete: false,
-                    };
+            }
+
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Fires assertion `gi` on `tuple`; `true` iff triples were derived
+    /// (an RDF-invalid instantiation is counted and skipped).
+    fn fire(&mut self, gi: usize, tuple: &[TermId]) -> bool {
+        // Witness extraction happens before the conclusions go in, so a
+        // firing can never be its own (cyclic) support.
+        let witness = if self.prov.is_some() {
+            let free = self.gmas[gi].premise.free_vars();
+            self.premise_pats[gi].first_match_with(&self.graph, &|v: &Variable| {
+                free.iter().position(|f| f == v).map(|i| tuple[i])
+            })
+        } else {
+            None
+        };
+        let fired = match self.config.firing {
+            FiringMode::Restricted => self.plans[gi]
+                .fire(&mut self.graph, tuple, &mut self.blank_counter)
+                .map(|blanks| (blanks, Vec::new())),
+            FiringMode::Skolem => self.fire_skolem(gi, tuple),
+        };
+        match fired {
+            Some((blanks, conclusions)) => {
+                self.stats.gma_firings += 1;
+                self.stats.blanks_created += blanks;
+                if let Some(p) = &mut self.prov {
+                    let witness = witness.expect("an enumerated premise tuple has a witness");
+                    let fid = p.firings.len() as u32;
+                    for &w in &witness {
+                        p.dependents.entry(w).or_default().push(fid);
+                    }
+                    for &c in &conclusions {
+                        p.producers.entry(c).or_default().push(fid);
+                    }
+                    p.firings.push(FiringRecord {
+                        gma: gi,
+                        tuple: tuple.to_vec(),
+                        witness,
+                        conclusions,
+                        live: true,
+                    });
+                }
+                true
+            }
+            None => {
+                self.stats.invalid_firings += 1;
+                false
+            }
+        }
+    }
+
+    /// The skolem firing path: deterministic blank labels, conclusions
+    /// returned for provenance. Idempotent — refiring the same
+    /// (assertion, tuple) re-derives the identical triples.
+    fn fire_skolem(&mut self, gi: usize, tuple: &[TermId]) -> Option<(u64, Vec<IdTriple>)> {
+        let labels = skolem_labels(&self.graph, gi, tuple, self.plans[gi].n_existentials);
+        let dict_before = self.graph.dict().len();
+        let fresh: Vec<TermId> = labels
+            .iter()
+            .map(|l| self.graph.intern(&Term::blank(l.clone())))
+            .collect();
+        let blanks = fresh.iter().filter(|id| id.index() >= dict_before).count() as u64;
+        let conclusions = self.plans[gi].resolve(&self.graph, tuple, &fresh)?;
+        self.graph.insert_batch(conclusions.iter().copied());
+        Some((blanks, conclusions))
+    }
+
+    /// Resolves (and caches) the equivalence neighbours of a term id.
+    fn ensure_eq_neighbours(&mut self, from_id: TermId) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.eq_cache.entry(from_id) {
+            let neighbours: Vec<TermId> = match self.eq_adj.get(self.graph.term(from_id)) {
+                Some(terms) => {
+                    let terms = terms.clone();
+                    terms.iter().map(|n| self.graph.intern(n)).collect()
+                }
+                None => Vec::new(),
+            };
+            e.insert(neighbours);
+        }
+    }
+
+    /// `true` iff `t` is one equivalence-repair step away from a triple
+    /// currently in the graph — i.e. some position of `t` holds an
+    /// equivalence constant whose neighbour, substituted back, names a
+    /// present triple. The inverse direction of the eq drain, used by
+    /// rederivation (adjacency is symmetric, so neighbours of `t`'s own
+    /// terms are exactly the possible sources).
+    fn eq_inverse_present(&mut self, t: IdTriple) -> bool {
+        for pos in TriplePosition::ALL {
+            let id = t.get(pos);
+            self.ensure_eq_neighbours(id);
+            for &from in &self.eq_cache[&id] {
+                if self.graph.contains_ids(t.with(pos, from)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Delete-and-rederive (requires provenance tracking and the skolem
+    /// firing mode). `candidates` are triples whose *base* support has
+    /// dropped to zero; `is_base` reports whether a triple still has any
+    /// base support. Returns `false` if a chase budget was exhausted
+    /// while re-deriving.
+    ///
+    /// Phase 1 over-deletes: starting from the candidates, every triple
+    /// whose recorded derivation is broken is removed — equivalence
+    /// copies of a deleted source, and the conclusions of any firing
+    /// whose witness lost a triple (such firings are retracted). A
+    /// triple with some still-live producer firing, or base support, is
+    /// kept; if that producer is retracted later in the cascade its
+    /// conclusions re-enter the worklist, so the phase is a sound
+    /// overestimate. Phase 2 re-derives: retracted firings whose premise
+    /// still holds are re-fired (skolem naming makes this exact),
+    /// deleted triples still one eq-step from a present triple are
+    /// restored, and the semi-naive chase closes over the re-insertions;
+    /// the loop runs to a joint fixpoint.
+    pub(crate) fn retract_base(
+        &mut self,
+        candidates: Vec<IdTriple>,
+        is_base: &dyn Fn(IdTriple) -> bool,
+    ) -> bool {
+        debug_assert!(
+            self.prov.is_some() && self.config.firing == FiringMode::Skolem,
+            "delete-and-rederive needs provenance and the confluent chase"
+        );
+        // --- Phase 1: over-deleting cascade. ---
+        let mut deleted: Vec<IdTriple> = Vec::new();
+        let mut deleted_set: HashSet<IdTriple> = HashSet::new();
+        let mut retracted: Vec<u32> = Vec::new();
+        let mut work = candidates;
+        while let Some(t) = work.pop() {
+            if deleted_set.contains(&t) || !self.graph.contains_ids(t) || is_base(t) {
+                continue;
+            }
+            let p = self.prov.as_mut().expect("checked above");
+            if let Some(fids) = p.producers.get(&t) {
+                if fids.iter().any(|&f| p.firings[f as usize].live) {
+                    // Still concluded by a live firing; if that firing is
+                    // retracted later, `t` re-enters the worklist.
+                    continue;
+                }
+            }
+            self.graph.remove_ids(t);
+            self.stats.retractions += 1;
+            deleted.push(t);
+            deleted_set.insert(t);
+            if let Some(children) = p.eq_children.get(&t) {
+                work.extend(children.iter().copied());
+            }
+            let fids: Vec<u32> = p.dependents.get(&t).cloned().unwrap_or_default();
+            for fid in fids {
+                let f = &mut p.firings[fid as usize];
+                if f.live && f.witness.contains(&t) {
+                    f.live = false;
+                    retracted.push(fid);
+                    work.extend(f.conclusions.iter().copied());
                 }
             }
         }
 
-        if !changed {
-            // Fixpoint: the solution never grows again. Seal the store
-            // (flush the sorted-run tail into an immutable run) so every
-            // later scan — including concurrent ones through a frozen
-            // session — merges immutable runs only.
-            graph.seal();
-            return UniversalSolution {
-                graph,
-                stats,
-                complete: true,
-            };
+        // --- Phase 2: rederive to a joint fixpoint. ---
+        loop {
+            let mut progress = false;
+            // Retracted firings whose premise still holds re-fire with
+            // identical conclusions (deterministic skolem naming); the
+            // rest forget their premise tuple so a future insertion can
+            // re-enumerate it through the delta window.
+            for &fid in &retracted {
+                let fid = fid as usize;
+                let p = self.prov.as_ref().expect("checked above");
+                if p.firings[fid].live {
+                    continue;
+                }
+                let gi = p.firings[fid].gma;
+                let tuple = p.firings[fid].tuple.clone();
+                let free = self.gmas[gi].premise.free_vars();
+                let witness = self.premise_pats[gi].first_match_with(&self.graph, &|v| {
+                    free.iter().position(|f| f == v).map(|i| tuple[i])
+                });
+                match witness {
+                    Some(witness) => {
+                        let (blanks, conclusions) = self
+                            .fire_skolem(gi, &tuple)
+                            .expect("a previously fired tuple instantiates validly");
+                        self.stats.gma_firings += 1;
+                        self.stats.refirings += 1;
+                        self.stats.blanks_created += blanks;
+                        let p = self.prov.as_mut().expect("checked above");
+                        for &w in &witness {
+                            p.dependents.entry(w).or_default().push(fid as u32);
+                        }
+                        let f = &mut p.firings[fid];
+                        f.witness = witness;
+                        f.conclusions = conclusions;
+                        f.live = true;
+                        progress = true;
+                    }
+                    None => {
+                        self.processed[gi].remove(&tuple);
+                    }
+                }
+            }
+            // Deleted triples still derivable by one inverse eq step.
+            for &t in &deleted {
+                if self.graph.contains_ids(t) {
+                    continue;
+                }
+                if self.eq_inverse_present(t) {
+                    self.graph.insert_ids(t);
+                    self.stats.eq_copies += 1;
+                    progress = true;
+                }
+            }
+            if !progress {
+                return true;
+            }
+            // Close over the re-insertions (they are in the log, so the
+            // semi-naive machinery picks them up as a delta).
+            if !self.run() {
+                return false;
+            }
         }
     }
+}
+
+/// Deterministic blank labels for a skolem firing: one per existential
+/// variable, injectively encoding (assertion index, existential index,
+/// premise tuple *terms*). Term-level encoding — not [`TermId`]s — keeps
+/// the labels identical across engines with different interning orders,
+/// which is what makes an incremental maintenance run byte-identical to
+/// a from-scratch re-chase. The `sk` prefix cannot collide with peer
+/// blanks (scoped `p{idx}_…`) or restricted-chase blanks (`b{n}`).
+fn skolem_labels(graph: &Graph, gi: usize, tuple: &[TermId], n: usize) -> Vec<String> {
+    let mut suffix = String::new();
+    for &id in tuple {
+        suffix.push('|');
+        for ch in format!("{:?}", graph.term(id)).chars() {
+            match ch {
+                '|' => suffix.push_str("\\p"),
+                '\\' => suffix.push_str("\\\\"),
+                c => suffix.push(c),
+            }
+        }
+    }
+    (0..n).map(|j| format!("sk{gi}.{j}{suffix}")).collect()
 }
 
 /// One position of a compiled conclusion pattern.
@@ -305,26 +675,34 @@ impl ConclusionPlan {
                 graph.intern(&b)
             })
             .collect();
+        let to_insert = self.resolve(graph, tuple, &fresh)?;
+        // The batch path: conclusions with several conjuncts go into the
+        // store in one merge-batch instead of per-triple tail pushes.
+        graph.insert_batch(to_insert);
+        Some(self.n_existentials as u64)
+    }
+
+    /// Instantiates the conclusion triples for one premise tuple and a
+    /// pre-interned existential assignment, validating RDF positional
+    /// constraints. Nothing is inserted.
+    fn resolve(&self, graph: &Graph, tuple: &[TermId], fresh: &[TermId]) -> Option<Vec<IdTriple>> {
         let resolve = |s: &ConcSlot| match s {
             ConcSlot::Const(id) => *id,
             ConcSlot::Free(i) => tuple[*i],
             ConcSlot::Exist(j) => fresh[*j],
         };
-        let mut to_insert = Vec::with_capacity(self.slots.len());
+        let mut out = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
-            let t = rps_rdf::IdTriple::new(resolve(&slot[0]), resolve(&slot[1]), resolve(&slot[2]));
+            let t = IdTriple::new(resolve(&slot[0]), resolve(&slot[1]), resolve(&slot[2]));
             let dict = graph.dict();
             if dict.kind(t.s) == rps_rdf::TermKind::Literal
                 || dict.kind(t.p) != rps_rdf::TermKind::Iri
             {
                 return None;
             }
-            to_insert.push(t);
+            out.push(t);
         }
-        // The batch path: conclusions with several conjuncts go into the
-        // store in one merge-batch instead of per-triple tail pushes.
-        graph.insert_batch(to_insert);
-        Some(self.n_existentials as u64)
+        Some(out)
     }
 }
 
@@ -333,7 +711,7 @@ impl ConclusionPlan {
 /// pattern copy, no per-check compilation, no re-interning.
 fn tuple_satisfied(
     graph: &Graph,
-    prepared: &rps_query::PreparedPattern,
+    prepared: &PreparedPattern,
     conclusion: &rps_query::GraphPatternQuery,
     tuple: &[TermId],
 ) -> bool {
@@ -499,6 +877,28 @@ mod tests {
     }
 
     #[test]
+    fn skolem_chase_is_a_solution_and_order_independent() {
+        let sys = two_peer_system();
+        let cfg = RpsChaseConfig {
+            firing: FiringMode::Skolem,
+            ..RpsChaseConfig::default()
+        };
+        let sol = chase_system(&sys, &cfg);
+        assert!(sol.complete);
+        assert!(is_solution(&sys, &sol.graph));
+        // Confluence: a second run over the same system produces the
+        // same term-level triple set (the least fixpoint).
+        let sol2 = chase_system(&sys, &cfg);
+        let a: BTreeSet<_> = sol.graph.iter().collect();
+        let b: BTreeSet<_> = sol2.graph.iter().collect();
+        assert_eq!(a, b);
+        // The skolem chase fires the satisfied assertion too (no guard),
+        // so it derives at least as much as the restricted chase.
+        let restricted = chase_system(&sys, &RpsChaseConfig::default());
+        assert!(sol.graph.len() >= restricted.graph.len());
+    }
+
+    #[test]
     fn equivalence_copies_all_three_positions() {
         let mut p = PeerId(0);
         let sys = RpsBuilder::new()
@@ -590,6 +990,7 @@ mod tests {
             &RpsChaseConfig {
                 max_rounds: 0,
                 max_triples: 10,
+                ..RpsChaseConfig::default()
             },
         );
         assert!(!sol.complete);

@@ -61,18 +61,29 @@ pub enum RpsError {
     /// that prepared it. Compiled plans reference their session's caches
     /// and dictionaries, so they are not transferable.
     SessionMismatch,
-    /// The session's configuration was mutated (via
-    /// [`crate::Session::config_mut`]) after this query was prepared, so
-    /// the compiled plan may no longer reflect the active strategy,
-    /// semantics or budgets. Re-prepare the query under the new
-    /// configuration. (Frozen sessions never raise this — their
-    /// configuration is immutable by construction.)
+    /// The compiled plan is too old to execute. Two layers raise this
+    /// with the same shape: a mutable [`crate::Session`] whose
+    /// configuration generation moved (via
+    /// [`crate::Session::config_mut`]) after the query was prepared, and
+    /// a [`crate::live::LiveSession`] whose writer has published more
+    /// epochs than the retention window keeps executable — a live plan
+    /// stays pinned to the epoch it was prepared against until the
+    /// writer's retention floor passes it. Re-prepare the query to pick
+    /// up the current generation/epoch. (Frozen sessions never raise
+    /// this — their configuration is immutable by construction.)
     StalePlan {
-        /// The configuration generation the plan was compiled under.
+        /// The configuration generation / epoch the plan was compiled
+        /// under.
         prepared: u32,
-        /// The session's current configuration generation.
+        /// The session's current configuration generation / epoch.
         current: u32,
     },
+    /// Live sessions answer from the incrementally maintained,
+    /// materialised universal solution; the rewrite and Datalog routes
+    /// assume an immutable base instance and are not available through
+    /// [`crate::live::LiveSession`]. Use `Strategy::Materialise` or
+    /// `Strategy::Auto`.
+    LiveNeedsMaterialisation,
     /// A federated peer stayed unreachable after the configured retry
     /// policy was exhausted, and the failure policy is
     /// [`crate::FailurePolicy::Strict`] — the query fails rather than
@@ -144,6 +155,12 @@ impl fmt::Display for RpsError {
             RpsError::SessionMismatch => write!(
                 f,
                 "prepared query was compiled by a different session; re-prepare it here"
+            ),
+            RpsError::LiveNeedsMaterialisation => write!(
+                f,
+                "live sessions answer from the incrementally maintained universal \
+                 solution; the rewrite and Datalog routes are unavailable — use \
+                 Strategy::Materialise or Strategy::Auto"
             ),
             RpsError::StalePlan { prepared, current } => write!(
                 f,

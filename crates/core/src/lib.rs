@@ -38,6 +38,7 @@ pub mod engine;
 pub mod equivalence;
 pub mod error;
 pub mod fault;
+pub mod live;
 pub mod mapping;
 pub mod peer;
 pub mod rewriting;
@@ -45,7 +46,9 @@ pub mod session;
 pub mod system;
 
 pub use answers::{certain_answers, certain_answers_union, AnswerSet};
-pub use chase::{chase_system, is_solution, RpsChaseConfig, RpsChaseStats, UniversalSolution};
+pub use chase::{
+    chase_system, is_solution, FiringMode, RpsChaseConfig, RpsChaseStats, UniversalSolution,
+};
 pub use datalog_route::DatalogEngine;
 pub use discovery::{
     discover, evaluate as evaluate_discovery, Candidate, DiscoveryConfig, DiscoveryQuality,
@@ -57,6 +60,7 @@ pub use engine::{AnswerRoute, RpsEngine};
 pub use equivalence::{canonicalize_graph, expand_answers, saturate_naive, EquivalenceIndex};
 pub use error::RpsError;
 pub use fault::{splitmix64, FailureCause, FailurePolicy, RetryPolicy};
+pub use live::{LivePlan, LiveReader, LiveSession, UpdateBatch};
 pub use mapping::{EquivalenceMapping, GraphMappingAssertion, MappingError};
 pub use peer::{Peer, PeerId, PeerValidationError};
 pub use rewriting::{cq_to_pattern, RpsRewriter, RpsRewriting};

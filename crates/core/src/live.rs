@@ -1,0 +1,674 @@
+//! Live updates under serving: incremental chase maintenance behind
+//! epoch-stamped immutable snapshots.
+//!
+//! The mutable [`crate::Session`] re-chases from scratch whenever the
+//! system changes, and the [`crate::FrozenSession`] forbids change
+//! altogether. This module fills the gap between them: a
+//! [`LiveSession`] owns the write side of a peer system and keeps its
+//! materialised universal solution *incrementally* maintained while
+//! any number of [`LiveReader`]s keep answering queries concurrently.
+//!
+//! # Epoch MVCC
+//!
+//! Every committed update batch publishes a new **epoch**: an immutable
+//! snapshot holding the sealed universal solution and a fresh
+//! per-epoch plan cache. Publication is an atomic pointer swap behind an
+//! `RwLock<Arc<_>>`, generalising the configuration-generation check of
+//! the mutable session into real multi-version concurrency:
+//!
+//! - readers never block the writer and never observe a torn graph —
+//!   they either see epoch *N* or epoch *N+1*, complete in both cases;
+//! - a [`LivePlan`] prepared against epoch *N* keeps executing against
+//!   epoch *N*'s pinned solution even after later epochs land, until
+//!   the writer's retention floor passes it — then execution fails with
+//!   the typed [`RpsError::StalePlan`] and the caller re-prepares;
+//! - the plan cache is per-epoch, so a cached plan can never be
+//!   executed against a graph it was not compiled for.
+//!
+//! # Incremental maintenance
+//!
+//! Insertions extend the solution by the semi-naive chase from the
+//! delta window only (the engine's persistent per-assertion log marks).
+//! Deletions run **delete-and-rederive** over the derivation provenance
+//! recorded during conclusion firing: an over-deleting cascade removes
+//! everything the retracted base tuples transitively support, then a
+//! rederivation phase re-fires every retracted firing whose premise
+//! still holds and restores equivalence copies with surviving sources.
+//!
+//! Byte-identity of the incrementally maintained solution with a
+//! from-scratch re-chase requires a *confluent* chase, so live sessions
+//! force [`FiringMode::Skolem`]:
+//! fresh blanks are named deterministically by the firing that creates
+//! them, making the fixpoint independent of insertion order.
+
+use crate::chase::{ChaseEngine, FiringMode, RpsChaseStats, UniversalSolution};
+use crate::error::RpsError;
+use crate::peer::PeerId;
+use crate::session::{
+    canonical_plan_key, stream_vars, AnswerStream, EngineConfig, ExecRoute, PlanCache, Strategy,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
+use crate::system::{scoped_term, RdfPeerSystem};
+use rps_query::{GraphPatternQuery, PreparedQueryIds, Semantics};
+use rps_rdf::{IdTriple, Term, Triple};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A batch of peer-database updates, applied atomically by
+/// [`LiveSession::apply`]: readers observe either none of the batch or
+/// all of it (plus its chase consequences). Within a batch, removals
+/// are applied before insertions, so removing and re-inserting the same
+/// triple is a no-op.
+#[derive(Default, Debug, Clone)]
+pub struct UpdateBatch {
+    inserts: Vec<(PeerId, Triple)>,
+    removes: Vec<(PeerId, Triple)>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Queues a triple for insertion into a peer's database.
+    pub fn insert(mut self, peer: PeerId, triple: Triple) -> Self {
+        self.inserts.push((peer, triple));
+        self
+    }
+
+    /// Queues a triple for removal from a peer's database. Removing a
+    /// triple the peer does not hold is a no-op.
+    pub fn remove(mut self, peer: PeerId, triple: Triple) -> Self {
+        self.removes.push((peer, triple));
+        self
+    }
+
+    /// `true` iff the batch queues no work.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.removes.is_empty()
+    }
+}
+
+/// One committed, immutable version of the universal solution. Readers
+/// pin the snapshot their plans were compiled against; the writer never
+/// mutates a published snapshot.
+struct EpochSnapshot {
+    epoch: u32,
+    solution: Arc<UniversalSolution>,
+    /// Per-epoch plan cache: compiled id-level plans are only valid
+    /// against the dictionary of the graph they were compiled for, so
+    /// the cache is scoped to the snapshot and dies with it.
+    plans: Mutex<PlanCache<PreparedQueryIds>>,
+}
+
+/// State shared between the writer and all readers: the current
+/// snapshot pointer and the retention floor below which plans are
+/// rejected as stale.
+struct LiveShared {
+    current: RwLock<Arc<EpochSnapshot>>,
+    /// Lowest epoch still executable. `floor = epoch − retain`
+    /// (saturating); plans below it fail with
+    /// [`RpsError::StalePlan`].
+    floor: AtomicU32,
+}
+
+/// The write side of a live peer system: owns the system, the
+/// incremental chase engine and the publication state. Single-writer by
+/// construction (`apply` takes `&mut self`); concurrent reads go
+/// through cloneable [`LiveReader`] handles.
+pub struct LiveSession {
+    system: RdfPeerSystem,
+    config: EngineConfig,
+    engine: ChaseEngine,
+    /// Multiplicity of each scoped base triple across peers (engine id
+    /// space). A triple only becomes a retraction candidate when its
+    /// count reaches zero — two peers asserting the same IRI-only
+    /// triple keep it alive until both drop it.
+    base: HashMap<IdTriple, u32>,
+    shared: Arc<LiveShared>,
+    epoch: u32,
+    retain: u32,
+    cache_capacity: usize,
+}
+
+impl LiveSession {
+    /// Validates the system, materialises the initial universal
+    /// solution and publishes it as epoch 0. Plans stay executable
+    /// forever (unbounded retention); see [`LiveSession::open_with_retention`]
+    /// to bound the window instead.
+    ///
+    /// The rewrite and Datalog routes assume an immutable base instance,
+    /// so `config.strategy` must be `Materialise` or `Auto` (both serve
+    /// the maintained materialisation); anything else fails with
+    /// [`RpsError::LiveNeedsMaterialisation`]. The chase firing mode is
+    /// forced to `Skolem` — see the [module docs](self).
+    pub fn open(system: RdfPeerSystem, config: EngineConfig) -> Result<Self, RpsError> {
+        Self::open_with_retention(system, config, u32::MAX)
+    }
+
+    /// Like [`LiveSession::open`], but plans prepared against an epoch
+    /// more than `retain` epochs behind the current one fail with
+    /// [`RpsError::StalePlan`]. `retain = 0` means only current-epoch
+    /// plans execute.
+    pub fn open_with_retention(
+        system: RdfPeerSystem,
+        config: EngineConfig,
+        retain: u32,
+    ) -> Result<Self, RpsError> {
+        system.validate().map_err(RpsError::Validation)?;
+        match config.strategy {
+            Strategy::Materialise | Strategy::Auto => {}
+            Strategy::Rewrite | Strategy::Datalog => {
+                return Err(RpsError::LiveNeedsMaterialisation)
+            }
+        }
+        let mut chase = config.chase.clone();
+        chase.firing = FiringMode::Skolem;
+        let mut engine = ChaseEngine::new(&system, &chase, true);
+        let mut base: HashMap<IdTriple, u32> = HashMap::new();
+        for (idx, peer) in system.peers().iter().enumerate() {
+            for triple in peer.database.iter() {
+                let t = scoped_id(&mut engine, idx, &triple);
+                *base.entry(t).or_insert(0) += 1;
+            }
+        }
+        if !engine.run() {
+            return Err(RpsError::ChaseBudget {
+                rounds: engine.stats.rounds,
+                triples: engine.graph.len(),
+            });
+        }
+        engine.graph.seal();
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: 0,
+            solution: Arc::new(UniversalSolution {
+                graph: engine.graph.clone(),
+                stats: engine.stats,
+                complete: true,
+            }),
+            plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+        });
+        let shared = Arc::new(LiveShared {
+            current: RwLock::new(snapshot),
+            floor: AtomicU32::new(0),
+        });
+        Ok(LiveSession {
+            system,
+            config,
+            engine,
+            base,
+            shared,
+            epoch: 0,
+            retain,
+            cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+        })
+    }
+
+    /// Applies a batch to the peer databases, repairs the universal
+    /// solution incrementally and publishes the result as a new epoch.
+    /// Returns the committed epoch number. An empty batch still commits
+    /// (and bumps) an epoch.
+    ///
+    /// On a chase-budget failure the error is returned and **no epoch
+    /// is published** — readers keep serving the last committed epoch —
+    /// but the write side is left mid-repair and the session should be
+    /// discarded (rebuild via [`LiveSession::open`] from the peers'
+    /// databases, which the failed batch has already mutated).
+    ///
+    /// # Panics
+    ///
+    /// If a batch entry names a peer index outside the system.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<u32, RpsError> {
+        // --- Removals first (batch semantics: remove-then-insert of the
+        // same triple is a no-op). ---
+        let mut candidates: Vec<IdTriple> = Vec::new();
+        for (peer, triple) in &batch.removes {
+            let idx = peer.0;
+            if !self.system.peer_mut(*peer).database.remove(triple) {
+                continue; // absent at the peer — nothing to retract
+            }
+            let t = scoped_id(&mut self.engine, idx, triple);
+            match self.base.get_mut(&t) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    self.base.remove(&t);
+                    candidates.push(t);
+                }
+                None => {}
+            }
+        }
+        // --- Insertions: extend the peer database (and its schema, so
+        // the system stays valid), then the base multiplicity map. ---
+        let mut fresh: Vec<IdTriple> = Vec::new();
+        for (peer, triple) in &batch.inserts {
+            let idx = peer.0;
+            let p = self.system.peer_mut(*peer);
+            for term in [triple.subject(), triple.predicate(), triple.object()] {
+                if let Term::Iri(iri) = term {
+                    p.schema.insert(iri.clone());
+                }
+            }
+            if !p.database.insert(triple) {
+                continue; // the peer already held it
+            }
+            let t = scoped_id(&mut self.engine, idx, triple);
+            let count = self.base.entry(t).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                fresh.push(t);
+            }
+        }
+        // --- Repair the materialisation: delete-and-rederive for the
+        // retracted base tuples, then the semi-naive delta chase over
+        // the (re-)insertions. ---
+        let complete = if candidates.is_empty() {
+            true
+        } else {
+            let base = &self.base;
+            self.engine
+                .retract_base(candidates, &|t| base.contains_key(&t))
+        };
+        for t in fresh {
+            self.engine.insert_base(t);
+        }
+        if !(complete && self.engine.run()) {
+            return Err(RpsError::ChaseBudget {
+                rounds: self.engine.stats.rounds,
+                triples: self.engine.graph.len(),
+            });
+        }
+        self.epoch += 1;
+        self.publish();
+        Ok(self.epoch)
+    }
+
+    /// Seals the write-side graph and swaps the published snapshot.
+    /// Readers holding the previous `Arc` keep it alive; new preparations
+    /// see the new epoch. Sealed runs are `Arc`-shared between the write
+    /// side and the published clone, so the clone cost is proportional
+    /// to the un-merged tail, not the whole graph.
+    fn publish(&mut self) {
+        self.engine.graph.seal();
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: self.epoch,
+            solution: Arc::new(UniversalSolution {
+                graph: self.engine.graph.clone(),
+                stats: self.engine.stats,
+                complete: true,
+            }),
+            plans: Mutex::new(PlanCache::new(self.cache_capacity)),
+        });
+        *self.shared.current.write().expect("epoch lock") = snapshot;
+        self.shared
+            .floor
+            .store(self.epoch.saturating_sub(self.retain), Ordering::Release);
+    }
+
+    /// A cloneable read handle over the published epochs. Readers stay
+    /// valid (and keep answering) after the `LiveSession` is dropped —
+    /// they serve the last published epoch forever.
+    pub fn reader(&self) -> LiveReader {
+        LiveReader {
+            shared: Arc::clone(&self.shared),
+            semantics: self.config.semantics,
+        }
+    }
+
+    /// The last committed epoch number.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The peer system in its current (post-batch) state.
+    pub fn system(&self) -> &RdfPeerSystem {
+        &self.system
+    }
+
+    /// The currently published universal solution.
+    pub fn solution(&self) -> Arc<UniversalSolution> {
+        self.shared
+            .current
+            .read()
+            .expect("epoch lock")
+            .solution
+            .clone()
+    }
+
+    /// Cumulative chase statistics across the initial materialisation
+    /// and every applied batch (`retractions` / `refirings` count the
+    /// delete-and-rederive work).
+    pub fn stats(&self) -> RpsChaseStats {
+        self.engine.stats
+    }
+}
+
+/// Interns a peer triple into the engine's dictionary under the peer's
+/// blank scope — the same `p{idx}_` scoping the stored database uses,
+/// so live updates and the from-scratch chase agree on identity.
+fn scoped_id(engine: &mut ChaseEngine, idx: usize, triple: &Triple) -> IdTriple {
+    let s = engine.intern(&scoped_term(idx, triple.subject()));
+    let p = engine.intern(&scoped_term(idx, triple.predicate()));
+    let o = engine.intern(&scoped_term(idx, triple.object()));
+    IdTriple::new(s, p, o)
+}
+
+/// A shareable, cloneable read handle over a [`LiveSession`]'s published
+/// epochs. All methods take `&self`; the handle is `Send + Sync`, so
+/// worker threads can prepare and execute concurrently while the writer
+/// publishes.
+#[derive(Clone)]
+pub struct LiveReader {
+    shared: Arc<LiveShared>,
+    semantics: Semantics,
+}
+
+impl LiveReader {
+    /// The epoch a preparation issued right now would pin.
+    pub fn epoch(&self) -> u32 {
+        self.shared.current.read().expect("epoch lock").epoch
+    }
+
+    /// A handle answering under a different result semantics (`Q` drops
+    /// blank-node tuples, `Q*` keeps them). The materialised route
+    /// serves both, so no re-chase is involved — plans are even shared,
+    /// as the semantics is applied at execution.
+    pub fn with_semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Compiles a query against the current epoch — or adopts the
+    /// cached plan of an α-equivalent query prepared earlier against
+    /// the same epoch. The returned plan pins the epoch's solution:
+    /// executing it always answers over that exact graph, regardless of
+    /// later publications.
+    ///
+    /// Unlike the frozen session's cache, the projection variable
+    /// *names* are always the caller's own (α-equivalent queries share
+    /// the compiled plan but not the name vector).
+    pub fn prepare(&self, query: &GraphPatternQuery) -> Result<LivePlan, RpsError> {
+        let snapshot = self.shared.current.read().expect("epoch lock").clone();
+        let key = canonical_plan_key(query);
+        let cached = snapshot.plans.lock().expect("plan cache lock").lookup(&key);
+        let plan = match cached {
+            Some(hit) => hit,
+            None => {
+                // Compile outside the cache lock; first insert wins.
+                let compiled = Arc::new(PreparedQueryIds::compile_only(
+                    &snapshot.solution.graph,
+                    query,
+                ));
+                snapshot
+                    .plans
+                    .lock()
+                    .expect("plan cache lock")
+                    .insert(key, compiled)
+            }
+        };
+        Ok(LivePlan {
+            epoch: snapshot.epoch,
+            solution: snapshot.solution.clone(),
+            plan,
+            vars: stream_vars(query),
+            semantics: self.semantics,
+        })
+    }
+
+    /// Executes a prepared plan against the epoch it was compiled for.
+    /// Fails with [`RpsError::StalePlan`] iff the writer's retention
+    /// floor has passed the plan's epoch — until then, the answers are
+    /// exactly epoch `plan.epoch()`'s, torn-read-free by construction.
+    pub fn execute(&self, plan: &LivePlan) -> Result<AnswerStream, RpsError> {
+        let floor = self.shared.floor.load(Ordering::Acquire);
+        if plan.epoch < floor {
+            return Err(RpsError::StalePlan {
+                prepared: plan.epoch,
+                current: self.epoch(),
+            });
+        }
+        let ids = plan.plan.evaluate(&plan.solution.graph, plan.semantics);
+        Ok(AnswerStream::from_ids(
+            plan.vars.clone(),
+            ExecRoute::Materialised,
+            plan.solution.clone(),
+            ids,
+        ))
+    }
+
+    /// Prepare-and-execute against the current epoch.
+    pub fn answer(&self, query: &GraphPatternQuery) -> Result<AnswerStream, RpsError> {
+        let plan = self.prepare(query)?;
+        self.execute(&plan)
+    }
+}
+
+/// A query compiled by [`LiveReader::prepare`] against one specific
+/// epoch. Holds the epoch's solution alive; executable any number of
+/// times (on any thread) until the writer's retention floor passes it.
+pub struct LivePlan {
+    epoch: u32,
+    solution: Arc<UniversalSolution>,
+    plan: Arc<PreparedQueryIds>,
+    vars: Vec<String>,
+    semantics: Semantics,
+}
+
+impl LivePlan {
+    /// The epoch this plan is pinned to.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::RpsBuilder;
+    use rps_query::{GraphPattern, TermOrVar, Variable};
+    use std::collections::BTreeSet;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    /// Two peers: peer B holds `actor` facts, peer A uses
+    /// `starring`/`artist`; one GMA translates B into A's shape with an
+    /// existential witness (`z`) between the two A-triples.
+    fn small_system() -> RdfPeerSystem {
+        let mut a = PeerId(0);
+        let mut b = PeerId(0);
+        let premise = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://b/actor"),
+                TermOrVar::var("y"),
+            ),
+        );
+        let conclusion = GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/starring"),
+                TermOrVar::var("z"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("z"),
+                TermOrVar::iri("http://a/artist"),
+                TermOrVar::var("y"),
+            )),
+        );
+        RpsBuilder::new()
+            .peer_turtle(
+                "A",
+                "<http://a/film> <http://a/starring> _:c .\n\
+                 _:c <http://a/artist> <http://a/actor1> .",
+                &mut a,
+            )
+            .unwrap()
+            .peer_turtle(
+                "B",
+                "<http://b/film2> <http://b/actor> <http://b/actor2> .",
+                &mut b,
+            )
+            .unwrap()
+            .assertion(b, a, premise, conclusion)
+            .unwrap()
+            .build()
+    }
+
+    /// Join through the existential witness, so both projected
+    /// positions are IRIs and survive `Certain` semantics.
+    fn cast_query() -> GraphPatternQuery {
+        GraphPatternQuery::new(
+            vec![v("x"), v("y")],
+            GraphPattern::triple(
+                TermOrVar::var("x"),
+                TermOrVar::iri("http://a/starring"),
+                TermOrVar::var("z"),
+            )
+            .and(GraphPattern::triple(
+                TermOrVar::var("z"),
+                TermOrVar::iri("http://a/artist"),
+                TermOrVar::var("y"),
+            )),
+        )
+    }
+
+    fn iri(s: &str) -> Term {
+        Term::Iri(rps_rdf::Iri::new(s))
+    }
+
+    fn actor_triple(film: &str, actor: &str) -> Triple {
+        Triple::new(
+            iri(&format!("http://b/{film}")),
+            iri("http://b/actor"),
+            iri(&format!("http://b/{actor}")),
+        )
+        .expect("valid triple")
+    }
+
+    #[test]
+    fn open_publishes_epoch_zero_with_chased_solution() {
+        let live = LiveSession::open(small_system(), EngineConfig::default()).expect("opens");
+        assert_eq!(live.epoch(), 0);
+        let reader = live.reader();
+        assert_eq!(reader.epoch(), 0);
+        let answers = reader.answer(&cast_query()).expect("answers").into_set();
+        // A's stored pair plus the chased translation of B's fact.
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn rewrite_strategy_is_rejected() {
+        let config = EngineConfig::default().with_strategy(Strategy::Rewrite);
+        match LiveSession::open(small_system(), config) {
+            Err(e) => assert!(matches!(e, RpsError::LiveNeedsMaterialisation), "{e}"),
+            Ok(_) => panic!("rewrite strategy must be rejected"),
+        }
+    }
+
+    #[test]
+    fn insert_extends_answers_and_bumps_epoch() {
+        let mut live = LiveSession::open(small_system(), EngineConfig::default()).expect("opens");
+        let reader = live.reader();
+        let batch = UpdateBatch::new().insert(PeerId(1), actor_triple("film3", "actor3"));
+        let epoch = live.apply(&batch).expect("applies");
+        assert_eq!(epoch, 1);
+        assert_eq!(reader.epoch(), 1);
+        let answers = reader.answer(&cast_query()).expect("answers").into_set();
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn remove_retracts_derived_consequences() {
+        let mut live = LiveSession::open(small_system(), EngineConfig::default()).expect("opens");
+        let batch = UpdateBatch::new().remove(PeerId(1), actor_triple("film2", "actor2"));
+        live.apply(&batch).expect("applies");
+        let answers = live
+            .reader()
+            .answer(&cast_query())
+            .expect("answers")
+            .into_set();
+        // The derived (film2, actor2) pair disappears with its base
+        // support; only A's stored pair remains.
+        assert_eq!(answers.len(), 1);
+        assert!(live.stats().retractions > 0);
+    }
+
+    #[test]
+    fn plans_pin_their_epoch_until_the_floor_passes() {
+        let mut live = LiveSession::open_with_retention(small_system(), EngineConfig::default(), 1)
+            .expect("opens");
+        let reader = live.reader();
+        let plan0 = reader.prepare(&cast_query()).expect("prepares");
+        let before = reader.execute(&plan0).expect("executes").into_set();
+
+        live.apply(&UpdateBatch::new().insert(PeerId(1), actor_triple("f3", "a3")))
+            .expect("applies");
+        // Epoch 1, retention 1: the epoch-0 plan still executes and
+        // still answers epoch 0's graph.
+        let pinned = reader.execute(&plan0).expect("still executable").into_set();
+        assert_eq!(before, pinned);
+
+        live.apply(&UpdateBatch::new().insert(PeerId(1), actor_triple("f4", "a4")))
+            .expect("applies");
+        // Epoch 2: the floor (2 − 1 = 1) passed epoch 0.
+        match reader.execute(&plan0) {
+            Err(RpsError::StalePlan { prepared, current }) => {
+                assert_eq!(prepared, 0);
+                assert_eq!(current, 2);
+            }
+            Err(other) => panic!("expected StalePlan, got {other}"),
+            Ok(_) => panic!("expected StalePlan, got answers"),
+        }
+        // Re-preparing picks up the current epoch.
+        let plan2 = reader.prepare(&cast_query()).expect("prepares");
+        assert_eq!(plan2.epoch(), 2);
+        assert!(reader.execute(&plan2).is_ok());
+    }
+
+    #[test]
+    fn remove_then_insert_of_the_same_triple_is_a_noop() {
+        let mut live = LiveSession::open(small_system(), EngineConfig::default()).expect("opens");
+        let before = live
+            .reader()
+            .answer(&cast_query())
+            .expect("answers")
+            .into_set();
+        let t = actor_triple("film2", "actor2");
+        let batch = UpdateBatch::new()
+            .remove(PeerId(1), t.clone())
+            .insert(PeerId(1), t);
+        live.apply(&batch).expect("applies");
+        let after = live
+            .reader()
+            .answer(&cast_query())
+            .expect("answers")
+            .into_set();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_rechase() {
+        let mut live = LiveSession::open(small_system(), EngineConfig::default()).expect("opens");
+        let batch = UpdateBatch::new()
+            .insert(PeerId(1), actor_triple("film3", "actor3"))
+            .remove(PeerId(1), actor_triple("film2", "actor2"));
+        live.apply(&batch).expect("applies");
+
+        // From-scratch oracle: chase the mutated system under the same
+        // (confluent) configuration.
+        let chase = crate::RpsChaseConfig {
+            firing: FiringMode::Skolem,
+            ..crate::RpsChaseConfig::default()
+        };
+        let scratch = crate::chase_system(live.system(), &chase);
+        assert!(scratch.complete);
+        let live_triples: BTreeSet<Triple> = live.solution().graph.iter().collect();
+        let scratch_triples: BTreeSet<Triple> = scratch.graph.iter().collect();
+        assert_eq!(live_triples, scratch_triples);
+    }
+}

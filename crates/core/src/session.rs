@@ -305,7 +305,7 @@ enum StreamInner {
 impl AnswerStream {
     /// A stream over id-level tuples, decoded lazily against the
     /// solution's dictionary.
-    fn from_ids(
+    pub(crate) fn from_ids(
         vars: Vec<String>,
         route: ExecRoute,
         solution: Arc<UniversalSolution>,
@@ -857,6 +857,7 @@ mod tests {
                 .with_chase(RpsChaseConfig {
                     max_rounds: 1,
                     max_triples: 10_000,
+                    ..RpsChaseConfig::default()
                 }),
         );
         let err = s.answer(&crate::datalog_route::tests_support::edge_query());

@@ -672,6 +672,9 @@ impl FrozenSession {
                         eq_copies: num(parts.next())?,
                         blanks_created: num(parts.next())? as u64,
                         invalid_firings: num(parts.next())?,
+                        // Live-update counters are not persisted — a
+                        // reopened session starts from a quiescent state.
+                        ..RpsChaseStats::default()
                     });
                 }
                 "complete" => {

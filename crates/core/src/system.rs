@@ -56,6 +56,15 @@ impl RdfPeerSystem {
         &self.peers[id.0]
     }
 
+    /// Mutable access to a peer, the write side of live updates
+    /// ([`crate::live::LiveSession`] routes every insert/remove batch
+    /// through here so the peer databases stay the source of truth). The
+    /// caller keeps the peer's schema consistent with its database;
+    /// validation re-checks when a session opens over the system.
+    pub fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        &mut self.peers[id.0]
+    }
+
     /// The graph mapping assertions `G`.
     pub fn assertions(&self) -> &[GraphMappingAssertion] {
         &self.assertions
@@ -82,10 +91,7 @@ impl RdfPeerSystem {
                 Some(mapped) => mapped,
                 None => {
                     let term = db.term(tid);
-                    let scoped = match term {
-                        Term::Blank(b) => Term::blank(format!("p{idx}_{}", b.label())),
-                        other => other.clone(),
-                    };
+                    let scoped = scoped_term(idx, term);
                     let mapped = out.intern(&scoped);
                     memo[tid.index()] = Some(mapped);
                     mapped
@@ -121,10 +127,7 @@ impl RdfPeerSystem {
             Some(mapped) => mapped,
             None => {
                 let term = db.term(tid);
-                let scoped = match term {
-                    Term::Blank(b) => Term::blank(format!("p{idx}_{}", b.label())),
-                    other => other.clone(),
-                };
+                let scoped = scoped_term(idx, term);
                 let mapped = out.intern(&scoped);
                 memo[tid.index()] = Some(mapped);
                 mapped
@@ -209,6 +212,19 @@ impl RdfPeerSystem {
     /// Total number of stored triples across peers.
     pub fn stored_size(&self) -> usize {
         self.peers.iter().map(Peer::size).sum()
+    }
+}
+
+/// The peer-scoped image of a term in the stored database: blank labels
+/// are prefixed with the peer index (`p{idx}_…`), matching the paper's
+/// treatment of blank nodes as peer-local placeholders. Both the bulk
+/// [`RdfPeerSystem::stored_database`] union and the live-update write
+/// path ([`crate::live`]) apply this mapping, so a triple inserted live
+/// lands on exactly the id a batch load would have given it.
+pub(crate) fn scoped_term(idx: usize, term: &Term) -> Term {
+    match term {
+        Term::Blank(b) => Term::blank(format!("p{idx}_{}", b.label())),
+        other => other.clone(),
     }
 }
 

@@ -29,4 +29,5 @@ pub use chain::{edge_query, endpoint_query, transitive_system};
 pub use film::{actor_shape_query, film_system, peer_ns, FilmConfig};
 pub use paper::{paper_example, query_from, PaperExample};
 pub use people::{people_workload, PeopleConfig, PeopleWorkload};
+pub use rng::{seed_matrix, SeededRng};
 pub use topology::Topology;

@@ -48,6 +48,35 @@ impl SeededRng {
     }
 }
 
+/// The seed matrix of a randomised test suite: the environment variable
+/// `var` (comma-separated u64s, e.g. `RPS_LIVE_SEED=3,17,2026`)
+/// overrides `defaults`, so CI can shard seeds across jobs. Shared by
+/// `RPS_RECOVERY_SEED`, `RPS_FAULT_SEED` and `RPS_LIVE_SEED`.
+///
+/// # Panics
+///
+/// With a message naming `var` and the offending token if the variable
+/// is set but any comma-separated token (including an empty one) is not
+/// a u64 — a malformed sweep must fail loudly, not silently fall back
+/// to the defaults.
+pub fn seed_matrix(var: &str, defaults: &[u64]) -> Vec<u64> {
+    match std::env::var(var) {
+        Ok(s) => s
+            .split(',')
+            .map(|tok| {
+                let tok = tok.trim();
+                tok.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "{var} must be comma-separated u64 seeds; \
+                         bad token {tok:?} in {s:?}"
+                    )
+                })
+            })
+            .collect(),
+        Err(_) => defaults.to_vec(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +114,26 @@ mod tests {
         let mut r = SeededRng::seed_from_u64(11);
         let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
         assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+
+    // Each seed_matrix test uses its own variable name: env mutations
+    // are process-global and the test harness runs threads in parallel.
+
+    #[test]
+    fn seed_matrix_falls_back_to_defaults() {
+        assert_eq!(seed_matrix("RPS_TEST_SEED_UNSET", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn seed_matrix_parses_the_override() {
+        std::env::set_var("RPS_TEST_SEED_OK", " 3, 17 ,2026");
+        assert_eq!(seed_matrix("RPS_TEST_SEED_OK", &[1]), vec![3, 17, 2026]);
+    }
+
+    #[test]
+    #[should_panic(expected = "RPS_TEST_SEED_BAD must be comma-separated u64 seeds")]
+    fn seed_matrix_rejects_malformed_input() {
+        std::env::set_var("RPS_TEST_SEED_BAD", "3,x,5");
+        seed_matrix("RPS_TEST_SEED_BAD", &[1]);
     }
 }

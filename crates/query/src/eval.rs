@@ -16,7 +16,7 @@
 
 use crate::binding::Mapping;
 use crate::pattern::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
-use rps_rdf::{Graph, TermId};
+use rps_rdf::{Graph, IdTriple, TermId};
 use std::collections::BTreeSet;
 
 /// Which tuples a query evaluation returns (Section 2.1).
@@ -334,6 +334,45 @@ impl PreparedPattern {
             false
         });
         found
+    }
+
+    /// The triples supporting the *first* solution extending the
+    /// id-level binding `bind` (early exit), one per conjunct in
+    /// planner order, or `None` when no solution exists. This is the
+    /// witness-extraction form of [`Self::has_match_with`]: the chase
+    /// records these triples as the premise provenance of a firing, so
+    /// delete-and-rederive knows which conclusions a removal can
+    /// invalidate.
+    pub fn first_match_with(
+        &self,
+        graph: &Graph,
+        bind: &dyn Fn(&Variable) -> Option<TermId>,
+    ) -> Option<Vec<IdTriple>> {
+        if !self.compiled.satisfiable {
+            return None;
+        }
+        let mut binding: Vec<Option<TermId>> = vec![None; self.compiled.vars.len()];
+        for (i, v) in self.compiled.vars.iter().enumerate() {
+            if let Some(id) = bind(v) {
+                binding[i] = Some(id);
+            }
+        }
+        let slots = &self.compiled.slots;
+        let mut witness: Option<Vec<IdTriple>> = None;
+        search(graph, slots, 0, &mut binding, &mut |b| {
+            let resolve = |s: &Slot| match s {
+                Slot::Const(id) => *id,
+                Slot::Var(v) => b[*v].expect("a full match binds every occurring variable"),
+            };
+            witness = Some(
+                slots
+                    .iter()
+                    .map(|sl| IdTriple::new(resolve(&sl[0]), resolve(&sl[1]), resolve(&sl[2])))
+                    .collect(),
+            );
+            false
+        });
+        witness
     }
 }
 

@@ -75,6 +75,7 @@ pub mod wal;
 use crate::dict::TermId;
 use crate::triple::IdTriple;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Tail capacity before a flush turns it into a sorted run.
 ///
@@ -222,7 +223,7 @@ impl TripleStore {
                 runs: s.spo.runs.len(),
                 tail: s.spo.tail.len(),
                 tombstones: s.dead.len(),
-                run_keys: s.spo.runs.iter().map(Vec::len).sum(),
+                run_keys: s.spo.runs.iter().map(|r| r.len()).sum(),
                 ..StorageStats::default()
             },
         }
@@ -337,7 +338,7 @@ impl TripleStore {
                         .iter()
                         .map(|run| {
                             if s.dead.len() == 0 {
-                                run.clone()
+                                run.as_ref().clone()
                             } else {
                                 run.iter()
                                     .copied()
@@ -416,15 +417,15 @@ impl TripleStore {
         }
         Ok(TripleStore::Runs(RunStore {
             spo: RunIndex {
-                runs: spo_runs,
+                runs: spo_runs.into_iter().map(Arc::new).collect(),
                 tail: Vec::new(),
             },
             pos: RunIndex {
-                runs: pos_runs,
+                runs: pos_runs.into_iter().map(Arc::new).collect(),
                 tail: Vec::new(),
             },
             osp: RunIndex {
-                runs: osp_runs,
+                runs: osp_runs.into_iter().map(Arc::new).collect(),
                 tail: Vec::new(),
             },
             present,
@@ -486,8 +487,12 @@ impl BTreeStore {
 struct RunIndex {
     /// Immutable sorted runs, oldest first. Sizes decrease towards the
     /// newest run by at least the tiering factor, so there are
-    /// `O(log n)` of them.
-    runs: Vec<Vec<[u32; 3]>>,
+    /// `O(log n)` of them. Each run is `Arc`-shared: once written it is
+    /// never mutated (compaction replaces whole runs), so cloning a
+    /// graph — which the live epoch-publication path does once per
+    /// committed epoch — shares the key arrays instead of deep-copying
+    /// them.
+    runs: Vec<Arc<Vec<[u32; 3]>>>,
     /// The mutable tail, **kept sorted in this permutation's key
     /// order** (binary-search insertion; the tail is at most
     /// [`TAIL_MAX`] 12-byte keys, so the shift is one small memmove).
@@ -508,7 +513,12 @@ impl RunIndex {
     /// of the run stack per scan.
     fn sorted_slices(&self, lo: [u32; 3], hi: [u32; 3]) -> Vec<&[[u32; 3]]> {
         let mut out = Vec::with_capacity(self.runs.len() + 1);
-        for source in self.runs.iter().chain(std::iter::once(&self.tail)) {
+        for source in self
+            .runs
+            .iter()
+            .map(|r| r.as_slice())
+            .chain(std::iter::once(self.tail.as_slice()))
+        {
             match (source.first(), source.last()) {
                 (Some(min), Some(max)) if *min <= hi && lo <= *max => {}
                 _ => continue, // empty, or disjoint from [lo, hi]
@@ -546,7 +556,7 @@ impl RunIndex {
         if run.is_empty() {
             return;
         }
-        self.runs.push(run);
+        self.runs.push(Arc::new(run));
         while self.runs.len() >= 2 {
             let newer = self.runs[self.runs.len() - 1].len();
             let older = self.runs[self.runs.len() - 2].len();
@@ -555,7 +565,7 @@ impl RunIndex {
             }
             let b = self.runs.pop().expect("len checked");
             let a = self.runs.pop().expect("len checked");
-            self.runs.push(merge_sorted(&a, &b));
+            self.runs.push(Arc::new(merge_sorted(&a, &b)));
         }
     }
 }
@@ -697,7 +707,7 @@ impl RunStore {
     /// run-resident keys (and exceed an absolute floor), by merging each
     /// index's whole run stack into one purged run.
     fn maybe_purge(&mut self) {
-        let run_keys: usize = self.spo.runs.iter().map(Vec::len).sum();
+        let run_keys: usize = self.spo.runs.iter().map(|r| r.len()).sum();
         if self.dead.len() < PURGE_MIN || self.dead.len() * 2 < run_keys {
             return;
         }
@@ -709,13 +719,14 @@ impl RunStore {
             let mut all: Vec<[u32; 3]> = Vec::with_capacity(run_keys - self.dead.len());
             for run in index.runs.drain(..) {
                 all.extend(
-                    run.into_iter()
+                    run.iter()
+                        .copied()
                         .filter(|k| !self.dead.contains(spo_key(perm.unpermute(*k)))),
                 );
             }
             all.sort_unstable();
             if !all.is_empty() {
-                index.runs.push(all);
+                index.runs.push(Arc::new(all));
             }
         }
         self.dead = KeySet::default();
@@ -736,13 +747,14 @@ impl RunStore {
                 let mut all: Vec<[u32; 3]> = Vec::new();
                 for run in index.runs.drain(..) {
                     all.extend(
-                        run.into_iter()
+                        run.iter()
+                            .copied()
                             .filter(|k| !self.dead.contains(spo_key(perm.unpermute(*k)))),
                     );
                 }
                 all.sort_unstable();
                 if !all.is_empty() {
-                    index.runs.push(all);
+                    index.runs.push(Arc::new(all));
                 }
             }
             self.dead = KeySet::default();

@@ -80,6 +80,7 @@ fn chase_budget_exhaustion_is_reported() {
         .with_chase_config(RpsChaseConfig {
             max_rounds: 1,
             max_triples: 10_000,
+            ..RpsChaseConfig::default()
         });
     // One round is not enough for the full closure.
     let _ = engine.answer(&chain::edge_query());

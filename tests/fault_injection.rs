@@ -36,17 +36,7 @@ const DATA_SEED: u64 = 7;
 /// The fault-schedule seed matrix: `RPS_FAULT_SEED` (comma-separated)
 /// overrides the default sweep, so CI can shard seeds across jobs.
 fn seeds() -> Vec<u64> {
-    match std::env::var("RPS_FAULT_SEED") {
-        Ok(s) => s
-            .split(',')
-            .map(|x| {
-                x.trim()
-                    .parse()
-                    .expect("RPS_FAULT_SEED must be comma-separated u64 seeds")
-            })
-            .collect(),
-        Err(_) => vec![11, 42, 1337],
-    }
+    rps_lodgen::seed_matrix("RPS_FAULT_SEED", &[11, 42, 1337])
 }
 
 fn data_cfg() -> FilmConfig {

@@ -30,17 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// The seed matrix: `RPS_RECOVERY_SEED` (comma-separated) overrides the
 /// default sweep.
 fn seeds() -> Vec<u64> {
-    match std::env::var("RPS_RECOVERY_SEED") {
-        Ok(s) => s
-            .split(',')
-            .map(|x| {
-                x.trim()
-                    .parse()
-                    .expect("RPS_RECOVERY_SEED must be comma-separated u64 seeds")
-            })
-            .collect(),
-        Err(_) => vec![11, 42, 1337],
-    }
+    rps_lodgen::seed_matrix("RPS_RECOVERY_SEED", &[11, 42, 1337])
 }
 
 /// splitmix64 — deterministic, dependency-free.
