@@ -9,6 +9,7 @@
 //! cargo run --release -p rps-bench --bin harness            # all experiments
 //! cargo run --release -p rps-bench --bin harness e2 e7      # a subset
 //! cargo run --release -p rps-bench --bin harness quick      # reduced sweeps
+//! cargo run --release -p rps-bench --bin harness full       # full sweeps (default)
 //! ```
 //!
 //! `BENCH_tgd.json` is written to the current directory on every run;
@@ -73,11 +74,11 @@ fn render_json(mode: &str, timed: &[Timed]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
-    let want = |id: &str| {
-        args.is_empty()
-            || args.iter().all(|a| a == "quick")
-            || args.iter().any(|a| a.eq_ignore_ascii_case(id))
-    };
+    // `quick` and `full` are mode keywords, not experiment filters: a
+    // bare `harness full` still runs every experiment (at full sweeps).
+    let is_mode = |a: &String| a == "quick" || a == "full";
+    let want =
+        |id: &str| args.iter().all(is_mode) || args.iter().any(|a| a.eq_ignore_ascii_case(id));
 
     let mut timed: Vec<Timed> = Vec::new();
     let mut run = |id: &'static str, f: &mut dyn FnMut() -> Table| {
@@ -196,6 +197,10 @@ fn main() {
             &[100, 400, 1600]
         };
         run("e18", &mut || e18_live_updates(sizes));
+    }
+    if want("e19") {
+        let triples = if quick { 120_000 } else { 2_000_000 };
+        run("e19", &mut || e19_scaleout(triples));
     }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");

@@ -65,7 +65,7 @@ pub use mapping::{EquivalenceMapping, GraphMappingAssertion, MappingError};
 pub use peer::{Peer, PeerId, PeerValidationError};
 pub use rewriting::{cq_to_pattern, RpsRewriter, RpsRewriting};
 pub use session::{
-    canonical_plan_key, AnswerStream, EngineConfig, ExecRoute, FrozenSession, PlanCache,
-    PlanCacheStats, PreparedQuery, Session, Strategy, DEFAULT_PLAN_CACHE_CAPACITY,
+    canonical_plan_key, AnswerStream, EngineConfig, ExecConfig, ExecRoute, FrozenSession,
+    PlanCache, PlanCacheStats, PreparedQuery, Session, Strategy, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use system::{RdfPeerSystem, RpsBuilder, SystemValidationError};

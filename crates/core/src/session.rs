@@ -80,7 +80,7 @@ use crate::error::RpsError;
 use crate::rewriting::{RewrittenBranch, RpsRewriter};
 use crate::system::RdfPeerSystem;
 use rps_query::{GraphPatternQuery, PreparedQueryIds, Semantics};
-use rps_rdf::{Graph, Term, TermId};
+use rps_rdf::{Graph, SealConfig, Term, TermId};
 use rps_tgd::RewriteConfig;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -145,6 +145,9 @@ pub struct EngineConfig {
     /// after the retries. Ignored by the local routes, like
     /// [`EngineConfig::retry`].
     pub failure: crate::fault::FailurePolicy,
+    /// Physical execution knobs: worker count and morsel size for
+    /// parallel scans, shard count and compression for sealed graphs.
+    pub exec: ExecConfig,
 }
 
 impl Default for EngineConfig {
@@ -156,6 +159,7 @@ impl Default for EngineConfig {
             rewrite: RewriteConfig::default(),
             retry: crate::fault::RetryPolicy::default(),
             failure: crate::fault::FailurePolicy::default(),
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -195,6 +199,92 @@ impl EngineConfig {
     pub fn with_failure(mut self, failure: crate::fault::FailurePolicy) -> Self {
         self.failure = failure;
         self
+    }
+
+    /// Overrides the physical execution knobs.
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+/// Physical execution configuration: how the logical plans of this
+/// module actually touch the triple store. Orthogonal to the *answer*
+/// configuration ([`Strategy`], [`Semantics`], budgets): any setting
+/// here yields byte-identical answers — it only changes wall-clock time
+/// and resident bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads for morsel-driven scans. `0` = auto (available
+    /// parallelism). `1` forces the sequential path.
+    pub workers: usize,
+    /// Driver tuples per morsel; workers claim morsels from a shared
+    /// counter (work stealing). Smaller morsels balance better, larger
+    /// ones amortise dispatch.
+    pub morsel_size: usize,
+    /// Subject-hash shard count frozen graphs are sealed into. `0` =
+    /// auto (available parallelism), `1` = a single unsharded run per
+    /// permutation. The `RPS_SHARDS` environment variable overrides
+    /// this (used by CI to force a fixed shard count).
+    pub shards: usize,
+    /// Encode sealed runs as delta-varint columnar blocks when they are
+    /// large enough to benefit.
+    pub compress: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            workers: 0,
+            morsel_size: 1024,
+            shards: 0,
+            compress: false,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The worker count after resolving `0` to available parallelism.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The shard count after the `RPS_SHARDS` override and resolving
+    /// `0` to available parallelism.
+    pub fn resolved_shards(&self) -> usize {
+        if let Ok(v) = std::env::var("RPS_SHARDS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The [`SealConfig`] a frozen graph should be resealed with.
+    pub fn seal_config(&self) -> SealConfig {
+        SealConfig {
+            shards: self.resolved_shards(),
+            compress: self.compress,
+            ..SealConfig::default()
+        }
+    }
+
+    /// Whether freezing should physically reseal the solution graph
+    /// (sharding and/or compression requested).
+    pub fn wants_reseal(&self) -> bool {
+        self.resolved_shards() > 1 || self.compress
     }
 }
 
@@ -402,11 +492,18 @@ pub(crate) fn stream_vars(query: &GraphPatternQuery) -> Vec<String> {
 pub(crate) fn execute_plan(
     prepared: &PreparedQuery,
     eq_index: &EquivalenceIndex,
+    exec: &ExecConfig,
 ) -> Result<AnswerStream, RpsError> {
     let vars = stream_vars(&prepared.query);
+    let workers = exec.resolved_workers();
     match &prepared.plan {
         Plan::Materialised { solution, plan } => {
-            let ids = plan.evaluate(&solution.graph, prepared.semantics);
+            let ids = plan.evaluate_parallel(
+                &solution.graph,
+                prepared.semantics,
+                workers,
+                exec.morsel_size,
+            );
             Ok(AnswerStream::from_ids(
                 vars,
                 ExecRoute::Materialised,
@@ -424,7 +521,12 @@ pub(crate) fn execute_plan(
             let mut id_union: BTreeSet<Vec<TermId>> = BTreeSet::new();
             let mut tuples: BTreeSet<Vec<Term>> = BTreeSet::new();
             for branch in branches {
-                let rows = branch.plan.evaluate(graph, Semantics::Certain);
+                let rows = branch.plan.evaluate_parallel(
+                    graph,
+                    Semantics::Certain,
+                    workers,
+                    exec.morsel_size,
+                );
                 if branch.head.iter().all(Option::is_none) {
                     id_union.extend(rows);
                     continue;
@@ -703,7 +805,7 @@ impl Session {
                     ans.tuples,
                 ))
             }
-            _ => execute_plan(prepared, &self.eq_index),
+            _ => execute_plan(prepared, &self.eq_index, &self.config.exec),
         }
     }
 

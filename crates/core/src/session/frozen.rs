@@ -321,6 +321,19 @@ impl Session {
             // preparations) as the Auto fallback substrate.
             self.solution.take().filter(|s| s.complete)
         };
+        // Frozen sessions serve reads only, so this is the moment to
+        // pick the physical layout: reseal the solution graph into
+        // subject-hash shards (and optionally columnar-compressed runs)
+        // per the execution config. Answers are unaffected — the sealed
+        // forms scan byte-identically to the unsharded runs.
+        let solution = match solution {
+            Some(arc) if self.config.exec.wants_reseal() => {
+                let mut sol = Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone());
+                sol.graph.seal_with(&self.config.exec.seal_config());
+                Some(Arc::new(sol))
+            }
+            other => other,
+        };
         let datalog = if self.config.strategy == Strategy::Datalog {
             let mut engine = match self.datalog.take() {
                 Some(engine) => engine,
@@ -514,7 +527,7 @@ impl FrozenSession {
                     ans.tuples,
                 ))
             }
-            _ => execute_plan(prepared, &inner.eq_index),
+            _ => execute_plan(prepared, &inner.eq_index, &inner.config.exec),
         }
     }
 

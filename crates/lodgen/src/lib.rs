@@ -13,10 +13,13 @@
 //! * [`topology`] — mapping topologies (chain, ring, star, clique,
 //!   random, bidirectional chain) for the scalability experiments;
 //! * [`chain`] — the Proposition 3 transitive-closure workload;
-//! * [`queries`] — query generators for workload mixes.
+//! * [`queries`] — query generators for workload mixes;
+//! * [`bulk`] — O(n) multi-million-triple single-graph generation for
+//!   the sharded / morsel-scan experiments.
 
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod chain;
 pub mod film;
 pub mod paper;
@@ -25,6 +28,7 @@ pub mod queries;
 pub mod rng;
 pub mod topology;
 
+pub use bulk::{bulk_graph, BulkConfig, BulkIds};
 pub use chain::{edge_query, endpoint_query, transitive_system};
 pub use film::{actor_shape_query, film_system, peer_ns, FilmConfig};
 pub use paper::{paper_example, query_from, PaperExample};

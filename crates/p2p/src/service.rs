@@ -461,13 +461,11 @@ impl FrozenFederatedSession {
     }
 
     /// Executes a prepared query with the branch fan-out spread over up
-    /// to `available_parallelism` OS threads. Accepts queries prepared
-    /// by this frozen session or by the mutable session it was frozen
-    /// from.
+    /// to [`ExecConfig::resolved_workers`](rps_core::ExecConfig) OS
+    /// threads. Accepts queries prepared by this frozen session or by
+    /// the mutable session it was frozen from.
     pub fn execute(&self, prepared: &PreparedFederatedQuery) -> Result<FederatedAnswer, RpsError> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let threads = self.inner.config.exec.resolved_workers();
         self.execute_with_threads(prepared, threads)
     }
 

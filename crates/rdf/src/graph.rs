@@ -55,7 +55,9 @@
 
 use crate::dict::{TermDict, TermId};
 use crate::error::RdfError;
-use crate::store::{Perm, RunSnapshot, StorageBackend, StorageStats, StoreRangeIter, TripleStore};
+use crate::store::{
+    Perm, RunSnapshot, SealConfig, StorageBackend, StorageStats, StoreRangeIter, TripleStore,
+};
 use crate::term::Term;
 use crate::triple::{IdTriple, Triple};
 use std::collections::{BTreeSet, HashMap};
@@ -93,6 +95,10 @@ pub struct Graph {
     /// Durability counters (see [`DurCounters`]); all zeros until the
     /// graph touches the durable tier.
     dur: DurCounters,
+    /// Parallel-execution counters (see [`ParCounters`]); all zeros
+    /// until a scan merges widely or a morsel-driven execute runs over
+    /// this graph.
+    par: ParCounters,
 }
 
 /// Counters for the durable tier, reported through
@@ -139,6 +145,54 @@ impl DurCounters {
     }
 }
 
+/// Counters for parallel / wide-merge execution, reported through
+/// [`Graph::storage_stats`]. Atomic for the same reason as
+/// [`DurCounters`]: morsel-driven execution scans a sealed graph
+/// through `&self` from many worker threads at once, and each records
+/// what it did.
+#[derive(Default, Debug)]
+pub(crate) struct ParCounters {
+    pub(crate) morsels_dispatched: AtomicU64,
+    pub(crate) morsel_steals: AtomicU64,
+    pub(crate) loser_tree_merges: AtomicU64,
+    pub(crate) widest_merge: AtomicU64,
+}
+
+impl Clone for ParCounters {
+    fn clone(&self) -> Self {
+        let ld = |a: &AtomicU64| AtomicU64::new(a.load(Ordering::Relaxed));
+        ParCounters {
+            morsels_dispatched: ld(&self.morsels_dispatched),
+            morsel_steals: ld(&self.morsel_steals),
+            loser_tree_merges: ld(&self.loser_tree_merges),
+            widest_merge: ld(&self.widest_merge),
+        }
+    }
+}
+
+impl ParCounters {
+    /// Records one range scan's merge shape. Point probes under a
+    /// parallel execute hit this from every worker, so the hot path is
+    /// a plain load — the read-modify-write runs only when the width
+    /// high-water mark actually rises (a handful of times per graph),
+    /// keeping the counter cache line shared instead of ping-ponging.
+    fn note_scan(&self, width: u64, loser_tree: bool) {
+        if width > self.widest_merge.load(Ordering::Relaxed) {
+            self.widest_merge.fetch_max(width, Ordering::Relaxed);
+        }
+        if loser_tree {
+            self.loser_tree_merges.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn merge_into(&self, stats: &mut StorageStats) {
+        stats.morsels_dispatched = self.morsels_dispatched.load(Ordering::Relaxed);
+        stats.morsel_steals = self.morsel_steals.load(Ordering::Relaxed);
+        stats.loser_tree_merges = self.loser_tree_merges.load(Ordering::Relaxed);
+        stats.widest_merge = self.widest_merge.load(Ordering::Relaxed);
+    }
+}
+
 fn bit_get(bits: &[u64], i: usize) -> bool {
     bits.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
 }
@@ -181,6 +235,7 @@ impl Graph {
     pub fn storage_stats(&self) -> StorageStats {
         let mut stats = self.store.stats();
         self.dur.merge_into(&mut stats);
+        self.par.merge_into(&mut stats);
         stats
     }
 
@@ -225,6 +280,45 @@ impl Graph {
     /// tail and clear [`Graph::is_sealed`].
     pub fn seal(&mut self) {
         self.store.seal();
+    }
+
+    /// Seals into the physical layout `cfg` asks for: live keys are
+    /// repartitioned by **subject hash** into `cfg.effective_shards()`
+    /// independent per-shard run sets, optionally stored delta-varint
+    /// compressed — the substrate morsel-driven parallel execution
+    /// scans. `shards <= 1` without compression folds back to the
+    /// classic unsharded sealed form. Logical content, the dictionary
+    /// and the insertion log are untouched, and scans stay byte-
+    /// identical to the unsharded (and B-tree) layout; only the
+    /// physical shape — and with it scan parallelism and resident size
+    /// — changes.
+    ///
+    /// ```
+    /// use rps_rdf::{Graph, SealConfig, Term};
+    ///
+    /// let mut g = Graph::new();
+    /// for i in 0..1000 {
+    ///     g.insert_terms(
+    ///         Term::iri(format!("s{}", i % 50)),
+    ///         Term::iri("p"),
+    ///         Term::iri(format!("o{i}")),
+    ///     ).unwrap();
+    /// }
+    /// let before: Vec<_> = g.iter_ids().collect();
+    ///
+    /// g.seal_with(&SealConfig { shards: 4, compress: true, compress_min_keys: 64 });
+    /// assert!(g.is_sealed());
+    ///
+    /// let stats = g.storage_stats();
+    /// assert_eq!(stats.shards, 4);
+    /// assert_eq!(stats.shard_keys, 1000);
+    /// // Clustered keys compress well below their plain 12-byte form.
+    /// assert!(stats.compressed_bytes < stats.compressed_raw_bytes);
+    /// // Scans are unchanged, byte for byte.
+    /// assert_eq!(g.iter_ids().collect::<Vec<_>>(), before);
+    /// ```
+    pub fn seal_with(&mut self, cfg: &SealConfig) {
+        self.store.seal_with(cfg);
     }
 
     /// `true` iff the physical layout is in the sealed shape (empty
@@ -465,9 +559,22 @@ impl Graph {
             (None, None, Some(o)) => (Perm::Osp, [o.0, MIN, MIN], [o.0, MAX, MAX]),
             (None, None, None) => (Perm::Spo, [MIN; 3], [MAX; 3]),
         };
+        let iter = self.store.range(perm, lo, hi);
+        self.par
+            .note_scan(iter.merge_width() as u64, iter.uses_loser_tree());
         MatchIter {
-            inner: MatchIterInner::Range(self.store.range(perm, lo, hi)),
+            inner: MatchIterInner::Range(iter),
         }
+    }
+
+    /// Records one morsel-driven parallel execution over this graph:
+    /// `morsels` work units dispatched, of which `steals` were claimed
+    /// by a worker outside its round-robin share. Called by the
+    /// parallel evaluator in `rps-query`; takes `&self` (the graph is
+    /// shared read-only during execution).
+    pub fn note_parallel_scan(&self, morsels: u64, steals: u64) {
+        DurCounters::add(&self.par.morsels_dispatched, morsels);
+        DurCounters::add(&self.par.morsel_steals, steals);
     }
 
     /// Estimated number of matches for a pattern, used by the planner.

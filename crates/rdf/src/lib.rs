@@ -50,6 +50,6 @@ pub use durable::DurableGraph;
 pub use error::RdfError;
 pub use graph::{Graph, LogWindow, MatchIter};
 pub use namespace::{vocab, PrefixMap};
-pub use store::{StorageBackend, StorageStats};
+pub use store::{SealConfig, StorageBackend, StorageStats};
 pub use term::{BlankNode, Iri, Literal, LiteralAnnotation, Term, TermKind};
 pub use triple::{IdTriple, Triple, TriplePosition};

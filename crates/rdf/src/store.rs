@@ -68,12 +68,14 @@
 //! assert_eq!(stats.run_keys + stats.tail, 1000);
 //! ```
 
+pub(crate) mod columnar;
 pub mod disk;
 pub mod page;
 pub mod wal;
 
 use crate::dict::TermId;
 use crate::triple::IdTriple;
+use columnar::{ColScan, ColumnarRun};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -98,6 +100,67 @@ const PURGE_MIN: usize = 1024;
 /// width and every range's binary-search count) shrinks as the factor
 /// grows, so a moderately aggressive factor favours the read path.
 const TIER_FACTOR: usize = 4;
+
+/// Merge width at or above which a range scan replaces the linear-min
+/// k-way merge with a loser tree. Below this, scanning every head is
+/// cheaper than maintaining the tournament; at 8+ sources (a sharded
+/// sealed graph plus a few fresh runs) the tree's `O(log k)` replay
+/// wins.
+const LOSER_TREE_MIN: usize = 8;
+
+/// How a [`Graph`](crate::graph::Graph) is physically laid out when it
+/// is sealed via [`Graph::seal_with`](crate::graph::Graph::seal_with).
+///
+/// The default (`shards: 1`, no compression) is the classic sealed
+/// form: one purged sorted-run stack per permutation. Raising `shards`
+/// partitions the live keys by **subject hash** into that many
+/// independent per-shard run sets — the substrate morsel-driven
+/// parallel execution scans — and `compress` stores each large enough
+/// shard run delta-varint encoded (the `store::columnar` module).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SealConfig {
+    /// Number of subject-hash shards; `0` means "auto" (the machine's
+    /// available parallelism), `1` means the classic unsharded form.
+    pub shards: usize,
+    /// Store shard runs delta-varint compressed when they are at least
+    /// `compress_min_keys` long.
+    pub compress: bool,
+    /// Minimum keys in a shard before compression is worth the decode
+    /// cost of its scans.
+    pub compress_min_keys: usize,
+}
+
+impl Default for SealConfig {
+    fn default() -> Self {
+        SealConfig {
+            shards: 1,
+            compress: false,
+            compress_min_keys: 256,
+        }
+    }
+}
+
+impl SealConfig {
+    /// Resolves `shards: 0` ("auto") to the machine's available
+    /// parallelism.
+    pub fn effective_shards(&self) -> usize {
+        match self.shards {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Maps a subject id to its shard. A SplitMix-style multiply-xor mix so
+/// that dense interned ids (the common case) spread evenly instead of
+/// striping by allocation order.
+pub(crate) fn shard_of(s: u32, shards: usize) -> usize {
+    let mut h = (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    (h % shards as u64) as usize
+}
 
 /// Which physical index layout a [`Graph`](crate::graph::Graph) uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -138,6 +201,26 @@ pub struct StorageStats {
     pub wal_bytes: u64,
     /// WAL records replayed into the tail during recovery.
     pub wal_replayed: u64,
+    /// Subject-hash shards in the sealed form (0 when unsharded).
+    pub shards: usize,
+    /// Keys resident in shard runs (disjoint from `run_keys`).
+    pub shard_keys: usize,
+    /// Shard runs stored delta-varint compressed (across permutations).
+    pub compressed_runs: usize,
+    /// Resident bytes of the compressed runs (codes + sync tables).
+    pub compressed_bytes: usize,
+    /// Bytes the same keys would occupy as plain `[u32; 3]` runs.
+    pub compressed_raw_bytes: usize,
+    /// Morsels handed to workers by parallel query execution over this
+    /// graph.
+    pub morsels_dispatched: u64,
+    /// Morsels a worker claimed outside its round-robin share — the
+    /// work-stealing that keeps uneven morsels from idling workers.
+    pub morsel_steals: u64,
+    /// Range scans that engaged the loser-tree merge (width ≥ 8).
+    pub loser_tree_merges: u64,
+    /// Widest k-way merge any scan of this graph has performed.
+    pub widest_merge: u64,
 }
 
 /// A live-only image of a store's physical shape, produced by
@@ -189,6 +272,10 @@ fn spo_key(t: IdTriple) -> [u32; 3] {
 /// The physical triple store: three permutation indexes in one of the
 /// two layouts. All members take/return SPO-keyed [`IdTriple`]s; the
 /// permutation plumbing is internal.
+// One store per graph, never collections of them — the size gap
+// between the layouts costs nothing, so indirection would only add a
+// pointer chase to every triple operation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub(crate) enum TripleStore {
     BTree(BTreeStore),
@@ -219,13 +306,32 @@ impl TripleStore {
     pub(crate) fn stats(&self) -> StorageStats {
         match self {
             TripleStore::BTree(_) => StorageStats::default(),
-            TripleStore::Runs(s) => StorageStats {
-                runs: s.spo.runs.len(),
-                tail: s.spo.tail.len(),
-                tombstones: s.dead.len(),
-                run_keys: s.spo.runs.iter().map(|r| r.len()).sum(),
-                ..StorageStats::default()
-            },
+            TripleStore::Runs(s) => {
+                let mut compressed_runs = 0;
+                let mut compressed_bytes = 0;
+                let mut compressed_raw_bytes = 0;
+                for shard in &s.shards {
+                    for run in [&shard.spo, &shard.pos, &shard.osp] {
+                        if let SealedRun::Compressed(c) = run {
+                            compressed_runs += 1;
+                            compressed_bytes += c.encoded_bytes();
+                            compressed_raw_bytes += c.raw_bytes();
+                        }
+                    }
+                }
+                StorageStats {
+                    runs: s.spo.runs.len(),
+                    tail: s.spo.tail.len(),
+                    tombstones: s.dead.len(),
+                    run_keys: s.spo.runs.iter().map(|r| r.len()).sum(),
+                    shards: s.shards.len(),
+                    shard_keys: s.shards.iter().map(|sh| sh.spo.len()).sum(),
+                    compressed_runs,
+                    compressed_bytes,
+                    compressed_raw_bytes,
+                    ..StorageStats::default()
+                }
+            }
         }
     }
 
@@ -294,6 +400,18 @@ impl TripleStore {
         }
     }
 
+    /// Seals into the physical layout described by `cfg`: live keys are
+    /// repartitioned by subject hash into `cfg.effective_shards()`
+    /// independent per-shard run sets (optionally delta-varint
+    /// compressed), or folded back into the classic unsharded form for
+    /// `shards <= 1` without compression. Logical content is untouched;
+    /// the B-tree backend ignores the config ([`Self::seal`] semantics).
+    pub(crate) fn seal_with(&mut self, cfg: &SealConfig) {
+        if let TripleStore::Runs(s) = self {
+            s.seal_with(cfg);
+        }
+    }
+
     /// `true` iff the store is in the sealed shape ([`Self::seal`]):
     /// empty tail, no tombstones. Trivially true for the B-tree backend.
     pub(crate) fn is_sealed(&self) -> bool {
@@ -349,12 +467,32 @@ impl TripleStore {
                         .filter(|run: &Vec<[u32; 3]>| !run.is_empty())
                         .collect()
                 };
+                let mut runs = [
+                    live(Perm::Spo, &s.spo),
+                    live(Perm::Pos, &s.pos),
+                    live(Perm::Osp, &s.osp),
+                ];
+                // Shard runs persist as additional plain run images —
+                // the durable tier (and `from_runs` recovery) stays
+                // unsharded; re-seal with a config to reshard after
+                // opening.
+                for shard in &s.shards {
+                    for (slot, perm, run) in [
+                        (0, Perm::Spo, &shard.spo),
+                        (1, Perm::Pos, &shard.pos),
+                        (2, Perm::Osp, &shard.osp),
+                    ] {
+                        let mut keys = run.decode_keys();
+                        if s.dead.len() > 0 {
+                            keys.retain(|k| !s.dead.contains(spo_key(perm.unpermute(*k))));
+                        }
+                        if !keys.is_empty() {
+                            runs[slot].push(keys);
+                        }
+                    }
+                }
                 RunSnapshot {
-                    runs: [
-                        live(Perm::Spo, &s.spo),
-                        live(Perm::Pos, &s.pos),
-                        live(Perm::Osp, &s.osp),
-                    ],
+                    runs,
                     // Tail keys are never tombstoned (removals from the
                     // tail are physical), so the tail is live as-is.
                     tail: s.spo.tail.iter().map(|&k| Perm::Spo.unpermute(k)).collect(),
@@ -430,6 +568,7 @@ impl TripleStore {
             },
             present,
             dead: KeySet::default(),
+            shards: Vec::new(),
         }))
     }
 
@@ -588,6 +727,131 @@ fn merge_sorted(a: &[[u32; 3]], b: &[[u32; 3]]) -> Vec<[u32; 3]> {
     out
 }
 
+/// One sealed shard run in either physical representation. Chosen per
+/// shard at [`RunStore::seal_with`] time; scans are
+/// representation-agnostic.
+#[derive(Clone)]
+enum SealedRun {
+    /// A plain sorted key vector — binary-searched like any other run.
+    Plain(Arc<Vec<[u32; 3]>>),
+    /// Delta-varint columnar form — seek via sync table, then
+    /// sequential decode.
+    Compressed(Arc<ColumnarRun>),
+}
+
+impl SealedRun {
+    fn new(keys: Vec<[u32; 3]>, compress: bool) -> SealedRun {
+        if compress && !keys.is_empty() {
+            SealedRun::Compressed(Arc::new(ColumnarRun::encode(&keys)))
+        } else {
+            SealedRun::Plain(Arc::new(keys))
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SealedRun::Plain(v) => v.len(),
+            SealedRun::Compressed(c) => c.len(),
+        }
+    }
+
+    /// The keys back as a plain sorted vector (snapshotting, resealing,
+    /// tombstone purges).
+    fn decode_keys(&self) -> Vec<[u32; 3]> {
+        match self {
+            SealedRun::Plain(v) => v.as_ref().clone(),
+            SealedRun::Compressed(c) => c.decode_all(),
+        }
+    }
+
+    /// A merge source over `self ∩ [lo, hi]`, if non-empty.
+    fn source<'g>(&'g self, lo: [u32; 3], hi: [u32; 3]) -> Option<ScanSource<'g>> {
+        match self {
+            SealedRun::Plain(v) => {
+                match (v.first(), v.last()) {
+                    (Some(min), Some(max)) if *min <= hi && lo <= *max => {}
+                    _ => return None,
+                }
+                let start = v.partition_point(|k| *k < lo);
+                let end = v.partition_point(|k| *k <= hi);
+                (start < end).then(|| ScanSource::Slice(&v[start..end]))
+            }
+            SealedRun::Compressed(c) => {
+                ColScan::over(c, lo, hi).map(|s| ScanSource::Col(Box::new(s)))
+            }
+        }
+    }
+}
+
+/// One subject-hash shard of a sealed store: a single run per
+/// permutation holding exactly the keys whose subject hashes to this
+/// shard. Shards are mutually disjoint and disjoint from the unsharded
+/// runs and tail, so merged scans need no deduplication — the same
+/// invariant the unsharded layout relies on.
+#[derive(Clone)]
+struct Shard {
+    spo: SealedRun,
+    pos: SealedRun,
+    osp: SealedRun,
+}
+
+impl Shard {
+    /// Builds a shard from its (already sorted, disjoint) SPO keys.
+    fn build(spo_keys: Vec<[u32; 3]>, cfg: &SealConfig) -> Shard {
+        let compress = cfg.compress && spo_keys.len() >= cfg.compress_min_keys;
+        let mut pos_keys: Vec<[u32; 3]> = spo_keys
+            .iter()
+            .map(|&k| Perm::Pos.permute(Perm::Spo.unpermute(k)))
+            .collect();
+        pos_keys.sort_unstable();
+        let mut osp_keys: Vec<[u32; 3]> = spo_keys
+            .iter()
+            .map(|&k| Perm::Osp.permute(Perm::Spo.unpermute(k)))
+            .collect();
+        osp_keys.sort_unstable();
+        Shard {
+            spo: SealedRun::new(spo_keys, compress),
+            pos: SealedRun::new(pos_keys, compress),
+            osp: SealedRun::new(osp_keys, compress),
+        }
+    }
+
+    fn run(&self, perm: Perm) -> &SealedRun {
+        match perm {
+            Perm::Spo => &self.spo,
+            Perm::Pos => &self.pos,
+            Perm::Osp => &self.osp,
+        }
+    }
+
+    /// Rebuilds the shard without the tombstoned keys, preserving its
+    /// representation (compressed shards re-encode).
+    fn filter_dead(self, dead: &KeySet) -> Shard {
+        let compress = matches!(self.spo, SealedRun::Compressed(_));
+        let mut spo_keys = self.spo.decode_keys();
+        spo_keys.retain(|k| !dead.contains(*k));
+        Shard {
+            spo: SealedRun::new(spo_keys.clone(), compress),
+            pos: {
+                let mut keys: Vec<[u32; 3]> = spo_keys
+                    .iter()
+                    .map(|&k| Perm::Pos.permute(Perm::Spo.unpermute(k)))
+                    .collect();
+                keys.sort_unstable();
+                SealedRun::new(keys, compress)
+            },
+            osp: {
+                let mut keys: Vec<[u32; 3]> = spo_keys
+                    .iter()
+                    .map(|&k| Perm::Osp.permute(Perm::Spo.unpermute(k)))
+                    .collect();
+                keys.sort_unstable();
+                SealedRun::new(keys, compress)
+            },
+        }
+    }
+}
+
 /// The sorted-run layout shared by the three permutation indexes.
 ///
 /// Point membership never touches the runs: `present` is a fast
@@ -600,15 +864,20 @@ pub(crate) struct RunStore {
     spo: RunIndex,
     pos: RunIndex,
     osp: RunIndex,
-    /// Every live SPO key (runs + tail). The single point-lookup
-    /// structure; also the live count.
+    /// Every live SPO key (runs + tail + shards). The single
+    /// point-lookup structure; also the live count.
     present: KeySet,
-    /// SPO keys tombstoned inside runs. Disjoint from `present`; every
-    /// member is resident in some run; filtered during scans and
-    /// physically dropped by `purge`. A live copy of a key never
-    /// coexists with a tombstoned copy (revival clears the tombstone
-    /// instead of re-adding the key).
+    /// SPO keys tombstoned inside runs or shard runs. Disjoint from
+    /// `present`; every member is resident in some run; filtered during
+    /// scans and physically dropped by `purge`. A live copy of a key
+    /// never coexists with a tombstoned copy (revival clears the
+    /// tombstone instead of re-adding the key).
     dead: KeySet,
+    /// Subject-hash shards produced by [`Self::seal_with`]; empty in
+    /// the classic unsharded form. Writes after a sharded seal go to
+    /// the tail/runs as usual — shards are immutable until the next
+    /// reseal or purge.
+    shards: Vec<Shard>,
 }
 
 impl RunStore {
@@ -705,10 +974,23 @@ impl RunStore {
 
     /// Physically drops tombstoned keys once they outnumber half the
     /// run-resident keys (and exceed an absolute floor), by merging each
-    /// index's whole run stack into one purged run.
+    /// index's whole run stack into one purged run and rebuilding any
+    /// shard that still holds dead keys.
     fn maybe_purge(&mut self) {
-        let run_keys: usize = self.spo.runs.iter().map(|r| r.len()).sum();
+        let run_keys: usize = self.spo.runs.iter().map(|r| r.len()).sum::<usize>()
+            + self.shards.iter().map(|sh| sh.spo.len()).sum::<usize>();
         if self.dead.len() < PURGE_MIN || self.dead.len() * 2 < run_keys {
+            return;
+        }
+        self.purge_dead();
+    }
+
+    /// Unconditionally filters every tombstoned key out of the runs and
+    /// shards, then clears the tombstone set. Shards keep their
+    /// partitioning and representation (dropping keys never moves one
+    /// between shards).
+    fn purge_dead(&mut self) {
+        if self.dead.len() == 0 {
             return;
         }
         for (perm, index) in [
@@ -716,7 +998,7 @@ impl RunStore {
             (Perm::Pos, &mut self.pos),
             (Perm::Osp, &mut self.osp),
         ] {
-            let mut all: Vec<[u32; 3]> = Vec::with_capacity(run_keys - self.dead.len());
+            let mut all: Vec<[u32; 3]> = Vec::new();
             for run in index.runs.drain(..) {
                 all.extend(
                     run.iter()
@@ -729,36 +1011,83 @@ impl RunStore {
                 index.runs.push(Arc::new(all));
             }
         }
+        if self
+            .shards
+            .iter()
+            .any(|sh| sh.spo.decode_keys().iter().any(|k| self.dead.contains(*k)))
+        {
+            let shards = std::mem::take(&mut self.shards);
+            self.shards = shards
+                .into_iter()
+                .map(|sh| sh.filter_dead(&self.dead))
+                .collect();
+        }
         self.dead = KeySet::default();
     }
 
     /// Flushes the tail and drops every tombstone physically, leaving
     /// the store as immutable runs only (see [`TripleStore::seal`]).
+    /// Existing shards are kept — only [`Self::seal_with`]
+    /// repartitions.
     fn seal(&mut self) {
         if !self.spo.tail.is_empty() {
             self.flush(Vec::new());
         }
-        if self.dead.len() > 0 {
-            for (perm, index) in [
-                (Perm::Spo, &mut self.spo),
-                (Perm::Pos, &mut self.pos),
-                (Perm::Osp, &mut self.osp),
-            ] {
-                let mut all: Vec<[u32; 3]> = Vec::new();
-                for run in index.runs.drain(..) {
-                    all.extend(
-                        run.iter()
-                            .copied()
-                            .filter(|k| !self.dead.contains(spo_key(perm.unpermute(*k)))),
-                    );
-                }
-                all.sort_unstable();
-                if !all.is_empty() {
-                    index.runs.push(Arc::new(all));
-                }
-            }
-            self.dead = KeySet::default();
+        self.purge_dead();
+    }
+
+    /// Seals, then repartitions every live key into the layout `cfg`
+    /// asks for: `effective_shards()` subject-hash shards (optionally
+    /// compressed), or the classic unsharded run stacks for `shards <=
+    /// 1` without compression. The logical key set — and therefore
+    /// `present` and every scan result — is unchanged.
+    fn seal_with(&mut self, cfg: &SealConfig) {
+        self.seal();
+        let shards = cfg.effective_shards();
+        if shards <= 1 && !cfg.compress && self.shards.is_empty() {
+            return; // already in the classic sealed form
         }
+        // Gather every live SPO key (runs are dead-free after seal()).
+        let total: usize = self.spo.runs.iter().map(|r| r.len()).sum::<usize>()
+            + self.shards.iter().map(|sh| sh.spo.len()).sum::<usize>();
+        let mut all: Vec<[u32; 3]> = Vec::with_capacity(total);
+        for run in self.spo.runs.drain(..) {
+            all.extend(run.iter().copied());
+        }
+        for shard in self.shards.drain(..) {
+            all.extend(shard.spo.decode_keys());
+        }
+        self.pos.runs.clear();
+        self.osp.runs.clear();
+        all.sort_unstable();
+        if shards <= 1 && !cfg.compress {
+            // Fold back to one plain run per permutation.
+            if !all.is_empty() {
+                let mut pos_keys: Vec<[u32; 3]> = all
+                    .iter()
+                    .map(|&k| Perm::Pos.permute(Perm::Spo.unpermute(k)))
+                    .collect();
+                pos_keys.sort_unstable();
+                let mut osp_keys: Vec<[u32; 3]> = all
+                    .iter()
+                    .map(|&k| Perm::Osp.permute(Perm::Spo.unpermute(k)))
+                    .collect();
+                osp_keys.sort_unstable();
+                self.spo.runs.push(Arc::new(all));
+                self.pos.runs.push(Arc::new(pos_keys));
+                self.osp.runs.push(Arc::new(osp_keys));
+            }
+            return;
+        }
+        // `all` is sorted, so each part inherits sorted order.
+        let mut parts: Vec<Vec<[u32; 3]>> = vec![Vec::new(); shards];
+        for &k in &all {
+            parts[shard_of(k[0], shards)].push(k);
+        }
+        self.shards = parts
+            .into_iter()
+            .map(|spo_keys| Shard::build(spo_keys, cfg))
+            .collect();
     }
 
     fn range(&self, perm: Perm, lo: [u32; 3], hi: [u32; 3]) -> RunRangeIter<'_> {
@@ -767,11 +1096,39 @@ impl RunStore {
             Perm::Pos => &self.pos,
             Perm::Osp => &self.osp,
         };
-        RunRangeIter {
-            heads: index.sorted_slices(lo, hi),
-            perm,
-            dead: (self.dead.len() > 0).then_some(&self.dead),
+        let mut sources: Vec<ScanSource<'_>> = index
+            .sorted_slices(lo, hi)
+            .into_iter()
+            .map(ScanSource::Slice)
+            .collect();
+        if !self.shards.is_empty() {
+            // Shard pruning: when the scan fixes the subject, only the
+            // subject's own shard can hold matches. The subject sits at
+            // key position 0 for SPO, 1 for OSP ([o, s, p]) and 2 for
+            // POS ([p, o, s]).
+            let only = match perm {
+                Perm::Spo if lo[0] == hi[0] => Some(shard_of(lo[0], self.shards.len())),
+                Perm::Osp if lo[0] == hi[0] && lo[1] == hi[1] => {
+                    Some(shard_of(lo[1], self.shards.len()))
+                }
+                Perm::Pos if lo == hi => Some(shard_of(lo[2], self.shards.len())),
+                _ => None,
+            };
+            match only {
+                Some(i) => sources.extend(self.shards[i].run(perm).source(lo, hi)),
+                None => sources.extend(
+                    self.shards
+                        .iter()
+                        .filter_map(|sh| sh.run(perm).source(lo, hi)),
+                ),
+            }
         }
+        RunRangeIter::new(
+            sources,
+            hi,
+            perm,
+            (self.dead.len() > 0).then_some(&self.dead),
+        )
     }
 }
 
@@ -897,17 +1254,197 @@ impl KeySet {
     }
 }
 
+/// One source of a k-way merged range scan: a pre-bounded plain slice
+/// (run or tail subslice) or a bounded cursor into a compressed shard
+/// run.
+pub(crate) enum ScanSource<'g> {
+    /// A `[lo, hi]`-bounded subslice of a plain sorted run or tail.
+    Slice(&'g [[u32; 3]]),
+    /// A seeked cursor into a delta-varint compressed run (bounded by
+    /// the iterator's `hi` at peek time). Boxed: the scan carries an
+    /// inline block-decode buffer, and leaving it unboxed would inflate
+    /// *every* `ScanSource` — and thus every plain point probe's source
+    /// vector — to the buffer's size.
+    Col(Box<ColScan<'g>>),
+}
+
+impl ScanSource<'_> {
+    /// The source's current key, if it has one within the scan range.
+    fn peek(&self, hi: [u32; 3]) -> Option<[u32; 3]> {
+        match self {
+            ScanSource::Slice(s) => s.first().copied(),
+            ScanSource::Col(c) => c.peek_bounded(hi),
+        }
+    }
+
+    fn advance(&mut self) {
+        match self {
+            ScanSource::Slice(s) => *s = &s[1..],
+            ScanSource::Col(c) => c.advance(),
+        }
+    }
+}
+
+/// A loser tree (tournament tree) over the merge sources: each `next`
+/// replays one leaf-to-root path (`O(log k)` comparisons) instead of
+/// scanning all `k` heads. Exhausted sources compare as +∞ and simply
+/// sink to the bottom — no removal needed, which is what lets the tree
+/// keep stable source indices.
+struct LoserTree {
+    /// `node[0]` is the overall winner; `node[1..cap]` hold the loser
+    /// of each internal match. Leaves are implicit: leaf `i` is source
+    /// `i` (sources `>= k` are permanently exhausted padding).
+    node: Vec<usize>,
+    cap: usize,
+}
+
+/// Exhausted sources order after every real key.
+fn ranked(key: Option<[u32; 3]>) -> (u8, [u32; 3]) {
+    match key {
+        Some(k) => (0, k),
+        None => (1, [0; 3]),
+    }
+}
+
+impl LoserTree {
+    fn new(sources: &[ScanSource<'_>], hi: [u32; 3]) -> LoserTree {
+        let cap = sources.len().next_power_of_two().max(2);
+        let key = |s: usize| ranked(sources.get(s).and_then(|src| src.peek(hi)));
+        let mut winner = vec![0usize; cap * 2];
+        for (i, w) in winner.iter_mut().enumerate().skip(cap) {
+            *w = i - cap;
+        }
+        let mut node = vec![0usize; cap];
+        for i in (1..cap).rev() {
+            let (a, b) = (winner[2 * i], winner[2 * i + 1]);
+            let (w, l) = if key(a) <= key(b) { (a, b) } else { (b, a) };
+            winner[i] = w;
+            node[i] = l;
+        }
+        node[0] = winner[1];
+        LoserTree { node, cap }
+    }
+
+    /// The source holding the smallest current key.
+    fn winner(&self) -> usize {
+        self.node[0]
+    }
+
+    /// After the winner's source advanced, replays its leaf-to-root
+    /// path to find the new overall winner.
+    fn replay(&mut self, sources: &[ScanSource<'_>], hi: [u32; 3]) {
+        let key = |s: usize| ranked(sources.get(s).and_then(|src| src.peek(hi)));
+        let mut s = self.node[0];
+        let mut i = (self.cap + s) / 2;
+        while i >= 1 {
+            if key(self.node[i]) < key(s) {
+                std::mem::swap(&mut s, &mut self.node[i]);
+            }
+            i /= 2;
+        }
+        self.node[0] = s;
+    }
+}
+
 /// Iterator over one permutation's key range: a k-way merge of the
-/// intersecting run slices and the sorted tail's subslice, yielding
-/// triples in the permutation's key order with tombstones filtered.
+/// intersecting run slices, the sorted tail's subslice and any shard
+/// runs (plain or compressed), yielding triples in the permutation's
+/// key order with tombstones filtered. Narrow merges use a linear min
+/// over the heads; merges of [`LOSER_TREE_MIN`] or more sources use a
+/// loser tree.
 pub(crate) struct RunRangeIter<'g> {
-    /// Remaining slice of each intersecting source (runs + tail; the
-    /// construction drops empty intersections, `next` drops exhausted
-    /// ones).
-    heads: Vec<&'g [[u32; 3]]>,
+    sources: Vec<ScanSource<'g>>,
+    hi: [u32; 3],
     perm: Perm,
     /// Tombstoned SPO keys, present only when non-empty.
     dead: Option<&'g KeySet>,
+    /// Engaged once and for all at construction (sources only ever
+    /// drain, so the width never grows mid-scan).
+    loser: Option<LoserTree>,
+    /// Merge width at construction, for the scan-shape counters.
+    width: usize,
+}
+
+impl<'g> RunRangeIter<'g> {
+    fn new(
+        sources: Vec<ScanSource<'g>>,
+        hi: [u32; 3],
+        perm: Perm,
+        dead: Option<&'g KeySet>,
+    ) -> RunRangeIter<'g> {
+        let width = sources.len();
+        let loser = (width >= LOSER_TREE_MIN).then(|| LoserTree::new(&sources, hi));
+        RunRangeIter {
+            sources,
+            hi,
+            perm,
+            dead,
+            loser,
+            width,
+        }
+    }
+
+    /// Number of sources this scan merges (runs + tail + shard runs).
+    pub(crate) fn merge_width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether the scan is wide enough to run on the loser tree.
+    pub(crate) fn uses_loser_tree(&self) -> bool {
+        self.loser.is_some()
+    }
+
+    /// The next key in merge order, or `None` when every source is
+    /// exhausted.
+    fn next_key(&mut self) -> Option<[u32; 3]> {
+        if let Some(tree) = &mut self.loser {
+            let w = tree.winner();
+            let key = self.sources[w].peek(self.hi)?;
+            self.sources[w].advance();
+            tree.replay(&self.sources, self.hi);
+            return Some(key);
+        }
+        // Fast path: one remaining source — no merge, just step it (the
+        // common shape once tiered merging or sharded sealing has
+        // concentrated the data, or after shard pruning).
+        if self.sources.len() == 1 {
+            match &mut self.sources[0] {
+                ScanSource::Slice(s) => {
+                    let (&key, rest) = s.split_first()?;
+                    *s = rest;
+                    return Some(key);
+                }
+                ScanSource::Col(c) => {
+                    let key = c.peek_bounded(self.hi)?;
+                    c.advance();
+                    return Some(key);
+                }
+            }
+        }
+        // Pick the smallest head. The key sets are disjoint, so no
+        // tie-breaking or deduplication is needed; exhausted heads are
+        // dropped, so the linear min runs over live sources only.
+        let mut best: Option<(usize, [u32; 3])> = None; // (source, key)
+        let mut i = 0;
+        while i < self.sources.len() {
+            match self.sources[i].peek(self.hi) {
+                None => {
+                    // Swaps the (as yet unexamined) last source into
+                    // place `i`, so recorded best indices stay valid.
+                    self.sources.swap_remove(i);
+                }
+                Some(k) => {
+                    if best.is_none_or(|(_, bk)| k < bk) {
+                        best = Some((i, k));
+                    }
+                    i += 1;
+                }
+            }
+        }
+        let (i, key) = best?;
+        self.sources[i].advance();
+        Some(key)
+    }
 }
 
 impl Iterator for RunRangeIter<'_> {
@@ -915,34 +1452,7 @@ impl Iterator for RunRangeIter<'_> {
 
     fn next(&mut self) -> Option<IdTriple> {
         loop {
-            // Fast path: one remaining source and nothing tombstoned —
-            // plain slice iteration (the common shape once tiered
-            // merging has concentrated the data in few runs).
-            if self.heads.len() == 1 && self.dead.is_none() {
-                let (&key, rest) = self.heads[0].split_first()?;
-                if rest.is_empty() {
-                    self.heads.clear();
-                } else {
-                    self.heads[0] = rest;
-                }
-                return Some(self.perm.unpermute(key));
-            }
-            // Pick the smallest head. The key sets are disjoint, so no
-            // tie-breaking or deduplication is needed; exhausted heads
-            // are dropped, so the linear min runs over live sources
-            // only.
-            let mut best: Option<(usize, [u32; 3])> = None; // (source, key)
-            for (i, h) in self.heads.iter().enumerate() {
-                let k = h[0];
-                if best.is_none_or(|(_, bk)| k < bk) {
-                    best = Some((i, k));
-                }
-            }
-            let (i, key) = best?;
-            self.heads[i] = &self.heads[i][1..];
-            if self.heads[i].is_empty() {
-                self.heads.swap_remove(i);
-            }
+            let key = self.next_key()?;
             let t = self.perm.unpermute(key);
             if let Some(dead) = self.dead {
                 // Tail keys are never tombstoned, so this probe is only
@@ -963,6 +1473,25 @@ pub(crate) enum StoreRangeIter<'g> {
         perm: Perm,
     },
     Runs(RunRangeIter<'g>),
+}
+
+impl StoreRangeIter<'_> {
+    /// How many sorted sources this scan merges (1 for the B-tree
+    /// backend, which is a single ordered structure).
+    pub(crate) fn merge_width(&self) -> usize {
+        match self {
+            StoreRangeIter::BTree { .. } => 1,
+            StoreRangeIter::Runs(it) => it.merge_width(),
+        }
+    }
+
+    /// Whether the scan engaged the loser-tree merge.
+    pub(crate) fn uses_loser_tree(&self) -> bool {
+        match self {
+            StoreRangeIter::BTree { .. } => false,
+            StoreRangeIter::Runs(it) => it.uses_loser_tree(),
+        }
+    }
 }
 
 impl Iterator for StoreRangeIter<'_> {
@@ -1182,5 +1711,256 @@ mod tests {
         let stats = rs.stats();
         assert_eq!(stats.tail, 0, "batch flushed straight into a run");
         assert!(stats.runs >= 1);
+    }
+
+    /// A seeded SplitMix64 stream shared by the sharding proptests.
+    fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Asserts every observable of `store` matches the B-tree oracle
+    /// `bt`: length, per-key membership, and full + bounded scans in
+    /// all three permutations.
+    fn assert_matches_oracle(store: &TripleStore, bt: &TripleStore, what: &str) {
+        assert_eq!(store.len(), bt.len(), "{what}: len");
+        for perm in [Perm::Spo, Perm::Pos, Perm::Osp] {
+            assert_eq!(
+                collect_range(store, perm, [0; 3], [u32::MAX; 3]),
+                collect_range(bt, perm, [0; 3], [u32::MAX; 3]),
+                "{what}: {perm:?} full scan"
+            );
+        }
+        // Bounded probes: per-subject SPO ranges exercise shard pruning.
+        for s in 0..40u32 {
+            assert_eq!(
+                collect_range(store, Perm::Spo, [s, 0, 0], [s, u32::MAX, u32::MAX]),
+                collect_range(bt, Perm::Spo, [s, 0, 0], [s, u32::MAX, u32::MAX]),
+                "{what}: subject {s} range"
+            );
+        }
+    }
+
+    /// Sharded ≡ unsharded ≡ BTree, and compressed ≡ plain, under a
+    /// mixed insert/remove/batch/seal/reseal workload — the seeded
+    /// proptest the sharded seal path is pinned by.
+    #[test]
+    fn sharded_and_compressed_seals_agree_with_oracle() {
+        for seed in [1u64, 0xBEEF, 0x5EED_5EED] {
+            let mut next = splitmix(seed);
+            let mut bt = TripleStore::new(StorageBackend::BTree);
+            let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+            let configs = [
+                SealConfig {
+                    shards: 4,
+                    ..SealConfig::default()
+                },
+                SealConfig {
+                    shards: 4,
+                    compress: true,
+                    compress_min_keys: 8,
+                },
+                SealConfig {
+                    shards: 2,
+                    compress: true,
+                    compress_min_keys: 1,
+                },
+                SealConfig::default(), // folds back to unsharded
+                SealConfig {
+                    shards: 7,
+                    ..SealConfig::default()
+                },
+            ];
+            for (round, cfg) in configs.iter().enumerate() {
+                // A burst of mixed single ops...
+                for _ in 0..TAIL_MAX * 3 {
+                    let r = next();
+                    let triple = t(
+                        (r % 57) as u32,
+                        ((r >> 8) % 7) as u32,
+                        ((r >> 16) % 43) as u32,
+                    );
+                    if r.is_multiple_of(4) {
+                        assert_eq!(
+                            bt.remove(triple),
+                            rs.remove(triple),
+                            "seed {seed} round {round} remove {triple:?}"
+                        );
+                    } else {
+                        assert_eq!(
+                            bt.insert(triple),
+                            rs.insert(triple),
+                            "seed {seed} round {round} insert {triple:?}"
+                        );
+                    }
+                }
+                // ...then a batch insert...
+                let batch: Vec<IdTriple> = (0..TAIL_MAX as u32)
+                    .map(|_| {
+                        let r = next();
+                        t(
+                            (r % 91) as u32,
+                            ((r >> 8) % 5) as u32,
+                            ((r >> 16) % 37) as u32,
+                        )
+                    })
+                    .collect();
+                let mut added_bt = Vec::new();
+                let mut added_rs = Vec::new();
+                bt.insert_batch(batch.iter().copied(), &mut added_bt);
+                rs.insert_batch(batch.into_iter(), &mut added_rs);
+                assert_eq!(added_bt, added_rs, "seed {seed} round {round} batch");
+                // ...then a (re)seal under this round's config.
+                rs.seal_with(cfg);
+                assert!(rs.is_sealed(), "seed {seed} round {round}");
+                let stats = rs.stats();
+                if cfg.effective_shards() > 1 || cfg.compress {
+                    assert_eq!(stats.shards, cfg.effective_shards());
+                    assert_eq!(stats.run_keys, 0, "all keys live in shards");
+                    assert_eq!(stats.shard_keys, rs.len());
+                } else {
+                    assert_eq!(stats.shards, 0, "folded back to unsharded");
+                    assert_eq!(stats.run_keys, rs.len());
+                }
+                assert_matches_oracle(&rs, &bt, &format!("seed {seed} round {round}"));
+            }
+        }
+    }
+
+    /// Removals against shard-resident keys must not resurrect: the
+    /// tombstone set is only cleared after shard runs are physically
+    /// filtered.
+    #[test]
+    fn tombstones_of_shard_resident_keys_purge_physically() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let mut bt = TripleStore::new(StorageBackend::BTree);
+        let n = (PURGE_MIN * 3) as u32;
+        for i in 0..n {
+            rs.insert(t(i, i % 3, i % 11));
+            bt.insert(t(i, i % 3, i % 11));
+        }
+        rs.seal_with(&SealConfig {
+            shards: 4,
+            compress: true,
+            compress_min_keys: 8,
+        });
+        // Remove two thirds of the (now shard-resident) keys; the purge
+        // threshold trips along the way and must rebuild the shards.
+        let removed = n * 2 / 3;
+        for i in 0..removed {
+            assert!(rs.remove(t(i, i % 3, i % 11)));
+            assert!(bt.remove(t(i, i % 3, i % 11)));
+        }
+        assert!(
+            rs.stats().tombstones < PURGE_MIN,
+            "bulk of the tombstones purged"
+        );
+        assert_matches_oracle(&rs, &bt, "after shard purge");
+        // Re-insert a purged key: it must come back exactly once.
+        assert!(rs.insert(t(0, 0, 0)));
+        assert!(!rs.insert(t(0, 0, 0)));
+        assert!(bt.insert(t(0, 0, 0)));
+        assert_matches_oracle(&rs, &bt, "after revival");
+    }
+
+    /// Sealing again (plain `seal`) after writes on top of a sharded
+    /// seal keeps the shards and the logical content.
+    #[test]
+    fn plain_seal_preserves_shards() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let mut bt = TripleStore::new(StorageBackend::BTree);
+        for i in 0..(TAIL_MAX as u32 * 4) {
+            rs.insert(t(i, i % 5, i % 9));
+            bt.insert(t(i, i % 5, i % 9));
+        }
+        rs.seal_with(&SealConfig {
+            shards: 3,
+            ..SealConfig::default()
+        });
+        assert_eq!(rs.stats().shards, 3);
+        // Post-seal writes land in the tail; removing a shard-resident
+        // key tombstones it.
+        for i in 0..40u32 {
+            rs.insert(t(100_000 + i, 1, 1));
+            bt.insert(t(100_000 + i, 1, 1));
+        }
+        // Key 7 of the `t(i, i % 5, i % 9)` seeding loop above.
+        assert!(rs.remove(t(7, 2, 7)));
+        assert!(bt.remove(t(7, 2, 7)));
+        assert!(!rs.is_sealed());
+        rs.seal();
+        assert!(rs.is_sealed());
+        let stats = rs.stats();
+        assert_eq!(stats.shards, 3, "plain seal never repartitions");
+        assert_eq!(stats.tombstones, 0);
+        assert_matches_oracle(&rs, &bt, "resealed over shards");
+    }
+
+    /// Empty shards (more shards than distinct subjects) scan cleanly,
+    /// and single-key ranges hit exactly one shard.
+    #[test]
+    fn empty_shards_and_single_key_ranges() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let mut bt = TripleStore::new(StorageBackend::BTree);
+        // Two subjects, 16 shards: at least 14 shards are empty.
+        for o in 0..(TAIL_MAX as u32) {
+            for s in [3u32, 4] {
+                rs.insert(t(s, 1, o));
+                bt.insert(t(s, 1, o));
+            }
+        }
+        rs.seal_with(&SealConfig {
+            shards: 16,
+            compress: true,
+            compress_min_keys: 1,
+        });
+        assert_eq!(rs.stats().shards, 16);
+        assert_matches_oracle(&rs, &bt, "mostly-empty shards");
+        // Exact triple probe (single-key range in every permutation).
+        let probe = t(3, 1, 5);
+        let key = spo_key(probe);
+        assert_eq!(collect_range(&rs, Perm::Spo, key, key), vec![probe]);
+        let pk = Perm::Pos.permute(probe);
+        assert_eq!(collect_range(&rs, Perm::Pos, pk, pk), vec![probe]);
+        let ok = Perm::Osp.permute(probe);
+        assert_eq!(collect_range(&rs, Perm::Osp, ok, ok), vec![probe]);
+    }
+
+    /// Wide merges (many runs + shards) engage the loser tree and still
+    /// agree with the oracle byte for byte.
+    #[test]
+    fn loser_tree_merge_agrees_with_oracle() {
+        let mut rs = TripleStore::new(StorageBackend::SortedRuns);
+        let mut bt = TripleStore::new(StorageBackend::BTree);
+        let mut next = splitmix(0xCAFE);
+        for i in 0..(TAIL_MAX as u32 * 2) {
+            let triple = t(i % 97, (i % 7) + 1, (next() % 200) as u32);
+            rs.insert(triple);
+            bt.insert(triple);
+        }
+        // Shard widely, then pile fresh runs on top so full scans merge
+        // shards + runs + tail.
+        rs.seal_with(&SealConfig {
+            shards: 12,
+            ..SealConfig::default()
+        });
+        for i in 0..(TAIL_MAX as u32 * 3 + 7) {
+            let triple = t(200 + (i % 83), (i % 5) + 1, (next() % 150) as u32);
+            rs.insert(triple);
+            bt.insert(triple);
+        }
+        let scan = rs.range(Perm::Spo, [0; 3], [u32::MAX; 3]);
+        assert!(
+            scan.merge_width() >= LOSER_TREE_MIN && scan.uses_loser_tree(),
+            "width {} must engage the loser tree",
+            scan.merge_width()
+        );
+        assert_matches_oracle(&rs, &bt, "loser-tree merge");
     }
 }
