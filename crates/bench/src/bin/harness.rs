@@ -202,6 +202,14 @@ fn main() {
         let triples = if quick { 120_000 } else { 2_000_000 };
         run("e19", &mut || e19_scaleout(triples));
     }
+    if want("e20") {
+        let (subjects, iterations) = if quick {
+            (20_000, 200)
+        } else {
+            (200_000, 1_000)
+        };
+        run("e20", &mut || e20_sparql_optimiser(subjects, iterations));
+    }
 
     println!("# RPS experiment harness — paper artefact reproduction\n");
     for t in &timed {

@@ -26,10 +26,13 @@
 //! E17 (durable storage: persist+reopen vs cold re-chase and
 //! paged-run scan overhead, [`e17_durability`]), E18 (live updates:
 //! incremental chase maintenance vs full re-chase and reader
-//! throughput under epoch churn, [`e18_live_updates`]) and E19
+//! throughput under epoch churn, [`e18_live_updates`]), E19
 //! (scale-out single-graph execution: subject-hash sharding with
 //! morsel-driven parallel scans, and compressed columnar sealed runs,
-//! [`e19_scaleout`]).
+//! [`e19_scaleout`]) and E20 (SPARQL front-end wall and the
+//! stats-driven cost-based join orderer vs the smallest-first
+//! heuristic on a skewed-predicate workload,
+//! [`e20_sparql_optimiser`]).
 
 #![warn(missing_docs)]
 
@@ -1676,9 +1679,210 @@ pub fn e19_scaleout(triples: usize) -> Table {
     }
 }
 
+/// E20 — SPARQL front-end and the stats-driven cost-based join
+/// orderer.
+///
+/// Part A times the new text pipeline: `iterations` rounds of parsing
+/// a mixed SPARQL corpus, then `iterations` rounds of full
+/// parse+lower+prepare against a live session (plan compilation
+/// included, plan cache cold each round by construction of fresh
+/// sessions being too slow — prepare on a mutable session recompiles).
+///
+/// Part B is the optimiser's showcase regime: two predicates with
+/// *identical* triple counts but wildly different `distinct_objects`
+/// (2 vs one-per-triple). Both query atoms are (var s, const p,
+/// const o), so the legacy shape heuristic estimates `count/4` for
+/// each, ties, and keeps the adversarial listed order — driving the
+/// join from the unselective atom. The stats-driven orderer divides by
+/// `distinct_objects`, reorders, and drives from the atom that matches
+/// a single subject. Answers are asserted byte-identical before any
+/// timing is reported.
+pub fn e20_sparql_optimiser(subjects: usize, iterations: usize) -> Table {
+    use rps_core::{EngineConfig, PeerId, RpsBuilder, Session};
+    use rps_query::{
+        parse_sparql, GraphPattern, GraphPatternQuery, JoinOrder, PreparedQueryIds, TermOrVar,
+        Variable,
+    };
+    use rps_rdf::{Graph, PrefixMap, Term};
+
+    const CORPUS: &[&str] = &[
+        "SELECT ?f ?c WHERE { ?f <http://rps/cast> ?c }",
+        "PREFIX r: <http://rps/> SELECT DISTINCT ?f WHERE { ?f r:cast ?c . ?c r:age ?a \
+         FILTER(?a > \"20\") } ORDER BY ?f LIMIT 10",
+        "SELECT ?f ?c ?n WHERE { ?f <http://rps/cast> ?c \
+         OPTIONAL { ?c <http://rps/nick> ?n } } ORDER BY DESC(?f) LIMIT 5 OFFSET 1",
+        "ASK { { ?f <http://rps/cast> ?c } UNION { ?f <http://rps/stars> ?c } }",
+        "SELECT * WHERE { ?s ?p ?o FILTER(bound(?s) && ?o != \"x\") }",
+    ];
+
+    let mut p = PeerId(0);
+    let system = RpsBuilder::new()
+        .peer_turtle(
+            "A",
+            "<http://rps/f1> <http://rps/cast> <http://rps/p1> .\n\
+             <http://rps/p1> <http://rps/age> \"31\" .\n\
+             <http://rps/p1> <http://rps/nick> \"ace\" .",
+            &mut p,
+        )
+        .expect("static turtle parses")
+        .build();
+    let mut session =
+        Session::open(system, EngineConfig::default()).expect("benchmark system opens");
+
+    let prefixes = PrefixMap::common();
+    let t0 = Instant::now();
+    let mut parsed = 0usize;
+    for _ in 0..iterations {
+        for text in CORPUS {
+            parse_sparql(text, &prefixes).expect("corpus is valid");
+            parsed += 1;
+        }
+    }
+    let parse_wall = t0.elapsed();
+
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        for text in CORPUS {
+            session.prepare_sparql(text).expect("corpus prepares");
+        }
+    }
+    let prepare_wall = t0.elapsed();
+
+    let mut rows = vec![
+        vec![
+            "A: parse".into(),
+            parsed.to_string(),
+            "-".into(),
+            "-".into(),
+            ms(parse_wall),
+            "1.00x".into(),
+            format!(
+                "{:.0} q/s",
+                parsed as f64 / parse_wall.as_secs_f64().max(1e-9)
+            ),
+        ],
+        vec![
+            "A: parse+prepare".into(),
+            parsed.to_string(),
+            "-".into(),
+            "-".into(),
+            ms(prepare_wall),
+            format!(
+                "{:.2}x",
+                parse_wall.as_secs_f64() / prepare_wall.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.0} q/s",
+                parsed as f64 / prepare_wall.as_secs_f64().max(1e-9)
+            ),
+        ],
+    ];
+
+    // Part B — skewed-predicate join. Equal counts, skewed distincts.
+    let mut graph = Graph::new();
+    for i in 0..subjects {
+        let s = Term::iri(format!("http://rps/s{i}"));
+        let _ = graph.insert_terms(
+            s.clone(),
+            Term::iri("http://rps/wide"),
+            Term::iri(format!("http://rps/w{}", i % 2)),
+        );
+        let _ = graph.insert_terms(
+            s,
+            Term::iri("http://rps/narrow"),
+            Term::iri(format!("http://rps/u{i}")),
+        );
+    }
+    graph.seal();
+    // Adversarial listing: the unselective atom first. Both atoms are
+    // (var, const, const), so the shape heuristic ties at count/4 and
+    // keeps this order; the stats orderer flips it.
+    let probe = 6; // an even subject, so the wide atom matches w0
+    let query = GraphPatternQuery::new(
+        vec![Variable::new("x")],
+        GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://rps/wide"),
+            TermOrVar::iri("http://rps/w0"),
+        )
+        .and(GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://rps/narrow"),
+            TermOrVar::Term(Term::iri(format!("http://rps/u{probe}"))),
+        )),
+    );
+    let heuristic = PreparedQueryIds::compile_only_with(&graph, &query, JoinOrder::SmallestFirst);
+    let cost = PreparedQueryIds::compile_only_with(&graph, &query, JoinOrder::CostBased);
+
+    const REPS: usize = 5;
+    let best = |plan: &PreparedQueryIds| {
+        let mut wall = std::time::Duration::MAX;
+        let mut out = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let r = plan.evaluate(&graph, Semantics::Certain);
+            wall = wall.min(t0.elapsed());
+            out = Some(r);
+        }
+        (out.expect("REPS > 0"), wall)
+    };
+    let (h_rows, h_wall) = best(&heuristic);
+    let (c_rows, c_wall) = best(&cost);
+    assert_eq!(h_rows, c_rows, "join order must never change answers");
+    assert_eq!(h_rows.len(), 1, "the probe subject is the only match");
+
+    rows.push(vec![
+        "B: skewed join".into(),
+        (subjects * 2).to_string(),
+        "smallest-first".into(),
+        h_rows.len().to_string(),
+        ms(h_wall),
+        "1.00x".into(),
+        format!("order {:?}", heuristic.planned_order()),
+    ]);
+    rows.push(vec![
+        "B: skewed join".into(),
+        (subjects * 2).to_string(),
+        "cost-based".into(),
+        c_rows.len().to_string(),
+        ms(c_wall),
+        format!(
+            "{:.2}x",
+            h_wall.as_secs_f64() / c_wall.as_secs_f64().max(1e-9)
+        ),
+        format!("order {:?}", cost.planned_order()),
+    ]);
+
+    Table {
+        title: "E20 — SPARQL front-end wall; cost-based vs smallest-first join order".into(),
+        headers: vec![
+            "part".into(),
+            "queries/triples".into(),
+            "order".into(),
+            "rows".into(),
+            "wall ms".into(),
+            "speedup".into(),
+            "detail".into(),
+        ],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e20_cost_based_reorders_and_agrees() {
+        let t = e20_sparql_optimiser(4_000, 5);
+        let b: Vec<_> = t.rows.iter().filter(|r| r[0].starts_with("B:")).collect();
+        assert_eq!(b.len(), 2);
+        // The heuristic keeps the adversarial listed order; the
+        // stats-driven orderer flips it. Answer agreement is asserted
+        // inside the runner before timings are reported.
+        assert_eq!(b[0][6], "order [0, 1]");
+        assert_eq!(b[1][6], "order [1, 0]");
+    }
 
     #[test]
     fn e19_parallel_agrees_and_compression_shrinks() {

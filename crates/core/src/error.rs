@@ -123,6 +123,10 @@ pub enum RpsError {
         /// The tuple arity supplied.
         got: usize,
     },
+    /// A SPARQL query failed to parse, or fell outside the supported
+    /// SELECT/ASK subset. The payload carries the offending byte span
+    /// and line/column; the front-end never panics on malformed input.
+    Sparql(rps_query::SparqlError),
 }
 
 impl fmt::Display for RpsError {
@@ -191,6 +195,7 @@ impl fmt::Display for RpsError {
                     "arity mismatch: query has {expected} free variables, tuple has {got}"
                 )
             }
+            RpsError::Sparql(e) => write!(f, "{e}"),
         }
     }
 }
@@ -218,5 +223,11 @@ impl From<RdfError> for RpsError {
 impl From<DatalogError> for RpsError {
     fn from(e: DatalogError) -> Self {
         RpsError::NotDatalog(e)
+    }
+}
+
+impl From<rps_query::SparqlError> for RpsError {
+    fn from(e: rps_query::SparqlError) -> Self {
+        RpsError::Sparql(e)
     }
 }

@@ -43,6 +43,7 @@ pub mod mapping;
 pub mod peer;
 pub mod rewriting;
 pub mod session;
+pub mod sparql;
 pub mod system;
 
 pub use answers::{certain_answers, certain_answers_union, AnswerSet};
@@ -64,8 +65,10 @@ pub use live::{LivePlan, LiveReader, LiveSession, UpdateBatch};
 pub use mapping::{EquivalenceMapping, GraphMappingAssertion, MappingError};
 pub use peer::{Peer, PeerId, PeerValidationError};
 pub use rewriting::{cq_to_pattern, RpsRewriter, RpsRewriting};
+pub use rps_query::{JoinOrder, SparqlError, SparqlResult, SparqlRows};
 pub use session::{
     canonical_plan_key, AnswerStream, EngineConfig, ExecConfig, ExecRoute, FrozenSession,
     PlanCache, PlanCacheStats, PreparedQuery, Session, Strategy, DEFAULT_PLAN_CACHE_CAPACITY,
 };
+pub use sparql::PreparedSparql;
 pub use system::{RdfPeerSystem, RpsBuilder, SystemValidationError};

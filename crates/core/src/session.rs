@@ -79,7 +79,7 @@ use crate::equivalence::EquivalenceIndex;
 use crate::error::RpsError;
 use crate::rewriting::{RewrittenBranch, RpsRewriter};
 use crate::system::RdfPeerSystem;
-use rps_query::{GraphPatternQuery, PreparedQueryIds, Semantics};
+use rps_query::{GraphPatternQuery, JoinOrder, PreparedQueryIds, Semantics};
 use rps_rdf::{Graph, SealConfig, Term, TermId};
 use rps_tgd::RewriteConfig;
 use std::collections::BTreeSet;
@@ -230,6 +230,13 @@ pub struct ExecConfig {
     /// Encode sealed runs as delta-varint columnar blocks when they are
     /// large enough to benefit.
     pub compress: bool,
+    /// Join-order policy for id-level plans. [`JoinOrder::Auto`] uses
+    /// the stats-driven cost model whenever the graph is sealed (and
+    /// therefore carries a [`rps_rdf::GraphStats`] snapshot), falling
+    /// back to the shape heuristic otherwise; the other variants force
+    /// one path for A/B comparison. Like every knob here, the choice
+    /// never changes answers — only the order conjuncts are probed in.
+    pub order: JoinOrder,
 }
 
 impl Default for ExecConfig {
@@ -239,6 +246,7 @@ impl Default for ExecConfig {
             morsel_size: 1024,
             shards: 0,
             compress: false,
+            order: JoinOrder::Auto,
         }
     }
 }
@@ -712,7 +720,8 @@ impl Session {
         let solution = self.universal_solution()?;
         // The solution is frozen, so the plan compiles against it without
         // interning (unknown constants are simply unsatisfiable).
-        let plan = PreparedQueryIds::compile_only(&solution.graph, query);
+        let plan =
+            PreparedQueryIds::compile_only_with(&solution.graph, query, self.config.exec.order);
         Ok(Plan::Materialised { solution, plan })
     }
 

@@ -440,7 +440,11 @@ impl FrozenSession {
                 .as_ref()
                 .expect("freeze materialised the solution for this route")
                 .clone();
-            let plan = rps_query::PreparedQueryIds::compile_only(&solution.graph, query);
+            let plan = rps_query::PreparedQueryIds::compile_only_with(
+                &solution.graph,
+                query,
+                inner.config.exec.order,
+            );
             Ok((
                 ExecRoute::Materialised,
                 rewrite_fell_back,

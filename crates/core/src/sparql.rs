@@ -1,0 +1,177 @@
+//! SPARQL text on the session façades.
+//!
+//! `rps_query::sparql` lowers a SPARQL SELECT/ASK query to a list of
+//! plain conjunctive queries plus a term-level assembly tail. This
+//! module wires that front-end onto [`Session`] and
+//! [`FrozenSession`]: each lowered CQ rides the session's *ordinary*
+//! prepare/execute pipeline — route resolution, plan cache, rewriting,
+//! cost-based join ordering, all unchanged — and the assembly tail
+//! combines the answer sets into the final [`SparqlResult`]. Because
+//! the tail is shared and deterministic, the same query text answers
+//! byte-identically on every session type and route.
+//!
+//! Prefixed names resolve against the query's own `PREFIX`/`BASE`
+//! prologue, falling back to the common well-known namespaces
+//! ([`rps_rdf::PrefixMap::common`]).
+
+use crate::error::RpsError;
+use crate::session::frozen::FrozenSession;
+use crate::session::{PreparedQuery, Session};
+use rps_query::sparql::LoweredSparql;
+use rps_query::{parse_sparql, SparqlResult};
+use rps_rdf::{PrefixMap, Term};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A SPARQL query compiled against a session: the lowered plan recipe
+/// plus one prepared conjunctive plan per lowered CQ. Execute it with
+/// [`Session::execute_sparql`] / [`FrozenSession::execute_sparql`] on
+/// the session that prepared it (the underlying plans are
+/// session-bound, exactly like [`PreparedQuery`]).
+pub struct PreparedSparql {
+    pub(crate) lowered: LoweredSparql,
+    pub(crate) plans: Vec<Arc<PreparedQuery>>,
+}
+
+impl PreparedSparql {
+    /// The number of conjunctive plans behind this query (one per
+    /// UNION branch plus one per OPTIONAL block per branch).
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` for ASK queries.
+    pub fn is_ask(&self) -> bool {
+        self.lowered.is_ask()
+    }
+
+    /// The output column names, in order (empty for ASK).
+    pub fn columns(&self) -> Vec<String> {
+        self.lowered.columns()
+    }
+}
+
+fn lower_text(text: &str) -> Result<LoweredSparql, RpsError> {
+    let query = parse_sparql(text, &PrefixMap::common())?;
+    Ok(query.lower())
+}
+
+impl Session {
+    /// Compiles a SPARQL SELECT/ASK query (the subset documented in
+    /// [`rps_query::sparql`]: BGPs, OPTIONAL, UNION, FILTER, DISTINCT,
+    /// ORDER BY, LIMIT/OFFSET) for repeated execution. Malformed or
+    /// out-of-subset text is a typed [`RpsError::Sparql`] with the
+    /// offending span — never a panic.
+    ///
+    /// ```
+    /// use rps_core::{EngineConfig, PeerId, RpsBuilder, Session};
+    ///
+    /// let mut p = PeerId(0);
+    /// let system = RpsBuilder::new()
+    ///     .peer_turtle(
+    ///         "A",
+    ///         "<http://a/f1> <http://a/cast> <http://a/p1> .",
+    ///         &mut p,
+    ///     )
+    ///     .unwrap()
+    ///     .build();
+    /// let mut session = Session::open(system, EngineConfig::default()).unwrap();
+    ///
+    /// let prepared = session
+    ///     .prepare_sparql("SELECT ?f ?who WHERE { ?f <http://a/cast> ?who }")
+    ///     .unwrap();
+    /// let result = session.execute_sparql(&prepared).unwrap();
+    /// let rows = result.rows().unwrap();
+    /// assert_eq!(rows.vars, ["f", "who"]);
+    /// assert_eq!(rows.rows.len(), 1);
+    /// ```
+    pub fn prepare_sparql(&mut self, text: &str) -> Result<PreparedSparql, RpsError> {
+        let lowered = lower_text(text)?;
+        let plans = lowered
+            .queries()
+            .into_iter()
+            .map(|cq| self.prepare(cq).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PreparedSparql { lowered, plans })
+    }
+
+    /// Executes a prepared SPARQL query: every underlying conjunctive
+    /// plan runs through [`Session::execute`], and the term-level tail
+    /// (left joins, filters, ordering) assembles the final result.
+    pub fn execute_sparql(&mut self, prepared: &PreparedSparql) -> Result<SparqlResult, RpsError> {
+        let answers = prepared
+            .plans
+            .iter()
+            .map(|plan| {
+                self.execute(plan)
+                    .map(|stream| stream.collect::<BTreeSet<Vec<Term>>>())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(prepared.lowered.assemble(&answers))
+    }
+
+    /// Parses, prepares and executes in one call. Prefer
+    /// [`Session::prepare_sparql`] + [`Session::execute_sparql`] when
+    /// the same query runs repeatedly.
+    pub fn answer_sparql(&mut self, text: &str) -> Result<SparqlResult, RpsError> {
+        let prepared = self.prepare_sparql(text)?;
+        self.execute_sparql(&prepared)
+    }
+}
+
+impl FrozenSession {
+    /// [`Session::prepare_sparql`] on a frozen session: each lowered
+    /// CQ goes through the frozen session's bounded plan cache, so hot
+    /// SPARQL queries reuse their compiled plans across threads.
+    ///
+    /// ```
+    /// use rps_core::{EngineConfig, PeerId, RpsBuilder, Session};
+    ///
+    /// let mut p = PeerId(0);
+    /// let system = RpsBuilder::new()
+    ///     .peer_turtle(
+    ///         "A",
+    ///         "<http://a/f1> <http://a/cast> <http://a/p1> .",
+    ///         &mut p,
+    ///     )
+    ///     .unwrap()
+    ///     .build();
+    /// let frozen = Session::open(system, EngineConfig::default())
+    ///     .unwrap()
+    ///     .freeze()
+    ///     .unwrap();
+    ///
+    /// let ok = frozen
+    ///     .answer_sparql("ASK { ?f <http://a/cast> ?who }")
+    ///     .unwrap();
+    /// assert_eq!(ok.boolean(), Some(true));
+    /// ```
+    pub fn prepare_sparql(&self, text: &str) -> Result<PreparedSparql, RpsError> {
+        let lowered = lower_text(text)?;
+        let plans = lowered
+            .queries()
+            .into_iter()
+            .map(|cq| self.prepare(cq))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PreparedSparql { lowered, plans })
+    }
+
+    /// Executes a prepared SPARQL query against this frozen session.
+    pub fn execute_sparql(&self, prepared: &PreparedSparql) -> Result<SparqlResult, RpsError> {
+        let answers = prepared
+            .plans
+            .iter()
+            .map(|plan| {
+                self.execute(plan)
+                    .map(|stream| stream.collect::<BTreeSet<Vec<Term>>>())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(prepared.lowered.assemble(&answers))
+    }
+
+    /// Parses, prepares and executes in one call.
+    pub fn answer_sparql(&self, text: &str) -> Result<SparqlResult, RpsError> {
+        let prepared = self.prepare_sparql(text)?;
+        self.execute_sparql(&prepared)
+    }
+}

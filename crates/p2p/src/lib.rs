@@ -48,7 +48,7 @@ pub use network::{CostModel, Message, NodeId, SimNetwork};
 pub use routing::SchemaIndex;
 pub use service::{
     FederatedAnswer, FederatedSession, FrozenFederatedSession, P2pQueryService,
-    PreparedFederatedQuery, ServiceAnswer,
+    PreparedFederatedQuery, PreparedFederatedSparql, ServiceAnswer,
 };
 pub use transport::{
     FaultConfig, FaultyTransport, Reply, SimTransport, TcpTransport, Transport, TransportError,

@@ -534,6 +534,124 @@ pub struct ServiceAnswer {
     pub makespan_ms: f64,
 }
 
+/// A SPARQL query compiled against a federated session: the lowered
+/// assembly recipe plus one prepared federated plan per lowered CQ.
+/// Built by [`FederatedSession::prepare_sparql`] /
+/// [`FrozenFederatedSession::prepare_sparql`]; the underlying plans
+/// are session-bound exactly like [`PreparedFederatedQuery`].
+pub struct PreparedFederatedSparql {
+    lowered: rps_query::LoweredSparql,
+    plans: Vec<Arc<PreparedFederatedQuery>>,
+}
+
+impl PreparedFederatedSparql {
+    /// The number of federated plans behind this query.
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` for ASK queries.
+    pub fn is_ask(&self) -> bool {
+        self.lowered.is_ask()
+    }
+
+    /// The output column names, in order (empty for ASK).
+    pub fn columns(&self) -> Vec<String> {
+        self.lowered.columns()
+    }
+}
+
+fn lower_sparql_text(text: &str) -> Result<rps_query::LoweredSparql, RpsError> {
+    let query =
+        rps_query::parse_sparql(text, &rps_rdf::PrefixMap::common()).map_err(RpsError::Sparql)?;
+    Ok(query.lower())
+}
+
+fn assemble_sparql(
+    lowered: &rps_query::LoweredSparql,
+    answers: Vec<BTreeSet<Vec<rps_rdf::Term>>>,
+) -> rps_query::SparqlResult {
+    lowered.assemble(&answers)
+}
+
+impl FederatedSession {
+    /// Compiles a SPARQL SELECT/ASK query (the subset documented in
+    /// `rps_query::sparql`) for repeated federated execution: each
+    /// lowered conjunctive query is rewritten, routed and id-compiled
+    /// through [`FederatedSession::prepare`], and execution assembles
+    /// the streams with the same term-level tail as the local session
+    /// types — so the federated route answers byte-identically.
+    pub fn prepare_sparql(&mut self, text: &str) -> Result<PreparedFederatedSparql, RpsError> {
+        let lowered = lower_sparql_text(text)?;
+        let plans = lowered
+            .queries()
+            .into_iter()
+            .map(|cq| self.prepare(cq).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PreparedFederatedSparql { lowered, plans })
+    }
+
+    /// Executes a prepared SPARQL query over the federation.
+    pub fn execute_sparql(
+        &self,
+        prepared: &PreparedFederatedSparql,
+    ) -> Result<rps_query::SparqlResult, RpsError> {
+        let answers = prepared
+            .plans
+            .iter()
+            .map(|plan| {
+                self.execute(plan)
+                    .map(|answer| answer.stream.collect::<BTreeSet<_>>())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(assemble_sparql(&prepared.lowered, answers))
+    }
+
+    /// Parses, prepares and executes in one call.
+    pub fn answer_sparql(&mut self, text: &str) -> Result<rps_query::SparqlResult, RpsError> {
+        let prepared = self.prepare_sparql(text)?;
+        self.execute_sparql(&prepared)
+    }
+}
+
+impl FrozenFederatedSession {
+    /// [`FederatedSession::prepare_sparql`] on a frozen federated
+    /// session: every lowered CQ goes through the bounded plan cache,
+    /// so hot SPARQL queries reuse their compiled federated plans.
+    pub fn prepare_sparql(&self, text: &str) -> Result<PreparedFederatedSparql, RpsError> {
+        let lowered = lower_sparql_text(text)?;
+        let plans = lowered
+            .queries()
+            .into_iter()
+            .map(|cq| self.prepare(cq))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PreparedFederatedSparql { lowered, plans })
+    }
+
+    /// Executes a prepared SPARQL query over the federation.
+    pub fn execute_sparql(
+        &self,
+        prepared: &PreparedFederatedSparql,
+    ) -> Result<rps_query::SparqlResult, RpsError> {
+        let answers = prepared
+            .plans
+            .iter()
+            .map(|plan| {
+                self.execute(plan)
+                    .map(|answer| answer.stream.collect::<BTreeSet<_>>())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(assemble_sparql(&prepared.lowered, answers))
+    }
+
+    /// Parses, prepares (or fetches from the plan cache) and executes
+    /// in one call.
+    pub fn answer_sparql(&self, text: &str) -> Result<rps_query::SparqlResult, RpsError> {
+        let prepared = self.prepare_sparql(text)?;
+        self.execute_sparql(&prepared)
+    }
+}
+
 /// The legacy query service, kept as a thin shim over
 /// [`FederatedSession`]. **Deprecated in favour of `FederatedSession`**,
 /// which prepares queries once, streams answers and reports typed

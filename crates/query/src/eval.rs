@@ -16,9 +16,32 @@
 
 use crate::binding::Mapping;
 use crate::pattern::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
-use rps_rdf::{Graph, IdTriple, TermId};
+use rps_rdf::{Graph, GraphStats, IdTriple, TermId};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// How the planner orders a conjunction's atoms (and with it, which scan
+/// permutation each atom ends up probing — see
+/// [`PreparedQueryIds::planned_scans`]). Orthogonal to answer
+/// correctness: every mode yields byte-identical answer sets (the
+/// equivalence proptests pin this); only wall-clock time changes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum JoinOrder {
+    /// Cost-based when the graph has a statistics snapshot
+    /// ([`Graph::graph_stats`] — sealed graphs only), shape heuristic
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Selectivity estimation from the [`GraphStats`] snapshot
+    /// (per-predicate counts refined by distinct-subject/object
+    /// cardinalities). Falls back to the shape heuristic when the graph
+    /// is unsealed and therefore has no snapshot.
+    CostBased,
+    /// The legacy smallest-first shape heuristic (predicate counts with
+    /// fixed refinement divisors), retained as the oracle the
+    /// cost-based path is differentially tested against.
+    SmallestFirst,
+}
 
 /// Which tuples a query evaluation returns (Section 2.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,9 +70,15 @@ struct Compiled {
     /// False if some constant does not occur in the graph at all, which
     /// makes the whole conjunction unsatisfiable.
     satisfiable: bool,
+    /// The ordering mode the plan was compiled under (delta evaluation
+    /// re-orders its non-pivot conjuncts under the same mode).
+    order: JoinOrder,
+    /// Source conjunct index per planner position — `source[i]` is the
+    /// position the `i`-th planned conjunct held in the input pattern.
+    source: Vec<usize>,
 }
 
-fn compile(graph: &Graph, gp: &GraphPattern) -> Compiled {
+fn compile(graph: &Graph, gp: &GraphPattern, order: JoinOrder) -> Compiled {
     let mut vars: Vec<Variable> = Vec::new();
     let mut var_index = std::collections::HashMap::new();
     let mut slots = Vec::with_capacity(gp.len());
@@ -79,50 +108,87 @@ fn compile(graph: &Graph, gp: &GraphPattern) -> Compiled {
         slots.push(slot);
     }
 
-    if satisfiable {
-        order_slots(graph, &mut slots, BTreeSet::new());
-    }
+    let source = if satisfiable {
+        order_slots(graph, &mut slots, BTreeSet::new(), order)
+    } else {
+        (0..slots.len()).collect()
+    };
     Compiled {
         slots,
         vars,
         satisfiable,
+        order,
+        source,
     }
 }
 
 /// Greedy join ordering: repeatedly pick the conjunct with the smallest
-/// shape-based cardinality estimate given the variables bound so far
-/// (seeded with `bound` — non-empty when ordering the non-pivot conjuncts
-/// of a delta evaluation).
-fn order_slots(graph: &Graph, slots: &mut [[Slot; 3]], bound: BTreeSet<usize>) {
+/// cardinality estimate given the variables bound so far (seeded with
+/// `bound` — non-empty when ordering the non-pivot conjuncts of a delta
+/// evaluation). The estimate is the stats-based selectivity model when
+/// `order` resolves to the cost-based path (the graph is sealed and has
+/// a [`GraphStats`] snapshot), the shape heuristic otherwise. Returns
+/// the applied permutation: element `i` is the input position of the
+/// conjunct now planned `i`-th.
+fn order_slots(
+    graph: &Graph,
+    slots: &mut [[Slot; 3]],
+    bound: BTreeSet<usize>,
+    order: JoinOrder,
+) -> Vec<usize> {
+    let stats = match order {
+        JoinOrder::SmallestFirst => None,
+        JoinOrder::Auto | JoinOrder::CostBased => graph.graph_stats(),
+    };
     let n = slots.len();
+    let mut source: Vec<usize> = (0..n).collect();
     let mut bound = bound;
     for i in 0..n {
         let mut best = i;
-        let mut best_cost = usize::MAX;
+        let mut best_cost = f64::INFINITY;
         for (j, slot) in slots.iter().enumerate().take(n).skip(i) {
-            let cost = shape_estimate(graph, slot, &bound);
+            let cost = match &stats {
+                Some(st) => stats_estimate(st, slot, &bound),
+                None => shape_estimate(graph, slot, &bound),
+            };
             if cost < best_cost {
                 best_cost = cost;
                 best = j;
             }
         }
         slots.swap(i, best);
+        source.swap(i, best);
         for s in slots[i] {
             if let Slot::Var(v) = s {
                 bound.insert(v);
             }
         }
     }
+    source
 }
 
-fn shape_estimate(graph: &Graph, slot: &[Slot; 3], bound: &BTreeSet<usize>) -> usize {
+/// `true` iff every position of the conjunct is a constant — a pure
+/// membership probe, which both estimators order first unconditionally
+/// (cost 0: one `contains` call can only shrink the search).
+fn all_const(slot: &[Slot; 3]) -> bool {
+    slot.iter().all(|s| matches!(s, Slot::Const(_)))
+}
+
+/// The legacy shape heuristic: predicate counts refined by fixed
+/// divisors, sqrt guesses for subject/object anchors. Kept bit-for-bit
+/// (apart from the all-constant fix) as the differential oracle for the
+/// stats-based estimator.
+fn shape_estimate(graph: &Graph, slot: &[Slot; 3], bound: &BTreeSet<usize>) -> f64 {
+    if all_const(slot) {
+        return 0.0;
+    }
     let is_bound = |s: &Slot| match s {
         Slot::Const(_) => true,
         Slot::Var(v) => bound.contains(v),
     };
     let s_bound = is_bound(&slot[0]);
     let o_bound = is_bound(&slot[2]);
-    match (&slot[1], s_bound, o_bound) {
+    let est: usize = match (&slot[1], s_bound, o_bound) {
         (_, true, true) if is_bound(&slot[1]) => 1,
         (Slot::Const(p), s, o) => {
             let base = graph.predicate_count(*p);
@@ -142,13 +208,68 @@ fn shape_estimate(graph: &Graph, slot: &[Slot; 3], bound: &BTreeSet<usize>) -> u
                 (false, false, false) => n,
             }
         }
+    };
+    est as f64
+}
+
+/// The stats-based selectivity estimate: start from the predicate's
+/// triple count (or the graph total for a variable predicate) and divide
+/// by the distinct-subject/object cardinality for each bound position —
+/// the expected fan-out of the probe under a uniform-spread assumption.
+/// Constants absent from the snapshot (unknown predicate, subject
+/// outside the sealed SPO key bounds) estimate 0: scanning them first
+/// terminates the join immediately.
+fn stats_estimate(stats: &GraphStats, slot: &[Slot; 3], bound: &BTreeSet<usize>) -> f64 {
+    if all_const(slot) {
+        return 0.0;
+    }
+    let is_bound = |s: &Slot| match s {
+        Slot::Const(_) => true,
+        Slot::Var(v) => bound.contains(v),
+    };
+    let s_bound = is_bound(&slot[0]);
+    let o_bound = is_bound(&slot[2]);
+    if let Slot::Const(s) = slot[0] {
+        if let Some((lo, hi)) = &stats.spo_bounds {
+            if s < lo.s || s > hi.s {
+                return 0.0;
+            }
+        }
+    }
+    match &slot[1] {
+        Slot::Const(p) => {
+            let Some(ps) = stats.predicate(*p) else {
+                return 0.0;
+            };
+            let mut est = ps.count as f64;
+            if s_bound {
+                est /= ps.distinct_subjects.max(1) as f64;
+            }
+            if o_bound {
+                est /= ps.distinct_objects.max(1) as f64;
+            }
+            est
+        }
+        Slot::Var(pv) => {
+            let mut est = stats.triples.max(1) as f64;
+            if bound.contains(pv) {
+                est /= stats.predicates().max(1) as f64;
+            }
+            if s_bound {
+                est /= stats.distinct_subjects.max(1) as f64;
+            }
+            if o_bound {
+                est /= stats.distinct_objects.max(1) as f64;
+            }
+            est
+        }
     }
 }
 
 /// Evaluates a graph pattern, returning the set of solution mappings
 /// `⟦GP⟧_D` of Definition 1 (term-level, sorted, deduplicated).
 pub fn evaluate_pattern(graph: &Graph, gp: &GraphPattern) -> Vec<Mapping> {
-    let compiled = compile(graph, gp);
+    let compiled = compile(graph, gp, JoinOrder::Auto);
     if !compiled.satisfiable {
         return Vec::new();
     }
@@ -309,7 +430,7 @@ impl PreparedPattern {
             }
         }
         PreparedPattern {
-            compiled: compile(graph, gp),
+            compiled: compile(graph, gp, JoinOrder::Auto),
         }
     }
 
@@ -387,7 +508,7 @@ pub fn has_match_with(
     gp: &GraphPattern,
     bind: &dyn Fn(&Variable) -> Option<TermId>,
 ) -> bool {
-    let compiled = compile(graph, gp);
+    let compiled = compile(graph, gp, JoinOrder::Auto);
     if !compiled.satisfiable {
         return false;
     }
@@ -468,9 +589,59 @@ impl PreparedQueryIds {
     /// universal solution) — a graph that later gains triples could make
     /// the missing constant appear, which this plan would not notice.
     pub fn compile_only(graph: &Graph, query: &GraphPatternQuery) -> Self {
-        let compiled = compile(graph, query.pattern());
+        Self::compile_only_with(graph, query, JoinOrder::Auto)
+    }
+
+    /// [`Self::compile_only`] with an explicit join-ordering mode —
+    /// the seam the `ExecConfig` knob forces the cost-based or the
+    /// smallest-first planner through (answers are byte-identical
+    /// either way; only the conjunct order and scan permutations
+    /// change).
+    pub fn compile_only_with(graph: &Graph, query: &GraphPatternQuery, order: JoinOrder) -> Self {
+        let compiled = compile(graph, query.pattern(), order);
         let proj = projection(&compiled, query);
         PreparedQueryIds { compiled, proj }
+    }
+
+    /// The ordering mode this plan was compiled under.
+    pub fn join_order(&self) -> JoinOrder {
+        self.compiled.order
+    }
+
+    /// The planner's conjunct order: element `i` is the position in the
+    /// source pattern of the conjunct executed `i`-th. The ordering
+    /// unit tests pin planner decisions through this.
+    pub fn planned_order(&self) -> &[usize] {
+        &self.compiled.source
+    }
+
+    /// The scan permutation each planned conjunct probes, in execution
+    /// order — derived from which positions are constant or bound by
+    /// earlier conjuncts, mirroring [`Graph::match_ids`]'s choice.
+    pub fn planned_scans(&self) -> Vec<ScanPerm> {
+        let mut bound: BTreeSet<usize> = BTreeSet::new();
+        let mut out = Vec::with_capacity(self.compiled.slots.len());
+        for slot in &self.compiled.slots {
+            let known = |s: &Slot| match s {
+                Slot::Const(_) => true,
+                Slot::Var(v) => bound.contains(v),
+            };
+            let (s, p, o) = (known(&slot[0]), known(&slot[1]), known(&slot[2]));
+            out.push(match (s, p, o) {
+                (true, true, true) => ScanPerm::Probe,
+                (true, true, false) | (true, false, false) => ScanPerm::Spo,
+                (true, false, true) => ScanPerm::Osp,
+                (false, true, _) => ScanPerm::Pos,
+                (false, false, true) => ScanPerm::Osp,
+                (false, false, false) => ScanPerm::Spo,
+            });
+            for sl in slot {
+                if let Slot::Var(v) = sl {
+                    bound.insert(*v);
+                }
+            }
+        }
+        out
     }
 
     /// Evaluates the plan, returning id-level answer tuples (dense,
@@ -631,7 +802,7 @@ impl PreparedQueryIds {
                     Slot::Const(_) => None,
                 })
                 .collect();
-            order_slots(graph, &mut rest, pivot_vars);
+            order_slots(graph, &mut rest, pivot_vars, self.compiled.order);
             let mut binding: Vec<Option<TermId>> = vec![None; self.compiled.vars.len()];
             for t in graph.log_since(log_from) {
                 match_one(graph, &rest, 0, &slot, t, &mut binding, &mut |b| {
@@ -677,6 +848,19 @@ impl PreparedQueryIds {
         proj: Option<Vec<usize>>,
         satisfiable: bool,
     ) -> Self {
+        Self::from_id_slots_with(graph, conjuncts, nvars, proj, satisfiable, JoinOrder::Auto)
+    }
+
+    /// [`Self::from_id_slots`] with an explicit join-ordering mode (see
+    /// [`Self::compile_only_with`]).
+    pub fn from_id_slots_with(
+        graph: &Graph,
+        conjuncts: &[[PlanSlot; 3]],
+        nvars: usize,
+        proj: Option<Vec<usize>>,
+        satisfiable: bool,
+        order: JoinOrder,
+    ) -> Self {
         let mut slots: Vec<[Slot; 3]> = conjuncts
             .iter()
             .map(|c| {
@@ -689,9 +873,11 @@ impl PreparedQueryIds {
                 })
             })
             .collect();
-        if satisfiable {
-            order_slots(graph, &mut slots, BTreeSet::new());
-        }
+        let source = if satisfiable {
+            order_slots(graph, &mut slots, BTreeSet::new(), order)
+        } else {
+            (0..slots.len()).collect()
+        };
         debug_assert!(proj.iter().flatten().all(|&i| i < nvars));
         // Numbered variables have no source names; synthesise stable
         // placeholders so the dense table keeps its invariants.
@@ -701,10 +887,27 @@ impl PreparedQueryIds {
                 slots,
                 vars,
                 satisfiable,
+                order,
+                source,
             },
             proj,
         }
     }
+}
+
+/// The scan permutation a planned conjunct probes (see
+/// [`PreparedQueryIds::planned_scans`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScanPerm {
+    /// Subject-anchored range scan of the SPO index.
+    Spo,
+    /// Predicate-anchored range scan of the POS index.
+    Pos,
+    /// Object-anchored range scan of the OSP index.
+    Osp,
+    /// All three positions known at scan time: a single membership
+    /// probe, no range scan at all.
+    Probe,
 }
 
 /// Evaluates a graph pattern query at the id level: answer tuples are
@@ -1277,5 +1480,143 @@ _:c3 e:artist e:actor1 .
         assert!(plan
             .evaluate_parallel(&empty, Semantics::Star, 4, 2)
             .is_empty());
+    }
+
+    /// A graph with two predicates of equal cardinality but opposite
+    /// skew: `status` fans into 2 objects, `ident` is one-to-one.
+    fn skewed_graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n {
+            let s = Term::iri(format!("http://e/s{i}"));
+            g.insert_terms(
+                s.clone(),
+                Term::iri("http://e/status"),
+                Term::literal(if i % 2 == 0 { "active" } else { "idle" }),
+            )
+            .unwrap();
+            g.insert_terms(
+                s,
+                Term::iri("http://e/ident"),
+                Term::literal(format!("{i}")),
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn all_constant_atom_is_ordered_first() {
+        // The membership probe comes first under BOTH estimators even
+        // though its predicate is the most frequent one — the blind
+        // spot the old heuristic had (it costed fully-bound atoms 1,
+        // tying with refined estimates instead of winning outright).
+        let g = skewed_graph(64);
+        let probe = GraphPattern::triple(
+            TermOrVar::iri("http://e/s3"),
+            TermOrVar::iri("http://e/status"),
+            TermOrVar::Term(Term::literal("idle")),
+        );
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/ident"),
+            TermOrVar::var("i"),
+        )
+        .and(probe);
+        let q = GraphPatternQuery::new(vec![var("x")], gp);
+        for order in [JoinOrder::SmallestFirst, JoinOrder::CostBased] {
+            let plan = PreparedQueryIds::compile_only_with(&g, &q, order);
+            assert_eq!(
+                plan.planned_order()[0],
+                1,
+                "all-constant atom must lead under {order:?}"
+            );
+            assert_eq!(plan.planned_scans()[0], ScanPerm::Probe);
+        }
+    }
+
+    #[test]
+    fn cost_based_orderer_uses_distinct_counts() {
+        // Both atoms have predicate count n, so the shape heuristic
+        // (count/4 for one bound position) ties and keeps query order.
+        // The stats see that `ident "7"` pins one row while `status
+        // "active"` matches n/2, and reorder.
+        let mut g = skewed_graph(64);
+        g.seal();
+        let gp = GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/status"),
+            TermOrVar::Term(Term::literal("active")),
+        )
+        .and(GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://e/ident"),
+            TermOrVar::Term(Term::literal("7")),
+        ));
+        let q = GraphPatternQuery::new(vec![var("x")], gp);
+
+        let heuristic = PreparedQueryIds::compile_only_with(&g, &q, JoinOrder::SmallestFirst);
+        assert_eq!(heuristic.planned_order(), &[0, 1], "tie keeps query order");
+
+        let cost = PreparedQueryIds::compile_only_with(&g, &q, JoinOrder::CostBased);
+        assert_eq!(cost.planned_order(), &[1, 0], "selective atom leads");
+        // The ident atom scans POS (only p+o known); by then the
+        // status atom is fully bound and degenerates to a probe.
+        assert_eq!(cost.planned_scans(), vec![ScanPerm::Pos, ScanPerm::Probe]);
+
+        // Same answers either way — ordering is performance-only.
+        assert_eq!(
+            heuristic.evaluate(&g, Semantics::Certain),
+            cost.evaluate(&g, Semantics::Certain)
+        );
+        // Auto resolves to the cost-based plan on a sealed graph...
+        let auto = PreparedQueryIds::compile_only_with(&g, &q, JoinOrder::Auto);
+        assert_eq!(auto.planned_order(), cost.planned_order());
+        // ...and to the heuristic on an unsealed one (no snapshot).
+        // Keep the graph under TAIL_MAX triples so the tail does not
+        // auto-flush, which would leave the store sealed.
+        let unsealed = skewed_graph(20);
+        assert!(!unsealed.is_sealed());
+        let auto_unsealed = PreparedQueryIds::compile_only_with(&unsealed, &q, JoinOrder::Auto);
+        assert_eq!(auto_unsealed.planned_order(), &[0, 1]);
+    }
+
+    #[test]
+    fn stats_snapshot_counts_are_exact() {
+        let mut g = skewed_graph(32);
+        assert!(
+            g.graph_stats().is_none(),
+            "unsealed graphs have no snapshot"
+        );
+        g.seal();
+        let stats = g.graph_stats().expect("sealed");
+        assert_eq!(stats.triples, 64);
+        let status = g.term_id(&Term::iri("http://e/status")).unwrap();
+        let ident = g.term_id(&Term::iri("http://e/ident")).unwrap();
+        let st = stats.predicate(status).unwrap();
+        assert_eq!(
+            (st.count, st.distinct_subjects, st.distinct_objects),
+            (32, 32, 2)
+        );
+        let id = stats.predicate(ident).unwrap();
+        assert_eq!(
+            (id.count, id.distinct_subjects, id.distinct_objects),
+            (32, 32, 32)
+        );
+        assert_eq!(stats.predicates(), 2);
+        assert!(stats.spo_bounds.is_some() && stats.pos_bounds.is_some());
+        // Mutation invalidates; resealing rebuilds.
+        g.insert_terms(
+            Term::iri("http://e/s0"),
+            Term::iri("http://e/status"),
+            Term::literal("gone"),
+        )
+        .unwrap();
+        assert!(g.graph_stats().is_none(), "tail reopened by the insert");
+        g.seal();
+        assert_eq!(g.graph_stats().unwrap().triples, 65);
+        // The flat counters surface through storage_stats once built.
+        let flat = g.storage_stats();
+        assert_eq!(flat.stats_predicates, 2);
+        assert!(flat.stats_distinct_subjects >= 32);
     }
 }

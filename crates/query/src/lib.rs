@@ -14,7 +14,10 @@
 //! * [`eval`] — the index-nested-loop evaluator with greedy join ordering;
 //! * [`algebra`] — unions of conjunctive queries (the output language of
 //!   the Section 4 rewriting), SELECT/ASK forms;
-//! * [`parser`] — a parser for the conjunctive SPARQL subset plus UNION.
+//! * [`parser`] — a parser for the conjunctive SPARQL subset plus UNION;
+//! * [`sparql`] — the full SPARQL front-end (SELECT/ASK with OPTIONAL,
+//!   UNION, FILTER, DISTINCT, ORDER BY, LIMIT/OFFSET), lowered onto the
+//!   conjunctive engine.
 
 #![warn(missing_docs)]
 
@@ -23,13 +26,15 @@ pub mod binding;
 pub mod eval;
 pub mod parser;
 pub mod pattern;
+pub mod sparql;
 
 pub use algebra::{Query, QueryResult, UnionQuery};
 pub use binding::{join, Mapping};
 pub use eval::{
     evaluate_boolean, evaluate_pattern, evaluate_query, evaluate_query_ids,
-    evaluate_query_ids_delta, has_match, has_match_with, PlanSlot, PreparedPattern,
-    PreparedQueryIds, Semantics,
+    evaluate_query_ids_delta, has_match, has_match_with, JoinOrder, PlanSlot, PreparedPattern,
+    PreparedQueryIds, ScanPerm, Semantics,
 };
 pub use parser::{parse_query, to_sparql};
 pub use pattern::{GraphPattern, GraphPatternQuery, TermOrVar, TriplePattern, Variable};
+pub use sparql::{parse_sparql, LoweredSparql, SparqlError, SparqlQuery, SparqlResult, SparqlRows};

@@ -1,0 +1,444 @@
+//! The SPARQL lexer: UTF-8 text to spanned tokens.
+//!
+//! Every token carries its byte span and line/column so the parser can
+//! attach precise positions to [`super::SparqlError`]s. The lexer is
+//! hand-written over `char_indices` — no external lexer generator —
+//! and covers exactly the token inventory of the SELECT/ASK subset:
+//! keywords, variables, IRIs, prefixed names, literals (plain,
+//! language-tagged, datatyped), integers, punctuation and the FILTER
+//! operator set.
+
+use super::SparqlError;
+
+/// A token kind. Keywords are folded to lower case at lex time.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// A reserved word (`select`, `ask`, `optional`, …), lower-cased.
+    Keyword(Kw),
+    /// `?name` or `$name`.
+    Var(String),
+    /// `<absolute-or-relative-iri>` (angle brackets stripped).
+    Iri(String),
+    /// `prefix:local` — resolved against the prefix map by the parser.
+    PName(String),
+    /// A quoted literal with optional `@lang` or `^^<datatype>`.
+    Literal {
+        /// The unescaped lexical form.
+        lexical: String,
+        /// `@tag`, if present.
+        lang: Option<String>,
+        /// `^^<iri>`, if present.
+        datatype: Option<String>,
+    },
+    /// A bare unsigned integer.
+    Integer(String),
+    /// The Turtle `a` shorthand for `rdf:type`.
+    A,
+    /// `*` (SELECT projection).
+    Star,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// The reserved words of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kw {
+    Select,
+    Ask,
+    Where,
+    Union,
+    Optional,
+    Filter,
+    Bound,
+    Distinct,
+    Reduced,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Offset,
+    Prefix,
+    Base,
+    True,
+    False,
+}
+
+fn keyword(word: &str) -> Option<Kw> {
+    Some(match word.to_ascii_lowercase().as_str() {
+        "select" => Kw::Select,
+        "ask" => Kw::Ask,
+        "where" => Kw::Where,
+        "union" => Kw::Union,
+        "optional" => Kw::Optional,
+        "filter" => Kw::Filter,
+        "bound" => Kw::Bound,
+        "distinct" => Kw::Distinct,
+        "reduced" => Kw::Reduced,
+        "order" => Kw::Order,
+        "by" => Kw::By,
+        "asc" => Kw::Asc,
+        "desc" => Kw::Desc,
+        "limit" => Kw::Limit,
+        "offset" => Kw::Offset,
+        "prefix" => Kw::Prefix,
+        "base" => Kw::Base,
+        "true" => Kw::True,
+        "false" => Kw::False,
+        _ => return None,
+    })
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone)]
+pub(crate) struct Spanned {
+    pub tok: Tok,
+    /// Half-open byte range in the source text.
+    pub span: (usize, usize),
+    /// 1-based source line of the first byte.
+    pub line: usize,
+    /// 1-based source column (in characters) of the first byte.
+    pub col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, start: usize, line: usize, col: usize, msg: impl Into<String>) -> SparqlError {
+        SparqlError {
+            message: msg.into(),
+            span: (start, self.pos.max(start + 1).min(self.src.len().max(1))),
+            line,
+            col,
+        }
+    }
+
+    /// `true` iff the `<` at the current position opens an IRI: a `>`
+    /// appears before any whitespace, quote or brace. Otherwise the `<`
+    /// is the less-than operator of a FILTER expression.
+    fn lt_is_iri(&self) -> bool {
+        for &b in &self.bytes[self.pos + 1..] {
+            match b {
+                b'>' => return true,
+                b' ' | b'\t' | b'\r' | b'\n' | b'"' | b'{' | b'}' | b'<' => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn name(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.' {
+                // A trailing '.' is a triple terminator, not part of a
+                // name (`e:s.` means `e:s .`).
+                if c == '.' {
+                    let after = {
+                        let mut it = self.src[self.pos..].chars();
+                        it.next();
+                        it.next()
+                    };
+                    if !after.is_some_and(|a| a.is_alphanumeric() || a == '_') {
+                        break;
+                    }
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos].to_string()
+    }
+}
+
+/// Tokenises `src`, reporting the first lexical error with its span.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Spanned>, SparqlError> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match lx.peek() {
+                Some(c) if c.is_whitespace() => {
+                    lx.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = lx.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (start, line, col) = (lx.pos, lx.line, lx.col);
+        let Some(c) = lx.peek() else { break };
+        let tok = match c {
+            '{' => {
+                lx.bump();
+                Tok::LBrace
+            }
+            '}' => {
+                lx.bump();
+                Tok::RBrace
+            }
+            '(' => {
+                lx.bump();
+                Tok::LParen
+            }
+            ')' => {
+                lx.bump();
+                Tok::RParen
+            }
+            '.' => {
+                lx.bump();
+                Tok::Dot
+            }
+            ';' => {
+                lx.bump();
+                Tok::Semi
+            }
+            ',' => {
+                lx.bump();
+                Tok::Comma
+            }
+            '*' => {
+                lx.bump();
+                Tok::Star
+            }
+            '=' => {
+                lx.bump();
+                Tok::Eq
+            }
+            '!' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::Ne
+                } else {
+                    Tok::Bang
+                }
+            }
+            '&' => {
+                lx.bump();
+                if lx.peek() == Some('&') {
+                    lx.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(lx.err(start, line, col, "expected '&&'"));
+                }
+            }
+            '|' => {
+                lx.bump();
+                if lx.peek() == Some('|') {
+                    lx.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(lx.err(start, line, col, "expected '||'"));
+                }
+            }
+            '>' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '<' => {
+                if lx.lt_is_iri() {
+                    lx.bump();
+                    let iri_start = lx.pos;
+                    while lx.peek() != Some('>') {
+                        lx.bump();
+                    }
+                    let iri = lx.src[iri_start..lx.pos].to_string();
+                    lx.bump();
+                    Tok::Iri(iri)
+                } else {
+                    lx.bump();
+                    if lx.peek() == Some('=') {
+                        lx.bump();
+                        Tok::Le
+                    } else {
+                        Tok::Lt
+                    }
+                }
+            }
+            '?' | '$' => {
+                lx.bump();
+                let name = lx.name();
+                if name.is_empty() {
+                    return Err(lx.err(start, line, col, "empty variable name"));
+                }
+                Tok::Var(name)
+            }
+            '"' => {
+                lx.bump();
+                let mut lexical = String::new();
+                loop {
+                    match lx.bump() {
+                        Some('"') => break,
+                        Some('\\') => match lx.bump() {
+                            Some('"') => lexical.push('"'),
+                            Some('\\') => lexical.push('\\'),
+                            Some('n') => lexical.push('\n'),
+                            Some('t') => lexical.push('\t'),
+                            other => {
+                                return Err(lx.err(
+                                    start,
+                                    line,
+                                    col,
+                                    format!("unsupported escape \\{}", other.unwrap_or(' ')),
+                                ))
+                            }
+                        },
+                        Some('\n') | None => {
+                            return Err(lx.err(start, line, col, "unterminated string literal"))
+                        }
+                        Some(ch) => lexical.push(ch),
+                    }
+                }
+                let mut lang = None;
+                let mut datatype = None;
+                if lx.peek() == Some('@') {
+                    lx.bump();
+                    let tag = lx.name();
+                    if tag.is_empty() {
+                        return Err(lx.err(start, line, col, "empty language tag"));
+                    }
+                    lang = Some(tag);
+                } else if lx.peek() == Some('^') {
+                    lx.bump();
+                    if lx.bump() != Some('^') {
+                        return Err(lx.err(start, line, col, "expected '^^' before datatype"));
+                    }
+                    if lx.peek() != Some('<') {
+                        return Err(lx.err(
+                            start,
+                            line,
+                            col,
+                            "datatype must be a full IRI in angle brackets",
+                        ));
+                    }
+                    lx.bump();
+                    let dt_start = lx.pos;
+                    loop {
+                        match lx.peek() {
+                            Some('>') => break,
+                            Some('\n') | None => {
+                                return Err(lx.err(start, line, col, "unterminated datatype IRI"))
+                            }
+                            _ => {
+                                lx.bump();
+                            }
+                        }
+                    }
+                    datatype = Some(lx.src[dt_start..lx.pos].to_string());
+                    lx.bump();
+                }
+                Tok::Literal {
+                    lexical,
+                    lang,
+                    datatype,
+                }
+            }
+            d if d.is_ascii_digit() => {
+                let num_start = lx.pos;
+                while lx.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    lx.bump();
+                }
+                Tok::Integer(lx.src[num_start..lx.pos].to_string())
+            }
+            c if c.is_alphanumeric() || c == '_' || c == ':' => {
+                let word = lx.name();
+                if word == "a" {
+                    Tok::A
+                } else if let Some(kw) = keyword(&word) {
+                    Tok::Keyword(kw)
+                } else if word.contains(':') {
+                    Tok::PName(word)
+                } else {
+                    return Err(lx.err(
+                        start,
+                        line,
+                        col,
+                        format!("unknown keyword or bare name {word:?}"),
+                    ));
+                }
+            }
+            other => {
+                lx.bump();
+                return Err(lx.err(start, line, col, format!("unexpected character {other:?}")));
+            }
+        };
+        out.push(Spanned {
+            tok,
+            span: (start, lx.pos),
+            line,
+            col,
+        });
+    }
+    Ok(out)
+}

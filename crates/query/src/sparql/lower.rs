@@ -1,0 +1,305 @@
+//! Lowering: the parsed SPARQL AST to id-level-executable conjunctive
+//! plans plus a term-level assembly recipe.
+//!
+//! The engine underneath evaluates conjunctive queries (and unions of
+//! them) — that is the whole contract of the prepare/execute pipeline,
+//! the plan cache, the rewriter and the federated routes. Lowering
+//! therefore reduces a SPARQL query to a list of plain
+//! [`GraphPatternQuery`]s:
+//!
+//! * each UNION **branch** (one alternative picked from every UNION
+//!   block, joined with the base BGP) contributes one **base CQ**;
+//! * each OPTIONAL block contributes one **extended CQ** per branch —
+//!   the branch BGP conjoined with the optional BGP, so its rows are
+//!   exactly the successful extensions of base rows;
+//! * FILTERs, the left-join merge, projection, DISTINCT, ORDER BY and
+//!   LIMIT/OFFSET are applied afterwards at the term level by
+//!   [`LoweredSparql::assemble`], identically on every route.
+//!
+//! The head of each CQ is minimised to the variables actually needed
+//! downstream (projection ∪ filters ∪ sort keys ∪ join vars), so the
+//! underlying plans stay as narrow as hand-written ones.
+
+use super::exec;
+use super::parse::{FilterExpr, OrderKey, Projection, QueryForm, SimpleGroup, SparqlQuery};
+use crate::eval::Semantics;
+use crate::pattern::{GraphPattern, GraphPatternQuery, TriplePattern, Variable};
+use rps_rdf::{Graph, Term};
+use std::collections::BTreeSet;
+
+/// A SPARQL query lowered to conjunctive plans plus the term-level
+/// assembly recipe. Obtain one with [`SparqlQuery::lower`]; feed the
+/// per-CQ answer sets (in [`LoweredSparql::queries`] order) to
+/// [`LoweredSparql::assemble`].
+#[derive(Debug, Clone)]
+pub struct LoweredSparql {
+    /// `true` for ASK.
+    pub(crate) ask: bool,
+    /// The projection, in output-column order (empty for ASK).
+    pub(crate) projection: Vec<Variable>,
+    /// The lowered UNION branches.
+    pub(crate) branches: Vec<LoweredBranch>,
+    /// ORDER BY keys.
+    pub(crate) order_by: Vec<OrderKey>,
+    /// `LIMIT`.
+    pub(crate) limit: Option<usize>,
+    /// `OFFSET`.
+    pub(crate) offset: Option<usize>,
+}
+
+/// One UNION branch: a base CQ, its optional extensions, and the
+/// filters evaluated on merged rows.
+#[derive(Debug, Clone)]
+pub(crate) struct LoweredBranch {
+    /// The base conjunctive query.
+    pub base: GraphPatternQuery,
+    /// One extended CQ per OPTIONAL block, in source order.
+    pub optionals: Vec<LoweredOptional>,
+    /// Branch-level filters (group filters plus the picked
+    /// alternatives' filters), applied to merged rows.
+    pub filters: Vec<FilterExpr>,
+}
+
+/// One OPTIONAL block of a branch.
+#[derive(Debug, Clone)]
+pub(crate) struct LoweredOptional {
+    /// The branch BGP conjoined with the optional BGP.
+    pub query: GraphPatternQuery,
+    /// Filters scoped to the OPTIONAL block, applied to extension rows
+    /// before the left join.
+    pub filters: Vec<FilterExpr>,
+}
+
+impl SparqlQuery {
+    /// Lowers the query to conjunctive plans. Infallible: every
+    /// restriction of the subset is enforced by the parser, so a parsed
+    /// query always lowers.
+    pub fn lower(&self) -> LoweredSparql {
+        // SELECT * projects every pattern variable in first-occurrence
+        // order (scanning base, then unions, then optionals, matching
+        // the serialised query left to right).
+        let star_vars = || {
+            let mut seen = BTreeSet::new();
+            let mut out = Vec::new();
+            let mut scan = |triples: &[TriplePattern]| {
+                for t in triples {
+                    for v in t.vars() {
+                        if seen.insert(v.clone()) {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+            };
+            scan(&self.pattern.triples);
+            for block in &self.pattern.unions {
+                for alt in block {
+                    scan(&alt.triples);
+                }
+            }
+            for opt in &self.pattern.optionals {
+                scan(&opt.triples);
+            }
+            out
+        };
+        let (ask, projection) = match &self.form {
+            QueryForm::Ask => (true, Vec::new()),
+            QueryForm::Select { projection, .. } => match projection {
+                Projection::Vars(vars) => (false, vars.clone()),
+                Projection::Star => (false, star_vars()),
+            },
+        };
+
+        // Variables needed beyond each branch's own evaluation:
+        // projection columns, sort keys, and every filter mention
+        // (group-level and optional-level — optional filters force the
+        // base head to keep the base variables they constrain, so the
+        // left join never collapses rows the filter distinguishes).
+        let mut needed: BTreeSet<Variable> = projection.iter().cloned().collect();
+        needed.extend(self.order_by.iter().map(|k| k.var.clone()));
+        let mut filter_vars = Vec::new();
+        for f in &self.pattern.filters {
+            f.collect_vars(&mut filter_vars);
+        }
+        for opt in &self.pattern.optionals {
+            for f in &opt.filters {
+                f.collect_vars(&mut filter_vars);
+            }
+        }
+        for block in &self.pattern.unions {
+            for alt in block {
+                for f in &alt.filters {
+                    f.collect_vars(&mut filter_vars);
+                }
+            }
+        }
+        needed.extend(filter_vars);
+
+        // Cross product of one alternative per UNION block.
+        let mut combos: Vec<Vec<&SimpleGroup>> = vec![Vec::new()];
+        for block in &self.pattern.unions {
+            let mut next = Vec::with_capacity(combos.len() * block.len());
+            for combo in &combos {
+                for alt in block {
+                    let mut c = combo.clone();
+                    c.push(alt);
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+
+        let head_of = |pattern: &GraphPattern, needed: &BTreeSet<Variable>| -> Vec<Variable> {
+            let present = pattern.vars();
+            present
+                .iter()
+                .filter(|v| needed.contains(v))
+                .cloned()
+                .collect()
+        };
+
+        let mut branches = Vec::with_capacity(combos.len());
+        for combo in combos {
+            let mut base_pattern = GraphPattern::from_patterns(self.pattern.triples.clone());
+            let mut filters = self.pattern.filters.clone();
+            for alt in &combo {
+                for t in &alt.triples {
+                    base_pattern.push(t.clone());
+                }
+                filters.extend(alt.filters.iter().cloned());
+            }
+            let base_head = head_of(&base_pattern, &needed);
+            let base = GraphPatternQuery::new(base_head.clone(), base_pattern.clone());
+            let optionals = self
+                .pattern
+                .optionals
+                .iter()
+                .map(|opt| {
+                    let mut ext = base_pattern.clone();
+                    for t in &opt.triples {
+                        ext.push(t.clone());
+                    }
+                    // The extension head carries the full base head (the
+                    // left-join key) plus whatever optional variables are
+                    // needed downstream.
+                    let mut head: BTreeSet<Variable> = base_head.iter().cloned().collect();
+                    head.extend(head_of(&ext, &needed));
+                    LoweredOptional {
+                        query: GraphPatternQuery::new(head.into_iter().collect(), ext),
+                        filters: opt.filters.clone(),
+                    }
+                })
+                .collect();
+            branches.push(LoweredBranch {
+                base,
+                optionals,
+                filters,
+            });
+        }
+
+        LoweredSparql {
+            ask,
+            projection,
+            branches,
+            order_by: self.order_by.clone(),
+            limit: self.limit,
+            offset: self.offset,
+        }
+    }
+}
+
+impl LoweredSparql {
+    /// The conjunctive queries to evaluate, in the fixed order
+    /// [`LoweredSparql::assemble`] expects: for each branch, its base
+    /// CQ followed by its optional-extension CQs.
+    pub fn queries(&self) -> Vec<&GraphPatternQuery> {
+        let mut out = Vec::new();
+        for b in &self.branches {
+            out.push(&b.base);
+            for o in &b.optionals {
+                out.push(&o.query);
+            }
+        }
+        out
+    }
+
+    /// `true` for ASK queries.
+    pub fn is_ask(&self) -> bool {
+        self.ask
+    }
+
+    /// The output column names, in order (empty for ASK).
+    pub fn columns(&self) -> Vec<String> {
+        self.projection
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect()
+    }
+
+    /// Assembles the final result from the per-CQ answer sets, which
+    /// must line up with [`LoweredSparql::queries`]. This is the entire
+    /// non-conjunctive tail of SPARQL evaluation — left joins, filters,
+    /// projection, DISTINCT, ORDER BY, LIMIT/OFFSET — and it is shared
+    /// verbatim by every execution route, which is what makes the
+    /// routes answer byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `answers.len()` does not match the query count — the
+    /// caller zips its own execution results and a mismatch is a bug,
+    /// not an input error.
+    pub fn assemble(&self, answers: &[BTreeSet<Vec<Term>>]) -> SparqlResult {
+        exec::assemble(self, answers)
+    }
+
+    /// Evaluates the query directly against a single graph — the
+    /// reference implementation used by the oracle tests, and a
+    /// convenience for callers below the session layer.
+    pub fn evaluate(&self, graph: &Graph, semantics: Semantics) -> SparqlResult {
+        let answers: Vec<BTreeSet<Vec<Term>>> = self
+            .queries()
+            .into_iter()
+            .map(|q| crate::eval::evaluate_query(graph, q, semantics))
+            .collect();
+        self.assemble(&answers)
+    }
+}
+
+/// The result of a SPARQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlResult {
+    /// SELECT: a solution table.
+    Rows(SparqlRows),
+    /// ASK: a truth value.
+    Boolean(bool),
+}
+
+impl SparqlResult {
+    /// The solution table, if this is a SELECT result.
+    pub fn rows(&self) -> Option<&SparqlRows> {
+        match self {
+            SparqlResult::Rows(r) => Some(r),
+            SparqlResult::Boolean(_) => None,
+        }
+    }
+
+    /// The truth value, if this is an ASK result.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            SparqlResult::Boolean(b) => Some(*b),
+            SparqlResult::Rows(_) => None,
+        }
+    }
+}
+
+/// A SELECT solution table. Row order is the ORDER BY order when one
+/// was given, and the deterministic canonical order (ascending by
+/// column-wise term comparison, unbound first) otherwise — never the
+/// accidental order of execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlRows {
+    /// Column names, without the `?` sigil.
+    pub vars: Vec<String>,
+    /// Rows; `None` is an unbound column (an OPTIONAL that did not
+    /// match, or a projected variable absent from the matched branch).
+    pub rows: Vec<Vec<Option<Term>>>,
+}

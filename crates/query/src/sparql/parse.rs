@@ -1,0 +1,723 @@
+//! The recursive-descent SPARQL parser: spanned tokens to a typed AST.
+//!
+//! The grammar is the SELECT/ASK subset described in [`super`]. Every
+//! rejection — lexical, syntactic, or a structural restriction of the
+//! subset (nested OPTIONAL, UNION inside OPTIONAL, empty group) — is a
+//! [`SparqlError`] carrying the byte span and line/column of the
+//! offending token; the parser never panics on malformed input.
+
+use super::lex::{tokenize, Kw, Spanned, Tok};
+use super::SparqlError;
+use crate::pattern::{TermOrVar, TriplePattern, Variable};
+use rps_rdf::namespace::vocab;
+use rps_rdf::{Iri, Literal, PrefixMap, Term};
+
+/// A parsed SPARQL query: form, pattern and solution modifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparqlQuery {
+    /// SELECT or ASK.
+    pub form: QueryForm,
+    /// The WHERE-clause group graph pattern.
+    pub pattern: GroupPattern,
+    /// ORDER BY keys, outermost first.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT n`, if present.
+    pub limit: Option<usize>,
+    /// `OFFSET n`, if present.
+    pub offset: Option<usize>,
+}
+
+/// The query form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    /// `SELECT [DISTINCT|REDUCED] (?v+ | *)`.
+    Select {
+        /// `true` for both DISTINCT and REDUCED (the engine computes
+        /// set semantics throughout, so both are satisfied).
+        distinct: bool,
+        /// The projection.
+        projection: Projection,
+    },
+    /// `ASK`.
+    Ask,
+}
+
+/// A SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// An explicit variable list, in projection order.
+    Vars(Vec<Variable>),
+    /// `SELECT *`: every variable of the pattern, in first-occurrence
+    /// order.
+    Star,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort variable.
+    pub var: Variable,
+    /// `true` for `DESC(?v)`.
+    pub descending: bool,
+}
+
+/// A group graph pattern: the base basic graph pattern plus the
+/// OPTIONAL, FILTER and UNION elements attached to it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    /// The base BGP triples.
+    pub triples: Vec<TriplePattern>,
+    /// Group-level FILTER constraints (evaluated on merged rows).
+    pub filters: Vec<FilterExpr>,
+    /// OPTIONAL blocks, in source order (left-joined left to right).
+    pub optionals: Vec<SimpleGroup>,
+    /// UNION blocks: each block is a list of alternatives, and the
+    /// query denotes the cross product of one alternative per block
+    /// joined with the base BGP.
+    pub unions: Vec<Vec<SimpleGroup>>,
+}
+
+/// A restricted group — triples plus filters only — used for OPTIONAL
+/// bodies and UNION alternatives. The subset forbids nesting OPTIONAL
+/// or UNION inside these (a typed parse error, not silent dropping).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimpleGroup {
+    /// The triples of the block.
+    pub triples: Vec<TriplePattern>,
+    /// FILTERs scoped to the block.
+    pub filters: Vec<FilterExpr>,
+}
+
+/// A FILTER expression over one solution row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterExpr {
+    /// `a || b`.
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    /// `a && b`.
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    /// `!a`.
+    Not(Box<FilterExpr>),
+    /// `lhs OP rhs`.
+    Compare(Operand, CmpOp, Operand),
+    /// `bound(?v)`.
+    Bound(Variable),
+}
+
+impl FilterExpr {
+    /// Collects every variable the expression mentions into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Variable>) {
+        match self {
+            FilterExpr::Or(a, b) | FilterExpr::And(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            FilterExpr::Not(a) => a.collect_vars(out),
+            FilterExpr::Compare(l, _, r) => {
+                for op in [l, r] {
+                    if let Operand::Var(v) = op {
+                        out.push(v.clone());
+                    }
+                }
+            }
+            FilterExpr::Bound(v) => out.push(v.clone()),
+        }
+    }
+}
+
+/// A comparison operand: a variable or a constant term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A variable, resolved against the row under test.
+    Var(Variable),
+    /// A constant RDF term.
+    Term(Term),
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Parses a SPARQL-subset query. Prefixed names resolve first against
+/// `PREFIX` declarations in the query, then against `base`.
+pub fn parse_sparql(input: &str, base: &PrefixMap) -> Result<SparqlQuery, SparqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: base.clone(),
+        base_iri: None,
+        src_len: input.len(),
+    };
+    p.query()
+}
+
+/// `(order_by, limit, offset)` — the trailing solution modifiers.
+type Modifiers = (Vec<OrderKey>, Option<usize>, Option<usize>);
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    prefixes: PrefixMap,
+    base_iri: Option<String>,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> SparqlError {
+        match self.tokens.get(self.pos) {
+            Some(sp) => SparqlError {
+                message: msg.into(),
+                span: sp.span,
+                line: sp.line,
+                col: sp.col,
+            },
+            None => {
+                let (line, col) = self
+                    .tokens
+                    .last()
+                    .map(|s| (s.line, s.col))
+                    .unwrap_or((1, 1));
+                SparqlError {
+                    message: format!("{} (found end of input)", msg.into()),
+                    span: (self.src_len, self.src_len),
+                    line,
+                    col,
+                }
+            }
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Spanned, SparqlError> {
+        match self.peek() {
+            Some(t) if *t == tok => Ok(self.bump().expect("peeked")),
+            _ => Err(self.err_here(format!("expected {what}"))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if matches!(self.peek(), Some(Tok::Keyword(k)) if *k == kw) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn resolve_iri(&self, iri: String) -> Term {
+        // Relative IRIs (no scheme colon) resolve by concatenation
+        // against a BASE declaration, if any.
+        if !iri.contains(':') {
+            if let Some(base) = &self.base_iri {
+                return Term::Iri(Iri::new(format!("{base}{iri}")));
+            }
+        }
+        Term::Iri(Iri::new(iri))
+    }
+
+    fn query(&mut self) -> Result<SparqlQuery, SparqlError> {
+        self.prologue()?;
+        let form = if self.eat_kw(Kw::Select) {
+            let distinct = self.eat_kw(Kw::Distinct) || self.eat_kw(Kw::Reduced);
+            let projection = if matches!(self.peek(), Some(Tok::Star)) {
+                self.bump();
+                Projection::Star
+            } else {
+                let mut vars = Vec::new();
+                while let Some(Tok::Var(_)) = self.peek() {
+                    if let Some(Spanned {
+                        tok: Tok::Var(name),
+                        ..
+                    }) = self.bump()
+                    {
+                        vars.push(Variable::new(name));
+                    }
+                }
+                if vars.is_empty() {
+                    return Err(self.err_here("SELECT needs a variable list or '*'"));
+                }
+                Projection::Vars(vars)
+            };
+            self.eat_kw(Kw::Where);
+            QueryForm::Select {
+                distinct,
+                projection,
+            }
+        } else if self.eat_kw(Kw::Ask) {
+            self.eat_kw(Kw::Where);
+            QueryForm::Ask
+        } else {
+            return Err(self.err_here("expected SELECT or ASK"));
+        };
+        let pattern = self.group_graph_pattern()?;
+        let (order_by, limit, offset) = self.solution_modifiers()?;
+        if self.pos != self.tokens.len() {
+            return Err(self.err_here("trailing tokens after query"));
+        }
+        if matches!(form, QueryForm::Ask) && !order_by.is_empty() {
+            return Err(self.err_here("ASK queries take no ORDER BY"));
+        }
+        // Sorting happens on projected columns (projection precedes
+        // ORDER BY in this engine because projection dedups), so an
+        // explicit SELECT list must cover every sort key. `SELECT *`
+        // projects all pattern variables and always qualifies.
+        if let QueryForm::Select {
+            projection: Projection::Vars(vars),
+            ..
+        } = &form
+        {
+            for key in &order_by {
+                if !vars.contains(&key.var) {
+                    return Err(self.err_here(format!(
+                        "ORDER BY variable ?{} must appear in the SELECT list",
+                        key.var.name()
+                    )));
+                }
+            }
+        }
+        Ok(SparqlQuery {
+            form,
+            pattern,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn prologue(&mut self) -> Result<(), SparqlError> {
+        loop {
+            if self.eat_kw(Kw::Prefix) {
+                let Some(Spanned {
+                    tok: Tok::PName(pname),
+                    ..
+                }) = self.bump()
+                else {
+                    return Err(self.err_here("expected a prefix name after PREFIX"));
+                };
+                let Some(prefix) = pname.strip_suffix(':') else {
+                    return Err(self.err_here("prefix declarations must end with ':'"));
+                };
+                let Some(Spanned {
+                    tok: Tok::Iri(ns), ..
+                }) = self.bump()
+                else {
+                    return Err(self.err_here("expected a namespace IRI after the prefix"));
+                };
+                self.prefixes.insert(prefix, ns);
+            } else if self.eat_kw(Kw::Base) {
+                let Some(Spanned {
+                    tok: Tok::Iri(iri), ..
+                }) = self.bump()
+                else {
+                    return Err(self.err_here("expected an IRI after BASE"));
+                };
+                self.base_iri = Some(iri);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn solution_modifiers(&mut self) -> Result<Modifiers, SparqlError> {
+        let mut order_by = Vec::new();
+        if self.eat_kw(Kw::Order) {
+            if !self.eat_kw(Kw::By) {
+                return Err(self.err_here("expected BY after ORDER"));
+            }
+            loop {
+                match self.peek() {
+                    Some(Tok::Var(_)) => {
+                        if let Some(Spanned {
+                            tok: Tok::Var(name),
+                            ..
+                        }) = self.bump()
+                        {
+                            order_by.push(OrderKey {
+                                var: Variable::new(name),
+                                descending: false,
+                            });
+                        }
+                    }
+                    Some(Tok::Keyword(Kw::Asc)) | Some(Tok::Keyword(Kw::Desc)) => {
+                        let descending = matches!(self.peek(), Some(Tok::Keyword(Kw::Desc)));
+                        self.bump();
+                        self.expect(Tok::LParen, "'(' after ASC/DESC")?;
+                        let Some(Spanned {
+                            tok: Tok::Var(name),
+                            ..
+                        }) = self.bump()
+                        else {
+                            return Err(self.err_here("expected a variable inside ASC/DESC"));
+                        };
+                        self.expect(Tok::RParen, "')' after the sort variable")?;
+                        order_by.push(OrderKey {
+                            var: Variable::new(name),
+                            descending,
+                        });
+                    }
+                    _ => break,
+                }
+            }
+            if order_by.is_empty() {
+                return Err(self.err_here("ORDER BY needs at least one sort key"));
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        // LIMIT and OFFSET may appear in either order.
+        for _ in 0..2 {
+            if self.eat_kw(Kw::Limit) {
+                if limit.is_some() {
+                    return Err(self.err_here("duplicate LIMIT"));
+                }
+                limit = Some(self.integer("LIMIT")?);
+            } else if self.eat_kw(Kw::Offset) {
+                if offset.is_some() {
+                    return Err(self.err_here("duplicate OFFSET"));
+                }
+                offset = Some(self.integer("OFFSET")?);
+            }
+        }
+        Ok((order_by, limit, offset))
+    }
+
+    fn integer(&mut self, what: &str) -> Result<usize, SparqlError> {
+        match self.peek() {
+            Some(Tok::Integer(_)) => {
+                let Some(Spanned {
+                    tok: Tok::Integer(n),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!("peeked an integer");
+                };
+                n.parse()
+                    .map_err(|_| self.err_here(format!("{what} count out of range")))
+            }
+            _ => Err(self.err_here(format!("expected a non-negative integer after {what}"))),
+        }
+    }
+
+    /// `'{' (triples | FILTER | OPTIONAL group | union-block)* '}'`.
+    fn group_graph_pattern(&mut self) -> Result<GroupPattern, SparqlError> {
+        self.expect(Tok::LBrace, "'{' to open the graph pattern")?;
+        let mut group = GroupPattern::default();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                None => return Err(self.err_here("expected '}' to close the graph pattern")),
+                Some(Tok::Dot) => {
+                    // Stray separators between elements are permitted.
+                    self.bump();
+                }
+                Some(Tok::Keyword(Kw::Filter)) => {
+                    self.bump();
+                    group.filters.push(self.filter_constraint()?);
+                }
+                Some(Tok::Keyword(Kw::Optional)) => {
+                    self.bump();
+                    let inner = self.simple_group("OPTIONAL")?;
+                    group.optionals.push(inner);
+                }
+                Some(Tok::LBrace) => {
+                    // A braced group at element position is a UNION
+                    // block; a lone group is a one-alternative block.
+                    let mut alternatives = vec![self.simple_group("UNION alternative")?];
+                    while self.eat_kw(Kw::Union) {
+                        alternatives.push(self.simple_group("UNION alternative")?);
+                    }
+                    group.unions.push(alternatives);
+                }
+                Some(Tok::Keyword(Kw::Union)) => {
+                    return Err(self.err_here("UNION must join two braced groups"));
+                }
+                _ => self.triples_into(&mut group.triples)?,
+            }
+        }
+        if group.triples.is_empty() && group.unions.is_empty() {
+            return Err(self.err_here(
+                "the graph pattern needs at least one triple (OPTIONAL and FILTER cannot stand alone)",
+            ));
+        }
+        Ok(group)
+    }
+
+    /// `'{' (triples | FILTER)* '}'` — the restricted body of OPTIONAL
+    /// blocks and UNION alternatives. Structural nesting is a typed
+    /// error here, keeping the lowering to conjunctive plans exact.
+    fn simple_group(&mut self, what: &str) -> Result<SimpleGroup, SparqlError> {
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut out = SimpleGroup::default();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                None => return Err(self.err_here("expected '}'")),
+                Some(Tok::Dot) => {
+                    self.bump();
+                }
+                Some(Tok::Keyword(Kw::Filter)) => {
+                    self.bump();
+                    out.filters.push(self.filter_constraint()?);
+                }
+                Some(Tok::Keyword(Kw::Optional)) => {
+                    return Err(
+                        self.err_here(format!("OPTIONAL cannot nest inside an {what} block"))
+                    );
+                }
+                Some(Tok::LBrace) | Some(Tok::Keyword(Kw::Union)) => {
+                    return Err(self.err_here(format!("UNION cannot nest inside an {what} block")));
+                }
+                _ => self.triples_into(&mut out.triples)?,
+            }
+        }
+        if out.triples.is_empty() {
+            return Err(self.err_here(format!("an {what} block needs at least one triple")));
+        }
+        Ok(out)
+    }
+
+    /// `FILTER '(' expr ')'` or `FILTER bound(?v)`.
+    fn filter_constraint(&mut self) -> Result<FilterExpr, SparqlError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')' to close the FILTER")?;
+                Ok(e)
+            }
+            Some(Tok::Keyword(Kw::Bound)) => self.expr_primary(),
+            _ => Err(self.err_here("expected '(' or bound(...) after FILTER")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<FilterExpr, SparqlError> {
+        let mut lhs = self.expr_and()?;
+        while matches!(self.peek(), Some(Tok::OrOr)) {
+            self.bump();
+            let rhs = self.expr_and()?;
+            lhs = FilterExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_and(&mut self) -> Result<FilterExpr, SparqlError> {
+        let mut lhs = self.expr_unary()?;
+        while matches!(self.peek(), Some(Tok::AndAnd)) {
+            self.bump();
+            let rhs = self.expr_unary()?;
+            lhs = FilterExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_unary(&mut self) -> Result<FilterExpr, SparqlError> {
+        if matches!(self.peek(), Some(Tok::Bang)) {
+            self.bump();
+            let inner = self.expr_unary()?;
+            return Ok(FilterExpr::Not(Box::new(inner)));
+        }
+        self.expr_primary()
+    }
+
+    fn expr_primary(&mut self) -> Result<FilterExpr, SparqlError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Keyword(Kw::Bound)) => {
+                self.bump();
+                self.expect(Tok::LParen, "'(' after bound")?;
+                let Some(Spanned {
+                    tok: Tok::Var(name),
+                    ..
+                }) = self.bump()
+                else {
+                    return Err(self.err_here("bound() takes a variable"));
+                };
+                self.expect(Tok::RParen, "')' after the bound variable")?;
+                Ok(FilterExpr::Bound(Variable::new(name)))
+            }
+            _ => {
+                let lhs = self.operand()?;
+                let op = match self.peek() {
+                    Some(Tok::Eq) => CmpOp::Eq,
+                    Some(Tok::Ne) => CmpOp::Ne,
+                    Some(Tok::Lt) => CmpOp::Lt,
+                    Some(Tok::Le) => CmpOp::Le,
+                    Some(Tok::Gt) => CmpOp::Gt,
+                    Some(Tok::Ge) => CmpOp::Ge,
+                    _ => {
+                        return Err(
+                            self.err_here("expected a comparison operator (=, !=, <, <=, >, >=)")
+                        )
+                    }
+                };
+                self.bump();
+                let rhs = self.operand()?;
+                Ok(FilterExpr::Compare(lhs, op, rhs))
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, SparqlError> {
+        match self.peek() {
+            Some(Tok::Var(_)) => {
+                let Some(Spanned {
+                    tok: Tok::Var(name),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!("peeked a variable");
+                };
+                Ok(Operand::Var(Variable::new(name)))
+            }
+            _ => {
+                let tv = self.term_or_var("a comparison operand")?;
+                match tv {
+                    TermOrVar::Term(t) => Ok(Operand::Term(t)),
+                    TermOrVar::Var(v) => Ok(Operand::Var(v)),
+                }
+            }
+        }
+    }
+
+    /// Parses triple blocks (with `;` and `,` abbreviations) into `out`
+    /// until the next structural token.
+    fn triples_into(&mut self, out: &mut Vec<TriplePattern>) -> Result<(), SparqlError> {
+        let subject = self.term_or_var("a subject")?;
+        'predicates: loop {
+            let predicate = self.term_or_var("a predicate")?;
+            loop {
+                let object = self.term_or_var("an object")?;
+                out.push(TriplePattern::new(
+                    subject.clone(),
+                    predicate.clone(),
+                    object,
+                ));
+                if matches!(self.peek(), Some(Tok::Comma)) {
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            match self.peek() {
+                Some(Tok::Semi) => {
+                    self.bump();
+                    // A dangling ';' before a structural token ends the
+                    // subject block (Turtle permits the trailing ';').
+                    if !matches!(
+                        self.peek(),
+                        Some(Tok::Var(_)) | Some(Tok::Iri(_)) | Some(Tok::PName(_)) | Some(Tok::A)
+                    ) {
+                        break 'predicates;
+                    }
+                    continue 'predicates;
+                }
+                Some(Tok::Dot) => {
+                    self.bump();
+                    break 'predicates;
+                }
+                _ => break 'predicates,
+            }
+        }
+        Ok(())
+    }
+
+    fn term_or_var(&mut self, what: &str) -> Result<TermOrVar, SparqlError> {
+        let err = self.err_here(format!("expected {what}"));
+        match self.bump() {
+            Some(Spanned {
+                tok: Tok::Var(name),
+                ..
+            }) => Ok(TermOrVar::Var(Variable::new(name))),
+            Some(Spanned {
+                tok: Tok::Iri(iri), ..
+            }) => Ok(TermOrVar::Term(self.resolve_iri(iri))),
+            Some(Spanned {
+                tok: Tok::PName(name),
+                span,
+                line,
+                col,
+            }) => match self.prefixes.expand(&name) {
+                Ok(iri) => Ok(TermOrVar::Term(Term::Iri(iri))),
+                Err(_) => Err(SparqlError {
+                    message: format!("unknown prefix in {name:?}"),
+                    span,
+                    line,
+                    col,
+                }),
+            },
+            Some(Spanned { tok: Tok::A, .. }) => Ok(TermOrVar::iri(vocab::RDF_TYPE)),
+            Some(Spanned {
+                tok: Tok::Integer(num),
+                ..
+            }) => Ok(TermOrVar::Term(Term::Literal(Literal::typed(
+                num,
+                Iri::new(format!("{}integer", vocab::XSD_NS)),
+            )))),
+            Some(Spanned {
+                tok: Tok::Keyword(Kw::True),
+                ..
+            }) => Ok(TermOrVar::Term(Term::Literal(Literal::typed(
+                "true",
+                Iri::new(format!("{}boolean", vocab::XSD_NS)),
+            )))),
+            Some(Spanned {
+                tok: Tok::Keyword(Kw::False),
+                ..
+            }) => Ok(TermOrVar::Term(Term::Literal(Literal::typed(
+                "false",
+                Iri::new(format!("{}boolean", vocab::XSD_NS)),
+            )))),
+            Some(Spanned {
+                tok:
+                    Tok::Literal {
+                        lexical,
+                        lang,
+                        datatype,
+                    },
+                ..
+            }) => {
+                let lit = match (lang, datatype) {
+                    (Some(tag), _) => Literal::lang(lexical, tag),
+                    (None, Some(dt)) => Literal::typed(lexical, Iri::new(dt)),
+                    (None, None) => Literal::plain(lexical),
+                };
+                Ok(TermOrVar::Term(Term::Literal(lit)))
+            }
+            _ => Err(err),
+        }
+    }
+}

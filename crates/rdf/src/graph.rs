@@ -55,14 +55,16 @@
 
 use crate::dict::{TermDict, TermId};
 use crate::error::RdfError;
+use crate::stats::{GraphStats, PredicateStats};
 use crate::store::{
     Perm, RunSnapshot, SealConfig, StorageBackend, StorageStats, StoreRangeIter, TripleStore,
 };
 use crate::term::Term;
 use crate::triple::{IdTriple, Triple};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 const MIN: u32 = u32::MIN;
 const MAX: u32 = u32::MAX;
@@ -99,6 +101,13 @@ pub struct Graph {
     /// until a scan merges widely or a morsel-driven execute runs over
     /// this graph.
     par: ParCounters,
+    /// Lazily-built planner statistics snapshot (see [`GraphStats`]).
+    /// Populated by the first [`Graph::graph_stats`] call against the
+    /// sealed graph and reset by any mutation, so a cached snapshot
+    /// always describes the current logical content. `OnceLock` because
+    /// sealed graphs are shared read-only across threads (frozen
+    /// sessions) while the first planner request builds it.
+    stats: OnceLock<Arc<GraphStats>>,
 }
 
 /// Counters for the durable tier, reported through
@@ -236,7 +245,98 @@ impl Graph {
         let mut stats = self.store.stats();
         self.dur.merge_into(&mut stats);
         self.par.merge_into(&mut stats);
+        if let Some(gs) = self.stats.get() {
+            stats.stats_predicates = gs.predicates();
+            stats.stats_distinct_subjects = gs.distinct_subjects;
+            stats.stats_distinct_objects = gs.distinct_objects;
+            stats.stats_build_nanos = gs.build_nanos;
+        }
         stats
+    }
+
+    /// The planner statistics snapshot of this graph (see
+    /// [`GraphStats`]): per-predicate counts and distinct-subject/object
+    /// cardinalities, global distinct counts, and the sealed scans' key
+    /// bounds. Returns `None` until the graph is sealed — the snapshot
+    /// describes an immutable layout, and the cost-based planner falls
+    /// back to the shape heuristic without one. Built lazily on the
+    /// first call (two O(n) scan passes) and cached; any mutation
+    /// resets the cache, so a returned snapshot always matches the
+    /// graph's current logical content.
+    pub fn graph_stats(&self) -> Option<Arc<GraphStats>> {
+        if !self.is_sealed() {
+            return None;
+        }
+        Some(
+            self.stats
+                .get_or_init(|| Arc::new(self.build_stats()))
+                .clone(),
+        )
+    }
+
+    /// Two sorted scans, no hashing: in SPO order a predicate's
+    /// distinct subjects are its `(s, p)` transitions; in each
+    /// predicate's POS range its distinct objects are the `o`
+    /// transitions. Global distinct subjects/objects use dense bitsets
+    /// over the dictionary.
+    fn build_stats(&self) -> GraphStats {
+        let t0 = std::time::Instant::now();
+        let mut preds: BTreeMap<TermId, PredicateStats> = BTreeMap::new();
+        let nterms = self.dict.len();
+        let mut subj_seen = vec![false; nterms];
+        let mut obj_seen = vec![false; nterms];
+        let mut distinct_subjects = 0usize;
+        let mut distinct_objects = 0usize;
+        let mut triples = 0usize;
+        let mut spo_bounds: Option<(IdTriple, IdTriple)> = None;
+        let mut prev_sp: Option<(TermId, TermId)> = None;
+        for t in self.store.range(Perm::Spo, [MIN; 3], [MAX; 3]) {
+            triples += 1;
+            spo_bounds = Some(match spo_bounds {
+                None => (t, t),
+                Some((first, _)) => (first, t),
+            });
+            let e = preds.entry(t.p).or_default();
+            e.count += 1;
+            if prev_sp != Some((t.s, t.p)) {
+                e.distinct_subjects += 1;
+                prev_sp = Some((t.s, t.p));
+            }
+            if !subj_seen[t.s.0 as usize] {
+                subj_seen[t.s.0 as usize] = true;
+                distinct_subjects += 1;
+            }
+            if !obj_seen[t.o.0 as usize] {
+                obj_seen[t.o.0 as usize] = true;
+                distinct_objects += 1;
+            }
+        }
+        let mut pos_bounds: Option<(IdTriple, IdTriple)> = None;
+        for (&p, st) in preds.iter_mut() {
+            let mut prev_o: Option<TermId> = None;
+            for t in self
+                .store
+                .range(Perm::Pos, [p.0, MIN, MIN], [p.0, MAX, MAX])
+            {
+                pos_bounds = Some(match pos_bounds {
+                    None => (t, t),
+                    Some((first, _)) => (first, t),
+                });
+                if prev_o != Some(t.o) {
+                    st.distinct_objects += 1;
+                    prev_o = Some(t.o);
+                }
+            }
+        }
+        GraphStats {
+            preds,
+            triples,
+            distinct_subjects,
+            distinct_objects,
+            spo_bounds,
+            pos_bounds,
+            build_nanos: t0.elapsed().as_nanos() as u64,
+        }
     }
 
     /// Checkpoints the graph into `dir` so [`Graph::open`] can rebuild
@@ -399,6 +499,7 @@ impl Graph {
 
     /// Log + planner bookkeeping for one newly-stored triple.
     fn note_added(&mut self, t: IdTriple) {
+        self.stats = OnceLock::new();
         *self.pred_counts.entry(t.p).or_insert(0) += 1;
         if let Some(pos) = &mut self.log_pos {
             pos.insert(t, self.log.len() as u32);
@@ -447,6 +548,7 @@ impl Graph {
     pub fn remove_ids(&mut self, t: IdTriple) -> bool {
         let removed = self.store.remove(t);
         if removed {
+            self.stats = OnceLock::new();
             if let Some(c) = self.pred_counts.get_mut(&t.p) {
                 *c -= 1;
                 if *c == 0 {

@@ -40,6 +40,7 @@ pub mod durable;
 pub mod error;
 pub mod graph;
 pub mod namespace;
+pub mod stats;
 pub mod store;
 pub mod term;
 pub mod triple;
@@ -50,6 +51,7 @@ pub use durable::DurableGraph;
 pub use error::RdfError;
 pub use graph::{Graph, LogWindow, MatchIter};
 pub use namespace::{vocab, PrefixMap};
+pub use stats::{GraphStats, PredicateStats};
 pub use store::{SealConfig, StorageBackend, StorageStats};
 pub use term::{BlankNode, Iri, Literal, LiteralAnnotation, Term, TermKind};
 pub use triple::{IdTriple, Triple, TriplePosition};

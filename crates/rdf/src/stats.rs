@@ -1,0 +1,75 @@
+//! Planner statistics snapshot over a sealed graph.
+//!
+//! [`GraphStats`] is the cost model's view of a [`Graph`](crate::Graph):
+//! per-predicate triple counts with distinct-subject/object counts, the
+//! global distinct-term cardinalities, and the min/max key bounds of the
+//! sealed SPO/POS scans. It is built lazily on first request against a
+//! *sealed* graph (two O(n) passes over the permutation indexes — no
+//! hashing of triples, the sorted scan orders make every distinct count a
+//! transition count) and cached until the next mutation. The snapshot is
+//! immutable and `Arc`-shared, so a frozen session's many threads read it
+//! without synchronisation.
+//!
+//! Consumers: the cost-based join orderer in `rps-query` (see
+//! `JoinOrder::CostBased` there) and the flat counters surfaced through
+//! [`StorageStats`](crate::StorageStats) (`stats_*` fields).
+
+use crate::dict::TermId;
+use crate::triple::IdTriple;
+use std::collections::BTreeMap;
+
+/// Per-predicate statistics: how many triples carry the predicate, and
+/// how many distinct subjects/objects they spread over. The ratios
+/// `count / distinct_subjects` and `count / distinct_objects` are the
+/// expected fan-out of a subject- or object-bound probe — exactly the
+/// selectivities a join orderer needs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Triples whose predicate is this predicate.
+    pub count: usize,
+    /// Distinct subjects among those triples.
+    pub distinct_subjects: usize,
+    /// Distinct objects among those triples.
+    pub distinct_objects: usize,
+}
+
+/// An immutable statistics snapshot of a sealed graph, produced by
+/// [`Graph::graph_stats`](crate::Graph::graph_stats).
+#[derive(Clone, Debug, Default)]
+pub struct GraphStats {
+    /// Per-predicate statistics, keyed by the predicate's term id.
+    pub(crate) preds: BTreeMap<TermId, PredicateStats>,
+    /// Total triples in the snapshot.
+    pub triples: usize,
+    /// Distinct subjects across the whole graph.
+    pub distinct_subjects: usize,
+    /// Distinct objects across the whole graph.
+    pub distinct_objects: usize,
+    /// First and last key of the sealed SPO scan (`None` when empty) —
+    /// the run min/max bounds the store's pruning already works from,
+    /// recorded here so the planner can zero-estimate constants outside
+    /// the key space.
+    pub spo_bounds: Option<(IdTriple, IdTriple)>,
+    /// First and last key of the sealed POS scan (`None` when empty).
+    pub pos_bounds: Option<(IdTriple, IdTriple)>,
+    /// Wall time the two statistics passes took, in nanoseconds.
+    pub build_nanos: u64,
+}
+
+impl GraphStats {
+    /// The statistics for predicate `p`, or `None` when no triple
+    /// carries it (the planner treats that as cardinality zero).
+    pub fn predicate(&self, p: TermId) -> Option<&PredicateStats> {
+        self.preds.get(&p)
+    }
+
+    /// Number of distinct predicates in the snapshot.
+    pub fn predicates(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterates the per-predicate statistics in predicate-id order.
+    pub fn iter_predicates(&self) -> impl Iterator<Item = (TermId, &PredicateStats)> {
+        self.preds.iter().map(|(p, s)| (*p, s))
+    }
+}

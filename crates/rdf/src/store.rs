@@ -221,6 +221,16 @@ pub struct StorageStats {
     pub loser_tree_merges: u64,
     /// Widest k-way merge any scan of this graph has performed.
     pub widest_merge: u64,
+    /// Distinct predicates in the planner statistics snapshot (0 until
+    /// [`Graph::graph_stats`](crate::Graph::graph_stats) has built one).
+    pub stats_predicates: usize,
+    /// Distinct subjects across the graph per the statistics snapshot.
+    pub stats_distinct_subjects: usize,
+    /// Distinct objects across the graph per the statistics snapshot.
+    pub stats_distinct_objects: usize,
+    /// Wall nanoseconds the statistics build passes took (0 until
+    /// built).
+    pub stats_build_nanos: u64,
 }
 
 /// A live-only image of a store's physical shape, produced by

@@ -2,14 +2,30 @@
 //! unified `Session` API.
 //!
 //! Builds the three sources of Figure 1, the RPS of Example 2, poses the
-//! Example 1 query, and reproduces Listing 1 — including the empty result
-//! over the raw data and the redundancy-free result.
+//! Example 1 query — as SPARQL text, the way the paper writes it —
+//! and reproduces Listing 1: the empty result over the raw data, the
+//! certain answers over the universal solution, and the
+//! redundancy-free result.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use rps_core::{EngineConfig, ExecRoute, Session, Strategy};
 use rps_lodgen::paper_example;
 use rps_query::{evaluate_query, Semantics};
+use rps_rdf::Term;
+use std::collections::BTreeSet;
+
+/// Example 1's query, verbatim SPARQL with its own prologue. The
+/// session parses and lowers this text onto the same prepared-plan
+/// pipeline the hand-built `GraphPatternQuery` uses.
+const EXAMPLE1_SPARQL: &str = "\
+    PREFIX db1: <http://db1.example.org/>\n\
+    PREFIX v: <http://vocab.example.org/>\n\
+    SELECT ?x ?y WHERE {\n\
+      db1:Spiderman v:starring ?z .\n\
+      ?z v:artist ?x .\n\
+      ?x v:age ?y\n\
+    }";
 
 fn main() {
     let ex = paper_example();
@@ -66,17 +82,39 @@ fn main() {
         sol.graph.len()
     );
 
-    // Listing 1: prepare the query once, stream the certain answers.
+    // Listing 1, via the SPARQL front-end: the query text compiles
+    // once (parse → lower → one prepared conjunctive plan) and
+    // executes repeatedly; the result is the same certain answers.
+    let sparql = session
+        .prepare_sparql(EXAMPLE1_SPARQL)
+        .expect("Example 1 is inside the supported subset");
+    println!(
+        "\n== Listing 1: certain answers (SPARQL text, {} lowered plan) ==",
+        sparql.plan_count()
+    );
+    let result = session.execute_sparql(&sparql).expect("executes");
+    let rows = result.rows().expect("SELECT yields rows");
+    let tuples: BTreeSet<Vec<Term>> = rows
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|t| t.clone().expect("all bound")).collect())
+        .collect();
+    for row in &rows.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|t| t.as_ref().expect("all bound").to_string())
+            .collect();
+        println!("  {}", cells.join("  "));
+    }
+    assert_eq!(tuples, ex.expected_full);
+
+    // The hand-built conjunctive query takes the identical pipeline
+    // and agrees tuple-for-tuple.
     let prepared = session.prepare(&ex.query).expect("prepares");
     let stream = session.execute(&prepared).expect("executes");
     assert_eq!(stream.route(), ExecRoute::Materialised);
-    println!(
-        "\n== Listing 1: certain answers ({} tuples, streamed) ==",
-        stream.len()
-    );
     let ans = stream.into_set();
-    print!("{}", ans.render());
-    assert_eq!(ans.tuples, ex.expected_full);
+    assert_eq!(ans.tuples, tuples);
 
     let lean = session
         .answer_without_redundancy(&ex.query)

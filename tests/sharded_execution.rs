@@ -73,6 +73,7 @@ fn exec_grid() -> Vec<ExecConfig> {
             morsel_size: 7,
             shards: 5,
             compress: true,
+            ..ExecConfig::default()
         },
     ]
 }

@@ -1,0 +1,249 @@
+//! SPARQL syntax corpus: every valid query in the corpus parses,
+//! lowers and executes on a real session, and a seeded mutation sweep
+//! (`RPS_SPARQL_SEED`, comma-separated u64 seeds) hammers the parser
+//! with corrupted variants — each must yield either `Ok` or a typed
+//! [`rps_query::SparqlError`] whose span lies within the input. The
+//! parser must never panic, whatever bytes it is fed.
+
+use rps_core::{EngineConfig, PeerId, RpsBuilder, Session, SparqlResult};
+use rps_lodgen::seed_matrix;
+use rps_query::parse_sparql;
+use rps_rdf::PrefixMap;
+
+/// Valid corpus: one query per supported grammar feature, plus
+/// combinations. All must parse, lower and execute without error.
+const CORPUS: &[&str] = &[
+    "SELECT ?s ?o WHERE { ?s <http://c/p> ?o }",
+    "SELECT * WHERE { ?s ?p ?o }",
+    "SELECT DISTINCT ?s WHERE { ?s <http://c/p> ?o . ?o <http://c/q> ?z }",
+    "PREFIX c: <http://c/> SELECT ?s WHERE { ?s c:p c:o1 }",
+    "PREFIX c: <http://c/>\nBASE <http://c/>\nSELECT ?s WHERE { ?s c:p <o1> }",
+    "SELECT ?s ?o WHERE { ?s <http://c/p> ?o OPTIONAL { ?o <http://c/q> ?z } }",
+    "SELECT ?s ?z WHERE { ?s <http://c/p> ?o \
+     OPTIONAL { ?o <http://c/q> ?z FILTER(?z != \"x\") } }",
+    "SELECT ?s WHERE { { ?s <http://c/p> ?o } UNION { ?s <http://c/q> ?o } }",
+    "SELECT ?s WHERE { ?s <http://c/p> ?o FILTER(?o = \"v1\") }",
+    "SELECT ?s WHERE { ?s <http://c/p> ?o FILTER(?o > \"1\" && ?o < \"9\") }",
+    "SELECT ?s ?o WHERE { ?s <http://c/p> ?o FILTER(!bound(?missing)) \
+     OPTIONAL { ?o <http://c/q> ?missing } }",
+    "SELECT ?s ?o WHERE { ?s <http://c/p> ?o } ORDER BY ?o LIMIT 5",
+    "SELECT ?s ?o WHERE { ?s <http://c/p> ?o } ORDER BY DESC(?s) ASC(?o) \
+     LIMIT 3 OFFSET 1",
+    "SELECT ?s ?o WHERE { ?s <http://c/p> ?o } OFFSET 2 LIMIT 2",
+    "SELECT REDUCED ?s WHERE { ?s <http://c/p> ?o }",
+    "ASK { ?s <http://c/p> ?o }",
+    "ASK { <http://c/s1> <http://c/p> ?o }",
+    "ASK { { ?s <http://c/p> ?o } UNION { ?s <http://no/p> ?o } }",
+    "ASK { ?s <http://c/p> ?o FILTER(?o != \"nope\") }",
+    "SELECT ?s ?o ?z WHERE {\n  ?s <http://c/p> ?o .\n  \
+     OPTIONAL { ?o <http://c/q> ?z }\n  FILTER(bound(?s))\n} ORDER BY ?s ?o",
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+     SELECT ?s WHERE { ?s rdf:type <http://c/T> }",
+    "SELECT ?s WHERE { ?s a <http://c/T> }",
+    "SELECT ?s WHERE { ?s <http://c/p> 42 }",
+    "SELECT ?s WHERE { ?s <http://c/p> \"v\"@en }",
+    "SELECT ?s WHERE { ?s <http://c/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> }",
+];
+
+fn session() -> Session {
+    let mut p = PeerId(0);
+    let system = RpsBuilder::new()
+        .peer_turtle(
+            "C",
+            "<http://c/s1> <http://c/p> \"v1\" .\n\
+             <http://c/s2> <http://c/p> <http://c/o1> .\n\
+             <http://c/o1> <http://c/q> \"5\" .\n\
+             <http://c/s3> <http://c/q> \"x\" .\n\
+             <http://c/s1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://c/T> .",
+            &mut p,
+        )
+        .unwrap()
+        .build();
+    Session::open(system, EngineConfig::default()).unwrap()
+}
+
+#[test]
+fn corpus_parses_lowers_and_executes() {
+    let mut session = session();
+    for (i, text) in CORPUS.iter().enumerate() {
+        let parsed = parse_sparql(text, &PrefixMap::common())
+            .unwrap_or_else(|e| panic!("corpus[{i}] failed to parse: {e}\n{text}"));
+        let lowered = parsed.lower();
+        assert!(
+            !lowered.queries().is_empty(),
+            "corpus[{i}] lowered to zero CQs"
+        );
+        let result = session
+            .answer_sparql(text)
+            .unwrap_or_else(|e| panic!("corpus[{i}] failed to execute: {e}\n{text}"));
+        match result {
+            SparqlResult::Rows(rows) => {
+                for row in &rows.rows {
+                    assert_eq!(row.len(), rows.vars.len(), "corpus[{i}] ragged row");
+                }
+            }
+            SparqlResult::Boolean(_) => {}
+        }
+    }
+}
+
+/// Malformed queries that must produce a typed error with an in-bounds
+/// span — not a panic, and not a silent `Ok`.
+#[test]
+fn malformed_corpus_yields_spanned_errors() {
+    const BAD: &[&str] = &[
+        "",
+        "SELECT",
+        "SELECT ?x",
+        "SELECT ?x WHERE",
+        "SELECT ?x WHERE {",
+        "SELECT ?x WHERE { ?x }",
+        "SELECT ?x WHERE { ?x <http://c/p> }",
+        "SELECT ?x WHERE { ?x <http://c/p ?y }",
+        "SELECT ?x WHERE { ?x c:p ?y }",
+        "SELECT ?x WHERE { ?x <http://c/p> ?y } ORDER BY ?z",
+        "SELECT ?x WHERE { ?x <http://c/p> ?y } LIMIT ?x",
+        "SELECT ?x WHERE { OPTIONAL { ?x <http://c/p> ?y } }",
+        "SELECT ?x WHERE { ?x <http://c/p> ?y FILTER() }",
+        "SELECT ?x WHERE { ?x <http://c/p> ?y FILTER(?y =) }",
+        "ASK { ?x <http://c/p> ?y } ORDER BY ?x",
+        "CONSTRUCT { ?x <http://c/p> ?y } WHERE { ?x <http://c/p> ?y }",
+        "SELECT ?x WHERE { ?x <http://c/p> ?y } trailing garbage",
+        "SELECT ?x WHERE { { ?x <http://c/p> ?y } UNION { OPTIONAL { ?x ?p ?y } } }",
+    ];
+    for (i, text) in BAD.iter().enumerate() {
+        match parse_sparql(text, &PrefixMap::common()) {
+            Ok(_) => panic!("bad[{i}] unexpectedly parsed:\n{text}"),
+            Err(e) => {
+                assert!(e.span.0 <= e.span.1, "bad[{i}] inverted span");
+                assert!(e.span.1 <= text.len(), "bad[{i}] span out of bounds");
+                assert!(e.line >= 1 && e.col >= 1, "bad[{i}] zero line/col");
+                assert!(!e.message.is_empty(), "bad[{i}] empty message");
+            }
+        }
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// One random corruption of `text`: delete a byte, truncate, inject a
+/// metacharacter, duplicate a span, or swap two whitespace-separated
+/// tokens. Mutants may remain valid (e.g. swapping two triple
+/// patterns); the invariant under test is *no panic, spans in bounds*.
+fn mutate(text: &str, rng: &mut Rng) -> String {
+    let bytes = text.as_bytes();
+    match rng.below(5) {
+        0 if !bytes.is_empty() => {
+            // Delete one byte (may split a UTF-8 sequence in ASCII-only
+            // corpus text it never does, so stay on a char boundary).
+            let mut at = rng.below(bytes.len());
+            while !text.is_char_boundary(at) {
+                at -= 1;
+            }
+            let mut s = String::with_capacity(text.len());
+            s.push_str(&text[..at]);
+            s.push_str(&text[at + 1..]);
+            s
+        }
+        1 if !bytes.is_empty() => {
+            let mut at = rng.below(bytes.len());
+            while !text.is_char_boundary(at) {
+                at -= 1;
+            }
+            text[..at].to_string()
+        }
+        2 => {
+            const META: &[&str] = &["{", "}", "(", ")", "<", ">", "?", "\"", ".", "FILTER"];
+            let mut at = rng.below(bytes.len() + 1);
+            while at < text.len() && !text.is_char_boundary(at) {
+                at -= 1;
+            }
+            let mut s = String::with_capacity(text.len() + 8);
+            s.push_str(&text[..at]);
+            s.push_str(META[rng.below(META.len())]);
+            s.push_str(&text[at..]);
+            s
+        }
+        3 if bytes.len() > 4 => {
+            let mut lo = rng.below(bytes.len());
+            while !text.is_char_boundary(lo) {
+                lo -= 1;
+            }
+            let mut hi = lo + 1 + rng.below(bytes.len() - lo);
+            while hi < text.len() && !text.is_char_boundary(hi) {
+                hi += 1;
+            }
+            let hi = hi.min(text.len());
+            let mut s = String::with_capacity(text.len() * 2);
+            s.push_str(&text[..hi]);
+            s.push_str(&text[lo..hi]);
+            s.push_str(&text[hi..]);
+            s
+        }
+        _ => {
+            let mut toks: Vec<&str> = text.split_whitespace().collect();
+            if toks.len() >= 2 {
+                let a = rng.below(toks.len());
+                let b = rng.below(toks.len());
+                toks.swap(a, b);
+            }
+            toks.join(" ")
+        }
+    }
+}
+
+#[test]
+fn seeded_mutation_sweep_never_panics() {
+    for seed in seed_matrix("RPS_SPARQL_SEED", &[0xEDB7, 0xD1CE]) {
+        let mut rng = Rng(seed);
+        let mut parsed = 0usize;
+        let mut rejected = 0usize;
+        for round in 0..400 {
+            let base = CORPUS[rng.below(CORPUS.len())];
+            let mut mutant = base.to_string();
+            for _ in 0..=rng.below(3) {
+                mutant = mutate(&mutant, &mut rng);
+            }
+            match parse_sparql(&mutant, &PrefixMap::common()) {
+                Ok(query) => {
+                    // Lowering is infallible on anything that parses.
+                    let lowered = query.lower();
+                    assert!(
+                        lowered.is_ask() || !lowered.columns().is_empty(),
+                        "seed {seed} round {round}: SELECT lowered to no columns\n{mutant}"
+                    );
+                    parsed += 1;
+                }
+                Err(e) => {
+                    assert!(
+                        e.span.0 <= e.span.1 && e.span.1 <= mutant.len(),
+                        "seed {seed} round {round}: span {:?} out of bounds for \
+                         len {}\n{mutant}",
+                        e.span,
+                        mutant.len()
+                    );
+                    assert!(e.line >= 1 && e.col >= 1);
+                    rejected += 1;
+                }
+            }
+        }
+        // The sweep must exercise both outcomes, otherwise the mutator
+        // is too aggressive (or not aggressive enough) to mean much.
+        assert!(parsed > 0, "seed {seed}: no mutant parsed");
+        assert!(rejected > 0, "seed {seed}: no mutant rejected");
+    }
+}

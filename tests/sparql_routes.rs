@@ -1,0 +1,242 @@
+//! SPARQL front-end acceptance: the same query text answers
+//! byte-identically on every session type — mutable [`Session`] (both
+//! strategies), [`FrozenSession`] and the federated session — and
+//! matches hand-built conjunctive plans and hand-computed ground truth.
+
+use rps_core::{EngineConfig, JoinOrder, PeerId, RpsBuilder, Session, SparqlResult, Strategy};
+use rps_p2p::FederatedSession;
+use rps_query::{GraphPattern, GraphPatternQuery, TermOrVar, Variable};
+use rps_rdf::Term;
+
+const SELECT_QUERY: &str = "PREFIX a: <http://a/>\n\
+     SELECT ?f ?who ?nick WHERE {\n\
+       ?f a:cast ?who\n\
+       OPTIONAL { ?who a:nick ?nick }\n\
+     } ORDER BY DESC(?f) LIMIT 3";
+
+const SELECT_FILTERED: &str = "PREFIX a: <http://a/>\n\
+     SELECT ?who ?age WHERE { ?f a:cast ?who . ?who a:age ?age FILTER(?age > \"26\") }\n\
+     ORDER BY ?age";
+
+const ASK_UNION: &str =
+    "ASK { { ?f <http://a/cast> <http://a/p2> } UNION { ?f <http://no/such> ?x } }";
+
+const ASK_UNION_FALSE: &str =
+    "ASK { { ?f <http://no/such> ?x } UNION { ?x <http://also/none> ?y } }";
+
+/// Hand-computed ground truth for [`SELECT_QUERY`]: three cast pairs
+/// (two native to peer A, one implied by peer B's `actor` mapping),
+/// IRIs sorted descending, only `p1` carrying the optional nick.
+fn expected_select() -> Vec<Vec<Option<Term>>> {
+    let iri = |s: &str| Some(Term::iri(s));
+    let lit = |s: &str| Some(Term::literal(s));
+    vec![
+        vec![iri("http://b/f3"), iri("http://b/p3"), None],
+        vec![iri("http://a/f2"), iri("http://a/p2"), None],
+        vec![iri("http://a/f1"), iri("http://a/p1"), lit("ace")],
+    ]
+}
+
+fn check_all(result: &SparqlResult, label: &str) {
+    let rows = result.rows().unwrap_or_else(|| panic!("{label}: rows"));
+    assert_eq!(rows.vars, ["f", "who", "nick"], "{label}");
+    assert_eq!(rows.rows, expected_select(), "{label}");
+}
+
+#[test]
+fn select_with_optional_filter_order_limit_agrees_on_every_route() {
+    let sys = build_system();
+    // Materialise route.
+    let mut mat = Session::open(sys.clone(), strategy(Strategy::Materialise)).unwrap();
+    let r_mat = mat.answer_sparql(SELECT_QUERY).unwrap();
+    check_all(&r_mat, "materialised");
+    // Rewrite route.
+    let mut rw = Session::open(sys.clone(), strategy(Strategy::Rewrite)).unwrap();
+    let r_rw = rw.answer_sparql(SELECT_QUERY).unwrap();
+    check_all(&r_rw, "rewritten");
+    // Frozen session (plan-cached).
+    let frozen = Session::open(sys.clone(), strategy(Strategy::Auto))
+        .unwrap()
+        .freeze()
+        .unwrap();
+    let r_frozen = frozen.answer_sparql(SELECT_QUERY).unwrap();
+    check_all(&r_frozen, "frozen");
+    // Federated session.
+    let mut fed = FederatedSession::new(&sys, strategy(Strategy::Auto));
+    let r_fed = fed.answer_sparql(SELECT_QUERY).unwrap();
+    check_all(&r_fed, "federated");
+    // Byte-identical across routes.
+    assert_eq!(r_mat, r_rw);
+    assert_eq!(r_mat, r_frozen);
+    assert_eq!(r_mat, r_fed);
+}
+
+#[test]
+fn filtered_select_matches_hand_built_plan() {
+    let sys = build_system();
+    let mut session = Session::open(sys, strategy(Strategy::Materialise)).unwrap();
+    let sparql = session.answer_sparql(SELECT_FILTERED).unwrap();
+    // The equivalent hand-built conjunctive plan (the filter and sort
+    // applied by hand on its answer set).
+    let cq = GraphPatternQuery::new(
+        vec![Variable::new("who"), Variable::new("age")],
+        GraphPattern::triple(
+            TermOrVar::var("f"),
+            TermOrVar::iri("http://a/cast"),
+            TermOrVar::var("who"),
+        )
+        .and(GraphPattern::triple(
+            TermOrVar::var("who"),
+            TermOrVar::iri("http://a/age"),
+            TermOrVar::var("age"),
+        )),
+    );
+    let mut hand: Vec<Vec<Option<Term>>> = session
+        .answer(&cq)
+        .unwrap()
+        .filter(|row| {
+            let age: f64 = row[1].to_string().trim_matches('"').parse().unwrap();
+            age > 26.0
+        })
+        .map(|row| row.into_iter().map(Some).collect())
+        .collect();
+    hand.sort_by(|a, b| {
+        let num = |r: &Vec<Option<Term>>| -> f64 {
+            r[1].as_ref()
+                .unwrap()
+                .to_string()
+                .trim_matches('"')
+                .parse()
+                .unwrap()
+        };
+        num(a).partial_cmp(&num(b)).unwrap().then_with(|| a.cmp(b))
+    });
+    let rows = sparql.rows().unwrap();
+    assert_eq!(rows.vars, ["who", "age"]);
+    assert_eq!(rows.rows, hand);
+    assert_eq!(rows.rows.len(), 2, "ages 31 and 40 pass, 25 fails");
+}
+
+#[test]
+fn ask_with_union_agrees_on_every_route() {
+    let sys = build_system();
+    for (text, want) in [(ASK_UNION, true), (ASK_UNION_FALSE, false)] {
+        let mut mat = Session::open(sys.clone(), strategy(Strategy::Materialise)).unwrap();
+        assert_eq!(mat.answer_sparql(text).unwrap().boolean(), Some(want));
+        let mut rw = Session::open(sys.clone(), strategy(Strategy::Rewrite)).unwrap();
+        assert_eq!(rw.answer_sparql(text).unwrap().boolean(), Some(want));
+        let frozen = Session::open(sys.clone(), strategy(Strategy::Auto))
+            .unwrap()
+            .freeze()
+            .unwrap();
+        assert_eq!(frozen.answer_sparql(text).unwrap().boolean(), Some(want));
+        let mut fed = FederatedSession::new(&sys, strategy(Strategy::Auto));
+        assert_eq!(fed.answer_sparql(text).unwrap().boolean(), Some(want));
+    }
+}
+
+#[test]
+fn prepared_sparql_executes_repeatedly_and_reports_shape() {
+    let sys = build_system();
+    let mut session = Session::open(sys.clone(), strategy(Strategy::Auto)).unwrap();
+    let prepared = session.prepare_sparql(SELECT_QUERY).unwrap();
+    assert!(!prepared.is_ask());
+    assert_eq!(prepared.columns(), ["f", "who", "nick"]);
+    assert_eq!(prepared.plan_count(), 2, "base CQ + one OPTIONAL CQ");
+    let first = session.execute_sparql(&prepared).unwrap();
+    let second = session.execute_sparql(&prepared).unwrap();
+    assert_eq!(first, second);
+
+    let frozen = Session::open(sys, strategy(Strategy::Auto))
+        .unwrap()
+        .freeze()
+        .unwrap();
+    let p1 = frozen.prepare_sparql(ASK_UNION).unwrap();
+    assert!(p1.is_ask());
+    assert_eq!(p1.plan_count(), 2, "one CQ per UNION branch");
+    // A second prepare of the same text hits the frozen plan cache.
+    let before = frozen.plan_cache_stats().hits;
+    let _p2 = frozen.prepare_sparql(ASK_UNION).unwrap();
+    assert!(frozen.plan_cache_stats().hits > before);
+}
+
+#[test]
+fn sparql_errors_surface_as_typed_rps_errors() {
+    let sys = build_system();
+    let mut session = Session::open(sys, strategy(Strategy::Auto)).unwrap();
+    let err = session.answer_sparql("SELECT ?x WHERE { ?x }").unwrap_err();
+    match err {
+        rps_core::RpsError::Sparql(e) => {
+            assert!(e.line >= 1 && e.col >= 1);
+            assert!(!e.message.is_empty());
+        }
+        other => panic!("expected RpsError::Sparql, got {other:?}"),
+    }
+}
+
+#[test]
+fn join_order_knob_never_changes_sparql_answers() {
+    let sys = build_system();
+    let mut results = Vec::new();
+    for order in [
+        JoinOrder::Auto,
+        JoinOrder::CostBased,
+        JoinOrder::SmallestFirst,
+    ] {
+        let mut config = strategy(Strategy::Materialise);
+        config.exec.order = order;
+        let mut session = Session::open(sys.clone(), config).unwrap();
+        results.push(session.answer_sparql(SELECT_FILTERED).unwrap());
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], results[2]);
+}
+
+fn strategy(strategy: Strategy) -> EngineConfig {
+    EngineConfig {
+        strategy,
+        ..EngineConfig::default()
+    }
+}
+
+fn build_system() -> rps_core::RdfPeerSystem {
+    let mut a = PeerId(0);
+    let mut b = PeerId(0);
+    let premise = GraphPatternQuery::new(
+        vec![Variable::new("x"), Variable::new("y")],
+        GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://b/actor"),
+            TermOrVar::var("y"),
+        ),
+    );
+    let conclusion = GraphPatternQuery::new(
+        vec![Variable::new("x"), Variable::new("y")],
+        GraphPattern::triple(
+            TermOrVar::var("x"),
+            TermOrVar::iri("http://a/cast"),
+            TermOrVar::var("y"),
+        ),
+    );
+    RpsBuilder::new()
+        .peer_turtle(
+            "A",
+            "<http://a/f1> <http://a/cast> <http://a/p1> .\n\
+             <http://a/f2> <http://a/cast> <http://a/p2> .\n\
+             <http://a/p1> <http://a/age> \"31\" .\n\
+             <http://a/p2> <http://a/age> \"25\" .\n\
+             <http://a/p1> <http://a/nick> \"ace\" .",
+            &mut a,
+        )
+        .unwrap()
+        .peer_turtle(
+            "B",
+            "<http://b/f3> <http://b/actor> <http://b/p3> .\n\
+             <http://b/p3> <http://a/age> \"40\" .",
+            &mut b,
+        )
+        .unwrap()
+        .assertion(b, a, premise, conclusion)
+        .unwrap()
+        .build()
+}
