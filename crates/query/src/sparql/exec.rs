@@ -87,53 +87,72 @@ fn operand<'a>(op: &'a Operand, row: &'a Row) -> Option<&'a Term> {
     }
 }
 
-/// Evaluates a filter on a row. SPARQL's three-valued logic collapses
-/// to two here: a comparison over an unbound variable is an error, and
-/// errors are treated as `false` (so `!(?x = 1)` on unbound `?x` is
-/// `true` — the negation of a failed test — exactly as the effective
-/// boolean value rules prescribe for this operator subset).
-pub(crate) fn eval_filter(expr: &FilterExpr, row: &Row) -> bool {
+/// Evaluates a filter to SPARQL's three-valued logic: `Some(bool)` is
+/// a defined result, `None` a type error — a comparison over an
+/// unbound variable, or an ordering comparison on a non-literal.
+/// Errors propagate exactly as the SPARQL evaluation tables prescribe:
+/// the negation of an error is an error, `true || error` is `true`,
+/// `false && error` is `false`, and every other combination involving
+/// an error is an error. (`=`/`!=` between two bound terms are kept
+/// total — distinct terms compare unequal rather than erroring — a
+/// deliberate simplification of RDFterm-equal for this subset.)
+fn eval_filter_tri(expr: &FilterExpr, row: &Row) -> Option<bool> {
     match expr {
-        FilterExpr::Or(a, b) => eval_filter(a, row) || eval_filter(b, row),
-        FilterExpr::And(a, b) => eval_filter(a, row) && eval_filter(b, row),
-        FilterExpr::Not(a) => !eval_filter(a, row),
-        FilterExpr::Bound(v) => row.contains_key(v),
+        FilterExpr::Or(a, b) => match (eval_filter_tri(a, row), eval_filter_tri(b, row)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        FilterExpr::And(a, b) => match (eval_filter_tri(a, row), eval_filter_tri(b, row)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        FilterExpr::Not(a) => eval_filter_tri(a, row).map(|v| !v),
+        FilterExpr::Bound(v) => Some(row.contains_key(v)),
         FilterExpr::Compare(lhs, op, rhs) => {
             let (Some(l), Some(r)) = (operand(lhs, row), operand(rhs, row)) else {
-                return false;
+                return None;
             };
             match (numeric(l), numeric(r)) {
-                (Some(a), Some(b)) => match op {
+                (Some(a), Some(b)) => Some(match op {
                     CmpOp::Eq => a == b,
                     CmpOp::Ne => a != b,
                     CmpOp::Lt => a < b,
                     CmpOp::Le => a <= b,
                     CmpOp::Gt => a > b,
                     CmpOp::Ge => a >= b,
-                },
+                }),
                 _ => match op {
-                    CmpOp::Eq => l == r,
-                    CmpOp::Ne => l != r,
+                    CmpOp::Eq => Some(l == r),
+                    CmpOp::Ne => Some(l != r),
                     // Ordering comparisons are defined on literals
                     // only (by lexical form); on IRIs or blanks they
-                    // are type errors, hence false.
+                    // are type errors.
                     _ => match (l, r) {
                         (Term::Literal(a), Term::Literal(b)) => {
                             let ord = a.lexical().cmp(b.lexical());
-                            matches!(
+                            Some(matches!(
                                 (op, ord),
                                 (CmpOp::Lt, Ordering::Less)
                                     | (CmpOp::Le, Ordering::Less | Ordering::Equal)
                                     | (CmpOp::Gt, Ordering::Greater)
                                     | (CmpOp::Ge, Ordering::Greater | Ordering::Equal)
-                            )
+                            ))
                         }
-                        _ => false,
+                        _ => None,
                     },
                 },
             }
         }
     }
+}
+
+/// Evaluates a filter at the FILTER boundary: a row is kept only when
+/// the expression evaluates to `true` — both `false` and a type error
+/// remove it, per the SPARQL FILTER rule.
+pub(crate) fn eval_filter(expr: &FilterExpr, row: &Row) -> bool {
+    eval_filter_tri(expr, row) == Some(true)
 }
 
 /// The ORDER BY comparator for one key: unbound sorts before bound;

@@ -134,6 +134,41 @@ impl SparqlQuery {
         }
         needed.extend(filter_vars);
 
+        // Left-join keys: a variable shared between an OPTIONAL block
+        // and the pattern it extends (the base BGP, any UNION
+        // alternative, or another OPTIONAL block) is the join variable
+        // of that left join. It must survive head minimisation even
+        // when nothing downstream mentions it — otherwise distinct
+        // base solutions that differ only on the key collapse before
+        // the join, and unmatched-OPTIONAL rows are silently lost.
+        let triple_vars = |triples: &[TriplePattern]| -> BTreeSet<Variable> {
+            triples.iter().flat_map(|t| t.vars().cloned()).collect()
+        };
+        let mut base_side = triple_vars(&self.pattern.triples);
+        for block in &self.pattern.unions {
+            for alt in block {
+                base_side.extend(triple_vars(&alt.triples));
+            }
+        }
+        let opt_vars: Vec<BTreeSet<Variable>> = self
+            .pattern
+            .optionals
+            .iter()
+            .map(|opt| triple_vars(&opt.triples))
+            .collect();
+        for (i, vars) in opt_vars.iter().enumerate() {
+            for v in vars {
+                let shared = base_side.contains(v)
+                    || opt_vars
+                        .iter()
+                        .enumerate()
+                        .any(|(j, other)| j != i && other.contains(v));
+                if shared {
+                    needed.insert(v.clone());
+                }
+            }
+        }
+
         // Cross product of one alternative per UNION block.
         let mut combos: Vec<Vec<&SimpleGroup>> = vec![Vec::new()];
         for block in &self.pattern.unions {

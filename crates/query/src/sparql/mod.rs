@@ -260,6 +260,62 @@ mod tests {
     }
 
     #[test]
+    fn optional_join_var_survives_head_minimisation() {
+        // ?y is neither projected, filtered nor sorted, but it is the
+        // left-join key between the base BGP and the OPTIONAL. If head
+        // minimisation dropped it, the two bindings of ?y would
+        // collapse into one base row before the join and the
+        // unmatched-OPTIONAL row would be lost.
+        let g = rps_rdf::turtle::parse(
+            "@prefix e: <http://e/> .\n\
+             e:x1 e:p e:y1 .\n\
+             e:x1 e:p e:y2 .\n\
+             e:y1 e:q \"n1\" .\n",
+        )
+        .unwrap();
+        let q = parse_sparql(
+            "SELECT ?x ?n WHERE { ?x e:p ?y OPTIONAL { ?y e:q ?n } }",
+            &base(),
+        )
+        .unwrap();
+        let lowered = q.lower();
+        for cq in lowered.queries() {
+            assert!(
+                cq.free_vars().iter().any(|v| v.name() == "y"),
+                "join variable ?y must survive head minimisation"
+            );
+        }
+        let r = lowered.evaluate(&g, Semantics::Certain);
+        let rows = &r.rows().unwrap().rows;
+        assert_eq!(rows.len(), 2, "one matched and one unmatched row");
+        assert!(rows.contains(&vec![
+            Some(Term::iri("http://e/x1")),
+            Some(Term::literal("n1"))
+        ]));
+        assert!(rows.contains(&vec![Some(Term::iri("http://e/x1")), None]));
+    }
+
+    #[test]
+    fn filter_type_errors_propagate_through_negation() {
+        // ?n is unbound for alice and bob, so ?n = "x" is a type
+        // error; the error propagates through ! and the FILTER removes
+        // the row. Only carol binds ?n ("cc" != "x" → !false → true).
+        let r =
+            run("SELECT ?x WHERE { ?x e:age ?a OPTIONAL { ?x e:nick ?n } FILTER(!(?n = \"x\")) }");
+        let rows = &r.rows().unwrap().rows;
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Some(Term::iri("http://e/carol")));
+        // At an || the error is masked by a true branch but survives a
+        // false one.
+        let masked = run("SELECT ?x WHERE { ?x e:age ?a OPTIONAL { ?x e:nick ?n } \
+             FILTER(!(?n = \"x\") || ?a > \"0\") }");
+        assert_eq!(masked.rows().unwrap().rows.len(), 3);
+        let surviving = run("SELECT ?x WHERE { ?x e:age ?a OPTIONAL { ?x e:nick ?n } \
+             FILTER(!(?n = \"x\") || ?a < \"0\") }");
+        assert_eq!(surviving.rows().unwrap().rows.len(), 1);
+    }
+
+    #[test]
     fn assemble_matches_direct_evaluation_shape() {
         let q = parse_sparql("SELECT ?x { ?x e:age ?a } LIMIT 1", &base()).unwrap();
         let lowered = q.lower();
